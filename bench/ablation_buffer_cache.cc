@@ -1,0 +1,47 @@
+// Ablation A (design choice from DESIGN.md): the transaction buffer's
+// read-through cache. The paper stores every fetched value in the buffer
+// "for future accesses"; disabling the cache forces repeat GETs of the same
+// key to hit the store again.
+//
+// Expected: with the cache, fewer KV GETs and higher throughput on
+// transactions that re-read keys (index-maintaining TPC-W transactions);
+// identical final state either way.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kInteractions = 1200;
+constexpr uint64_t kSeed = 110;
+
+// arg: read_cache (0 or 1).
+void BM_AblationBufferCache(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  BenchInput input =
+      BuildTpcwLog(workload::TpcwMix::kOrdering, kInteractions, kSeed);
+  for (auto _ : state) {
+    core::TmOptions tm_options;
+    tm_options.buffer_read_cache = cache;
+    ReplayResult result =
+        RunConcurrentReplay(input, DefaultCluster(), 20, tm_options);
+    state.SetIterationTime(result.seconds);
+    state.counters["tx_per_s"] = result.tx_per_sec;
+    state.counters["conflicts"] = static_cast<double>(result.conflicts);
+  }
+  state.SetLabel(cache ? "cache_on" : "cache_off");
+  state.SetItemsProcessed(input.writes);
+}
+
+BENCHMARK(BM_AblationBufferCache)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"read_cache"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

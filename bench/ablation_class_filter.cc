@@ -1,0 +1,51 @@
+// Ablation D: the transaction-classes conflict pre-filter (the optimization
+// the paper's §7 proposes as future work). Workload: TPC-W ordering mix —
+// transactions scatter across ten tables, so many pairwise conflict checks
+// are provably unnecessary.
+//
+// Expected: identical conflict counts (the filter is sound), a large share
+// of pairwise checks skipped, and equal-or-better throughput with the
+// filter on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kInteractions = 1500;
+constexpr uint64_t kSeed = 113;
+
+// arg: enable_class_filter (0 or 1).
+void BM_AblationClassFilter(benchmark::State& state) {
+  const bool filter = state.range(0) != 0;
+  BenchInput input =
+      BuildTpcwLog(workload::TpcwMix::kOrdering, kInteractions, kSeed);
+  for (auto _ : state) {
+    core::TmOptions tm_options;
+    tm_options.enable_class_filter = filter;
+    ReplayResult result =
+        RunConcurrentReplay(input, DefaultCluster(), 20, tm_options);
+    state.SetIterationTime(result.seconds);
+    state.counters["tx_per_s"] = result.tx_per_sec;
+    state.counters["conflicts"] = static_cast<double>(result.conflicts);
+    state.counters["checks"] =
+        static_cast<double>(result.stats.conflict_checks);
+    state.counters["skips"] =
+        static_cast<double>(result.stats.class_filter_skips);
+  }
+  state.SetLabel(filter ? "filter_on" : "filter_off");
+  state.SetItemsProcessed(input.writes);
+}
+
+BENCHMARK(BM_AblationClassFilter)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"class_filter"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

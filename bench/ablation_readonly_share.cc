@@ -1,0 +1,75 @@
+// Ablation E: cost of interleaving read-only transactions (the paper's third
+// requirement) with the replication stream. Fixed update stream; a growing
+// number of read-only point-read transactions interleaved between updates.
+//
+// Expected: read-only transactions ride the same pipeline (sequence numbers,
+// conflict checks) but skip the apply phase, so update throughput degrades
+// gracefully — far less than proportionally to the added transactions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "codec/kv_keys.h"
+#include "common/random.h"
+#include "common/clock.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kItems = 2000;
+constexpr int kUpdates = 1000;
+constexpr uint64_t kSeed = 115;
+
+// arg: read-only transactions per update transaction.
+void BM_AblationReadOnlyShare(benchmark::State& state) {
+  const int reads_per_update = static_cast<int>(state.range(0));
+  BenchInput input = BuildSyntheticLog(kItems, kItems, kUpdates, kSeed);
+  for (auto _ : state) {
+    qt::QueryTranslator translator(&input.db->catalog(), {});
+    kv::KvCluster cluster(DefaultCluster());
+    Status s = translator.LoadSnapshot(&cluster, *input.snapshot);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+    Stopwatch sw;
+    core::TmStats stats;
+    {
+      core::TransactionManager tm(&cluster, &translator, {});
+      Random rng(kSeed);
+      for (rel::LogTransaction& txn : log) {
+        tm.SubmitUpdate(std::move(txn));
+        for (int r = 0; r < reads_per_update; ++r) {
+          const kv::Key key = codec::RowKey(
+              "QTY_ITEM",
+              rel::Value::Int(1 + static_cast<int64_t>(rng.Uniform(kItems))));
+          tm.SubmitReadOnly([key](kv::KvStore* view) {
+            return view->Get(key).status();
+          });
+        }
+      }
+      Status idle = tm.WaitIdle();
+      if (!idle.ok()) state.SkipWithError(idle.ToString().c_str());
+      stats = tm.stats();
+    }
+    const double secs = sw.ElapsedSeconds();
+    state.SetIterationTime(secs);
+    state.counters["update_tx_s"] = kUpdates / secs;
+    state.counters["total_tx_s"] =
+        static_cast<double>(stats.completed) / secs;
+    state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+  }
+  state.SetItemsProcessed(kUpdates);
+}
+
+BENCHMARK(BM_AblationReadOnlyShare)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(9)
+    ->ArgNames({"reads_per_update"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

@@ -1,0 +1,137 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "core/serial_applier.h"
+#include "workload/synthetic.h"
+
+namespace txrep::bench {
+
+namespace {
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup: %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+}  // namespace
+
+kv::KvClusterOptions DefaultCluster(int num_nodes) {
+  kv::KvClusterOptions options;
+  options.num_nodes = num_nodes;
+  options.node.service_time_micros = 40;  // Simulated KV round-trip.
+  options.node.service_slots = 4;         // "Server threads" per node.
+  return options;
+}
+
+BenchInput BuildSyntheticLog(int num_items, int hot_range, int txns,
+                             uint64_t seed) {
+  BenchInput input;
+  const workload::SyntheticOptions options{
+      .num_items = num_items, .hot_range = hot_range, .seed = seed};
+
+  // Snapshot database: population only (deterministic for the seed).
+  input.snapshot = std::make_unique<rel::Database>();
+  {
+    workload::SyntheticWorkload workload(options);
+    CheckOk(workload.CreateSchema(*input.snapshot), "CreateSchema");
+    CheckOk(workload.Populate(*input.snapshot), "Populate");
+  }
+  // Log database: same population, then the update stream; the log is
+  // truncated to exactly the stream.
+  input.db = std::make_unique<rel::Database>();
+  {
+    workload::SyntheticWorkload workload(options);
+    CheckOk(workload.CreateSchema(*input.db), "CreateSchema");
+    CheckOk(workload.Populate(*input.db), "Populate");
+    const uint64_t population_lsn = input.db->log().LastLsn();
+    CheckOk(workload.Run(*input.db, txns), "Run");
+    input.db->log().TruncateUpTo(population_lsn);
+    input.writes = txns;
+  }
+  return input;
+}
+
+BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
+                        uint64_t seed) {
+  BenchInput input;
+  workload::TpcwScale scale;
+  scale.items = 500;
+  scale.customers = 300;
+  scale.addresses = 600;
+  scale.initial_orders = 100;
+
+  input.snapshot = std::make_unique<rel::Database>();
+  {
+    workload::TpcwWorkload tpcw(scale, seed);
+    CheckOk(tpcw.CreateSchema(*input.snapshot), "CreateSchema");
+    CheckOk(tpcw.Populate(*input.snapshot), "Populate");
+  }
+  input.db = std::make_unique<rel::Database>();
+  {
+    workload::TpcwWorkload tpcw(scale, seed);
+    CheckOk(tpcw.CreateSchema(*input.db), "CreateSchema");
+    CheckOk(tpcw.Populate(*input.db), "Populate");
+    const uint64_t population_lsn = input.db->log().LastLsn();
+    for (int i = 0; i < interactions; ++i) {
+      workload::TpcwWorkload::TxnSpec spec = tpcw.NextTransaction(mix);
+      if (spec.is_write) {
+        CheckOk(input.db->ExecuteTransaction(spec.statements).status(),
+                "write txn");
+        ++input.writes;
+      } else {
+        input.read_queries.push_back(std::move(spec.read_query));
+      }
+    }
+    input.db->log().TruncateUpTo(population_lsn);
+  }
+  return input;
+}
+
+ReplayResult RunSerialReplay(const BenchInput& input,
+                             const kv::KvClusterOptions& cluster_options) {
+  qt::QueryTranslator translator(&input.db->catalog(), {});
+  kv::KvCluster cluster(cluster_options);
+  CheckOk(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
+
+  core::SerialApplier applier(&cluster, &translator);
+  std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+  Stopwatch sw;
+  CheckOk(applier.ApplyBatch(log), "ApplyBatch");
+  ReplayResult result;
+  result.seconds = sw.ElapsedSeconds();
+  result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
+  return result;
+}
+
+ReplayResult RunConcurrentReplay(const BenchInput& input,
+                                 const kv::KvClusterOptions& cluster_options,
+                                 int threads, core::TmOptions tm_options) {
+  qt::QueryTranslator translator(&input.db->catalog(), {});
+  kv::KvCluster cluster(cluster_options);
+  CheckOk(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
+
+  tm_options.top_threads = threads;
+  tm_options.bottom_threads = threads;
+  std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+  ReplayResult result;
+  Stopwatch sw;
+  {
+    core::TransactionManager tm(&cluster, &translator, tm_options);
+    for (rel::LogTransaction& txn : log) {
+      tm.SubmitUpdate(std::move(txn));
+    }
+    CheckOk(tm.WaitIdle(), "WaitIdle");
+    result.seconds = sw.ElapsedSeconds();
+    result.stats = tm.stats();
+  }
+  result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
+  result.conflicts = result.stats.conflicts;
+  result.restarts = result.stats.restarts;
+  return result;
+}
+
+}  // namespace txrep::bench

@@ -1,0 +1,63 @@
+#ifndef TXREP_BENCH_BENCH_UTIL_H_
+#define TXREP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/transaction_manager.h"
+#include "kv/kv_cluster.h"
+#include "qt/query_translator.h"
+#include "rel/database.h"
+#include "workload/tpcw.h"
+
+namespace txrep::bench {
+
+/// Shared replica-cluster configuration across all paper benches
+/// (§6.2 stand-in: 5 nodes, each a simulated server with a small per-op
+/// service time and limited service slots).
+kv::KvClusterOptions DefaultCluster(int num_nodes = 5);
+
+/// A prepared replication benchmark input: `db` holds the update stream in
+/// its log; `snapshot` is an identical database *before* the stream (built
+/// from the same seed), used to seed each replica — exactly the system's
+/// snapshot-then-ship bootstrap.
+struct BenchInput {
+  std::unique_ptr<rel::Database> db;
+  std::unique_ptr<rel::Database> snapshot;
+  std::vector<rel::SelectStatement> read_queries;  // TPC-W read mix.
+  int writes = 0;
+};
+
+/// Synthetic conflict-controlled workload (paper §6.1): `txns` single-update
+/// transactions over item ids in [1, hot_range].
+BenchInput BuildSyntheticLog(int num_items, int hot_range, int txns,
+                             uint64_t seed);
+
+/// TPC-W-lite interactions of the given mix; write transactions land in the
+/// log, read interactions are returned as replica queries.
+BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
+                        uint64_t seed);
+
+/// Result of replaying one log.
+struct ReplayResult {
+  double seconds = 0;
+  double tx_per_sec = 0;
+  int64_t conflicts = 0;  // 0 for serial replay.
+  int64_t restarts = 0;
+  core::TmStats stats;
+};
+
+/// Serial baseline replay of the full log into a fresh snapshot-seeded
+/// cluster.
+ReplayResult RunSerialReplay(const BenchInput& input,
+                             const kv::KvClusterOptions& cluster_options);
+
+/// Concurrent TM replay. `threads` sets both pools (paper default 20).
+ReplayResult RunConcurrentReplay(const BenchInput& input,
+                                 const kv::KvClusterOptions& cluster_options,
+                                 int threads,
+                                 core::TmOptions tm_options = {});
+
+}  // namespace txrep::bench
+
+#endif  // TXREP_BENCH_BENCH_UTIL_H_

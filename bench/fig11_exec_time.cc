@@ -1,0 +1,40 @@
+// Paper Fig. 11: total execution time for serial vs. concurrent replay of a
+// replication message, as a function of the number of transactions in it.
+//
+// Expected shape: concurrent is "at least twice as fast" (paper §6.3); the
+// gap holds across message sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kItems = 2000;
+constexpr uint64_t kSeed = 102;
+
+// args: {num_transactions, threads (0 = serial baseline)}.
+void BM_Fig11_ExecTime(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  BenchInput input = BuildSyntheticLog(kItems, kItems, txns, kSeed);
+  for (auto _ : state) {
+    ReplayResult result =
+        threads == 0 ? RunSerialReplay(input, DefaultCluster())
+                     : RunConcurrentReplay(input, DefaultCluster(), threads);
+    state.SetIterationTime(result.seconds);
+    state.counters["exec_ms"] = result.seconds * 1e3;
+  }
+  state.SetItemsProcessed(txns);
+}
+
+BENCHMARK(BM_Fig11_ExecTime)
+    ->ArgsProduct({{500, 1000, 2000, 3000}, {0, 10, 20}})
+    ->ArgNames({"txns", "threads"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

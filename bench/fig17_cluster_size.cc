@@ -1,0 +1,48 @@
+// Paper Fig. 17: impact of the key-value cluster size (5, 10, 15 nodes) on
+// concurrent replication throughput.
+//
+// Expected shape: throughput grows with the node count — each node carries a
+// smaller share of the ops, so its service slots stop being the bottleneck.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace txrep::bench {
+namespace {
+
+// Wide key space: conflicts must stay rare so that per-node capacity — not
+// the conflict rate — is the binding resource the sweep varies.
+constexpr int kItems = 8000;
+constexpr uint64_t kSeed = 109;
+
+// args: {num_transactions, nodes}.
+void BM_Fig17_ClusterSize(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  BenchInput input = BuildSyntheticLog(kItems, kItems, txns, kSeed);
+  // Single-threaded nodes with a heftier per-op service time, so aggregate
+  // cluster capacity — the quantity this sweep varies — is what binds
+  // (paper: "larger number of nodes ... results in smaller portion of load
+  // on each key-value node").
+  kv::KvClusterOptions cluster_options = DefaultCluster(nodes);
+  cluster_options.node.service_slots = 1;
+  cluster_options.node.service_time_micros = 150;
+  for (auto _ : state) {
+    ReplayResult result = RunConcurrentReplay(input, cluster_options, 20);
+    state.SetIterationTime(result.seconds);
+    state.counters["tx_per_s"] = result.tx_per_sec;
+    state.counters["nodes"] = nodes;
+  }
+  state.SetItemsProcessed(txns);
+}
+
+BENCHMARK(BM_Fig17_ClusterSize)
+    ->ArgsProduct({{1000, 2000, 3000}, {5, 10, 15}})
+    ->ArgNames({"txns", "nodes"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

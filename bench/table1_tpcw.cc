@@ -1,0 +1,82 @@
+// Paper Table 1: concurrent replication of the three TPC-W interaction
+// mixes — Browsing (5% writes), Shopping (20%), Ordering (50%) — reporting
+// the number of write transactions, throughput, execution time and conflict
+// count. Read interactions run on the replica as interleaved read-only
+// transactions, as in the paper's system.
+//
+// Expected shape: browsing fastest / fewest conflicts, ordering slowest /
+// most conflicts (write volume drives both).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "qt/replica_reader.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kInteractions = 2000;  // Paper used 4000 on an 18-node testbed.
+constexpr uint64_t kSeed = 104;
+
+// arg: mix index (0 = Browsing, 1 = Shopping, 2 = Ordering).
+void BM_Table1_Tpcw(benchmark::State& state) {
+  const auto mix = static_cast<workload::TpcwMix>(state.range(0));
+  BenchInput input = BuildTpcwLog(mix, kInteractions, kSeed);
+  const auto cluster_options = DefaultCluster();
+
+  for (auto _ : state) {
+    qt::QueryTranslator translator(&input.db->catalog(), {});
+    qt::ReplicaReader reader(&input.db->catalog(), {});
+    kv::KvCluster cluster(cluster_options);
+    Status s = translator.LoadSnapshot(&cluster, *input.snapshot);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+    core::TmOptions tm_options;  // Paper defaults: 20 + 20 threads.
+    Stopwatch sw;
+    core::TmStats stats;
+    {
+      core::TransactionManager tm(&cluster, &translator, tm_options);
+      size_t next_read = 0;
+      size_t reads_per_write =
+          input.writes == 0 ? input.read_queries.size()
+                            : input.read_queries.size() / input.writes + 1;
+      for (rel::LogTransaction& txn : log) {
+        tm.SubmitUpdate(std::move(txn));
+        // Interleave the read mix between update transactions.
+        for (size_t r = 0;
+             r < reads_per_write && next_read < input.read_queries.size();
+             ++r, ++next_read) {
+          const rel::SelectStatement& query = input.read_queries[next_read];
+          tm.SubmitReadOnly([&reader, &query](kv::KvStore* view) {
+            return reader.Select(view, query).status();
+          });
+        }
+      }
+      Status idle = tm.WaitIdle();
+      if (!idle.ok()) state.SkipWithError(idle.ToString().c_str());
+      stats = tm.stats();
+    }
+    const double secs = sw.ElapsedSeconds();
+    state.SetIterationTime(secs);
+    state.counters["write_txns"] = input.writes;
+    state.counters["tx_per_s"] = static_cast<double>(kInteractions) / secs;
+    state.counters["exec_ms"] = secs * 1e3;
+    state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+  }
+  state.SetLabel(workload::TpcwMixName(mix));
+  state.SetItemsProcessed(kInteractions);
+}
+
+BENCHMARK(BM_Table1_Tpcw)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mix"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

@@ -1,0 +1,95 @@
+// Bookstore: the paper's motivating web-application scenario on the TPC-W
+// schema. The relational database takes the transactional ordering workload;
+// the key-value replica serves the browsing workload, kept in sync by the
+// concurrent Transaction Manager.
+//
+// Run: ./build/examples/bookstore [num_transactions]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "txrep/system.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using txrep::workload::TpcwMix;
+using txrep::workload::TpcwWorkload;
+
+void Check(const txrep::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_txns = argc > 1 ? std::atoi(argv[1]) : 600;
+
+  txrep::TxRepOptions options;
+  options.cluster.num_nodes = 5;
+  options.cluster.node.service_time_micros = 30;
+  options.cluster.node.service_slots = 4;
+  options.tm.top_threads = 20;
+  options.tm.bottom_threads = 20;
+  txrep::TxRepSystem sys(options);
+
+  txrep::workload::TpcwScale scale;
+  scale.items = 500;
+  scale.customers = 300;
+  scale.addresses = 600;
+  scale.initial_orders = 100;
+  TpcwWorkload tpcw(scale, /*seed=*/42);
+
+  std::printf("creating TPC-W schema and population...\n");
+  Check(tpcw.CreateSchema(sys.database()), "CreateSchema");
+  Check(tpcw.Populate(sys.database()), "Populate");
+  Check(sys.Start(), "Start");
+
+  std::printf("running %d 'Shopping' mix interactions (20%% writes)...\n",
+              num_txns);
+  txrep::Stopwatch sw;
+  int writes = 0, reads = 0, read_rows = 0;
+  for (int i = 0; i < num_txns; ++i) {
+    TpcwWorkload::TxnSpec spec = tpcw.NextTransaction(TpcwMix::kShopping);
+    if (spec.is_write) {
+      // Write transactions go to the relational database; the middleware
+      // ships their log to the replica automatically.
+      Check(sys.database().ExecuteTransaction(spec.statements).status(),
+            "write transaction");
+      ++writes;
+    } else {
+      // Read-only transactions hit the key-value replica, interleaved with
+      // the ongoing replication by the TM.
+      auto rows = sys.QueryReplica(spec.read_query);
+      Check(rows.status(), "replica query");
+      read_rows += static_cast<int>(rows->size());
+      ++reads;
+    }
+  }
+  Check(sys.SyncToLatest(), "SyncToLatest");
+  const double secs = sw.ElapsedSeconds();
+
+  auto stats = sys.tm_stats();
+  std::printf("\n=== bookstore summary ===\n");
+  std::printf("interactions      : %d (%d writes, %d reads)\n", num_txns,
+              writes, reads);
+  std::printf("rows served       : %d from the replica\n", read_rows);
+  std::printf("wall clock        : %.2f s (%.0f interactions/s)\n", secs,
+              num_txns / secs);
+  std::printf("replica LSN       : %llu\n",
+              static_cast<unsigned long long>(sys.replica_lsn()));
+  std::printf("TM completed      : %lld (of which %lld read-only)\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.read_only_submitted));
+  std::printf("TM conflicts      : %lld, restarts %lld\n",
+              static_cast<long long>(stats.conflicts),
+              static_cast<long long>(stats.restarts));
+  std::printf("KV ops            : %lld gets, %lld puts\n",
+              static_cast<long long>(sys.replica().TotalStats().gets),
+              static_cast<long long>(sys.replica().TotalStats().puts));
+  return 0;
+}

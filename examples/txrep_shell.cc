@@ -1,0 +1,169 @@
+// Interactive shell over a TxRep deployment: type SQL, watch it replicate.
+//
+//   ./build/examples/txrep_shell
+//
+// Commands:
+//   <sql>;            -- CREATE TABLE / CREATE [RANGE] INDEX / INSERT /
+//                        UPDATE / DELETE run on the database;
+//                        SELECT runs on the database
+//   @replica <select>;-- run a SELECT on the key-value replica (transactional)
+//   @sync             -- drain the replication pipeline
+//   @stats            -- show TM / replica statistics
+//   @quit             -- exit
+//
+// The replication pipeline starts lazily at the first write, snapshotting
+// whatever schema/data exist at that point.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sql/interpreter.h"
+#include "sql/parser.h"
+#include "txrep/system.h"
+
+namespace {
+
+void PrintRows(const std::vector<txrep::rel::Row>& rows) {
+  for (const txrep::rel::Row& row : rows) {
+    std::printf("  %s\n", txrep::rel::RowToString(row).c_str());
+  }
+  std::printf("  (%zu rows)\n", rows.size());
+}
+
+}  // namespace
+
+int main() {
+  txrep::TxRepOptions options;
+  options.cluster.num_nodes = 3;
+  txrep::TxRepSystem sys(options);
+  bool started = false;
+
+  std::printf(
+      "TxRep shell. SQL statements end with ';'. Special commands: "
+      "@replica <select>; @sync  @stats  @audit  @quit\n");
+
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::printf(pending.empty() ? "txrep> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    // Special commands (no ';' needed except @replica).
+    if (pending.empty() && line == "@quit") break;
+    if (pending.empty() && line == "@sync") {
+      if (!started) {
+        std::printf("replication not started yet (no writes so far)\n");
+        continue;
+      }
+      txrep::Status s = sys.SyncToLatest();
+      std::printf("%s (replica LSN %llu)\n", s.ToString().c_str(),
+                  static_cast<unsigned long long>(sys.replica_lsn()));
+      continue;
+    }
+    if (pending.empty() && line == "@audit") {
+      if (!started) {
+        std::printf("replication not started yet\n");
+        continue;
+      }
+      auto report = sys.AuditReplica();
+      if (!report.ok()) {
+        std::printf("audit failed: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", report->Summary().c_str());
+      for (const std::string& v : report->violations) {
+        std::printf("  %s\n", v.c_str());
+      }
+      continue;
+    }
+    if (pending.empty() && line == "@stats") {
+      auto stats = sys.tm_stats();
+      auto kv = started ? sys.replica().TotalStats() : txrep::kv::KvStoreStats{};
+      std::printf(
+          "TM: submitted=%lld completed=%lld conflicts=%lld restarts=%lld\n"
+          "KV: objects=%zu gets=%lld puts=%lld deletes=%lld\n",
+          static_cast<long long>(stats.submitted),
+          static_cast<long long>(stats.completed),
+          static_cast<long long>(stats.conflicts),
+          static_cast<long long>(stats.restarts),
+          started ? sys.replica().Size() : 0, static_cast<long long>(kv.gets),
+          static_cast<long long>(kv.puts), static_cast<long long>(kv.deletes));
+      continue;
+    }
+
+    pending += line;
+    pending.push_back('\n');
+    if (line.find(';') == std::string::npos) continue;  // Keep accumulating.
+    std::string statement;
+    statement.swap(pending);
+
+    // Replica query?
+    const std::string kReplicaPrefix = "@replica";
+    const size_t start_pos = statement.find_first_not_of(" \t\n");
+    if (start_pos != std::string::npos &&
+        statement.compare(start_pos, kReplicaPrefix.size(), kReplicaPrefix) ==
+            0) {
+      if (!started) {
+        std::printf("replication not started yet; run a write first\n");
+        continue;
+      }
+      const std::string sql = statement.substr(start_pos +
+                                               kReplicaPrefix.size());
+      auto parsed = txrep::sql::ParseCommand(sql);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto* select = std::get_if<txrep::rel::SelectStatement>(&*parsed);
+      if (select == nullptr) {
+        std::printf("error: @replica accepts SELECT only\n");
+        continue;
+      }
+      auto rows = sys.QueryReplica(*select);
+      if (!rows.ok()) {
+        std::printf("error: %s\n", rows.status().ToString().c_str());
+        continue;
+      }
+      PrintRows(*rows);
+      continue;
+    }
+
+    // Database side. Start the pipeline lazily before the first DML write so
+    // the snapshot covers all DDL/population typed before it.
+    auto parsed = txrep::sql::ParseScript(statement);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    bool has_write = false;
+    for (const auto& cmd : *parsed) {
+      if (txrep::sql::IsDml(cmd) &&
+          !std::holds_alternative<txrep::rel::SelectStatement>(cmd)) {
+        has_write = true;
+      }
+    }
+    if (has_write && !started) {
+      txrep::Status s = sys.Start();
+      if (!s.ok()) {
+        std::printf("error starting replication: %s\n", s.ToString().c_str());
+        continue;
+      }
+      started = true;
+      std::printf("-- replication pipeline started\n");
+    }
+    auto result = txrep::sql::ExecuteSql(sys.database(), statement);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& rows : result->select_results) PrintRows(rows);
+    if (result->last_lsn != 0) {
+      std::printf("-- committed (LSN %llu)\n",
+                  static_cast<unsigned long long>(result->last_lsn));
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

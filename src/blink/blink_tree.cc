@@ -1,0 +1,481 @@
+#include "blink/blink_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "codec/kv_keys.h"
+#include "common/clock.h"
+
+namespace txrep::blink {
+
+namespace {
+/// A key lies beyond a node iff the node has a high key and key > high.
+bool BeyondNode(const BlinkNode& node, const EntryKey& key) {
+  return node.has_high_key && node.high_key < key;
+}
+}  // namespace
+
+BlinkTree::BlinkTree(kv::KvStore* store, std::string table, std::string column,
+                     BlinkTreeOptions options)
+    : store_(store),
+      table_(std::move(table)),
+      column_(std::move(column)),
+      options_(options),
+      meta_key_(codec::BlinkMetaKey(table_, column_)) {}
+
+std::string BlinkTree::NodeKey(uint64_t id) const {
+  return codec::BlinkNodeKey(table_, column_, id);
+}
+
+Result<BlinkNode> BlinkTree::ReadNode(uint64_t id) {
+  TXREP_ASSIGN_OR_RETURN(kv::Value bytes, store_->Get(NodeKey(id)));
+  return DecodeBlinkNode(bytes);
+}
+
+Status BlinkTree::WriteNode(uint64_t id, const BlinkNode& node) {
+  return store_->Put(NodeKey(id), EncodeBlinkNode(node));
+}
+
+Result<BlinkMeta> BlinkTree::ReadMeta() {
+  TXREP_ASSIGN_OR_RETURN(kv::Value bytes, store_->Get(meta_key_));
+  return DecodeBlinkMeta(bytes);
+}
+
+Status BlinkTree::WriteMeta(const BlinkMeta& meta) {
+  return store_->Put(meta_key_, EncodeBlinkMeta(meta));
+}
+
+Result<uint64_t> BlinkTree::AllocateNodeId() {
+  KeyedMutex::Guard guard(latches_, meta_key_);
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  const uint64_t id = meta.next_id++;
+  TXREP_RETURN_IF_ERROR(WriteMeta(meta));
+  return id;
+}
+
+Status BlinkTree::Init() {
+  KeyedMutex::Guard guard(latches_, meta_key_);
+  Result<kv::Value> existing = store_->Get(meta_key_);
+  if (existing.ok()) return Status::OK();
+  if (!existing.status().IsNotFound()) return existing.status();
+
+  BlinkMeta meta;
+  meta.root_id = 1;
+  meta.next_id = 2;
+  BlinkNode root;  // Empty leaf, no high key, no right sibling.
+  TXREP_RETURN_IF_ERROR(WriteNode(meta.root_id, root));
+  return WriteMeta(meta);
+}
+
+size_t BlinkTree::ChildIndexFor(const BlinkNode& node, const EntryKey& key) {
+  // child[i] covers keys <= separators[i]; the last child covers the rest.
+  auto it = std::lower_bound(node.separators.begin(), node.separators.end(),
+                             key);
+  return static_cast<size_t>(it - node.separators.begin());
+}
+
+Result<uint64_t> BlinkTree::DescendToLeaf(const EntryKey& key,
+                                          std::vector<uint64_t>* path) {
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  uint64_t id = meta.root_id;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    if (BeyondNode(node, key)) {
+      if (node.right_id == 0) {
+        return Status::Corruption("blink: high key set on rightmost node " +
+                                  std::to_string(id));
+      }
+      id = node.right_id;  // Move right; same level, not recorded on path.
+      continue;
+    }
+    if (node.is_leaf()) return id;
+    if (path != nullptr) path->push_back(id);
+    id = node.children[ChildIndexFor(node, key)];
+  }
+}
+
+Result<uint64_t> BlinkTree::DescendToLevel(const EntryKey& key,
+                                           uint32_t target_level) {
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  uint64_t id = meta.root_id;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    if (BeyondNode(node, key)) {
+      if (node.right_id == 0) {
+        return Status::Corruption("blink: high key set on rightmost node");
+      }
+      id = node.right_id;
+      continue;
+    }
+    if (node.level == target_level) return id;
+    if (node.level < target_level) {
+      // The tree is shallower than expected (stale path after root change):
+      // caller must retry from the (new) root.
+      return Status::Internal("blink: level " + std::to_string(target_level) +
+                              " not reachable from root");
+    }
+    id = node.children[ChildIndexFor(node, key)];
+  }
+}
+
+Result<BlinkTree::LatchedNode> BlinkTree::LatchForKey(
+    uint64_t node_id, const EntryKey& key, KeyedMutex::Guard& guard) {
+  // The guard already latches node_id. Re-read under the latch and move right
+  // while the key lies beyond the node (it may have been split since our
+  // lock-free descent).
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(node_id));
+    if (!BeyondNode(node, key)) {
+      return LatchedNode{node_id, std::move(node)};
+    }
+    if (node.right_id == 0) {
+      return Status::Corruption("blink: high key set on rightmost node");
+    }
+    node_id = node.right_id;
+    guard.MoveTo(NodeKey(node_id));
+  }
+}
+
+Status BlinkTree::Insert(const rel::Value& value, const std::string& row_key) {
+  const EntryKey key{value, row_key};
+  std::vector<uint64_t> path;
+  TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, &path));
+
+  KeyedMutex::Guard guard(latches_, NodeKey(leaf_id));
+  TXREP_ASSIGN_OR_RETURN(LatchedNode latched, LatchForKey(leaf_id, key, guard));
+  leaf_id = latched.id;
+  BlinkNode leaf = std::move(latched.node);
+
+  auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), key);
+  if (it != leaf.entries.end() && *it == key) {
+    return Status::AlreadyExists("blink entry " + key.DebugString() +
+                                 " already present");
+  }
+  leaf.entries.insert(it, key);
+
+  if (leaf.entries.size() <= options_.max_node_keys) {
+    TXREP_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
+    return Status::OK();
+  }
+  return SplitAndPropagate(leaf_id, std::move(leaf), std::move(guard),
+                           std::move(path));
+}
+
+Status BlinkTree::SplitAndPropagate(uint64_t node_id, BlinkNode node,
+                                    KeyedMutex::Guard guard,
+                                    std::vector<uint64_t> path) {
+  // Allocate the right sibling's id (meta latch; taken while holding the node
+  // latch — meta is always the innermost latch, so this cannot deadlock).
+  TXREP_ASSIGN_OR_RETURN(uint64_t right_id, AllocateNodeId());
+
+  BlinkNode right;
+  right.level = node.level;
+  right.has_high_key = node.has_high_key;
+  right.high_key = node.high_key;
+  right.right_id = node.right_id;
+
+  EntryKey separator;
+  if (node.is_leaf()) {
+    const size_t mid = node.entries.size() / 2;
+    separator = node.entries[mid - 1];  // Max key staying left.
+    right.entries.assign(node.entries.begin() + mid, node.entries.end());
+    node.entries.resize(mid);
+  } else {
+    // Promote the middle separator: it leaves the node and becomes both the
+    // left half's high key and the parent's new routing key.
+    const size_t mid = node.separators.size() / 2;
+    separator = node.separators[mid];
+    right.separators.assign(node.separators.begin() + mid + 1,
+                            node.separators.end());
+    right.children.assign(node.children.begin() + mid + 1,
+                          node.children.end());
+    node.separators.resize(mid);
+    node.children.resize(mid + 1);
+  }
+  node.has_high_key = true;
+  node.high_key = separator;
+  node.right_id = right_id;
+
+  // Order matters for lock-free readers: the new right node must exist before
+  // the (atomic) overwrite of the left node publishes the link to it.
+  TXREP_RETURN_IF_ERROR(WriteNode(right_id, right));
+  TXREP_RETURN_IF_ERROR(WriteNode(node_id, node));
+  const uint32_t level = node.level;
+  guard.Release();
+
+  return InsertIntoParent(node_id, level, separator, right_id,
+                          std::move(path));
+}
+
+Status BlinkTree::InsertIntoParent(uint64_t left_id, uint32_t left_level,
+                                   const EntryKey& separator,
+                                   uint64_t right_id,
+                                   std::vector<uint64_t> path) {
+  // Concurrent split propagations can leave the parent level or the pointer
+  // to `left_id` *not yet installed* (a sibling's own InsertIntoParent is
+  // still in flight, holding no latches we could wait on). The standard
+  // Lehman–Yao answer is to retry the parent location until the in-flight
+  // propagation lands; every retry path below is latch-free while sleeping,
+  // so the other writer always makes progress.
+  // The retry is bounded: when the store is a transaction buffer (TM mode),
+  // reads are cached, so a torn cross-key snapshot would never resolve by
+  // waiting — returning Unavailable instead lets the TM's conflict/restart
+  // machinery re-execute the transaction against fresher state. For direct
+  // concurrent use, an in-flight sibling propagation resolves in
+  // microseconds, far inside the bound.
+  constexpr int kMaxParentRetries = 1000;
+  bool first_attempt = true;
+  for (int attempt = 0; attempt < kMaxParentRetries; ++attempt) {
+    uint64_t parent_id = 0;
+    if (first_attempt && !path.empty()) {
+      parent_id = path.back();
+      path.pop_back();
+      first_attempt = false;
+    } else {
+      first_attempt = false;
+      // Left was the root when we descended (or the remembered path went
+      // stale). Either it still is the root (grow a new level) or the tree
+      // already grew: locate the parent level from the current root.
+      KeyedMutex::Guard meta_guard(latches_, meta_key_);
+      TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+      if (meta.root_id == left_id) {
+        BlinkNode new_root;
+        new_root.level = left_level + 1;
+        new_root.separators = {separator};
+        new_root.children = {left_id, right_id};
+        const uint64_t new_root_id = meta.next_id++;
+        TXREP_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
+        meta.root_id = new_root_id;
+        return WriteMeta(meta);
+      }
+      meta_guard.Release();
+      Result<uint64_t> located = DescendToLevel(separator, left_level + 1);
+      if (!located.ok()) {
+        if (located.status().code() == StatusCode::kInternal) {
+          // The parent level does not exist yet: the writer that split the
+          // old root has not published the new root. Back off and retry.
+          SleepForMicros(50);
+          continue;
+        }
+        return located.status();
+      }
+      parent_id = *located;
+    }
+
+    KeyedMutex::Guard guard(latches_, NodeKey(parent_id));
+    TXREP_ASSIGN_OR_RETURN(LatchedNode latched,
+                           LatchForKey(parent_id, separator, guard));
+    parent_id = latched.id;
+    BlinkNode parent = std::move(latched.node);
+
+    // Insert purely by *separator order* (the Lehman–Yao discipline) — never
+    // by left_id's position, and without requiring left_id's own pointer to
+    // be installed yet:
+    //  - if left_id was split again and the newer separator already landed,
+    //    position-based insertion would break separator sortedness;
+    //  - if left_id's pointer is still in flight (its creator's propagation
+    //    has not reached this level), waiting for it can form circular wait
+    //    chains between in-flight propagations. Key-ordered insertion is
+    //    already correct in that state: keys routed to the stale left
+    //    neighbour recover over its right-link, and the in-flight pointer
+    //    later lands at its own key position.
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(parent.separators.begin(), parent.separators.end(),
+                         separator) -
+        parent.separators.begin());
+    parent.separators.insert(parent.separators.begin() + pos, separator);
+    parent.children.insert(parent.children.begin() + pos + 1, right_id);
+
+    if (parent.separators.size() <= options_.max_node_keys) {
+      TXREP_RETURN_IF_ERROR(WriteNode(parent_id, parent));
+      return Status::OK();
+    }
+    return SplitAndPropagate(parent_id, std::move(parent), std::move(guard),
+                             std::move(path));
+  }
+  return Status::Unavailable(
+      "blink: parent of node " + std::to_string(left_id) +
+      " not reachable (in-flight split or stale buffered snapshot)");
+}
+
+Status BlinkTree::Remove(const rel::Value& value, const std::string& row_key) {
+  const EntryKey key{value, row_key};
+  TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, nullptr));
+
+  KeyedMutex::Guard guard(latches_, NodeKey(leaf_id));
+  TXREP_ASSIGN_OR_RETURN(LatchedNode latched, LatchForKey(leaf_id, key, guard));
+  BlinkNode leaf = std::move(latched.node);
+
+  auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), key);
+  if (it == leaf.entries.end() || !(*it == key)) {
+    return Status::NotFound("blink entry " + key.DebugString() +
+                            " not present");
+  }
+  leaf.entries.erase(it);
+  // B-link simplification: no merge/rebalance; empty leaves are legal and
+  // skipped by scans.
+  return WriteNode(latched.id, leaf);
+}
+
+Result<bool> BlinkTree::Contains(const rel::Value& value,
+                                 const std::string& row_key) {
+  const EntryKey key{value, row_key};
+  TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, nullptr));
+  // Lock-free: re-check move-right on the freshly read node.
+  uint64_t id = leaf_id;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    if (BeyondNode(node, key)) {
+      id = node.right_id;
+      continue;
+    }
+    return std::binary_search(node.entries.begin(), node.entries.end(), key);
+  }
+}
+
+Result<std::vector<EntryKey>> BlinkTree::RangeScan(const rel::Value& lo,
+                                                   const rel::Value& hi) {
+  return RangeScanBounds(lo, hi);
+}
+
+Result<std::vector<EntryKey>> BlinkTree::RangeScanBounds(
+    const std::optional<rel::Value>& lo, const std::optional<rel::Value>& hi) {
+  std::vector<EntryKey> out;
+  if (lo.has_value() && hi.has_value() && *hi < *lo) return out;
+
+  uint64_t id;
+  std::optional<EntryKey> lo_key;
+  if (lo.has_value()) {
+    lo_key = EntryKey{*lo, ""};
+    TXREP_ASSIGN_OR_RETURN(id, DescendToLeaf(*lo_key, nullptr));
+  } else {
+    // Leftmost leaf.
+    TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+    id = meta.root_id;
+    for (;;) {
+      TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+      if (node.is_leaf()) break;
+      id = node.children.front();
+    }
+  }
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    if (lo_key.has_value() && BeyondNode(node, *lo_key)) {
+      id = node.right_id;
+      continue;
+    }
+    auto it = lo_key.has_value()
+                  ? std::lower_bound(node.entries.begin(), node.entries.end(),
+                                     *lo_key)
+                  : node.entries.begin();
+    for (; it != node.entries.end(); ++it) {
+      if (hi.has_value() && *hi < it->value) return out;
+      out.push_back(*it);
+    }
+    if (node.right_id == 0) return out;
+    // Stop early if everything to the right is beyond hi.
+    if (hi.has_value() && node.has_high_key && *hi < node.high_key.value) {
+      return out;
+    }
+    id = node.right_id;
+  }
+}
+
+Result<std::vector<std::string>> BlinkTree::RangeScanRowKeys(
+    const rel::Value& lo, const rel::Value& hi) {
+  TXREP_ASSIGN_OR_RETURN(std::vector<EntryKey> entries, RangeScan(lo, hi));
+  std::vector<std::string> row_keys;
+  row_keys.reserve(entries.size());
+  for (EntryKey& e : entries) row_keys.push_back(std::move(e.row_key));
+  return row_keys;
+}
+
+Result<size_t> BlinkTree::EntryCount() {
+  // Walk the leaf level from the leftmost leaf.
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  uint64_t id = meta.root_id;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    if (node.is_leaf()) break;
+    id = node.children.front();
+  }
+  size_t count = 0;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+    count += node.entries.size();
+    if (node.right_id == 0) return count;
+    id = node.right_id;
+  }
+}
+
+Status BlinkTree::Validate() {
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  // Walk each level via the leftmost spine; validate every node on the level.
+  uint64_t level_head = meta.root_id;
+  std::set<uint64_t> seen;
+  int64_t expected_level = -1;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode head, ReadNode(level_head));
+    if (expected_level == -1) {
+      expected_level = head.level;
+    } else if (head.level != expected_level) {
+      return Status::Corruption("blink: level mismatch on leftmost spine");
+    }
+    uint64_t id = level_head;
+    for (;;) {
+      TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+      if (!seen.insert(id).second) {
+        return Status::Corruption("blink: node " + std::to_string(id) +
+                                  " reachable twice (right-link cycle?)");
+      }
+      if (node.level != head.level) {
+        return Status::Corruption("blink: right chain crosses levels at " +
+                                  std::to_string(id));
+      }
+      const auto& keys = node.is_leaf() ? node.entries : node.separators;
+      for (size_t i = 0; i + 1 < keys.size(); ++i) {
+        if (!(keys[i] < keys[i + 1])) {
+          return Status::Corruption("blink: unsorted keys in node " +
+                                    std::to_string(id));
+        }
+      }
+      if (!node.is_leaf() &&
+          node.children.size() != node.separators.size() + 1) {
+        return Status::Corruption("blink: bad fanout arity in node " +
+                                  std::to_string(id));
+      }
+      if (node.has_high_key) {
+        for (const EntryKey& k : keys) {
+          if (node.high_key < k) {
+            return Status::Corruption("blink: key above high key in node " +
+                                      std::to_string(id));
+          }
+        }
+        if (node.right_id == 0) {
+          return Status::Corruption(
+              "blink: high key set on rightmost node " + std::to_string(id));
+        }
+      } else if (node.right_id != 0) {
+        return Status::Corruption("blink: rightmost-looking node " +
+                                  std::to_string(id) + " has right sibling");
+      }
+      if (!node.is_leaf()) {
+        // Children must live exactly one level down.
+        for (uint64_t child : node.children) {
+          TXREP_ASSIGN_OR_RETURN(BlinkNode child_node, ReadNode(child));
+          if (child_node.level + 1 != node.level) {
+            return Status::Corruption("blink: child level gap under node " +
+                                      std::to_string(id));
+          }
+        }
+      }
+      if (node.right_id == 0) break;
+      id = node.right_id;
+    }
+    if (head.is_leaf()) return Status::OK();
+    level_head = head.children.front();
+    expected_level = static_cast<int64_t>(head.level) - 1;
+  }
+}
+
+}  // namespace txrep::blink

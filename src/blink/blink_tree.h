@@ -1,0 +1,152 @@
+#ifndef TXREP_BLINK_BLINK_TREE_H_
+#define TXREP_BLINK_BLINK_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blink/node.h"
+#include "common/keyed_mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/kv_store.h"
+#include "rel/value.h"
+
+namespace txrep::blink {
+
+/// Tuning knobs for a B-link tree.
+struct BlinkTreeOptions {
+  /// Maximum keys per node before a split; split yields two ~half-full nodes.
+  size_t max_node_keys = 32;
+};
+
+/// Lehman–Yao B-link tree mapped onto key-value objects (paper §4.2).
+///
+/// Every node is one KV object (`!b_TABLE_COLUMN_id`); the anchor (root
+/// pointer + node-id allocator) is one KV object (`!bmeta_TABLE_COLUMN`).
+/// Because all state lives in the store:
+///  - lookups and range scans take **no locks** — each node visit is one
+///    atomic GET, and the right-sibling links repair any concurrent split
+///    (the paper's property (2): "read-only transactions can access the
+///    B-link tree ... without being blocked by updates");
+///  - when the "store" is a transaction buffer, the node reads/writes become
+///    ordinary key conflicts handled by the TM (the paper's property (1)).
+///
+/// Writers take short per-node latches from an in-process KeyedMutex, at most
+/// one node latch at a time (plus, briefly, the meta latch, which is always
+/// acquired last — so the latch order is deadlock-free). Deletion follows the
+/// usual B-link simplification: underfull/empty nodes are allowed and skipped
+/// by scans, no merging.
+///
+/// Thread-compatible: concurrent Insert/Remove/scans on one BlinkTree over a
+/// shared concrete store are safe; two BlinkTree instances over the same
+/// store+table+column must share... nothing (latches are per-instance), so
+/// create one instance per shared store, or rely on the TM's conflict
+/// detection when going through transaction buffers.
+class BlinkTree {
+ public:
+  BlinkTree(kv::KvStore* store, std::string table, std::string column,
+            BlinkTreeOptions options = {});
+
+  BlinkTree(const BlinkTree&) = delete;
+  BlinkTree& operator=(const BlinkTree&) = delete;
+
+  /// Creates the meta + empty root objects if the tree does not exist yet.
+  /// Idempotent.
+  Status Init();
+
+  /// Inserts (value, row_key). AlreadyExists if the exact pair is present.
+  Status Insert(const rel::Value& value, const std::string& row_key);
+
+  /// Removes (value, row_key). NotFound if absent.
+  Status Remove(const rel::Value& value, const std::string& row_key);
+
+  /// True iff the exact (value, row_key) pair is present. Lock-free.
+  Result<bool> Contains(const rel::Value& value, const std::string& row_key);
+
+  /// All entries with lo <= value <= hi, in key order. Lock-free.
+  Result<std::vector<EntryKey>> RangeScan(const rel::Value& lo,
+                                          const rel::Value& hi);
+
+  /// Open-bounded variant: a missing `lo` means scan from the smallest entry,
+  /// a missing `hi` means scan to the largest. Lock-free.
+  Result<std::vector<EntryKey>> RangeScanBounds(
+      const std::optional<rel::Value>& lo, const std::optional<rel::Value>& hi);
+
+  /// Row keys of RangeScan (the common caller shape).
+  Result<std::vector<std::string>> RangeScanRowKeys(const rel::Value& lo,
+                                                    const rel::Value& hi);
+
+  /// Total live entries (walks the leaf level).
+  Result<size_t> EntryCount();
+
+  /// Checks structural invariants of every reachable node (sortedness,
+  /// fanout arity, level monotonicity, high-key bounds, right-chain
+  /// termination). For tests; OK when the tree is well-formed.
+  Status Validate();
+
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+
+ private:
+  // -- node/meta IO ---------------------------------------------------------
+  std::string NodeKey(uint64_t id) const;
+  Result<BlinkNode> ReadNode(uint64_t id);
+  Status WriteNode(uint64_t id, const BlinkNode& node);
+  Result<BlinkMeta> ReadMeta();
+  Status WriteMeta(const BlinkMeta& meta);
+
+  /// Allocates a fresh node id via read-modify-write on the meta object,
+  /// under the meta latch.
+  Result<uint64_t> AllocateNodeId();
+
+  // -- traversal ------------------------------------------------------------
+  /// Child pointer covering `key` within an internal node.
+  static size_t ChildIndexFor(const BlinkNode& node, const EntryKey& key);
+
+  /// Descends lock-free from the root to the leaf that should hold `key`,
+  /// recording the node id entered at each internal level (for split
+  /// back-propagation). Performs move-right at every level.
+  Result<uint64_t> DescendToLeaf(const EntryKey& key,
+                                 std::vector<uint64_t>* path);
+
+  /// Lock-free descent from the current root to the node at `target_level`
+  /// responsible for `key` (used when the recorded path is stale).
+  Result<uint64_t> DescendToLevel(const EntryKey& key, uint32_t target_level);
+
+  // -- write path -----------------------------------------------------------
+  /// Latches `node_id` (moving right as needed for `key`), then runs the
+  /// leaf-level mutation. Used by Insert and Remove.
+  struct LatchedNode {
+    uint64_t id = 0;
+    BlinkNode node;
+  };
+  Result<LatchedNode> LatchForKey(uint64_t node_id, const EntryKey& key,
+                                  KeyedMutex::Guard& guard);
+
+  /// Splits the latched, overflowing `node` (id `node_id`), writes both
+  /// halves, releases the latch, and propagates the separator upward.
+  /// `path` holds the remembered ancestors (deepest last).
+  Status SplitAndPropagate(uint64_t node_id, BlinkNode node,
+                           KeyedMutex::Guard guard,
+                           std::vector<uint64_t> path);
+
+  /// Inserts (separator -> right_id) next to `left_id` at level
+  /// `left_level + 1`, splitting upward as needed.
+  Status InsertIntoParent(uint64_t left_id, uint32_t left_level,
+                          const EntryKey& separator, uint64_t right_id,
+                          std::vector<uint64_t> path);
+
+  kv::KvStore* store_;  // Not owned.
+  const std::string table_;
+  const std::string column_;
+  const BlinkTreeOptions options_;
+  const std::string meta_key_;
+  KeyedMutex latches_;
+};
+
+}  // namespace txrep::blink
+
+#endif  // TXREP_BLINK_BLINK_TREE_H_

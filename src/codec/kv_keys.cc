@@ -1,0 +1,38 @@
+#include "codec/kv_keys.h"
+
+#include "codec/value_codec.h"
+
+namespace txrep::codec {
+
+std::string RowKey(std::string_view table, const rel::Value& pk) {
+  return KeyEscapeIdentifier(table) + "_" + KeyEncodeValue(pk);
+}
+
+std::string HashIndexKey(std::string_view table, std::string_view column,
+                         const rel::Value& value) {
+  return KeyEscapeIdentifier(table) + "_" + KeyEscapeIdentifier(column) + "_" +
+         KeyEncodeValue(value);
+}
+
+std::string BlinkNodeKey(std::string_view table, std::string_view column,
+                         uint64_t node_id) {
+  return "!b_" + KeyEscapeIdentifier(table) + "_" +
+         KeyEscapeIdentifier(column) + "_" + std::to_string(node_id);
+}
+
+std::string BlinkMetaKey(std::string_view table, std::string_view column) {
+  return "!bmeta_" + KeyEscapeIdentifier(table) + "_" +
+         KeyEscapeIdentifier(column);
+}
+
+std::string_view TableComponentOfKey(std::string_view key) {
+  if (key.rfind("!bmeta_", 0) == 0) {
+    key.remove_prefix(7);
+  } else if (key.rfind("!b_", 0) == 0) {
+    key.remove_prefix(3);
+  }
+  const size_t pos = key.find('_');
+  return pos == std::string_view::npos ? key : key.substr(0, pos);
+}
+
+}  // namespace txrep::codec

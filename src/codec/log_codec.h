@@ -1,0 +1,31 @@
+#ifndef TXREP_CODEC_LOG_CODEC_H_
+#define TXREP_CODEC_LOG_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/txlog.h"
+
+namespace txrep::codec {
+
+/// Wire format of one logged transaction, used inside replication messages
+/// shipped by the middleware (paper Appendix A). Layout:
+///   varint lsn, varint #ops,
+///   per op: 1 type byte, length-prefixed table, encoded pk, encoded row
+///           (row arity 0 for DELETE).
+void AppendLogTransaction(std::string& dst, const rel::LogTransaction& txn);
+
+/// Consumes one transaction from the front of `*src`.
+Result<rel::LogTransaction> GetLogTransaction(std::string_view* src);
+
+/// Serializes a whole batch (varint count + transactions).
+std::string EncodeLogBatch(const std::vector<rel::LogTransaction>& batch);
+
+/// Inverse of EncodeLogBatch; Corruption on malformed input.
+Result<std::vector<rel::LogTransaction>> DecodeLogBatch(std::string_view bytes);
+
+}  // namespace txrep::codec
+
+#endif  // TXREP_CODEC_LOG_CODEC_H_

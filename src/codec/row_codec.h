@@ -1,0 +1,30 @@
+#ifndef TXREP_CODEC_ROW_CODEC_H_
+#define TXREP_CODEC_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace txrep::codec {
+
+/// Serializes a full row (the KV object value of a tuple, paper Fig. 6) as
+/// varint arity + encoded values.
+std::string EncodeRow(const rel::Row& row);
+
+/// Inverse of EncodeRow; Corruption on malformed input.
+Result<rel::Row> DecodeRow(std::string_view bytes);
+
+/// Serializes a posting list — the value of a hash-index KV object
+/// (paper Fig. 7): the sorted set of row keys whose indexed attribute equals
+/// the index key's value. Sorted so replica state dumps are canonical.
+std::string EncodePostings(const std::vector<std::string>& row_keys);
+
+/// Inverse of EncodePostings; Corruption on malformed input.
+Result<std::vector<std::string>> DecodePostings(std::string_view bytes);
+
+}  // namespace txrep::codec
+
+#endif  // TXREP_CODEC_ROW_CODEC_H_

@@ -1,0 +1,119 @@
+#include "codec/value_codec.h"
+
+#include <cstdio>
+
+#include "codec/encoding.h"
+
+namespace txrep::codec {
+
+namespace {
+constexpr char kTagNull = 0;
+constexpr char kTagInt = 1;
+constexpr char kTagDouble = 2;
+constexpr char kTagString = 3;
+
+bool IsKeySafe(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9');
+}
+
+void PercentEscapeTo(std::string_view in, std::string& out) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  for (char c : in) {
+    if (IsKeySafe(c)) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xf]);
+    }
+  }
+}
+}  // namespace
+
+void AppendValue(std::string& dst, const rel::Value& value) {
+  switch (value.type()) {
+    case rel::ValueType::kNull:
+      dst.push_back(kTagNull);
+      return;
+    case rel::ValueType::kInt64:
+      dst.push_back(kTagInt);
+      AppendVarint64(dst, ZigZagEncode(value.AsInt()));
+      return;
+    case rel::ValueType::kDouble:
+      dst.push_back(kTagDouble);
+      AppendDouble(dst, value.AsDouble());
+      return;
+    case rel::ValueType::kString:
+      dst.push_back(kTagString);
+      AppendLengthPrefixed(dst, value.AsString());
+      return;
+  }
+}
+
+bool GetValue(std::string_view* src, rel::Value* value) {
+  if (src->empty()) return false;
+  const char tag = (*src)[0];
+  src->remove_prefix(1);
+  switch (tag) {
+    case kTagNull:
+      *value = rel::Value::Null();
+      return true;
+    case kTagInt: {
+      uint64_t raw = 0;
+      if (!GetVarint64(src, &raw)) return false;
+      *value = rel::Value::Int(ZigZagDecode(raw));
+      return true;
+    }
+    case kTagDouble: {
+      double d = 0;
+      if (!GetDouble(src, &d)) return false;
+      *value = rel::Value::Real(d);
+      return true;
+    }
+    case kTagString: {
+      std::string_view bytes;
+      if (!GetLengthPrefixed(src, &bytes)) return false;
+      *value = rel::Value::Str(std::string(bytes));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::string KeyEncodeValue(const rel::Value& value) {
+  switch (value.type()) {
+    case rel::ValueType::kNull:
+      return "%00";  // Cannot collide with any escaped string byte sequence
+                     // alone because strings escape per byte; NULL never
+                     // reaches PK positions anyway.
+    case rel::ValueType::kInt64: {
+      // '-' is key-safe by our charset and unambiguous in decimal position.
+      return std::to_string(value.AsInt());
+    }
+    case rel::ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
+      // Replace '+' (exponent sign) which is not key-safe: escape pass.
+      std::string out;
+      PercentEscapeTo(buf, out);
+      return out;
+    }
+    case rel::ValueType::kString: {
+      std::string out;
+      PercentEscapeTo(value.AsString(), out);
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string KeyEscapeIdentifier(std::string_view name) {
+  std::string out;
+  PercentEscapeTo(name, out);
+  return out;
+}
+
+}  // namespace txrep::codec

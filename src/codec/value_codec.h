@@ -1,0 +1,38 @@
+#ifndef TXREP_CODEC_VALUE_CODEC_H_
+#define TXREP_CODEC_VALUE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace txrep::codec {
+
+/// Appends the binary form of a value: 1 type byte + payload
+/// (zigzag-varint for INT, fixed64 bits for DOUBLE, length-prefixed bytes
+/// for STRING, nothing for NULL).
+void AppendValue(std::string& dst, const rel::Value& value);
+
+/// Consumes one encoded value from the front of `*src`.
+bool GetValue(std::string_view* src, rel::Value* value);
+
+/// Canonical *textual* encoding used inside key-value keys (row keys, index
+/// keys). Properties:
+///  - injective for values of the same type (the per-context requirement:
+///    a PK column or an indexed column has a single type);
+///  - emits only characters in [A-Za-z0-9.%-]; in particular never '_',
+///    which the key layout uses as its component separator (paper §4.1:
+///    "ITEM_1", "ITEM_COST_100").
+/// INTs render as decimal, DOUBLEs as shortest round-trip decimal, STRINGs
+/// percent-escape every byte outside [A-Za-z0-9].
+std::string KeyEncodeValue(const rel::Value& value);
+
+/// Percent-escapes an identifier (table/column name) the same way STRINGs
+/// are escaped, so names containing '_' (e.g. ORDER_LINE) cannot be confused
+/// with key separators.
+std::string KeyEscapeIdentifier(std::string_view name);
+
+}  // namespace txrep::codec
+
+#endif  // TXREP_CODEC_VALUE_CODEC_H_

@@ -1,0 +1,44 @@
+#ifndef TXREP_COMMON_CLOCK_H_
+#define TXREP_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace txrep {
+
+/// Microseconds since an arbitrary (steady) epoch. Suitable for measuring
+/// durations, not for calendar time.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps the calling thread for `micros` microseconds (no-op for values <= 0).
+inline void SleepForMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+/// Wall-clock stopwatch for benchmarks and lag probes.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = NowMicros(); }
+
+  /// Elapsed time since construction or last Reset().
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_CLOCK_H_

@@ -1,0 +1,140 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace txrep {
+
+namespace {
+// 2 sub-buckets per power of two up to 2^62: bucket index for value v is
+// 2*floor(log2(v)) + (second half of the octave ? 1 : 0).
+constexpr size_t kNumBuckets = 128;
+
+int64_t BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  const size_t exp = bucket / 2;
+  const int64_t base = int64_t{1} << exp;
+  return (bucket % 2 == 0) ? base : base + base / 2;
+}
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<int64_t>::max()),
+      max_(0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int exp = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int64_t base = int64_t{1} << exp;
+  size_t bucket = static_cast<size_t>(exp) * 2;
+  if (value >= base + base / 2) ++bucket;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Consistent order not needed: callers never merge concurrently in a cycle.
+  std::vector<int64_t> other_buckets;
+  int64_t other_count, other_sum, other_min, other_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
+  count_ += other_count;
+  sum_ += other_sum;
+  min_ = std::min(min_, other_min);
+  max_ = std::max(max_, other_max);
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+int64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+int64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+double Histogram::PercentileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const int64_t lo = BucketLowerBound(i);
+      const int64_t hi =
+          (i + 1 < kNumBuckets) ? BucketLowerBound(i + 1) : max_ + 1;
+      // Linear interpolation within the bucket.
+      const int64_t in_bucket = buckets_[i];
+      const double frac =
+          in_bucket == 0
+              ? 0.0
+              : (target - static_cast<double>(cumulative - in_bucket)) /
+                    static_cast<double>(in_bucket);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      return std::min(v, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(q);
+}
+
+std::string Histogram::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[160];
+  const double mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%lld",
+                static_cast<long long>(count_), mean, PercentileLocked(0.5),
+                PercentileLocked(0.95), PercentileLocked(0.99),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace txrep

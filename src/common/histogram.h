@@ -1,0 +1,54 @@
+#ifndef TXREP_COMMON_HISTOGRAM_H_
+#define TXREP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace txrep {
+
+/// Thread-safe latency/size histogram with power-of-two-ish buckets.
+///
+/// Used by the KV substrate and the transaction manager to report per-op and
+/// per-transaction latency distributions in benchmarks.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (values < 0 are clamped to 0).
+  void Record(int64_t value);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  /// Clears all samples.
+  void Reset();
+
+  int64_t count() const;
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+
+  /// Approximate quantile in [0, 1] via linear interpolation inside the
+  /// containing bucket. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// One-line summary: "count=... mean=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+  double PercentileLocked(double q) const;
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_;
+  int64_t sum_;
+  int64_t min_;
+  int64_t max_;
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,98 @@
+#ifndef TXREP_COMMON_KEYED_MUTEX_H_
+#define TXREP_COMMON_KEYED_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace txrep {
+
+/// Exact per-key mutual exclusion (a small lock manager).
+///
+/// Unlike a sharded mutex array, two *distinct* keys never contend, so a
+/// holder of key A may acquire key B without self-deadlock risk. Used by the
+/// B-link tree for its per-node write latches (node key -> latch).
+///
+/// Not reentrant: locking a key twice from one thread deadlocks.
+class KeyedMutex {
+ public:
+  KeyedMutex() = default;
+
+  KeyedMutex(const KeyedMutex&) = delete;
+  KeyedMutex& operator=(const KeyedMutex&) = delete;
+
+  /// Blocks until the key's lock is acquired.
+  void Lock(const std::string& key);
+
+  /// Releases a previously acquired key.
+  void Unlock(const std::string& key);
+
+  /// RAII guard.
+  class Guard {
+   public:
+    Guard(KeyedMutex& mu, std::string key) : mu_(&mu), key_(std::move(key)) {
+      mu_->Lock(key_);
+    }
+    ~Guard() { Release(); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    /// Movable: the moved-from guard no longer owns the lock.
+    Guard(Guard&& other) noexcept
+        : mu_(other.mu_), key_(std::move(other.key_)) {
+      other.mu_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mu_ = other.mu_;
+        key_ = std::move(other.key_);
+        other.mu_ = nullptr;
+      }
+      return *this;
+    }
+
+    /// Atomically switches this guard to `new_key` (unlock old, lock new) —
+    /// the hand-over-hand "move right" step.
+    void MoveTo(std::string new_key) {
+      mu_->Unlock(key_);
+      key_ = std::move(new_key);
+      mu_->Lock(key_);
+    }
+
+    /// Early release; the destructor becomes a no-op.
+    void Release() {
+      if (mu_ != nullptr) {
+        mu_->Unlock(key_);
+        mu_ = nullptr;
+      }
+    }
+
+    const std::string& key() const { return key_; }
+
+   private:
+    KeyedMutex* mu_;
+    std::string key_;
+  };
+
+  /// Number of live lock entries (for tests / leak detection).
+  size_t ActiveKeys() const;
+
+ private:
+  struct Entry {
+    bool held = false;
+    uint32_t refs = 0;  // Holders + waiters; entry erased at 0.
+  };
+
+  mutable std::mutex master_mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_KEYED_MUTEX_H_

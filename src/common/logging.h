@@ -1,0 +1,48 @@
+#ifndef TXREP_COMMON_LOGGING_H_
+#define TXREP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace txrep {
+
+/// Severity levels for the minimal logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits on destruction. Use via the TXREP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// TXREP_LOG(kInfo) << "replayed " << n << " transactions";
+#define TXREP_LOG(severity)                                     \
+  ::txrep::internal_logging::LogMessage(                        \
+      ::txrep::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_LOGGING_H_

@@ -1,0 +1,35 @@
+#ifndef TXREP_COMMON_LOGICAL_CLOCK_H_
+#define TXREP_COMMON_LOGICAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace txrep {
+
+/// Monotonic logical timestamp source.
+///
+/// Algorithm 1 (line 16) and Algorithm 2 (line 6) of the paper compare
+/// transaction start / completion times. Wall clocks can tie or go backwards
+/// across threads; a process-wide atomic counter gives a strict total order,
+/// which makes the "T_i started before T_j completed" tests exact and the
+/// correctness proofs (and tests) deterministic.
+class LogicalClock {
+ public:
+  LogicalClock() : next_(1) {}
+
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  /// Returns a timestamp strictly greater than every previously returned one.
+  uint64_t Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Last issued timestamp + 1 (i.e., the next value Tick() would return).
+  uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_;
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_LOGICAL_CLOCK_H_

@@ -1,0 +1,86 @@
+#ifndef TXREP_COMMON_RESULT_H_
+#define TXREP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace txrep {
+
+/// Either a value of type `T` or a non-OK `Status` — the library's substitute
+/// for throwing constructors/factories (exceptions are banned, DESIGN.md §6).
+///
+/// Usage:
+///   Result<Row> row = table.Lookup(pk);
+///   if (!row.ok()) return row.status();
+///   Use(row.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return my_row;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: `return Status::NotFound(...);`
+  /// Must not be OK (an OK status carries no value).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is present, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), early-returning its status on error,
+/// otherwise assigning the value into `lhs`:
+///   TXREP_ASSIGN_OR_RETURN(Row row, table.Lookup(pk));
+#define TXREP_ASSIGN_OR_RETURN(lhs, expr)                         \
+  TXREP_ASSIGN_OR_RETURN_IMPL_(                                   \
+      TXREP_RESULT_CONCAT_(_txrep_result_, __LINE__), lhs, expr)
+
+#define TXREP_RESULT_CONCAT_INNER_(a, b) a##b
+#define TXREP_RESULT_CONCAT_(a, b) TXREP_RESULT_CONCAT_INNER_(a, b)
+#define TXREP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_RESULT_H_

@@ -1,0 +1,113 @@
+#ifndef TXREP_COMMON_STATUS_H_
+#define TXREP_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace txrep {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kAborted = 4,
+  kUnavailable = 5,
+  kCorruption = 6,
+  kTimedOut = 7,
+  kResourceExhausted = 8,
+  kFailedPrecondition = 9,
+  kInternal = 10,
+};
+
+/// Returns a stable human-readable name ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier used instead of exceptions (see DESIGN.md §6).
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. `Status` is cheap to copy for the OK case and small enough to
+/// return by value everywhere.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NotFound: key ITEM_7 missing" or "Ok".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Propagates a non-OK status to the caller. Standard early-return idiom:
+///   TXREP_RETURN_IF_ERROR(store->Put(key, value));
+#define TXREP_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::txrep::Status _txrep_status = (expr);         \
+    if (!_txrep_status.ok()) return _txrep_status;  \
+  } while (0)
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_STATUS_H_

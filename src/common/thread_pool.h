@@ -1,0 +1,72 @@
+#ifndef TXREP_COMMON_THREAD_POOL_H_
+#define TXREP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace txrep {
+
+/// Fixed-size worker pool.
+///
+/// The transaction manager owns two of these — the paper's "top" pool
+/// (transaction execution / translation) and "bottom" pool (applying committed
+/// buffers to the key-value store, Fig. 8). Degree of parallelism is the main
+/// tuning knob of the paper's Fig. 15/16 experiments.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers immediately. `name` is used in thread
+  /// naming for debugging.
+  ThreadPool(size_t num_threads, std::string name);
+
+  /// Joins all workers; pending tasks are still executed (drain-then-stop).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// Enqueues a task ahead of everything already queued (LIFO at the front).
+  /// Use for work the rest of the system is blocked on — e.g. the TM's
+  /// restarted transactions, which carry the expected sequence number the
+  /// controller is stalled at.
+  bool SubmitUrgent(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by running
+  /// tasks) has finished and the queue is empty.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t QueueDepth() const { return queue_.size(); }
+
+ private:
+  bool SubmitInternal(std::function<void()> task, bool urgent);
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::string name_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t outstanding_ = 0;  // queued + running tasks, guarded by idle_mu_.
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,19 @@
+#include "core/class_signature.h"
+
+#include <functional>
+
+#include "codec/kv_keys.h"
+
+namespace txrep::core {
+
+void ClassSignature::AddKey(std::string_view key) {
+  const std::string_view table = codec::TableComponentOfKey(key);
+  const size_t h = std::hash<std::string_view>{}(table);
+  bits_ |= uint64_t{1} << (h % 64);
+}
+
+void ClassSignature::AddKeys(const std::unordered_set<std::string>& keys) {
+  for (const std::string& key : keys) AddKey(key);
+}
+
+}  // namespace txrep::core

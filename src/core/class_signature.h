@@ -1,0 +1,49 @@
+#ifndef TXREP_CORE_CLASS_SIGNATURE_H_
+#define TXREP_CORE_CLASS_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+namespace txrep::core {
+
+/// Transaction-class conflict pre-filter (the optimization the paper's §7
+/// sketches as future work: "by classifying transactions into transaction
+/// classes our algorithm would only evaluate conflicts for potentially
+/// conflicting transactions", in the spirit of SDD-1's conflict classes).
+///
+/// A transaction's class is the set of *tables* its key sets touch, encoded
+/// as a 64-bit Bloom signature (one hashed bit per table). Soundness: every
+/// replica key — row object, hash-index object, B-link node — embeds its
+/// table, so transactions whose table sets are disjoint cannot share a key
+/// and therefore cannot conflict. Signature intersection is a one-cycle
+/// upper bound on conflict possibility: zero overlap -> provably no
+/// conflict, skip the exact key-set intersection; nonzero overlap (which
+/// includes Bloom false positives) -> fall through to the exact check.
+class ClassSignature {
+ public:
+  /// The empty class (conflicts with nothing).
+  ClassSignature() : bits_(0) {}
+
+  /// Adds the table owning `key` (any replica key shape).
+  void AddKey(std::string_view key);
+
+  /// Adds every key of a read/write set.
+  void AddKeys(const std::unordered_set<std::string>& keys);
+
+  /// True iff the two classes *may* share a table (must run the exact
+  /// conflict check). False is definitive: no conflict possible.
+  bool MayOverlap(const ClassSignature& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  uint64_t bits() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace txrep::core
+
+#endif  // TXREP_CORE_CLASS_SIGNATURE_H_

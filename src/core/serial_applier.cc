@@ -1,0 +1,18 @@
+#include "core/serial_applier.h"
+
+namespace txrep::core {
+
+Status SerialApplier::Apply(const rel::LogTransaction& txn) {
+  TXREP_RETURN_IF_ERROR(translator_->ApplyTransaction(store_, txn));
+  ++applied_;
+  return Status::OK();
+}
+
+Status SerialApplier::ApplyBatch(const std::vector<rel::LogTransaction>& batch) {
+  for (const rel::LogTransaction& txn : batch) {
+    TXREP_RETURN_IF_ERROR(Apply(txn));
+  }
+  return Status::OK();
+}
+
+}  // namespace txrep::core

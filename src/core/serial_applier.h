@@ -1,0 +1,43 @@
+#ifndef TXREP_CORE_SERIAL_APPLIER_H_
+#define TXREP_CORE_SERIAL_APPLIER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "kv/kv_store.h"
+#include "qt/query_translator.h"
+#include "rel/txlog.h"
+
+namespace txrep::core {
+
+/// The baseline of the paper's evaluation (§6.3, "most of the existing
+/// replication approaches use single threaded serial execution of updates in
+/// the replica"): transactions replay strictly one after another, each
+/// applied directly to the key-value store. Trivially respects the
+/// execution-defined order; exploits no concurrency.
+class SerialApplier {
+ public:
+  /// `store` and `translator` must outlive the applier.
+  SerialApplier(kv::KvStore* store, const qt::QueryTranslator* translator)
+      : store_(store), translator_(translator) {}
+
+  SerialApplier(const SerialApplier&) = delete;
+  SerialApplier& operator=(const SerialApplier&) = delete;
+
+  /// Applies one logged transaction; returns on first error.
+  Status Apply(const rel::LogTransaction& txn);
+
+  /// Applies a batch in order.
+  Status ApplyBatch(const std::vector<rel::LogTransaction>& batch);
+
+  int64_t applied() const { return applied_; }
+
+ private:
+  kv::KvStore* store_;                     // Not owned.
+  const qt::QueryTranslator* translator_;  // Not owned.
+  int64_t applied_ = 0;
+};
+
+}  // namespace txrep::core
+
+#endif  // TXREP_CORE_SERIAL_APPLIER_H_

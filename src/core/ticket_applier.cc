@@ -1,0 +1,114 @@
+#include "core/ticket_applier.h"
+
+#include <algorithm>
+
+namespace txrep::core {
+
+void TicketApplier::LockManager::Register(
+    uint64_t ticket, const std::vector<std::string>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& table : tables) {
+    queues_[table].insert(ticket);
+  }
+}
+
+bool TicketApplier::LockManager::GrantedLocked(
+    uint64_t ticket, const std::vector<std::string>& tables) const {
+  for (const std::string& table : tables) {
+    auto it = queues_.find(table);
+    if (it == queues_.end() || it->second.empty()) continue;  // Defensive.
+    if (*it->second.begin() != ticket) return false;
+  }
+  return true;
+}
+
+bool TicketApplier::LockManager::AcquireAll(
+    uint64_t ticket, const std::vector<std::string>& tables) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (GrantedLocked(ticket, tables)) return false;
+  cv_.wait(lock, [&] { return GrantedLocked(ticket, tables); });
+  return true;
+}
+
+void TicketApplier::LockManager::Release(
+    uint64_t ticket, const std::vector<std::string>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& table : tables) {
+    auto it = queues_.find(table);
+    if (it == queues_.end()) continue;
+    it->second.erase(ticket);
+    if (it->second.empty()) queues_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+TicketApplier::TicketApplier(kv::KvStore* store,
+                             const qt::QueryTranslator* translator,
+                             TicketApplierOptions options)
+    : store_(store), translator_(translator) {
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options.threads)), "ticket-applier");
+}
+
+TicketApplier::~TicketApplier() {
+  (void)WaitIdle();
+  pool_->Shutdown();
+}
+
+void TicketApplier::Submit(rel::LogTransaction txn) {
+  auto tables = std::make_shared<std::vector<std::string>>();
+  for (const rel::LogOp& op : txn.ops) {
+    if (std::find(tables->begin(), tables->end(), op.table) == tables->end()) {
+      tables->push_back(op.table);
+    }
+  }
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    ++in_flight_;
+    ++stats_.submitted;
+  }
+  // Interest must be declared in ticket order — here, under submission
+  // order — so later tickets always queue behind this one.
+  locks_.Register(ticket, *tables);
+  auto payload = std::make_shared<rel::LogTransaction>(std::move(txn));
+  pool_->Submit([this, ticket, payload, tables] {
+    ApplyTask(ticket, payload, tables);
+  });
+}
+
+void TicketApplier::ApplyTask(uint64_t ticket,
+                              std::shared_ptr<rel::LogTransaction> txn,
+                              std::shared_ptr<std::vector<std::string>> tables) {
+  const bool waited = locks_.AcquireAll(ticket, *tables);
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = health_;
+  }
+  if (status.ok()) {
+    status = translator_->ApplyTransaction(store_, *txn);
+  }
+  locks_.Release(ticket, *tables);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (waited) ++stats_.lock_waits;
+  if (!status.ok() && health_.ok()) {
+    health_ = status;
+  }
+  if (status.ok()) ++stats_.completed;
+  if (--in_flight_ == 0) idle_cv_.notify_all();
+}
+
+Status TicketApplier::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  return health_;
+}
+
+TicketApplierStats TicketApplier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace txrep::core

@@ -1,0 +1,36 @@
+#include "core/transaction.h"
+
+namespace txrep::core {
+
+const char* TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "ACTIVE";
+    case TxnState::kCommitted:
+      return "COMMITTED";
+    case TxnState::kCompleted:
+      return "COMPLETED";
+  }
+  return "?";
+}
+
+Status Transaction::Wait() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] { return done_; });
+  return final_status_;
+}
+
+Status Transaction::final_status() const {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  return final_status_;
+}
+
+void Transaction::Finish(Status status) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  if (done_) return;
+  done_ = true;
+  final_status_ = std::move(status);
+  done_cv_.notify_all();
+}
+
+}  // namespace txrep::core

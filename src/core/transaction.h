@@ -1,0 +1,97 @@
+#ifndef TXREP_CORE_TRANSACTION_H_
+#define TXREP_CORE_TRANSACTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/class_signature.h"
+#include "core/txn_buffer.h"
+#include "kv/kv_store.h"
+
+namespace txrep::core {
+
+/// Transaction lifecycle states (paper §5).
+enum class TxnState : uint8_t {
+  kActive = 0,     // Executing (or awaiting commit evaluation / restart).
+  kCommitted = 1,  // Passed conflict evaluation; buffer not yet applied.
+  kCompleted = 2,  // Buffer applied to the key-value store.
+};
+
+/// Returns "ACTIVE", "COMMITTED" or "COMPLETED".
+const char* TxnStateName(TxnState state);
+
+/// One replica-side transaction flowing through the Transaction Manager:
+/// either an update transaction shipped from the database log or an
+/// interleaved read-only transaction. Shared between the thread pools and the
+/// concurrency controller via shared_ptr; all mutable fields below are
+/// protected by the TransactionManager's controller mutex unless noted.
+class Transaction {
+ public:
+  /// The transaction body executes against a buffered KvStore view; for
+  /// update transactions it is the Query Translator replaying the logged
+  /// ops, for read-only transactions an arbitrary caller-supplied read
+  /// program.
+  using Body = std::function<Status(kv::KvStore*)>;
+
+  Transaction(uint64_t seq, bool read_only, Body body)
+      : seq_(seq), read_only_(read_only), body_(std::move(body)) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t seq() const { return seq_; }
+  bool read_only() const { return read_only_; }
+  const Body& body() const { return body_; }
+
+  /// Blocks until the transaction reaches COMPLETED (or the TM fails); then
+  /// returns its final status.
+  Status Wait();
+
+  /// Final status after Wait() returned.
+  Status final_status() const;
+
+  /// Number of restarts this transaction suffered (stable after Wait()).
+  int restarts() const { return restart_count; }
+
+  // --- fields below are owned by the TransactionManager ----------------
+
+  /// Signals completion to Wait()ers. Called exactly once.
+  void Finish(Status status);
+
+  TxnState state = TxnState::kActive;
+  /// Logical stamp at (re-)execution start. Atomic because the executing
+  /// thread stamps it lock-free while the GC pass reads it under the
+  /// controller mutex.
+  std::atomic<uint64_t> start_time{0};
+  uint64_t commit_time = 0;    // Logical stamp at commit.
+  uint64_t complete_time = 0;  // Logical stamp after apply.
+  Status execution_status;     // Outcome of the last body run.
+  std::unique_ptr<TxnBuffer> buffer;  // Rebuilt on every (re-)execution.
+  /// Table-class Bloom signature of the last execution's key sets (paper §7
+  /// transaction-classes optimization; see ClassSignature).
+  ClassSignature class_signature;
+  /// Transactions parked on this one: restarted when it completes
+  /// (Algorithm 1 line 11 / 25).
+  std::vector<std::shared_ptr<Transaction>> restart_list;
+  int restart_count = 0;
+
+ private:
+  const uint64_t seq_;
+  const bool read_only_;
+  const Body body_;
+
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  Status final_status_;
+};
+
+}  // namespace txrep::core
+
+#endif  // TXREP_CORE_TRANSACTION_H_

@@ -1,0 +1,326 @@
+#include "core/transaction_manager.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace txrep::core {
+
+TransactionManager::TransactionManager(kv::KvStore* store,
+                                       const qt::QueryTranslator* translator,
+                                       TmOptions options)
+    : store_(store), translator_(translator), options_(options) {
+  top_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.top_threads), "tm-top");
+  bottom_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.bottom_threads), "tm-bottom");
+  gc_pool_ = std::make_unique<ThreadPool>(1, "tm-gc");
+  controller_ = std::thread([this] { ControllerLoop(); });
+}
+
+TransactionManager::~TransactionManager() {
+  (void)WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  controller_.join();
+  top_pool_->Shutdown();
+  bottom_pool_->Shutdown();
+  gc_pool_->Shutdown();
+}
+
+std::shared_ptr<Transaction> TransactionManager::SubmitUpdate(
+    rel::LogTransaction log_txn) {
+  auto payload = std::make_shared<rel::LogTransaction>(std::move(log_txn));
+  return SubmitInternal(
+      /*read_only=*/false, [this, payload](kv::KvStore* view) {
+        return translator_->ApplyTransaction(view, *payload);
+      });
+}
+
+std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
+    Transaction::Body body) {
+  return SubmitInternal(/*read_only=*/true, std::move(body));
+}
+
+TransactionManager::TxnPtr TransactionManager::SubmitInternal(
+    bool read_only, Transaction::Body body) {
+  TxnPtr txn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn = std::make_shared<Transaction>(next_seq_++, read_only,
+                                        std::move(body));
+    if (!health_.ok()) {
+      txn->Finish(health_);
+      return txn;
+    }
+    active_[txn->seq()] = txn;
+    ++stats_.submitted;
+    if (read_only) ++stats_.read_only_submitted;
+  }
+  top_pool_->Submit([this, txn] { ExecuteTask(txn); });
+  return txn;
+}
+
+void TransactionManager::ExecuteTask(const TxnPtr& txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!health_.ok()) {
+      txn->Finish(health_);
+      return;
+    }
+  }
+  // Stamp the start strictly before the first read (Algorithm 1 relies on
+  // start/complete ordering to decide which completed writers might have
+  // been missed).
+  txn->start_time = clock_.Tick();
+  auto buffer =
+      std::make_unique<TxnBuffer>(store_, options_.buffer_read_cache);
+  Status status = txn->body()(buffer.get());
+  // Derive the transaction-class signature from the key sets (paper §7).
+  ClassSignature signature;
+  signature.AddKeys(buffer->read_set());
+  signature.AddKeys(buffer->write_set());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn->buffer = std::move(buffer);
+    txn->execution_status = std::move(status);
+    txn->class_signature = signature;
+    commit_req_pq_.push(txn);
+    cv_.notify_all();
+  }
+}
+
+void TransactionManager::ControllerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stopping_ || !health_.ok() ||
+             (!commit_req_pq_.empty() &&
+              commit_req_pq_.top()->seq() == expected_seq_);
+    });
+    if (stopping_ || !health_.ok()) return;
+    TxnPtr txn = commit_req_pq_.top();
+    commit_req_pq_.pop();
+    EvaluateLocked(txn);
+  }
+}
+
+bool TransactionManager::Conflicts(const Transaction& a, const Transaction& b) {
+  const auto& a_reads = a.buffer->read_set();
+  const auto& a_writes = a.buffer->write_set();
+  const auto& b_reads = b.buffer->read_set();
+  const auto& b_writes = b.buffer->write_set();
+
+  auto intersects = [](const std::unordered_set<std::string>& x,
+                       const std::unordered_set<std::string>& y) {
+    const auto& small = x.size() <= y.size() ? x : y;
+    const auto& large = x.size() <= y.size() ? y : x;
+    for (const std::string& key : small) {
+      if (large.contains(key)) return true;
+    }
+    return false;
+  };
+  // R/W, W/R and W/W conflicts (paper §5).
+  return intersects(a_reads, b_writes) || intersects(a_writes, b_writes) ||
+         intersects(a_writes, b_reads);
+}
+
+bool TransactionManager::ConflictsFiltered(const Transaction& a,
+                                           const Transaction& b) {
+  if (options_.enable_class_filter &&
+      !a.class_signature.MayOverlap(b.class_signature)) {
+    ++stats_.class_filter_skips;
+    return false;  // Disjoint table classes: provably conflict-free.
+  }
+  ++stats_.conflict_checks;
+  return Conflicts(a, b);
+}
+
+void TransactionManager::RestartLocked(const TxnPtr& txn) {
+  ++stats_.restarts;
+  ++txn->restart_count;
+  txn->state = TxnState::kActive;
+  top_pool_->SubmitUrgent([this, txn] { ExecuteTask(txn); });
+}
+
+void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
+  // Lines 9-14: conflicts with committed (not yet applied) predecessors.
+  // Their writes are invisible, so this transaction may have read stale
+  // data; park it until the first conflicting predecessor completes. The
+  // expected sequence stays put — the controller stalls, as in the paper.
+  for (auto& [seq, tj] : committed_) {
+    if (ConflictsFiltered(*txn, *tj)) {
+      ++stats_.conflicts;
+      ++stats_.restarts;
+      ++txn->restart_count;
+      tj->restart_list.push_back(txn);
+      return;
+    }
+  }
+  // Lines 15-22: conflicts with completed predecessors that completed after
+  // this transaction started (concurrent ones). Restart immediately.
+  for (auto& [seq, tj] : completed_) {
+    if (txn->start_time < tj->complete_time && ConflictsFiltered(*txn, *tj)) {
+      ++stats_.conflicts;
+      RestartLocked(txn);
+      return;
+    }
+  }
+  // No conflict explains an execution failure, so it is either a transient
+  // store error (retry by restarting) or a real one.
+  if (!txn->execution_status.ok()) {
+    if (txn->execution_status.IsUnavailable() &&
+        txn->restarts() < options_.max_execution_retries) {
+      RestartLocked(txn);
+      return;
+    }
+    if (txn->read_only()) {
+      // A failed read-only transaction (bad query, planner error, ...) has
+      // no writes and therefore cannot leave the replica inconsistent: fail
+      // just this transaction, keep its sequence slot as a no-op, and let
+      // the pipeline continue.
+      txn->state = TxnState::kCompleted;
+      txn->complete_time = clock_.Tick();
+      expected_seq_ = txn->seq() + 1;
+      active_.erase(txn->seq());
+      ++stats_.completed;
+      txn->Finish(txn->execution_status);
+      cv_.notify_all();
+      return;
+    }
+    // A failed *update* transaction is fatal: applying successors without it
+    // would violate the execution-defined order.
+    FailLocked(Status(txn->execution_status.code(),
+                      "transaction " + std::to_string(txn->seq()) +
+                          " failed: " + txn->execution_status.message()));
+    return;
+  }
+  // Lines 23-25: commit.
+  txn->state = TxnState::kCommitted;
+  txn->commit_time = clock_.Tick();
+  committed_[txn->seq()] = txn;
+  expected_seq_ = txn->seq() + 1;
+  ++stats_.committed;
+  bottom_pool_->Submit([this, txn] { ApplyTask(txn); });
+}
+
+void TransactionManager::ApplyTask(const TxnPtr& txn) {
+  // Publish the buffered writes, tolerating transient store failures
+  // (re-running ApplyTo is idempotent).
+  Status status = Status::OK();
+  if (txn->buffer->WriteCount() > 0) {
+    for (int attempt = 0;; ++attempt) {
+      status = txn->buffer->ApplyTo(store_);
+      if (status.ok() || !status.IsUnavailable() ||
+          attempt >= options_.max_apply_retries) {
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.apply_retries;
+      }
+      SleepForMicros(options_.apply_retry_backoff_micros);
+    }
+  }
+
+  std::vector<TxnPtr> to_restart;
+  bool run_gc = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok()) {
+      FailLocked(Status(status.code(), "apply of transaction " +
+                                           std::to_string(txn->seq()) +
+                                           " failed: " + status.message()));
+      return;
+    }
+    txn->complete_time = clock_.Tick();
+    txn->state = TxnState::kCompleted;
+    committed_.erase(txn->seq());
+    completed_[txn->seq()] = txn;
+    active_.erase(txn->seq());
+    ++stats_.completed;
+    to_restart = std::move(txn->restart_list);
+    txn->restart_list.clear();
+    for (const TxnPtr& parked : to_restart) {
+      parked->state = TxnState::kActive;
+      top_pool_->SubmitUrgent([this, parked] { ExecuteTask(parked); });
+    }
+    if (completed_.size() > options_.completed_gc_threshold && !gc_scheduled_) {
+      gc_scheduled_ = true;
+      run_gc = true;
+    }
+    cv_.notify_all();
+  }
+  txn->Finish(Status::OK());
+  if (run_gc) {
+    gc_pool_->Submit([this] { GcTask(); });
+  }
+}
+
+void TransactionManager::GcTask() {
+  // Algorithm 2: remove every completed transaction no active transaction
+  // could still conflict-test against (no active T_j started before its
+  // completion).
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gc_runs;
+  for (auto it = completed_.begin(); it != completed_.end();) {
+    bool needed = false;
+    for (const auto& [seq, active] : active_) {
+      // start_time == 0 means "not yet started". Such a transaction will be
+      // stamped from the monotonic clock *after* this entry's completion
+      // stamp, so its line-16 test `start < complete` can never hold against
+      // this entry — it does not need it.
+      const uint64_t start = active->start_time;
+      if (start != 0 && start < it->second->complete_time) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) {
+      ++it;
+    } else {
+      it = completed_.erase(it);
+      ++stats_.gc_removed;
+    }
+  }
+  gc_scheduled_ = false;
+}
+
+void TransactionManager::FailLocked(const Status& status) {
+  health_ = status;
+  TXREP_LOG(kError) << "transaction manager failed: " << status.ToString();
+  // Finish everything still in flight so waiters unblock.
+  for (auto& [seq, txn] : active_) txn->Finish(status);
+  active_.clear();
+  cv_.notify_all();
+}
+
+Status TransactionManager::WaitIdle() {
+  // Idle means: every submitted transaction completed (active empty) and the
+  // pools drained. The controller can only stall while a committed
+  // transaction is applying, so waiting on active_ is sufficient.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return active_.empty() || !health_.ok(); });
+  return health_;
+}
+
+Status TransactionManager::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+TmStats TransactionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t TransactionManager::CompletedListSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_.size();
+}
+
+}  // namespace txrep::core

@@ -1,0 +1,206 @@
+#ifndef TXREP_CORE_TRANSACTION_MANAGER_H_
+#define TXREP_CORE_TRANSACTION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/logical_clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/transaction.h"
+#include "kv/kv_store.h"
+#include "qt/query_translator.h"
+#include "rel/txlog.h"
+
+namespace txrep::core {
+
+/// Tuning knobs of the Transaction Manager.
+struct TmOptions {
+  /// Threads converting transactions into buffered KV operations (the "top
+  /// threadpool" of paper Fig. 8). Paper default: 20.
+  int top_threads = 20;
+
+  /// Threads applying committed buffers to the key-value store (the "bottom
+  /// threadpool"). Paper default: 20.
+  int bottom_threads = 20;
+
+  /// CompletedTransactionList size that triggers the asynchronous removal
+  /// pass (Algorithm 2's threshold).
+  size_t completed_gc_threshold = 256;
+
+  /// Transient store failures during apply are retried this many times.
+  int max_apply_retries = 16;
+
+  /// Backoff between apply retries, microseconds.
+  int64_t apply_retry_backoff_micros = 200;
+
+  /// Transient store failures during *execution* restart the transaction at
+  /// most this many times before the TM declares failure.
+  int max_execution_retries = 64;
+
+  /// Enables the buffer's read-through cache (ablation knob).
+  bool buffer_read_cache = true;
+
+  /// Enables the transaction-classes conflict pre-filter (paper §7's
+  /// proposed optimization): transactions whose table-class signatures are
+  /// disjoint skip the exact key-set intersection entirely.
+  bool enable_class_filter = true;
+};
+
+/// Counters exposed by the TM (snapshot via TransactionManager::stats()).
+struct TmStats {
+  int64_t submitted = 0;
+  int64_t read_only_submitted = 0;
+  int64_t committed = 0;
+  int64_t completed = 0;
+  /// Conflict events detected by Algorithm 1 == transaction restarts
+  /// scheduled because of a conflict (the paper reports these as one number).
+  int64_t conflicts = 0;
+  /// All restarts (conflicts + transient execution errors).
+  int64_t restarts = 0;
+  int64_t apply_retries = 0;
+  int64_t gc_runs = 0;
+  int64_t gc_removed = 0;
+  /// Pairwise conflict evaluations performed / skipped by the class filter.
+  int64_t conflict_checks = 0;
+  int64_t class_filter_skips = 0;
+};
+
+/// The Transaction Manager (paper §5, Fig. 8/9): applies the shipped update
+/// transactions to the key-value store **concurrently** while guaranteeing a
+/// result identical to serial execution in the execution-defined order, and
+/// lets read-only transactions interleave at chosen sequence positions.
+///
+/// Pipeline:
+///   Submit*() assigns the next sequence number and hands the transaction to
+///   the *top pool*, which executes its body against a fresh TxnBuffer
+///   (reads hit the store and are recorded; writes stay buffered). The
+///   finished transaction enters the CommitReqPQ. A dedicated *controller
+///   thread* evaluates transactions strictly in sequence order
+///   (Algorithm 1):
+///     - conflict with a COMMITTED predecessor  -> park on its restart list
+///       (the controller stalls: the expected sequence does not advance);
+///     - conflict with a COMPLETED predecessor that completed after this
+///       transaction started -> restart immediately;
+///     - otherwise commit: advance the expected sequence and hand the buffer
+///       to the *bottom pool*, which applies it to the store, marks the
+///       transaction COMPLETED and restarts everything parked on it.
+///   An asynchronous pass (Algorithm 2) trims the completed list once it
+///   exceeds `completed_gc_threshold`.
+///
+/// Conflict predicate (paper §5): two transactions conflict iff their
+/// read/write key sets intersect as R/W, W/R or W/W — key sets include every
+/// row object, hash-index object and B-link node the Query Translator
+/// touched, so index maintenance conflicts are detected exactly like row
+/// conflicts.
+///
+/// Thread-safe. Destruction waits for in-flight transactions.
+class TransactionManager {
+ public:
+  /// `store` is the replica; `translator` turns logged ops into KV programs.
+  /// Both must outlive the TM.
+  TransactionManager(kv::KvStore* store, const qt::QueryTranslator* translator,
+                     TmOptions options = {});
+
+  ~TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Enqueues one logged update transaction at the next sequence position.
+  /// Call in transaction-log order (the subscriber agent does).
+  std::shared_ptr<Transaction> SubmitUpdate(rel::LogTransaction log_txn);
+
+  /// Enqueues a read-only transaction at the next sequence position. `body`
+  /// runs against a buffered view whose reads are conflict-checked, so the
+  /// reads observe exactly the replica state at this sequence point.
+  std::shared_ptr<Transaction> SubmitReadOnly(Transaction::Body body);
+
+  /// Blocks until every submitted transaction completed. Returns the sticky
+  /// failure status if the TM failed.
+  Status WaitIdle();
+
+  /// Sticky failure status (OK while healthy).
+  Status health() const;
+
+  TmStats stats() const;
+  const TmOptions& options() const { return options_; }
+
+  /// Current size of the completed list (for GC tests/benches).
+  size_t CompletedListSize() const;
+
+ private:
+  using TxnPtr = std::shared_ptr<Transaction>;
+
+  struct SeqGreater {
+    bool operator()(const TxnPtr& a, const TxnPtr& b) const {
+      return a->seq() > b->seq();
+    }
+  };
+
+  TxnPtr SubmitInternal(bool read_only, Transaction::Body body);
+
+  /// Top-pool task: (re-)executes the body into a fresh buffer, then
+  /// enqueues the commit request.
+  void ExecuteTask(const TxnPtr& txn);
+
+  /// Controller thread: Algorithm 1 main loop.
+  void ControllerLoop();
+
+  /// Evaluates the head transaction. Caller holds mu_.
+  void EvaluateLocked(const TxnPtr& txn);
+
+  /// True iff the two transactions' key sets conflict (R/W, W/R or W/W).
+  static bool Conflicts(const Transaction& a, const Transaction& b);
+
+  /// Conflicts() behind the class-signature pre-filter; updates filter
+  /// statistics. Caller holds mu_.
+  bool ConflictsFiltered(const Transaction& a, const Transaction& b);
+
+  /// Schedules a fresh execution of `txn`. Caller holds mu_.
+  void RestartLocked(const TxnPtr& txn);
+
+  /// Bottom-pool task: applies the buffer, completes the transaction,
+  /// restarts its parked dependents.
+  void ApplyTask(const TxnPtr& txn);
+
+  /// Algorithm 2: asynchronous removal from the completed list.
+  void GcTask();
+
+  /// Marks the TM failed and wakes everyone. Caller holds mu_.
+  void FailLocked(const Status& status);
+
+  kv::KvStore* store_;                      // Not owned.
+  const qt::QueryTranslator* translator_;   // Not owned.
+  const TmOptions options_;
+  LogicalClock clock_;
+
+  std::unique_ptr<ThreadPool> top_pool_;
+  std::unique_ptr<ThreadPool> bottom_pool_;
+  std::unique_ptr<ThreadPool> gc_pool_;  // Single thread: async Algorithm 2.
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<TxnPtr, std::vector<TxnPtr>, SeqGreater> commit_req_pq_;
+  uint64_t next_seq_ = 1;      // Next sequence number to hand out.
+  uint64_t expected_seq_ = 1;  // Next sequence the controller will evaluate.
+  std::map<uint64_t, TxnPtr> committed_;  // COMMITTED, not yet applied.
+  std::map<uint64_t, TxnPtr> completed_;  // COMPLETED (until GC).
+  std::map<uint64_t, TxnPtr> active_;     // Submitted, not yet completed.
+  bool gc_scheduled_ = false;
+  bool stopping_ = false;
+  Status health_ = Status::OK();
+  TmStats stats_;
+
+  std::thread controller_;
+};
+
+}  // namespace txrep::core
+
+#endif  // TXREP_CORE_TRANSACTION_MANAGER_H_

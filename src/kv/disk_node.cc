@@ -1,0 +1,223 @@
+#include "kv/disk_node.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "codec/encoding.h"
+
+namespace txrep::kv {
+
+namespace {
+
+// Record layout: varint body_len, body, fixed64 FNV-1a(body).
+// Body: 1 type byte (0 = put, 1 = delete), length-prefixed key,
+// length-prefixed value (puts only).
+constexpr char kTypePut = 0;
+constexpr char kTypeDelete = 1;
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DiskKvNode::DiskKvNode(std::string path, DiskKvNodeOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+DiskKvNode::~DiskKvNode() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+Result<std::unique_ptr<DiskKvNode>> DiskKvNode::Open(
+    std::string path, DiskKvNodeOptions options) {
+  std::unique_ptr<DiskKvNode> node(
+      new DiskKvNode(std::move(path), options));
+  TXREP_RETURN_IF_ERROR(node->ReplayLog());
+  // Reopen for appending.
+  node->log_ = std::fopen(node->path_.c_str(), "ab");
+  if (node->log_ == nullptr) {
+    return Status::Unavailable("cannot open log \"" + node->path_ +
+                               "\": " + std::strerror(errno));
+  }
+  return node;
+}
+
+Status DiskKvNode::ReplayLog() {
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) return Status::OK();  // Fresh node.
+
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(in);
+
+  std::string_view rest = contents;
+  size_t committed_bytes = 0;
+  while (!rest.empty()) {
+    std::string_view cursor = rest;
+    std::string_view body;
+    uint64_t checksum = 0;
+    if (!codec::GetLengthPrefixed(&cursor, &body) ||
+        !codec::GetFixed64(&cursor, &checksum) ||
+        Fnv1a(body) != checksum) {
+      // Torn tail (crash mid-append): keep what replayed, truncate the rest.
+      break;
+    }
+    // Decode the body.
+    if (body.empty()) break;
+    const char type = body[0];
+    body.remove_prefix(1);
+    std::string_view key;
+    if (!codec::GetLengthPrefixed(&body, &key)) break;
+    if (type == kTypePut) {
+      std::string_view value;
+      if (!codec::GetLengthPrefixed(&body, &value)) break;
+      map_[std::string(key)] = std::string(value);
+    } else if (type == kTypeDelete) {
+      map_.erase(std::string(key));
+    } else {
+      break;  // Unknown record type: treat as corruption tail.
+    }
+    ++replayed_records_;
+    committed_bytes = contents.size() - cursor.size();
+    rest = cursor;
+  }
+
+  recovered_truncated_bytes_ = contents.size() - committed_bytes;
+  if (recovered_truncated_bytes_ > 0) {
+    if (::truncate(path_.c_str(),
+                   static_cast<off_t>(committed_bytes)) != 0) {
+      return Status::Unavailable("cannot truncate torn tail of \"" + path_ +
+                                 "\": " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status DiskKvNode::AppendRecord(bool tombstone, const Key& key,
+                                const Value& value) {
+  std::string body;
+  body.push_back(tombstone ? kTypeDelete : kTypePut);
+  codec::AppendLengthPrefixed(body, key);
+  if (!tombstone) codec::AppendLengthPrefixed(body, value);
+
+  std::string record;
+  codec::AppendLengthPrefixed(record, body);
+  codec::AppendFixed64(record, Fnv1a(body));
+
+  if (std::fwrite(record.data(), 1, record.size(), log_) != record.size()) {
+    return Status::Unavailable("log append failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (options_.sync_every_write) {
+    std::fflush(log_);
+    ::fsync(::fileno(log_));
+  }
+  return Status::OK();
+}
+
+Status DiskKvNode::Put(const Key& key, const Value& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/false, key, value));
+  map_[key] = value;
+  return Status::OK();
+}
+
+Result<Value> DiskKvNode::Get(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status::NotFound("key \"" + key + "\" not present");
+  }
+  return it->second;
+}
+
+Status DiskKvNode::Delete(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.erase(key) > 0) {
+    TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/true, key, {}));
+  }
+  return Status::OK();
+}
+
+bool DiskKvNode::Contains(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.contains(key);
+}
+
+size_t DiskKvNode::Size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+StoreDump DiskKvNode::Dump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreDump dump;
+  dump.reserve(map_.size());
+  for (const auto& [k, v] : map_) dump.emplace_back(k, v);
+  std::sort(dump.begin(), dump.end());
+  return dump;
+}
+
+Status DiskKvNode::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(log_) != 0 || ::fsync(::fileno(log_)) != 0) {
+    return Status::Unavailable("fsync failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status DiskKvNode::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string tmp_path = path_ + ".compact";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Unavailable("cannot create \"" + tmp_path +
+                               "\": " + std::strerror(errno));
+  }
+  for (const auto& [key, value] : map_) {
+    std::string body;
+    body.push_back(kTypePut);
+    codec::AppendLengthPrefixed(body, key);
+    codec::AppendLengthPrefixed(body, value);
+    std::string record;
+    codec::AppendLengthPrefixed(record, body);
+    codec::AppendFixed64(record, Fnv1a(body));
+    if (std::fwrite(record.data(), 1, record.size(), out) != record.size()) {
+      std::fclose(out);
+      std::remove(tmp_path.c_str());
+      return Status::Unavailable("compaction write failed");
+    }
+  }
+  std::fflush(out);
+  ::fsync(::fileno(out));
+  std::fclose(out);
+
+  std::fclose(log_);
+  log_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::Unavailable("compaction rename failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  log_ = std::fopen(path_.c_str(), "ab");
+  if (log_ == nullptr) {
+    return Status::Unavailable("cannot reopen compacted log");
+  }
+  return Status::OK();
+}
+
+}  // namespace txrep::kv

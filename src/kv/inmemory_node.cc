@@ -1,0 +1,119 @@
+#include "kv/inmemory_node.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/clock.h"
+
+namespace txrep::kv {
+
+InMemoryKvNode::InMemoryKvNode(KvNodeOptions options)
+    : options_(options), failure_rng_(options.failure_seed) {}
+
+InMemoryKvNode::Stripe& InMemoryKvNode::StripeFor(const Key& key) {
+  return stripes_[std::hash<std::string>{}(key) % kNumStripes];
+}
+
+Status InMemoryKvNode::SimulateService() {
+  const int64_t start = NowMicros();
+  if (options_.failure_rate > 0.0) {
+    bool fail;
+    {
+      std::lock_guard<std::mutex> lock(failure_mu_);
+      fail = failure_rng_.Bernoulli(options_.failure_rate);
+    }
+    if (fail) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.injected_failures;
+      return Status::Unavailable("injected node failure");
+    }
+  }
+  if (options_.service_slots > 0) {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [&] { return in_service_ < options_.service_slots; });
+    ++in_service_;
+    lock.unlock();
+    SleepForMicros(options_.service_time_micros);
+    lock.lock();
+    --in_service_;
+    gate_cv_.notify_one();
+  } else {
+    SleepForMicros(options_.service_time_micros);
+  }
+  op_latency_.Record(NowMicros() - start);
+  return Status::OK();
+}
+
+Status InMemoryKvNode::Put(const Key& key, const Value& value) {
+  TXREP_RETURN_IF_ERROR(SimulateService());
+  Stripe& stripe = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    stripe.map[key] = value;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.puts;
+  return Status::OK();
+}
+
+Result<Value> InMemoryKvNode::Get(const Key& key) {
+  TXREP_RETURN_IF_ERROR(SimulateService());
+  Stripe& stripe = StripeFor(key);
+  std::optional<Value> found;
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) found = it->second;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.gets;
+  if (!found.has_value()) {
+    ++stats_.get_misses;
+    return Status::NotFound("key \"" + key + "\" not present");
+  }
+  return *std::move(found);
+}
+
+Status InMemoryKvNode::Delete(const Key& key) {
+  TXREP_RETURN_IF_ERROR(SimulateService());
+  Stripe& stripe = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    stripe.map.erase(key);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+bool InMemoryKvNode::Contains(const Key& key) {
+  Stripe& stripe = StripeFor(key);
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  return stripe.map.contains(key);
+}
+
+size_t InMemoryKvNode::Size() {
+  size_t total = 0;
+  for (Stripe& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    total += stripe.map.size();
+  }
+  return total;
+}
+
+StoreDump InMemoryKvNode::Dump() {
+  StoreDump dump;
+  for (Stripe& stripe : stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    for (const auto& [k, v] : stripe.map) dump.emplace_back(k, v);
+  }
+  std::sort(dump.begin(), dump.end());
+  return dump;
+}
+
+KvStoreStats InMemoryKvNode::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace txrep::kv

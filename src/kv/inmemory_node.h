@@ -1,0 +1,104 @@
+#ifndef TXREP_KV_INMEMORY_NODE_H_
+#define TXREP_KV_INMEMORY_NODE_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "kv/kv_store.h"
+
+namespace txrep::kv {
+
+/// Tuning and simulation knobs for a single key-value node.
+struct KvNodeOptions {
+  /// Simulated per-operation service time in microseconds. Models the network
+  /// round-trip + server work that dominates KV op cost in the paper's
+  /// Voldemort deployment. 0 disables simulation (pure in-memory speed).
+  int64_t service_time_micros = 0;
+
+  /// How many operations the node can service concurrently (its "server
+  /// threads"). Ops beyond this queue at the node. 0 means unlimited.
+  /// Small values make per-node capacity the bottleneck, which is what gives
+  /// the paper's Fig. 17 cluster-size effect.
+  int service_slots = 0;
+
+  /// Probability in [0,1] that an operation fails with Unavailable before
+  /// touching state. For failure-injection tests only.
+  double failure_rate = 0.0;
+
+  /// Seed for the failure-injection RNG.
+  uint64_t failure_seed = 42;
+};
+
+/// Single in-memory key-value node.
+///
+/// - Striped hash maps with shared_mutex stripes give per-key atomic
+///   read-write consistency (the paper's §5 assumption).
+/// - An optional service-slot gate + sleep simulates node capacity and
+///   round-trip latency so that the concurrency experiments behave like the
+///   paper's networked cluster even on one host.
+class InMemoryKvNode : public KvStore {
+ public:
+  explicit InMemoryKvNode(KvNodeOptions options = {});
+
+  InMemoryKvNode(const InMemoryKvNode&) = delete;
+  InMemoryKvNode& operator=(const InMemoryKvNode&) = delete;
+
+  Status Put(const Key& key, const Value& value) override;
+  Result<Value> Get(const Key& key) override;
+  Status Delete(const Key& key) override;
+  bool Contains(const Key& key) override;
+  size_t Size() override;
+  StoreDump Dump() override;
+
+  /// Cumulative operation counters (snapshot).
+  KvStoreStats stats() const;
+
+  /// Latency distribution of completed operations (includes queueing at the
+  /// service gate and the simulated service time).
+  const Histogram& op_latency() const { return op_latency_; }
+
+  const KvNodeOptions& options() const { return options_; }
+
+ private:
+  static constexpr size_t kNumStripes = 16;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Value> map;
+  };
+
+  /// Occupies a service slot for the simulated service time; returns an
+  /// injected failure if the failure dice say so.
+  Status SimulateService();
+
+  Stripe& StripeFor(const Key& key);
+
+  const KvNodeOptions options_;
+  std::array<Stripe, kNumStripes> stripes_;
+
+  // Service gate (counting semaphore with runtime capacity).
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  int in_service_ = 0;
+
+  // Failure injection.
+  std::mutex failure_mu_;
+  Random failure_rng_;
+
+  // Counters.
+  mutable std::mutex stats_mu_;
+  KvStoreStats stats_;
+  Histogram op_latency_;
+};
+
+}  // namespace txrep::kv
+
+#endif  // TXREP_KV_INMEMORY_NODE_H_

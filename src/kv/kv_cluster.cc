@@ -1,0 +1,60 @@
+#include "kv/kv_cluster.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace txrep::kv {
+
+KvCluster::KvCluster(KvClusterOptions options) {
+  const int n = std::max(1, options.num_nodes);
+  nodes_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    KvNodeOptions node_options = options.node;
+    // Give each node an independent failure stream.
+    node_options.failure_seed = options.node.failure_seed + i * 0x9e3779b9ULL;
+    nodes_.push_back(std::make_unique<InMemoryKvNode>(node_options));
+  }
+}
+
+int KvCluster::NodeIndexFor(const Key& key) const {
+  return static_cast<int>(std::hash<std::string>{}(key) % nodes_.size());
+}
+
+InMemoryKvNode& KvCluster::NodeFor(const Key& key) {
+  return *nodes_[NodeIndexFor(key)];
+}
+
+Status KvCluster::Put(const Key& key, const Value& value) {
+  return NodeFor(key).Put(key, value);
+}
+
+Result<Value> KvCluster::Get(const Key& key) { return NodeFor(key).Get(key); }
+
+Status KvCluster::Delete(const Key& key) { return NodeFor(key).Delete(key); }
+
+bool KvCluster::Contains(const Key& key) { return NodeFor(key).Contains(key); }
+
+size_t KvCluster::Size() {
+  size_t total = 0;
+  for (auto& node : nodes_) total += node->Size();
+  return total;
+}
+
+StoreDump KvCluster::Dump() {
+  StoreDump dump;
+  for (auto& node : nodes_) {
+    StoreDump part = node->Dump();
+    dump.insert(dump.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  std::sort(dump.begin(), dump.end());
+  return dump;
+}
+
+KvStoreStats KvCluster::TotalStats() const {
+  KvStoreStats total;
+  for (const auto& node : nodes_) total += node->stats();
+  return total;
+}
+
+}  // namespace txrep::kv

@@ -1,0 +1,62 @@
+#ifndef TXREP_KV_KV_CLUSTER_H_
+#define TXREP_KV_KV_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/inmemory_node.h"
+#include "kv/kv_store.h"
+
+namespace txrep::kv {
+
+/// Configuration of a partitioned key-value cluster (the replica side's
+/// Voldemort stand-in).
+struct KvClusterOptions {
+  /// Number of nodes; keys are hash-partitioned across them.
+  int num_nodes = 5;
+
+  /// Per-node simulation knobs (see KvNodeOptions).
+  KvNodeOptions node;
+};
+
+/// Hash-partitioned cluster of InMemoryKvNodes implementing the same KvStore
+/// interface. Each key lives on exactly one node; the cluster adds no
+/// replication of its own (the paper's store is the replica).
+///
+/// Per-node service slots mean aggregate capacity grows with the node count,
+/// reproducing the paper's Fig. 17 behaviour.
+class KvCluster : public KvStore {
+ public:
+  explicit KvCluster(KvClusterOptions options = {});
+
+  KvCluster(const KvCluster&) = delete;
+  KvCluster& operator=(const KvCluster&) = delete;
+
+  Status Put(const Key& key, const Value& value) override;
+  Result<Value> Get(const Key& key) override;
+  Status Delete(const Key& key) override;
+  bool Contains(const Key& key) override;
+  size_t Size() override;
+  StoreDump Dump() override;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Index of the node owning `key` (stable hash partitioning).
+  int NodeIndexFor(const Key& key) const;
+
+  /// Direct access to a node, e.g. for per-node stats in benchmarks.
+  InMemoryKvNode& node(int index) { return *nodes_[index]; }
+
+  /// Sum of per-node counters.
+  KvStoreStats TotalStats() const;
+
+ private:
+  InMemoryKvNode& NodeFor(const Key& key);
+
+  std::vector<std::unique_ptr<InMemoryKvNode>> nodes_;
+};
+
+}  // namespace txrep::kv
+
+#endif  // TXREP_KV_KV_CLUSTER_H_

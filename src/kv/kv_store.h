@@ -1,0 +1,65 @@
+#ifndef TXREP_KV_KV_STORE_H_
+#define TXREP_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/kv_types.h"
+
+namespace txrep::kv {
+
+/// Abstract key-value store with the standard PUT / GET / DELETE interface
+/// (paper §3: "as long as the store provides standard PUT/GET/DELETE
+/// interface ... it can be used in our system").
+///
+/// Contract required by the Transaction Manager (paper §5): *consistent
+/// read-write* — each single-key operation is atomic and a completed write is
+/// immediately visible to subsequent reads of that key.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Inserts or overwrites `key`.
+  virtual Status Put(const Key& key, const Value& value) = 0;
+
+  /// Returns the value, or NotFound.
+  virtual Result<Value> Get(const Key& key) = 0;
+
+  /// Removes `key`. Deleting an absent key is a no-op success (replication
+  /// replay must be idempotent with respect to redundant deletes).
+  virtual Status Delete(const Key& key) = 0;
+
+  /// True iff the key currently exists (no NotFound bookkeeping).
+  virtual bool Contains(const Key& key) = 0;
+
+  /// Number of live keys.
+  virtual size_t Size() = 0;
+
+  /// Full snapshot sorted by key, for state-equivalence checks and examples.
+  /// Not meant to be cheap; do not call on hot paths.
+  virtual StoreDump Dump() = 0;
+};
+
+/// Aggregate operation counters exposed by the concrete stores.
+struct KvStoreStats {
+  int64_t gets = 0;
+  int64_t puts = 0;
+  int64_t deletes = 0;
+  int64_t get_misses = 0;
+  int64_t injected_failures = 0;
+
+  KvStoreStats& operator+=(const KvStoreStats& other) {
+    gets += other.gets;
+    puts += other.puts;
+    deletes += other.deletes;
+    get_misses += other.get_misses;
+    injected_failures += other.injected_failures;
+    return *this;
+  }
+};
+
+}  // namespace txrep::kv
+
+#endif  // TXREP_KV_KV_STORE_H_

@@ -1,0 +1,32 @@
+#include "kv/kv_types.h"
+
+#include <cstdio>
+
+namespace txrep::kv {
+
+const char* KvOpTypeName(KvOpType type) {
+  switch (type) {
+    case KvOpType::kGet:
+      return "GET";
+    case KvOpType::kPut:
+      return "PUT";
+    case KvOpType::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+std::string KvOp::DebugString() const {
+  char buf[96];
+  if (type == KvOpType::kPut) {
+    std::snprintf(buf, sizeof(buf), "(%zu bytes)", value.size());
+    return std::string(KvOpTypeName(type)) + "(\"" + key + "\", " + buf + ")";
+  }
+  return std::string(KvOpTypeName(type)) + "(\"" + key + "\")";
+}
+
+bool operator==(const KvOp& a, const KvOp& b) {
+  return a.type == b.type && a.key == b.key && a.value == b.value;
+}
+
+}  // namespace txrep::kv

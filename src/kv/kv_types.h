@@ -1,0 +1,50 @@
+#ifndef TXREP_KV_KV_TYPES_H_
+#define TXREP_KV_KV_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace txrep::kv {
+
+/// Keys and values are opaque byte strings, as in memcached/Voldemort.
+using Key = std::string;
+using Value = std::string;
+
+/// The three native operations of the key-value store API (paper §3).
+enum class KvOpType : uint8_t { kGet = 0, kPut = 1, kDelete = 2 };
+
+/// Returns "GET", "PUT" or "DELETE".
+const char* KvOpTypeName(KvOpType type);
+
+/// One translated key-value operation. The Query Translator turns each logged
+/// SQL write statement into an ordered program of KvOps; the Transaction
+/// Manager executes those programs through per-transaction buffers.
+struct KvOp {
+  KvOpType type = KvOpType::kGet;
+  Key key;
+  Value value;  // Only meaningful for kPut.
+
+  static KvOp Get(Key key) { return KvOp{KvOpType::kGet, std::move(key), {}}; }
+  static KvOp Put(Key key, Value value) {
+    return KvOp{KvOpType::kPut, std::move(key), std::move(value)};
+  }
+  static KvOp Delete(Key key) {
+    return KvOp{KvOpType::kDelete, std::move(key), {}};
+  }
+
+  /// e.g. `PUT("ITEM_1", 24 bytes)`.
+  std::string DebugString() const;
+};
+
+bool operator==(const KvOp& a, const KvOp& b);
+
+/// A full, sorted snapshot of a store — the unit of state comparison in the
+/// equivalence tests (concurrent replay must dump byte-identically to serial
+/// replay).
+using StoreDump = std::vector<std::pair<Key, Value>>;
+
+}  // namespace txrep::kv
+
+#endif  // TXREP_KV_KV_TYPES_H_

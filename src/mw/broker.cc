@@ -1,0 +1,94 @@
+#include "mw/broker.h"
+
+#include "common/clock.h"
+
+namespace txrep::mw {
+
+Broker::Broker(BrokerOptions options) : options_(options) {
+  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+}
+
+Broker::~Broker() { Shutdown(); }
+
+Broker::Subscription* Broker::Subscribe(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto subscription =
+      std::make_unique<Subscription>(options_.subscriber_queue_capacity);
+  Subscription* raw = subscription.get();
+  topics_[topic].push_back(std::move(subscription));
+  return raw;
+}
+
+Status Broker::Publish(std::string topic, std::string payload) {
+  Message message;
+  message.topic = std::move(topic);
+  message.payload = std::move(payload);
+  message.publish_micros = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::Unavailable("broker is shut down");
+    }
+    ++published_;
+  }
+  if (!pending_.Push(std::move(message))) {
+    return Status::Unavailable("broker is shut down");
+  }
+  return Status::OK();
+}
+
+void Broker::DeliveryLoop() {
+  for (;;) {
+    std::optional<Message> message = pending_.Pop();
+    if (!message.has_value()) return;  // Shut down and drained.
+    SleepForMicros(options_.delivery_delay_micros);
+    std::vector<Subscription*> targets;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = topics_.find(message->topic);
+      if (it != topics_.end()) {
+        for (const auto& sub : it->second) targets.push_back(sub.get());
+      }
+    }
+    // Enqueue outside mu_ so bounded-subscriber backpressure cannot block
+    // Subscribe()/Publish().
+    for (Subscription* sub : targets) {
+      sub->queue_.Push(*message);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++delivered_;
+    flush_cv_.notify_all();
+  }
+}
+
+void Broker::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  flush_cv_.wait(lock, [&] { return delivered_ == published_ || shutdown_; });
+}
+
+void Broker::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    flush_cv_.notify_all();
+  }
+  pending_.Close();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  // Close subscriber queues so blocked Pop()s return end-of-stream.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [topic, subs] : topics_) {
+    for (auto& sub : subs) sub->queue_.Close();
+  }
+}
+
+int64_t Broker::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+int64_t Broker::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+}  // namespace txrep::mw

@@ -1,0 +1,102 @@
+#ifndef TXREP_MW_BROKER_H_
+#define TXREP_MW_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+
+namespace txrep::mw {
+
+/// One message on the wire: an opaque payload published to a topic.
+struct Message {
+  std::string topic;
+  std::string payload;
+  int64_t publish_micros = 0;  // Stamped by the broker at Publish().
+};
+
+/// Broker simulation knobs.
+struct BrokerOptions {
+  /// Simulated broker-side delivery latency per message, microseconds.
+  int64_t delivery_delay_micros = 0;
+
+  /// Bound on each subscriber queue (0 = unbounded). When a queue is full
+  /// the delivery thread blocks — backpressure, like a real broker.
+  size_t subscriber_queue_capacity = 0;
+};
+
+/// In-process publish/subscribe message broker — the ActiveMQ stand-in of
+/// the paper's replication middleware (Appendix A). Topics, totally ordered
+/// per-topic delivery, decoupled publishers/subscribers, optional simulated
+/// delivery latency. A single delivery thread preserves publish order.
+class Broker {
+ public:
+  explicit Broker(BrokerOptions options = {});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Handle owned by a subscriber; Pop() blocks until a message or shutdown.
+  class Subscription {
+   public:
+    explicit Subscription(size_t queue_capacity) : queue_(queue_capacity) {}
+
+    /// Next message, or nullopt once the broker shut down and the queue
+    /// drained.
+    std::optional<Message> Pop() { return queue_.Pop(); }
+
+    /// Non-blocking variant.
+    std::optional<Message> TryPop() { return queue_.TryPop(); }
+
+    size_t Pending() const { return queue_.size(); }
+
+   private:
+    friend class Broker;
+    BlockingQueue<Message> queue_;
+  };
+
+  /// Registers a new subscriber on `topic`. The returned object lives until
+  /// the broker is destroyed.
+  Subscription* Subscribe(const std::string& topic);
+
+  /// Publishes a message; delivery is asynchronous (FIFO per topic across
+  /// all topics, single delivery thread). Fails after Shutdown().
+  Status Publish(std::string topic, std::string payload);
+
+  /// Blocks until every published message has been delivered.
+  void Flush();
+
+  /// Stops delivery; idempotent. Subscribers drain their queues then see
+  /// end-of-stream.
+  void Shutdown();
+
+  int64_t published() const;
+  int64_t delivered() const;
+
+ private:
+  void DeliveryLoop();
+
+  const BrokerOptions options_;
+
+  BlockingQueue<Message> pending_;
+  std::thread delivery_thread_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<Subscription>>> topics_;
+  int64_t published_ = 0;
+  int64_t delivered_ = 0;
+  bool shutdown_ = false;
+
+  std::condition_variable flush_cv_;
+};
+
+}  // namespace txrep::mw
+
+#endif  // TXREP_MW_BROKER_H_

@@ -1,0 +1,57 @@
+#include "mw/publisher.h"
+
+#include "codec/log_codec.h"
+#include "common/clock.h"
+
+namespace txrep::mw {
+
+PublisherAgent::PublisherAgent(rel::TxLog* log, Broker* broker,
+                               PublisherOptions options)
+    : log_(log), broker_(broker), options_(std::move(options)) {
+  shipped_lsn_.store(options_.start_after_lsn, std::memory_order_relaxed);
+}
+
+PublisherAgent::~PublisherAgent() { Stop(); }
+
+Result<size_t> PublisherAgent::PumpOnce() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  const uint64_t from = shipped_lsn_.load(std::memory_order_relaxed);
+  std::vector<rel::LogTransaction> batch =
+      log_->ReadSince(from, options_.batch_size);
+  if (batch.empty()) return size_t{0};
+  const uint64_t last = batch.back().lsn;
+  TXREP_RETURN_IF_ERROR(
+      broker_->Publish(options_.topic, codec::EncodeLogBatch(batch)));
+  shipped_lsn_.store(last, std::memory_order_relaxed);
+  messages_published_.fetch_add(1, std::memory_order_relaxed);
+  return batch.size();
+}
+
+Status PublisherAgent::PumpAll() {
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(size_t shipped, PumpOnce());
+    if (shipped == 0) return Status::OK();
+  }
+}
+
+void PublisherAgent::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+}
+
+void PublisherAgent::Stop() {
+  if (!running_.exchange(false)) return;
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+void PublisherAgent::PumpLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    Result<size_t> shipped = PumpOnce();
+    if (!shipped.ok() || *shipped == 0) {
+      SleepForMicros(options_.poll_interval_micros);
+    }
+  }
+}
+
+}  // namespace txrep::mw

@@ -1,0 +1,84 @@
+#ifndef TXREP_MW_PUBLISHER_H_
+#define TXREP_MW_PUBLISHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mw/broker.h"
+#include "rel/txlog.h"
+
+namespace txrep::mw {
+
+/// Publisher agent configuration.
+struct PublisherOptions {
+  /// Topic the replication messages go to.
+  std::string topic = "txrep.log";
+
+  /// Maximum transactions packed into one replication message.
+  size_t batch_size = 100;
+
+  /// Poll interval of the background pump (paper: "the frequency of reading
+  /// the log is a tunable parameter").
+  int64_t poll_interval_micros = 2000;
+
+  /// Transactions with lsn <= this are never shipped (they are part of the
+  /// initial snapshot the replica was loaded from).
+  uint64_t start_after_lsn = 0;
+};
+
+/// The publisher agent of the replication middleware (paper Appendix A):
+/// periodically reads the database transaction log, packs new transactions
+/// into replication messages and publishes them to the broker.
+class PublisherAgent {
+ public:
+  /// `log` and `broker` must outlive the agent.
+  PublisherAgent(rel::TxLog* log, Broker* broker,
+                 PublisherOptions options = {});
+
+  ~PublisherAgent();
+
+  PublisherAgent(const PublisherAgent&) = delete;
+  PublisherAgent& operator=(const PublisherAgent&) = delete;
+
+  /// Ships at most one batch of new transactions. Returns the number of
+  /// transactions shipped (0 when the log has nothing new). Thread-safe:
+  /// concurrent callers (the background pump + an explicit PumpAll) are
+  /// serialized so a batch is never shipped twice.
+  Result<size_t> PumpOnce();
+
+  /// Ships everything currently in the log (possibly several messages).
+  Status PumpAll();
+
+  /// Starts / stops the background polling thread. Start is idempotent.
+  void Start();
+  void Stop();
+
+  uint64_t shipped_lsn() const {
+    return shipped_lsn_.load(std::memory_order_relaxed);
+  }
+  int64_t messages_published() const {
+    return messages_published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void PumpLoop();
+
+  rel::TxLog* log_;  // Not owned.
+  Broker* broker_;   // Not owned.
+  const PublisherOptions options_;
+
+  std::mutex pump_mu_;  // Serializes PumpOnce (read-log + publish + advance).
+  std::atomic<uint64_t> shipped_lsn_{0};
+  std::atomic<int64_t> messages_published_{0};
+  std::atomic<bool> running_{false};
+  std::thread pump_thread_;
+};
+
+}  // namespace txrep::mw
+
+#endif  // TXREP_MW_PUBLISHER_H_

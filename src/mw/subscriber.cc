@@ -1,0 +1,78 @@
+#include "mw/subscriber.h"
+
+#include "codec/log_codec.h"
+
+namespace txrep::mw {
+
+SubscriberAgent::SubscriberAgent(Broker* broker, const std::string& topic,
+                                 TxnSink sink)
+    : subscription_(broker->Subscribe(topic)), sink_(std::move(sink)) {
+  receive_thread_ = std::thread([this] { ReceiveLoop(); });
+}
+
+SubscriberAgent::~SubscriberAgent() { Stop(); }
+
+void SubscriberAgent::ReceiveLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::optional<Message> message = subscription_->TryPop();
+    if (!message.has_value()) {
+      // Blocking pop, but wake up periodically so Stop() is responsive even
+      // while the broker stays alive.
+      message = subscription_->Pop();
+      if (!message.has_value()) break;  // Broker shut down.
+    }
+    Result<std::vector<rel::LogTransaction>> batch =
+        codec::DecodeLogBatch(message->payload);
+    if (!batch.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      health_ = batch.status();
+      cv_.notify_all();
+      break;
+    }
+    for (rel::LogTransaction& txn : *batch) {
+      const uint64_t lsn = txn.lsn;
+      Status s = sink_(std::move(txn));
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!s.ok()) {
+        health_ = s;
+        cv_.notify_all();
+        return;
+      }
+      applied_lsn_ = lsn;
+      cv_.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+bool SubscriberAgent::WaitForLsn(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return applied_lsn_ >= lsn || stopped_ || !health_.ok();
+  });
+  return applied_lsn_ >= lsn;
+}
+
+void SubscriberAgent::Stop() {
+  running_.store(false, std::memory_order_relaxed);
+  // Unblock a blocking Pop by closing our queue via broker shutdown is not
+  // available here; rely on the broker being shut down or flushed by the
+  // owner. Join only if the thread already exited or the broker closed the
+  // subscription; otherwise detachless join would hang — so we close by
+  // waiting for the stream end triggered by Broker::Shutdown().
+  if (receive_thread_.joinable()) receive_thread_.join();
+}
+
+uint64_t SubscriberAgent::applied_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_lsn_;
+}
+
+Status SubscriberAgent::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+}  // namespace txrep::mw

@@ -1,0 +1,71 @@
+#ifndef TXREP_MW_SUBSCRIBER_H_
+#define TXREP_MW_SUBSCRIBER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "mw/broker.h"
+#include "rel/txlog.h"
+
+namespace txrep::mw {
+
+/// The subscriber agent of the replication middleware (paper Appendix A):
+/// receives replication messages, unpacks the logged transactions and hands
+/// them — in LSN order — to the replica-side applier (the TM or the serial
+/// baseline). The sequence-number assignment the paper describes (update
+/// transactions numbered in log order, read-only transactions interleaved)
+/// happens inside the sink: the TransactionManager numbers submissions in
+/// arrival order, and this agent is the single submitter of update
+/// transactions.
+class SubscriberAgent {
+ public:
+  /// Called once per logged transaction, in order.
+  using TxnSink = std::function<Status(rel::LogTransaction)>;
+
+  /// Subscribes on `topic` and starts the receive thread immediately.
+  /// `broker` must outlive the agent.
+  SubscriberAgent(Broker* broker, const std::string& topic, TxnSink sink);
+
+  ~SubscriberAgent();
+
+  SubscriberAgent(const SubscriberAgent&) = delete;
+  SubscriberAgent& operator=(const SubscriberAgent&) = delete;
+
+  /// Blocks until every transaction with lsn <= `lsn` has been handed to the
+  /// sink (or the agent stopped). True on success, false if stopped first.
+  bool WaitForLsn(uint64_t lsn);
+
+  /// Stops the receive thread (drains nothing further). Idempotent.
+  void Stop();
+
+  /// Highest LSN handed to the sink so far.
+  uint64_t applied_lsn() const;
+
+  /// Sticky error from decoding or the sink (OK while healthy).
+  Status health() const;
+
+ private:
+  void ReceiveLoop();
+
+  Broker::Subscription* subscription_;  // Owned by the broker.
+  TxnSink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t applied_lsn_ = 0;
+  Status health_ = Status::OK();
+  bool stopped_ = false;
+
+  std::atomic<bool> running_{true};
+  std::thread receive_thread_;
+};
+
+}  // namespace txrep::mw
+
+#endif  // TXREP_MW_SUBSCRIBER_H_

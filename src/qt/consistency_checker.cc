@@ -1,0 +1,163 @@
+#include "qt/consistency_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "blink/blink_tree.h"
+#include "codec/kv_keys.h"
+#include "codec/row_codec.h"
+
+namespace txrep::qt {
+
+namespace {
+std::string KeyEqualityPair(const rel::Value& a, const rel::Value& b) {
+  return a.ToString() + " vs " + b.ToString();
+}
+}  // namespace
+
+std::string ConsistencyReport::Summary() const {
+  std::string out = "rows=" + std::to_string(rows_checked) +
+                    " hash_postings=" + std::to_string(hash_postings_checked) +
+                    " range_entries=" + std::to_string(range_entries_checked);
+  out += violations.empty()
+             ? " CONSISTENT"
+             : (" INCONSISTENT (" + std::to_string(violations.size()) +
+                " violations)");
+  return out;
+}
+
+Result<ConsistencyReport> CheckReplicaConsistency(
+    kv::KvStore& store, rel::Database& db, const QueryTranslator& translator) {
+  const rel::Catalog& catalog = translator.catalog();
+  ConsistencyReport report;
+  std::set<std::string> expected_row_keys;
+
+  for (const auto& [table_name, rows] : db.DumpAll()) {
+    TXREP_ASSIGN_OR_RETURN(const rel::TableSchema* schema,
+                           catalog.GetTable(table_name));
+
+    std::map<std::pair<size_t, rel::Value>, std::vector<std::string>> postings;
+    std::map<size_t, std::vector<std::pair<rel::Value, std::string>>>
+        range_entries;
+
+    for (const rel::Row& row : rows) {
+      const rel::Value& pk = row[schema->pk_index()];
+      const std::string row_key = codec::RowKey(table_name, pk);
+      expected_row_keys.insert(row_key);
+      ++report.rows_checked;
+
+      Result<kv::Value> bytes = store.Get(row_key);
+      if (!bytes.ok()) {
+        report.violations.push_back("missing row object " + row_key + ": " +
+                                    bytes.status().ToString());
+        continue;
+      }
+      Result<rel::Row> replica_row = codec::DecodeRow(*bytes);
+      if (!replica_row.ok()) {
+        report.violations.push_back("undecodable row object " + row_key);
+        continue;
+      }
+      if (*replica_row != row) {
+        report.violations.push_back(
+            "row mismatch at " + row_key + ": replica=" +
+            rel::RowToString(*replica_row) + " db=" + rel::RowToString(row));
+      }
+      for (size_t col : schema->hash_index_columns()) {
+        if (!row[col].is_null()) postings[{col, row[col]}].push_back(row_key);
+      }
+      for (size_t col : schema->range_index_columns()) {
+        if (!row[col].is_null()) {
+          range_entries[col].emplace_back(row[col], row_key);
+        }
+      }
+    }
+
+    for (auto& [key, expected] : postings) {
+      ++report.hash_postings_checked;
+      const std::string& column = schema->columns()[key.first].name;
+      const kv::Key index_key =
+          codec::HashIndexKey(table_name, column, key.second);
+      Result<kv::Value> bytes = store.Get(index_key);
+      if (!bytes.ok()) {
+        report.violations.push_back("missing posting object " + index_key);
+        continue;
+      }
+      Result<std::vector<std::string>> actual = codec::DecodePostings(*bytes);
+      if (!actual.ok()) {
+        report.violations.push_back("undecodable posting object " + index_key);
+        continue;
+      }
+      std::sort(expected.begin(), expected.end());
+      if (*actual != expected) {
+        report.violations.push_back(
+            "postings mismatch for " + index_key + " (" +
+            std::to_string(actual->size()) + " posted, " +
+            std::to_string(expected.size()) + " expected, value " +
+            KeyEqualityPair(key.second, key.second) + ")");
+      }
+    }
+
+    for (size_t col : schema->range_index_columns()) {
+      const std::string& column = schema->columns()[col].name;
+      blink::BlinkTree tree(&store, table_name, column,
+                            translator.blink_options());
+      Status valid = tree.Validate();
+      if (!valid.ok()) {
+        report.violations.push_back("range index " + table_name + "." +
+                                    column +
+                                    " structurally invalid: " +
+                                    valid.ToString());
+        continue;
+      }
+      Result<std::vector<blink::EntryKey>> entries =
+          tree.RangeScanBounds(std::nullopt, std::nullopt);
+      if (!entries.ok()) {
+        report.violations.push_back("range index " + table_name + "." +
+                                    column + " unscannable");
+        continue;
+      }
+      auto& expected = range_entries[col];
+      std::sort(expected.begin(), expected.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      report.range_entries_checked +=
+          static_cast<int64_t>(expected.size());
+      bool equal = entries->size() == expected.size();
+      for (size_t i = 0; equal && i < expected.size(); ++i) {
+        equal = (*entries)[i].value == expected[i].first &&
+                (*entries)[i].row_key == expected[i].second;
+      }
+      if (!equal) {
+        report.violations.push_back(
+            "range index " + table_name + "." + column + " holds " +
+            std::to_string(entries->size()) + " entries, expected " +
+            std::to_string(expected.size()));
+      }
+    }
+  }
+
+  // Stray object scan: everything in the store must be a known row object, a
+  // B-link object, or a posting object referencing known rows.
+  for (const auto& [key, value] : store.Dump()) {
+    if (key.rfind("!b", 0) == 0) continue;
+    if (expected_row_keys.contains(key)) continue;
+    Result<std::vector<std::string>> posted = codec::DecodePostings(value);
+    if (!posted.ok()) {
+      report.violations.push_back("stray undecodable object \"" + key + "\"");
+      continue;
+    }
+    for (const std::string& row_key : *posted) {
+      if (!expected_row_keys.contains(row_key)) {
+        report.violations.push_back("posting object \"" + key +
+                                    "\" references unknown row \"" + row_key +
+                                    "\"");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace txrep::qt

@@ -1,0 +1,180 @@
+#include "qt/replica_reader.h"
+
+#include <algorithm>
+
+#include "codec/kv_keys.h"
+#include "codec/row_codec.h"
+#include "rel/select_eval.h"
+
+namespace txrep::qt {
+
+ReplicaReader::ReplicaReader(const rel::Catalog* catalog,
+                             blink::BlinkTreeOptions blink_options)
+    : catalog_(catalog), blink_options_(blink_options) {}
+
+Result<rel::Row> ReplicaReader::GetByPk(kv::KvStore* store,
+                                        const std::string& table,
+                                        const rel::Value& pk) const {
+  TXREP_ASSIGN_OR_RETURN(kv::Value bytes,
+                         store->Get(codec::RowKey(table, pk)));
+  return codec::DecodeRow(bytes);
+}
+
+Result<std::vector<rel::Row>> ReplicaReader::FetchRows(
+    kv::KvStore* store, const std::vector<std::string>& row_keys) const {
+  std::vector<rel::Row> rows;
+  rows.reserve(row_keys.size());
+  for (const std::string& row_key : row_keys) {
+    Result<kv::Value> bytes = store->Get(row_key);
+    if (!bytes.ok()) {
+      if (bytes.status().IsNotFound()) continue;  // Row deleted concurrently.
+      return bytes.status();
+    }
+    TXREP_ASSIGN_OR_RETURN(rel::Row row, codec::DecodeRow(*bytes));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<rel::Row>> ReplicaReader::GetByAttribute(
+    kv::KvStore* store, const std::string& table, const std::string& column,
+    const rel::Value& value) const {
+  TXREP_ASSIGN_OR_RETURN(const rel::TableSchema* schema,
+                         catalog_->GetTable(table));
+  TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(column));
+  if (!schema->HasHashIndexOn(col)) {
+    return Status::FailedPrecondition("no hash index on " + table + "." +
+                                      column);
+  }
+  Result<kv::Value> postings_bytes =
+      store->Get(codec::HashIndexKey(table, column, value));
+  if (!postings_bytes.ok()) {
+    if (postings_bytes.status().IsNotFound()) {
+      return std::vector<rel::Row>{};
+    }
+    return postings_bytes.status();
+  }
+  TXREP_ASSIGN_OR_RETURN(std::vector<std::string> row_keys,
+                         codec::DecodePostings(*postings_bytes));
+  return FetchRows(store, row_keys);
+}
+
+Result<std::vector<rel::Row>> ReplicaReader::RangeQuery(
+    kv::KvStore* store, const std::string& table, const std::string& column,
+    const std::optional<rel::Value>& lo,
+    const std::optional<rel::Value>& hi) const {
+  TXREP_ASSIGN_OR_RETURN(const rel::TableSchema* schema,
+                         catalog_->GetTable(table));
+  TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(column));
+  if (!schema->HasRangeIndexOn(col)) {
+    return Status::FailedPrecondition("no range index on " + table + "." +
+                                      column);
+  }
+  blink::BlinkTree tree(store, table, column, blink_options_);
+  TXREP_ASSIGN_OR_RETURN(std::vector<blink::EntryKey> entries,
+                         tree.RangeScanBounds(lo, hi));
+  std::vector<std::string> row_keys;
+  row_keys.reserve(entries.size());
+  for (blink::EntryKey& e : entries) row_keys.push_back(std::move(e.row_key));
+  return FetchRows(store, row_keys);
+}
+
+Result<std::vector<rel::Row>> ReplicaReader::Select(
+    kv::KvStore* store, const rel::SelectStatement& input) const {
+  TXREP_ASSIGN_OR_RETURN(const rel::TableSchema* schema,
+                         catalog_->GetTable(input.table));
+  // Coerce predicate literals to the column types before any index key is
+  // built (e.g. `cost = 100` against a DOUBLE column must key as 100.0).
+  rel::SelectStatement stmt = input;
+  TXREP_RETURN_IF_ERROR(rel::CoercePredicates(*schema, stmt.where));
+
+  // Pick a plan: scan the conjuncts for the best index-backed access path.
+  std::vector<rel::Row> rows;
+  bool planned = false;
+
+  // Plan 1: primary-key equality.
+  for (const rel::Predicate& pred : stmt.where) {
+    if (pred.op != rel::PredicateOp::kEq) continue;
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(pred.column));
+    if (col != schema->pk_index()) continue;
+    Result<rel::Row> row = GetByPk(store, stmt.table, pred.operand);
+    if (row.ok()) {
+      rows.push_back(*std::move(row));
+    } else if (!row.status().IsNotFound()) {
+      return row.status();
+    }
+    planned = true;
+    break;
+  }
+
+  // Plan 2: hash-indexed equality.
+  if (!planned) {
+    for (const rel::Predicate& pred : stmt.where) {
+      if (pred.op != rel::PredicateOp::kEq) continue;
+      TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(pred.column));
+      if (!schema->HasHashIndexOn(col)) continue;
+      TXREP_ASSIGN_OR_RETURN(
+          rows, GetByAttribute(store, stmt.table, pred.column, pred.operand));
+      planned = true;
+      break;
+    }
+  }
+
+  // Plan 3: range-indexed range predicate.
+  if (!planned) {
+    for (const rel::Predicate& pred : stmt.where) {
+      TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(pred.column));
+      if (!schema->HasRangeIndexOn(col)) continue;
+      std::optional<rel::Value> lo, hi;
+      switch (pred.op) {
+        case rel::PredicateOp::kEq:
+          lo = hi = pred.operand;
+          break;
+        case rel::PredicateOp::kBetween:
+          lo = pred.operand;
+          hi = pred.operand2;
+          break;
+        case rel::PredicateOp::kGe:
+        case rel::PredicateOp::kGt:  // Residual filter trims the boundary.
+          lo = pred.operand;
+          break;
+        case rel::PredicateOp::kLe:
+        case rel::PredicateOp::kLt:
+          hi = pred.operand;
+          break;
+      }
+      TXREP_ASSIGN_OR_RETURN(
+          rows, RangeQuery(store, stmt.table, pred.column, lo, hi));
+      planned = true;
+      break;
+    }
+  }
+
+  if (!planned) {
+    return Status::FailedPrecondition(
+        "no index-backed plan for query on \"" + stmt.table +
+        "\": full key-value scans are not supported (add a hash or range "
+        "index, or query by primary key)");
+  }
+
+  // Residual filter: every conjunct re-checked against fetched rows.
+  std::vector<rel::Row> filtered;
+  filtered.reserve(rows.size());
+  for (rel::Row& row : rows) {
+    bool ok = true;
+    for (const rel::Predicate& pred : stmt.where) {
+      TXREP_ASSIGN_OR_RETURN(size_t col, schema->ColumnIndex(pred.column));
+      if (!pred.Matches(row[col])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) filtered.push_back(std::move(row));
+  }
+
+  // Aggregates / ORDER BY / LIMIT / projection — same semantics as the
+  // database side (shared evaluator).
+  return rel::EvaluateSelectOutput(*schema, std::move(filtered), stmt);
+}
+
+}  // namespace txrep::qt

@@ -1,0 +1,69 @@
+#ifndef TXREP_QT_REPLICA_READER_H_
+#define TXREP_QT_REPLICA_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "blink/blink_tree.h"
+#include "common/result.h"
+#include "kv/kv_store.h"
+#include "rel/schema.h"
+#include "rel/statement.h"
+
+namespace txrep::qt {
+
+/// Read-side of the replica: runs SELECT-shaped queries directly against the
+/// key-value layout maintained by the QueryTranslator. This is the paper's
+/// "SQL API to the key-value store" (§3), used by the read-only workload.
+///
+/// Plans, in preference order (full table scans are deliberately unsupported,
+/// matching the paper: "usually, we are not allowed to scan the entire
+/// table"):
+///   1. primary-key equality        -> single row GET
+///   2. hash-indexed equality       -> posting-list GET + row GETs
+///   3. range-indexed range         -> B-link range scan + row GETs
+/// Residual predicates are applied after fetch; projection last.
+///
+/// Stateless; pass the store explicitly so the same reader works against the
+/// raw cluster or a transaction buffer (transactional read-only access).
+class ReplicaReader {
+ public:
+  explicit ReplicaReader(const rel::Catalog* catalog,
+                         blink::BlinkTreeOptions blink_options = {});
+
+  /// Fetches one row by primary key (plan 1). NotFound if absent.
+  Result<rel::Row> GetByPk(kv::KvStore* store, const std::string& table,
+                           const rel::Value& pk) const;
+
+  /// Fetches all rows with `column == value` via the hash index (plan 2).
+  /// FailedPrecondition if the column has no hash index.
+  Result<std::vector<rel::Row>> GetByAttribute(kv::KvStore* store,
+                                               const std::string& table,
+                                               const std::string& column,
+                                               const rel::Value& value) const;
+
+  /// Fetches all rows with lo <= column <= hi via the B-link index (plan 3).
+  /// Open bounds supported. FailedPrecondition if no range index.
+  Result<std::vector<rel::Row>> RangeQuery(
+      kv::KvStore* store, const std::string& table, const std::string& column,
+      const std::optional<rel::Value>& lo,
+      const std::optional<rel::Value>& hi) const;
+
+  /// Executes a full SELECT (plan selection + residual filter + projection).
+  /// FailedPrecondition when no index-backed plan exists.
+  Result<std::vector<rel::Row>> Select(kv::KvStore* store,
+                                       const rel::SelectStatement& stmt) const;
+
+ private:
+  /// Fetches and decodes the rows behind `row_keys`, skipping keys whose row
+  /// object vanished (non-transactional read tolerance).
+  Result<std::vector<rel::Row>> FetchRows(
+      kv::KvStore* store, const std::vector<std::string>& row_keys) const;
+
+  const rel::Catalog* catalog_;  // Not owned.
+  blink::BlinkTreeOptions blink_options_;
+};
+
+}  // namespace txrep::qt
+
+#endif  // TXREP_QT_REPLICA_READER_H_

@@ -1,0 +1,201 @@
+#include "rel/database.h"
+
+#include <algorithm>
+
+#include "rel/select_eval.h"
+
+namespace txrep::rel {
+
+Status Database::CreateTable(TableSchema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = schema.table_name();
+  TXREP_RETURN_IF_ERROR(catalog_.AddTable(std::move(schema)));
+  TXREP_ASSIGN_OR_RETURN(const TableSchema* stored, catalog_.GetTable(name));
+  tables_.emplace(name, std::make_unique<Table>(stored));
+  return Status::OK();
+}
+
+Status Database::CreateHashIndex(const std::string& table,
+                                 const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TXREP_ASSIGN_OR_RETURN(TableSchema * schema,
+                         catalog_.GetMutableTable(table));
+  TXREP_RETURN_IF_ERROR(schema->AddHashIndex(column));
+  tables_.at(table)->RebuildIndexes();
+  return Status::OK();
+}
+
+Status Database::CreateRangeIndex(const std::string& table,
+                                  const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TXREP_ASSIGN_OR_RETURN(TableSchema * schema,
+                         catalog_.GetMutableTable(table));
+  return schema->AddRangeIndex(column);
+}
+
+Result<Table*> Database::GetTableLocked(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table \"" + name + "\"");
+  }
+  return it->second.get();
+}
+
+Status Database::ApplyInsert(const InsertStatement& stmt,
+                             std::vector<LogOp>& log_ops,
+                             std::vector<UndoRecord>& undo) {
+  TXREP_ASSIGN_OR_RETURN(Table * table, GetTableLocked(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  Row row;
+  if (stmt.columns.empty()) {
+    row = stmt.values;
+  } else {
+    if (stmt.columns.size() != stmt.values.size()) {
+      return Status::InvalidArgument(
+          "INSERT column list and VALUES arity differ");
+    }
+    row.assign(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      TXREP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(stmt.columns[i]));
+      row[col] = stmt.values[i];
+    }
+  }
+  TXREP_RETURN_IF_ERROR(table->Insert(row));
+  // Re-read to pick up coercions applied by the table.
+  const Value pk = row[schema.pk_index()];
+  TXREP_ASSIGN_OR_RETURN(Row stored, table->Lookup(pk));
+  undo.push_back(UndoRecord{LogOpType::kInsert, table, pk, {}});
+  log_ops.push_back(LogOp{LogOpType::kInsert, stmt.table, pk,
+                          std::move(stored)});
+  return Status::OK();
+}
+
+Status Database::ApplyUpdate(const UpdateStatement& stmt,
+                             std::vector<LogOp>& log_ops,
+                             std::vector<UndoRecord>& undo) {
+  TXREP_ASSIGN_OR_RETURN(Table * table, GetTableLocked(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  // Resolve SET columns once.
+  std::vector<std::pair<size_t, Value>> sets;
+  sets.reserve(stmt.sets.size());
+  for (const auto& [col_name, value] : stmt.sets) {
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(col_name));
+    sets.emplace_back(col, value);
+  }
+
+  std::vector<Predicate> where = stmt.where;
+  TXREP_RETURN_IF_ERROR(CoercePredicates(schema, where));
+  TXREP_ASSIGN_OR_RETURN(std::vector<Value> keys, table->ScanKeys(where));
+  for (const Value& pk : keys) {
+    TXREP_ASSIGN_OR_RETURN(Row before, table->Lookup(pk));
+    Row after = before;
+    for (const auto& [col, value] : sets) after[col] = value;
+    TXREP_RETURN_IF_ERROR(table->Update(pk, after));
+    TXREP_ASSIGN_OR_RETURN(Row stored, table->Lookup(pk));
+    undo.push_back(UndoRecord{LogOpType::kUpdate, table, pk, std::move(before)});
+    log_ops.push_back(LogOp{LogOpType::kUpdate, stmt.table, pk,
+                            std::move(stored)});
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyDelete(const DeleteStatement& stmt,
+                             std::vector<LogOp>& log_ops,
+                             std::vector<UndoRecord>& undo) {
+  TXREP_ASSIGN_OR_RETURN(Table * table, GetTableLocked(stmt.table));
+  std::vector<Predicate> where = stmt.where;
+  TXREP_RETURN_IF_ERROR(CoercePredicates(table->schema(), where));
+  TXREP_ASSIGN_OR_RETURN(std::vector<Value> keys, table->ScanKeys(where));
+  for (const Value& pk : keys) {
+    TXREP_ASSIGN_OR_RETURN(Row before, table->Lookup(pk));
+    TXREP_RETURN_IF_ERROR(table->Delete(pk));
+    undo.push_back(UndoRecord{LogOpType::kDelete, table, pk, std::move(before)});
+    log_ops.push_back(LogOp{LogOpType::kDelete, stmt.table, pk, {}});
+  }
+  return Status::OK();
+}
+
+Status Database::ApplySelect(const SelectStatement& stmt,
+                             std::vector<Row>& out) {
+  TXREP_ASSIGN_OR_RETURN(Table * table, GetTableLocked(stmt.table));
+  std::vector<Predicate> where = stmt.where;
+  TXREP_RETURN_IF_ERROR(CoercePredicates(table->schema(), where));
+  TXREP_ASSIGN_OR_RETURN(std::vector<Row> rows, table->Scan(where));
+  TXREP_ASSIGN_OR_RETURN(
+      out, EvaluateSelectOutput(table->schema(), std::move(rows), stmt));
+  return Status::OK();
+}
+
+void Database::Rollback(std::vector<UndoRecord>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    switch (it->type) {
+      case LogOpType::kInsert:
+        (void)it->table->Delete(it->pk);
+        break;
+      case LogOpType::kUpdate:
+        (void)it->table->Update(it->pk, std::move(it->before));
+        break;
+      case LogOpType::kDelete:
+        (void)it->table->Insert(std::move(it->before));
+        break;
+    }
+  }
+  undo.clear();
+}
+
+Result<CommitInfo> Database::ExecuteTransaction(
+    const std::vector<Statement>& statements) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogOp> log_ops;
+  std::vector<UndoRecord> undo;
+  CommitInfo info;
+
+  for (const Statement& stmt : statements) {
+    Status s;
+    if (const auto* insert = std::get_if<InsertStatement>(&stmt)) {
+      s = ApplyInsert(*insert, log_ops, undo);
+    } else if (const auto* update = std::get_if<UpdateStatement>(&stmt)) {
+      s = ApplyUpdate(*update, log_ops, undo);
+    } else if (const auto* del = std::get_if<DeleteStatement>(&stmt)) {
+      s = ApplyDelete(*del, log_ops, undo);
+    } else {
+      std::vector<Row> rows;
+      s = ApplySelect(std::get<SelectStatement>(stmt), rows);
+      if (s.ok()) info.select_results.push_back(std::move(rows));
+    }
+    if (!s.ok()) {
+      Rollback(undo);
+      return s;
+    }
+  }
+
+  info.lsn = log_.Append(std::move(log_ops));
+  return info;
+}
+
+Result<std::vector<Row>> Database::Query(const SelectStatement& select) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> rows;
+  TXREP_RETURN_IF_ERROR(ApplySelect(select, rows));
+  return rows;
+}
+
+Result<size_t> Database::TableSize(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table \"" + table + "\"");
+  }
+  return it->second->size();
+}
+
+std::map<std::string, std::vector<Row>> Database::DumpAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::vector<Row>> out;
+  for (const auto& [name, table] : tables_) out[name] = table->ScanAll();
+  return out;
+}
+
+}  // namespace txrep::rel

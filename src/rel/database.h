@@ -1,0 +1,106 @@
+#ifndef TXREP_REL_DATABASE_H_
+#define TXREP_REL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/schema.h"
+#include "rel/statement.h"
+#include "rel/table.h"
+#include "rel/txlog.h"
+#include "rel/value.h"
+
+namespace txrep::rel {
+
+/// Result of executing one transaction.
+struct CommitInfo {
+  /// Commit LSN assigned in the transaction log; 0 for read-only transactions
+  /// (they are not logged).
+  uint64_t lsn = 0;
+
+  /// One entry per SELECT statement, in statement order.
+  std::vector<std::vector<Row>> select_results;
+};
+
+/// The "original database" of the paper's architecture (Fig. 3): an embedded
+/// relational engine that executes transactional read/write workloads and
+/// emits a commit-ordered transaction log of write after-images, which the
+/// replication middleware ships to the key-value replica.
+///
+/// Transactions execute atomically under a commit mutex, so the log order is
+/// by construction the serialization order — the *execution-defined order*
+/// the replica must reproduce. Failed transactions are rolled back via undo
+/// records and leave no log entry.
+///
+/// Thread-safe: any number of threads may call ExecuteTransaction/Query.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a table (with its index declarations) and allocates storage.
+  Status CreateTable(TableSchema schema);
+
+  /// Declares a hash index on an existing table and backfills it.
+  Status CreateHashIndex(const std::string& table, const std::string& column);
+
+  /// Declares a range index on an existing table. Range indexes only exist on
+  /// the replica (B-link tree, paper §4.2); the declaration is carried in the
+  /// catalog so the query translator maintains them.
+  Status CreateRangeIndex(const std::string& table, const std::string& column);
+
+  /// Executes `statements` as one atomic transaction. On success, write
+  /// after-images are appended to the log as one commit. On any statement
+  /// error the transaction is fully rolled back and the error returned.
+  Result<CommitInfo> ExecuteTransaction(const std::vector<Statement>& statements);
+
+  /// Convenience read-only query (equivalent to a one-SELECT transaction).
+  Result<std::vector<Row>> Query(const SelectStatement& select);
+
+  const Catalog& catalog() const { return catalog_; }
+  TxLog& log() { return log_; }
+
+  /// Row count of `table`, or NotFound.
+  Result<size_t> TableSize(const std::string& table) const;
+
+  /// Full database state: table name -> rows in PK order. Used by the
+  /// equivalence tests to compare against the replica via the QT mapping.
+  std::map<std::string, std::vector<Row>> DumpAll() const;
+
+ private:
+  struct UndoRecord {
+    LogOpType type;  // What was done (so undo does the inverse).
+    Table* table;
+    Value pk;
+    Row before;  // Pre-image for kUpdate / kDelete.
+  };
+
+  Result<Table*> GetTableLocked(const std::string& name);
+
+  /// Per-statement executors; append to `log_ops`/`undo` as they apply.
+  Status ApplyInsert(const InsertStatement& stmt, std::vector<LogOp>& log_ops,
+                     std::vector<UndoRecord>& undo);
+  Status ApplyUpdate(const UpdateStatement& stmt, std::vector<LogOp>& log_ops,
+                     std::vector<UndoRecord>& undo);
+  Status ApplyDelete(const DeleteStatement& stmt, std::vector<LogOp>& log_ops,
+                     std::vector<UndoRecord>& undo);
+  Status ApplySelect(const SelectStatement& stmt, std::vector<Row>& out);
+
+  void Rollback(std::vector<UndoRecord>& undo);
+
+  mutable std::mutex mu_;  // Serializes transactions (commit order == log order).
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  TxLog log_;
+};
+
+}  // namespace txrep::rel
+
+#endif  // TXREP_REL_DATABASE_H_

@@ -1,0 +1,166 @@
+#include "rel/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace txrep::rel {
+
+Result<TableSchema> TableSchema::Create(std::string table_name,
+                                        std::vector<Column> columns,
+                                        std::string pk_column) {
+  if (table_name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table \"" + table_name +
+                                   "\" must have at least one column");
+  }
+  std::set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column names must not be empty");
+    }
+    if (c.type == ValueType::kNull) {
+      return Status::InvalidArgument("column \"" + c.name +
+                                     "\" cannot have type NULL");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column \"" + c.name + "\"");
+    }
+  }
+  TableSchema schema;
+  schema.table_name_ = std::move(table_name);
+  schema.columns_ = std::move(columns);
+  auto it = std::find_if(
+      schema.columns_.begin(), schema.columns_.end(),
+      [&](const Column& c) { return c.name == pk_column; });
+  if (it == schema.columns_.end()) {
+    return Status::InvalidArgument("primary key column \"" + pk_column +
+                                   "\" is not a column of \"" +
+                                   schema.table_name_ + "\"");
+  }
+  if (it->type == ValueType::kDouble) {
+    return Status::InvalidArgument(
+        "primary key column must be INT or STRING, not DOUBLE");
+  }
+  schema.pk_index_ = static_cast<size_t>(it - schema.columns_.begin());
+  return schema;
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column \"" + name + "\" in table \"" +
+                          table_name_ + "\"");
+}
+
+Status TableSchema::AddHashIndex(const std::string& column) {
+  TXREP_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
+  if (HasHashIndexOn(idx)) {
+    return Status::AlreadyExists("hash index on \"" + column +
+                                 "\" already declared");
+  }
+  hash_index_columns_.push_back(idx);
+  return Status::OK();
+}
+
+Status TableSchema::AddRangeIndex(const std::string& column) {
+  TXREP_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
+  if (HasRangeIndexOn(idx)) {
+    return Status::AlreadyExists("range index on \"" + column +
+                                 "\" already declared");
+  }
+  range_index_columns_.push_back(idx);
+  return Status::OK();
+}
+
+bool TableSchema::HasHashIndexOn(size_t column) const {
+  return std::find(hash_index_columns_.begin(), hash_index_columns_.end(),
+                   column) != hash_index_columns_.end();
+}
+
+bool TableSchema::HasRangeIndexOn(size_t column) const {
+  return std::find(range_index_columns_.begin(), range_index_columns_.end(),
+                   column) != range_index_columns_.end();
+}
+
+Status TableSchema::ValidateAndCoerceRow(Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table \"" +
+        table_name_ + "\" arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (i == pk_index_) {
+        return Status::InvalidArgument("primary key \"" + columns_[i].name +
+                                       "\" must not be NULL");
+      }
+      continue;
+    }
+    if (row[i].type() == columns_[i].type) continue;
+    // The only implicit coercion: INT literal into a DOUBLE column.
+    if (columns_[i].type == ValueType::kDouble &&
+        row[i].type() == ValueType::kInt64) {
+      row[i] = Value::Real(static_cast<double>(row[i].AsInt()));
+      continue;
+    }
+    return Status::InvalidArgument(
+        "type mismatch for column \"" + columns_[i].name + "\": expected " +
+        ValueTypeName(columns_[i].type) + ", got " +
+        ValueTypeName(row[i].type()));
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = table_name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+    if (i == pk_index_) out += " PRIMARY KEY";
+  }
+  out += ")";
+  return out;
+}
+
+Status Catalog::AddTable(TableSchema schema) {
+  const std::string name = schema.table_name();
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table \"" + name + "\" already exists");
+  }
+  tables_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table \"" + name + "\"");
+  }
+  return &it->second;
+}
+
+Result<TableSchema*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table \"" + name + "\"");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace txrep::rel

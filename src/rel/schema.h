@@ -1,0 +1,101 @@
+#ifndef TXREP_REL_SCHEMA_H_
+#define TXREP_REL_SCHEMA_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace txrep::rel {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Schema of a table: columns, a single-column primary key (as in the paper's
+/// key construction "RELATION_pk"), plus declared secondary indexes.
+///
+/// - `hash_index_columns`: attributes with a hash index on the replica
+///   (paper §4.1, Fig. 7) and in the relational engine.
+/// - `range_index_columns`: attributes with a B-link-tree range index on the
+///   replica (paper §4.2).
+class TableSchema {
+ public:
+  TableSchema() = default;
+
+  /// `pk_column` must name one of `columns`; its type must be INT or STRING.
+  static Result<TableSchema> Create(std::string table_name,
+                                    std::vector<Column> columns,
+                                    std::string pk_column);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t pk_index() const { return pk_index_; }
+  const std::string& pk_column() const { return columns_[pk_index_].name; }
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Declares a hash (equality) secondary index on `column`.
+  Status AddHashIndex(const std::string& column);
+
+  /// Declares a B-link-tree (range) secondary index on `column`.
+  Status AddRangeIndex(const std::string& column);
+
+  const std::vector<size_t>& hash_index_columns() const {
+    return hash_index_columns_;
+  }
+  const std::vector<size_t>& range_index_columns() const {
+    return range_index_columns_;
+  }
+  bool HasHashIndexOn(size_t column) const;
+  bool HasRangeIndexOn(size_t column) const;
+
+  /// Type-checks a full row against the schema (arity, per-column type or
+  /// NULL, non-NULL PK, INT widening to DOUBLE applied in place).
+  Status ValidateAndCoerceRow(Row& row) const;
+
+  /// Display form: CREATE TABLE-ish single line.
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  size_t pk_index_ = 0;
+  std::vector<size_t> hash_index_columns_;
+  std::vector<size_t> range_index_columns_;
+};
+
+/// Named collection of table schemas shared by the relational engine, the
+/// query translator and the replica read API.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Fails with AlreadyExists on duplicate table names.
+  Status AddTable(TableSchema schema);
+
+  /// NotFound if absent.
+  Result<const TableSchema*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+  /// Mutable access for declaring indexes after creation.
+  Result<TableSchema*> GetMutableTable(const std::string& name);
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+};
+
+}  // namespace txrep::rel
+
+#endif  // TXREP_REL_SCHEMA_H_

@@ -1,0 +1,170 @@
+#include "rel/select_eval.h"
+
+#include <algorithm>
+
+namespace txrep::rel {
+
+namespace {
+
+/// Computes one aggregate over the matching rows.
+Result<Value> ComputeAggregate(const TableSchema& schema,
+                               const std::vector<Row>& rows,
+                               const AggregateItem& item) {
+  if (item.column.empty()) {
+    if (item.fn != AggregateFn::kCount) {
+      return Status::InvalidArgument(std::string(AggregateFnName(item.fn)) +
+                                     "(*) is not valid; only COUNT(*)");
+    }
+    return Value::Int(static_cast<int64_t>(rows.size()));
+  }
+  TXREP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(item.column));
+  const ValueType type = schema.columns()[col].type;
+
+  switch (item.fn) {
+    case AggregateFn::kCount: {
+      int64_t count = 0;
+      for (const Row& row : rows) {
+        if (!row[col].is_null()) ++count;
+      }
+      return Value::Int(count);
+    }
+    case AggregateFn::kMin:
+    case AggregateFn::kMax: {
+      const Value* best = nullptr;
+      for (const Row& row : rows) {
+        if (row[col].is_null()) continue;
+        if (best == nullptr ||
+            (item.fn == AggregateFn::kMin ? row[col] < *best
+                                          : *best < row[col])) {
+          best = &row[col];
+        }
+      }
+      return best == nullptr ? Value::Null() : *best;
+    }
+    case AggregateFn::kSum:
+    case AggregateFn::kAvg: {
+      if (type != ValueType::kInt64 && type != ValueType::kDouble) {
+        return Status::InvalidArgument(
+            std::string(AggregateFnName(item.fn)) + "(" + item.column +
+            ") requires a numeric column");
+      }
+      double sum = 0;
+      int64_t int_sum = 0;
+      int64_t count = 0;
+      for (const Row& row : rows) {
+        if (row[col].is_null()) continue;
+        sum += row[col].AsNumeric();
+        if (type == ValueType::kInt64) int_sum += row[col].AsInt();
+        ++count;
+      }
+      if (item.fn == AggregateFn::kAvg) {
+        return count == 0 ? Value::Null() : Value::Real(sum / count);
+      }
+      if (count == 0) return Value::Null();
+      // SUM keeps the column's type (SQL convention for integer sums).
+      return type == ValueType::kInt64 ? Value::Int(int_sum)
+                                       : Value::Real(sum);
+    }
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+}  // namespace
+
+namespace {
+
+Status CoerceOperand(const TableSchema& schema, const std::string& column,
+                     ValueType column_type, Value& operand) {
+  if (operand.is_null()) return Status::OK();  // NULL never matches anyway.
+  if (operand.type() == column_type) return Status::OK();
+  if (column_type == ValueType::kDouble &&
+      operand.type() == ValueType::kInt64) {
+    operand = Value::Real(static_cast<double>(operand.AsInt()));
+    return Status::OK();
+  }
+  if (column_type == ValueType::kInt64 &&
+      operand.type() == ValueType::kDouble) {
+    const double d = operand.AsDouble();
+    const auto as_int = static_cast<int64_t>(d);
+    if (static_cast<double>(as_int) == d) {
+      operand = Value::Int(as_int);
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "fractional literal " + operand.ToString() +
+        " cannot be compared against INT column \"" + column + "\" of \"" +
+        schema.table_name() + "\"");
+  }
+  return Status::InvalidArgument(
+      "predicate literal " + operand.ToString() + " does not match type " +
+      ValueTypeName(column_type) + " of column \"" + column + "\"");
+}
+
+}  // namespace
+
+Status CoercePredicates(const TableSchema& schema,
+                        std::vector<Predicate>& predicates) {
+  for (Predicate& pred : predicates) {
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(pred.column));
+    const ValueType type = schema.columns()[col].type;
+    TXREP_RETURN_IF_ERROR(
+        CoerceOperand(schema, pred.column, type, pred.operand));
+    if (pred.op == PredicateOp::kBetween) {
+      TXREP_RETURN_IF_ERROR(
+          CoerceOperand(schema, pred.column, type, pred.operand2));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> EvaluateSelectOutput(const TableSchema& schema,
+                                              std::vector<Row> matching,
+                                              const SelectStatement& stmt) {
+  // Aggregation: one output row, no ORDER BY / LIMIT / projection semantics.
+  if (!stmt.aggregates.empty()) {
+    if (!stmt.columns.empty()) {
+      return Status::InvalidArgument(
+          "SELECT cannot mix plain columns with aggregates (no GROUP BY)");
+    }
+    Row out;
+    out.reserve(stmt.aggregates.size());
+    for (const AggregateItem& item : stmt.aggregates) {
+      TXREP_ASSIGN_OR_RETURN(Value v,
+                             ComputeAggregate(schema, matching, item));
+      out.push_back(std::move(v));
+    }
+    return std::vector<Row>{std::move(out)};
+  }
+
+  if (stmt.order_by.has_value()) {
+    TXREP_ASSIGN_OR_RETURN(size_t col,
+                           schema.ColumnIndex(stmt.order_by->column));
+    const bool desc = stmt.order_by->descending;
+    std::stable_sort(matching.begin(), matching.end(),
+                     [col, desc](const Row& a, const Row& b) {
+                       return desc ? b[col] < a[col] : a[col] < b[col];
+                     });
+  }
+  if (stmt.limit != 0 && matching.size() > stmt.limit) {
+    matching.resize(stmt.limit);
+  }
+  if (stmt.columns.empty()) return matching;
+
+  std::vector<size_t> projection;
+  projection.reserve(stmt.columns.size());
+  for (const std::string& name : stmt.columns) {
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(name));
+    projection.push_back(col);
+  }
+  std::vector<Row> projected;
+  projected.reserve(matching.size());
+  for (const Row& row : matching) {
+    Row out;
+    out.reserve(projection.size());
+    for (size_t col : projection) out.push_back(row[col]);
+    projected.push_back(std::move(out));
+  }
+  return projected;
+}
+
+}  // namespace txrep::rel

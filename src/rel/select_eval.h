@@ -1,0 +1,38 @@
+#ifndef TXREP_REL_SELECT_EVAL_H_
+#define TXREP_REL_SELECT_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "rel/schema.h"
+#include "rel/statement.h"
+#include "rel/value.h"
+
+namespace txrep::rel {
+
+/// Shared back half of SELECT execution, used identically by the relational
+/// engine (Database) and the replica-side reader (qt::ReplicaReader) so that
+/// the same query means the same thing on both sides of the hybrid
+/// deployment.
+///
+/// Takes the rows that already matched the WHERE clause (full rows in schema
+/// order) and applies, in SQL order: aggregation (if any — returns one row),
+/// ORDER BY, LIMIT, and projection.
+Result<std::vector<Row>> EvaluateSelectOutput(const TableSchema& schema,
+                                              std::vector<Row> matching,
+                                              const SelectStatement& stmt);
+
+/// Coerces predicate operands to their column's type, in place:
+///  - INT literal against a DOUBLE column widens to DOUBLE (the common SQL
+///    spelling `WHERE cost > 100` — without this it would silently never
+///    match, since Value comparison is type-strict);
+///  - integral DOUBLE literal against an INT column narrows to INT;
+///  - anything else that mismatches is an InvalidArgument error (explicit
+///    beats silently-empty results).
+/// Called by the engine and the replica reader before evaluating/keying.
+Status CoercePredicates(const TableSchema& schema,
+                        std::vector<Predicate>& predicates);
+
+}  // namespace txrep::rel
+
+#endif  // TXREP_REL_SELECT_EVAL_H_

@@ -1,0 +1,166 @@
+#include "rel/statement.h"
+
+namespace txrep::rel {
+
+const char* PredicateOpName(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return "=";
+    case PredicateOp::kLt:
+      return "<";
+    case PredicateOp::kLe:
+      return "<=";
+    case PredicateOp::kGt:
+      return ">";
+    case PredicateOp::kGe:
+      return ">=";
+    case PredicateOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(const Value& value) const {
+  // SQL semantics: comparisons against NULL are never true.
+  if (value.is_null() || operand.is_null()) return false;
+  switch (op) {
+    case PredicateOp::kEq:
+      return value == operand;
+    case PredicateOp::kLt:
+      return value < operand;
+    case PredicateOp::kLe:
+      return value <= operand;
+    case PredicateOp::kGt:
+      return value > operand;
+    case PredicateOp::kGe:
+      return value >= operand;
+    case PredicateOp::kBetween:
+      if (operand2.is_null()) return false;
+      return operand <= value && value <= operand2;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  if (op == PredicateOp::kBetween) {
+    return column + " BETWEEN " + operand.ToString() + " AND " +
+           operand2.ToString();
+  }
+  return column + " " + PredicateOpName(op) + " " + operand.ToString();
+}
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggregateItem::ToString() const {
+  return std::string(AggregateFnName(fn)) + "(" +
+         (column.empty() ? "*" : column) + ")";
+}
+
+namespace {
+
+std::string WhereToString(const std::vector<Predicate>& where) {
+  if (where.empty()) return "";
+  std::string out = " WHERE ";
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += where[i].ToString();
+  }
+  return out;
+}
+
+struct ToStringVisitor {
+  std::string operator()(const InsertStatement& s) const {
+    std::string out = "INSERT INTO " + s.table;
+    if (!s.columns.empty()) {
+      out += " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i];
+      }
+      out += ")";
+    }
+    out += " VALUES ";
+    out += RowToString(s.values);
+    return out;
+  }
+  std::string operator()(const UpdateStatement& s) const {
+    std::string out = "UPDATE " + s.table + " SET ";
+    for (size_t i = 0; i < s.sets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.sets[i].first + " = " + s.sets[i].second.ToString();
+    }
+    out += WhereToString(s.where);
+    return out;
+  }
+  std::string operator()(const DeleteStatement& s) const {
+    return "DELETE FROM " + s.table + WhereToString(s.where);
+  }
+  std::string operator()(const SelectStatement& s) const {
+    std::string out = "SELECT ";
+    if (!s.aggregates.empty()) {
+      for (size_t i = 0; i < s.aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.aggregates[i].ToString();
+      }
+    } else if (s.columns.empty()) {
+      out += "*";
+    } else {
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i];
+      }
+    }
+    out += " FROM " + s.table + WhereToString(s.where);
+    if (s.order_by.has_value()) {
+      out += " ORDER BY " + s.order_by->column;
+      if (s.order_by->descending) out += " DESC";
+    }
+    if (s.limit != 0) out += " LIMIT " + std::to_string(s.limit);
+    return out;
+  }
+};
+
+struct TableVisitor {
+  const std::string& operator()(const InsertStatement& s) const {
+    return s.table;
+  }
+  const std::string& operator()(const UpdateStatement& s) const {
+    return s.table;
+  }
+  const std::string& operator()(const DeleteStatement& s) const {
+    return s.table;
+  }
+  const std::string& operator()(const SelectStatement& s) const {
+    return s.table;
+  }
+};
+
+}  // namespace
+
+bool IsWriteStatement(const Statement& stmt) {
+  return !std::holds_alternative<SelectStatement>(stmt);
+}
+
+const std::string& StatementTable(const Statement& stmt) {
+  return std::visit(TableVisitor{}, stmt);
+}
+
+std::string StatementToString(const Statement& stmt) {
+  return std::visit(ToStringVisitor{}, stmt);
+}
+
+}  // namespace txrep::rel

@@ -1,0 +1,155 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+namespace txrep::rel {
+
+Table::Table(const TableSchema* schema) : schema_(schema) {
+  hash_indexes_.resize(schema_->hash_index_columns().size());
+}
+
+void Table::IndexAdd(const Row& row) {
+  const auto& cols = schema_->hash_index_columns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value& v = row[cols[i]];
+    if (!v.is_null()) hash_indexes_[i][v].insert(row[schema_->pk_index()]);
+  }
+}
+
+void Table::IndexRemove(const Row& row) {
+  const auto& cols = schema_->hash_index_columns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value& v = row[cols[i]];
+    if (v.is_null()) continue;
+    auto it = hash_indexes_[i].find(v);
+    if (it == hash_indexes_[i].end()) continue;
+    it->second.erase(row[schema_->pk_index()]);
+    if (it->second.empty()) hash_indexes_[i].erase(it);
+  }
+}
+
+Status Table::Insert(Row row) {
+  TXREP_RETURN_IF_ERROR(schema_->ValidateAndCoerceRow(row));
+  const Value& pk = row[schema_->pk_index()];
+  if (rows_.contains(pk)) {
+    return Status::AlreadyExists("duplicate primary key " + pk.ToString() +
+                                 " in table \"" + schema_->table_name() + "\"");
+  }
+  IndexAdd(row);
+  rows_.emplace(pk, std::move(row));
+  return Status::OK();
+}
+
+Status Table::Update(const Value& pk, Row new_row) {
+  TXREP_RETURN_IF_ERROR(schema_->ValidateAndCoerceRow(new_row));
+  auto it = rows_.find(pk);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with primary key " + pk.ToString() +
+                            " in table \"" + schema_->table_name() + "\"");
+  }
+  if (new_row[schema_->pk_index()] != pk) {
+    return Status::InvalidArgument(
+        "UPDATE must not change the primary key (table \"" +
+        schema_->table_name() + "\")");
+  }
+  IndexRemove(it->second);
+  it->second = std::move(new_row);
+  IndexAdd(it->second);
+  return Status::OK();
+}
+
+Status Table::Delete(const Value& pk) {
+  auto it = rows_.find(pk);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with primary key " + pk.ToString() +
+                            " in table \"" + schema_->table_name() + "\"");
+  }
+  IndexRemove(it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Result<Row> Table::Lookup(const Value& pk) const {
+  auto it = rows_.find(pk);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with primary key " + pk.ToString() +
+                            " in table \"" + schema_->table_name() + "\"");
+  }
+  return it->second;
+}
+
+Result<bool> Table::RowMatches(const Row& row,
+                               const std::vector<Predicate>& where) const {
+  for (const Predicate& pred : where) {
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema_->ColumnIndex(pred.column));
+    if (!pred.Matches(row[col])) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Value>> Table::ScanKeys(
+    const std::vector<Predicate>& where) const {
+  std::vector<Value> keys;
+
+  // Fast path 1: equality on the primary key.
+  for (const Predicate& pred : where) {
+    if (pred.op != PredicateOp::kEq) continue;
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema_->ColumnIndex(pred.column));
+    if (col != schema_->pk_index()) continue;
+    auto it = rows_.find(pred.operand);
+    if (it == rows_.end()) return keys;
+    TXREP_ASSIGN_OR_RETURN(bool match, RowMatches(it->second, where));
+    if (match) keys.push_back(it->first);
+    return keys;
+  }
+
+  // Fast path 2: equality on a hash-indexed column.
+  const auto& index_cols = schema_->hash_index_columns();
+  for (const Predicate& pred : where) {
+    if (pred.op != PredicateOp::kEq) continue;
+    TXREP_ASSIGN_OR_RETURN(size_t col, schema_->ColumnIndex(pred.column));
+    auto pos = std::find(index_cols.begin(), index_cols.end(), col);
+    if (pos == index_cols.end()) continue;
+    const auto& index = hash_indexes_[pos - index_cols.begin()];
+    auto bucket = index.find(pred.operand);
+    if (bucket == index.end()) return keys;
+    for (const Value& pk : bucket->second) {
+      auto it = rows_.find(pk);
+      if (it == rows_.end()) continue;
+      TXREP_ASSIGN_OR_RETURN(bool match, RowMatches(it->second, where));
+      if (match) keys.push_back(pk);
+    }
+    return keys;
+  }
+
+  // Slow path: full scan.
+  for (const auto& [pk, row] : rows_) {
+    TXREP_ASSIGN_OR_RETURN(bool match, RowMatches(row, where));
+    if (match) keys.push_back(pk);
+  }
+  return keys;
+}
+
+Result<std::vector<Row>> Table::Scan(
+    const std::vector<Predicate>& where) const {
+  TXREP_ASSIGN_OR_RETURN(std::vector<Value> keys, ScanKeys(where));
+  std::vector<Row> out;
+  out.reserve(keys.size());
+  for (const Value& pk : keys) out.push_back(rows_.at(pk));
+  return out;
+}
+
+void Table::RebuildIndexes() {
+  hash_indexes_.clear();
+  hash_indexes_.resize(schema_->hash_index_columns().size());
+  for (const auto& [pk, row] : rows_) IndexAdd(row);
+}
+
+std::vector<Row> Table::ScanAll() const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [pk, row] : rows_) out.push_back(row);
+  return out;
+}
+
+}  // namespace txrep::rel

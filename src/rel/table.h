@@ -1,0 +1,77 @@
+#ifndef TXREP_REL_TABLE_H_
+#define TXREP_REL_TABLE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/schema.h"
+#include "rel/statement.h"
+#include "rel/value.h"
+
+namespace txrep::rel {
+
+/// Heap storage for one table: rows ordered by primary key, plus maintained
+/// secondary equality indexes (one per declared hash-index column).
+///
+/// Not internally synchronized — the owning Database serializes access.
+class Table {
+ public:
+  explicit Table(const TableSchema* schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return *schema_; }
+
+  /// Inserts a validated row; AlreadyExists on duplicate primary key.
+  Status Insert(Row row);
+
+  /// Replaces the row with primary key `pk` by `new_row` (same pk required);
+  /// NotFound if absent.
+  Status Update(const Value& pk, Row new_row);
+
+  /// Removes the row; NotFound if absent.
+  Status Delete(const Value& pk);
+
+  /// Returns a copy of the row, or NotFound.
+  Result<Row> Lookup(const Value& pk) const;
+
+  bool Contains(const Value& pk) const { return rows_.contains(pk); }
+  size_t size() const { return rows_.size(); }
+
+  /// Rows matching the conjunction of `where` (all must match), in primary
+  /// key order. Uses a secondary index for a leading equality conjunct on an
+  /// indexed column, or the PK directly; falls back to a scan otherwise.
+  Result<std::vector<Row>> Scan(const std::vector<Predicate>& where) const;
+
+  /// Primary keys matching `where`, in PK order (used to drive UPDATE/DELETE).
+  Result<std::vector<Value>> ScanKeys(const std::vector<Predicate>& where) const;
+
+  /// All rows in PK order (full state dump for equivalence checks).
+  std::vector<Row> ScanAll() const;
+
+  /// Re-derives secondary index storage from the schema, backfilling from the
+  /// current rows. Call after declaring a new index on a populated table.
+  void RebuildIndexes();
+
+ private:
+  /// Evaluates the full conjunction against a row.
+  Result<bool> RowMatches(const Row& row,
+                          const std::vector<Predicate>& where) const;
+
+  void IndexAdd(const Row& row);
+  void IndexRemove(const Row& row);
+
+  const TableSchema* schema_;  // Owned by the Catalog; outlives the table.
+  std::map<Value, Row> rows_;
+  // One map per declared hash index, parallel to schema().hash_index_columns().
+  std::vector<std::map<Value, std::set<Value>>> hash_indexes_;
+};
+
+}  // namespace txrep::rel
+
+#endif  // TXREP_REL_TABLE_H_

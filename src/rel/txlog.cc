@@ -1,0 +1,82 @@
+#include "rel/txlog.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace txrep::rel {
+
+const char* LogOpTypeName(LogOpType type) {
+  switch (type) {
+    case LogOpType::kInsert:
+      return "INSERT";
+    case LogOpType::kUpdate:
+      return "UPDATE";
+    case LogOpType::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+std::string LogOp::DebugString() const {
+  std::string out = LogOpTypeName(type);
+  out += " ";
+  out += table;
+  out += " pk=";
+  out += pk.ToString();
+  if (type != LogOpType::kDelete) {
+    out += " after=";
+    out += RowToString(after);
+  }
+  return out;
+}
+
+bool operator==(const LogOp& a, const LogOp& b) {
+  return a.type == b.type && a.table == b.table && a.pk == b.pk &&
+         a.after == b.after;
+}
+
+uint64_t TxLog::Append(std::vector<LogOp> ops) {
+  if (ops.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  LogTransaction entry;
+  entry.lsn = next_lsn_++;
+  entry.commit_micros = NowMicros();
+  entry.ops = std::move(ops);
+  entries_.push_back(std::move(entry));
+  return entries_.back().lsn;
+}
+
+std::vector<LogTransaction> TxLog::ReadSince(uint64_t after_lsn,
+                                             size_t max_transactions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), after_lsn,
+      [](uint64_t lsn, const LogTransaction& t) { return lsn < t.lsn; });
+  std::vector<LogTransaction> out;
+  for (; it != entries_.end(); ++it) {
+    if (max_transactions != 0 && out.size() >= max_transactions) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+uint64_t TxLog::LastLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? next_lsn_ - 1 : entries_.back().lsn;
+}
+
+size_t TxLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TxLog::TruncateUpTo(uint64_t up_to_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), up_to_lsn,
+      [](uint64_t lsn, const LogTransaction& t) { return lsn < t.lsn; });
+  entries_.erase(entries_.begin(), it);
+}
+
+}  // namespace txrep::rel

@@ -1,0 +1,81 @@
+#ifndef TXREP_REL_TXLOG_H_
+#define TXREP_REL_TXLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace txrep::rel {
+
+/// Kind of a logged write operation.
+enum class LogOpType : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+
+/// Returns "INSERT", "UPDATE" or "DELETE".
+const char* LogOpTypeName(LogOpType type);
+
+/// One logical write in the transaction log, in *after-image* form: the log
+/// carries deterministic values, never expressions, so replay needs no
+/// re-evaluation (paper §3: "the transaction log only includes write
+/// statements").
+struct LogOp {
+  LogOpType type = LogOpType::kInsert;
+  std::string table;
+  Value pk;
+  Row after;  // Full row after the write; empty for kDelete.
+
+  std::string DebugString() const;
+};
+
+bool operator==(const LogOp& a, const LogOp& b);
+
+/// One committed transaction's writes, stamped with its commit LSN. LSNs are
+/// dense (1, 2, 3, ...) and define the execution-defined order the replica
+/// must reproduce.
+struct LogTransaction {
+  uint64_t lsn = 0;
+  /// Commit instant on the database side (steady-clock micros); the replica
+  /// side uses it to measure replication lag / staleness.
+  int64_t commit_micros = 0;
+  std::vector<LogOp> ops;
+};
+
+/// Append-only, commit-ordered transaction log. Thread-safe. The publisher
+/// agent tails it with ReadSince().
+class TxLog {
+ public:
+  TxLog() = default;
+
+  TxLog(const TxLog&) = delete;
+  TxLog& operator=(const TxLog&) = delete;
+
+  /// Appends the ops of one committed transaction; returns its LSN.
+  /// Transactions with no write ops are not logged (returns 0).
+  uint64_t Append(std::vector<LogOp> ops);
+
+  /// Returns up to `max_transactions` transactions with lsn > `after_lsn`
+  /// in LSN order. `max_transactions` == 0 means no limit.
+  std::vector<LogTransaction> ReadSince(uint64_t after_lsn,
+                                        size_t max_transactions = 0) const;
+
+  /// LSN of the most recently appended transaction (0 when empty).
+  uint64_t LastLsn() const;
+
+  /// Number of logged transactions.
+  size_t size() const;
+
+  /// Drops transactions with lsn <= `up_to_lsn` (log truncation after the
+  /// replica acknowledged them). Reads of truncated ranges return nothing.
+  void TruncateUpTo(uint64_t up_to_lsn);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogTransaction> entries_;  // entries_[i].lsn strictly increasing.
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace txrep::rel
+
+#endif  // TXREP_REL_TXLOG_H_

@@ -1,0 +1,90 @@
+#include "sql/interpreter.h"
+
+namespace txrep::sql {
+
+Result<ScriptResult> ExecuteSql(rel::Database& db, std::string_view sql) {
+  TXREP_ASSIGN_OR_RETURN(std::vector<ParsedCommand> commands, ParseScript(sql));
+  ScriptResult result;
+  bool in_block = false;
+  std::vector<rel::Statement> block;
+
+  auto run = [&](const std::vector<rel::Statement>& stmts) -> Status {
+    TXREP_ASSIGN_OR_RETURN(rel::CommitInfo info, db.ExecuteTransaction(stmts));
+    for (auto& rows : info.select_results) {
+      result.select_results.push_back(std::move(rows));
+    }
+    if (info.lsn != 0) result.last_lsn = info.lsn;
+    return Status::OK();
+  };
+
+  for (ParsedCommand& command : commands) {
+    if (std::holds_alternative<BeginCommand>(command)) {
+      if (in_block) {
+        return Status::InvalidArgument("nested BEGIN is not supported");
+      }
+      in_block = true;
+      continue;
+    }
+    if (std::holds_alternative<CommitCommand>(command)) {
+      if (!in_block) {
+        return Status::InvalidArgument("COMMIT without BEGIN");
+      }
+      TXREP_RETURN_IF_ERROR(run(block));
+      block.clear();
+      in_block = false;
+      continue;
+    }
+    if (std::holds_alternative<RollbackCommand>(command)) {
+      if (!in_block) {
+        return Status::InvalidArgument("ROLLBACK without BEGIN");
+      }
+      block.clear();
+      in_block = false;
+      continue;
+    }
+    if (auto* create = std::get_if<CreateTableCommand>(&command)) {
+      if (in_block) {
+        return Status::InvalidArgument(
+            "DDL inside a transaction block is not supported");
+      }
+      TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(create->schema)));
+      continue;
+    }
+    if (auto* index = std::get_if<CreateIndexCommand>(&command)) {
+      if (in_block) {
+        return Status::InvalidArgument(
+            "DDL inside a transaction block is not supported");
+      }
+      if (index->range) {
+        TXREP_RETURN_IF_ERROR(db.CreateRangeIndex(index->table, index->column));
+      } else {
+        TXREP_RETURN_IF_ERROR(db.CreateHashIndex(index->table, index->column));
+      }
+      continue;
+    }
+    TXREP_ASSIGN_OR_RETURN(rel::Statement stmt, ToStatement(std::move(command)));
+    if (in_block) {
+      block.push_back(std::move(stmt));
+    } else {
+      TXREP_RETURN_IF_ERROR(run({stmt}));
+    }
+  }
+  if (in_block) {
+    return Status::InvalidArgument("script ended inside an open BEGIN block");
+  }
+  return result;
+}
+
+Result<rel::CommitInfo> ExecuteSqlTransaction(
+    rel::Database& db, const std::vector<std::string_view>& statements) {
+  std::vector<rel::Statement> stmts;
+  stmts.reserve(statements.size());
+  for (std::string_view text : statements) {
+    TXREP_ASSIGN_OR_RETURN(ParsedCommand command, ParseCommand(text));
+    TXREP_ASSIGN_OR_RETURN(rel::Statement stmt, ToStatement(std::move(command)));
+    stmts.push_back(std::move(stmt));
+  }
+  return db.ExecuteTransaction(stmts);
+}
+
+}  // namespace txrep::sql

@@ -1,0 +1,33 @@
+#ifndef TXREP_SQL_INTERPRETER_H_
+#define TXREP_SQL_INTERPRETER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/database.h"
+#include "sql/parser.h"
+
+namespace txrep::sql {
+
+/// Result of running a SQL script: rows produced by each SELECT, in order.
+struct ScriptResult {
+  std::vector<std::vector<rel::Row>> select_results;
+
+  /// LSN of the last committed write transaction (0 if none).
+  uint64_t last_lsn = 0;
+};
+
+/// Executes a ';'-separated SQL script against `db`. DDL commands apply
+/// immediately; each DML statement runs as its own transaction. Stops at the
+/// first error.
+Result<ScriptResult> ExecuteSql(rel::Database& db, std::string_view sql);
+
+/// Parses `statements` (each one DML statement) and executes them atomically
+/// as a single transaction.
+Result<rel::CommitInfo> ExecuteSqlTransaction(
+    rel::Database& db, const std::vector<std::string_view>& statements);
+
+}  // namespace txrep::sql
+
+#endif  // TXREP_SQL_INTERPRETER_H_

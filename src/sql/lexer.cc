@@ -1,0 +1,162 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace txrep::sql {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (type != TokenType::kIdentifier) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentBody(sql[j])) ++j;
+      token.type = TokenType::kIdentifier;
+      token.text.assign(sql.substr(i, j - i));
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+        }
+      }
+      const std::string text(sql.substr(i, j - i));
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        errno = 0;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument("integer literal out of range at " +
+                                         std::to_string(i));
+        }
+      }
+      token.text = text;
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string contents;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // Doubled quote escape.
+            contents.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        contents.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(contents);
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Symbols.
+    if (c == '<' || c == '>') {
+      token.type = TokenType::kSymbol;
+      if (i + 1 < n && sql[i + 1] == '=') {
+        token.text = std::string(1, c) + "=";
+        i += 2;
+      } else {
+        token.text = std::string(1, c);
+        ++i;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' || c == '=' ||
+        c == '-' || c == '+') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace txrep::sql

@@ -1,0 +1,49 @@
+#ifndef TXREP_SQL_LEXER_H_
+#define TXREP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace txrep::sql {
+
+/// Token categories produced by the lexer.
+enum class TokenType : uint8_t {
+  kIdentifier,  // Unquoted name (case-preserved; keyword check is separate).
+  kInteger,     // 64-bit integer literal.
+  kFloat,       // Double literal.
+  kString,      // 'quoted' literal with '' escaping; text holds the content.
+  kSymbol,      // Punctuation / operator; text holds it, e.g. "<=", "(", ",".
+  kEnd,         // End of input.
+};
+
+/// One lexed token.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // Identifier name, symbol or string contents.
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;    // Byte offset in the input, for error messages.
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(std::string_view keyword) const;
+
+  /// Exact symbol test.
+  bool IsSymbol(std::string_view symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+};
+
+/// Tokenizes `sql`. Supports identifiers ([A-Za-z_][A-Za-z0-9_]*), integer
+/// and float literals (with optional sign handled by the parser), 'string'
+/// literals with doubled-quote escaping, line comments (-- ...), and the
+/// symbols ( ) , ; * = < <= > >= .
+/// The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace txrep::sql
+
+#endif  // TXREP_SQL_LEXER_H_

@@ -1,0 +1,443 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace txrep::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedCommand> ParseOne() {
+    TXREP_ASSIGN_OR_RETURN(ParsedCommand cmd, ParseCommandInner());
+    // Optional trailing semicolon, then end of input.
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return cmd;
+  }
+
+  Result<std::vector<ParsedCommand>> ParseAll() {
+    std::vector<ParsedCommand> commands;
+    for (;;) {
+      while (Peek().IsSymbol(";")) Advance();
+      if (Peek().type == TokenType::kEnd) break;
+      TXREP_ASSIGN_OR_RETURN(ParsedCommand cmd, ParseCommandInner());
+      commands.push_back(std::move(cmd));
+      if (Peek().IsSymbol(";")) {
+        Advance();
+      } else if (Peek().type != TokenType::kEnd) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return commands;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        "parse error at offset " + std::to_string(Peek().offset) + ": " + what +
+        (Peek().type == TokenType::kEnd ? " (at end of input)"
+                                        : " (near \"" + Peek().text + "\")"));
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error("expected " + std::string(keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!Peek().IsSymbol(symbol)) {
+      return Error("expected '" + std::string(symbol) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  Result<rel::Value> ParseLiteral() {
+    bool negate = false;
+    if (Peek().IsSymbol("-")) {
+      negate = true;
+      Advance();
+    } else if (Peek().IsSymbol("+")) {
+      Advance();
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        int64_t v = Advance().int_value;
+        return rel::Value::Int(negate ? -v : v);
+      }
+      case TokenType::kFloat: {
+        double v = Advance().float_value;
+        return rel::Value::Real(negate ? -v : v);
+      }
+      case TokenType::kString:
+        if (negate) return Error("cannot negate a string literal");
+        return rel::Value::Str(Advance().text);
+      case TokenType::kIdentifier:
+        if (t.IsKeyword("NULL")) {
+          if (negate) return Error("cannot negate NULL");
+          Advance();
+          return rel::Value::Null();
+        }
+        return Error("expected literal");
+      default:
+        return Error("expected literal");
+    }
+  }
+
+  Result<rel::ValueType> ParseColumnType() {
+    TXREP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    rel::ValueType type;
+    Token dummy;
+    dummy.type = TokenType::kIdentifier;
+    dummy.text = name;
+    if (dummy.IsKeyword("INT") || dummy.IsKeyword("BIGINT") ||
+        dummy.IsKeyword("INTEGER")) {
+      type = rel::ValueType::kInt64;
+    } else if (dummy.IsKeyword("DOUBLE") || dummy.IsKeyword("FLOAT") ||
+               dummy.IsKeyword("REAL")) {
+      type = rel::ValueType::kDouble;
+    } else if (dummy.IsKeyword("VARCHAR") || dummy.IsKeyword("STRING") ||
+               dummy.IsKeyword("TEXT") || dummy.IsKeyword("CHAR")) {
+      type = rel::ValueType::kString;
+      // Optional length: VARCHAR(40) — parsed and ignored.
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected length after VARCHAR(");
+        }
+        Advance();
+        TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    } else {
+      return Error("unknown column type \"" + name + "\"");
+    }
+    return type;
+  }
+
+  Result<ParsedCommand> ParseCreate() {
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (Peek().IsKeyword("TABLE")) {
+      Advance();
+      return ParseCreateTable();
+    }
+    bool range = false;
+    if (Peek().IsKeyword("RANGE")) {
+      range = true;
+      Advance();
+    }
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    CreateIndexCommand cmd;
+    cmd.range = range;
+    TXREP_ASSIGN_OR_RETURN(cmd.table, ExpectIdentifier());
+    TXREP_RETURN_IF_ERROR(ExpectSymbol("("));
+    TXREP_ASSIGN_OR_RETURN(cmd.column, ExpectIdentifier());
+    TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ParsedCommand(std::move(cmd));
+  }
+
+  Result<ParsedCommand> ParseCreateTable() {
+    TXREP_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier());
+    TXREP_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<rel::Column> columns;
+    std::string pk_column;
+    for (;;) {
+      TXREP_ASSIGN_OR_RETURN(std::string col_name, ExpectIdentifier());
+      TXREP_ASSIGN_OR_RETURN(rel::ValueType type, ParseColumnType());
+      if (Peek().IsKeyword("PRIMARY")) {
+        Advance();
+        TXREP_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        if (!pk_column.empty()) {
+          return Error("multiple PRIMARY KEY columns");
+        }
+        pk_column = col_name;
+      }
+      columns.push_back(rel::Column{std::move(col_name), type});
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (pk_column.empty()) {
+      return Error("CREATE TABLE requires a PRIMARY KEY column");
+    }
+    TXREP_ASSIGN_OR_RETURN(
+        rel::TableSchema schema,
+        rel::TableSchema::Create(std::move(table), std::move(columns),
+                                 std::move(pk_column)));
+    return ParsedCommand(CreateTableCommand{std::move(schema)});
+  }
+
+  Result<std::vector<rel::Predicate>> ParseWhere() {
+    std::vector<rel::Predicate> preds;
+    if (!Peek().IsKeyword("WHERE")) return preds;
+    Advance();
+    for (;;) {
+      rel::Predicate pred;
+      TXREP_ASSIGN_OR_RETURN(pred.column, ExpectIdentifier());
+      if (Peek().IsKeyword("BETWEEN")) {
+        Advance();
+        pred.op = rel::PredicateOp::kBetween;
+        TXREP_ASSIGN_OR_RETURN(pred.operand, ParseLiteral());
+        TXREP_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        TXREP_ASSIGN_OR_RETURN(pred.operand2, ParseLiteral());
+      } else if (Peek().type == TokenType::kSymbol) {
+        const std::string op = Advance().text;
+        if (op == "=") {
+          pred.op = rel::PredicateOp::kEq;
+        } else if (op == "<") {
+          pred.op = rel::PredicateOp::kLt;
+        } else if (op == "<=") {
+          pred.op = rel::PredicateOp::kLe;
+        } else if (op == ">") {
+          pred.op = rel::PredicateOp::kGt;
+        } else if (op == ">=") {
+          pred.op = rel::PredicateOp::kGe;
+        } else {
+          return Error("unknown comparison operator '" + op + "'");
+        }
+        TXREP_ASSIGN_OR_RETURN(pred.operand, ParseLiteral());
+      } else {
+        return Error("expected comparison operator");
+      }
+      preds.push_back(std::move(pred));
+      if (Peek().IsKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return preds;
+  }
+
+  Result<ParsedCommand> ParseInsert() {
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    rel::InsertStatement stmt;
+    TXREP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      for (;;) {
+        TXREP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.columns.push_back(std::move(col));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    TXREP_RETURN_IF_ERROR(ExpectSymbol("("));
+    for (;;) {
+      TXREP_ASSIGN_OR_RETURN(rel::Value v, ParseLiteral());
+      stmt.values.push_back(std::move(v));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ParsedCommand(std::move(stmt));
+  }
+
+  Result<ParsedCommand> ParseUpdate() {
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    rel::UpdateStatement stmt;
+    TXREP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    for (;;) {
+      TXREP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      TXREP_RETURN_IF_ERROR(ExpectSymbol("="));
+      TXREP_ASSIGN_OR_RETURN(rel::Value v, ParseLiteral());
+      stmt.sets.emplace_back(std::move(col), std::move(v));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    TXREP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return ParsedCommand(std::move(stmt));
+  }
+
+  Result<ParsedCommand> ParseDelete() {
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    rel::DeleteStatement stmt;
+    TXREP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    TXREP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return ParsedCommand(std::move(stmt));
+  }
+
+  /// Identifier that is an aggregate function name, or nullopt.
+  static std::optional<rel::AggregateFn> AggregateFnFor(const Token& t) {
+    if (t.IsKeyword("COUNT")) return rel::AggregateFn::kCount;
+    if (t.IsKeyword("SUM")) return rel::AggregateFn::kSum;
+    if (t.IsKeyword("MIN")) return rel::AggregateFn::kMin;
+    if (t.IsKeyword("MAX")) return rel::AggregateFn::kMax;
+    if (t.IsKeyword("AVG")) return rel::AggregateFn::kAvg;
+    return std::nullopt;
+  }
+
+  Result<ParsedCommand> ParseSelect() {
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    rel::SelectStatement stmt;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+    } else {
+      for (;;) {
+        // Aggregate item? Identifier followed by '(' and a known fn name.
+        std::optional<rel::AggregateFn> fn = AggregateFnFor(Peek());
+        if (fn.has_value() && Peek(1).IsSymbol("(")) {
+          Advance();  // fn name
+          Advance();  // '('
+          rel::AggregateItem item;
+          item.fn = *fn;
+          if (Peek().IsSymbol("*")) {
+            if (item.fn != rel::AggregateFn::kCount) {
+              return Error("only COUNT accepts *");
+            }
+            Advance();
+          } else {
+            TXREP_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+          }
+          TXREP_RETURN_IF_ERROR(ExpectSymbol(")"));
+          stmt.aggregates.push_back(std::move(item));
+        } else {
+          TXREP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          stmt.columns.push_back(std::move(col));
+        }
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!stmt.aggregates.empty() && !stmt.columns.empty()) {
+        return Error("cannot mix aggregates and plain columns (no GROUP BY)");
+      }
+    }
+    TXREP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TXREP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    TXREP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      TXREP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      rel::OrderBy order;
+      TXREP_ASSIGN_OR_RETURN(order.column, ExpectIdentifier());
+      if (Peek().IsKeyword("DESC")) {
+        order.descending = true;
+        Advance();
+      } else if (Peek().IsKeyword("ASC")) {
+        Advance();
+      }
+      stmt.order_by = std::move(order);
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger || Peek().int_value < 0) {
+        return Error("LIMIT requires a non-negative integer");
+      }
+      stmt.limit = static_cast<size_t>(Advance().int_value);
+    }
+    return ParsedCommand(std::move(stmt));
+  }
+
+  Result<ParsedCommand> ParseCommandInner() {
+    const Token& t = Peek();
+    if (t.IsKeyword("CREATE")) return ParseCreate();
+    if (t.IsKeyword("INSERT")) return ParseInsert();
+    if (t.IsKeyword("UPDATE")) return ParseUpdate();
+    if (t.IsKeyword("DELETE")) return ParseDelete();
+    if (t.IsKeyword("SELECT")) return ParseSelect();
+    if (t.IsKeyword("BEGIN")) {
+      Advance();
+      // Optional noise word: BEGIN TRANSACTION.
+      if (Peek().IsKeyword("TRANSACTION")) Advance();
+      return ParsedCommand(BeginCommand{});
+    }
+    if (t.IsKeyword("COMMIT")) {
+      Advance();
+      return ParsedCommand(CommitCommand{});
+    }
+    if (t.IsKeyword("ROLLBACK")) {
+      Advance();
+      return ParsedCommand(RollbackCommand{});
+    }
+    return Error(
+        "expected CREATE, INSERT, UPDATE, DELETE, SELECT, BEGIN, COMMIT or "
+        "ROLLBACK");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsDml(const ParsedCommand& command) {
+  return std::holds_alternative<rel::InsertStatement>(command) ||
+         std::holds_alternative<rel::UpdateStatement>(command) ||
+         std::holds_alternative<rel::DeleteStatement>(command) ||
+         std::holds_alternative<rel::SelectStatement>(command);
+}
+
+Result<rel::Statement> ToStatement(ParsedCommand command) {
+  if (auto* insert = std::get_if<rel::InsertStatement>(&command)) {
+    return rel::Statement(std::move(*insert));
+  }
+  if (auto* update = std::get_if<rel::UpdateStatement>(&command)) {
+    return rel::Statement(std::move(*update));
+  }
+  if (auto* del = std::get_if<rel::DeleteStatement>(&command)) {
+    return rel::Statement(std::move(*del));
+  }
+  if (auto* select = std::get_if<rel::SelectStatement>(&command)) {
+    return rel::Statement(std::move(*select));
+  }
+  return Status::InvalidArgument("DDL command is not a DML statement");
+}
+
+Result<ParsedCommand> ParseCommand(std::string_view sql) {
+  TXREP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseOne();
+}
+
+Result<std::vector<ParsedCommand>> ParseScript(std::string_view sql) {
+  TXREP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+}  // namespace txrep::sql

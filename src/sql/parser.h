@@ -1,0 +1,75 @@
+#ifndef TXREP_SQL_PARSER_H_
+#define TXREP_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/schema.h"
+#include "rel/statement.h"
+
+namespace txrep::sql {
+
+/// CREATE TABLE name (col TYPE [PRIMARY KEY], ...).
+struct CreateTableCommand {
+  rel::TableSchema schema;
+};
+
+/// CREATE [RANGE] INDEX ON table (column).
+struct CreateIndexCommand {
+  std::string table;
+  std::string column;
+  bool range = false;
+};
+
+/// BEGIN — opens an explicit transaction block in a script.
+struct BeginCommand {};
+
+/// COMMIT — atomically executes the open block.
+struct CommitCommand {};
+
+/// ROLLBACK — discards the open block without executing it.
+struct RollbackCommand {};
+
+/// Any parsed SQL command: a DML/query statement, a DDL command or a
+/// transaction-control command.
+using ParsedCommand =
+    std::variant<rel::InsertStatement, rel::UpdateStatement,
+                 rel::DeleteStatement, rel::SelectStatement,
+                 CreateTableCommand, CreateIndexCommand, BeginCommand,
+                 CommitCommand, RollbackCommand>;
+
+/// True for the four DML/query alternatives.
+bool IsDml(const ParsedCommand& command);
+
+/// Converts a DML ParsedCommand into a rel::Statement;
+/// InvalidArgument for DDL.
+Result<rel::Statement> ToStatement(ParsedCommand command);
+
+/// Parses exactly one command (a trailing ';' is allowed).
+///
+/// Grammar (case-insensitive keywords):
+///   CREATE TABLE t (col TYPE [PRIMARY KEY] {, col TYPE [PRIMARY KEY]})
+///   CREATE [RANGE] INDEX ON t (col)
+///   INSERT INTO t [(cols)] VALUES (literal {, literal})
+///   UPDATE t SET col = literal {, col = literal} [WHERE conjuncts]
+///   DELETE FROM t [WHERE conjuncts]
+///   SELECT select_list FROM t [WHERE conjuncts]
+///          [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   select_list := * | col {, col} | agg {, agg}
+///   agg       := (COUNT | SUM | MIN | MAX | AVG) ( col ) | COUNT(*)
+///   conjuncts := pred {AND pred}
+///   pred      := col (= | < | <= | > | >=) literal
+///              | col BETWEEN literal AND literal
+///   TYPE      := INT | BIGINT | DOUBLE | FLOAT | VARCHAR[(n)] | STRING | TEXT
+///   literal   := [+|-] number | 'string' | NULL
+Result<ParsedCommand> ParseCommand(std::string_view sql);
+
+/// Parses a ';'-separated script into commands (empty statements skipped).
+Result<std::vector<ParsedCommand>> ParseScript(std::string_view sql);
+
+}  // namespace txrep::sql
+
+#endif  // TXREP_SQL_PARSER_H_

@@ -1,0 +1,182 @@
+#include "txrep/system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace txrep {
+
+TxRepSystem::TxRepSystem(TxRepOptions options)
+    : options_(std::move(options)) {
+  cluster_ = std::make_unique<kv::KvCluster>(options_.cluster);
+}
+
+TxRepSystem::~TxRepSystem() {
+  if (publisher_ != nullptr) publisher_->Stop();
+  if (broker_ != nullptr) broker_->Shutdown();   // Unblocks the subscriber.
+  if (subscriber_ != nullptr) subscriber_->Stop();
+  tm_.reset();  // Waits for in-flight transactions.
+  lag_queue_.Close();
+  if (lag_thread_.joinable()) lag_thread_.join();
+}
+
+Status TxRepSystem::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("TxRepSystem already started");
+  }
+  translator_ = std::make_unique<qt::QueryTranslator>(&db_.catalog(),
+                                                      options_.blink);
+  reader_ = std::make_unique<qt::ReplicaReader>(&db_.catalog(), options_.blink);
+
+  // Initial copy: the replica starts from the current snapshot; only
+  // transactions after this point are shipped.
+  TXREP_RETURN_IF_ERROR(translator_->LoadSnapshot(cluster_.get(), db_));
+  snapshot_lsn_ = db_.log().LastLsn();
+  const uint64_t snapshot_lsn = snapshot_lsn_;
+
+  if (options_.concurrent_replication) {
+    tm_ = std::make_unique<core::TransactionManager>(
+        cluster_.get(), translator_.get(), options_.tm);
+  } else {
+    serial_ =
+        std::make_unique<core::SerialApplier>(cluster_.get(), translator_.get());
+  }
+
+  if (options_.measure_lag) {
+    lag_thread_ = std::thread([this] { LagLoop(); });
+  }
+
+  broker_ = std::make_unique<mw::Broker>(options_.broker);
+  mw::PublisherOptions pub_options = options_.publisher;
+  pub_options.start_after_lsn = snapshot_lsn;
+  publisher_ =
+      std::make_unique<mw::PublisherAgent>(&db_.log(), broker_.get(),
+                                           pub_options);
+  subscriber_ = std::make_unique<mw::SubscriberAgent>(
+      broker_.get(), pub_options.topic,
+      [this](rel::LogTransaction txn) { return ApplySink(std::move(txn)); });
+  publisher_->Start();
+  started_ = true;
+  return Status::OK();
+}
+
+Status TxRepSystem::ApplySink(rel::LogTransaction txn) {
+  const int64_t commit_micros = txn.commit_micros;
+  if (tm_ != nullptr) {
+    std::shared_ptr<core::Transaction> handle =
+        tm_->SubmitUpdate(std::move(txn));
+    if (options_.measure_lag) {
+      lag_queue_.Push(LagProbe{std::move(handle), commit_micros});
+    }
+    return tm_->health();
+  }
+  TXREP_RETURN_IF_ERROR(serial_->Apply(txn));
+  if (options_.measure_lag) {
+    lag_histogram_.Record(NowMicros() - commit_micros);
+  }
+  return Status::OK();
+}
+
+void TxRepSystem::LagLoop() {
+  for (;;) {
+    std::optional<LagProbe> probe = lag_queue_.Pop();
+    if (!probe.has_value()) return;
+    if (probe->handle != nullptr) {
+      (void)probe->handle->Wait();
+    }
+    lag_histogram_.Record(NowMicros() - probe->commit_micros);
+  }
+}
+
+Status TxRepSystem::SyncToLatest() {
+  if (!started_) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  TXREP_RETURN_IF_ERROR(publisher_->PumpAll());
+  broker_->Flush();
+  const uint64_t target = db_.log().LastLsn();
+  // Transactions at or below the snapshot LSN were never shipped (the
+  // snapshot already contains them) — only wait for genuinely shipped ones.
+  if (target > snapshot_lsn_ && !subscriber_->WaitForLsn(target)) {
+    Status health = subscriber_->health();
+    return health.ok() ? Status::Aborted("subscriber stopped before catch-up")
+                       : health;
+  }
+  if (tm_ != nullptr) {
+    return tm_->WaitIdle();
+  }
+  return subscriber_->health();
+}
+
+Result<std::vector<rel::Row>> TxRepSystem::QueryReplica(
+    const rel::SelectStatement& stmt) {
+  if (!started_) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  if (tm_ == nullptr) {
+    return QueryReplicaNonTransactional(stmt);
+  }
+  auto rows = std::make_shared<std::vector<rel::Row>>();
+  auto handle = tm_->SubmitReadOnly([this, stmt, rows](kv::KvStore* view) {
+    TXREP_ASSIGN_OR_RETURN(*rows, reader_->Select(view, stmt));
+    return Status::OK();
+  });
+  TXREP_RETURN_IF_ERROR(handle->Wait());
+  return std::move(*rows);
+}
+
+Status TxRepSystem::RunReadOnlyTransaction(
+    const std::function<Status(kv::KvStore*, const qt::ReplicaReader&)>&
+        body) {
+  if (!started_) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  if (tm_ == nullptr) {
+    return body(cluster_.get(), *reader_);
+  }
+  auto handle = tm_->SubmitReadOnly(
+      [this, &body](kv::KvStore* view) { return body(view, *reader_); });
+  return handle->Wait();
+}
+
+Result<std::vector<rel::Row>> TxRepSystem::QueryReplicaNonTransactional(
+    const rel::SelectStatement& stmt) {
+  if (reader_ == nullptr) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  return reader_->Select(cluster_.get(), stmt);
+}
+
+core::TmStats TxRepSystem::tm_stats() const {
+  return tm_ != nullptr ? tm_->stats() : core::TmStats{};
+}
+
+Result<qt::ConsistencyReport> TxRepSystem::AuditReplica() {
+  if (!started_) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  return qt::CheckReplicaConsistency(*cluster_, db_, *translator_);
+}
+
+uint64_t TxRepSystem::TruncateReplicatedLog() {
+  // Only transactions the replica *applied* may be dropped; for the TM path
+  // an LSN handed to the subscriber may still be in flight, so wait for the
+  // manager to drain before reading the watermark.
+  if (tm_ != nullptr) {
+    (void)tm_->WaitIdle();
+  }
+  const uint64_t watermark = replica_lsn();
+  if (watermark > 0) {
+    db_.log().TruncateUpTo(watermark);
+  }
+  return watermark;
+}
+
+uint64_t TxRepSystem::replica_lsn() const {
+  const uint64_t shipped =
+      subscriber_ != nullptr ? subscriber_->applied_lsn() : 0;
+  return std::max(shipped, snapshot_lsn_);
+}
+
+}  // namespace txrep

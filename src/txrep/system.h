@@ -1,0 +1,162 @@
+#ifndef TXREP_TXREP_SYSTEM_H_
+#define TXREP_TXREP_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "blink/blink_tree.h"
+#include "common/blocking_queue.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "core/serial_applier.h"
+#include "core/transaction_manager.h"
+#include "kv/kv_cluster.h"
+#include "mw/broker.h"
+#include "mw/publisher.h"
+#include "mw/subscriber.h"
+#include "qt/consistency_checker.h"
+#include "qt/query_translator.h"
+#include "qt/replica_reader.h"
+#include "rel/database.h"
+
+namespace txrep {
+
+/// End-to-end configuration of a TxRep deployment.
+struct TxRepOptions {
+  /// Replica key-value cluster (node count, simulated service time, ...).
+  kv::KvClusterOptions cluster;
+
+  /// Transaction manager knobs (thread pools, GC threshold, ...).
+  core::TmOptions tm;
+
+  /// Broker simulation (delivery latency).
+  mw::BrokerOptions broker;
+
+  /// Publisher agent (batch size, poll interval).
+  mw::PublisherOptions publisher;
+
+  /// B-link tree fanout for the replica's range indexes.
+  blink::BlinkTreeOptions blink;
+
+  /// true: the paper's concurrent TM applies transactions.
+  /// false: the single-threaded serial baseline.
+  bool concurrent_replication = true;
+
+  /// Record per-transaction replication lag (DB commit -> replica apply).
+  bool measure_lag = false;
+};
+
+/// The whole TxRep deployment of paper Fig. 3 in one object:
+///
+///   Database (rel) --log--> PublisherAgent --Broker--> SubscriberAgent
+///        --> {TransactionManager | SerialApplier} --QT--> KvCluster
+///
+/// Usage:
+///   TxRepSystem sys(options);
+///   ... create schema + populate sys.database() ...
+///   sys.Start();                       // snapshot to replica, begin shipping
+///   ... run write transactions on sys.database() ...
+///   sys.SyncToLatest();                // drain the pipeline
+///   sys.QueryReplica(select);          // read-only workload on the replica
+class TxRepSystem {
+ public:
+  explicit TxRepSystem(TxRepOptions options = {});
+  ~TxRepSystem();
+
+  TxRepSystem(const TxRepSystem&) = delete;
+  TxRepSystem& operator=(const TxRepSystem&) = delete;
+
+  /// The original relational database (run the read/write workload here).
+  rel::Database& database() { return db_; }
+
+  /// The replica cluster (raw key-value access).
+  kv::KvCluster& replica() { return *cluster_; }
+
+  /// Copies the current database snapshot into the replica and starts the
+  /// replication pipeline (publisher polling, subscriber applying). Call
+  /// once, after schema creation and initial population.
+  Status Start();
+
+  /// Ships and applies everything committed so far; blocks until the replica
+  /// caught up. Returns the pipeline health.
+  Status SyncToLatest();
+
+  /// Read-only transaction on the replica, interleaved with replication via
+  /// the TM (sequence-consistent reads). Falls back to a direct read when
+  /// running the serial baseline.
+  Result<std::vector<rel::Row>> QueryReplica(const rel::SelectStatement& stmt);
+
+  /// Runs `body` as ONE interleaved read-only transaction: all its reads see
+  /// the replica state of a single sequence point (serializable against the
+  /// replication stream). The body receives the buffered store view and a
+  /// ReplicaReader bound to the catalog; return non-OK to signal failure.
+  /// Under the serial baseline the body runs directly against the cluster
+  /// (the subscriber thread is the only writer, but reads are then only
+  /// key-atomic, not transactional).
+  Status RunReadOnlyTransaction(
+      const std::function<Status(kv::KvStore*, const qt::ReplicaReader&)>&
+          body);
+
+  /// Non-transactional read straight against the cluster (memcached-style
+  /// access; may observe mid-replay state of multi-op transactions only
+  /// through key-level atomicity — exactly the paper's §3.1 model).
+  Result<std::vector<rel::Row>> QueryReplicaNonTransactional(
+      const rel::SelectStatement& stmt);
+
+  /// TM statistics (zeros under the serial baseline).
+  core::TmStats tm_stats() const;
+
+  /// Replication lag distribution in microseconds (empty unless
+  /// options.measure_lag).
+  const Histogram& lag_histogram() const { return lag_histogram_; }
+
+  /// Highest LSN applied on the replica.
+  uint64_t replica_lsn() const;
+
+  /// Audits the replica against the database (row objects, hash postings,
+  /// B-link indexes, stray objects). Quiesce first (SyncToLatest) for a
+  /// meaningful answer.
+  Result<qt::ConsistencyReport> AuditReplica();
+
+  /// Truncates the database's transaction log up to what the replica has
+  /// durably applied (shipped-and-completed LSN). Returns the truncation
+  /// point. Safe at any time: the publisher never re-reads below its shipped
+  /// cursor, and entries above the returned LSN are retained.
+  uint64_t TruncateReplicatedLog();
+
+  const qt::QueryTranslator& translator() const { return *translator_; }
+  const TxRepOptions& options() const { return options_; }
+
+ private:
+  struct LagProbe {
+    std::shared_ptr<core::Transaction> handle;  // Null under serial applier.
+    int64_t commit_micros = 0;
+  };
+
+  Status ApplySink(rel::LogTransaction txn);
+  void LagLoop();
+
+  TxRepOptions options_;
+  rel::Database db_;
+  std::unique_ptr<kv::KvCluster> cluster_;
+  std::unique_ptr<qt::QueryTranslator> translator_;
+  std::unique_ptr<qt::ReplicaReader> reader_;
+  std::unique_ptr<core::TransactionManager> tm_;
+  std::unique_ptr<core::SerialApplier> serial_;
+  std::unique_ptr<mw::Broker> broker_;
+  std::unique_ptr<mw::PublisherAgent> publisher_;
+  std::unique_ptr<mw::SubscriberAgent> subscriber_;
+
+  Histogram lag_histogram_;
+  BlockingQueue<LagProbe> lag_queue_;
+  std::thread lag_thread_;
+
+  uint64_t snapshot_lsn_ = 0;  // Transactions <= this came via the snapshot.
+  bool started_ = false;
+};
+
+}  // namespace txrep
+
+#endif  // TXREP_TXREP_SYSTEM_H_

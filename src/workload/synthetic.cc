@@ -1,0 +1,52 @@
+#include "workload/synthetic.h"
+
+namespace txrep::workload {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Status SyntheticWorkload::CreateSchema(rel::Database& db) {
+  TXREP_ASSIGN_OR_RETURN(
+      rel::TableSchema schema,
+      rel::TableSchema::Create("QTY_ITEM",
+                               {{"I_ID", rel::ValueType::kInt64},
+                                {"I_QTY", rel::ValueType::kInt64}},
+                               "I_ID"));
+  return db.CreateTable(std::move(schema));
+}
+
+Status SyntheticWorkload::Populate(rel::Database& db) {
+  std::vector<rel::Statement> batch;
+  for (int i = 1; i <= options_.num_items; ++i) {
+    batch.push_back(rel::InsertStatement{
+        "QTY_ITEM", {}, {rel::Value::Int(i), rel::Value::Int(100)}});
+    if (batch.size() == 500 || i == options_.num_items) {
+      TXREP_ASSIGN_OR_RETURN(rel::CommitInfo info,
+                             db.ExecuteTransaction(batch));
+      (void)info;
+      batch.clear();
+    }
+  }
+  return Status::OK();
+}
+
+rel::Statement SyntheticWorkload::NextUpdate() {
+  const int64_t id = 1 + static_cast<int64_t>(rng_.Uniform(
+                             static_cast<uint64_t>(options_.hot_range)));
+  const int64_t qty = static_cast<int64_t>(rng_.Uniform(1000));
+  return rel::UpdateStatement{
+      "QTY_ITEM",
+      {{"I_QTY", rel::Value::Int(qty)}},
+      {rel::Predicate{"I_ID", rel::PredicateOp::kEq, rel::Value::Int(id), {}}}};
+}
+
+Status SyntheticWorkload::Run(rel::Database& db, int count) {
+  for (int i = 0; i < count; ++i) {
+    TXREP_ASSIGN_OR_RETURN(rel::CommitInfo info,
+                           db.ExecuteTransaction({NextUpdate()}));
+    (void)info;
+  }
+  return Status::OK();
+}
+
+}  // namespace txrep::workload

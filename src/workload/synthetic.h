@@ -1,0 +1,57 @@
+#ifndef TXREP_WORKLOAD_SYNTHETIC_H_
+#define TXREP_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "rel/database.h"
+#include "rel/statement.h"
+
+namespace txrep::workload {
+
+/// The paper's synthetic conflict workload (§6.1): "each transaction has
+/// only one update statement where we update the quantity of an item ... We
+/// control the probability of conflict with selecting the item id value from
+/// a predefined range. The smaller the selection range, the higher the
+/// probability of conflict."
+struct SyntheticOptions {
+  /// Total items in the table.
+  int num_items = 2000;
+
+  /// Updates pick ids uniformly from [1, hot_range]; hot_range == num_items
+  /// means conflict-minimal, hot_range == 1 maximal.
+  int hot_range = 2000;
+
+  uint64_t seed = 11;
+};
+
+/// Generator for the synthetic workload. The table deliberately has no
+/// secondary indexes so that transactions share keys *only* through the row
+/// objects — the conflict count is then controlled purely by `hot_range`.
+class SyntheticWorkload {
+ public:
+  explicit SyntheticWorkload(SyntheticOptions options = {});
+
+  /// Creates the QTY_ITEM table.
+  Status CreateSchema(rel::Database& db);
+
+  /// Inserts the `num_items` rows.
+  Status Populate(rel::Database& db);
+
+  /// One single-update transaction on a random item in the hot range.
+  rel::Statement NextUpdate();
+
+  /// Runs `count` update transactions against `db` (each its own commit).
+  Status Run(rel::Database& db, int count);
+
+  const SyntheticOptions& options() const { return options_; }
+
+ private:
+  SyntheticOptions options_;
+  Random rng_;
+};
+
+}  // namespace txrep::workload
+
+#endif  // TXREP_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,405 @@
+#include "workload/tpcw.h"
+
+#include <utility>
+
+namespace txrep::workload {
+
+namespace {
+
+using rel::Column;
+using rel::DeleteStatement;
+using rel::InsertStatement;
+using rel::Predicate;
+using rel::PredicateOp;
+using rel::Row;
+using rel::SelectStatement;
+using rel::Statement;
+using rel::TableSchema;
+using rel::UpdateStatement;
+using rel::Value;
+using rel::ValueType;
+
+Result<TableSchema> Schema(const char* name, std::vector<Column> columns,
+                           const char* pk) {
+  return TableSchema::Create(name, std::move(columns), pk);
+}
+
+Predicate Eq(std::string column, Value v) {
+  return Predicate{std::move(column), PredicateOp::kEq, std::move(v), {}};
+}
+
+}  // namespace
+
+double WriteFraction(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return 0.05;
+    case TpcwMix::kShopping:
+      return 0.20;
+    case TpcwMix::kOrdering:
+      return 0.50;
+  }
+  return 0.0;
+}
+
+const char* TpcwMixName(TpcwMix mix) {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return "Browsing";
+    case TpcwMix::kShopping:
+      return "Shopping";
+    case TpcwMix::kOrdering:
+      return "Ordering";
+  }
+  return "?";
+}
+
+TpcwWorkload::TpcwWorkload(TpcwScale scale, uint64_t seed)
+    : scale_(scale),
+      rng_(seed),
+      next_order_id_(scale.initial_orders + 1),
+      next_order_line_id_(
+          static_cast<int64_t>(scale.initial_orders) * scale.max_order_lines +
+          1),
+      next_credit_info_id_(scale.initial_orders + 1),
+      next_cart_line_id_(static_cast<int64_t>(scale.shopping_carts) *
+                             scale.max_order_lines +
+                         1) {}
+
+Status TpcwWorkload::CreateSchema(rel::Database& db) {
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema country,
+      Schema("COUNTRY",
+             {{"CO_ID", ValueType::kInt64}, {"CO_NAME", ValueType::kString}},
+             "CO_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(country)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema author,
+      Schema("AUTHOR",
+             {{"A_ID", ValueType::kInt64},
+              {"A_FNAME", ValueType::kString},
+              {"A_LNAME", ValueType::kString}},
+             "A_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(author)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema address,
+      Schema("ADDRESS",
+             {{"ADDR_ID", ValueType::kInt64},
+              {"ADDR_STREET", ValueType::kString},
+              {"ADDR_CITY", ValueType::kString},
+              {"ADDR_CO_ID", ValueType::kInt64}},
+             "ADDR_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(address)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema customer,
+      Schema("CUSTOMER",
+             {{"C_ID", ValueType::kInt64},
+              {"C_UNAME", ValueType::kString},
+              {"C_FNAME", ValueType::kString},
+              {"C_LNAME", ValueType::kString},
+              {"C_ADDR_ID", ValueType::kInt64},
+              {"C_BALANCE", ValueType::kDouble}},
+             "C_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(customer)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema item,
+      Schema("ITEM",
+             {{"I_ID", ValueType::kInt64},
+              {"I_TITLE", ValueType::kString},
+              {"I_A_ID", ValueType::kInt64},
+              {"I_COST", ValueType::kDouble},
+              {"I_STOCK", ValueType::kInt64}},
+             "I_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(item)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema orders,
+      Schema("ORDERS",
+             {{"O_ID", ValueType::kInt64},
+              {"O_C_ID", ValueType::kInt64},
+              {"O_TOTAL", ValueType::kDouble},
+              {"O_STATUS", ValueType::kString}},
+             "O_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(orders)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema order_line,
+      Schema("ORDER_LINE",
+             {{"OL_ID", ValueType::kInt64},
+              {"OL_O_ID", ValueType::kInt64},
+              {"OL_I_ID", ValueType::kInt64},
+              {"OL_QTY", ValueType::kInt64}},
+             "OL_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(order_line)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema credit_info,
+      Schema("CREDIT_INFO",
+             {{"CI_ID", ValueType::kInt64},
+              {"CI_C_ID", ValueType::kInt64},
+              {"CI_AMOUNT", ValueType::kDouble}},
+             "CI_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(credit_info)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema cart,
+      Schema("SHOPPING_CART",
+             {{"SC_ID", ValueType::kInt64}, {"SC_C_ID", ValueType::kInt64}},
+             "SC_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(cart)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema cart_line,
+      Schema("SHOPPING_CART_LINE",
+             {{"SCL_ID", ValueType::kInt64},
+              {"SCL_SC_ID", ValueType::kInt64},
+              {"SCL_I_ID", ValueType::kInt64},
+              {"SCL_QTY", ValueType::kInt64}},
+             "SCL_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(cart_line)));
+
+  // Secondary indexes: equality paths used by the read mix...
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("CUSTOMER", "C_UNAME"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("ORDERS", "O_C_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("ORDER_LINE", "OL_O_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("SHOPPING_CART_LINE", "SCL_SC_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("ITEM", "I_A_ID"));
+  // ...and the paper's running example: cost access via hash (Fig. 7) and
+  // range queries via the B-link tree (§4.2).
+  TXREP_RETURN_IF_ERROR(db.CreateRangeIndex("ITEM", "I_COST"));
+  return Status::OK();
+}
+
+Status TpcwWorkload::Populate(rel::Database& db) {
+  std::vector<Statement> batch;
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    TXREP_ASSIGN_OR_RETURN(rel::CommitInfo info, db.ExecuteTransaction(batch));
+    (void)info;
+    batch.clear();
+    return Status::OK();
+  };
+  auto add = [&](InsertStatement stmt) -> Status {
+    batch.push_back(std::move(stmt));
+    if (batch.size() >= 200) return flush();
+    return Status::OK();
+  };
+
+  for (int i = 1; i <= scale_.countries; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "COUNTRY", {}, {Value::Int(i), Value::Str("Country" +
+                                                  std::to_string(i))}}));
+  }
+  for (int i = 1; i <= scale_.authors; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "AUTHOR",
+        {},
+        {Value::Int(i), Value::Str("First" + std::to_string(i)),
+         Value::Str("Last" + std::to_string(i))}}));
+  }
+  for (int i = 1; i <= scale_.addresses; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "ADDRESS",
+        {},
+        {Value::Int(i), Value::Str(rng_.NextString(12)),
+         Value::Str("City" + std::to_string(1 + rng_.Uniform(50))),
+         Value::Int(1 + static_cast<int64_t>(
+                            rng_.Uniform(scale_.countries)))}}));
+  }
+  for (int i = 1; i <= scale_.customers; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "CUSTOMER",
+        {},
+        {Value::Int(i), Value::Str("user" + std::to_string(i)),
+         Value::Str(rng_.NextString(8)), Value::Str(rng_.NextString(10)),
+         Value::Int(1 + static_cast<int64_t>(rng_.Uniform(scale_.addresses))),
+         Value::Real(0.0)}}));
+  }
+  for (int i = 1; i <= scale_.items; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "ITEM",
+        {},
+        {Value::Int(i), Value::Str("Item" + std::to_string(i)),
+         Value::Int(1 + static_cast<int64_t>(rng_.Uniform(scale_.authors))),
+         Value::Real(1.0 + static_cast<double>(rng_.Uniform(9900)) / 100.0),
+         Value::Int(static_cast<int64_t>(10 + rng_.Uniform(90)))}}));
+  }
+  int64_t ol_id = 1;
+  for (int i = 1; i <= scale_.initial_orders; ++i) {
+    const int64_t c_id =
+        1 + static_cast<int64_t>(rng_.Uniform(scale_.customers));
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "ORDERS",
+        {},
+        {Value::Int(i), Value::Int(c_id),
+         Value::Real(static_cast<double>(rng_.Uniform(50000)) / 100.0),
+         Value::Str("SHIPPED")}}));
+    const int lines = 1 + static_cast<int>(rng_.Uniform(scale_.max_order_lines));
+    for (int l = 0; l < lines; ++l) {
+      TXREP_RETURN_IF_ERROR(add(InsertStatement{
+          "ORDER_LINE",
+          {},
+          {Value::Int(ol_id++), Value::Int(i),
+           Value::Int(1 + static_cast<int64_t>(rng_.Uniform(scale_.items))),
+           Value::Int(1 + static_cast<int64_t>(rng_.Uniform(5)))}}));
+    }
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "CREDIT_INFO",
+        {},
+        {Value::Int(i), Value::Int(c_id),
+         Value::Real(static_cast<double>(rng_.Uniform(50000)) / 100.0)}}));
+  }
+  next_order_line_id_ = ol_id;
+  for (int i = 1; i <= scale_.shopping_carts; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "SHOPPING_CART",
+        {},
+        {Value::Int(i),
+         Value::Int(1 + static_cast<int64_t>(rng_.Uniform(scale_.customers)))}}));
+  }
+  return flush();
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::NewOrderTxn() {
+  TxnSpec spec;
+  spec.is_write = true;
+  const int64_t o_id = next_order_id_++;
+  const int64_t c_id = 1 + static_cast<int64_t>(rng_.Uniform(scale_.customers));
+  const int lines = 1 + static_cast<int>(rng_.Uniform(scale_.max_order_lines));
+  double total = 0.0;
+  std::vector<Statement> stmts;
+  for (int l = 0; l < lines; ++l) {
+    const int64_t i_id = 1 + static_cast<int64_t>(rng_.Uniform(scale_.items));
+    const int64_t qty = 1 + static_cast<int64_t>(rng_.Uniform(5));
+    total += static_cast<double>(qty);
+    stmts.push_back(InsertStatement{
+        "ORDER_LINE",
+        {},
+        {Value::Int(next_order_line_id_++), Value::Int(o_id), Value::Int(i_id),
+         Value::Int(qty)}});
+    // Decrement stock: the log carries the after-image, so pick a fresh
+    // value deterministically (the DB executes SET to a constant).
+    stmts.push_back(UpdateStatement{
+        "ITEM",
+        {{"I_STOCK", Value::Int(static_cast<int64_t>(10 + rng_.Uniform(90)))}},
+        {Eq("I_ID", Value::Int(i_id))}});
+  }
+  stmts.insert(stmts.begin(),
+               InsertStatement{"ORDERS",
+                               {},
+                               {Value::Int(o_id), Value::Int(c_id),
+                                Value::Real(total), Value::Str("PENDING")}});
+  spec.statements = std::move(stmts);
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::PaymentTxn() {
+  TxnSpec spec;
+  spec.is_write = true;
+  const int64_t c_id = 1 + static_cast<int64_t>(rng_.Uniform(scale_.customers));
+  const double amount = static_cast<double>(rng_.Uniform(20000)) / 100.0;
+  spec.statements.push_back(UpdateStatement{
+      "CUSTOMER",
+      {{"C_BALANCE", Value::Real(amount)}},
+      {Eq("C_ID", Value::Int(c_id))}});
+  spec.statements.push_back(InsertStatement{
+      "CREDIT_INFO",
+      {},
+      {Value::Int(next_credit_info_id_++), Value::Int(c_id),
+       Value::Real(amount)}});
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::CartUpdateTxn() {
+  TxnSpec spec;
+  spec.is_write = true;
+  const int64_t sc_id =
+      1 + static_cast<int64_t>(rng_.Uniform(scale_.shopping_carts));
+  const int64_t i_id = 1 + static_cast<int64_t>(rng_.Uniform(scale_.items));
+  spec.statements.push_back(InsertStatement{
+      "SHOPPING_CART_LINE",
+      {},
+      {Value::Int(next_cart_line_id_++), Value::Int(sc_id), Value::Int(i_id),
+       Value::Int(1 + static_cast<int64_t>(rng_.Uniform(5)))}});
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::ProductDetailTxn() {
+  TxnSpec spec;
+  spec.read_query = SelectStatement{
+      "ITEM",
+      {},
+      {Eq("I_ID",
+          Value::Int(1 + static_cast<int64_t>(rng_.Uniform(scale_.items))))}};
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::OrdersByCustomerTxn() {
+  TxnSpec spec;
+  spec.read_query = SelectStatement{
+      "ORDERS",
+      {},
+      {Eq("O_C_ID", Value::Int(1 + static_cast<int64_t>(
+                                       rng_.Uniform(scale_.customers))))}};
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::ItemsByCostRangeTxn() {
+  TxnSpec spec;
+  const double lo = static_cast<double>(rng_.Uniform(9000)) / 100.0;
+  spec.read_query = SelectStatement{
+      "ITEM",
+      {},
+      {Predicate{"I_COST", PredicateOp::kBetween, Value::Real(lo),
+                 Value::Real(lo + 5.0)}}};
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::CustomerByUnameTxn() {
+  TxnSpec spec;
+  spec.read_query = SelectStatement{
+      "CUSTOMER",
+      {},
+      {Eq("C_UNAME",
+          Value::Str("user" + std::to_string(
+                                  1 + rng_.Uniform(scale_.customers))))}};
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::PriceChangeTxn() {
+  TxnSpec spec;
+  spec.is_write = true;
+  const int64_t i_id = 1 + static_cast<int64_t>(rng_.Uniform(scale_.items));
+  // Repricing moves the item inside the I_COST hash + B-link indexes.
+  spec.statements.push_back(UpdateStatement{
+      "ITEM",
+      {{"I_COST", Value::Real(1.0 + static_cast<double>(rng_.Uniform(9900)) /
+                                        100.0)}},
+      {Eq("I_ID", Value::Int(i_id))}});
+  return spec;
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::NextWriteTransaction() {
+  const uint64_t pick = rng_.Uniform(100);
+  if (pick < 50) return NewOrderTxn();
+  if (pick < 75) return PaymentTxn();
+  if (pick < 90) return CartUpdateTxn();
+  return PriceChangeTxn();
+}
+
+TpcwWorkload::TxnSpec TpcwWorkload::NextTransaction(TpcwMix mix) {
+  if (rng_.Bernoulli(WriteFraction(mix))) {
+    return NextWriteTransaction();
+  }
+  const uint64_t pick = rng_.Uniform(100);
+  if (pick < 40) return ProductDetailTxn();
+  if (pick < 65) return OrdersByCustomerTxn();
+  if (pick < 85) return CustomerByUnameTxn();
+  return ItemsByCostRangeTxn();
+}
+
+}  // namespace txrep::workload

@@ -1,0 +1,99 @@
+#ifndef TXREP_WORKLOAD_TPCW_H_
+#define TXREP_WORKLOAD_TPCW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "rel/database.h"
+#include "rel/statement.h"
+
+namespace txrep::workload {
+
+/// Scaled-down population of the paper's modified TPC-W schema (§4, Fig. 4 +
+/// the two auxiliary shopping-cart tables of §6.1). The paper used 2,000,000
+/// items and ~4M customers; shapes depend on mix ratios and access skew, not
+/// bulk, so the defaults here keep benches fast. All counts configurable.
+struct TpcwScale {
+  int items = 1000;
+  int customers = 1000;
+  int authors = 100;
+  int addresses = 2000;  // ~2 per customer.
+  int countries = 92;
+  int initial_orders = 300;
+  int max_order_lines = 3;
+  int shopping_carts = 200;
+};
+
+/// The three TPC-W interaction mixes (paper §6.1): percentage of write
+/// transactions.
+enum class TpcwMix {
+  kBrowsing,  //  5% writes.
+  kShopping,  // 20% writes.
+  kOrdering,  // 50% writes.
+};
+
+/// 0.05 / 0.20 / 0.50.
+double WriteFraction(TpcwMix mix);
+
+/// "Browsing", "Shopping" or "Ordering".
+const char* TpcwMixName(TpcwMix mix);
+
+/// Generates the TPC-W-lite schema, initial population and transaction
+/// stream. Deterministic given the seed.
+class TpcwWorkload {
+ public:
+  /// One emulated browser interaction. Write transactions carry the DB-side
+  /// statements (whose log the replica replays); read transactions carry the
+  /// SELECT to run as an interleaved read-only transaction on the replica.
+  struct TxnSpec {
+    bool is_write = false;
+    std::vector<rel::Statement> statements;  // For write transactions.
+    rel::SelectStatement read_query;         // For read-only transactions.
+  };
+
+  explicit TpcwWorkload(TpcwScale scale = {}, uint64_t seed = 7);
+
+  /// Creates the ten tables plus the secondary indexes (hash indexes on
+  /// frequently equality-queried attributes; a range index on ITEM.I_COST —
+  /// the paper's running example).
+  Status CreateSchema(rel::Database& db);
+
+  /// Loads the initial rows. Call once, after CreateSchema.
+  Status Populate(rel::Database& db);
+
+  /// Next interaction of the given mix.
+  TxnSpec NextTransaction(TpcwMix mix);
+
+  /// Next write transaction (ignoring the mix ratio) — used by benches that
+  /// need a pure update stream.
+  TxnSpec NextWriteTransaction();
+
+  const TpcwScale& scale() const { return scale_; }
+
+ private:
+  // Write interaction bodies.
+  TxnSpec NewOrderTxn();
+  TxnSpec PaymentTxn();
+  TxnSpec CartUpdateTxn();
+  TxnSpec PriceChangeTxn();  // Admin repricing: exercises the range index.
+  // Read interaction bodies.
+  TxnSpec ProductDetailTxn();
+  TxnSpec OrdersByCustomerTxn();
+  TxnSpec ItemsByCostRangeTxn();
+  TxnSpec CustomerByUnameTxn();
+
+  TpcwScale scale_;
+  Random rng_;
+  // Id allocators continue past the initial population.
+  int64_t next_order_id_;
+  int64_t next_order_line_id_;
+  int64_t next_credit_info_id_;
+  int64_t next_cart_line_id_;
+};
+
+}  // namespace txrep::workload
+
+#endif  // TXREP_WORKLOAD_TPCW_H_

@@ -1,0 +1,116 @@
+#include "blink/node.h"
+
+#include "gtest/gtest.h"
+
+namespace txrep::blink {
+namespace {
+
+using rel::Value;
+
+EntryKey Key(int64_t v, const std::string& rk) {
+  return EntryKey{Value::Int(v), rk};
+}
+
+TEST(EntryKeyTest, OrderingByValueThenRowKey) {
+  EXPECT_LT(Key(1, "z"), Key(2, "a"));
+  EXPECT_LT(Key(1, "a"), Key(1, "b"));
+  EXPECT_EQ(Key(1, "a"), Key(1, "a"));
+  EXPECT_LE(Key(1, "a"), Key(1, "a"));
+  EXPECT_GT(Key(2, "a"), Key(1, "z"));
+}
+
+TEST(BlinkNodeTest, LeafRoundTrip) {
+  BlinkNode node;
+  node.level = 0;
+  node.has_high_key = true;
+  node.high_key = Key(10, "T_10");
+  node.right_id = 42;
+  node.entries = {Key(1, "T_1"), Key(5, "T_5"), Key(10, "T_10")};
+
+  Result<BlinkNode> decoded = DecodeBlinkNode(EncodeBlinkNode(node));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->is_leaf());
+  EXPECT_EQ(decoded->level, 0u);
+  EXPECT_TRUE(decoded->has_high_key);
+  EXPECT_EQ(decoded->high_key, node.high_key);
+  EXPECT_EQ(decoded->right_id, 42u);
+  EXPECT_EQ(decoded->entries, node.entries);
+  EXPECT_TRUE(decoded->separators.empty());
+  EXPECT_TRUE(decoded->children.empty());
+}
+
+TEST(BlinkNodeTest, InternalRoundTrip) {
+  BlinkNode node;
+  node.level = 2;
+  node.right_id = 0;
+  node.separators = {Key(10, "a"), Key(20, "b")};
+  node.children = {100, 200, 300};
+
+  Result<BlinkNode> decoded = DecodeBlinkNode(EncodeBlinkNode(node));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->is_leaf());
+  EXPECT_EQ(decoded->level, 2u);
+  EXPECT_FALSE(decoded->has_high_key);
+  EXPECT_EQ(decoded->separators, node.separators);
+  EXPECT_EQ(decoded->children, node.children);
+}
+
+TEST(BlinkNodeTest, EmptyLeafRoundTrip) {
+  BlinkNode node;
+  Result<BlinkNode> decoded = DecodeBlinkNode(EncodeBlinkNode(node));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty());
+  EXPECT_EQ(decoded->right_id, 0u);
+}
+
+TEST(BlinkNodeTest, StringAndDoubleValues) {
+  BlinkNode node;
+  node.entries = {EntryKey{Value::Str("abc"), "T_s"},
+                  EntryKey{Value::Real(2.5), "T_d"}};
+  Result<BlinkNode> decoded = DecodeBlinkNode(EncodeBlinkNode(node));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->entries, node.entries);
+}
+
+TEST(BlinkNodeTest, CorruptionDetected) {
+  BlinkNode node;
+  node.entries = {Key(1, "x")};
+  std::string bytes = EncodeBlinkNode(node);
+  EXPECT_TRUE(DecodeBlinkNode(bytes + "x").status().IsCorruption());
+  EXPECT_TRUE(DecodeBlinkNode(std::string_view(bytes).substr(0, 2))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(DecodeBlinkNode("").status().IsCorruption());
+}
+
+TEST(BlinkNodeTest, KeyCountDispatchesOnKind) {
+  BlinkNode leaf;
+  leaf.entries = {Key(1, "a"), Key(2, "b")};
+  EXPECT_EQ(leaf.KeyCount(), 2u);
+  BlinkNode internal;
+  internal.level = 1;
+  internal.separators = {Key(1, "a")};
+  internal.children = {1, 2};
+  EXPECT_EQ(internal.KeyCount(), 1u);
+}
+
+TEST(BlinkMetaTest, RoundTrip) {
+  BlinkMeta meta;
+  meta.root_id = 17;
+  meta.next_id = 99;
+  Result<BlinkMeta> decoded = DecodeBlinkMeta(EncodeBlinkMeta(meta));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->root_id, 17u);
+  EXPECT_EQ(decoded->next_id, 99u);
+  EXPECT_TRUE(DecodeBlinkMeta("\x01").status().IsCorruption());
+}
+
+TEST(BlinkNodeTest, DebugStringsRender) {
+  BlinkNode node;
+  node.entries = {Key(1, "a")};
+  EXPECT_NE(node.DebugString().find("leaf"), std::string::npos);
+  EXPECT_NE(node.DebugString().find("+inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace txrep::blink

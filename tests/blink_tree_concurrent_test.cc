@@ -1,0 +1,180 @@
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "blink/blink_tree.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "test_util.h"
+
+namespace txrep::blink {
+namespace {
+
+using rel::Value;
+
+TEST(BlinkTreeConcurrentTest, ParallelDisjointInserts) {
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 8});
+  TXREP_ASSERT_OK(tree.Init());
+
+  constexpr int kThreads = 4, kPerThread = 250;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t v = t * kPerThread + i;
+        if (!tree.Insert(Value::Int(v), "r" + std::to_string(v)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  TXREP_ASSERT_OK(tree.Validate());
+  EXPECT_EQ(*tree.EntryCount(), kThreads * kPerThread);
+  for (int v = 0; v < kThreads * kPerThread; ++v) {
+    ASSERT_TRUE(*tree.Contains(Value::Int(v), "r" + std::to_string(v)))
+        << "lost entry " << v;
+  }
+}
+
+TEST(BlinkTreeConcurrentTest, OverlappingValuesDistinctRowKeys) {
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 6});
+  TXREP_ASSERT_OK(tree.Init());
+
+  constexpr int kThreads = 4, kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Heavy duplication on values: only 20 distinct values.
+        TXREP_ASSERT_OK(tree.Insert(
+            Value::Int(i % 20), "t" + std::to_string(t) + "_" +
+                                     std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  TXREP_ASSERT_OK(tree.Validate());
+  EXPECT_EQ(*tree.EntryCount(), kThreads * kPerThread);
+}
+
+TEST(BlinkTreeConcurrentTest, ReadersNeverBlockOrMisreadDuringInserts) {
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 4});
+  TXREP_ASSERT_OK(tree.Init());
+  // Pre-populate even numbers; they must stay visible throughout.
+  for (int i = 0; i < 200; i += 2) {
+    TXREP_ASSERT_OK(tree.Insert(Value::Int(i), "r"));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scan_errors{0};
+  std::thread reader([&] {
+    while (!stop) {
+      Result<std::vector<EntryKey>> entries =
+          tree.RangeScan(Value::Int(0), Value::Int(199));
+      if (!entries.ok()) {
+        ++scan_errors;
+        continue;
+      }
+      // All pre-populated evens must always be present, in order.
+      std::set<int64_t> seen;
+      for (const EntryKey& e : *entries) seen.insert(e.value.AsInt());
+      for (int i = 0; i < 200; i += 2) {
+        if (!seen.contains(i)) {
+          ++scan_errors;
+          return;
+        }
+      }
+    }
+  });
+
+  // Writer inserts odd numbers, forcing splits under the reader's feet.
+  for (int i = 1; i < 200; i += 2) {
+    TXREP_ASSERT_OK(tree.Insert(Value::Int(i), "r"));
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(scan_errors.load(), 0);
+  TXREP_ASSERT_OK(tree.Validate());
+  EXPECT_EQ(*tree.EntryCount(), 200u);
+}
+
+TEST(BlinkTreeConcurrentTest, DeepTreeCascadingSplitsUnderContention) {
+  // Minimal fanout + interleaved key ranges: splits cascade several levels
+  // while sibling propagations are in flight — the regression scenario for
+  // the key-ordered parent insertion (see InsertIntoParent).
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 3});
+  TXREP_ASSERT_OK(tree.Init());
+  constexpr int kThreads = 6, kPerThread = 300;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Interleave: consecutive values belong to different threads, so
+        // every leaf is contended by all threads.
+        const int64_t v = i * kThreads + t;
+        if (!tree.Insert(Value::Int(v), "r").ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  TXREP_ASSERT_OK(tree.Validate());
+  EXPECT_EQ(*tree.EntryCount(), kThreads * kPerThread);
+  Result<std::vector<EntryKey>> all =
+      tree.RangeScanBounds(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), static_cast<size_t>(kThreads * kPerThread));
+  for (int v = 0; v < kThreads * kPerThread; ++v) {
+    ASSERT_EQ((*all)[v].value, Value::Int(v));
+  }
+}
+
+TEST(BlinkTreeConcurrentTest, MixedInsertRemoveHammer) {
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 8});
+  TXREP_ASSERT_OK(tree.Init());
+  // Each thread owns a disjoint key space and inserts/removes randomly;
+  // final membership must match each thread's local bookkeeping.
+  constexpr int kThreads = 4, kOps = 600, kSpace = 100;
+  std::vector<std::set<int>> local(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(100 + t);
+      for (int i = 0; i < kOps; ++i) {
+        const int v = t * kSpace + static_cast<int>(rng.Uniform(kSpace));
+        const std::string rk = "r" + std::to_string(v);
+        if (local[t].contains(v)) {
+          TXREP_ASSERT_OK(tree.Remove(Value::Int(v), rk));
+          local[t].erase(v);
+        } else {
+          TXREP_ASSERT_OK(tree.Insert(Value::Int(v), rk));
+          local[t].insert(v);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  TXREP_ASSERT_OK(tree.Validate());
+  size_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += local[t].size();
+    for (int v : local[t]) {
+      ASSERT_TRUE(*tree.Contains(Value::Int(v), "r" + std::to_string(v)));
+    }
+  }
+  EXPECT_EQ(*tree.EntryCount(), expected);
+}
+
+}  // namespace
+}  // namespace txrep::blink

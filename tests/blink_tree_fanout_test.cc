@@ -1,0 +1,119 @@
+// Parameterized structural sweep of the B-link tree: fanouts from minimal to
+// huge, insertion orders from friendly to hostile, with and without heavy
+// value duplication; invariants and scan contents must hold everywhere.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "blink/blink_tree.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "test_util.h"
+
+namespace txrep::blink {
+namespace {
+
+using rel::Value;
+
+enum class InsertOrder { kSequential, kReverse, kShuffled, kDuplicateHeavy };
+
+struct FanoutCase {
+  size_t max_node_keys;
+  InsertOrder order;
+  int entries;
+  const char* name;
+};
+
+std::ostream& operator<<(std::ostream& os, const FanoutCase& c) {
+  return os << c.name;
+}
+
+class BlinkFanoutTest : public ::testing::TestWithParam<FanoutCase> {};
+
+TEST_P(BlinkFanoutTest, InvariantsAndContentAcrossShapes) {
+  const FanoutCase& c = GetParam();
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = c.max_node_keys});
+  TXREP_ASSERT_OK(tree.Init());
+
+  // Build (value, row_key) pairs per the case's order.
+  std::vector<std::pair<int64_t, std::string>> entries;
+  entries.reserve(c.entries);
+  for (int i = 0; i < c.entries; ++i) {
+    if (c.order == InsertOrder::kDuplicateHeavy) {
+      entries.emplace_back(i % 10, "r" + std::to_string(i));
+    } else {
+      entries.emplace_back(i, "r" + std::to_string(i));
+    }
+  }
+  switch (c.order) {
+    case InsertOrder::kSequential:
+    case InsertOrder::kDuplicateHeavy:
+      break;
+    case InsertOrder::kReverse:
+      std::reverse(entries.begin(), entries.end());
+      break;
+    case InsertOrder::kShuffled: {
+      Random rng(c.max_node_keys * 7919 + c.entries);
+      rng.Shuffle(entries);
+      break;
+    }
+  }
+
+  for (const auto& [value, row_key] : entries) {
+    TXREP_ASSERT_OK(tree.Insert(Value::Int(value), row_key));
+  }
+  TXREP_ASSERT_OK(tree.Validate());
+  ASSERT_EQ(*tree.EntryCount(), static_cast<size_t>(c.entries));
+
+  // Full scan returns everything in composite-key order.
+  Result<std::vector<EntryKey>> all =
+      tree.RangeScanBounds(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), static_cast<size_t>(c.entries));
+  for (size_t i = 1; i < all->size(); ++i) {
+    ASSERT_LT((*all)[i - 1], (*all)[i]) << "scan output unsorted at " << i;
+  }
+
+  // Point membership for a sample.
+  for (int i = 0; i < c.entries; i += std::max(1, c.entries / 37)) {
+    const auto& [value, row_key] = entries[i];
+    ASSERT_TRUE(*tree.Contains(Value::Int(value), row_key));
+  }
+
+  // Remove a deterministic half, re-validate, re-check membership.
+  std::set<size_t> removed;
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    const auto& [value, row_key] = entries[i];
+    TXREP_ASSERT_OK(tree.Remove(Value::Int(value), row_key));
+    removed.insert(i);
+  }
+  TXREP_ASSERT_OK(tree.Validate());
+  ASSERT_EQ(*tree.EntryCount(), entries.size() - removed.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& [value, row_key] = entries[i];
+    ASSERT_EQ(*tree.Contains(Value::Int(value), row_key),
+              !removed.contains(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlinkFanoutTest,
+    ::testing::Values(
+        FanoutCase{3, InsertOrder::kSequential, 300, "fanout3_sequential"},
+        FanoutCase{3, InsertOrder::kReverse, 300, "fanout3_reverse"},
+        FanoutCase{3, InsertOrder::kShuffled, 300, "fanout3_shuffled"},
+        FanoutCase{4, InsertOrder::kDuplicateHeavy, 400, "fanout4_dupes"},
+        FanoutCase{8, InsertOrder::kShuffled, 800, "fanout8_shuffled"},
+        FanoutCase{8, InsertOrder::kReverse, 800, "fanout8_reverse"},
+        FanoutCase{32, InsertOrder::kShuffled, 2000, "fanout32_shuffled"},
+        FanoutCase{128, InsertOrder::kSequential, 1000, "fanout128_seq"},
+        FanoutCase{128, InsertOrder::kDuplicateHeavy, 1500, "fanout128_dupes"}),
+    [](const ::testing::TestParamInfo<FanoutCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace txrep::blink

@@ -1,0 +1,189 @@
+#include "blink/blink_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "test_util.h"
+
+namespace txrep::blink {
+namespace {
+
+using rel::Value;
+
+class BlinkTreeTest : public ::testing::Test {
+ protected:
+  BlinkTreeTest() : tree_(&store_, "ITEM", "I_COST", {.max_node_keys = 4}) {
+    // Tiny fanout so splits happen constantly.
+  }
+
+  void SetUp() override { TXREP_ASSERT_OK(tree_.Init()); }
+
+  kv::InMemoryKvNode store_;
+  BlinkTree tree_;
+};
+
+TEST_F(BlinkTreeTest, InitIsIdempotent) {
+  TXREP_ASSERT_OK(tree_.Init());
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(1), "r1"));
+  TXREP_ASSERT_OK(tree_.Init());  // Must not wipe existing data.
+  EXPECT_EQ(*tree_.EntryCount(), 1u);
+}
+
+TEST_F(BlinkTreeTest, InsertAndContains) {
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "r5"));
+  EXPECT_TRUE(*tree_.Contains(Value::Int(5), "r5"));
+  EXPECT_FALSE(*tree_.Contains(Value::Int(5), "other"));
+  EXPECT_FALSE(*tree_.Contains(Value::Int(6), "r5"));
+}
+
+TEST_F(BlinkTreeTest, DuplicateInsertRejected) {
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "r5"));
+  EXPECT_TRUE(tree_.Insert(Value::Int(5), "r5").IsAlreadyExists());
+}
+
+TEST_F(BlinkTreeTest, DuplicateValuesDistinctRowKeys) {
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "a"));
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "b"));
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "c"));
+  Result<std::vector<EntryKey>> entries =
+      tree_.RangeScan(Value::Int(5), Value::Int(5));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST_F(BlinkTreeTest, ManyInsertsSplitAndStayValid) {
+  for (int i = 0; i < 200; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i), "r" + std::to_string(i)));
+  }
+  TXREP_ASSERT_OK(tree_.Validate());
+  EXPECT_EQ(*tree_.EntryCount(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(*tree_.Contains(Value::Int(i), "r" + std::to_string(i)))
+        << "missing " << i;
+  }
+}
+
+TEST_F(BlinkTreeTest, ReverseAndShuffledInsertOrders) {
+  Random rng(3);
+  std::vector<int> ids(300);
+  for (int i = 0; i < 300; ++i) ids[i] = i;
+  rng.Shuffle(ids);
+  for (int id : ids) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(id), "r" + std::to_string(id)));
+  }
+  TXREP_ASSERT_OK(tree_.Validate());
+  Result<std::vector<EntryKey>> all =
+      tree_.RangeScanBounds(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ((*all)[i].value, Value::Int(i));  // Sorted output.
+  }
+}
+
+TEST_F(BlinkTreeTest, RangeScanBoundsInclusive) {
+  for (int i = 0; i < 50; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i * 2), "r" + std::to_string(i)));
+  }
+  Result<std::vector<EntryKey>> entries =
+      tree_.RangeScan(Value::Int(10), Value::Int(20));
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 6u);  // 10,12,14,16,18,20.
+  EXPECT_EQ(entries->front().value, Value::Int(10));
+  EXPECT_EQ(entries->back().value, Value::Int(20));
+}
+
+TEST_F(BlinkTreeTest, RangeScanOpenBounds) {
+  for (int i = 1; i <= 30; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i), "r" + std::to_string(i)));
+  }
+  EXPECT_EQ(tree_.RangeScanBounds(std::nullopt, Value::Int(10))->size(), 10u);
+  EXPECT_EQ(tree_.RangeScanBounds(Value::Int(21), std::nullopt)->size(), 10u);
+  EXPECT_EQ(tree_.RangeScanBounds(std::nullopt, std::nullopt)->size(), 30u);
+}
+
+TEST_F(BlinkTreeTest, EmptyRangeAndInvertedBounds) {
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(5), "r"));
+  EXPECT_TRUE(tree_.RangeScan(Value::Int(10), Value::Int(20))->empty());
+  EXPECT_TRUE(tree_.RangeScan(Value::Int(20), Value::Int(10))->empty());
+}
+
+TEST_F(BlinkTreeTest, RemoveAndRescan) {
+  for (int i = 0; i < 100; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i), "r" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    TXREP_ASSERT_OK(tree_.Remove(Value::Int(i), "r" + std::to_string(i)));
+  }
+  TXREP_ASSERT_OK(tree_.Validate());
+  EXPECT_EQ(*tree_.EntryCount(), 50u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*tree_.Contains(Value::Int(i), "r" + std::to_string(i)),
+              i % 2 == 1);
+  }
+}
+
+TEST_F(BlinkTreeTest, RemoveMissingIsNotFound) {
+  EXPECT_TRUE(tree_.Remove(Value::Int(1), "r").IsNotFound());
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(1), "r"));
+  EXPECT_TRUE(tree_.Remove(Value::Int(1), "other").IsNotFound());
+}
+
+TEST_F(BlinkTreeTest, DrainToEmptyAndRefill) {
+  for (int i = 0; i < 60; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i), "r"));
+  }
+  for (int i = 0; i < 60; ++i) {
+    TXREP_ASSERT_OK(tree_.Remove(Value::Int(i), "r"));
+  }
+  EXPECT_EQ(*tree_.EntryCount(), 0u);
+  TXREP_ASSERT_OK(tree_.Validate());
+  // Empty leaves remain (no merging); scans must skip them.
+  EXPECT_TRUE(tree_.RangeScanBounds(std::nullopt, std::nullopt)->empty());
+  // Refill through the hollowed structure.
+  for (int i = 0; i < 60; ++i) {
+    TXREP_ASSERT_OK(tree_.Insert(Value::Int(i), "r"));
+  }
+  EXPECT_EQ(*tree_.EntryCount(), 60u);
+  TXREP_ASSERT_OK(tree_.Validate());
+}
+
+TEST_F(BlinkTreeTest, StringValues) {
+  BlinkTree tree(&store_, "CUSTOMER", "C_UNAME", {.max_node_keys = 4});
+  TXREP_ASSERT_OK(tree.Init());
+  for (int i = 0; i < 50; ++i) {
+    TXREP_ASSERT_OK(
+        tree.Insert(Value::Str("user" + std::to_string(i)), "rk"));
+  }
+  TXREP_ASSERT_OK(tree.Validate());
+  Result<std::vector<EntryKey>> entries =
+      tree.RangeScan(Value::Str("user10"), Value::Str("user19"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);  // user10..user19 lexicographically.
+}
+
+TEST_F(BlinkTreeTest, TwoTreesOnOneStoreAreIsolated) {
+  BlinkTree other(&store_, "ITEM", "I_STOCK", {.max_node_keys = 4});
+  TXREP_ASSERT_OK(other.Init());
+  TXREP_ASSERT_OK(tree_.Insert(Value::Int(1), "a"));
+  TXREP_ASSERT_OK(other.Insert(Value::Int(99), "b"));
+  EXPECT_EQ(*tree_.EntryCount(), 1u);
+  EXPECT_EQ(*other.EntryCount(), 1u);
+  EXPECT_FALSE(*tree_.Contains(Value::Int(99), "b"));
+}
+
+TEST_F(BlinkTreeTest, LargeFanoutSingleNodePath) {
+  BlinkTree big(&store_, "T", "C", {.max_node_keys = 1000});
+  TXREP_ASSERT_OK(big.Init());
+  for (int i = 0; i < 500; ++i) {
+    TXREP_ASSERT_OK(big.Insert(Value::Int(i), "r"));
+  }
+  TXREP_ASSERT_OK(big.Validate());
+  EXPECT_EQ(*big.EntryCount(), 500u);
+}
+
+}  // namespace
+}  // namespace txrep::blink

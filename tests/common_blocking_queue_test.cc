@@ -1,0 +1,112 @@
+#include "common/blocking_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNothing) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, BoundedTryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, BoundedPushBlocksUntilSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // Blocks until consumer pops.
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 99);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Push(99);
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPop) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, MpmcNoLossNoDuplication) {
+  BlockingQueue<int> q(64);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> total{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        seen[*v]++;
+        total++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(total.load(), kProducers * kPerProducer);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+}  // namespace
+}  // namespace txrep

@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40, 50}) h.Record(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 50);
+  EXPECT_DOUBLE_EQ(h.Mean(), 30.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneAndBounded) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  double prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double p = h.Percentile(q);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1000.0);
+    prev = p;
+  }
+  // Median of 1..1000 lands within the right power-of-two bucket.
+  EXPECT_GT(h.Percentile(0.5), 250.0);
+  EXPECT_LT(h.Percentile(0.5), 800.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Record(7);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 4000);
+}
+
+}  // namespace
+}  // namespace txrep

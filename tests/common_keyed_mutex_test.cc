@@ -1,0 +1,107 @@
+#include "common/keyed_mutex.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+TEST(KeyedMutexTest, LockUnlockSingleKey) {
+  KeyedMutex mu;
+  mu.Lock("a");
+  mu.Unlock("a");
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, GuardReleasesOnDestruction) {
+  KeyedMutex mu;
+  {
+    KeyedMutex::Guard guard(mu, "k");
+    EXPECT_EQ(mu.ActiveKeys(), 1u);
+  }
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, DistinctKeysDoNotBlock) {
+  KeyedMutex mu;
+  mu.Lock("a");
+  std::atomic<bool> got_b{false};
+  std::thread t([&] {
+    mu.Lock("b");  // Must not block on "a".
+    got_b = true;
+    mu.Unlock("b");
+  });
+  t.join();
+  EXPECT_TRUE(got_b.load());
+  mu.Unlock("a");
+}
+
+TEST(KeyedMutexTest, SameKeyExcludes) {
+  KeyedMutex mu;
+  mu.Lock("k");
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    mu.Lock("k");
+    acquired = true;
+    mu.Unlock("k");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock("k");
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(KeyedMutexTest, GuardMoveToSwitchesKeys) {
+  KeyedMutex mu;
+  KeyedMutex::Guard guard(mu, "a");
+  guard.MoveTo("b");
+  EXPECT_EQ(guard.key(), "b");
+  // "a" must now be free.
+  std::thread t([&] {
+    KeyedMutex::Guard g2(mu, "a");
+  });
+  t.join();
+  guard.Release();
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, MovedGuardDoesNotDoubleUnlock) {
+  KeyedMutex mu;
+  KeyedMutex::Guard a(mu, "x");
+  KeyedMutex::Guard b(std::move(a));
+  EXPECT_EQ(mu.ActiveKeys(), 1u);
+  b.Release();
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, MutualExclusionUnderContention) {
+  KeyedMutex mu;
+  int counter = 0;  // Unsynchronized on purpose: the lock must protect it.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        KeyedMutex::Guard guard(mu, "counter");
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, ManyKeysNoLeak) {
+  KeyedMutex mu;
+  for (int i = 0; i < 100; ++i) {
+    KeyedMutex::Guard guard(mu, "key" + std::to_string(i));
+  }
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+}  // namespace
+}  // namespace txrep

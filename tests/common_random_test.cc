@@ -1,0 +1,121 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Uniform(10)];
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700) << "value " << v << " badly under-represented";
+    EXPECT_LT(c, 1300) << "value " << v << " badly over-represented";
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.2)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RandomTest, NextStringLengthAndCharset) {
+  Random rng(4);
+  std::string s = rng.NextString(64);
+  ASSERT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Random rng(6);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, StaysInRangeAndSkewed) {
+  ZipfGenerator zipf(1000, 0.9, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate any mid-range rank under strong skew.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[500]));
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator a(100, 0.5, 9), b(100, 0.5, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace txrep

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4, "test");
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { counter++; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0, "test");
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitCoversTasksSubmittedByTasks) {
+  ThreadPool pool(2, "test");
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter++;
+    pool.Submit([&] {
+      counter++;
+      pool.Submit([&] { counter++; });
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  ThreadPool pool(1, "test");
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter++;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1, "test");
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ParallelismOverlapsSleeps) {
+  // With 8 workers, 8 sleeping tasks of 30ms should finish far faster than
+  // the serial 240ms (they only hold a sleeping thread, not the CPU).
+  ThreadPool pool(8, "test");
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); });
+  }
+  pool.Wait();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 160);
+}
+
+TEST(ThreadPoolTest, UrgentTasksJumpTheQueue) {
+  ThreadPool pool(1, "test");
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  // Occupy the single worker so subsequent submissions queue up.
+  pool.Submit([&] {
+    while (!release) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  pool.SubmitUrgent([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(99);
+  });
+  release = true;
+  pool.Wait();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 99);  // Urgent ran before the earlier-queued tasks.
+  EXPECT_EQ(order[1], 0);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 2);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2, "test");
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsSafe) {
+  ThreadPool pool(2, "test");
+  pool.Submit([] {});
+  pool.Shutdown();
+  pool.Shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace txrep

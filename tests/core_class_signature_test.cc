@@ -1,0 +1,154 @@
+// The transaction-classes conflict pre-filter (paper §7 future work).
+
+#include "core/class_signature.h"
+
+#include "codec/kv_keys.h"
+#include "core/transaction_manager.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "qt/query_translator.h"
+#include "rel/database.h"
+#include "test_util.h"
+
+namespace txrep::core {
+namespace {
+
+using rel::Value;
+
+TEST(TableComponentTest, ExtractsFromEveryKeyShape) {
+  EXPECT_EQ(codec::TableComponentOfKey("ITEM_1"), "ITEM");
+  EXPECT_EQ(codec::TableComponentOfKey("ITEM_I%5FCOST_100"), "ITEM");
+  EXPECT_EQ(codec::TableComponentOfKey("!b_ITEM_I%5FCOST_7"), "ITEM");
+  EXPECT_EQ(codec::TableComponentOfKey("!bmeta_ITEM_I%5FCOST"), "ITEM");
+  // Escaped underscore in the table name stays inside the component.
+  EXPECT_EQ(codec::TableComponentOfKey(
+                codec::RowKey("ORDER_LINE", Value::Int(5))),
+            "ORDER%5FLINE");
+}
+
+TEST(ClassSignatureTest, DisjointTablesDontOverlap) {
+  ClassSignature a, b;
+  a.AddKey("ITEM_1");
+  a.AddKey("ITEM_I%5FCOST_10");
+  b.AddKey("CUSTOMER_7");
+  // Note: 64-bit Bloom could theoretically collide; these two table names
+  // hash to different bits on every mainstream libstdc++ — and a collision
+  // would only cost an extra exact check, never correctness.
+  if (!a.MayOverlap(b)) {
+    SUCCEED();
+  } else {
+    GTEST_SKIP() << "hash collision between ITEM and CUSTOMER bits";
+  }
+}
+
+TEST(ClassSignatureTest, SameTableOverlaps) {
+  ClassSignature a, b;
+  a.AddKey("ITEM_1");
+  b.AddKey("ITEM_2");  // Different rows, same table.
+  EXPECT_TRUE(a.MayOverlap(b));
+}
+
+TEST(ClassSignatureTest, BlinkKeysJoinTheTableClass) {
+  ClassSignature row, blink;
+  row.AddKey("ITEM_1");
+  blink.AddKey("!b_ITEM_I%5FCOST_3");
+  EXPECT_TRUE(row.MayOverlap(blink));
+}
+
+TEST(ClassSignatureTest, EmptySignatureNeverOverlaps) {
+  ClassSignature empty, full;
+  full.AddKey("ITEM_1");
+  EXPECT_FALSE(empty.MayOverlap(full));
+  EXPECT_FALSE(full.MayOverlap(empty));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ClassSignatureTest, AddKeysCoversWholeSets) {
+  ClassSignature sig;
+  sig.AddKeys({"A_1", "B_2", "C_3"});
+  ClassSignature probe;
+  probe.AddKey("B_9");
+  EXPECT_TRUE(sig.MayOverlap(probe));
+}
+
+// --- End-to-end: the filter must change performance counters, never state.
+
+class ClassFilterTmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two unrelated tables: transactions on T1 never touch T2.
+    for (const char* name : {"T1", "T2"}) {
+      Result<rel::TableSchema> schema = rel::TableSchema::Create(
+          name,
+          {{"ID", rel::ValueType::kInt64}, {"V", rel::ValueType::kInt64}},
+          "ID");
+      ASSERT_TRUE(schema.ok());
+      TXREP_ASSERT_OK(db_.CreateTable(*schema));
+    }
+    // Populate + interleaved update stream alternating between the tables,
+    // always on row 1 (heavy intra-table conflicts, zero inter-table).
+    for (const char* name : {"T1", "T2"}) {
+      TXREP_ASSERT_OK(
+          db_.ExecuteTransaction(
+                {rel::InsertStatement{
+                    name, {}, {Value::Int(1), Value::Int(0)}}})
+              .status());
+    }
+    for (int i = 0; i < 100; ++i) {
+      const char* name = i % 2 == 0 ? "T1" : "T2";
+      TXREP_ASSERT_OK(
+          db_.ExecuteTransaction(
+                {rel::UpdateStatement{
+                    name,
+                    {{"V", Value::Int(i)}},
+                    {rel::Predicate{"ID", rel::PredicateOp::kEq,
+                                    Value::Int(1), {}}}}})
+              .status());
+    }
+  }
+
+  rel::Database db_;
+};
+
+TEST_F(ClassFilterTmTest, FilterSkipsCrossTableChecksAndPreservesState) {
+  qt::QueryTranslator translator(&db_.catalog(), {});
+
+  kv::InMemoryKvNode with_filter, without_filter;
+  TmOptions on;
+  on.top_threads = 8;
+  on.bottom_threads = 8;
+  on.enable_class_filter = true;
+  TmOptions off = on;
+  off.enable_class_filter = false;
+
+  TmStats stats_on, stats_off;
+  TXREP_ASSERT_OK(testing::ReplayConcurrent(db_, translator, &with_filter, on,
+                                            &stats_on));
+  TXREP_ASSERT_OK(testing::ReplayConcurrent(db_, translator, &without_filter,
+                                            off, &stats_off));
+
+  testing::ExpectDumpsEqual(with_filter, without_filter);
+  EXPECT_GT(stats_on.class_filter_skips, 0)
+      << "cross-table pairs should be filtered";
+  EXPECT_EQ(stats_off.class_filter_skips, 0);
+  // The filter never suppresses real conflicts: same-table chains still
+  // restart in both configurations.
+  EXPECT_GT(stats_on.conflicts, 0);
+  EXPECT_GT(stats_off.conflicts, 0);
+}
+
+TEST_F(ClassFilterTmTest, FilterKeepsEquivalenceWithSerial) {
+  qt::QueryTranslator translator(&db_.catalog(), {});
+  kv::InMemoryKvNode serial_store, filtered_store;
+  TXREP_ASSERT_OK(testing::ReplaySerial(db_, translator, &serial_store));
+  TmOptions options;
+  options.top_threads = 16;
+  options.bottom_threads = 16;
+  options.enable_class_filter = true;
+  TXREP_ASSERT_OK(
+      testing::ReplayConcurrent(db_, translator, &filtered_store, options));
+  testing::ExpectDumpsEqual(serial_store, filtered_store);
+}
+
+}  // namespace
+}  // namespace txrep::core

@@ -1,0 +1,171 @@
+// The ticket-ordered 2PL baseline (Polyzois & García-Molina, paper §2).
+
+#include "core/ticket_applier.h"
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/serial_applier.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "qt/query_translator.h"
+#include "rel/database.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+#include "workload/tpcw.h"
+
+namespace txrep::core {
+namespace {
+
+using rel::Value;
+
+class TicketApplierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"T1", "T2", "T3"}) {
+      Result<rel::TableSchema> schema = rel::TableSchema::Create(
+          name,
+          {{"ID", rel::ValueType::kInt64}, {"V", rel::ValueType::kInt64}},
+          "ID");
+      ASSERT_TRUE(schema.ok());
+      TXREP_ASSERT_OK(catalog_.AddTable(*schema));
+    }
+    translator_ = std::make_unique<qt::QueryTranslator>(&catalog_);
+  }
+
+  rel::LogTransaction Insert(const char* table, int64_t id, int64_t v) {
+    rel::LogTransaction txn;
+    txn.ops.push_back(rel::LogOp{rel::LogOpType::kInsert, table,
+                                 Value::Int(id),
+                                 {Value::Int(id), Value::Int(v)}});
+    return txn;
+  }
+  rel::LogTransaction Update(const char* table, int64_t id, int64_t v) {
+    rel::LogTransaction txn;
+    txn.ops.push_back(rel::LogOp{rel::LogOpType::kUpdate, table,
+                                 Value::Int(id),
+                                 {Value::Int(id), Value::Int(v)}});
+    return txn;
+  }
+
+  rel::Catalog catalog_;
+  std::unique_ptr<qt::QueryTranslator> translator_;
+};
+
+TEST_F(TicketApplierTest, AppliesSingleTransaction) {
+  kv::InMemoryKvNode store;
+  TicketApplier applier(&store, translator_.get(), {});
+  applier.Submit(Insert("T1", 1, 10));
+  TXREP_ASSERT_OK(applier.WaitIdle());
+  EXPECT_TRUE(store.Contains("T1_1"));
+  EXPECT_EQ(applier.stats().completed, 1);
+}
+
+TEST_F(TicketApplierTest, SameTableChainRespectsTicketOrder) {
+  // Per-op service time keeps each apply busy long enough that successive
+  // tickets genuinely queue on the table lock.
+  kv::KvNodeOptions node_options;
+  node_options.service_time_micros = 500;
+  kv::InMemoryKvNode store(node_options);
+  TicketApplier applier(&store, translator_.get(), {.threads = 8});
+  applier.Submit(Insert("T1", 1, 0));
+  for (int v = 1; v <= 60; ++v) {
+    applier.Submit(Update("T1", 1, v));
+  }
+  TXREP_ASSERT_OK(applier.WaitIdle());
+  Result<kv::Value> bytes = store.Get("T1_1");
+  ASSERT_TRUE(bytes.ok());
+  // Final value must be the last ticket's (strict ticket order).
+  // Decode via the row codec indirectly: replay serially and compare.
+  kv::InMemoryKvNode reference;
+  SerialApplier serial(&reference, translator_.get());
+  TXREP_ASSERT_OK(serial.Apply(Insert("T1", 1, 0)));
+  for (int v = 1; v <= 60; ++v) {
+    TXREP_ASSERT_OK(serial.Apply(Update("T1", 1, v)));
+  }
+  testing::ExpectDumpsEqual(reference, store);
+  EXPECT_GT(applier.stats().lock_waits, 0);
+}
+
+TEST_F(TicketApplierTest, DisjointTablesRunConcurrently) {
+  // With a per-op service time, three disjoint-table streams must finish
+  // much faster than 3x one stream's serial time.
+  kv::KvNodeOptions node_options;
+  node_options.service_time_micros = 2000;
+  kv::InMemoryKvNode store(node_options);
+  TicketApplier applier(&store, translator_.get(), {.threads = 8});
+  Stopwatch sw;
+  for (int i = 0; i < 8; ++i) {
+    applier.Submit(Insert("T1", i, 0));
+    applier.Submit(Insert("T2", i, 0));
+    applier.Submit(Insert("T3", i, 0));
+  }
+  TXREP_ASSERT_OK(applier.WaitIdle());
+  // 24 inserts x ~2ms service: serial would be >= 48ms; three concurrent
+  // streams should land well under 40ms even with overheads.
+  EXPECT_LT(sw.ElapsedMicros(), 40000) << "no cross-table concurrency";
+}
+
+TEST_F(TicketApplierTest, EquivalentToSerialOnRandomMultiTableLoad) {
+  rel::Database db;
+  for (const char* name : {"T1", "T2", "T3"}) {
+    Result<rel::TableSchema> schema = rel::TableSchema::Create(
+        name, {{"ID", rel::ValueType::kInt64}, {"V", rel::ValueType::kInt64}},
+        "ID");
+    ASSERT_TRUE(schema.ok());
+    TXREP_ASSERT_OK(db.CreateTable(*schema));
+  }
+  Random rng(5);
+  const char* tables[] = {"T1", "T2", "T3"};
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 1; i <= 20; ++i) {
+      TXREP_ASSERT_OK(
+          db.ExecuteTransaction(
+                {rel::InsertStatement{
+                    tables[t], {}, {Value::Int(i), Value::Int(0)}}})
+              .status());
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    const char* table = tables[rng.Uniform(3)];
+    TXREP_ASSERT_OK(
+        db.ExecuteTransaction(
+              {rel::UpdateStatement{
+                  table,
+                  {{"V", Value::Int(static_cast<int64_t>(rng.Uniform(100)))}},
+                  {rel::Predicate{"ID", rel::PredicateOp::kEq,
+                                  Value::Int(1 + static_cast<int64_t>(
+                                                     rng.Uniform(20))),
+                                  {}}}}})
+            .status());
+  }
+  qt::QueryTranslator translator(&db.catalog(), {});
+  kv::InMemoryKvNode reference, ticket_store;
+  TXREP_ASSERT_OK(testing::ReplaySerial(db, translator, &reference));
+  {
+    TXREP_ASSERT_OK(translator.InitializeIndexes(&ticket_store));
+    TicketApplier applier(&ticket_store, &translator, {.threads = 8});
+    for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
+      applier.Submit(std::move(txn));
+    }
+    TXREP_ASSERT_OK(applier.WaitIdle());
+    EXPECT_EQ(applier.stats().completed,
+              static_cast<int64_t>(db.log().size()));
+  }
+  testing::ExpectDumpsEqual(reference, ticket_store);
+}
+
+TEST_F(TicketApplierTest, FailurePropagatesViaWaitIdle) {
+  kv::InMemoryKvNode store;
+  TicketApplier applier(&store, translator_.get(), {});
+  applier.Submit(Update("T1", 42, 1));  // Row never existed.
+  EXPECT_FALSE(applier.WaitIdle().ok());
+}
+
+TEST_F(TicketApplierTest, WaitIdleOnEmptyReturns) {
+  kv::InMemoryKvNode store;
+  TicketApplier applier(&store, translator_.get(), {});
+  TXREP_ASSERT_OK(applier.WaitIdle());
+}
+
+}  // namespace
+}  // namespace txrep::core

@@ -1,0 +1,89 @@
+#include "kv/kv_cluster.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::kv {
+namespace {
+
+TEST(KvClusterTest, DelegatesBasicOps) {
+  KvClusterOptions options;
+  options.num_nodes = 5;
+  KvCluster cluster(options);
+  TXREP_ASSERT_OK(cluster.Put("k", "v"));
+  EXPECT_EQ(*cluster.Get("k"), "v");
+  EXPECT_TRUE(cluster.Contains("k"));
+  TXREP_ASSERT_OK(cluster.Delete("k"));
+  EXPECT_TRUE(cluster.Get("k").status().IsNotFound());
+}
+
+TEST(KvClusterTest, PartitioningIsStable) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 7, .node = {}});
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(cluster.NodeIndexFor(key), cluster.NodeIndexFor(key));
+    EXPECT_LT(cluster.NodeIndexFor(key), 7);
+  }
+}
+
+TEST(KvClusterTest, KeysSpreadAcrossNodes) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 5, .node = {}});
+  std::set<int> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(cluster.NodeIndexFor("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(used.size(), 5u) << "hash partitioning left nodes unused";
+}
+
+TEST(KvClusterTest, EachKeyLivesOnExactlyOneNode) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 4, .node = {}});
+  for (int i = 0; i < 50; ++i) {
+    TXREP_ASSERT_OK(cluster.Put("key" + std::to_string(i), "v"));
+  }
+  size_t total = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    total += cluster.node(n).Size();
+  }
+  EXPECT_EQ(total, 50u);
+  EXPECT_EQ(cluster.Size(), 50u);
+}
+
+TEST(KvClusterTest, DumpMergesSorted) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 3, .node = {}});
+  for (int i = 9; i >= 0; --i) {
+    TXREP_ASSERT_OK(cluster.Put("k" + std::to_string(i), std::to_string(i)));
+  }
+  StoreDump dump = cluster.Dump();
+  ASSERT_EQ(dump.size(), 10u);
+  for (size_t i = 1; i < dump.size(); ++i) {
+    EXPECT_LT(dump[i - 1].first, dump[i].first);
+  }
+}
+
+TEST(KvClusterTest, TotalStatsAggregates) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 3, .node = {}});
+  for (int i = 0; i < 30; ++i) {
+    (void)cluster.Put("k" + std::to_string(i), "v");
+    (void)cluster.Get("k" + std::to_string(i));
+  }
+  KvStoreStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.puts, 30);
+  EXPECT_EQ(stats.gets, 30);
+}
+
+TEST(KvClusterTest, SingleNodeClusterWorks) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 1, .node = {}});
+  TXREP_ASSERT_OK(cluster.Put("a", "1"));
+  EXPECT_EQ(cluster.NodeIndexFor("anything"), 0);
+  EXPECT_EQ(cluster.Size(), 1u);
+}
+
+TEST(KvClusterTest, ZeroNodesClampedToOne) {
+  KvCluster cluster(KvClusterOptions{.num_nodes = 0, .node = {}});
+  EXPECT_EQ(cluster.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace txrep::kv

@@ -1,0 +1,146 @@
+#include "kv/inmemory_node.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::kv {
+namespace {
+
+TEST(InMemoryKvNodeTest, PutGetRoundTrip) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("k", "v"));
+  Result<Value> v = node.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+}
+
+TEST(InMemoryKvNodeTest, GetMissingIsNotFound) {
+  InMemoryKvNode node;
+  EXPECT_TRUE(node.Get("nope").status().IsNotFound());
+}
+
+TEST(InMemoryKvNodeTest, PutOverwrites) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("k", "v1"));
+  TXREP_ASSERT_OK(node.Put("k", "v2"));
+  EXPECT_EQ(*node.Get("k"), "v2");
+  EXPECT_EQ(node.Size(), 1u);
+}
+
+TEST(InMemoryKvNodeTest, DeleteRemovesAndIsIdempotent) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("k", "v"));
+  TXREP_ASSERT_OK(node.Delete("k"));
+  EXPECT_TRUE(node.Get("k").status().IsNotFound());
+  TXREP_ASSERT_OK(node.Delete("k"));  // Absent delete is OK.
+}
+
+TEST(InMemoryKvNodeTest, ContainsAndSize) {
+  InMemoryKvNode node;
+  EXPECT_FALSE(node.Contains("a"));
+  TXREP_ASSERT_OK(node.Put("a", "1"));
+  TXREP_ASSERT_OK(node.Put("b", "2"));
+  EXPECT_TRUE(node.Contains("a"));
+  EXPECT_EQ(node.Size(), 2u);
+}
+
+TEST(InMemoryKvNodeTest, BinarySafeKeysAndValues) {
+  InMemoryKvNode node;
+  const std::string key("\x00\x01\xff k", 5);
+  const std::string value("\x00\xfe\x7f", 3);
+  TXREP_ASSERT_OK(node.Put(key, value));
+  EXPECT_EQ(*node.Get(key), value);
+}
+
+TEST(InMemoryKvNodeTest, DumpIsSortedAndComplete) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("c", "3"));
+  TXREP_ASSERT_OK(node.Put("a", "1"));
+  TXREP_ASSERT_OK(node.Put("b", "2"));
+  StoreDump dump = node.Dump();
+  ASSERT_EQ(dump.size(), 3u);
+  EXPECT_EQ(dump[0].first, "a");
+  EXPECT_EQ(dump[1].first, "b");
+  EXPECT_EQ(dump[2].first, "c");
+}
+
+TEST(InMemoryKvNodeTest, StatsCountOperations) {
+  InMemoryKvNode node;
+  (void)node.Put("a", "1");
+  (void)node.Get("a");
+  (void)node.Get("missing");
+  (void)node.Delete("a");
+  KvStoreStats stats = node.stats();
+  EXPECT_EQ(stats.puts, 1);
+  EXPECT_EQ(stats.gets, 2);
+  EXPECT_EQ(stats.get_misses, 1);
+  EXPECT_EQ(stats.deletes, 1);
+}
+
+TEST(InMemoryKvNodeTest, FailureInjectionRate) {
+  KvNodeOptions options;
+  options.failure_rate = 0.3;
+  options.failure_seed = 1;
+  InMemoryKvNode node(options);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!node.Put("k" + std::to_string(i), "v").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 200);
+  EXPECT_LT(failures, 400);
+  EXPECT_EQ(node.stats().injected_failures, failures);
+}
+
+TEST(InMemoryKvNodeTest, ServiceTimeIsCharged) {
+  KvNodeOptions options;
+  options.service_time_micros = 2000;
+  InMemoryKvNode node(options);
+  Stopwatch sw;
+  TXREP_ASSERT_OK(node.Put("k", "v"));
+  EXPECT_GE(sw.ElapsedMicros(), 2000);
+}
+
+TEST(InMemoryKvNodeTest, ServiceSlotsSerializeOps) {
+  // One slot, 4 threads x 1 op of 5ms -> at least ~20ms wall clock.
+  KvNodeOptions options;
+  options.service_time_micros = 5000;
+  options.service_slots = 1;
+  InMemoryKvNode node(options);
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&node, t] { (void)node.Put("k" + std::to_string(t), "v"); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(sw.ElapsedMicros(), 4 * 5000);
+}
+
+TEST(InMemoryKvNodeTest, ConcurrentReadersWritersKeepValuesAtomic) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("k", std::string(100, 'a')));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    char c = 'b';
+    while (!stop) {
+      (void)node.Put("k", std::string(100, c));
+      c = c == 'z' ? 'a' : c + 1;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    Result<Value> v = node.Get("k");
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v->size(), 100u);
+    // Atomic visibility: the value is never a mix of two writes.
+    for (char c : *v) ASSERT_EQ(c, (*v)[0]);
+  }
+  stop = true;
+  writer.join();
+}
+
+}  // namespace
+}  // namespace txrep::kv

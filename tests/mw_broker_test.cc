@@ -1,0 +1,105 @@
+#include "mw/broker.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::mw {
+namespace {
+
+TEST(BrokerTest, DeliversToSubscriber) {
+  Broker broker;
+  Broker::Subscription* sub = broker.Subscribe("t");
+  TXREP_ASSERT_OK(broker.Publish("t", "hello"));
+  std::optional<Message> m = sub->Pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->topic, "t");
+  EXPECT_EQ(m->payload, "hello");
+  EXPECT_GT(m->publish_micros, 0);
+}
+
+TEST(BrokerTest, PerTopicOrderingPreserved) {
+  Broker broker;
+  Broker::Subscription* sub = broker.Subscribe("t");
+  for (int i = 0; i < 100; ++i) {
+    TXREP_ASSERT_OK(broker.Publish("t", std::to_string(i)));
+  }
+  broker.Flush();
+  for (int i = 0; i < 100; ++i) {
+    std::optional<Message> m = sub->Pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload, std::to_string(i));
+  }
+}
+
+TEST(BrokerTest, TopicsAreIsolated) {
+  Broker broker;
+  Broker::Subscription* a = broker.Subscribe("a");
+  Broker::Subscription* b = broker.Subscribe("b");
+  TXREP_ASSERT_OK(broker.Publish("a", "for-a"));
+  TXREP_ASSERT_OK(broker.Publish("b", "for-b"));
+  broker.Flush();
+  EXPECT_EQ(a->Pop()->payload, "for-a");
+  EXPECT_EQ(b->Pop()->payload, "for-b");
+  EXPECT_FALSE(a->TryPop().has_value());
+}
+
+TEST(BrokerTest, FanOutToMultipleSubscribers) {
+  Broker broker;
+  Broker::Subscription* s1 = broker.Subscribe("t");
+  Broker::Subscription* s2 = broker.Subscribe("t");
+  TXREP_ASSERT_OK(broker.Publish("t", "x"));
+  broker.Flush();
+  EXPECT_EQ(s1->Pop()->payload, "x");
+  EXPECT_EQ(s2->Pop()->payload, "x");
+}
+
+TEST(BrokerTest, MessagesToUnsubscribedTopicDropped) {
+  Broker broker;
+  TXREP_ASSERT_OK(broker.Publish("nowhere", "x"));
+  broker.Flush();
+  EXPECT_EQ(broker.published(), 1);
+  EXPECT_EQ(broker.delivered(), 1);
+}
+
+TEST(BrokerTest, FlushWaitsForDelivery) {
+  Broker broker({.delivery_delay_micros = 2000, .subscriber_queue_capacity = 0});
+  Broker::Subscription* sub = broker.Subscribe("t");
+  for (int i = 0; i < 5; ++i) TXREP_ASSERT_OK(broker.Publish("t", "m"));
+  broker.Flush();
+  EXPECT_EQ(broker.delivered(), 5);
+  EXPECT_EQ(sub->Pending(), 5u);
+}
+
+TEST(BrokerTest, PublishAfterShutdownFails) {
+  Broker broker;
+  broker.Shutdown();
+  EXPECT_TRUE(broker.Publish("t", "x").IsUnavailable());
+}
+
+TEST(BrokerTest, ShutdownEndsSubscriberStreams) {
+  Broker broker;
+  Broker::Subscription* sub = broker.Subscribe("t");
+  std::thread consumer([&] {
+    // Blocks until shutdown closes the queue.
+    EXPECT_FALSE(sub->Pop().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  broker.Shutdown();
+  consumer.join();
+}
+
+TEST(BrokerTest, ShutdownDrainsPendingFirst) {
+  Broker broker;
+  Broker::Subscription* sub = broker.Subscribe("t");
+  for (int i = 0; i < 10; ++i) TXREP_ASSERT_OK(broker.Publish("t", "m"));
+  broker.Flush();
+  broker.Shutdown();
+  int received = 0;
+  while (sub->Pop().has_value()) ++received;
+  EXPECT_EQ(received, 10);
+}
+
+}  // namespace
+}  // namespace txrep::mw

@@ -1,0 +1,140 @@
+// Publisher agent + subscriber agent end-to-end over the broker.
+
+#include <atomic>
+
+#include "gtest/gtest.h"
+#include "mw/broker.h"
+#include "mw/publisher.h"
+#include "mw/subscriber.h"
+#include "rel/txlog.h"
+#include "test_util.h"
+
+namespace txrep::mw {
+namespace {
+
+rel::LogOp MakeOp(int64_t pk) {
+  return rel::LogOp{rel::LogOpType::kInsert, "T", rel::Value::Int(pk),
+                    {rel::Value::Int(pk)}};
+}
+
+TEST(PublisherTest, PumpOnceBatchesUpToLimit) {
+  rel::TxLog log;
+  for (int i = 0; i < 25; ++i) log.Append({MakeOp(i)});
+  Broker broker;
+  Broker::Subscription* sub = broker.Subscribe("txrep.log");
+  PublisherAgent publisher(&log, &broker, {.topic = "txrep.log",
+                                           .batch_size = 10,
+                                           .poll_interval_micros = 100,
+                                           .start_after_lsn = 0});
+  EXPECT_EQ(*publisher.PumpOnce(), 10u);
+  EXPECT_EQ(*publisher.PumpOnce(), 10u);
+  EXPECT_EQ(*publisher.PumpOnce(), 5u);
+  EXPECT_EQ(*publisher.PumpOnce(), 0u);
+  EXPECT_EQ(publisher.shipped_lsn(), 25u);
+  EXPECT_EQ(publisher.messages_published(), 3);
+  broker.Flush();
+  EXPECT_EQ(sub->Pending(), 3u);
+}
+
+TEST(PublisherTest, StartAfterLsnSkipsSnapshot) {
+  rel::TxLog log;
+  for (int i = 0; i < 10; ++i) log.Append({MakeOp(i)});
+  Broker broker;
+  PublisherAgent publisher(&log, &broker, {.topic = "t",
+                                           .batch_size = 100,
+                                           .poll_interval_micros = 100,
+                                           .start_after_lsn = 7});
+  EXPECT_EQ(*publisher.PumpOnce(), 3u);
+}
+
+TEST(PublisherTest, PumpAllShipsEverything) {
+  rel::TxLog log;
+  for (int i = 0; i < 37; ++i) log.Append({MakeOp(i)});
+  Broker broker;
+  PublisherAgent publisher(&log, &broker,
+                           {.topic = "t", .batch_size = 5,
+                            .poll_interval_micros = 100,
+                            .start_after_lsn = 0});
+  TXREP_ASSERT_OK(publisher.PumpAll());
+  EXPECT_EQ(publisher.shipped_lsn(), 37u);
+  EXPECT_EQ(publisher.messages_published(), 8);  // ceil(37/5).
+}
+
+TEST(SubscriberTest, ReceivesTransactionsInLsnOrder) {
+  rel::TxLog log;
+  for (int i = 1; i <= 50; ++i) log.Append({MakeOp(i)});
+  Broker broker;
+  std::vector<uint64_t> received;
+  std::mutex mu;
+  SubscriberAgent subscriber(&broker, "t",
+                             [&](rel::LogTransaction txn) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               received.push_back(txn.lsn);
+                               return Status::OK();
+                             });
+  PublisherAgent publisher(&log, &broker,
+                           {.topic = "t", .batch_size = 7,
+                            .poll_interval_micros = 100,
+                            .start_after_lsn = 0});
+  TXREP_ASSERT_OK(publisher.PumpAll());
+  ASSERT_TRUE(subscriber.WaitForLsn(50));
+  broker.Shutdown();
+  subscriber.Stop();
+  ASSERT_EQ(received.size(), 50u);
+  for (size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i], i + 1);
+  }
+  EXPECT_EQ(subscriber.applied_lsn(), 50u);
+  TXREP_ASSERT_OK(subscriber.health());
+}
+
+TEST(SubscriberTest, SinkErrorTurnsUnhealthy) {
+  rel::TxLog log;
+  log.Append({MakeOp(1)});
+  Broker broker;
+  SubscriberAgent subscriber(&broker, "t", [](rel::LogTransaction) {
+    return Status::Corruption("sink rejects");
+  });
+  PublisherAgent publisher(&log, &broker,
+                           {.topic = "t", .batch_size = 10,
+                            .poll_interval_micros = 100,
+                            .start_after_lsn = 0});
+  TXREP_ASSERT_OK(publisher.PumpAll());
+  EXPECT_FALSE(subscriber.WaitForLsn(1));
+  EXPECT_TRUE(subscriber.health().IsCorruption());
+  broker.Shutdown();
+}
+
+TEST(SubscriberTest, MalformedPayloadTurnsUnhealthy) {
+  Broker broker;
+  SubscriberAgent subscriber(&broker, "t", [](rel::LogTransaction) {
+    return Status::OK();
+  });
+  TXREP_ASSERT_OK(broker.Publish("t", "this is not a log batch"));
+  EXPECT_FALSE(subscriber.WaitForLsn(1));
+  EXPECT_TRUE(subscriber.health().IsCorruption());
+  broker.Shutdown();
+}
+
+TEST(PublisherTest, BackgroundPumpShipsNewCommits) {
+  rel::TxLog log;
+  Broker broker;
+  std::atomic<int> received{0};
+  SubscriberAgent subscriber(&broker, "t", [&](rel::LogTransaction) {
+    ++received;
+    return Status::OK();
+  });
+  PublisherAgent publisher(&log, &broker,
+                           {.topic = "t", .batch_size = 10,
+                            .poll_interval_micros = 500,
+                            .start_after_lsn = 0});
+  publisher.Start();
+  for (int i = 0; i < 20; ++i) log.Append({MakeOp(i)});
+  ASSERT_TRUE(subscriber.WaitForLsn(20));
+  publisher.Stop();
+  broker.Shutdown();
+  EXPECT_EQ(received.load(), 20);
+}
+
+}  // namespace
+}  // namespace txrep::mw

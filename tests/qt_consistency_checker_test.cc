@@ -1,0 +1,132 @@
+// The replica audit tool: clean replicas report consistent; every class of
+// injected corruption is detected and described.
+
+#include "qt/consistency_checker.h"
+
+#include "codec/kv_keys.h"
+#include "codec/row_codec.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "sql/interpreter.h"
+#include "test_util.h"
+
+namespace txrep::qt {
+namespace {
+
+using rel::Value;
+
+class ConsistencyCheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TXREP_ASSERT_OK(sql::ExecuteSql(db_, R"sql(
+      CREATE TABLE ITEM (I_ID INT PRIMARY KEY, I_TITLE VARCHAR(40),
+                         I_COST DOUBLE);
+      CREATE INDEX ON ITEM (I_TITLE);
+      CREATE RANGE INDEX ON ITEM (I_COST);
+      INSERT INTO ITEM VALUES (1, 'a', 10.0);
+      INSERT INTO ITEM VALUES (2, 'b', 20.0);
+      INSERT INTO ITEM VALUES (3, 'a', 30.0);
+    )sql").status());
+    translator_ = std::make_unique<QueryTranslator>(&db_.catalog(), blink_);
+    TXREP_ASSERT_OK(translator_->LoadSnapshot(&store_, db_));
+  }
+
+  Result<ConsistencyReport> Check() {
+    return CheckReplicaConsistency(store_, db_, *translator_);
+  }
+
+  blink::BlinkTreeOptions blink_;
+  rel::Database db_;
+  kv::InMemoryKvNode store_;
+  std::unique_ptr<QueryTranslator> translator_;
+};
+
+TEST_F(ConsistencyCheckerTest, CleanReplicaIsConsistent) {
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent());
+  EXPECT_EQ(report->rows_checked, 3);
+  EXPECT_GT(report->hash_postings_checked, 0);
+  EXPECT_EQ(report->range_entries_checked, 3);
+  EXPECT_NE(report->Summary().find("CONSISTENT"), std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsMissingRow) {
+  TXREP_ASSERT_OK(store_.Delete("ITEM_2"));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("missing row object ITEM_2"),
+            std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsRowValueDrift) {
+  rel::Row wrong = {Value::Int(2), Value::Str("tampered"), Value::Real(20.0)};
+  TXREP_ASSERT_OK(store_.Put("ITEM_2", codec::EncodeRow(wrong)));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("row mismatch"), std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsCorruptRowBytes) {
+  TXREP_ASSERT_OK(store_.Put("ITEM_1", "garbage"));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("undecodable row object"),
+            std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsPostingDrift) {
+  // Drop ITEM_3 from the 'a' posting list.
+  const kv::Key index_key =
+      codec::HashIndexKey("ITEM", "I_TITLE", Value::Str("a"));
+  TXREP_ASSERT_OK(
+      store_.Put(index_key, codec::EncodePostings({"ITEM_1"})));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("postings mismatch"),
+            std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsMissingPostingObject) {
+  TXREP_ASSERT_OK(store_.Delete(
+      codec::HashIndexKey("ITEM", "I_TITLE", Value::Str("b"))));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("missing posting object"),
+            std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsRangeIndexDrift) {
+  blink::BlinkTree tree(&store_, "ITEM", "I_COST", blink_);
+  TXREP_ASSERT_OK(tree.Remove(Value::Real(20.0), "ITEM_2"));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  EXPECT_NE(report->violations[0].find("range index"), std::string::npos);
+}
+
+TEST_F(ConsistencyCheckerTest, DetectsStrayObjects) {
+  TXREP_ASSERT_OK(store_.Put("ITEM_999", codec::EncodeRow(
+      {Value::Int(999), Value::Str("ghost"), Value::Real(1.0)})));
+  Result<ConsistencyReport> report = Check();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->consistent());
+  // A stray row-shaped object decodes as neither a known row nor a valid
+  // posting list -> flagged.
+  bool found = false;
+  for (const std::string& v : report->violations) {
+    if (v.find("stray") != std::string::npos ||
+        v.find("references unknown row") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace txrep::qt

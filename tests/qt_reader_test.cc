@@ -1,0 +1,171 @@
+#include "qt/replica_reader.h"
+
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "qt/query_translator.h"
+#include "rel/database.h"
+#include "test_util.h"
+
+namespace txrep::qt {
+namespace {
+
+using rel::Predicate;
+using rel::PredicateOp;
+using rel::SelectStatement;
+using rel::Value;
+
+class ReplicaReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<rel::TableSchema> item =
+        rel::TableSchema::Create("ITEM",
+                                 {{"I_ID", rel::ValueType::kInt64},
+                                  {"I_TITLE", rel::ValueType::kString},
+                                  {"I_COST", rel::ValueType::kDouble},
+                                  {"I_STOCK", rel::ValueType::kInt64}},
+                                 "I_ID");
+    ASSERT_TRUE(item.ok());
+    TXREP_ASSERT_OK(db_.CreateTable(*item));
+    TXREP_ASSERT_OK(db_.CreateHashIndex("ITEM", "I_TITLE"));
+    TXREP_ASSERT_OK(db_.CreateRangeIndex("ITEM", "I_COST"));
+    for (int i = 1; i <= 30; ++i) {
+      TXREP_ASSERT_OK(
+          db_.ExecuteTransaction(
+                {rel::InsertStatement{
+                    "ITEM",
+                    {},
+                    {Value::Int(i), Value::Str("title" + std::to_string(i % 5)),
+                     Value::Real(i * 10.0), Value::Int(i)}}})
+              .status());
+    }
+    translator_ = std::make_unique<QueryTranslator>(&db_.catalog(), blink_);
+    reader_ = std::make_unique<ReplicaReader>(&db_.catalog(), blink_);
+    TXREP_ASSERT_OK(translator_->LoadSnapshot(&store_, db_));
+  }
+
+  blink::BlinkTreeOptions blink_;
+  rel::Database db_;
+  kv::InMemoryKvNode store_;
+  std::unique_ptr<QueryTranslator> translator_;
+  std::unique_ptr<ReplicaReader> reader_;
+};
+
+TEST_F(ReplicaReaderTest, GetByPk) {
+  Result<rel::Row> row = reader_->GetByPk(&store_, "ITEM", Value::Int(7));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 7);
+  EXPECT_TRUE(
+      reader_->GetByPk(&store_, "ITEM", Value::Int(999)).status().IsNotFound());
+}
+
+TEST_F(ReplicaReaderTest, GetByAttributeViaHashIndex) {
+  Result<std::vector<rel::Row>> rows =
+      reader_->GetByAttribute(&store_, "ITEM", "I_TITLE", Value::Str("title2"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);  // 2,7,12,17,22,27.
+  for (const rel::Row& row : *rows) {
+    EXPECT_EQ(row[1].AsString(), "title2");
+  }
+}
+
+TEST_F(ReplicaReaderTest, GetByAttributeMissValueReturnsEmpty) {
+  Result<std::vector<rel::Row>> rows =
+      reader_->GetByAttribute(&store_, "ITEM", "I_TITLE", Value::Str("nope"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(ReplicaReaderTest, GetByAttributeWithoutIndexFails) {
+  EXPECT_TRUE(
+      reader_->GetByAttribute(&store_, "ITEM", "I_STOCK", Value::Int(1))
+          .status()
+          .code() == StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicaReaderTest, RangeQueryViaBlink) {
+  Result<std::vector<rel::Row>> rows = reader_->RangeQuery(
+      &store_, "ITEM", "I_COST", Value::Real(95.0), Value::Real(135.0));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);  // 100,110,120,130.
+}
+
+TEST_F(ReplicaReaderTest, RangeQueryOpenBounds) {
+  Result<std::vector<rel::Row>> rows = reader_->RangeQuery(
+      &store_, "ITEM", "I_COST", std::nullopt, Value::Real(30.0));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(ReplicaReaderTest, SelectPlansPkEquality) {
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_, SelectStatement{
+                   "ITEM", {}, {Predicate{"I_ID", PredicateOp::kEq,
+                                          Value::Int(3), {}}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST_F(ReplicaReaderTest, SelectPlansHashEqualityWithResidual) {
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_,
+      SelectStatement{
+          "ITEM",
+          {},
+          {Predicate{"I_TITLE", PredicateOp::kEq, Value::Str("title2"), {}},
+           Predicate{"I_COST", PredicateOp::kGt, Value::Real(100.0), {}}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);  // 12,17,22,27.
+}
+
+TEST_F(ReplicaReaderTest, SelectPlansRangeBetween) {
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_, SelectStatement{"ITEM",
+                               {},
+                               {Predicate{"I_COST", PredicateOp::kBetween,
+                                          Value::Real(50.0),
+                                          Value::Real(80.0)}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);  // 50,60,70,80.
+}
+
+TEST_F(ReplicaReaderTest, SelectRangeBoundaryTrimmedByResidual) {
+  // kGt uses the index with an inclusive bound, residual filter trims it.
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_, SelectStatement{"ITEM",
+                               {},
+                               {Predicate{"I_COST", PredicateOp::kGt,
+                                          Value::Real(280.0), {}}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // 290, 300 — not 280 itself.
+}
+
+TEST_F(ReplicaReaderTest, SelectProjection) {
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_, SelectStatement{"ITEM",
+                               {"I_COST", "I_ID"},
+                               {Predicate{"I_ID", PredicateOp::kEq,
+                                          Value::Int(4), {}}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  ASSERT_EQ((*rows)[0].size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0][0].AsDouble(), 40.0);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 4);
+}
+
+TEST_F(ReplicaReaderTest, SelectWithoutIndexableConjunctFails) {
+  Result<std::vector<rel::Row>> rows = reader_->Select(
+      &store_, SelectStatement{"ITEM",
+                               {},
+                               {Predicate{"I_STOCK", PredicateOp::kGt,
+                                          Value::Int(5), {}}}});
+  EXPECT_EQ(rows.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicaReaderTest, SelectFromUnknownTableFails) {
+  EXPECT_TRUE(reader_->Select(&store_, SelectStatement{"NOPE", {}, {}})
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace txrep::qt

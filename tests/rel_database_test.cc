@@ -1,0 +1,221 @@
+#include "rel/database.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::rel {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<TableSchema> item =
+        TableSchema::Create("ITEM",
+                            {{"I_ID", ValueType::kInt64},
+                             {"I_TITLE", ValueType::kString},
+                             {"I_COST", ValueType::kDouble}},
+                            "I_ID");
+    ASSERT_TRUE(item.ok());
+    TXREP_ASSERT_OK(db_.CreateTable(*item));
+  }
+
+  InsertStatement Insert(int64_t id, const std::string& title, double cost) {
+    return InsertStatement{
+        "ITEM", {}, {Value::Int(id), Value::Str(title), Value::Real(cost)}};
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, InsertCommitsAndLogs) {
+  Result<CommitInfo> info = db_.ExecuteTransaction({Insert(1, "a", 10.0)});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->lsn, 1u);
+  std::vector<LogTransaction> log = db_.log().ReadSince(0);
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_EQ(log[0].ops.size(), 1u);
+  EXPECT_EQ(log[0].ops[0].type, LogOpType::kInsert);
+  EXPECT_EQ(log[0].ops[0].table, "ITEM");
+  EXPECT_EQ(log[0].ops[0].pk, Value::Int(1));
+}
+
+TEST_F(DatabaseTest, UpdateLogsAfterImage) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 10.0)}).status());
+  UpdateStatement update{
+      "ITEM",
+      {{"I_COST", Value::Real(99.0)}},
+      {Predicate{"I_ID", PredicateOp::kEq, Value::Int(1), {}}}};
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({update}).status());
+  std::vector<LogTransaction> log = db_.log().ReadSince(1);
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_EQ(log[0].ops.size(), 1u);
+  EXPECT_EQ(log[0].ops[0].type, LogOpType::kUpdate);
+  EXPECT_DOUBLE_EQ(log[0].ops[0].after[2].AsDouble(), 99.0);
+  EXPECT_EQ(log[0].ops[0].after[1].AsString(), "a");  // Full after-image.
+}
+
+TEST_F(DatabaseTest, DeleteLogsPkOnly) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 10.0)}).status());
+  DeleteStatement del{
+      "ITEM", {Predicate{"I_ID", PredicateOp::kEq, Value::Int(1), {}}}};
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({del}).status());
+  std::vector<LogTransaction> log = db_.log().ReadSince(1);
+  ASSERT_EQ(log[0].ops.size(), 1u);
+  EXPECT_EQ(log[0].ops[0].type, LogOpType::kDelete);
+  EXPECT_TRUE(log[0].ops[0].after.empty());
+}
+
+TEST_F(DatabaseTest, MultiStatementTransactionIsOneLogEntry) {
+  Result<CommitInfo> info = db_.ExecuteTransaction(
+      {Insert(1, "a", 1.0), Insert(2, "b", 2.0), Insert(3, "c", 3.0)});
+  ASSERT_TRUE(info.ok());
+  std::vector<LogTransaction> log = db_.log().ReadSince(0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].ops.size(), 3u);
+}
+
+TEST_F(DatabaseTest, FailedTransactionRollsBackCompletely) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 1.0)}).status());
+  // Second statement fails (duplicate PK): the first must be undone.
+  Result<CommitInfo> info =
+      db_.ExecuteTransaction({Insert(2, "b", 2.0), Insert(1, "dup", 0.0)});
+  EXPECT_TRUE(info.status().IsAlreadyExists());
+  EXPECT_EQ(*db_.TableSize("ITEM"), 1u);
+  EXPECT_EQ(db_.log().size(), 1u);  // No log entry for the failed txn.
+}
+
+TEST_F(DatabaseTest, RollbackRestoresUpdatesAndDeletes) {
+  TXREP_ASSERT_OK(
+      db_.ExecuteTransaction({Insert(1, "a", 1.0), Insert(2, "b", 2.0)})
+          .status());
+  UpdateStatement update{
+      "ITEM",
+      {{"I_TITLE", Value::Str("changed")}},
+      {Predicate{"I_ID", PredicateOp::kEq, Value::Int(1), {}}}};
+  DeleteStatement del{
+      "ITEM", {Predicate{"I_ID", PredicateOp::kEq, Value::Int(2), {}}}};
+  Result<CommitInfo> info =
+      db_.ExecuteTransaction({update, del, Insert(1, "dup", 0.0)});
+  EXPECT_FALSE(info.ok());
+  // Original state restored.
+  Result<std::vector<Row>> rows = db_.Query(SelectStatement{"ITEM", {}, {}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1].AsString(), "a");
+}
+
+TEST_F(DatabaseTest, SelectInsideTransactionSeesEarlierWrites) {
+  Result<CommitInfo> info = db_.ExecuteTransaction(
+      {Insert(1, "a", 1.0), SelectStatement{"ITEM", {}, {}}});
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->select_results.size(), 1u);
+  EXPECT_EQ(info->select_results[0].size(), 1u);
+}
+
+TEST_F(DatabaseTest, QueryWithProjection) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 7.5)}).status());
+  Result<std::vector<Row>> rows = db_.Query(SelectStatement{
+      "ITEM",
+      {"I_COST", "I_ID"},
+      {Predicate{"I_ID", PredicateOp::kEq, Value::Int(1), {}}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_DOUBLE_EQ((*rows)[0][0].AsDouble(), 7.5);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 1);
+}
+
+TEST_F(DatabaseTest, ReadOnlyTransactionNotLogged) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 1.0)}).status());
+  Result<CommitInfo> info =
+      db_.ExecuteTransaction({SelectStatement{"ITEM", {}, {}}});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->lsn, 0u);
+  EXPECT_EQ(db_.log().size(), 1u);
+}
+
+TEST_F(DatabaseTest, InsertWithColumnListFillsNulls) {
+  InsertStatement partial{"ITEM",
+                          {"I_ID", "I_COST"},
+                          {Value::Int(5), Value::Real(3.0)}};
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({partial}).status());
+  Result<Row> row = db_.Query(SelectStatement{
+      "ITEM", {}, {Predicate{"I_ID", PredicateOp::kEq, Value::Int(5), {}}}})
+                        .value()[0];
+  EXPECT_TRUE((*row)[1].is_null());
+}
+
+TEST_F(DatabaseTest, UpdateByNonKeyPredicateTouchesAllMatches) {
+  TXREP_ASSERT_OK(
+      db_.ExecuteTransaction({Insert(1, "x", 5.0), Insert(2, "x", 5.0),
+                              Insert(3, "y", 5.0)})
+          .status());
+  UpdateStatement update{
+      "ITEM",
+      {{"I_COST", Value::Real(9.0)}},
+      {Predicate{"I_TITLE", PredicateOp::kEq, Value::Str("x"), {}}}};
+  Result<CommitInfo> info = db_.ExecuteTransaction({update});
+  ASSERT_TRUE(info.ok());
+  std::vector<LogTransaction> log = db_.log().ReadSince(1);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].ops.size(), 2u);  // One log op per updated row.
+}
+
+TEST_F(DatabaseTest, UnknownTableErrors) {
+  Result<CommitInfo> info = db_.ExecuteTransaction(
+      {InsertStatement{"NOPE", {}, {Value::Int(1)}}});
+  EXPECT_TRUE(info.status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, CreateIndexesOnPopulatedTable) {
+  TXREP_ASSERT_OK(db_.ExecuteTransaction({Insert(1, "a", 4.0)}).status());
+  TXREP_ASSERT_OK(db_.CreateHashIndex("ITEM", "I_TITLE"));
+  TXREP_ASSERT_OK(db_.CreateRangeIndex("ITEM", "I_COST"));
+  const TableSchema& schema = **db_.catalog().GetTable("ITEM");
+  EXPECT_TRUE(schema.HasHashIndexOn(1));
+  EXPECT_TRUE(schema.HasRangeIndexOn(2));
+  // The backfilled hash index serves queries.
+  Result<std::vector<Row>> rows = db_.Query(SelectStatement{
+      "ITEM", {}, {Predicate{"I_TITLE", PredicateOp::kEq, Value::Str("a"), {}}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(DatabaseTest, ConcurrentClientsSerializeCleanly) {
+  // Multiple client threads hammer the database; every commit must appear in
+  // the log exactly once, in a dense LSN sequence, and the final state must
+  // reflect all inserts.
+  constexpr int kThreads = 4, kPerThread = 100;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t id = t * kPerThread + i + 1000;
+        Result<CommitInfo> info = db_.ExecuteTransaction(
+            {Insert(id, "c" + std::to_string(t), 1.0)});
+        ASSERT_TRUE(info.ok());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(*db_.TableSize("ITEM"), kThreads * kPerThread);
+  std::vector<LogTransaction> log = db_.log().ReadSince(0);
+  ASSERT_EQ(log.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].lsn, i + 1);
+  }
+}
+
+TEST_F(DatabaseTest, DumpAllReflectsState) {
+  TXREP_ASSERT_OK(
+      db_.ExecuteTransaction({Insert(2, "b", 2.0), Insert(1, "a", 1.0)})
+          .status());
+  auto dump = db_.DumpAll();
+  ASSERT_EQ(dump.size(), 1u);
+  ASSERT_EQ(dump["ITEM"].size(), 2u);
+  EXPECT_EQ(dump["ITEM"][0][0].AsInt(), 1);  // PK order.
+}
+
+}  // namespace
+}  // namespace txrep::rel

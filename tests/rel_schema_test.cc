@@ -1,0 +1,110 @@
+#include "rel/schema.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::rel {
+namespace {
+
+Result<TableSchema> ItemSchema() {
+  return TableSchema::Create("ITEM",
+                             {{"I_ID", ValueType::kInt64},
+                              {"I_TITLE", ValueType::kString},
+                              {"I_COST", ValueType::kDouble}},
+                             "I_ID");
+}
+
+TEST(TableSchemaTest, CreateBasics) {
+  Result<TableSchema> schema = ItemSchema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->table_name(), "ITEM");
+  EXPECT_EQ(schema->num_columns(), 3u);
+  EXPECT_EQ(schema->pk_index(), 0u);
+  EXPECT_EQ(schema->pk_column(), "I_ID");
+}
+
+TEST(TableSchemaTest, RejectsBadDefinitions) {
+  EXPECT_TRUE(TableSchema::Create("", {{"a", ValueType::kInt64}}, "a")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TableSchema::Create("T", {}, "a").status().IsInvalidArgument());
+  EXPECT_TRUE(TableSchema::Create(
+                  "T", {{"a", ValueType::kInt64}, {"a", ValueType::kInt64}},
+                  "a")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(TableSchema::Create("T", {{"a", ValueType::kInt64}}, "zzz")
+                  .status()
+                  .IsInvalidArgument());
+  // DOUBLE primary keys are rejected.
+  EXPECT_TRUE(TableSchema::Create("T", {{"a", ValueType::kDouble}}, "a")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TableSchemaTest, ColumnIndexLookup) {
+  TableSchema schema = *ItemSchema();
+  EXPECT_EQ(*schema.ColumnIndex("I_COST"), 2u);
+  EXPECT_TRUE(schema.ColumnIndex("NOPE").status().IsNotFound());
+}
+
+TEST(TableSchemaTest, IndexDeclarations) {
+  TableSchema schema = *ItemSchema();
+  TXREP_ASSERT_OK(schema.AddHashIndex("I_TITLE"));
+  TXREP_ASSERT_OK(schema.AddRangeIndex("I_COST"));
+  EXPECT_TRUE(schema.HasHashIndexOn(1));
+  EXPECT_FALSE(schema.HasHashIndexOn(2));
+  EXPECT_TRUE(schema.HasRangeIndexOn(2));
+  EXPECT_TRUE(schema.AddHashIndex("I_TITLE").IsAlreadyExists());
+  EXPECT_TRUE(schema.AddHashIndex("NOPE").IsNotFound());
+}
+
+TEST(TableSchemaTest, ValidateAndCoerceRow) {
+  TableSchema schema = *ItemSchema();
+  Row good = {Value::Int(1), Value::Str("x"), Value::Real(9.5)};
+  TXREP_ASSERT_OK(schema.ValidateAndCoerceRow(good));
+
+  Row coerce = {Value::Int(1), Value::Str("x"), Value::Int(9)};
+  TXREP_ASSERT_OK(schema.ValidateAndCoerceRow(coerce));
+  EXPECT_EQ(coerce[2].type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(coerce[2].AsDouble(), 9.0);
+
+  Row bad_arity = {Value::Int(1)};
+  EXPECT_TRUE(schema.ValidateAndCoerceRow(bad_arity).IsInvalidArgument());
+
+  Row null_pk = {Value::Null(), Value::Str("x"), Value::Real(1.0)};
+  EXPECT_TRUE(schema.ValidateAndCoerceRow(null_pk).IsInvalidArgument());
+
+  Row type_mismatch = {Value::Int(1), Value::Int(5), Value::Real(1.0)};
+  EXPECT_TRUE(schema.ValidateAndCoerceRow(type_mismatch).IsInvalidArgument());
+
+  Row nullable = {Value::Int(1), Value::Null(), Value::Null()};
+  TXREP_ASSERT_OK(schema.ValidateAndCoerceRow(nullable));
+}
+
+TEST(TableSchemaTest, ToStringMentionsPk) {
+  TableSchema schema = *ItemSchema();
+  EXPECT_NE(schema.ToString().find("I_ID INT PRIMARY KEY"), std::string::npos);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  TXREP_ASSERT_OK(catalog.AddTable(*ItemSchema()));
+  EXPECT_TRUE(catalog.HasTable("ITEM"));
+  EXPECT_EQ((*catalog.GetTable("ITEM"))->table_name(), "ITEM");
+  EXPECT_TRUE(catalog.GetTable("NOPE").status().IsNotFound());
+  EXPECT_TRUE(catalog.AddTable(*ItemSchema()).IsAlreadyExists());
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"ITEM"});
+}
+
+TEST(CatalogTest, MutableAccess) {
+  Catalog catalog;
+  TXREP_ASSERT_OK(catalog.AddTable(*ItemSchema()));
+  Result<TableSchema*> schema = catalog.GetMutableTable("ITEM");
+  ASSERT_TRUE(schema.ok());
+  TXREP_ASSERT_OK((*schema)->AddHashIndex("I_TITLE"));
+  EXPECT_TRUE((*catalog.GetTable("ITEM"))->HasHashIndexOn(1));
+}
+
+}  // namespace
+}  // namespace txrep::rel

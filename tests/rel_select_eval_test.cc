@@ -1,0 +1,224 @@
+// Aggregates, ORDER BY and LIMIT — shared evaluator semantics on both the
+// database side and the replica side, plus parser coverage.
+
+#include "rel/select_eval.h"
+
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "qt/query_translator.h"
+#include "qt/replica_reader.h"
+#include "rel/database.h"
+#include "sql/interpreter.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace txrep::rel {
+namespace {
+
+class SelectEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TXREP_ASSERT_OK(sql::ExecuteSql(db_, R"sql(
+      CREATE TABLE ITEM (I_ID INT PRIMARY KEY, I_TITLE VARCHAR(40),
+                         I_COST DOUBLE, I_STOCK INT);
+      CREATE INDEX ON ITEM (I_TITLE);
+      CREATE RANGE INDEX ON ITEM (I_COST);
+      INSERT INTO ITEM VALUES (1, 'a', 10.0, 5);
+      INSERT INTO ITEM VALUES (2, 'b', 20.0, NULL);
+      INSERT INTO ITEM VALUES (3, 'a', 30.0, 15);
+      INSERT INTO ITEM VALUES (4, 'b', 40.0, 20);
+      INSERT INTO ITEM VALUES (5, 'a', 50.0, 25);
+    )sql").status());
+  }
+
+  std::vector<Row> Run(const std::string& sql) {
+    Result<sql::ScriptResult> result = sql::ExecuteSql(db_, sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok() || result->select_results.empty()) return {};
+    return result->select_results[0];
+  }
+
+  Database db_;
+};
+
+TEST_F(SelectEvalTest, CountStarAndCountColumn) {
+  std::vector<Row> rows = Run("SELECT COUNT(*) FROM ITEM");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(5));
+  // COUNT(col) skips NULLs.
+  rows = Run("SELECT COUNT(I_STOCK) FROM ITEM");
+  EXPECT_EQ(rows[0][0], Value::Int(4));
+}
+
+TEST_F(SelectEvalTest, SumMinMaxAvg) {
+  std::vector<Row> rows =
+      Run("SELECT SUM(I_COST), MIN(I_COST), MAX(I_COST), AVG(I_COST) "
+          "FROM ITEM");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0][0], Value::Real(150.0));
+  EXPECT_EQ(rows[0][1], Value::Real(10.0));
+  EXPECT_EQ(rows[0][2], Value::Real(50.0));
+  EXPECT_EQ(rows[0][3], Value::Real(30.0));
+}
+
+TEST_F(SelectEvalTest, IntegerSumKeepsIntType) {
+  std::vector<Row> rows = Run("SELECT SUM(I_STOCK) FROM ITEM");
+  EXPECT_EQ(rows[0][0], Value::Int(65));  // NULL skipped.
+}
+
+TEST_F(SelectEvalTest, AggregatesWithWhere) {
+  std::vector<Row> rows =
+      Run("SELECT COUNT(*), SUM(I_COST) FROM ITEM WHERE I_TITLE = 'a'");
+  EXPECT_EQ(rows[0][0], Value::Int(3));
+  EXPECT_EQ(rows[0][1], Value::Real(90.0));
+}
+
+TEST_F(SelectEvalTest, AggregateOverEmptySet) {
+  std::vector<Row> rows = Run(
+      "SELECT COUNT(*), SUM(I_COST), MIN(I_COST), AVG(I_COST) FROM ITEM "
+      "WHERE I_COST > 1000.0");
+  EXPECT_EQ(rows[0][0], Value::Int(0));
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_TRUE(rows[0][2].is_null());
+  EXPECT_TRUE(rows[0][3].is_null());
+}
+
+TEST_F(SelectEvalTest, SumOfStringColumnRejected) {
+  Result<sql::ScriptResult> result =
+      sql::ExecuteSql(db_, "SELECT SUM(I_TITLE) FROM ITEM");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(SelectEvalTest, MinMaxOnStrings) {
+  std::vector<Row> rows = Run("SELECT MIN(I_TITLE), MAX(I_TITLE) FROM ITEM");
+  EXPECT_EQ(rows[0][0], Value::Str("a"));
+  EXPECT_EQ(rows[0][1], Value::Str("b"));
+}
+
+TEST_F(SelectEvalTest, OrderByAscDescAndLimit) {
+  std::vector<Row> rows = Run("SELECT I_ID FROM ITEM ORDER BY I_COST DESC");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0], Value::Int(5));
+  EXPECT_EQ(rows[4][0], Value::Int(1));
+
+  rows = Run("SELECT I_ID FROM ITEM ORDER BY I_COST ASC LIMIT 2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[1][0], Value::Int(2));
+}
+
+TEST_F(SelectEvalTest, LimitWithoutOrder) {
+  EXPECT_EQ(Run("SELECT * FROM ITEM LIMIT 3").size(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM ITEM LIMIT 99").size(), 5u);
+}
+
+TEST_F(SelectEvalTest, OrderByUnknownColumnFails) {
+  EXPECT_TRUE(sql::ExecuteSql(db_, "SELECT * FROM ITEM ORDER BY NOPE")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SelectEvalTest, ParserRejectsMixedAggregatesAndColumns) {
+  EXPECT_FALSE(sql::ParseCommand("SELECT I_ID, COUNT(*) FROM ITEM").ok());
+  EXPECT_FALSE(sql::ParseCommand("SELECT SUM(*) FROM ITEM").ok());
+  EXPECT_FALSE(sql::ParseCommand("SELECT * FROM ITEM LIMIT -1").ok());
+}
+
+TEST_F(SelectEvalTest, ParserAcceptsAggregateNamedColumns) {
+  // MIN/MAX/etc. are not reserved words: a plain column named like one must
+  // still parse when not followed by '('.
+  rel::Database db;
+  TXREP_ASSERT_OK(sql::ExecuteSql(db, R"sql(
+    CREATE TABLE T (MIN INT PRIMARY KEY);
+    INSERT INTO T VALUES (7);
+  )sql").status());
+  Result<sql::ScriptResult> result = sql::ExecuteSql(db, "SELECT MIN FROM T");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->select_results[0][0][0], Value::Int(7));
+}
+
+TEST_F(SelectEvalTest, IntLiteralsCoerceAgainstDoubleColumns) {
+  // `I_COST > 20` with an integer literal must behave like `> 20.0`.
+  std::vector<Row> rows = Run("SELECT I_ID FROM ITEM WHERE I_COST > 20");
+  EXPECT_EQ(rows.size(), 3u);  // 30, 40, 50.
+  rows = Run("SELECT I_ID FROM ITEM WHERE I_COST = 30");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(3));
+  rows = Run("SELECT I_ID FROM ITEM WHERE I_COST BETWEEN 15 AND 35");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SelectEvalTest, IntegralDoubleLiteralNarrowsToIntColumn) {
+  std::vector<Row> rows = Run("SELECT I_ID FROM ITEM WHERE I_STOCK = 15.0");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(3));
+  // Fractional literal against INT column is an explicit error.
+  EXPECT_TRUE(sql::ExecuteSql(db_, "SELECT * FROM ITEM WHERE I_STOCK = 1.5")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SelectEvalTest, TypeMismatchedLiteralIsAnError) {
+  EXPECT_TRUE(sql::ExecuteSql(db_, "SELECT * FROM ITEM WHERE I_TITLE = 3")
+                  .status()
+                  .IsInvalidArgument());
+  // Coercion also applies to UPDATE/DELETE predicates.
+  EXPECT_TRUE(
+      sql::ExecuteSql(db_, "DELETE FROM ITEM WHERE I_TITLE = 3")
+          .status()
+          .IsInvalidArgument());
+  TXREP_ASSERT_OK(
+      sql::ExecuteSql(db_, "UPDATE ITEM SET I_STOCK = 1 WHERE I_COST = 10")
+          .status());
+  std::vector<Row> rows = Run("SELECT I_STOCK FROM ITEM WHERE I_ID = 1");
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+}
+
+TEST_F(SelectEvalTest, CoercedLiteralsWorkThroughReplicaIndexes) {
+  qt::QueryTranslator translator(&db_.catalog(), {});
+  qt::ReplicaReader reader(&db_.catalog(), {});
+  kv::InMemoryKvNode replica;
+  TXREP_ASSERT_OK(translator.LoadSnapshot(&replica, db_));
+  // Range plan through the B-link tree keyed on DOUBLE with int bounds.
+  auto cmd = sql::ParseCommand(
+      "SELECT I_ID FROM ITEM WHERE I_COST BETWEEN 15 AND 35");
+  ASSERT_TRUE(cmd.ok());
+  Result<std::vector<Row>> rows =
+      reader.Select(&replica, std::get<SelectStatement>(*cmd));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(SelectEvalTest, SameSemanticsOnReplica) {
+  // Ship the data to a replica and run identical queries through the
+  // ReplicaReader: aggregates, order and limit must agree with the DB.
+  qt::QueryTranslator translator(&db_.catalog(), {});
+  qt::ReplicaReader reader(&db_.catalog(), {});
+  kv::InMemoryKvNode replica;
+  TXREP_ASSERT_OK(translator.LoadSnapshot(&replica, db_));
+
+  auto parse_select = [](const std::string& sql) {
+    auto cmd = sql::ParseCommand(sql);
+    EXPECT_TRUE(cmd.ok());
+    return std::get<SelectStatement>(*cmd);
+  };
+
+  for (const char* sql : {
+           "SELECT COUNT(*), SUM(I_COST) FROM ITEM WHERE I_TITLE = 'a'",
+           "SELECT AVG(I_COST) FROM ITEM WHERE I_COST BETWEEN 15.0 AND 45.0",
+           "SELECT I_ID, I_COST FROM ITEM WHERE I_TITLE = 'b' "
+           "ORDER BY I_COST DESC LIMIT 1",
+       }) {
+    SelectStatement stmt = parse_select(sql);
+    Result<std::vector<Row>> db_rows = db_.Query(stmt);
+    Result<std::vector<Row>> replica_rows = reader.Select(&replica, stmt);
+    ASSERT_TRUE(db_rows.ok()) << sql;
+    ASSERT_TRUE(replica_rows.ok()) << sql << ": "
+                                   << replica_rows.status().ToString();
+    EXPECT_EQ(*db_rows, *replica_rows) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace txrep::rel

@@ -1,0 +1,164 @@
+#include "rel/table.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::rel {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<TableSchema> schema =
+        TableSchema::Create("ITEM",
+                            {{"I_ID", ValueType::kInt64},
+                             {"I_TITLE", ValueType::kString},
+                             {"I_COST", ValueType::kDouble}},
+                            "I_ID");
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+    TXREP_ASSERT_OK(schema_.AddHashIndex("I_COST"));
+    table_ = std::make_unique<Table>(&schema_);
+  }
+
+  Row MakeRow(int64_t id, const std::string& title, double cost) {
+    return {Value::Int(id), Value::Str(title), Value::Real(cost)};
+  }
+
+  TableSchema schema_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertAndLookup) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  Result<Row> row = table_->Lookup(Value::Int(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "a");
+  EXPECT_EQ(table_->size(), 1u);
+}
+
+TEST_F(TableTest, DuplicatePkRejected) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  EXPECT_TRUE(table_->Insert(MakeRow(1, "b", 20.0)).IsAlreadyExists());
+}
+
+TEST_F(TableTest, UpdateReplacesRowAndIndexes) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  TXREP_ASSERT_OK(table_->Update(Value::Int(1), MakeRow(1, "a2", 20.0)));
+  EXPECT_EQ((*table_->Lookup(Value::Int(1)))[2].AsDouble(), 20.0);
+
+  // Old index entry must be gone, new one present.
+  Result<std::vector<Value>> old_keys = table_->ScanKeys(
+      {Predicate{"I_COST", PredicateOp::kEq, Value::Real(10.0), {}}});
+  ASSERT_TRUE(old_keys.ok());
+  EXPECT_TRUE(old_keys->empty());
+  Result<std::vector<Value>> new_keys = table_->ScanKeys(
+      {Predicate{"I_COST", PredicateOp::kEq, Value::Real(20.0), {}}});
+  ASSERT_TRUE(new_keys.ok());
+  EXPECT_EQ(new_keys->size(), 1u);
+}
+
+TEST_F(TableTest, UpdateMissingIsNotFound) {
+  EXPECT_TRUE(table_->Update(Value::Int(9), MakeRow(9, "x", 1.0)).IsNotFound());
+}
+
+TEST_F(TableTest, UpdateCannotChangePk) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  EXPECT_TRUE(table_->Update(Value::Int(1), MakeRow(2, "a", 10.0))
+                  .IsInvalidArgument());
+}
+
+TEST_F(TableTest, DeleteRemovesRowAndIndex) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  TXREP_ASSERT_OK(table_->Delete(Value::Int(1)));
+  EXPECT_TRUE(table_->Lookup(Value::Int(1)).status().IsNotFound());
+  EXPECT_TRUE(table_->Delete(Value::Int(1)).IsNotFound());
+  Result<std::vector<Value>> keys = table_->ScanKeys(
+      {Predicate{"I_COST", PredicateOp::kEq, Value::Real(10.0), {}}});
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+}
+
+TEST_F(TableTest, ScanByPkEquality) {
+  for (int i = 1; i <= 5; ++i) {
+    TXREP_ASSERT_OK(table_->Insert(MakeRow(i, "t", i * 1.0)));
+  }
+  Result<std::vector<Row>> rows =
+      table_->Scan({Predicate{"I_ID", PredicateOp::kEq, Value::Int(3), {}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 3);
+}
+
+TEST_F(TableTest, ScanByIndexedEqualitySharedValues) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 100.0)));
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(7, "b", 100.0)));
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(3, "c", 50.0)));
+  Result<std::vector<Row>> rows = table_->Scan(
+      {Predicate{"I_COST", PredicateOp::kEq, Value::Real(100.0), {}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 1);  // PK order.
+  EXPECT_EQ((*rows)[1][0].AsInt(), 7);
+}
+
+TEST_F(TableTest, FullScanWithRangePredicate) {
+  for (int i = 1; i <= 10; ++i) {
+    TXREP_ASSERT_OK(table_->Insert(MakeRow(i, "t", i * 10.0)));
+  }
+  Result<std::vector<Row>> rows = table_->Scan({Predicate{
+      "I_COST", PredicateOp::kBetween, Value::Real(25.0), Value::Real(55.0)}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // 30, 40, 50.
+}
+
+TEST_F(TableTest, ConjunctionFiltersAll) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 10.0)));
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(2, "a", 20.0)));
+  Result<std::vector<Row>> rows = table_->Scan(
+      {Predicate{"I_TITLE", PredicateOp::kEq, Value::Str("a"), {}},
+       Predicate{"I_COST", PredicateOp::kGt, Value::Real(15.0), {}}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 2);
+}
+
+TEST_F(TableTest, UnknownPredicateColumnErrors) {
+  EXPECT_TRUE(
+      table_->Scan({Predicate{"NOPE", PredicateOp::kEq, Value::Int(1), {}}})
+          .status()
+          .IsNotFound());
+}
+
+TEST_F(TableTest, NullIndexedValuesNotIndexed) {
+  TXREP_ASSERT_OK(
+      table_->Insert({Value::Int(1), Value::Str("a"), Value::Null()}));
+  Result<std::vector<Row>> rows = table_->Scan(
+      {Predicate{"I_COST", PredicateOp::kEq, Value::Real(0.0), {}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(TableTest, RebuildIndexesBackfills) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "alpha", 10.0)));
+  TXREP_ASSERT_OK(schema_.AddHashIndex("I_TITLE"));
+  table_->RebuildIndexes();
+  Result<std::vector<Row>> rows = table_->Scan(
+      {Predicate{"I_TITLE", PredicateOp::kEq, Value::Str("alpha"), {}}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(TableTest, ScanAllInPkOrder) {
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(5, "e", 1.0)));
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(1, "a", 1.0)));
+  TXREP_ASSERT_OK(table_->Insert(MakeRow(3, "c", 1.0)));
+  std::vector<Row> all = table_->ScanAll();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0][0].AsInt(), 1);
+  EXPECT_EQ(all[1][0].AsInt(), 3);
+  EXPECT_EQ(all[2][0].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace txrep::rel

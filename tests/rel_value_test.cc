@@ -1,0 +1,73 @@
+#include "rel/value.h"
+
+#include "gtest/gtest.h"
+
+namespace txrep::rel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsNumeric(), 2.5);
+}
+
+TEST(ValueTest, EqualitySameTypeOnly) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));  // Types distinguish.
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Real(1.5), Value::Real(2.5));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LE(Value::Int(2), Value::Int(2));
+  EXPECT_GT(Value::Int(3), Value::Int(2));
+}
+
+TEST(ValueTest, OrderingAcrossTypesByTag) {
+  // NULL < INT < DOUBLE < STRING (variant index order) — total, stable.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(1000), Value::Real(-5.0));
+  EXPECT_LT(Value::Real(1e9), Value::Str(""));
+}
+
+TEST(ValueTest, NegativeIntsOrdered) {
+  EXPECT_LT(Value::Int(-5), Value::Int(-1));
+  EXPECT_LT(Value::Int(-1), Value::Int(0));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, RowToStringFormats) {
+  Row row = {Value::Int(1), Value::Str("x"), Value::Null()};
+  EXPECT_EQ(RowToString(row), "(1, 'x', NULL)");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "INT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace txrep::rel

@@ -1,0 +1,145 @@
+#include "sql/interpreter.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::sql {
+namespace {
+
+TEST(InterpreterTest, EndToEndScript) {
+  rel::Database db;
+  Result<ScriptResult> result = ExecuteSql(db, R"sql(
+    CREATE TABLE ITEM (I_ID INT PRIMARY KEY, I_TITLE VARCHAR(40),
+                       I_COST DOUBLE);
+    CREATE INDEX ON ITEM (I_TITLE);
+    CREATE RANGE INDEX ON ITEM (I_COST);
+    INSERT INTO ITEM VALUES (1, 'Item1', 100.0);
+    INSERT INTO ITEM VALUES (2, 'Item2', 50.0);
+    UPDATE ITEM SET I_COST = 75.0 WHERE I_ID = 2;
+    SELECT I_TITLE FROM ITEM WHERE I_COST > 60.0;
+  )sql");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->select_results.size(), 1u);
+  ASSERT_EQ(result->select_results[0].size(), 2u);
+  EXPECT_GT(result->last_lsn, 0u);
+  // Each DML ran as its own transaction: 3 write transactions logged.
+  EXPECT_EQ(db.log().size(), 3u);
+}
+
+TEST(InterpreterTest, DeleteWorks) {
+  rel::Database db;
+  TXREP_ASSERT_OK(ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY, B INT);
+    INSERT INTO T VALUES (1, 10);
+    INSERT INTO T VALUES (2, 20);
+    DELETE FROM T WHERE B >= 15;
+  )sql").status());
+  EXPECT_EQ(*db.TableSize("T"), 1u);
+}
+
+TEST(InterpreterTest, StopsAtFirstError) {
+  rel::Database db;
+  Result<ScriptResult> result = ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY);
+    INSERT INTO T VALUES (1);
+    INSERT INTO T VALUES (1);
+    INSERT INTO T VALUES (2);
+  )sql");
+  EXPECT_TRUE(result.status().IsAlreadyExists());
+  EXPECT_EQ(*db.TableSize("T"), 1u);  // Third insert never ran.
+}
+
+TEST(InterpreterTest, SqlTransactionIsAtomic) {
+  rel::Database db;
+  TXREP_ASSERT_OK(
+      ExecuteSql(db, "CREATE TABLE T (A INT PRIMARY KEY)").status());
+  Result<rel::CommitInfo> info = ExecuteSqlTransaction(
+      db, {"INSERT INTO T VALUES (1)", "INSERT INTO T VALUES (2)"});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(db.log().size(), 1u);  // One commit for both inserts.
+
+  // A failing statement rolls back the whole transaction.
+  Result<rel::CommitInfo> bad = ExecuteSqlTransaction(
+      db, {"INSERT INTO T VALUES (3)", "INSERT INTO T VALUES (1)"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(*db.TableSize("T"), 2u);
+}
+
+TEST(InterpreterTest, BeginCommitBlockIsOneTransaction) {
+  rel::Database db;
+  TXREP_ASSERT_OK(ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY, B INT);
+    BEGIN;
+    INSERT INTO T VALUES (1, 10);
+    INSERT INTO T VALUES (2, 20);
+    UPDATE T SET B = 11 WHERE A = 1;
+    COMMIT;
+  )sql").status());
+  EXPECT_EQ(db.log().size(), 1u);  // One atomic commit.
+  EXPECT_EQ(db.log().ReadSince(0)[0].ops.size(), 3u);
+}
+
+TEST(InterpreterTest, BeginBlockRollsBackAtomicallyOnError) {
+  rel::Database db;
+  Result<ScriptResult> result = ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY);
+    INSERT INTO T VALUES (1);
+    BEGIN;
+    INSERT INTO T VALUES (2);
+    INSERT INTO T VALUES (1);
+    COMMIT;
+  )sql");
+  EXPECT_TRUE(result.status().IsAlreadyExists());
+  EXPECT_EQ(*db.TableSize("T"), 1u);  // Block fully rolled back.
+}
+
+TEST(InterpreterTest, RollbackDiscardsBlock) {
+  rel::Database db;
+  TXREP_ASSERT_OK(ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY);
+    BEGIN TRANSACTION;
+    INSERT INTO T VALUES (1);
+    ROLLBACK;
+    INSERT INTO T VALUES (2);
+  )sql").status());
+  EXPECT_EQ(*db.TableSize("T"), 1u);  // Only the post-rollback insert.
+  Result<std::vector<rel::Row>> rows = db.Query(
+      rel::SelectStatement{"T", {}, {}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], rel::Value::Int(2));
+}
+
+TEST(InterpreterTest, BlockMisuseIsRejected) {
+  rel::Database db;
+  TXREP_ASSERT_OK(
+      ExecuteSql(db, "CREATE TABLE T (A INT PRIMARY KEY)").status());
+  EXPECT_TRUE(ExecuteSql(db, "COMMIT").status().IsInvalidArgument());
+  EXPECT_TRUE(ExecuteSql(db, "ROLLBACK").status().IsInvalidArgument());
+  EXPECT_TRUE(ExecuteSql(db, "BEGIN; BEGIN; COMMIT; COMMIT")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteSql(db, "BEGIN; INSERT INTO T VALUES (1)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ExecuteSql(db, "BEGIN; CREATE TABLE U (A INT PRIMARY KEY); COMMIT")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(InterpreterTest, ParseErrorSurfaces) {
+  rel::Database db;
+  EXPECT_TRUE(ExecuteSql(db, "FROBNICATE").status().IsInvalidArgument());
+}
+
+TEST(InterpreterTest, TypeErrorsSurface) {
+  rel::Database db;
+  Result<ScriptResult> result = ExecuteSql(db, R"sql(
+    CREATE TABLE T (A INT PRIMARY KEY, B VARCHAR(10));
+    INSERT INTO T VALUES (1, 2);
+  )sql");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace txrep::sql

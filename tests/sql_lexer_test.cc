@@ -1,0 +1,86 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace txrep::sql {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  Result<std::vector<Token>> tokens = Lex("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  Result<std::vector<Token>> tokens = Lex("SELECT foo _bar Baz9");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "foo");
+  EXPECT_EQ((*tokens)[2].text, "_bar");
+  EXPECT_EQ((*tokens)[3].text, "Baz9");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  Result<std::vector<Token>> tokens = Lex("42 3.5 0.25 1e3 2E-2 7.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].float_value, 0.02);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kFloat);  // "7." is a float.
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  Result<std::vector<Token>> tokens = Lex("'hello' 'it''s' ''");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+  EXPECT_EQ((*tokens)[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_TRUE(Lex("'oops").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, SymbolsIncludingTwoChar) {
+  Result<std::vector<Token>> tokens = Lex("( ) , ; * = < <= > >= - +");
+  ASSERT_TRUE(tokens.ok());
+  const char* expected[] = {"(", ")", ",", ";", "*", "=",
+                            "<", "<=", ">", ">=", "-", "+"};
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsSymbol(expected[i]))
+        << "token " << i << " is \"" << (*tokens)[i].text << "\"";
+  }
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  Result<std::vector<Token>> tokens = Lex("a -- comment here\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, UnexpectedCharacterErrors) {
+  EXPECT_TRUE(Lex("SELECT @").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, IntegerOverflowErrors) {
+  EXPECT_TRUE(Lex("999999999999999999999999").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  Result<std::vector<Token>> tokens = Lex("ab  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace txrep::sql

@@ -1,0 +1,165 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace txrep::sql {
+namespace {
+
+using rel::PredicateOp;
+using rel::Value;
+using rel::ValueType;
+
+TEST(ParserTest, CreateTable) {
+  Result<ParsedCommand> cmd = ParseCommand(
+      "CREATE TABLE ITEM (I_ID INT PRIMARY KEY, I_TITLE VARCHAR(40), "
+      "I_COST DOUBLE)");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  auto* create = std::get_if<CreateTableCommand>(&*cmd);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->schema.table_name(), "ITEM");
+  EXPECT_EQ(create->schema.num_columns(), 3u);
+  EXPECT_EQ(create->schema.pk_column(), "I_ID");
+  EXPECT_EQ(create->schema.columns()[1].type, ValueType::kString);
+  EXPECT_EQ(create->schema.columns()[2].type, ValueType::kDouble);
+}
+
+TEST(ParserTest, CreateTableRequiresPk) {
+  EXPECT_FALSE(ParseCommand("CREATE TABLE T (A INT)").ok());
+  EXPECT_FALSE(
+      ParseCommand("CREATE TABLE T (A INT PRIMARY KEY, B INT PRIMARY KEY)")
+          .ok());
+}
+
+TEST(ParserTest, CreateIndexes) {
+  Result<ParsedCommand> hash = ParseCommand("CREATE INDEX ON ITEM (I_COST)");
+  ASSERT_TRUE(hash.ok());
+  auto* h = std::get_if<CreateIndexCommand>(&*hash);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->table, "ITEM");
+  EXPECT_EQ(h->column, "I_COST");
+  EXPECT_FALSE(h->range);
+
+  Result<ParsedCommand> range =
+      ParseCommand("CREATE RANGE INDEX ON ITEM (I_COST)");
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(std::get<CreateIndexCommand>(*range).range);
+}
+
+TEST(ParserTest, InsertPlain) {
+  Result<ParsedCommand> cmd =
+      ParseCommand("INSERT INTO ITEM VALUES (1, 'Item1', 9.99)");
+  ASSERT_TRUE(cmd.ok());
+  auto& insert = std::get<rel::InsertStatement>(*cmd);
+  EXPECT_EQ(insert.table, "ITEM");
+  EXPECT_TRUE(insert.columns.empty());
+  ASSERT_EQ(insert.values.size(), 3u);
+  EXPECT_EQ(insert.values[0], Value::Int(1));
+  EXPECT_EQ(insert.values[1], Value::Str("Item1"));
+  EXPECT_EQ(insert.values[2], Value::Real(9.99));
+}
+
+TEST(ParserTest, InsertWithColumnsAndSigns) {
+  Result<ParsedCommand> cmd = ParseCommand(
+      "INSERT INTO T (A, B, C) VALUES (-5, +2.5, NULL)");
+  ASSERT_TRUE(cmd.ok());
+  auto& insert = std::get<rel::InsertStatement>(*cmd);
+  EXPECT_EQ(insert.columns,
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(insert.values[0], Value::Int(-5));
+  EXPECT_EQ(insert.values[1], Value::Real(2.5));
+  EXPECT_TRUE(insert.values[2].is_null());
+}
+
+TEST(ParserTest, UpdateWithWhere) {
+  Result<ParsedCommand> cmd = ParseCommand(
+      "UPDATE ITEM SET I_COST = 5.0, I_TITLE = 'x' WHERE I_ID = 3");
+  ASSERT_TRUE(cmd.ok());
+  auto& update = std::get<rel::UpdateStatement>(*cmd);
+  ASSERT_EQ(update.sets.size(), 2u);
+  EXPECT_EQ(update.sets[0].first, "I_COST");
+  ASSERT_EQ(update.where.size(), 1u);
+  EXPECT_EQ(update.where[0].op, PredicateOp::kEq);
+  EXPECT_EQ(update.where[0].operand, Value::Int(3));
+}
+
+TEST(ParserTest, DeleteWithConjunction) {
+  Result<ParsedCommand> cmd = ParseCommand(
+      "DELETE FROM T WHERE A >= 1 AND B < 10 AND C = 'z'");
+  ASSERT_TRUE(cmd.ok());
+  auto& del = std::get<rel::DeleteStatement>(*cmd);
+  ASSERT_EQ(del.where.size(), 3u);
+  EXPECT_EQ(del.where[0].op, PredicateOp::kGe);
+  EXPECT_EQ(del.where[1].op, PredicateOp::kLt);
+  EXPECT_EQ(del.where[2].op, PredicateOp::kEq);
+}
+
+TEST(ParserTest, SelectStarAndProjection) {
+  Result<ParsedCommand> star = ParseCommand("SELECT * FROM T");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(std::get<rel::SelectStatement>(*star).columns.empty());
+
+  Result<ParsedCommand> proj = ParseCommand("SELECT A, B FROM T WHERE A = 1");
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(std::get<rel::SelectStatement>(*proj).columns.size(), 2u);
+}
+
+TEST(ParserTest, BetweenPredicate) {
+  Result<ParsedCommand> cmd =
+      ParseCommand("SELECT * FROM ITEM WHERE I_COST BETWEEN 5.0 AND 10.0");
+  ASSERT_TRUE(cmd.ok());
+  auto& select = std::get<rel::SelectStatement>(*cmd);
+  ASSERT_EQ(select.where.size(), 1u);
+  EXPECT_EQ(select.where[0].op, PredicateOp::kBetween);
+  EXPECT_EQ(select.where[0].operand, Value::Real(5.0));
+  EXPECT_EQ(select.where[0].operand2, Value::Real(10.0));
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseCommand("SELECT * FROM T;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseCommand("SELECT * FROM T garbage").ok());
+  EXPECT_FALSE(ParseCommand("SELECT * FROM T; SELECT * FROM U").ok());
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  Result<std::vector<ParsedCommand>> cmds = ParseScript(
+      "CREATE TABLE T (A INT PRIMARY KEY);;\n"
+      "INSERT INTO T VALUES (1);\n"
+      "SELECT * FROM T");
+  ASSERT_TRUE(cmds.ok()) << cmds.status().ToString();
+  EXPECT_EQ(cmds->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  Status s = ParseCommand("UPDATE SET A = 1").status();
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("SET"), std::string::npos);
+}
+
+TEST(ParserTest, ToStatementRejectsDdl) {
+  Result<ParsedCommand> cmd =
+      ParseCommand("CREATE TABLE T (A INT PRIMARY KEY)");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_TRUE(ToStatement(std::move(*cmd)).status().IsInvalidArgument());
+}
+
+TEST(ParserTest, IsDmlClassification) {
+  EXPECT_TRUE(IsDml(*ParseCommand("SELECT * FROM T")));
+  EXPECT_FALSE(IsDml(*ParseCommand("CREATE TABLE T (A INT PRIMARY KEY)")));
+  EXPECT_FALSE(IsDml(*ParseCommand("CREATE INDEX ON T (A)")));
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseCommand("select * from T where A = 1").ok());
+  EXPECT_TRUE(ParseCommand("Insert Into T Values (1)").ok());
+}
+
+TEST(ParserTest, CannotNegateStringsOrNull) {
+  EXPECT_FALSE(ParseCommand("INSERT INTO T VALUES (-'x')").ok());
+  EXPECT_FALSE(ParseCommand("INSERT INTO T VALUES (-NULL)").ok());
+}
+
+}  // namespace
+}  // namespace txrep::sql

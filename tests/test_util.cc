@@ -1,0 +1,54 @@
+#include "test_util.h"
+
+#include "core/serial_applier.h"
+#include "qt/consistency_checker.h"
+
+namespace txrep::testing {
+
+Status ReplaySerial(rel::Database& db, const qt::QueryTranslator& translator,
+                    kv::KvStore* store) {
+  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(store));
+  core::SerialApplier applier(store, &translator);
+  return applier.ApplyBatch(db.log().ReadSince(0));
+}
+
+Status ReplayConcurrent(rel::Database& db,
+                        const qt::QueryTranslator& translator,
+                        kv::KvStore* store, core::TmOptions options,
+                        core::TmStats* stats_out) {
+  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(store));
+  core::TransactionManager tm(store, &translator, options);
+  for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
+    tm.SubmitUpdate(std::move(txn));
+  }
+  Status status = tm.WaitIdle();
+  if (stats_out != nullptr) *stats_out = tm.stats();
+  return status;
+}
+
+void ExpectDumpsEqual(kv::KvStore& a, kv::KvStore& b) {
+  kv::StoreDump da = a.Dump();
+  kv::StoreDump db_dump = b.Dump();
+  ASSERT_EQ(da.size(), db_dump.size())
+      << "stores hold different numbers of keys";
+  for (size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(da[i].first, db_dump[i].first) << "key mismatch at index " << i;
+    ASSERT_EQ(da[i].second, db_dump[i].second)
+        << "value mismatch for key \"" << da[i].first << "\"";
+  }
+}
+
+void VerifyReplicaMatchesDatabase(kv::KvStore& store, rel::Database& db,
+                                  const qt::QueryTranslator& translator) {
+  Result<qt::ConsistencyReport> report =
+      qt::CheckReplicaConsistency(store, db, translator);
+  TXREP_ASSERT_OK(report.status());
+  std::string details;
+  for (const std::string& violation : report->violations) {
+    details += "\n  " + violation;
+  }
+  ASSERT_TRUE(report->consistent())
+      << report->Summary() << details;
+}
+
+}  // namespace txrep::testing

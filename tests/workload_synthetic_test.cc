@@ -1,0 +1,64 @@
+#include "workload/synthetic.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::workload {
+namespace {
+
+TEST(SyntheticTest, SchemaAndPopulation) {
+  rel::Database db;
+  SyntheticWorkload workload({.num_items = 123, .hot_range = 123, .seed = 1});
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  EXPECT_EQ(*db.TableSize("QTY_ITEM"), 123u);
+}
+
+TEST(SyntheticTest, UpdatesStayInHotRange) {
+  rel::Database db;
+  SyntheticWorkload workload({.num_items = 100, .hot_range = 7, .seed = 2});
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  std::set<int64_t> touched;
+  for (int i = 0; i < 300; ++i) {
+    rel::Statement stmt = workload.NextUpdate();
+    const auto& update = std::get<rel::UpdateStatement>(stmt);
+    ASSERT_EQ(update.where.size(), 1u);
+    const int64_t id = update.where[0].operand.AsInt();
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 7);
+    touched.insert(id);
+  }
+  EXPECT_EQ(touched.size(), 7u);  // Full hot range exercised.
+}
+
+TEST(SyntheticTest, RunCommitsEveryUpdate) {
+  rel::Database db;
+  SyntheticWorkload workload({.num_items = 50, .hot_range = 50, .seed = 3});
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  const uint64_t before = db.log().LastLsn();
+  TXREP_ASSERT_OK(workload.Run(db, 75));
+  EXPECT_EQ(db.log().LastLsn(), before + 75);
+}
+
+TEST(SyntheticTest, NarrowerRangeMeansMoreRepeats) {
+  SyntheticWorkload narrow({.num_items = 1000, .hot_range = 2, .seed = 4});
+  SyntheticWorkload wide({.num_items = 1000, .hot_range = 1000, .seed = 4});
+  auto distinct = [](SyntheticWorkload& w) {
+    std::set<int64_t> ids;
+    for (int i = 0; i < 200; ++i) {
+      ids.insert(std::get<rel::UpdateStatement>(w.NextUpdate())
+                     .where[0]
+                     .operand.AsInt());
+    }
+    return ids.size();
+  };
+  EXPECT_LT(distinct(narrow), 3u);
+  EXPECT_GT(distinct(wide), 100u);
+}
+
+}  // namespace
+}  // namespace txrep::workload

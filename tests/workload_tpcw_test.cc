@@ -1,0 +1,120 @@
+#include "workload/tpcw.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::workload {
+namespace {
+
+TEST(TpcwTest, MixWriteFractions) {
+  EXPECT_DOUBLE_EQ(WriteFraction(TpcwMix::kBrowsing), 0.05);
+  EXPECT_DOUBLE_EQ(WriteFraction(TpcwMix::kShopping), 0.20);
+  EXPECT_DOUBLE_EQ(WriteFraction(TpcwMix::kOrdering), 0.50);
+  EXPECT_STREQ(TpcwMixName(TpcwMix::kOrdering), "Ordering");
+}
+
+TEST(TpcwTest, SchemaCreatesAllTenTables) {
+  rel::Database db;
+  TpcwWorkload workload({}, 1);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  EXPECT_EQ(db.catalog().size(), 10u);
+  for (const char* table :
+       {"COUNTRY", "AUTHOR", "ADDRESS", "CUSTOMER", "ITEM", "ORDERS",
+        "ORDER_LINE", "CREDIT_INFO", "SHOPPING_CART", "SHOPPING_CART_LINE"}) {
+    EXPECT_TRUE(db.catalog().HasTable(table)) << table;
+  }
+  const rel::TableSchema& item = **db.catalog().GetTable("ITEM");
+  EXPECT_FALSE(item.range_index_columns().empty());
+}
+
+TEST(TpcwTest, PopulateMatchesScale) {
+  rel::Database db;
+  TpcwScale scale;
+  scale.items = 100;
+  scale.customers = 50;
+  scale.authors = 10;
+  scale.addresses = 80;
+  scale.countries = 20;
+  scale.initial_orders = 30;
+  scale.shopping_carts = 15;
+  TpcwWorkload workload(scale, 2);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  EXPECT_EQ(*db.TableSize("ITEM"), 100u);
+  EXPECT_EQ(*db.TableSize("CUSTOMER"), 50u);
+  EXPECT_EQ(*db.TableSize("AUTHOR"), 10u);
+  EXPECT_EQ(*db.TableSize("ADDRESS"), 80u);
+  EXPECT_EQ(*db.TableSize("COUNTRY"), 20u);
+  EXPECT_EQ(*db.TableSize("ORDERS"), 30u);
+  EXPECT_EQ(*db.TableSize("CREDIT_INFO"), 30u);
+  EXPECT_EQ(*db.TableSize("SHOPPING_CART"), 15u);
+  EXPECT_GE(*db.TableSize("ORDER_LINE"), 30u);
+}
+
+TEST(TpcwTest, GeneratedWriteTransactionsExecute) {
+  rel::Database db;
+  TpcwScale scale;
+  scale.items = 50;
+  scale.customers = 20;
+  scale.addresses = 40;
+  scale.initial_orders = 10;
+  scale.shopping_carts = 5;
+  TpcwWorkload workload(scale, 3);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  const uint64_t before = db.log().LastLsn();
+  for (int i = 0; i < 100; ++i) {
+    TpcwWorkload::TxnSpec spec = workload.NextWriteTransaction();
+    ASSERT_TRUE(spec.is_write);
+    ASSERT_FALSE(spec.statements.empty());
+    TXREP_ASSERT_OK(db.ExecuteTransaction(spec.statements).status());
+  }
+  EXPECT_EQ(db.log().LastLsn(), before + 100);
+}
+
+TEST(TpcwTest, MixRatioApproximatelyHonored) {
+  rel::Database db;
+  TpcwScale scale;
+  scale.items = 50;
+  scale.customers = 20;
+  scale.addresses = 40;
+  TpcwWorkload workload(scale, 4);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  int writes = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    if (workload.NextTransaction(TpcwMix::kShopping).is_write) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kN, 0.20, 0.03);
+}
+
+TEST(TpcwTest, ReadTransactionsCarryIndexablePredicates) {
+  rel::Database db;
+  TpcwWorkload workload({}, 5);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  for (int i = 0; i < 50; ++i) {
+    TpcwWorkload::TxnSpec spec = workload.NextTransaction(TpcwMix::kBrowsing);
+    if (spec.is_write) continue;
+    EXPECT_FALSE(spec.read_query.table.empty());
+    EXPECT_FALSE(spec.read_query.where.empty());
+  }
+}
+
+TEST(TpcwTest, DeterministicForSeed) {
+  rel::Database db1, db2;
+  TpcwWorkload w1({}, 9), w2({}, 9);
+  TXREP_ASSERT_OK(w1.CreateSchema(db1));
+  TXREP_ASSERT_OK(w2.CreateSchema(db2));
+  TXREP_ASSERT_OK(w1.Populate(db1));
+  TXREP_ASSERT_OK(w2.Populate(db2));
+  for (int i = 0; i < 20; ++i) {
+    TpcwWorkload::TxnSpec s1 = w1.NextTransaction(TpcwMix::kOrdering);
+    TpcwWorkload::TxnSpec s2 = w2.NextTransaction(TpcwMix::kOrdering);
+    EXPECT_EQ(s1.is_write, s2.is_write);
+    EXPECT_EQ(s1.statements.size(), s2.statements.size());
+  }
+}
+
+}  // namespace
+}  // namespace txrep::workload
