@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_lag.dir/ablation_batch_lag.cc.o"
+  "CMakeFiles/ablation_batch_lag.dir/ablation_batch_lag.cc.o.d"
+  "ablation_batch_lag"
+  "ablation_batch_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_cache.dir/ablation_buffer_cache.cc.o"
+  "CMakeFiles/ablation_buffer_cache.dir/ablation_buffer_cache.cc.o.d"
+  "ablation_buffer_cache"
+  "ablation_buffer_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readonly_share.dir/ablation_readonly_share.cc.o"
+  "CMakeFiles/ablation_readonly_share.dir/ablation_readonly_share.cc.o.d"
+  "ablation_readonly_share"
+  "ablation_readonly_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readonly_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

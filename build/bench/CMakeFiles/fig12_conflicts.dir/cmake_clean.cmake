@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_conflicts.dir/fig12_conflicts.cc.o"
+  "CMakeFiles/fig12_conflicts.dir/fig12_conflicts.cc.o.d"
+  "fig12_conflicts"
+  "fig12_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

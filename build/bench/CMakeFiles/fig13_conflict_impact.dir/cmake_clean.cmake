@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_conflict_impact.dir/fig13_conflict_impact.cc.o"
+  "CMakeFiles/fig13_conflict_impact.dir/fig13_conflict_impact.cc.o.d"
+  "fig13_conflict_impact"
+  "fig13_conflict_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_conflict_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

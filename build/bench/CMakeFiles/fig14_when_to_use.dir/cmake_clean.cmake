@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_when_to_use.dir/fig14_when_to_use.cc.o"
+  "CMakeFiles/fig14_when_to_use.dir/fig14_when_to_use.cc.o.d"
+  "fig14_when_to_use"
+  "fig14_when_to_use.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_when_to_use.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

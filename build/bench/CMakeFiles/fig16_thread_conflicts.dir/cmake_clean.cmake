@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_thread_conflicts.dir/fig16_thread_conflicts.cc.o"
+  "CMakeFiles/fig16_thread_conflicts.dir/fig16_thread_conflicts.cc.o.d"
+  "fig16_thread_conflicts"
+  "fig16_thread_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_thread_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

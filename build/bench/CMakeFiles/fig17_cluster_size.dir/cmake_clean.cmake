@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cluster_size.dir/fig17_cluster_size.cc.o"
+  "CMakeFiles/fig17_cluster_size.dir/fig17_cluster_size.cc.o.d"
+  "fig17_cluster_size"
+  "fig17_cluster_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cluster_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tpcw.dir/table1_tpcw.cc.o"
+  "CMakeFiles/table1_tpcw.dir/table1_tpcw.cc.o.d"
+  "table1_tpcw"
+  "table1_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txrep_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/txrep_bench_util.dir/bench_util.cc.o.d"
+  "libtxrep_bench_util.a"
+  "libtxrep_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txrep_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

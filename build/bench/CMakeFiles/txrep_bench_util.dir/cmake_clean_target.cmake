@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtxrep_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_accelerator.dir/cache_accelerator.cc.o"
+  "CMakeFiles/cache_accelerator.dir/cache_accelerator.cc.o.d"
+  "cache_accelerator"
+  "cache_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

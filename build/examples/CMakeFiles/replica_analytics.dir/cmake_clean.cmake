@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_analytics.dir/replica_analytics.cc.o"
+  "CMakeFiles/replica_analytics.dir/replica_analytics.cc.o.d"
+  "replica_analytics"
+  "replica_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txrep_shell.dir/txrep_shell.cc.o"
+  "CMakeFiles/txrep_shell.dir/txrep_shell.cc.o.d"
+  "txrep_shell"
+  "txrep_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txrep_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blink/blink_tree.cc" "src/CMakeFiles/txrep.dir/blink/blink_tree.cc.o" "gcc" "src/CMakeFiles/txrep.dir/blink/blink_tree.cc.o.d"
+  "/root/repo/src/blink/node.cc" "src/CMakeFiles/txrep.dir/blink/node.cc.o" "gcc" "src/CMakeFiles/txrep.dir/blink/node.cc.o.d"
+  "/root/repo/src/codec/encoding.cc" "src/CMakeFiles/txrep.dir/codec/encoding.cc.o" "gcc" "src/CMakeFiles/txrep.dir/codec/encoding.cc.o.d"
+  "/root/repo/src/codec/kv_keys.cc" "src/CMakeFiles/txrep.dir/codec/kv_keys.cc.o" "gcc" "src/CMakeFiles/txrep.dir/codec/kv_keys.cc.o.d"
+  "/root/repo/src/codec/log_codec.cc" "src/CMakeFiles/txrep.dir/codec/log_codec.cc.o" "gcc" "src/CMakeFiles/txrep.dir/codec/log_codec.cc.o.d"
+  "/root/repo/src/codec/row_codec.cc" "src/CMakeFiles/txrep.dir/codec/row_codec.cc.o" "gcc" "src/CMakeFiles/txrep.dir/codec/row_codec.cc.o.d"
+  "/root/repo/src/codec/value_codec.cc" "src/CMakeFiles/txrep.dir/codec/value_codec.cc.o" "gcc" "src/CMakeFiles/txrep.dir/codec/value_codec.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/txrep.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/keyed_mutex.cc" "src/CMakeFiles/txrep.dir/common/keyed_mutex.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/keyed_mutex.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/txrep.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/txrep.dir/common/random.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/txrep.dir/common/status.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/txrep.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/txrep.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/class_signature.cc" "src/CMakeFiles/txrep.dir/core/class_signature.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/class_signature.cc.o.d"
+  "/root/repo/src/core/serial_applier.cc" "src/CMakeFiles/txrep.dir/core/serial_applier.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/serial_applier.cc.o.d"
+  "/root/repo/src/core/ticket_applier.cc" "src/CMakeFiles/txrep.dir/core/ticket_applier.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/ticket_applier.cc.o.d"
+  "/root/repo/src/core/transaction.cc" "src/CMakeFiles/txrep.dir/core/transaction.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/transaction.cc.o.d"
+  "/root/repo/src/core/transaction_manager.cc" "src/CMakeFiles/txrep.dir/core/transaction_manager.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/transaction_manager.cc.o.d"
+  "/root/repo/src/core/txn_buffer.cc" "src/CMakeFiles/txrep.dir/core/txn_buffer.cc.o" "gcc" "src/CMakeFiles/txrep.dir/core/txn_buffer.cc.o.d"
+  "/root/repo/src/kv/disk_node.cc" "src/CMakeFiles/txrep.dir/kv/disk_node.cc.o" "gcc" "src/CMakeFiles/txrep.dir/kv/disk_node.cc.o.d"
+  "/root/repo/src/kv/inmemory_node.cc" "src/CMakeFiles/txrep.dir/kv/inmemory_node.cc.o" "gcc" "src/CMakeFiles/txrep.dir/kv/inmemory_node.cc.o.d"
+  "/root/repo/src/kv/kv_cluster.cc" "src/CMakeFiles/txrep.dir/kv/kv_cluster.cc.o" "gcc" "src/CMakeFiles/txrep.dir/kv/kv_cluster.cc.o.d"
+  "/root/repo/src/kv/kv_types.cc" "src/CMakeFiles/txrep.dir/kv/kv_types.cc.o" "gcc" "src/CMakeFiles/txrep.dir/kv/kv_types.cc.o.d"
+  "/root/repo/src/mw/broker.cc" "src/CMakeFiles/txrep.dir/mw/broker.cc.o" "gcc" "src/CMakeFiles/txrep.dir/mw/broker.cc.o.d"
+  "/root/repo/src/mw/publisher.cc" "src/CMakeFiles/txrep.dir/mw/publisher.cc.o" "gcc" "src/CMakeFiles/txrep.dir/mw/publisher.cc.o.d"
+  "/root/repo/src/mw/subscriber.cc" "src/CMakeFiles/txrep.dir/mw/subscriber.cc.o" "gcc" "src/CMakeFiles/txrep.dir/mw/subscriber.cc.o.d"
+  "/root/repo/src/qt/consistency_checker.cc" "src/CMakeFiles/txrep.dir/qt/consistency_checker.cc.o" "gcc" "src/CMakeFiles/txrep.dir/qt/consistency_checker.cc.o.d"
+  "/root/repo/src/qt/query_translator.cc" "src/CMakeFiles/txrep.dir/qt/query_translator.cc.o" "gcc" "src/CMakeFiles/txrep.dir/qt/query_translator.cc.o.d"
+  "/root/repo/src/qt/replica_reader.cc" "src/CMakeFiles/txrep.dir/qt/replica_reader.cc.o" "gcc" "src/CMakeFiles/txrep.dir/qt/replica_reader.cc.o.d"
+  "/root/repo/src/rel/database.cc" "src/CMakeFiles/txrep.dir/rel/database.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/database.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/CMakeFiles/txrep.dir/rel/schema.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/schema.cc.o.d"
+  "/root/repo/src/rel/select_eval.cc" "src/CMakeFiles/txrep.dir/rel/select_eval.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/select_eval.cc.o.d"
+  "/root/repo/src/rel/statement.cc" "src/CMakeFiles/txrep.dir/rel/statement.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/statement.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/txrep.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/table.cc.o.d"
+  "/root/repo/src/rel/txlog.cc" "src/CMakeFiles/txrep.dir/rel/txlog.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/txlog.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/CMakeFiles/txrep.dir/rel/value.cc.o" "gcc" "src/CMakeFiles/txrep.dir/rel/value.cc.o.d"
+  "/root/repo/src/sql/interpreter.cc" "src/CMakeFiles/txrep.dir/sql/interpreter.cc.o" "gcc" "src/CMakeFiles/txrep.dir/sql/interpreter.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/txrep.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/txrep.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/txrep.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/txrep.dir/sql/parser.cc.o.d"
+  "/root/repo/src/txrep/system.cc" "src/CMakeFiles/txrep.dir/txrep/system.cc.o" "gcc" "src/CMakeFiles/txrep.dir/txrep/system.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/txrep.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/txrep.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/CMakeFiles/txrep.dir/workload/tpcw.cc.o" "gcc" "src/CMakeFiles/txrep.dir/workload/tpcw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

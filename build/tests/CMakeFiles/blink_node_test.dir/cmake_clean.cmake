@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blink_node_test.dir/blink_node_test.cc.o"
+  "CMakeFiles/blink_node_test.dir/blink_node_test.cc.o.d"
+  "blink_node_test"
+  "blink_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blink_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

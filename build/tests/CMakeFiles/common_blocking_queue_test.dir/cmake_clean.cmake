@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_blocking_queue_test.dir/common_blocking_queue_test.cc.o"
+  "CMakeFiles/common_blocking_queue_test.dir/common_blocking_queue_test.cc.o.d"
+  "common_blocking_queue_test"
+  "common_blocking_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_blocking_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

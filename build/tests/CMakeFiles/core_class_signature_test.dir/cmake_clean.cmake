@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_class_signature_test.dir/core_class_signature_test.cc.o"
+  "CMakeFiles/core_class_signature_test.dir/core_class_signature_test.cc.o.d"
+  "core_class_signature_test"
+  "core_class_signature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_class_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ticket_applier_test.dir/core_ticket_applier_test.cc.o"
+  "CMakeFiles/core_ticket_applier_test.dir/core_ticket_applier_test.cc.o.d"
+  "core_ticket_applier_test"
+  "core_ticket_applier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ticket_applier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

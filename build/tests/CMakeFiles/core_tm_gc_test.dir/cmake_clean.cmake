@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tm_gc_test.dir/core_tm_gc_test.cc.o"
+  "CMakeFiles/core_tm_gc_test.dir/core_tm_gc_test.cc.o.d"
+  "core_tm_gc_test"
+  "core_tm_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tm_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

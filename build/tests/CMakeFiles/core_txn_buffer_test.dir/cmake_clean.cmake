@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_txn_buffer_test.dir/core_txn_buffer_test.cc.o"
+  "CMakeFiles/core_txn_buffer_test.dir/core_txn_buffer_test.cc.o.d"
+  "core_txn_buffer_test"
+  "core_txn_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_txn_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_disk_node_test.dir/kv_disk_node_test.cc.o"
+  "CMakeFiles/kv_disk_node_test.dir/kv_disk_node_test.cc.o.d"
+  "kv_disk_node_test"
+  "kv_disk_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_disk_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_broker_test.dir/mw_broker_test.cc.o"
+  "CMakeFiles/mw_broker_test.dir/mw_broker_test.cc.o.d"
+  "mw_broker_test"
+  "mw_broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_multi_replica_test.dir/mw_multi_replica_test.cc.o"
+  "CMakeFiles/mw_multi_replica_test.dir/mw_multi_replica_test.cc.o.d"
+  "mw_multi_replica_test"
+  "mw_multi_replica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_multi_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_pubsub_test.dir/mw_pubsub_test.cc.o"
+  "CMakeFiles/mw_pubsub_test.dir/mw_pubsub_test.cc.o.d"
+  "mw_pubsub_test"
+  "mw_pubsub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_pubsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

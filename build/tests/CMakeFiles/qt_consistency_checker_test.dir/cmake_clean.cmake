@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt_consistency_checker_test.dir/qt_consistency_checker_test.cc.o"
+  "CMakeFiles/qt_consistency_checker_test.dir/qt_consistency_checker_test.cc.o.d"
+  "qt_consistency_checker_test"
+  "qt_consistency_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt_consistency_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt_reader_test.dir/qt_reader_test.cc.o"
+  "CMakeFiles/qt_reader_test.dir/qt_reader_test.cc.o.d"
+  "qt_reader_test"
+  "qt_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt_translator_test.dir/qt_translator_test.cc.o"
+  "CMakeFiles/qt_translator_test.dir/qt_translator_test.cc.o.d"
+  "qt_translator_test"
+  "qt_translator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_database_test.dir/rel_database_test.cc.o"
+  "CMakeFiles/rel_database_test.dir/rel_database_test.cc.o.d"
+  "rel_database_test"
+  "rel_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_schema_test.dir/rel_schema_test.cc.o"
+  "CMakeFiles/rel_schema_test.dir/rel_schema_test.cc.o.d"
+  "rel_schema_test"
+  "rel_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_select_eval_test.dir/rel_select_eval_test.cc.o"
+  "CMakeFiles/rel_select_eval_test.dir/rel_select_eval_test.cc.o.d"
+  "rel_select_eval_test"
+  "rel_select_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_select_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

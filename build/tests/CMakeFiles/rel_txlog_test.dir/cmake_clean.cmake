@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_txlog_test.dir/rel_txlog_test.cc.o"
+  "CMakeFiles/rel_txlog_test.dir/rel_txlog_test.cc.o.d"
+  "rel_txlog_test"
+  "rel_txlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_txlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_interpreter_test.dir/sql_interpreter_test.cc.o"
+  "CMakeFiles/sql_interpreter_test.dir/sql_interpreter_test.cc.o.d"
+  "sql_interpreter_test"
+  "sql_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

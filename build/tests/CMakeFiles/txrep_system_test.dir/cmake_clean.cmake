@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txrep_system_test.dir/txrep_system_test.cc.o"
+  "CMakeFiles/txrep_system_test.dir/txrep_system_test.cc.o.d"
+  "txrep_system_test"
+  "txrep_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txrep_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

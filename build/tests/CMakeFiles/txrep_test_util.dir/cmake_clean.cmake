@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txrep_test_util.dir/test_util.cc.o"
+  "CMakeFiles/txrep_test_util.dir/test_util.cc.o.d"
+  "libtxrep_test_util.a"
+  "libtxrep_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txrep_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtxrep_test_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_synthetic_test.dir/workload_synthetic_test.cc.o"
+  "CMakeFiles/workload_synthetic_test.dir/workload_synthetic_test.cc.o.d"
+  "workload_synthetic_test"
+  "workload_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpcw_test.dir/workload_tpcw_test.cc.o"
+  "CMakeFiles/workload_tpcw_test.dir/workload_tpcw_test.cc.o.d"
+  "workload_tpcw_test"
+  "workload_tpcw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
