@@ -50,6 +50,8 @@ void BM_BaselineComparison(benchmark::State& state) {
   BenchInput input =
       tpcw ? BuildTpcwLog(workload::TpcwMix::kOrdering, 1500, kSeed)
            : BuildSyntheticLog(2000, 2000, 1200, kSeed);
+  static const char* kNames[] = {"serial", "ticket_2pl", "txrep_tm"};
+  ReplayResult last;
   for (auto _ : state) {
     ReplayResult result;
     switch (applier) {
@@ -66,8 +68,11 @@ void BM_BaselineComparison(benchmark::State& state) {
     state.SetIterationTime(result.seconds);
     state.counters["tx_per_s"] = result.tx_per_sec;
     state.counters["conflicts"] = static_cast<double>(result.conflicts);
+    last = std::move(result);
   }
-  static const char* kNames[] = {"serial", "ticket_2pl", "txrep_tm"};
+  WriteMetricsJson(std::string("baseline_") + (tpcw ? "tpcw_" : "synthetic_") +
+                       kNames[applier],
+                   last);
   state.SetLabel(std::string(tpcw ? "tpcw/" : "synthetic/") +
                  kNames[applier]);
 }

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "core/serial_applier.h"
+#include "obs/exporters.h"
 #include "workload/synthetic.h"
 
 namespace txrep::bench {
@@ -93,25 +94,28 @@ BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
 
 ReplayResult RunSerialReplay(const BenchInput& input,
                              const kv::KvClusterOptions& cluster_options) {
+  obs::MetricsRegistry registry;
   qt::QueryTranslator translator(&input.db->catalog(), {});
-  kv::KvCluster cluster(cluster_options);
+  kv::KvCluster cluster(cluster_options, &registry);
   CheckOk(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
 
-  core::SerialApplier applier(&cluster, &translator);
+  core::SerialApplier applier(&cluster, &translator, &registry);
   std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
   Stopwatch sw;
   CheckOk(applier.ApplyBatch(log), "ApplyBatch");
   ReplayResult result;
   result.seconds = sw.ElapsedSeconds();
   result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
+  result.metrics_json = obs::ToJson(registry.Snapshot());
   return result;
 }
 
 ReplayResult RunConcurrentReplay(const BenchInput& input,
                                  const kv::KvClusterOptions& cluster_options,
                                  int threads, core::TmOptions tm_options) {
+  obs::MetricsRegistry registry;
   qt::QueryTranslator translator(&input.db->catalog(), {});
-  kv::KvCluster cluster(cluster_options);
+  kv::KvCluster cluster(cluster_options, &registry);
   CheckOk(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
 
   tm_options.top_threads = threads;
@@ -120,7 +124,7 @@ ReplayResult RunConcurrentReplay(const BenchInput& input,
   ReplayResult result;
   Stopwatch sw;
   {
-    core::TransactionManager tm(&cluster, &translator, tm_options);
+    core::TransactionManager tm(&cluster, &translator, tm_options, &registry);
     for (rel::LogTransaction& txn : log) {
       tm.SubmitUpdate(std::move(txn));
     }
@@ -131,7 +135,22 @@ ReplayResult RunConcurrentReplay(const BenchInput& input,
   result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
   result.conflicts = result.stats.conflicts;
   result.restarts = result.stats.restarts;
+  result.metrics_json = obs::ToJson(registry.Snapshot());
   return result;
+}
+
+void WriteMetricsJson(const std::string& bench_name,
+                      const ReplayResult& result) {
+  if (result.metrics_json.empty()) return;
+  const std::string path = bench_name + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(result.metrics_json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace txrep::bench

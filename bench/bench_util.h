@@ -2,10 +2,12 @@
 #define TXREP_BENCH_BENCH_UTIL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/transaction_manager.h"
 #include "kv/kv_cluster.h"
+#include "obs/metrics.h"
 #include "qt/query_translator.h"
 #include "rel/database.h"
 #include "workload/tpcw.h"
@@ -45,7 +47,15 @@ struct ReplayResult {
   int64_t conflicts = 0;  // 0 for serial replay.
   int64_t restarts = 0;
   core::TmStats stats;
+  /// Full metrics-registry JSON snapshot of the replay (stage latencies,
+  /// per-node KV counters, queue depths, ...).
+  std::string metrics_json;
 };
+
+/// Writes `result.metrics_json` to "<bench_name>.metrics.json" in the working
+/// directory, next to the benchmark's own output. No-op when empty.
+void WriteMetricsJson(const std::string& bench_name,
+                      const ReplayResult& result);
 
 /// Serial baseline replay of the full log into a fresh snapshot-seeded
 /// cluster.

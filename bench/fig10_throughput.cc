@@ -20,6 +20,7 @@ void BM_Fig10_Throughput(benchmark::State& state) {
   const int txns = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
   BenchInput input = BuildSyntheticLog(kItems, kItems, txns, kSeed);
+  ReplayResult last;
   for (auto _ : state) {
     ReplayResult result =
         threads == 0 ? RunSerialReplay(input, DefaultCluster())
@@ -27,7 +28,11 @@ void BM_Fig10_Throughput(benchmark::State& state) {
     state.SetIterationTime(result.seconds);
     state.counters["tx_per_s"] = result.tx_per_sec;
     state.counters["conflicts"] = static_cast<double>(result.conflicts);
+    last = std::move(result);
   }
+  WriteMetricsJson("fig10_txns" + std::to_string(txns) + "_threads" +
+                       std::to_string(threads),
+                   last);
   state.SetItemsProcessed(txns);
 }
 

@@ -20,13 +20,18 @@ void BM_Fig15_ThreadThroughput(benchmark::State& state) {
   const int txns = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
   BenchInput input = BuildSyntheticLog(kItems, kItems, txns, kSeed);
+  ReplayResult last;
   for (auto _ : state) {
     ReplayResult result =
         threads == 0 ? RunSerialReplay(input, DefaultCluster())
                      : RunConcurrentReplay(input, DefaultCluster(), threads);
     state.SetIterationTime(result.seconds);
     state.counters["tx_per_s"] = result.tx_per_sec;
+    last = std::move(result);
   }
+  WriteMetricsJson("fig15_txns" + std::to_string(txns) + "_threads" +
+                       std::to_string(threads),
+                   last);
   state.SetItemsProcessed(txns);
 }
 

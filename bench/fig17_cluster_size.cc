@@ -28,12 +28,17 @@ void BM_Fig17_ClusterSize(benchmark::State& state) {
   kv::KvClusterOptions cluster_options = DefaultCluster(nodes);
   cluster_options.node.service_slots = 1;
   cluster_options.node.service_time_micros = 150;
+  ReplayResult last;
   for (auto _ : state) {
     ReplayResult result = RunConcurrentReplay(input, cluster_options, 20);
     state.SetIterationTime(result.seconds);
     state.counters["tx_per_s"] = result.tx_per_sec;
     state.counters["nodes"] = nodes;
+    last = std::move(result);
   }
+  WriteMetricsJson("fig17_txns" + std::to_string(txns) + "_nodes" +
+                       std::to_string(nodes),
+                   last);
   state.SetItemsProcessed(txns);
 }
 

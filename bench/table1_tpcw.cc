@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "common/clock.h"
+#include "obs/exporters.h"
 #include "qt/replica_reader.h"
 
 namespace txrep::bench {
@@ -25,10 +26,12 @@ void BM_Table1_Tpcw(benchmark::State& state) {
   BenchInput input = BuildTpcwLog(mix, kInteractions, kSeed);
   const auto cluster_options = DefaultCluster();
 
+  ReplayResult last;
   for (auto _ : state) {
+    obs::MetricsRegistry registry;
     qt::QueryTranslator translator(&input.db->catalog(), {});
-    qt::ReplicaReader reader(&input.db->catalog(), {});
-    kv::KvCluster cluster(cluster_options);
+    qt::ReplicaReader reader(&input.db->catalog(), {}, &registry);
+    kv::KvCluster cluster(cluster_options, &registry);
     Status s = translator.LoadSnapshot(&cluster, *input.snapshot);
     if (!s.ok()) state.SkipWithError(s.ToString().c_str());
 
@@ -37,7 +40,8 @@ void BM_Table1_Tpcw(benchmark::State& state) {
     Stopwatch sw;
     core::TmStats stats;
     {
-      core::TransactionManager tm(&cluster, &translator, tm_options);
+      core::TransactionManager tm(&cluster, &translator, tm_options,
+                                  &registry);
       size_t next_read = 0;
       size_t reads_per_write =
           input.writes == 0 ? input.read_queries.size()
@@ -64,7 +68,9 @@ void BM_Table1_Tpcw(benchmark::State& state) {
     state.counters["tx_per_s"] = static_cast<double>(kInteractions) / secs;
     state.counters["exec_ms"] = secs * 1e3;
     state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+    last.metrics_json = obs::ToJson(registry.Snapshot());
   }
+  WriteMetricsJson(std::string("table1_") + workload::TpcwMixName(mix), last);
   state.SetLabel(workload::TpcwMixName(mix));
   state.SetItemsProcessed(kInteractions);
 }

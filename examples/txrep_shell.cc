@@ -9,6 +9,7 @@
 //   @replica <select>;-- run a SELECT on the key-value replica (transactional)
 //   @sync             -- drain the replication pipeline
 //   @stats            -- show TM / replica statistics
+//   @metrics [json|prom] -- dump the metrics registry (text by default)
 //   @quit             -- exit
 //
 // The replication pipeline starts lazily at the first write, snapshotting
@@ -18,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/exporters.h"
 #include "sql/interpreter.h"
 #include "sql/parser.h"
 #include "txrep/system.h"
@@ -41,7 +43,8 @@ int main() {
 
   std::printf(
       "TxRep shell. SQL statements end with ';'. Special commands: "
-      "@replica <select>; @sync  @stats  @audit  @quit\n");
+      "@replica <select>; @sync  @stats  @metrics [json|prom]  @audit  "
+      "@quit\n");
 
   std::string line;
   std::string pending;
@@ -90,6 +93,19 @@ int main() {
           static_cast<long long>(stats.restarts),
           started ? sys.replica().Size() : 0, static_cast<long long>(kv.gets),
           static_cast<long long>(kv.puts), static_cast<long long>(kv.deletes));
+      std::printf("(%zu instruments registered; @metrics for the full dump)\n",
+                  sys.metrics().InstrumentCount());
+      continue;
+    }
+    if (pending.empty() && line.rfind("@metrics", 0) == 0) {
+      const txrep::obs::MetricsSnapshot snapshot = sys.metrics().Snapshot();
+      if (line.find("json") != std::string::npos) {
+        std::printf("%s\n", txrep::obs::ToJson(snapshot).c_str());
+      } else if (line.find("prom") != std::string::npos) {
+        std::printf("%s", txrep::obs::ToPrometheus(snapshot).c_str());
+      } else {
+        std::printf("%s", txrep::obs::ToText(snapshot).c_str());
+      }
       continue;
     }
 

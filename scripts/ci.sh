@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus optional sanitizer passes.
+#
+#   scripts/ci.sh            # plain build + full ctest (the tier-1 gate)
+#   scripts/ci.sh tsan       # + ThreadSanitizer pass over obs/core/mw tests
+#   scripts/ci.sh asan       # + AddressSanitizer pass over the same set
+#   scripts/ci.sh all        # plain + tsan + asan
+#
+# Sanitizer builds go to build-tsan/ / build-asan/ so they never disturb the
+# primary build/ tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-plain}"
+
+# Concurrency-heavy tests worth re-running under a sanitizer: the metrics
+# hot paths (sharded counters, gauges, histograms), the TM pools that hammer
+# them, and the middleware threads that stamp stage latencies.
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|txrep_system'
+
+run_plain() {
+  echo "=== plain build + full test suite ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  (cd build && ctest --output-on-failure -j"$(nproc)")
+}
+
+run_sanitized() {
+  local kind="$1" dir="build-$1"
+  echo "=== ${kind} sanitizer pass (${SANITIZER_TESTS}) ==="
+  cmake -B "${dir}" -S . -DTXREP_SANITIZE="${kind}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j"$(nproc)"
+  (cd "${dir}" && ctest --output-on-failure -j"$(nproc)" \
+    -R "${SANITIZER_TESTS}")
+}
+
+case "${MODE}" in
+  plain) run_plain ;;
+  tsan) run_plain; run_sanitized thread ;;
+  asan) run_plain; run_sanitized address ;;
+  all) run_plain; run_sanitized thread; run_sanitized address ;;
+  *) echo "usage: $0 [plain|tsan|asan|all]" >&2; exit 2 ;;
+esac
+
+echo "ci: OK (${MODE})"

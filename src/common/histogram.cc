@@ -125,6 +125,64 @@ double Histogram::Percentile(double q) const {
   return PercentileLocked(q);
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot s;
+  s.count = count_;
+  s.min = count_ == 0 ? 0 : min_;
+  s.max = max_;
+  s.sum = sum_;
+  s.mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  s.p50 = PercentileLocked(0.5);
+  s.p90 = PercentileLocked(0.9);
+  s.p95 = PercentileLocked(0.95);
+  s.p99 = PercentileLocked(0.99);
+  s.p999 = PercentileLocked(0.999);
+  return s;
+}
+
+namespace {
+// %.6g keeps integers free of trailing zeros ("5", not "5.000000") so dumps
+// stay stable and diffable.
+void AppendDouble(std::string& out, const char* key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
+  out += buf;
+}
+
+void AppendInt(std::string& out, const char* key, int64_t value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
+                static_cast<long long>(value));
+  out += buf;
+}
+}  // namespace
+
+std::string HistogramSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendInt(out, "count", count);
+  out += ",";
+  AppendInt(out, "min", min);
+  out += ",";
+  AppendInt(out, "max", max);
+  out += ",";
+  AppendInt(out, "sum", sum);
+  out += ",";
+  AppendDouble(out, "mean", mean);
+  out += ",";
+  AppendDouble(out, "p50", p50);
+  out += ",";
+  AppendDouble(out, "p90", p90);
+  out += ",";
+  AppendDouble(out, "p95", p95);
+  out += ",";
+  AppendDouble(out, "p99", p99);
+  out += ",";
+  AppendDouble(out, "p999", p999);
+  out += "}";
+  return out;
+}
+
 std::string Histogram::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   char buf[160];

@@ -8,6 +8,25 @@
 
 namespace txrep {
 
+/// Point-in-time summary of a Histogram: counts, extrema and the standard
+/// percentile ladder. The one serialization path shared by the metrics
+/// registry exporters and ad-hoc dumps (replication lag, bench output).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t sum = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  /// Compact JSON object, e.g. {"count":3,"min":1,...,"p999":42}.
+  std::string ToJson() const;
+};
+
 /// Thread-safe latency/size histogram with power-of-two-ish buckets.
 ///
 /// Used by the KV substrate and the transaction manager to report per-op and
@@ -33,6 +52,15 @@ class Histogram {
   /// Approximate quantile in [0, 1] via linear interpolation inside the
   /// containing bucket. Returns 0 when empty.
   double Percentile(double q) const;
+
+  /// Tail-latency shorthand for Percentile(0.999).
+  double P999() const { return Percentile(0.999); }
+
+  /// Consistent snapshot of all summary statistics (one lock acquisition).
+  HistogramSnapshot Snapshot() const;
+
+  /// Snapshot().ToJson() — the shared serialization path.
+  std::string ToJson() const { return Snapshot().ToJson(); }
 
   /// One-line summary: "count=... mean=... p50=... p99=... max=...".
   std::string ToString() const;

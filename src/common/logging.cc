@@ -10,20 +10,7 @@ namespace txrep {
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mu;
-
-const char* LevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarn:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?";
-}
+LogSink g_sink;  // Guarded by g_log_mu; empty = write to stderr.
 
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -39,6 +26,25 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  g_sink = std::move(sink);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -46,14 +52,18 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
                g_min_level.load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << LogLevelName(level) << " " << Basename(file) << ":"
+            << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(g_log_mu);
+  if (g_sink) {
+    g_sink(level_, stream_.str());
+    return;
+  }
   std::fputs(stream_.str().c_str(), stderr);
   std::fputc('\n', stderr);
 }

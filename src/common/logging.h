@@ -1,6 +1,7 @@
 #ifndef TXREP_COMMON_LOGGING_H_
 #define TXREP_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Returns "DEBUG", "INFO", "WARN" or "ERROR".
+const char* LogLevelName(LogLevel level);
+
+/// Receives every emitted (level-passing) log line instead of stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs a process-wide sink; pass nullptr to restore stderr output.
+/// Level filtering happens before the sink sees anything, which is what the
+/// logging tests exercise.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -1,10 +1,31 @@
 #include "core/serial_applier.h"
 
+#include "common/clock.h"
+#include "obs/names.h"
+
 namespace txrep::core {
 
+SerialApplier::SerialApplier(kv::KvStore* store,
+                             const qt::QueryTranslator* translator,
+                             obs::MetricsRegistry* metrics)
+    : store_(store), translator_(translator) {
+  if (metrics != nullptr) {
+    h_stage_apply_ = metrics->GetHistogram(obs::kStageLatency,
+                                           {{"stage", obs::kStageApply}});
+    h_stage_e2e_ =
+        metrics->GetHistogram(obs::kStageLatency, {{"stage", obs::kStageE2e}});
+  }
+}
+
 Status SerialApplier::Apply(const rel::LogTransaction& txn) {
+  const int64_t start = NowMicros();
   TXREP_RETURN_IF_ERROR(translator_->ApplyTransaction(store_, txn));
   ++applied_;
+  const int64_t now = NowMicros();
+  if (h_stage_apply_ != nullptr) h_stage_apply_->Record(now - start);
+  if (h_stage_e2e_ != nullptr && txn.commit_micros != 0) {
+    h_stage_e2e_->Record(now - txn.commit_micros);
+  }
   return Status::OK();
 }
 

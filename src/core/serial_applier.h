@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
 
@@ -17,9 +18,10 @@ namespace txrep::core {
 /// execution-defined order; exploits no concurrency.
 class SerialApplier {
  public:
-  /// `store` and `translator` must outlive the applier.
-  SerialApplier(kv::KvStore* store, const qt::QueryTranslator* translator)
-      : store_(store), translator_(translator) {}
+  /// `store` and `translator` must outlive the applier. `metrics` (optional,
+  /// same lifetime rule) receives the apply / e2e stage latency histograms.
+  SerialApplier(kv::KvStore* store, const qt::QueryTranslator* translator,
+                obs::MetricsRegistry* metrics = nullptr);
 
   SerialApplier(const SerialApplier&) = delete;
   SerialApplier& operator=(const SerialApplier&) = delete;
@@ -36,6 +38,9 @@ class SerialApplier {
   kv::KvStore* store_;                     // Not owned.
   const qt::QueryTranslator* translator_;  // Not owned.
   int64_t applied_ = 0;
+
+  Histogram* h_stage_apply_ = nullptr;
+  Histogram* h_stage_e2e_ = nullptr;
 };
 
 }  // namespace txrep::core

@@ -81,6 +81,13 @@ class Transaction {
   std::vector<std::shared_ptr<Transaction>> restart_list;
   int restart_count = 0;
 
+  /// Wall-clock stamps for pipeline stage latency (0 when unknown):
+  /// db_commit_micros carries the original database's commit instant for
+  /// shipped update transactions; enqueue_micros is stamped when the
+  /// execution result enters the CommitReqPQ.
+  int64_t db_commit_micros = 0;
+  int64_t enqueue_micros = 0;
+
  private:
   const uint64_t seq_;
   const bool read_only_;

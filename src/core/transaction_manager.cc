@@ -4,19 +4,55 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "obs/names.h"
 
 namespace txrep::core {
 
 TransactionManager::TransactionManager(kv::KvStore* store,
                                        const qt::QueryTranslator* translator,
-                                       TmOptions options)
+                                       TmOptions options,
+                                       obs::MetricsRegistry* metrics)
     : store_(store), translator_(translator), options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  WireMetrics(metrics);
   top_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(options_.top_threads), "tm-top");
   bottom_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(options_.bottom_threads), "tm-bottom");
   gc_pool_ = std::make_unique<ThreadPool>(1, "tm-gc");
   controller_ = std::thread([this] { ControllerLoop(); });
+}
+
+void TransactionManager::WireMetrics(obs::MetricsRegistry* metrics) {
+  c_submitted_ = metrics->GetCounter(obs::kTmSubmitted);
+  c_read_only_submitted_ = metrics->GetCounter(obs::kTmReadOnlySubmitted);
+  c_committed_ = metrics->GetCounter(obs::kTmCommitted);
+  c_completed_ = metrics->GetCounter(obs::kTmCompleted);
+  c_conflicts_ = metrics->GetCounter(obs::kTmConflicts);
+  c_restarts_ = metrics->GetCounter(obs::kTmRestarts);
+  c_apply_retries_ = metrics->GetCounter(obs::kTmApplyRetries);
+  c_gc_runs_ = metrics->GetCounter(obs::kTmGcRuns);
+  c_gc_removed_ = metrics->GetCounter(obs::kTmGcRemoved);
+  c_conflict_checks_ = metrics->GetCounter(obs::kTmConflictChecks);
+  c_class_filter_skips_ = metrics->GetCounter(obs::kTmClassFilterSkips);
+  h_stage_execute_ = metrics->GetHistogram(obs::kStageLatency,
+                                           {{"stage", obs::kStageExecute}});
+  h_stage_commit_eval_ = metrics->GetHistogram(
+      obs::kStageLatency, {{"stage", obs::kStageCommitEval}});
+  h_stage_apply_ =
+      metrics->GetHistogram(obs::kStageLatency, {{"stage", obs::kStageApply}});
+  h_stage_e2e_ =
+      metrics->GetHistogram(obs::kStageLatency, {{"stage", obs::kStageE2e}});
+  h_txn_restarts_ = metrics->GetHistogram(obs::kTmTxnRestarts);
+  g_pq_depth_ =
+      metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueCommitReqPq}});
+  g_top_backlog_ =
+      metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueTmTop}});
+  g_bottom_backlog_ =
+      metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueTmBottom}});
 }
 
 TransactionManager::~TransactionManager() {
@@ -34,11 +70,14 @@ TransactionManager::~TransactionManager() {
 
 std::shared_ptr<Transaction> TransactionManager::SubmitUpdate(
     rel::LogTransaction log_txn) {
+  const int64_t db_commit_micros = log_txn.commit_micros;
   auto payload = std::make_shared<rel::LogTransaction>(std::move(log_txn));
   return SubmitInternal(
-      /*read_only=*/false, [this, payload](kv::KvStore* view) {
+      /*read_only=*/false,
+      [this, payload](kv::KvStore* view) {
         return translator_->ApplyTransaction(view, *payload);
-      });
+      },
+      db_commit_micros);
 }
 
 std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
@@ -47,21 +86,23 @@ std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
 }
 
 TransactionManager::TxnPtr TransactionManager::SubmitInternal(
-    bool read_only, Transaction::Body body) {
+    bool read_only, Transaction::Body body, int64_t db_commit_micros) {
   TxnPtr txn;
   {
     std::lock_guard<std::mutex> lock(mu_);
     txn = std::make_shared<Transaction>(next_seq_++, read_only,
                                         std::move(body));
+    txn->db_commit_micros = db_commit_micros;
     if (!health_.ok()) {
       txn->Finish(health_);
       return txn;
     }
     active_[txn->seq()] = txn;
-    ++stats_.submitted;
-    if (read_only) ++stats_.read_only_submitted;
+    c_submitted_->Increment();
+    if (read_only) c_read_only_submitted_->Increment();
   }
   top_pool_->Submit([this, txn] { ExecuteTask(txn); });
+  g_top_backlog_->Set(static_cast<int64_t>(top_pool_->QueueDepth()));
   return txn;
 }
 
@@ -77,9 +118,11 @@ void TransactionManager::ExecuteTask(const TxnPtr& txn) {
   // start/complete ordering to decide which completed writers might have
   // been missed).
   txn->start_time = clock_.Tick();
+  const int64_t exec_start = NowMicros();
   auto buffer =
       std::make_unique<TxnBuffer>(store_, options_.buffer_read_cache);
   Status status = txn->body()(buffer.get());
+  h_stage_execute_->Record(NowMicros() - exec_start);
   // Derive the transaction-class signature from the key sets (paper §7).
   ClassSignature signature;
   signature.AddKeys(buffer->read_set());
@@ -89,7 +132,9 @@ void TransactionManager::ExecuteTask(const TxnPtr& txn) {
     txn->buffer = std::move(buffer);
     txn->execution_status = std::move(status);
     txn->class_signature = signature;
+    txn->enqueue_micros = NowMicros();
     commit_req_pq_.push(txn);
+    g_pq_depth_->Set(static_cast<int64_t>(commit_req_pq_.size()));
     cv_.notify_all();
   }
 }
@@ -105,6 +150,7 @@ void TransactionManager::ControllerLoop() {
     if (stopping_ || !health_.ok()) return;
     TxnPtr txn = commit_req_pq_.top();
     commit_req_pq_.pop();
+    g_pq_depth_->Set(static_cast<int64_t>(commit_req_pq_.size()));
     EvaluateLocked(txn);
   }
 }
@@ -133,15 +179,15 @@ bool TransactionManager::ConflictsFiltered(const Transaction& a,
                                            const Transaction& b) {
   if (options_.enable_class_filter &&
       !a.class_signature.MayOverlap(b.class_signature)) {
-    ++stats_.class_filter_skips;
+    c_class_filter_skips_->Increment();
     return false;  // Disjoint table classes: provably conflict-free.
   }
-  ++stats_.conflict_checks;
+  c_conflict_checks_->Increment();
   return Conflicts(a, b);
 }
 
 void TransactionManager::RestartLocked(const TxnPtr& txn) {
-  ++stats_.restarts;
+  c_restarts_->Increment();
   ++txn->restart_count;
   txn->state = TxnState::kActive;
   top_pool_->SubmitUrgent([this, txn] { ExecuteTask(txn); });
@@ -154,8 +200,8 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
   // expected sequence stays put — the controller stalls, as in the paper.
   for (auto& [seq, tj] : committed_) {
     if (ConflictsFiltered(*txn, *tj)) {
-      ++stats_.conflicts;
-      ++stats_.restarts;
+      c_conflicts_->Increment();
+      c_restarts_->Increment();
       ++txn->restart_count;
       tj->restart_list.push_back(txn);
       return;
@@ -165,7 +211,7 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
   // this transaction started (concurrent ones). Restart immediately.
   for (auto& [seq, tj] : completed_) {
     if (txn->start_time < tj->complete_time && ConflictsFiltered(*txn, *tj)) {
-      ++stats_.conflicts;
+      c_conflicts_->Increment();
       RestartLocked(txn);
       return;
     }
@@ -187,7 +233,7 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
       txn->complete_time = clock_.Tick();
       expected_seq_ = txn->seq() + 1;
       active_.erase(txn->seq());
-      ++stats_.completed;
+      c_completed_->Increment();
       txn->Finish(txn->execution_status);
       cv_.notify_all();
       return;
@@ -204,28 +250,34 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
   txn->commit_time = clock_.Tick();
   committed_[txn->seq()] = txn;
   expected_seq_ = txn->seq() + 1;
-  ++stats_.committed;
+  c_committed_->Increment();
+  if (txn->enqueue_micros != 0) {
+    h_stage_commit_eval_->Record(NowMicros() - txn->enqueue_micros);
+  }
   bottom_pool_->Submit([this, txn] { ApplyTask(txn); });
+  g_bottom_backlog_->Set(static_cast<int64_t>(bottom_pool_->QueueDepth()));
 }
 
 void TransactionManager::ApplyTask(const TxnPtr& txn) {
   // Publish the buffered writes, tolerating transient store failures
   // (re-running ApplyTo is idempotent).
+  const int64_t apply_start = NowMicros();
   Status status = Status::OK();
   if (txn->buffer->WriteCount() > 0) {
     for (int attempt = 0;; ++attempt) {
       status = txn->buffer->ApplyTo(store_);
-      if (status.ok() || !status.IsUnavailable() ||
-          attempt >= options_.max_apply_retries) {
+      if (status.ok() || !status.IsUnavailable()) break;
+      if (attempt >= options_.max_apply_retries) {
+        TXREP_LOG(kWarn) << "apply of transaction " << txn->seq()
+                         << " exhausted " << options_.max_apply_retries
+                         << " retries: " << status.ToString();
         break;
       }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.apply_retries;
-      }
+      c_apply_retries_->Increment();
       SleepForMicros(options_.apply_retry_backoff_micros);
     }
   }
+  h_stage_apply_->Record(NowMicros() - apply_start);
 
   std::vector<TxnPtr> to_restart;
   bool run_gc = false;
@@ -242,7 +294,11 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
     committed_.erase(txn->seq());
     completed_[txn->seq()] = txn;
     active_.erase(txn->seq());
-    ++stats_.completed;
+    c_completed_->Increment();
+    h_txn_restarts_->Record(txn->restart_count);
+    if (txn->db_commit_micros != 0) {
+      h_stage_e2e_->Record(NowMicros() - txn->db_commit_micros);
+    }
     to_restart = std::move(txn->restart_list);
     txn->restart_list.clear();
     for (const TxnPtr& parked : to_restart) {
@@ -266,7 +322,7 @@ void TransactionManager::GcTask() {
   // could still conflict-test against (no active T_j started before its
   // completion).
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.gc_runs;
+  c_gc_runs_->Increment();
   for (auto it = completed_.begin(); it != completed_.end();) {
     bool needed = false;
     for (const auto& [seq, active] : active_) {
@@ -284,7 +340,7 @@ void TransactionManager::GcTask() {
       ++it;
     } else {
       it = completed_.erase(it);
-      ++stats_.gc_removed;
+      c_gc_removed_->Increment();
     }
   }
   gc_scheduled_ = false;
@@ -314,8 +370,22 @@ Status TransactionManager::health() const {
 }
 
 TmStats TransactionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Registry-backed: each field reads its counter, so stats() and the
+  // exported metrics are the same numbers. Exact once writers quiesced
+  // (e.g. after WaitIdle()).
+  TmStats stats;
+  stats.submitted = c_submitted_->Value();
+  stats.read_only_submitted = c_read_only_submitted_->Value();
+  stats.committed = c_committed_->Value();
+  stats.completed = c_completed_->Value();
+  stats.conflicts = c_conflicts_->Value();
+  stats.restarts = c_restarts_->Value();
+  stats.apply_retries = c_apply_retries_->Value();
+  stats.gc_runs = c_gc_runs_->Value();
+  stats.gc_removed = c_gc_removed_->Value();
+  stats.conflict_checks = c_conflict_checks_->Value();
+  stats.class_filter_skips = c_class_filter_skips_->Value();
+  return stats;
 }
 
 size_t TransactionManager::CompletedListSize() const {

@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "core/transaction.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
 
@@ -54,6 +55,8 @@ struct TmOptions {
 };
 
 /// Counters exposed by the TM (snapshot via TransactionManager::stats()).
+/// Backed by the metrics registry: stats() reads the registry counters, so
+/// this struct and the exported txrep_tm_* metrics always agree.
 struct TmStats {
   int64_t submitted = 0;
   int64_t read_only_submitted = 0;
@@ -104,9 +107,13 @@ struct TmStats {
 class TransactionManager {
  public:
   /// `store` is the replica; `translator` turns logged ops into KV programs.
-  /// Both must outlive the TM.
+  /// Both must outlive the TM. `metrics` (optional, same lifetime rule)
+  /// receives the txrep_tm_* counters, stage latency histograms and queue
+  /// gauges; when absent the TM keeps a private registry so stats() still
+  /// works.
   TransactionManager(kv::KvStore* store, const qt::QueryTranslator* translator,
-                     TmOptions options = {});
+                     TmOptions options = {},
+                     obs::MetricsRegistry* metrics = nullptr);
 
   ~TransactionManager();
 
@@ -144,7 +151,8 @@ class TransactionManager {
     }
   };
 
-  TxnPtr SubmitInternal(bool read_only, Transaction::Body body);
+  TxnPtr SubmitInternal(bool read_only, Transaction::Body body,
+                        int64_t db_commit_micros = 0);
 
   /// Top-pool task: (re-)executes the body into a fresh buffer, then
   /// enqueues the commit request.
@@ -176,10 +184,38 @@ class TransactionManager {
   /// Marks the TM failed and wakes everyone. Caller holds mu_.
   void FailLocked(const Status& status);
 
+  /// Resolves all instruments from `metrics`. Called once from the ctor,
+  /// before any thread starts.
+  void WireMetrics(obs::MetricsRegistry* metrics);
+
   kv::KvStore* store_;                      // Not owned.
   const qt::QueryTranslator* translator_;   // Not owned.
   const TmOptions options_;
   LogicalClock clock_;
+
+  /// Private fallback registry when the caller injects none (declared before
+  /// the pools/threads so instruments outlive every user).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_read_only_submitted_ = nullptr;
+  obs::Counter* c_committed_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_conflicts_ = nullptr;
+  obs::Counter* c_restarts_ = nullptr;
+  obs::Counter* c_apply_retries_ = nullptr;
+  obs::Counter* c_gc_runs_ = nullptr;
+  obs::Counter* c_gc_removed_ = nullptr;
+  obs::Counter* c_conflict_checks_ = nullptr;
+  obs::Counter* c_class_filter_skips_ = nullptr;
+  Histogram* h_stage_execute_ = nullptr;
+  Histogram* h_stage_commit_eval_ = nullptr;
+  Histogram* h_stage_apply_ = nullptr;
+  Histogram* h_stage_e2e_ = nullptr;
+  Histogram* h_txn_restarts_ = nullptr;
+  obs::Gauge* g_pq_depth_ = nullptr;
+  obs::Gauge* g_top_backlog_ = nullptr;
+  obs::Gauge* g_bottom_backlog_ = nullptr;
 
   std::unique_ptr<ThreadPool> top_pool_;
   std::unique_ptr<ThreadPool> bottom_pool_;
@@ -196,7 +232,6 @@ class TransactionManager {
   bool gc_scheduled_ = false;
   bool stopping_ = false;
   Status health_ = Status::OK();
-  TmStats stats_;
 
   std::thread controller_;
 };

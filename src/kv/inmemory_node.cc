@@ -4,11 +4,28 @@
 #include <functional>
 
 #include "common/clock.h"
+#include "obs/names.h"
 
 namespace txrep::kv {
 
-InMemoryKvNode::InMemoryKvNode(KvNodeOptions options)
-    : options_(options), failure_rng_(options.failure_seed) {}
+InMemoryKvNode::InMemoryKvNode(KvNodeOptions options,
+                               obs::MetricsRegistry* metrics, int node_index)
+    : options_(options), failure_rng_(options.failure_seed) {
+  if (metrics == nullptr) return;
+  obs::Labels node_label;
+  if (node_index >= 0) node_label = {{"node", std::to_string(node_index)}};
+  auto op_labels = [&](const char* op) {
+    obs::Labels labels = node_label;
+    labels.emplace_back("op", op);
+    return labels;
+  };
+  c_gets_ = metrics->GetCounter(obs::kKvOps, op_labels("get"));
+  c_puts_ = metrics->GetCounter(obs::kKvOps, op_labels("put"));
+  c_deletes_ = metrics->GetCounter(obs::kKvOps, op_labels("delete"));
+  c_get_misses_ = metrics->GetCounter(obs::kKvOps, op_labels("get_miss"));
+  h_op_latency_ = metrics->GetHistogram(obs::kKvOpLatency, node_label);
+  g_slots_ = metrics->GetGauge(obs::kKvSlotsInUse, node_label);
+}
 
 InMemoryKvNode::Stripe& InMemoryKvNode::StripeFor(const Key& key) {
   return stripes_[std::hash<std::string>{}(key) % kNumStripes];
@@ -32,15 +49,19 @@ Status InMemoryKvNode::SimulateService() {
     std::unique_lock<std::mutex> lock(gate_mu_);
     gate_cv_.wait(lock, [&] { return in_service_ < options_.service_slots; });
     ++in_service_;
+    if (g_slots_ != nullptr) g_slots_->Set(in_service_);
     lock.unlock();
     SleepForMicros(options_.service_time_micros);
     lock.lock();
     --in_service_;
+    if (g_slots_ != nullptr) g_slots_->Set(in_service_);
     gate_cv_.notify_one();
   } else {
     SleepForMicros(options_.service_time_micros);
   }
-  op_latency_.Record(NowMicros() - start);
+  const int64_t elapsed = NowMicros() - start;
+  op_latency_.Record(elapsed);
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(elapsed);
   return Status::OK();
 }
 
@@ -51,6 +72,7 @@ Status InMemoryKvNode::Put(const Key& key, const Value& value) {
     std::unique_lock<std::shared_mutex> lock(stripe.mu);
     stripe.map[key] = value;
   }
+  if (c_puts_ != nullptr) c_puts_->Increment();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.puts;
   return Status::OK();
@@ -65,10 +87,12 @@ Result<Value> InMemoryKvNode::Get(const Key& key) {
     auto it = stripe.map.find(key);
     if (it != stripe.map.end()) found = it->second;
   }
+  if (c_gets_ != nullptr) c_gets_->Increment();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.gets;
   if (!found.has_value()) {
     ++stats_.get_misses;
+    if (c_get_misses_ != nullptr) c_get_misses_->Increment();
     return Status::NotFound("key \"" + key + "\" not present");
   }
   return *std::move(found);
@@ -81,6 +105,7 @@ Status InMemoryKvNode::Delete(const Key& key) {
     std::unique_lock<std::shared_mutex> lock(stripe.mu);
     stripe.map.erase(key);
   }
+  if (c_deletes_ != nullptr) c_deletes_->Increment();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.deletes;
   return Status::OK();

@@ -13,6 +13,7 @@
 #include "common/histogram.h"
 #include "common/random.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 
 namespace txrep::kv {
 
@@ -46,7 +47,12 @@ struct KvNodeOptions {
 ///   paper's networked cluster even on one host.
 class InMemoryKvNode : public KvStore {
  public:
-  explicit InMemoryKvNode(KvNodeOptions options = {});
+  /// `metrics` (optional, must outlive the node) receives per-op counters,
+  /// op-latency histograms and the slot-occupancy gauge, labeled
+  /// {node="`node_index`"} when `node_index` >= 0.
+  explicit InMemoryKvNode(KvNodeOptions options = {},
+                          obs::MetricsRegistry* metrics = nullptr,
+                          int node_index = -1);
 
   InMemoryKvNode(const InMemoryKvNode&) = delete;
   InMemoryKvNode& operator=(const InMemoryKvNode&) = delete;
@@ -97,6 +103,14 @@ class InMemoryKvNode : public KvStore {
   mutable std::mutex stats_mu_;
   KvStoreStats stats_;
   Histogram op_latency_;
+
+  // Registry instruments (null when the node runs unobserved).
+  obs::Counter* c_gets_ = nullptr;
+  obs::Counter* c_puts_ = nullptr;
+  obs::Counter* c_deletes_ = nullptr;
+  obs::Counter* c_get_misses_ = nullptr;
+  Histogram* h_op_latency_ = nullptr;
+  obs::Gauge* g_slots_ = nullptr;
 };
 
 }  // namespace txrep::kv

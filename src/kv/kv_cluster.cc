@@ -5,14 +5,14 @@
 
 namespace txrep::kv {
 
-KvCluster::KvCluster(KvClusterOptions options) {
+KvCluster::KvCluster(KvClusterOptions options, obs::MetricsRegistry* metrics) {
   const int n = std::max(1, options.num_nodes);
   nodes_.reserve(n);
   for (int i = 0; i < n; ++i) {
     KvNodeOptions node_options = options.node;
     // Give each node an independent failure stream.
     node_options.failure_seed = options.node.failure_seed + i * 0x9e3779b9ULL;
-    nodes_.push_back(std::make_unique<InMemoryKvNode>(node_options));
+    nodes_.push_back(std::make_unique<InMemoryKvNode>(node_options, metrics, i));
   }
 }
 

@@ -28,7 +28,10 @@ struct KvClusterOptions {
 /// reproducing the paper's Fig. 17 behaviour.
 class KvCluster : public KvStore {
  public:
-  explicit KvCluster(KvClusterOptions options = {});
+  /// `metrics` (optional, must outlive the cluster) receives per-node op
+  /// counters, latency histograms and slot gauges, labeled {node="i"}.
+  explicit KvCluster(KvClusterOptions options = {},
+                     obs::MetricsRegistry* metrics = nullptr);
 
   KvCluster(const KvCluster&) = delete;
   KvCluster& operator=(const KvCluster&) = delete;

@@ -1,10 +1,21 @@
 #include "mw/broker.h"
 
 #include "common/clock.h"
+#include "common/logging.h"
+#include "obs/names.h"
 
 namespace txrep::mw {
 
-Broker::Broker(BrokerOptions options) : options_(options) {
+Broker::Broker(BrokerOptions options, obs::MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics != nullptr) {
+    c_published_ = metrics->GetCounter(obs::kMwMessagesPublished);
+    c_delivered_ = metrics->GetCounter(obs::kMwMessagesDelivered);
+    h_deliver_latency_ = metrics->GetHistogram(
+        obs::kStageLatency, {{"stage", obs::kStageBroker}});
+    g_queue_depth_ =
+        metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueBroker}});
+  }
   delivery_thread_ = std::thread([this] { DeliveryLoop(); });
 }
 
@@ -27,12 +38,19 @@ Status Broker::Publish(std::string topic, std::string payload) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
+      TXREP_LOG(kWarn) << "Publish to topic \"" << message.topic
+                       << "\" rejected: broker is shut down";
       return Status::Unavailable("broker is shut down");
     }
     ++published_;
   }
   if (!pending_.Push(std::move(message))) {
+    TXREP_LOG(kWarn) << "Publish rejected: broker queue closed mid-publish";
     return Status::Unavailable("broker is shut down");
+  }
+  if (c_published_ != nullptr) c_published_->Increment();
+  if (g_queue_depth_ != nullptr) {
+    g_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
   }
   return Status::OK();
 }
@@ -41,7 +59,15 @@ void Broker::DeliveryLoop() {
   for (;;) {
     std::optional<Message> message = pending_.Pop();
     if (!message.has_value()) return;  // Shut down and drained.
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
+    }
     SleepForMicros(options_.delivery_delay_micros);
+    message->deliver_micros = NowMicros();
+    if (h_deliver_latency_ != nullptr) {
+      h_deliver_latency_->Record(message->deliver_micros -
+                                 message->publish_micros);
+    }
     std::vector<Subscription*> targets;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -55,6 +81,7 @@ void Broker::DeliveryLoop() {
     for (Subscription* sub : targets) {
       sub->queue_.Push(*message);
     }
+    if (c_delivered_ != nullptr) c_delivered_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++delivered_;
     flush_cv_.notify_all();

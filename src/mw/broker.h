@@ -11,6 +11,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace txrep::mw {
 
@@ -19,6 +20,7 @@ struct Message {
   std::string topic;
   std::string payload;
   int64_t publish_micros = 0;  // Stamped by the broker at Publish().
+  int64_t deliver_micros = 0;  // Stamped by the broker at delivery.
 };
 
 /// Broker simulation knobs.
@@ -37,7 +39,11 @@ struct BrokerOptions {
 /// delivery latency. A single delivery thread preserves publish order.
 class Broker {
  public:
-  explicit Broker(BrokerOptions options = {});
+  /// `metrics` (optional, must outlive the broker) receives published /
+  /// delivered counters, the broker_deliver stage latency histogram, and the
+  /// pending-queue depth gauge.
+  explicit Broker(BrokerOptions options = {},
+                  obs::MetricsRegistry* metrics = nullptr);
   ~Broker();
 
   Broker(const Broker&) = delete;
@@ -95,6 +101,11 @@ class Broker {
   bool shutdown_ = false;
 
   std::condition_variable flush_cv_;
+
+  obs::Counter* c_published_ = nullptr;
+  obs::Counter* c_delivered_ = nullptr;
+  Histogram* h_deliver_latency_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
 };
 
 }  // namespace txrep::mw

@@ -2,13 +2,21 @@
 
 #include "codec/log_codec.h"
 #include "common/clock.h"
+#include "common/logging.h"
+#include "obs/names.h"
 
 namespace txrep::mw {
 
 PublisherAgent::PublisherAgent(rel::TxLog* log, Broker* broker,
-                               PublisherOptions options)
+                               PublisherOptions options,
+                               obs::MetricsRegistry* metrics)
     : log_(log), broker_(broker), options_(std::move(options)) {
   shipped_lsn_.store(options_.start_after_lsn, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    h_publish_latency_ = metrics->GetHistogram(
+        obs::kStageLatency, {{"stage", obs::kStagePublish}});
+    h_batch_size_ = metrics->GetHistogram(obs::kMwBatchSize);
+  }
 }
 
 PublisherAgent::~PublisherAgent() { Stop(); }
@@ -24,6 +32,16 @@ Result<size_t> PublisherAgent::PumpOnce() {
       broker_->Publish(options_.topic, codec::EncodeLogBatch(batch)));
   shipped_lsn_.store(last, std::memory_order_relaxed);
   messages_published_.fetch_add(1, std::memory_order_relaxed);
+  if (h_publish_latency_ != nullptr) {
+    // Per-txn time from db commit to reaching the broker.
+    const int64_t now = NowMicros();
+    for (const rel::LogTransaction& txn : batch) {
+      h_publish_latency_->Record(now - txn.commit_micros);
+    }
+  }
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->Record(static_cast<int64_t>(batch.size()));
+  }
   return batch.size();
 }
 
@@ -48,6 +66,10 @@ void PublisherAgent::Stop() {
 void PublisherAgent::PumpLoop() {
   while (running_.load(std::memory_order_relaxed)) {
     Result<size_t> shipped = PumpOnce();
+    if (!shipped.ok()) {
+      TXREP_LOG(kWarn) << "publisher pump failed: "
+                       << shipped.status().ToString();
+    }
     if (!shipped.ok() || *shipped == 0) {
       SleepForMicros(options_.poll_interval_micros);
     }

@@ -36,9 +36,11 @@ struct PublisherOptions {
 /// into replication messages and publishes them to the broker.
 class PublisherAgent {
  public:
-  /// `log` and `broker` must outlive the agent.
-  PublisherAgent(rel::TxLog* log, Broker* broker,
-                 PublisherOptions options = {});
+  /// `log` and `broker` must outlive the agent. `metrics` (optional, same
+  /// lifetime rule) receives the publish stage latency histogram and batch
+  /// size distribution.
+  PublisherAgent(rel::TxLog* log, Broker* broker, PublisherOptions options = {},
+                 obs::MetricsRegistry* metrics = nullptr);
 
   ~PublisherAgent();
 
@@ -77,6 +79,9 @@ class PublisherAgent {
   std::atomic<int64_t> messages_published_{0};
   std::atomic<bool> running_{false};
   std::thread pump_thread_;
+
+  Histogram* h_publish_latency_ = nullptr;
+  Histogram* h_batch_size_ = nullptr;
 };
 
 }  // namespace txrep::mw

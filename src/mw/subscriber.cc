@@ -1,12 +1,20 @@
 #include "mw/subscriber.h"
 
 #include "codec/log_codec.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "obs/names.h"
 
 namespace txrep::mw {
 
 SubscriberAgent::SubscriberAgent(Broker* broker, const std::string& topic,
-                                 TxnSink sink)
+                                 TxnSink sink, obs::MetricsRegistry* metrics)
     : subscription_(broker->Subscribe(topic)), sink_(std::move(sink)) {
+  if (metrics != nullptr) {
+    c_txns_received_ = metrics->GetCounter(obs::kMwTxnsReceived);
+    h_recv_latency_ = metrics->GetHistogram(
+        obs::kStageLatency, {{"stage", obs::kStageReceive}});
+  }
   receive_thread_ = std::thread([this] { ReceiveLoop(); });
 }
 
@@ -24,16 +32,24 @@ void SubscriberAgent::ReceiveLoop() {
     Result<std::vector<rel::LogTransaction>> batch =
         codec::DecodeLogBatch(message->payload);
     if (!batch.ok()) {
+      TXREP_LOG(kError) << "subscriber failed to decode replication message: "
+                        << batch.status().ToString();
       std::lock_guard<std::mutex> lock(mu_);
       health_ = batch.status();
       cv_.notify_all();
       break;
     }
+    if (h_recv_latency_ != nullptr && message->deliver_micros != 0) {
+      h_recv_latency_->Record(NowMicros() - message->deliver_micros);
+    }
     for (rel::LogTransaction& txn : *batch) {
       const uint64_t lsn = txn.lsn;
       Status s = sink_(std::move(txn));
+      if (c_txns_received_ != nullptr) c_txns_received_->Increment();
       std::lock_guard<std::mutex> lock(mu_);
       if (!s.ok()) {
+        TXREP_LOG(kError) << "subscriber sink rejected lsn " << lsn << ": "
+                          << s.ToString();
         health_ = s;
         cv_.notify_all();
         return;

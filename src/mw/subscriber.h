@@ -29,8 +29,9 @@ class SubscriberAgent {
   using TxnSink = std::function<Status(rel::LogTransaction)>;
 
   /// Subscribes on `topic` and starts the receive thread immediately.
-  /// `broker` must outlive the agent.
-  SubscriberAgent(Broker* broker, const std::string& topic, TxnSink sink);
+  /// `broker` (and `metrics`, when given) must outlive the agent.
+  SubscriberAgent(Broker* broker, const std::string& topic, TxnSink sink,
+                  obs::MetricsRegistry* metrics = nullptr);
 
   ~SubscriberAgent();
 
@@ -64,6 +65,9 @@ class SubscriberAgent {
 
   std::atomic<bool> running_{true};
   std::thread receive_thread_;
+
+  obs::Counter* c_txns_received_ = nullptr;
+  Histogram* h_recv_latency_ = nullptr;
 };
 
 }  // namespace txrep::mw

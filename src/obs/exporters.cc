@@ -1,0 +1,248 @@
+#include "obs/exporters.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.h"
+
+namespace txrep::obs {
+
+namespace {
+
+/// Escapes backslash, double quote and control characters for JSON strings
+/// and Prometheus label values (the two formats agree on these escapes).
+std::string Escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// name{k1="v1",k2="v2"} — empty labels render as name{}.
+std::string LabeledName(const MetricPoint& point) {
+  std::string out = point.name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : point.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += Escape(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string LabeledName(const HistogramPoint& point) {
+  return LabeledName(MetricPoint{point.name, point.labels, 0});
+}
+
+std::string FormatDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += Escape(k);
+    out += "\":\"";
+    out += Escape(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Prometheus sample line: name{labels,extra} value. `extra` ("quantile=...")
+/// may be empty; omits the braces entirely when there is nothing to print.
+std::string PromLine(const std::string& name, const Labels& labels,
+                     const std::string& extra, const std::string& value) {
+  std::string out = name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += "=\"";
+      out += Escape(v);
+      out += '"';
+    }
+    if (!extra.empty()) {
+      if (!first) out += ',';
+      out += extra;
+    }
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+  return out;
+}
+
+/// Emits "# TYPE name type" once per metric name.
+void MaybeType(std::string& out, std::set<std::string>& typed,
+               const std::string& name, const char* type) {
+  if (!typed.insert(name).second) return;
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string ToText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricPoint& c : snapshot.counters) {
+    out += "counter ";
+    out += LabeledName(c);
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  for (const MetricPoint& g : snapshot.gauges) {
+    out += "gauge ";
+    out += LabeledName(g);
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+  for (const HistogramPoint& h : snapshot.histograms) {
+    const HistogramSnapshot& s = h.snapshot;
+    out += "histogram ";
+    out += LabeledName(h);
+    out += " count=" + std::to_string(s.count);
+    out += " min=" + std::to_string(s.min);
+    out += " max=" + std::to_string(s.max);
+    out += " mean=" + FormatDouble(s.mean);
+    out += " p50=" + FormatDouble(s.p50);
+    out += " p90=" + FormatDouble(s.p90);
+    out += " p95=" + FormatDouble(s.p95);
+    out += " p99=" + FormatDouble(s.p99);
+    out += " p999=" + FormatDouble(s.p999);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const MetricPoint& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + Escape(c.name) + "\",\"labels\":" +
+           JsonLabels(c.labels) + ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  first = true;
+  for (const MetricPoint& g : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + Escape(g.name) + "\",\"labels\":" +
+           JsonLabels(g.labels) + ",\"value\":" + std::to_string(g.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  first = true;
+  for (const HistogramPoint& h : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + Escape(h.name) + "\",\"labels\":" +
+           JsonLabels(h.labels) + ",\"value\":" + h.snapshot.ToJson() + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> typed;
+  for (const MetricPoint& c : snapshot.counters) {
+    MaybeType(out, typed, c.name, "counter");
+    out += PromLine(c.name, c.labels, "", std::to_string(c.value));
+  }
+  for (const MetricPoint& g : snapshot.gauges) {
+    MaybeType(out, typed, g.name, "gauge");
+    out += PromLine(g.name, g.labels, "", std::to_string(g.value));
+  }
+  for (const HistogramPoint& h : snapshot.histograms) {
+    MaybeType(out, typed, h.name, "summary");
+    const HistogramSnapshot& s = h.snapshot;
+    out += PromLine(h.name, h.labels, "quantile=\"0.5\"", FormatDouble(s.p50));
+    out += PromLine(h.name, h.labels, "quantile=\"0.9\"", FormatDouble(s.p90));
+    out += PromLine(h.name, h.labels, "quantile=\"0.99\"", FormatDouble(s.p99));
+    out +=
+        PromLine(h.name, h.labels, "quantile=\"0.999\"", FormatDouble(s.p999));
+    out += PromLine(h.name + "_sum", h.labels, "", std::to_string(s.sum));
+    out += PromLine(h.name + "_count", h.labels, "", std::to_string(s.count));
+  }
+  return out;
+}
+
+PeriodicReporter::PeriodicReporter(const MetricsRegistry* registry,
+                                   int64_t interval_micros, Sink sink)
+    : registry_(registry),
+      interval_micros_(interval_micros),
+      sink_(std::move(sink)) {
+  if (!sink_) {
+    sink_ = [](const MetricsSnapshot& snapshot) {
+      TXREP_LOG(kInfo) << "metrics snapshot\n" << ToText(snapshot);
+    };
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::microseconds(interval_micros_),
+                 [&] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    sink_(registry_->Snapshot());
+    lock.lock();
+  }
+}
+
+}  // namespace txrep::obs

@@ -1,0 +1,61 @@
+#ifndef TXREP_OBS_EXPORTERS_H_
+#define TXREP_OBS_EXPORTERS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace txrep::obs {
+
+/// Human-readable dump, one instrument per line:
+///   counter txrep_tm_submitted_total{} 42
+///   histogram txrep_stage_latency_us{stage="apply"} count=42 mean=103.2 ...
+std::string ToText(const MetricsSnapshot& snapshot);
+
+/// JSON document with "counters"/"gauges"/"histograms" arrays; histogram
+/// bodies use HistogramSnapshot::ToJson (the shared serialization path).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (0.0.4). Histograms are exported as
+/// summaries (quantile series + _sum + _count) since the internal buckets
+/// are power-of-two, not cumulative-le.
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
+
+/// Background thread that snapshots a registry every `interval_micros` and
+/// hands it to `sink`; with no sink the text dump goes to TXREP_LOG(kInfo).
+/// Stop() (or destruction) halts it; the registry must outlive the reporter.
+class PeriodicReporter {
+ public:
+  using Sink = std::function<void(const MetricsSnapshot&)>;
+
+  PeriodicReporter(const MetricsRegistry* registry, int64_t interval_micros,
+                   Sink sink = nullptr);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops the reporting thread; idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;  // Not owned.
+  const int64_t interval_micros_;
+  Sink sink_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace txrep::obs
+
+#endif  // TXREP_OBS_EXPORTERS_H_

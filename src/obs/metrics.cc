@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace txrep::obs {
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+std::string MetricsRegistry::InstrumentKey(const std::string& name,
+                                           const Labels& labels) {
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(std::map<std::string, Entry<T>>& entries,
+                                const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string key = InstrumentKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries.find(key);
+  if (it == entries.end()) {
+    it = entries
+             .emplace(key, Entry<T>{name, std::move(sorted),
+                                    std::make_unique<T>()})
+             .first;
+  }
+  return it->second.instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return GetOrCreate(counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return GetOrCreate(gauges_, name, labels);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  return GetOrCreate(histograms_, name, labels);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) {
+    snapshot.counters.push_back(
+        MetricPoint{entry.name, entry.labels, entry.instrument->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_) {
+    snapshot.gauges.push_back(
+        MetricPoint{entry.name, entry.labels, entry.instrument->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [key, entry] : histograms_) {
+    snapshot.histograms.push_back(
+        HistogramPoint{entry.name, entry.labels, entry.instrument->Snapshot()});
+  }
+  return snapshot;
+}
+
+size_t MetricsRegistry::InstrumentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace txrep::obs

@@ -1,0 +1,155 @@
+#ifndef TXREP_OBS_METRICS_H_
+#define TXREP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace txrep::obs {
+
+/// Metric labels as key/value pairs, e.g. {{"stage","apply"},{"node","3"}}.
+/// Registries canonicalize them (sorted by key) so label order never
+/// distinguishes instruments.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter, sharded across cache lines so hot-path increments from
+/// many threads (TM pools, KV nodes) never contend on one line. Value() sums
+/// the shards and is exact once the writers have quiesced (or been joined).
+class Counter {
+ public:
+  Counter() = default;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+
+  /// Stable per-thread shard chosen round-robin on first use.
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Instantaneous value: queue depth, slot occupancy, log size. Last write
+/// wins; all accesses relaxed (a gauge is a sample, not a ledger).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One scalar instrument in a snapshot.
+struct MetricPoint {
+  std::string name;
+  Labels labels;
+  int64_t value = 0;
+};
+
+/// One histogram instrument in a snapshot.
+struct HistogramPoint {
+  std::string name;
+  Labels labels;
+  HistogramSnapshot snapshot;
+};
+
+/// Point-in-time view of a whole registry, ordered deterministically
+/// (by name, then by canonical label string). Input to the exporters.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> counters;
+  std::vector<MetricPoint> gauges;
+  std::vector<HistogramPoint> histograms;
+};
+
+/// Thread-safe, get-or-create registry of named instruments.
+///
+/// Lookup (GetCounter/GetGauge/GetHistogram) takes a mutex and is meant for
+/// wiring time: components resolve their instruments once (constructor) and
+/// keep the returned pointers, which stay valid for the registry's lifetime.
+/// The instruments themselves are the hot path and are lock-free (counters,
+/// gauges) or finely locked (histograms).
+///
+/// A TxRepSystem owns one registry per deployment; free-standing components
+/// (benches, tests) create their own or use Default().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; same (name, labels) always returns the same instrument.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Consistent-enough snapshot: each instrument is read atomically, the set
+  /// of instruments is read under the registry lock.
+  MetricsSnapshot Snapshot() const;
+
+  /// Number of registered instruments (all kinds).
+  size_t InstrumentCount() const;
+
+  /// Process-wide default registry, for code with no deployment to hang
+  /// metrics off.
+  static MetricsRegistry& Default();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
+  /// "name{k1="v1",k2="v2"}" with labels sorted by key — the map key and the
+  /// exporters' display form.
+  static std::string InstrumentKey(const std::string& name,
+                                   const Labels& labels);
+
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, Entry<T>>& entries,
+                 const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace txrep::obs
+
+#endif  // TXREP_OBS_METRICS_H_

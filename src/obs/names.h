@@ -1,0 +1,92 @@
+#ifndef TXREP_OBS_NAMES_H_
+#define TXREP_OBS_NAMES_H_
+
+/// Canonical metric names and label values, so every layer agrees on the
+/// naming scheme (documented in DESIGN.md §Observability):
+///
+///   txrep_<area>_<what>[_total|_us]   {label="value", ...}
+///
+/// _total suffix = monotonic counter, _us suffix = microsecond latency
+/// histogram; everything else is a gauge or a unitless histogram.
+namespace txrep::obs {
+
+// --- pipeline stage tracing -------------------------------------------------
+/// Per-stage latency histogram (µs), labeled {stage="..."}; the stages cover
+/// the full Fig. 3 path of one replicated transaction.
+inline constexpr char kStageLatency[] = "txrep_stage_latency_us";
+/// DB commit -> replication message published.
+inline constexpr char kStagePublish[] = "publish";
+/// Message published -> broker handed it to subscriber queues.
+inline constexpr char kStageBroker[] = "broker_deliver";
+/// Broker delivery -> subscriber agent picked the transaction up.
+inline constexpr char kStageReceive[] = "subscriber_recv";
+/// One (re-)execution of the transaction body against its buffer.
+inline constexpr char kStageExecute[] = "execute";
+/// Commit request enqueued -> Algorithm 1 reached a commit decision.
+inline constexpr char kStageCommitEval[] = "commit_eval";
+/// Buffer apply to the key-value store (bottom pool / serial applier).
+inline constexpr char kStageApply[] = "apply";
+/// DB commit -> transaction fully applied on the replica (= replica lag).
+inline constexpr char kStageE2e[] = "e2e";
+
+// --- queue depths -----------------------------------------------------------
+/// Gauge, labeled {queue="..."}.
+inline constexpr char kQueueDepth[] = "txrep_queue_depth";
+inline constexpr char kQueueCommitReqPq[] = "commit_req_pq";
+inline constexpr char kQueueBroker[] = "broker";
+inline constexpr char kQueueTmTop[] = "tm_top_pool";
+inline constexpr char kQueueTmBottom[] = "tm_bottom_pool";
+
+// --- transaction manager ----------------------------------------------------
+inline constexpr char kTmSubmitted[] = "txrep_tm_submitted_total";
+inline constexpr char kTmReadOnlySubmitted[] =
+    "txrep_tm_readonly_submitted_total";
+inline constexpr char kTmCommitted[] = "txrep_tm_committed_total";
+inline constexpr char kTmCompleted[] = "txrep_tm_completed_total";
+inline constexpr char kTmConflicts[] = "txrep_tm_conflicts_total";
+inline constexpr char kTmRestarts[] = "txrep_tm_restarts_total";
+inline constexpr char kTmApplyRetries[] = "txrep_tm_apply_retries_total";
+inline constexpr char kTmGcRuns[] = "txrep_tm_gc_runs_total";
+inline constexpr char kTmGcRemoved[] = "txrep_tm_gc_removed_total";
+inline constexpr char kTmConflictChecks[] = "txrep_tm_conflict_checks_total";
+inline constexpr char kTmClassFilterSkips[] =
+    "txrep_tm_class_filter_skips_total";
+/// Restarts per completed transaction (histogram, unitless).
+inline constexpr char kTmTxnRestarts[] = "txrep_tm_txn_restarts";
+
+// --- database / transaction log ---------------------------------------------
+inline constexpr char kDbCommits[] = "txrep_db_commits_total";
+inline constexpr char kDbCommitLatency[] = "txrep_db_commit_latency_us";
+inline constexpr char kDbTxnOps[] = "txrep_db_txn_ops";
+inline constexpr char kLogAppended[] = "txrep_log_appended_total";
+inline constexpr char kLogSize[] = "txrep_log_size";
+inline constexpr char kLogTruncations[] = "txrep_log_truncations_total";
+inline constexpr char kLogTruncated[] = "txrep_log_truncated_txns_total";
+
+// --- middleware -------------------------------------------------------------
+inline constexpr char kMwMessagesPublished[] =
+    "txrep_mw_messages_published_total";
+inline constexpr char kMwMessagesDelivered[] =
+    "txrep_mw_messages_delivered_total";
+inline constexpr char kMwBatchSize[] = "txrep_mw_batch_size";
+inline constexpr char kMwTxnsReceived[] = "txrep_mw_txns_received_total";
+
+// --- key-value substrate ----------------------------------------------------
+/// Counter, labeled {node="N", op="get"|"put"|"delete"|"get_miss"}.
+inline constexpr char kKvOps[] = "txrep_kv_ops_total";
+/// Per-node op latency histogram (µs), labeled {node="N"}.
+inline constexpr char kKvOpLatency[] = "txrep_kv_op_latency_us";
+/// Service slots currently occupied, labeled {node="N"}.
+inline constexpr char kKvSlotsInUse[] = "txrep_kv_slots_in_use";
+
+// --- replica read path ------------------------------------------------------
+/// SELECT latency on the replica through the reader (µs).
+inline constexpr char kQtSelectLatency[] = "txrep_qt_select_latency_us";
+/// Counter, labeled {plan="pk"|"hash"|"range"}.
+inline constexpr char kQtSelects[] = "txrep_qt_selects_total";
+/// Full read-only transaction latency through TxRepSystem (µs).
+inline constexpr char kReadOnlyLatency[] = "txrep_readonly_txn_latency_us";
+
+}  // namespace txrep::obs
+
+#endif  // TXREP_OBS_NAMES_H_

@@ -7,6 +7,7 @@
 #include "blink/blink_tree.h"
 #include "codec/kv_keys.h"
 #include "codec/row_codec.h"
+#include "common/logging.h"
 
 namespace txrep::qt {
 
@@ -156,6 +157,11 @@ Result<ConsistencyReport> CheckReplicaConsistency(
                                     "\"");
       }
     }
+  }
+  if (!report.violations.empty()) {
+    TXREP_LOG(kWarn) << "replica consistency audit found "
+                     << report.violations.size()
+                     << " violation(s); first: " << report.violations.front();
   }
   return report;
 }

@@ -4,13 +4,23 @@
 
 #include "codec/kv_keys.h"
 #include "codec/row_codec.h"
+#include "common/clock.h"
+#include "obs/names.h"
 #include "rel/select_eval.h"
 
 namespace txrep::qt {
 
 ReplicaReader::ReplicaReader(const rel::Catalog* catalog,
-                             blink::BlinkTreeOptions blink_options)
-    : catalog_(catalog), blink_options_(blink_options) {}
+                             blink::BlinkTreeOptions blink_options,
+                             obs::MetricsRegistry* metrics)
+    : catalog_(catalog), blink_options_(blink_options) {
+  if (metrics != nullptr) {
+    h_select_latency_ = metrics->GetHistogram(obs::kQtSelectLatency);
+    c_plan_pk_ = metrics->GetCounter(obs::kQtSelects, {{"plan", "pk"}});
+    c_plan_hash_ = metrics->GetCounter(obs::kQtSelects, {{"plan", "hash"}});
+    c_plan_range_ = metrics->GetCounter(obs::kQtSelects, {{"plan", "range"}});
+  }
+}
 
 Result<rel::Row> ReplicaReader::GetByPk(kv::KvStore* store,
                                         const std::string& table,
@@ -81,6 +91,7 @@ Result<std::vector<rel::Row>> ReplicaReader::RangeQuery(
 
 Result<std::vector<rel::Row>> ReplicaReader::Select(
     kv::KvStore* store, const rel::SelectStatement& input) const {
+  const int64_t select_start = NowMicros();
   TXREP_ASSIGN_OR_RETURN(const rel::TableSchema* schema,
                          catalog_->GetTable(input.table));
   // Coerce predicate literals to the column types before any index key is
@@ -103,6 +114,7 @@ Result<std::vector<rel::Row>> ReplicaReader::Select(
     } else if (!row.status().IsNotFound()) {
       return row.status();
     }
+    if (c_plan_pk_ != nullptr) c_plan_pk_->Increment();
     planned = true;
     break;
   }
@@ -115,6 +127,7 @@ Result<std::vector<rel::Row>> ReplicaReader::Select(
       if (!schema->HasHashIndexOn(col)) continue;
       TXREP_ASSIGN_OR_RETURN(
           rows, GetByAttribute(store, stmt.table, pred.column, pred.operand));
+      if (c_plan_hash_ != nullptr) c_plan_hash_->Increment();
       planned = true;
       break;
     }
@@ -145,6 +158,7 @@ Result<std::vector<rel::Row>> ReplicaReader::Select(
       }
       TXREP_ASSIGN_OR_RETURN(
           rows, RangeQuery(store, stmt.table, pred.column, lo, hi));
+      if (c_plan_range_ != nullptr) c_plan_range_->Increment();
       planned = true;
       break;
     }
@@ -174,7 +188,12 @@ Result<std::vector<rel::Row>> ReplicaReader::Select(
 
   // Aggregates / ORDER BY / LIMIT / projection — same semantics as the
   // database side (shared evaluator).
-  return rel::EvaluateSelectOutput(*schema, std::move(filtered), stmt);
+  Result<std::vector<rel::Row>> out =
+      rel::EvaluateSelectOutput(*schema, std::move(filtered), stmt);
+  if (h_select_latency_ != nullptr && out.ok()) {
+    h_select_latency_->Record(NowMicros() - select_start);
+  }
+  return out;
 }
 
 }  // namespace txrep::qt

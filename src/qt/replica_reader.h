@@ -7,6 +7,7 @@
 #include "blink/blink_tree.h"
 #include "common/result.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 #include "rel/schema.h"
 #include "rel/statement.h"
 
@@ -28,8 +29,11 @@ namespace txrep::qt {
 /// raw cluster or a transaction buffer (transactional read-only access).
 class ReplicaReader {
  public:
+  /// `metrics` (optional, must outlive the reader) receives the SELECT
+  /// latency histogram and per-plan counters.
   explicit ReplicaReader(const rel::Catalog* catalog,
-                         blink::BlinkTreeOptions blink_options = {});
+                         blink::BlinkTreeOptions blink_options = {},
+                         obs::MetricsRegistry* metrics = nullptr);
 
   /// Fetches one row by primary key (plan 1). NotFound if absent.
   Result<rel::Row> GetByPk(kv::KvStore* store, const std::string& table,
@@ -62,6 +66,11 @@ class ReplicaReader {
 
   const rel::Catalog* catalog_;  // Not owned.
   blink::BlinkTreeOptions blink_options_;
+
+  Histogram* h_select_latency_ = nullptr;
+  obs::Counter* c_plan_pk_ = nullptr;
+  obs::Counter* c_plan_hash_ = nullptr;
+  obs::Counter* c_plan_range_ = nullptr;
 };
 
 }  // namespace txrep::qt

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+#include "obs/names.h"
 #include "rel/select_eval.h"
 
 namespace txrep::rel {
+
+void Database::EnableMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  c_commits_ = metrics->GetCounter(obs::kDbCommits);
+  h_commit_latency_ = metrics->GetHistogram(obs::kDbCommitLatency);
+  h_txn_ops_ = metrics->GetHistogram(obs::kDbTxnOps);
+  log_.EnableMetrics(metrics);
+}
 
 Status Database::CreateTable(TableSchema schema) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -147,6 +157,7 @@ void Database::Rollback(std::vector<UndoRecord>& undo) {
 
 Result<CommitInfo> Database::ExecuteTransaction(
     const std::vector<Statement>& statements) {
+  const int64_t start = NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<LogOp> log_ops;
   std::vector<UndoRecord> undo;
@@ -171,7 +182,11 @@ Result<CommitInfo> Database::ExecuteTransaction(
     }
   }
 
+  const int64_t num_ops = static_cast<int64_t>(log_ops.size());
   info.lsn = log_.Append(std::move(log_ops));
+  if (c_commits_ != nullptr) c_commits_->Increment();
+  if (h_commit_latency_ != nullptr) h_commit_latency_->Record(NowMicros() - start);
+  if (h_txn_ops_ != nullptr) h_txn_ops_->Record(num_ops);
   return info;
 }
 

@@ -67,6 +67,10 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   TxLog& log() { return log_; }
 
+  /// Publishes commit counters/latency (and the log's metrics) into `metrics`
+  /// (must outlive the database).
+  void EnableMetrics(obs::MetricsRegistry* metrics);
+
   /// Row count of `table`, or NotFound.
   Result<size_t> TableSize(const std::string& table) const;
 
@@ -99,6 +103,10 @@ class Database {
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   TxLog log_;
+
+  obs::Counter* c_commits_ = nullptr;
+  Histogram* h_commit_latency_ = nullptr;
+  Histogram* h_txn_ops_ = nullptr;
 };
 
 }  // namespace txrep::rel

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "obs/names.h"
 
 namespace txrep::rel {
 
@@ -36,6 +37,14 @@ bool operator==(const LogOp& a, const LogOp& b) {
          a.after == b.after;
 }
 
+void TxLog::EnableMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  c_appended_ = metrics->GetCounter(obs::kLogAppended);
+  c_truncations_ = metrics->GetCounter(obs::kLogTruncations);
+  c_truncated_ = metrics->GetCounter(obs::kLogTruncated);
+  g_size_ = metrics->GetGauge(obs::kLogSize);
+}
+
 uint64_t TxLog::Append(std::vector<LogOp> ops) {
   if (ops.empty()) return 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -44,6 +53,8 @@ uint64_t TxLog::Append(std::vector<LogOp> ops) {
   entry.commit_micros = NowMicros();
   entry.ops = std::move(ops);
   entries_.push_back(std::move(entry));
+  if (c_appended_ != nullptr) c_appended_->Increment();
+  if (g_size_ != nullptr) g_size_->Set(static_cast<int64_t>(entries_.size()));
   return entries_.back().lsn;
 }
 
@@ -76,7 +87,11 @@ void TxLog::TruncateUpTo(uint64_t up_to_lsn) {
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), up_to_lsn,
       [](uint64_t lsn, const LogTransaction& t) { return lsn < t.lsn; });
+  const int64_t dropped = std::distance(entries_.begin(), it);
   entries_.erase(entries_.begin(), it);
+  if (c_truncations_ != nullptr) c_truncations_->Increment();
+  if (c_truncated_ != nullptr) c_truncated_->Increment(dropped);
+  if (g_size_ != nullptr) g_size_->Set(static_cast<int64_t>(entries_.size()));
 }
 
 }  // namespace txrep::rel

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rel/value.h"
 
 namespace txrep::rel {
@@ -70,10 +71,19 @@ class TxLog {
   /// replica acknowledged them). Reads of truncated ranges return nothing.
   void TruncateUpTo(uint64_t up_to_lsn);
 
+  /// Publishes append/size/truncation metrics into `metrics` (must outlive
+  /// the log).
+  void EnableMetrics(obs::MetricsRegistry* metrics);
+
  private:
   mutable std::mutex mu_;
   std::vector<LogTransaction> entries_;  // entries_[i].lsn strictly increasing.
   uint64_t next_lsn_ = 1;
+
+  obs::Counter* c_appended_ = nullptr;
+  obs::Counter* c_truncations_ = nullptr;
+  obs::Counter* c_truncated_ = nullptr;
+  obs::Gauge* g_size_ = nullptr;
 };
 
 }  // namespace txrep::rel

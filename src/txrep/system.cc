@@ -4,15 +4,24 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "obs/names.h"
 
 namespace txrep {
 
 TxRepSystem::TxRepSystem(TxRepOptions options)
     : options_(std::move(options)) {
-  cluster_ = std::make_unique<kv::KvCluster>(options_.cluster);
+  cluster_ = std::make_unique<kv::KvCluster>(options_.cluster, &registry_);
+  db_.EnableMetrics(&registry_);
+  h_readonly_latency_ = registry_.GetHistogram(obs::kReadOnlyLatency);
+  if (options_.metrics_report_interval_micros > 0) {
+    reporter_ = std::make_unique<obs::PeriodicReporter>(
+        &registry_, options_.metrics_report_interval_micros,
+        options_.metrics_report_sink);
+  }
 }
 
 TxRepSystem::~TxRepSystem() {
+  reporter_.reset();  // Stop sampling before the pipeline tears down.
   if (publisher_ != nullptr) publisher_->Stop();
   if (broker_ != nullptr) broker_->Shutdown();   // Unblocks the subscriber.
   if (subscriber_ != nullptr) subscriber_->Stop();
@@ -27,7 +36,8 @@ Status TxRepSystem::Start() {
   }
   translator_ = std::make_unique<qt::QueryTranslator>(&db_.catalog(),
                                                       options_.blink);
-  reader_ = std::make_unique<qt::ReplicaReader>(&db_.catalog(), options_.blink);
+  reader_ = std::make_unique<qt::ReplicaReader>(&db_.catalog(), options_.blink,
+                                                &registry_);
 
   // Initial copy: the replica starts from the current snapshot; only
   // transactions after this point are shipped.
@@ -37,25 +47,25 @@ Status TxRepSystem::Start() {
 
   if (options_.concurrent_replication) {
     tm_ = std::make_unique<core::TransactionManager>(
-        cluster_.get(), translator_.get(), options_.tm);
+        cluster_.get(), translator_.get(), options_.tm, &registry_);
   } else {
-    serial_ =
-        std::make_unique<core::SerialApplier>(cluster_.get(), translator_.get());
+    serial_ = std::make_unique<core::SerialApplier>(
+        cluster_.get(), translator_.get(), &registry_);
   }
 
   if (options_.measure_lag) {
     lag_thread_ = std::thread([this] { LagLoop(); });
   }
 
-  broker_ = std::make_unique<mw::Broker>(options_.broker);
+  broker_ = std::make_unique<mw::Broker>(options_.broker, &registry_);
   mw::PublisherOptions pub_options = options_.publisher;
   pub_options.start_after_lsn = snapshot_lsn;
-  publisher_ =
-      std::make_unique<mw::PublisherAgent>(&db_.log(), broker_.get(),
-                                           pub_options);
+  publisher_ = std::make_unique<mw::PublisherAgent>(
+      &db_.log(), broker_.get(), pub_options, &registry_);
   subscriber_ = std::make_unique<mw::SubscriberAgent>(
       broker_.get(), pub_options.topic,
-      [this](rel::LogTransaction txn) { return ApplySink(std::move(txn)); });
+      [this](rel::LogTransaction txn) { return ApplySink(std::move(txn)); },
+      &registry_);
   publisher_->Start();
   started_ = true;
   return Status::OK();
@@ -117,12 +127,14 @@ Result<std::vector<rel::Row>> TxRepSystem::QueryReplica(
   if (tm_ == nullptr) {
     return QueryReplicaNonTransactional(stmt);
   }
+  const int64_t start = NowMicros();
   auto rows = std::make_shared<std::vector<rel::Row>>();
   auto handle = tm_->SubmitReadOnly([this, stmt, rows](kv::KvStore* view) {
     TXREP_ASSIGN_OR_RETURN(*rows, reader_->Select(view, stmt));
     return Status::OK();
   });
   TXREP_RETURN_IF_ERROR(handle->Wait());
+  h_readonly_latency_->Record(NowMicros() - start);
   return std::move(*rows);
 }
 
@@ -132,12 +144,17 @@ Status TxRepSystem::RunReadOnlyTransaction(
   if (!started_) {
     return Status::FailedPrecondition("TxRepSystem not started");
   }
+  const int64_t start = NowMicros();
+  Status status;
   if (tm_ == nullptr) {
-    return body(cluster_.get(), *reader_);
+    status = body(cluster_.get(), *reader_);
+  } else {
+    auto handle = tm_->SubmitReadOnly(
+        [this, &body](kv::KvStore* view) { return body(view, *reader_); });
+    status = handle->Wait();
   }
-  auto handle = tm_->SubmitReadOnly(
-      [this, &body](kv::KvStore* view) { return body(view, *reader_); });
-  return handle->Wait();
+  if (status.ok()) h_readonly_latency_->Record(NowMicros() - start);
+  return status;
 }
 
 Result<std::vector<rel::Row>> TxRepSystem::QueryReplicaNonTransactional(

@@ -16,6 +16,8 @@
 #include "mw/broker.h"
 #include "mw/publisher.h"
 #include "mw/subscriber.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "qt/consistency_checker.h"
 #include "qt/query_translator.h"
 #include "qt/replica_reader.h"
@@ -46,6 +48,13 @@ struct TxRepOptions {
 
   /// Record per-transaction replication lag (DB commit -> replica apply).
   bool measure_lag = false;
+
+  /// > 0: a background reporter thread dumps the metrics registry at this
+  /// interval (to the log by default, or to `metrics_report_sink`).
+  int64_t metrics_report_interval_micros = 0;
+
+  /// Optional sink for the periodic reporter (null = log a text dump).
+  obs::PeriodicReporter::Sink metrics_report_sink;
 };
 
 /// The whole TxRep deployment of paper Fig. 3 in one object:
@@ -108,6 +117,12 @@ class TxRepSystem {
   /// TM statistics (zeros under the serial baseline).
   core::TmStats tm_stats() const;
 
+  /// The deployment's metrics registry: every layer (database, log, broker,
+  /// publisher, subscriber, TM / serial applier, KV nodes, replica reader)
+  /// publishes its instruments here. Snapshot + export via obs/exporters.h.
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
   /// Replication lag distribution in microseconds (empty unless
   /// options.measure_lag).
   const Histogram& lag_histogram() const { return lag_histogram_; }
@@ -138,6 +153,10 @@ class TxRepSystem {
   Status ApplySink(rel::LogTransaction txn);
   void LagLoop();
 
+  /// Declared first so it is destroyed last: every component below holds
+  /// instrument pointers into it.
+  obs::MetricsRegistry registry_;
+
   TxRepOptions options_;
   rel::Database db_;
   std::unique_ptr<kv::KvCluster> cluster_;
@@ -155,6 +174,11 @@ class TxRepSystem {
 
   uint64_t snapshot_lsn_ = 0;  // Transactions <= this came via the snapshot.
   bool started_ = false;
+
+  Histogram* h_readonly_latency_ = nullptr;
+
+  /// Declared last so it stops before anything it samples is destroyed.
+  std::unique_ptr<obs::PeriodicReporter> reporter_;
 };
 
 }  // namespace txrep

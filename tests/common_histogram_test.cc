@@ -66,6 +66,53 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0);
 }
 
+TEST(HistogramTest, P999TracksTail) {
+  Histogram h;
+  for (int i = 0; i < 998; ++i) h.Record(10);
+  h.Record(100000);
+  h.Record(100000);
+  // The outliers dominate the 99.9th percentile but not the median.
+  EXPECT_GT(h.P999(), 1000.0);
+  EXPECT_LT(h.Percentile(0.5), 20.0);
+  EXPECT_LE(h.P999(), 100000.0);
+}
+
+TEST(HistogramTest, SnapshotIsConsistent) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40, 50}) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.min, 10);
+  EXPECT_EQ(s.max, 50);
+  EXPECT_EQ(s.sum, 150);
+  EXPECT_DOUBLE_EQ(s.mean, 30.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, static_cast<double>(s.max));
+}
+
+TEST(HistogramTest, EmptySnapshotAllZero) {
+  HistogramSnapshot s = Histogram().Snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p999, 0.0);
+}
+
+TEST(HistogramTest, ToJsonSingleSampleAtBucketBoundary) {
+  // 4 is a bucket lower bound, so interpolation caps every percentile at the
+  // sample itself and the JSON is fully deterministic.
+  Histogram h;
+  h.Record(4);
+  EXPECT_EQ(h.ToJson(),
+            "{\"count\":1,\"min\":4,\"max\":4,\"sum\":4,\"mean\":4,"
+            "\"p50\":4,\"p90\":4,\"p95\":4,\"p99\":4,\"p999\":4}");
+}
+
 TEST(HistogramTest, ToStringMentionsCount) {
   Histogram h;
   h.Record(7);

@@ -1,0 +1,82 @@
+// Logger unit tests: level filtering happens before the sink, the sink
+// replaces stderr, and the line format carries level + location.
+
+#include "common/logging.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep {
+namespace {
+
+/// Restores the global level and sink even when an assertion fails.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      lines_.emplace_back(level, line);
+    });
+  }
+
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelFilteringDropsBelowThreshold) {
+  SetLogLevel(LogLevel::kWarn);
+  TXREP_LOG(kDebug) << "debug line";
+  TXREP_LOG(kInfo) << "info line";
+  TXREP_LOG(kWarn) << "warn line";
+  TXREP_LOG(kError) << "error line";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kWarn);
+  EXPECT_NE(lines_[0].second.find("warn line"), std::string::npos);
+  EXPECT_EQ(lines_[1].first, LogLevel::kError);
+  EXPECT_NE(lines_[1].second.find("error line"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DefaultThresholdPassesInfo) {
+  SetLogLevel(LogLevel::kInfo);
+  TXREP_LOG(kDebug) << "hidden";
+  TXREP_LOG(kInfo) << "visible";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LineCarriesLevelNameAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  TXREP_LOG(kError) << "boom " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0].second;
+  EXPECT_NE(line.find("[ERROR "), std::string::npos);
+  EXPECT_NE(line.find("common_logging_test.cc:"), std::string::npos);
+  EXPECT_NE(line.find("boom 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, GetLogLevelReflectsSetLogLevel) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LogLevelNameTest, AllLevelsNamed) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace txrep

@@ -1,0 +1,122 @@
+// Exporter golden-output tests. The fixture registry is built so every
+// number is deterministic: a single histogram sample whose value is a bucket
+// lower bound reports that value for min/max/mean and all percentiles
+// (interpolation is capped at max), so the rendered strings are exact.
+
+#include "obs/exporters.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace txrep::obs {
+namespace {
+
+MetricsSnapshot FixtureSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("txrep_test_ops_total", {{"op", "put"}, {"node", "0"}})
+      ->Increment(3);
+  registry.GetGauge("txrep_test_depth")->Set(7);
+  registry.GetHistogram("txrep_test_latency_us", {{"stage", "apply"}})
+      ->Record(4);
+  return registry.Snapshot();
+}
+
+TEST(ExportersTest, TextGolden) {
+  EXPECT_EQ(ToText(FixtureSnapshot()),
+            "counter txrep_test_ops_total{node=\"0\",op=\"put\"} 3\n"
+            "gauge txrep_test_depth{} 7\n"
+            "histogram txrep_test_latency_us{stage=\"apply\"} count=1 min=4 "
+            "max=4 mean=4 p50=4 p90=4 p95=4 p99=4 p999=4\n");
+}
+
+TEST(ExportersTest, JsonGolden) {
+  EXPECT_EQ(
+      ToJson(FixtureSnapshot()),
+      "{\n"
+      "  \"counters\": [\n"
+      "    {\"name\":\"txrep_test_ops_total\","
+      "\"labels\":{\"node\":\"0\",\"op\":\"put\"},\"value\":3}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\":\"txrep_test_depth\",\"labels\":{},\"value\":7}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\":\"txrep_test_latency_us\","
+      "\"labels\":{\"stage\":\"apply\"},"
+      "\"value\":{\"count\":1,\"min\":4,\"max\":4,\"sum\":4,\"mean\":4,"
+      "\"p50\":4,\"p90\":4,\"p95\":4,\"p99\":4,\"p999\":4}}\n"
+      "  ]\n"
+      "}\n");
+}
+
+TEST(ExportersTest, PrometheusGolden) {
+  EXPECT_EQ(ToPrometheus(FixtureSnapshot()),
+            "# TYPE txrep_test_ops_total counter\n"
+            "txrep_test_ops_total{node=\"0\",op=\"put\"} 3\n"
+            "# TYPE txrep_test_depth gauge\n"
+            "txrep_test_depth 7\n"
+            "# TYPE txrep_test_latency_us summary\n"
+            "txrep_test_latency_us{stage=\"apply\",quantile=\"0.5\"} 4\n"
+            "txrep_test_latency_us{stage=\"apply\",quantile=\"0.9\"} 4\n"
+            "txrep_test_latency_us{stage=\"apply\",quantile=\"0.99\"} 4\n"
+            "txrep_test_latency_us{stage=\"apply\",quantile=\"0.999\"} 4\n"
+            "txrep_test_latency_us_sum{stage=\"apply\"} 4\n"
+            "txrep_test_latency_us_count{stage=\"apply\"} 1\n");
+}
+
+TEST(ExportersTest, EmptySnapshotRenders) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(ToText(empty), "");
+  EXPECT_EQ(ToJson(empty),
+            "{\n  \"counters\": [],\n  \"gauges\": [],\n"
+            "  \"histograms\": []\n}\n");
+  EXPECT_EQ(ToPrometheus(empty), "");
+}
+
+TEST(ExportersTest, PrometheusEmitsTypeHeaderOncePerName) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops_total", {{"node", "0"}})->Increment();
+  registry.GetCounter("ops_total", {{"node", "1"}})->Increment();
+  const std::string out = ToPrometheus(registry.Snapshot());
+  size_t first = out.find("# TYPE ops_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("# TYPE ops_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(ExportersTest, EscapesQuotesAndBackslashesInLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"k", "a\"b\\c"}})->Increment();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_NE(ToText(snapshot).find("k=\"a\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(ToJson(snapshot).find("\"k\":\"a\\\"b\\\\c\""),
+            std::string::npos);
+}
+
+TEST(PeriodicReporterTest, InvokesSinkRepeatedlyAndStops) {
+  MetricsRegistry registry;
+  registry.GetCounter("ticks_total")->Increment();
+  std::atomic<int> calls{0};
+  {
+    PeriodicReporter reporter(&registry, /*interval_micros=*/1000,
+                              [&calls](const MetricsSnapshot& snapshot) {
+                                EXPECT_EQ(snapshot.counters.size(), 1u);
+                                calls.fetch_add(1);
+                              });
+    while (calls.load() < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    reporter.Stop();
+    reporter.Stop();  // Idempotent.
+  }
+  const int after_stop = calls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(calls.load(), after_stop);
+}
+
+}  // namespace
+}  // namespace txrep::obs

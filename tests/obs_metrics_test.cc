@@ -1,0 +1,126 @@
+// MetricsRegistry unit tests: get-or-create identity, label
+// canonicalization, snapshot determinism, and exact counting under
+// concurrent writers (the property the sharded counters exist for).
+
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace txrep::obs {
+namespace {
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops_total", {{"node", "0"}});
+  Counter* b = registry.GetCounter("ops_total", {{"node", "0"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("ops_total", {{"node", "1"}}));
+  EXPECT_NE(a, registry.GetCounter("other_total", {{"node", "0"}}));
+  EXPECT_EQ(registry.InstrumentCount(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotDistinguishInstruments) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops", {{"op", "put"}, {"node", "2"}});
+  Counter* b = registry.GetCounter("ops", {{"node", "2"}, {"op", "put"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.InstrumentCount(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindsAreIndependentNamespaces) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  registry.GetGauge("x");
+  registry.GetHistogram("x");
+  EXPECT_EQ(registry.InstrumentCount(), 3u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddValue) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth");
+  EXPECT_EQ(g->Value(), 0);
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+}
+
+TEST(MetricsRegistryTest, CounterExactUnderConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hits_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndIncrementIsExact) {
+  // Threads race on instrument *creation* as well as on increments; every
+  // thread must land on the same instrument per (name, label) pair.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string node = std::to_string(t % 2);
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("ops_total", {{"node", node}})->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.InstrumentCount(), 2u);
+  const int64_t total =
+      registry.GetCounter("ops_total", {{"node", "0"}})->Value() +
+      registry.GetCounter("ops_total", {{"node", "1"}})->Value();
+  EXPECT_EQ(total, int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total")->Increment(2);
+  registry.GetCounter("a_total", {{"node", "1"}})->Increment(1);
+  registry.GetCounter("a_total", {{"node", "0"}})->Increment(3);
+  registry.GetGauge("depth")->Set(5);
+  registry.GetHistogram("lat_us")->Record(4);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "a_total");
+  ASSERT_EQ(snapshot.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].labels[0].second, "0");
+  EXPECT_EQ(snapshot.counters[0].value, 3);
+  EXPECT_EQ(snapshot.counters[1].labels[0].second, "1");
+  EXPECT_EQ(snapshot.counters[2].name, "b_total");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].snapshot.count, 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotStoresCanonicalSortedLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops", {{"zz", "1"}, {"aa", "2"}})->Increment();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  ASSERT_EQ(snapshot.counters[0].labels.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].labels[0].first, "aa");
+  EXPECT_EQ(snapshot.counters[0].labels[1].first, "zz");
+}
+
+TEST(MetricsRegistryTest, DefaultRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace txrep::obs
