@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus optional sanitizer passes.
+# Tier-1 verification, sanitizer passes, and the full correctness matrix.
 #
 #   scripts/ci.sh            # plain build + full ctest (the tier-1 gate)
 #   scripts/ci.sh tsan       # + ThreadSanitizer pass over obs/core/mw tests
-#   scripts/ci.sh asan       # + AddressSanitizer pass over the same set
+#   scripts/ci.sh asan       # + ASan+UBSan pass over the same set
 #   scripts/ci.sh all        # plain + tsan + asan
+#   scripts/ci.sh --matrix   # every flavor below; fails on the first red
 #
-# Sanitizer builds go to build-tsan/ / build-asan/ so they never disturb the
-# primary build/ tree.
+# Matrix flavors (DESIGN.md §8):
+#   release      plain build, full test suite (the tier-1 gate)
+#   tsan         ThreadSanitizer over the concurrency-heavy tests
+#   asan-ubsan   AddressSanitizer + UBSanitizer over the same set
+#   debug-checks -DTXREP_DEBUG_CHECKS=ON: runtime lock-order registry +
+#                TM invariant audits active during the full suite
+#   annotations  clang -Werror=thread-safety compile of everything
+#                (SKIP when clang++ is not installed)
+#   tidy         clang-tidy with the checked-in .clang-tidy
+#                (SKIP when clang-tidy is not installed)
+#   lint         scripts/lint.sh (raw-mutex & metric-name rules)
+#
+# Each flavor builds into its own build-<flavor>/ tree so nothing disturbs
+# the primary build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,32 +28,105 @@ MODE="${1:-plain}"
 
 # Concurrency-heavy tests worth re-running under a sanitizer: the metrics
 # hot paths (sharded counters, gauges, histograms), the TM pools that hammer
-# them, and the middleware threads that stamp stage latencies.
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|txrep_system'
+# them, the middleware threads that stamp stage latencies, and the
+# correctness-tooling suites themselves.
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_'
+
+# Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
+RESULTS=()
+
+note() { RESULTS+=("$1	$2"); }
+
+print_summary() {
+  echo
+  echo "=== matrix summary ==="
+  printf '%-14s %s\n' "flavor" "result"
+  printf '%-14s %s\n' "------" "------"
+  for row in "${RESULTS[@]}"; do
+    printf '%-14s %s\n' "${row%%	*}" "${row#*	}"
+  done
+}
 
 run_plain() {
-  echo "=== plain build + full test suite ==="
+  echo "=== release: plain build + full test suite ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)"
   (cd build && ctest --output-on-failure -j"$(nproc)")
+  note release PASS
 }
 
 run_sanitized() {
-  local kind="$1" dir="build-$1"
-  echo "=== ${kind} sanitizer pass (${SANITIZER_TESTS}) ==="
+  local kind="$1" dir="build-$1" label="$2"
+  echo "=== ${label}: sanitizer pass (${SANITIZER_TESTS}) ==="
   cmake -B "${dir}" -S . -DTXREP_SANITIZE="${kind}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${dir}" -j"$(nproc)"
   (cd "${dir}" && ctest --output-on-failure -j"$(nproc)" \
     -R "${SANITIZER_TESTS}")
+  note "${label}" PASS
+}
+
+run_debug_checks() {
+  echo "=== debug-checks: runtime lock-order + invariant checkers ==="
+  cmake -B build-debug-checks -S . -DTXREP_DEBUG_CHECKS=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-debug-checks -j"$(nproc)"
+  (cd build-debug-checks && ctest --output-on-failure -j"$(nproc)")
+  note debug-checks PASS
+}
+
+run_annotations() {
+  echo "=== annotations: clang -Werror=thread-safety ==="
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "annotations: SKIP (clang++ not installed)"
+    note annotations "SKIP (no clang++)"
+    return 0
+  fi
+  cmake -B build-annotations -S . \
+    -DCMAKE_CXX_COMPILER=clang++ -DTXREP_THREAD_SAFETY_ANALYSIS=ON >/dev/null
+  cmake --build build-annotations -j"$(nproc)"
+  note annotations PASS
+}
+
+run_tidy() {
+  echo "=== tidy: clang-tidy over src/ ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "tidy: SKIP (clang-tidy not installed)"
+    note tidy "SKIP (no clang-tidy)"
+    return 0
+  fi
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  local files
+  files=$(find src -name '*.cc')
+  # shellcheck disable=SC2086
+  clang-tidy -p build-tidy --quiet ${files}
+  note tidy PASS
+}
+
+run_lint() {
+  echo "=== lint: project grep rules ==="
+  scripts/lint.sh
+  note lint PASS
+}
+
+run_matrix() {
+  run_plain
+  run_sanitized thread tsan
+  run_sanitized address asan-ubsan
+  run_debug_checks
+  run_annotations
+  run_tidy
+  run_lint
+  print_summary
 }
 
 case "${MODE}" in
   plain) run_plain ;;
-  tsan) run_plain; run_sanitized thread ;;
-  asan) run_plain; run_sanitized address ;;
-  all) run_plain; run_sanitized thread; run_sanitized address ;;
-  *) echo "usage: $0 [plain|tsan|asan|all]" >&2; exit 2 ;;
+  tsan) run_plain; run_sanitized thread tsan ;;
+  asan) run_plain; run_sanitized address asan-ubsan ;;
+  all) run_plain; run_sanitized thread tsan; run_sanitized address asan-ubsan ;;
+  --matrix|matrix) run_matrix ;;
+  *) echo "usage: $0 [plain|tsan|asan|all|--matrix]" >&2; exit 2 ;;
 esac
 
 echo "ci: OK (${MODE})"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Project-specific lint rules that grep can enforce (no clang-tidy needed):
+#
+#  1. All locking in src/ goes through the annotated wrappers in
+#     src/check/mutex.h. Raw std::mutex & friends defeat both the clang
+#     thread-safety analysis and the runtime lock-order registry, so they are
+#     forbidden outside src/check/ itself.
+#
+#  2. Metric name literals ("txrep_...") live only in src/obs/names.h; every
+#     other file must use the named constants so dashboards and tests agree
+#     on one spelling (DESIGN.md §Observability).
+#
+# Exits non-zero listing every offending line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+raw_locks=$(grep -rnE \
+  'std::(mutex|shared_mutex|recursive_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)' \
+  src --include='*.h' --include='*.cc' \
+  | grep -v '^src/check/' || true)
+if [[ -n "${raw_locks}" ]]; then
+  echo "lint: raw std locking outside src/check/ (use check::Mutex et al.):"
+  echo "${raw_locks}"
+  fail=1
+fi
+
+metric_literals=$(grep -rn '"txrep_' \
+  src --include='*.h' --include='*.cc' \
+  | grep -v '^src/obs/names\.h' || true)
+if [[ -n "${metric_literals}" ]]; then
+  echo "lint: metric name literals outside src/obs/names.h (use the constants):"
+  echo "${metric_literals}"
+  fail=1
+fi
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -1,0 +1,96 @@
+#ifndef TXREP_CHECK_ANNOTATIONS_H_
+#define TXREP_CHECK_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (DESIGN.md §8).
+///
+/// Every mutex-protected field in the codebase is annotated with
+/// TXREP_GUARDED_BY, every `*Locked()` helper with TXREP_REQUIRES, and the
+/// check::Mutex / check::MutexLock wrappers carry the capability attributes,
+/// so that a clang build with `-Werror=thread-safety` (the `annotations`
+/// flavor of scripts/ci.sh --matrix) statically proves the locking
+/// discipline. Under compilers without the attributes (GCC) the macros expand
+/// to nothing and the code is unchanged.
+///
+/// Naming follows the "modern" capability spellings of
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TXREP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef TXREP_THREAD_ANNOTATION
+#define TXREP_THREAD_ANNOTATION(x)  // No-op outside clang.
+#endif
+
+/// Marks a class as a lockable capability, e.g.
+///   class TXREP_CAPABILITY("mutex") Mutex { ... };
+#define TXREP_CAPABILITY(x) TXREP_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII class that acquires in its constructor / releases in its
+/// destructor (MutexLock).
+#define TXREP_SCOPED_CAPABILITY TXREP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given mutex:
+///   std::deque<T> items_ TXREP_GUARDED_BY(mu_);
+#define TXREP_GUARDED_BY(x) TXREP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer itself) is guarded by the given mutex.
+#define TXREP_PT_GUARDED_BY(x) TXREP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the given mutex(es) — the
+/// convention for `FooLocked()` helpers.
+#define TXREP_REQUIRES(...) \
+  TXREP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of TXREP_REQUIRES.
+#define TXREP_REQUIRES_SHARED(...) \
+  TXREP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex and holds it past return (Mutex::Lock,
+/// MutexLock constructor).
+#define TXREP_ACQUIRE(...) \
+  TXREP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define TXREP_ACQUIRE_SHARED(...) \
+  TXREP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex (Mutex::Unlock, MutexLock destructor).
+#define TXREP_RELEASE(...) \
+  TXREP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define TXREP_RELEASE_SHARED(...) \
+  TXREP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the return value meaning
+/// success, e.g. bool TryLock() TXREP_TRY_ACQUIRE(true).
+#define TXREP_TRY_ACQUIRE(...) \
+  TXREP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the given mutex held (prevents
+/// self-deadlock on non-reentrant locks).
+#define TXREP_EXCLUDES(...) TXREP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the mutex; informs the
+/// static analysis without acquiring.
+#define TXREP_ASSERT_CAPABILITY(x) \
+  TXREP_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns a reference/pointer to the given capability (accessor functions).
+#define TXREP_RETURN_CAPABILITY(x) TXREP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Static lock-order declaration: this mutex must be acquired after `...`.
+#define TXREP_ACQUIRED_AFTER(...) \
+  TXREP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define TXREP_ACQUIRED_BEFORE(...) \
+  TXREP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Escape hatch for functions whose locking pattern the analysis cannot
+/// express (adopt-lock tricks, conditional locking). Use sparingly; every use
+/// should cite why.
+#define TXREP_NO_THREAD_SAFETY_ANALYSIS \
+  TXREP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TXREP_CHECK_ANNOTATIONS_H_

@@ -1,0 +1,134 @@
+#include "check/lock_order.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+
+namespace txrep::check {
+
+namespace {
+
+struct HeldLock {
+  const void* id;
+  const char* name;
+};
+
+/// Chain of locks held by this thread, outermost first.
+thread_local std::vector<HeldLock> t_held;
+
+std::string ChainString(const std::vector<HeldLock>& chain) {
+  std::string out;
+  for (const HeldLock& held : chain) {
+    if (!out.empty()) out += " -> ";
+    out += held.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+struct LockOrderRegistry::Impl {
+  // Raw std::mutex on purpose: the checker cannot run on itself.
+  mutable std::mutex mu;
+  // Directed order edges over mutex names: edges["a"] contains "b" iff some
+  // thread held "a" while acquiring "b".
+  std::map<std::string, std::set<std::string>> edges;
+
+  /// True iff `to` is reachable from `from` over recorded edges.
+  bool ReachableLocked(const std::string& from, const std::string& to) const {
+    std::vector<const std::string*> stack = {&from};
+    std::set<std::string> visited;
+    while (!stack.empty()) {
+      const std::string& node = *stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!visited.insert(node).second) continue;
+      auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const std::string& next : it->second) stack.push_back(&next);
+    }
+    return false;
+  }
+};
+
+LockOrderRegistry::Impl& LockOrderRegistry::impl() const {
+  static Impl* impl = new Impl();  // Leaked: outlives static-destruction races.
+  return *impl;
+}
+
+LockOrderRegistry& LockOrderRegistry::Instance() {
+  static LockOrderRegistry* instance = new LockOrderRegistry();
+  return *instance;
+}
+
+std::optional<std::string> LockOrderRegistry::NoteAcquire(const void* id,
+                                                          const char* name) {
+  (void)id;
+  if (name == nullptr || t_held.empty()) return std::nullopt;
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const HeldLock& held : t_held) {
+    const std::string from(held.name);
+    const std::string to(name);
+    if (from == to) {
+      return "lock-order violation: acquiring \"" + to +
+             "\" while already holding a lock of the same name (chain: " +
+             ChainString(t_held) + " -> " + to + ")";
+    }
+    // Adding from -> to closes a cycle iff `from` is already reachable
+    // from `to`.
+    if (state.ReachableLocked(to, from)) {
+      return "lock-order violation: acquiring \"" + to +
+             "\" while holding \"" + from + "\" inverts the established \"" +
+             to + "\" -> ... -> \"" + from + "\" order (chain: " +
+             ChainString(t_held) + " -> " + to + ")";
+    }
+    state.edges[from].insert(to);
+  }
+  return std::nullopt;
+}
+
+void LockOrderRegistry::NoteAcquired(const void* id, const char* name) {
+  if (name == nullptr) return;
+  t_held.push_back(HeldLock{id, name});
+}
+
+void LockOrderRegistry::NoteReleased(const void* id) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<std::string> LockOrderRegistry::HeldByThisThread() const {
+  std::vector<std::string> names;
+  names.reserve(t_held.size());
+  for (const HeldLock& held : t_held) names.emplace_back(held.name);
+  return names;
+}
+
+size_t LockOrderRegistry::EdgeCount() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  size_t count = 0;
+  for (const auto& [from, tos] : state.edges) count += tos.size();
+  return count;
+}
+
+void LockOrderRegistry::ClearEdges() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.edges.clear();
+}
+
+void DieOnLockOrderViolation(const std::string& violation) {
+  TXREP_LOG(kError) << violation;
+  std::abort();
+}
+
+}  // namespace txrep::check

@@ -1,0 +1,217 @@
+#ifndef TXREP_CHECK_MUTEX_H_
+#define TXREP_CHECK_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "check/annotations.h"
+
+#ifdef TXREP_DEBUG_CHECKS
+#include "check/lock_order.h"
+#endif
+
+namespace txrep::check {
+
+/// Annotated wrapper around std::mutex — the only mutex the codebase uses
+/// outside src/check/ (enforced by scripts/lint.sh). It buys two things over
+/// the raw type:
+///
+///  - clang thread-safety analysis: the capability attributes plus the
+///    TXREP_GUARDED_BY field annotations let `-Werror=thread-safety` prove
+///    at compile time that guarded state is only touched under its lock;
+///  - runtime lock-order checking: in TXREP_DEBUG_CHECKS builds every
+///    acquisition is recorded in the LockOrderRegistry and a cycle in the
+///    acquisition-order graph (potential deadlock) aborts immediately.
+///
+/// `name` must be a string literal (it is stored, not copied) and names the
+/// node in the lock-order graph; pass nullptr to opt a mutex out of order
+/// checking (e.g. per-instance locks with an external ordering protocol).
+class TXREP_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = nullptr) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TXREP_ACQUIRE() {
+#ifdef TXREP_DEBUG_CHECKS
+    auto violation = LockOrderRegistry::Instance().NoteAcquire(this, name_);
+    if (violation.has_value()) DieOnLockOrderViolation(*violation);
+#endif
+    mu_.lock();
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteAcquired(this, name_);
+#endif
+  }
+
+  void Unlock() TXREP_RELEASE() {
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteReleased(this);
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock() TXREP_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#ifdef TXREP_DEBUG_CHECKS
+    // A try-lock cannot deadlock, so no order check; still track it so locks
+    // taken while it is held are ordered against it.
+    LockOrderRegistry::Instance().NoteAcquired(this, name_);
+#endif
+    return true;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* const name_;
+};
+
+/// RAII lock for a Mutex scope.
+class TXREP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TXREP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TXREP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex for its whole lifetime (the binding
+/// is what lets Wait() carry a TXREP_REQUIRES annotation). Standard usage:
+///
+///   MutexLock lock(&mu_);
+///   while (!ReadyLocked()) cv_.Wait();
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the bound mutex, blocks, reacquires. May wake
+  /// spuriously — always wait in a predicate loop.
+  void Wait() TXREP_REQUIRES(mu_) {
+#ifdef TXREP_DEBUG_CHECKS
+    // The wait releases the mutex; keep the per-thread chain truthful.
+    LockOrderRegistry::Instance().NoteReleased(mu_);
+#endif
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership returns to the caller's scope.
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteAcquired(mu_, mu_->name());
+#endif
+  }
+
+  /// Timed wait: blocks at most `micros` microseconds. Returns false on
+  /// timeout, true when notified (spurious wakes count as notified — always
+  /// re-check the predicate either way).
+  bool WaitForMicros(int64_t micros) TXREP_REQUIRES(mu_) {
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteReleased(mu_);
+#endif
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(micros));
+    lock.release();
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteAcquired(mu_, mu_->name());
+#endif
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Waits until `pred()` holds. `pred` runs under the bound mutex.
+  template <typename Pred>
+  void Await(Pred pred) TXREP_REQUIRES(mu_) {
+    while (!pred()) Wait();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+/// Annotated wrapper around std::shared_mutex (reader/writer lock). Shared
+/// (reader) acquisitions are deliberately left out of the lock-order graph:
+/// they cannot form a two-lock deadlock among themselves, and the KV stripe
+/// locks — the one user — are leaves.
+class TXREP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(const char* name = nullptr) : name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TXREP_ACQUIRE() {
+#ifdef TXREP_DEBUG_CHECKS
+    auto violation = LockOrderRegistry::Instance().NoteAcquire(this, name_);
+    if (violation.has_value()) DieOnLockOrderViolation(*violation);
+#endif
+    mu_.lock();
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteAcquired(this, name_);
+#endif
+  }
+
+  void Unlock() TXREP_RELEASE() {
+#ifdef TXREP_DEBUG_CHECKS
+    LockOrderRegistry::Instance().NoteReleased(this);
+#endif
+    mu_.unlock();
+  }
+
+  void LockShared() TXREP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() TXREP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* const name_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class TXREP_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) TXREP_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() TXREP_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class TXREP_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) TXREP_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() TXREP_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace txrep::check
+
+#endif  // TXREP_CHECK_MUTEX_H_

@@ -1,0 +1,266 @@
+#include "check/schedule_explorer.h"
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "check/invariants.h"
+#include "codec/kv_keys.h"
+#include "common/random.h"
+#include "core/serial_applier.h"
+#include "core/transaction_manager.h"
+#include "kv/inmemory_node.h"
+#include "qt/query_translator.h"
+#include "rel/database.h"
+#include "rel/statement.h"
+
+namespace txrep::check {
+
+namespace {
+
+using rel::Value;
+
+/// Everything one seed determines. Deriving the whole configuration from the
+/// seed keeps a failure reproducible from its seed alone.
+struct ScheduleConfig {
+  int hot_rows;
+  int threads;
+  int64_t service_micros;
+  double failure_rate;
+  size_t gc_threshold;
+  bool buffer_read_cache;
+  bool class_filter;
+  size_t max_node_keys;
+  double read_only_rate;
+};
+
+ScheduleConfig DeriveConfig(Random& rng) {
+  ScheduleConfig config;
+  config.hot_rows = 1 + static_cast<int>(rng.Uniform(8));
+  config.threads = 1 + static_cast<int>(rng.Uniform(8));
+  // Most schedules run at memory speed (tight interleavings); some add
+  // service-time jitter so apply-stage overlap gets explored too.
+  config.service_micros =
+      rng.Bernoulli(0.3) ? static_cast<int64_t>(rng.Uniform(40)) : 0;
+  // Occasional transient failures exercise the execution-restart path.
+  config.failure_rate = rng.Bernoulli(0.25) ? 0.02 : 0.0;
+  config.gc_threshold = 1 + rng.Uniform(32);  // Small: GC races with commits.
+  config.buffer_read_cache = rng.Bernoulli(0.8);
+  config.class_filter = rng.Bernoulli(0.8);
+  config.max_node_keys = 4 + rng.Uniform(8);
+  config.read_only_rate = rng.Bernoulli(0.5) ? 0.2 : 0.0;
+  return config;
+}
+
+/// Generates the seed's workload into `db`: a table with one hash and one
+/// range index (so index maintenance joins every conflict set), a seed
+/// population, then randomized multi-statement transactions concentrated on
+/// the hot rows.
+Status GenerateWorkload(rel::Database& db, Random& rng,
+                        const ScheduleConfig& config, int txns) {
+  TXREP_ASSIGN_OR_RETURN(
+      rel::TableSchema schema,
+      rel::TableSchema::Create("S",
+                               {{"ID", rel::ValueType::kInt64},
+                                {"VAL", rel::ValueType::kInt64},
+                                {"COST", rel::ValueType::kDouble}},
+                               "ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(schema)));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("S", "COST"));
+  TXREP_RETURN_IF_ERROR(db.CreateRangeIndex("S", "COST"));
+
+  std::set<int64_t> live;
+  int64_t next_id = 1;
+  for (int i = 0; i < config.hot_rows; ++i) {
+    const int64_t id = next_id++;
+    TXREP_RETURN_IF_ERROR(
+        db.ExecuteTransaction(
+              {rel::InsertStatement{
+                  "S",
+                  {},
+                  {Value::Int(id), Value::Int(0),
+                   Value::Real(static_cast<double>(rng.Uniform(10)))}}})
+            .status());
+    live.insert(id);
+  }
+
+  auto random_live = [&]() -> int64_t {
+    auto it = live.lower_bound(
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(next_id))));
+    if (it == live.end()) it = live.begin();
+    return *it;
+  };
+
+  for (int t = 0; t < txns; ++t) {
+    std::vector<rel::Statement> statements;
+    const int ops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int o = 0; o < ops; ++o) {
+      const uint64_t pick = rng.Uniform(10);
+      if (pick < 3 || live.empty()) {
+        const int64_t id = next_id++;
+        statements.push_back(rel::InsertStatement{
+            "S",
+            {},
+            {Value::Int(id), Value::Int(static_cast<int64_t>(t)),
+             Value::Real(static_cast<double>(rng.Uniform(10)))}});
+        live.insert(id);
+      } else if (pick < 8) {
+        statements.push_back(rel::UpdateStatement{
+            "S",
+            {{"VAL", Value::Int(static_cast<int64_t>(rng.Uniform(1000)))},
+             {"COST", Value::Real(static_cast<double>(rng.Uniform(10)))}},
+            {rel::Predicate{"ID", rel::PredicateOp::kEq,
+                            Value::Int(random_live()),
+                            {}}}});
+      } else {
+        const int64_t id = random_live();
+        statements.push_back(rel::DeleteStatement{
+            "S",
+            {rel::Predicate{"ID", rel::PredicateOp::kEq, Value::Int(id), {}}}});
+        live.erase(id);
+      }
+    }
+    TXREP_RETURN_IF_ERROR(db.ExecuteTransaction(statements).status());
+  }
+  return Status::OK();
+}
+
+/// Read-only transaction body: probes a row object through the buffered
+/// view. NotFound is a legal answer (the row may not exist at this sequence
+/// point); the probe exists to push read/write conflict edges into the
+/// schedule, not to assert content.
+core::Transaction::Body MakeReadOnlyProbe(int64_t row_id) {
+  const std::string key = codec::RowKey("S", Value::Int(row_id));
+  return [key](kv::KvStore* view) -> Status {
+    Result<kv::Value> value = view->Get(key);
+    if (!value.ok() && value.status().IsNotFound()) return Status::OK();
+    return value.status();
+  };
+}
+
+std::string DiffDumps(const kv::StoreDump& serial,
+                      const kv::StoreDump& concurrent) {
+  if (serial.size() != concurrent.size()) {
+    return "replica size diverged: serial=" + std::to_string(serial.size()) +
+           " concurrent=" + std::to_string(concurrent.size());
+  }
+  for (size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].first != concurrent[i].first) {
+      return "key set diverged at index " + std::to_string(i) + ": serial \"" +
+             serial[i].first + "\" vs concurrent \"" + concurrent[i].first +
+             "\"";
+    }
+    if (serial[i].second != concurrent[i].second) {
+      return "value diverged for key \"" + serial[i].first + "\"";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+ScheduleExplorer::ScheduleExplorer(ScheduleExplorerOptions options)
+    : options_(options) {}
+
+Status ScheduleExplorer::RunOneInternal(uint64_t seed,
+                                        ScheduleReport* report) {
+  Random rng(seed);
+  const ScheduleConfig config = DeriveConfig(rng);
+
+  rel::Database db;
+  TXREP_RETURN_IF_ERROR(
+      GenerateWorkload(db, rng, config, options_.txns_per_schedule));
+
+  qt::QueryTranslator translator(
+      &db.catalog(), {.max_node_keys = config.max_node_keys});
+
+  // Reference: serial replay on a pristine, failure-free store.
+  kv::InMemoryKvNode serial_store;
+  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(&serial_store));
+  core::SerialApplier serial_applier(&serial_store, &translator);
+  TXREP_RETURN_IF_ERROR(serial_applier.ApplyBatch(db.log().ReadSince(0)));
+
+  // Candidate: concurrent replay with every knob drawn from the seed.
+  kv::KvNodeOptions node_options;
+  node_options.service_time_micros = config.service_micros;
+  node_options.failure_seed = seed ^ 0x5bd1e995u;
+  kv::InMemoryKvNode concurrent_store(node_options);
+  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(&concurrent_store));
+  // Inject transient failures only while the TM replays (the restart path
+  // under test); index setup above and the audits below must stay clean.
+  concurrent_store.set_failure_rate(config.failure_rate);
+
+  core::TmOptions tm_options;
+  tm_options.top_threads = config.threads;
+  tm_options.bottom_threads = config.threads;
+  tm_options.completed_gc_threshold = config.gc_threshold;
+  tm_options.buffer_read_cache = config.buffer_read_cache;
+  tm_options.enable_class_filter = config.class_filter;
+
+  core::TmStats stats;
+  {
+    core::TransactionManager tm(&concurrent_store, &translator, tm_options);
+    int64_t max_row_id = static_cast<int64_t>(config.hot_rows) +
+                         options_.txns_per_schedule * 3 + 1;
+    for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
+      tm.SubmitUpdate(std::move(txn));
+      if (config.read_only_rate > 0.0 &&
+          rng.Bernoulli(config.read_only_rate)) {
+        tm.SubmitReadOnly(MakeReadOnlyProbe(
+            1 + static_cast<int64_t>(
+                    rng.Uniform(static_cast<uint64_t>(max_row_id)))));
+      }
+    }
+    TXREP_RETURN_IF_ERROR(tm.WaitIdle());
+    TXREP_RETURN_IF_ERROR(tm.CheckInvariants());
+    stats = tm.stats();
+  }
+  concurrent_store.set_failure_rate(0.0);
+
+  const std::string diff =
+      DiffDumps(serial_store.Dump(), concurrent_store.Dump());
+  if (!diff.empty()) {
+    return Status::FailedPrecondition(
+        "concurrent replay diverged from serial replay: " + diff);
+  }
+
+  if (report != nullptr) {
+    report->transactions_replayed += stats.completed;
+    report->conflicts += stats.conflicts;
+    report->restarts += stats.restarts;
+    // Sampled deep audit (structure + logical content, not just bytes).
+    const int index = report->schedules_run;
+    if (options_.audit_every > 0 && index % options_.audit_every == 0) {
+      TXREP_RETURN_IF_ERROR(
+          CheckReplicaEquivalence(concurrent_store, db, translator));
+    }
+  }
+  return Status::OK();
+}
+
+Status ScheduleExplorer::RunOne(uint64_t seed) {
+  return RunOneInternal(seed, nullptr);
+}
+
+ScheduleReport ScheduleExplorer::Run() {
+  ScheduleReport report;
+  for (int i = 0; i < options_.schedules; ++i) {
+    const uint64_t seed = options_.base_seed + static_cast<uint64_t>(i);
+    Status status = RunOneInternal(seed, &report);
+    ++report.schedules_run;
+    if (!status.ok()) {
+      report.failures.push_back(ScheduleFailure{seed, status.ToString()});
+    }
+  }
+  return report;
+}
+
+std::string ScheduleReport::Summary() const {
+  return "schedules=" + std::to_string(schedules_run) +
+         " txns=" + std::to_string(transactions_replayed) +
+         " conflicts=" + std::to_string(conflicts) +
+         " restarts=" + std::to_string(restarts) +
+         " failures=" + std::to_string(failures.size());
+}
+
+}  // namespace txrep::check

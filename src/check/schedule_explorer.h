@@ -1,0 +1,91 @@
+#ifndef TXREP_CHECK_SCHEDULE_EXPLORER_H_
+#define TXREP_CHECK_SCHEDULE_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace txrep::check {
+
+/// Knobs of the schedule-exploration harness.
+struct ScheduleExplorerOptions {
+  /// Schedule i explores seed base_seed + i.
+  uint64_t base_seed = 1;
+
+  /// How many seeds to explore. Each seed derives a complete configuration:
+  /// workload shape (hot-row count, statement mix), TM thread counts, store
+  /// service time, failure injection, GC threshold, buffer/filter toggles
+  /// and the read-only interleave rate.
+  int schedules = 200;
+
+  /// Update transactions generated per schedule.
+  int txns_per_schedule = 40;
+
+  /// Run the full replica-equivalence audit (rows + hash postings + B-link
+  /// structure) every Nth schedule in addition to the byte-equality check.
+  /// 0 disables the audit. The audit is an order of magnitude slower than
+  /// the dump comparison, hence the sampling.
+  int audit_every = 8;
+};
+
+/// One schedule that diverged from serial replay (or tripped an invariant).
+struct ScheduleFailure {
+  uint64_t seed = 0;
+  std::string detail;
+};
+
+/// Aggregate outcome of an exploration run.
+struct ScheduleReport {
+  int schedules_run = 0;
+  int64_t transactions_replayed = 0;
+  /// Conflict/restart totals across all schedules — a health signal for the
+  /// exploration itself: if these are ~0 the schedules are not adversarial
+  /// enough to mean anything.
+  int64_t conflicts = 0;
+  int64_t restarts = 0;
+  std::vector<ScheduleFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+
+  /// One-line summary, e.g.
+  /// "schedules=200 txns=8000 conflicts=1234 restarts=1301 failures=0".
+  std::string Summary() const;
+};
+
+/// Randomized schedule exploration for the Transaction Manager (DESIGN.md
+/// §8): for each seed, generate a randomized insert/update/delete workload
+/// (with hash- and range-index maintenance so index objects join the
+/// conflict sets), replay it twice — once serially, once through a TM whose
+/// every knob is drawn from the seed — and require the two replicas to be
+/// byte-identical. Adversarial pressure comes from hot-row contention, store
+/// service-time jitter, transient-failure injection (exercising the restart
+/// path) and interleaved read-only transactions; TM bookkeeping is audited
+/// via CheckInvariants() after every schedule, and the full replica-
+/// equivalence audit runs on a sample of schedules.
+///
+/// A divergence means Algorithm 1 committed a non-serializable order — the
+/// exact bug class the paper's design must exclude.
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ScheduleExplorerOptions options = {});
+
+  /// Explores all schedules. Infrastructure failures (a schedule that cannot
+  /// even run) are reported as failures too, never thrown.
+  ScheduleReport Run();
+
+  /// Runs the single schedule derived from `seed`. OK when concurrent replay
+  /// matches serial replay and all invariants hold.
+  Status RunOne(uint64_t seed);
+
+ private:
+  /// RunOne body that also accumulates stats into `report` (null ok).
+  Status RunOneInternal(uint64_t seed, ScheduleReport* report);
+
+  const ScheduleExplorerOptions options_;
+};
+
+}  // namespace txrep::check
+
+#endif  // TXREP_CHECK_SCHEDULE_EXPLORER_H_

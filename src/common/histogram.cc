@@ -37,7 +37,7 @@ size_t Histogram::BucketFor(int64_t value) {
 
 void Histogram::Record(int64_t value) {
   if (value < 0) value = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   ++buckets_[BucketFor(value)];
   ++count_;
   sum_ += value;
@@ -50,14 +50,14 @@ void Histogram::Merge(const Histogram& other) {
   std::vector<int64_t> other_buckets;
   int64_t other_count, other_sum, other_min, other_max;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    check::MutexLock lock(&other.mu_);
     other_buckets = other.buckets_;
     other_count = other.count_;
     other_sum = other.sum_;
     other_min = other.min_;
     other_max = other.max_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
   count_ += other_count;
   sum_ += other_sum;
@@ -66,7 +66,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;
@@ -75,23 +75,25 @@ void Histogram::Reset() {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return count_;
 }
 
 int64_t Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return count_ == 0 ? 0 : min_;
 }
 
 int64_t Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return max_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  check::MutexLock lock(&mu_);
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 double Histogram::PercentileLocked(double q) const {
@@ -121,18 +123,20 @@ double Histogram::PercentileLocked(double q) const {
 }
 
 double Histogram::Percentile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return PercentileLocked(q);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   HistogramSnapshot s;
   s.count = count_;
   s.min = count_ == 0 ? 0 : min_;
   s.max = max_;
   s.sum = sum_;
-  s.mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  s.mean = count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
   s.p50 = PercentileLocked(0.5);
   s.p90 = PercentileLocked(0.9);
   s.p95 = PercentileLocked(0.95);
@@ -184,9 +188,11 @@ std::string HistogramSnapshot::ToJson() const {
 }
 
 std::string Histogram::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   char buf[160];
-  const double mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  const double mean =
+      count_ == 0 ? 0.0
+                  : static_cast<double>(sum_) / static_cast<double>(count_);
   std::snprintf(buf, sizeof(buf),
                 "count=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%lld",
                 static_cast<long long>(count_), mean, PercentileLocked(0.5),

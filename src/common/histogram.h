@@ -2,9 +2,10 @@
 #define TXREP_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "check/mutex.h"
 
 namespace txrep {
 
@@ -67,14 +68,14 @@ class Histogram {
 
  private:
   static size_t BucketFor(int64_t value);
-  double PercentileLocked(double q) const;
+  double PercentileLocked(double q) const TXREP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_;
-  int64_t sum_;
-  int64_t min_;
-  int64_t max_;
+  mutable check::Mutex mu_{"histogram.mu"};
+  std::vector<int64_t> buckets_ TXREP_GUARDED_BY(mu_);
+  int64_t count_ TXREP_GUARDED_BY(mu_);
+  int64_t sum_ TXREP_GUARDED_BY(mu_);
+  int64_t min_ TXREP_GUARDED_BY(mu_);
+  int64_t max_ TXREP_GUARDED_BY(mu_);
 };
 
 }  // namespace txrep

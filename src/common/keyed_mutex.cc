@@ -3,26 +3,27 @@
 namespace txrep {
 
 void KeyedMutex::Lock(const std::string& key) {
-  std::unique_lock<std::mutex> lock(master_mu_);
-  Entry& entry = entries_[key];
-  ++entry.refs;
-  cv_.wait(lock, [&] { return !entries_[key].held; });
+  check::MutexLock lock(&master_mu_);
+  ++entries_[key].refs;
+  // Re-resolve the entry each iteration: the wait releases master_mu_ and
+  // other keys' insert/erase may rehash the map under us.
+  while (entries_[key].held) cv_.Wait();
   entries_[key].held = true;
 }
 
 void KeyedMutex::Unlock(const std::string& key) {
-  std::lock_guard<std::mutex> lock(master_mu_);
+  check::MutexLock lock(&master_mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;  // Unlock of unheld key: ignore.
   it->second.held = false;
   if (--it->second.refs == 0) {
     entries_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t KeyedMutex::ActiveKeys() const {
-  std::lock_guard<std::mutex> lock(master_mu_);
+  check::MutexLock lock(&master_mu_);
   return entries_.size();
 }
 

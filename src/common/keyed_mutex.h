@@ -1,12 +1,12 @@
 #ifndef TXREP_COMMON_KEYED_MUTEX_H_
 #define TXREP_COMMON_KEYED_MUTEX_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "check/mutex.h"
 
 namespace txrep {
 
@@ -88,9 +88,9 @@ class KeyedMutex {
     uint32_t refs = 0;  // Holders + waiters; entry erased at 0.
   };
 
-  mutable std::mutex master_mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable check::Mutex master_mu_{"keyed_mutex.master"};
+  check::CondVar cv_{&master_mu_};
+  std::unordered_map<std::string, Entry> entries_ TXREP_GUARDED_BY(master_mu_);
 };
 
 }  // namespace txrep

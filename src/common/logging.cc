@@ -3,14 +3,15 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "check/mutex.h"
 
 namespace txrep {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mu;
-LogSink g_sink;  // Guarded by g_log_mu; empty = write to stderr.
+check::Mutex g_log_mu{"logging.mu"};
+LogSink g_sink TXREP_GUARDED_BY(g_log_mu);  // Empty = write to stderr.
 
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -41,7 +42,7 @@ const char* LogLevelName(LogLevel level) {
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  check::MutexLock lock(&g_log_mu);
   g_sink = std::move(sink);
 }
 
@@ -59,7 +60,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  check::MutexLock lock(&g_log_mu);
   if (g_sink) {
     g_sink(level_, stream_.str());
     return;

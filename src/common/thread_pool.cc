@@ -26,23 +26,23 @@ bool ThreadPool::SubmitUrgent(std::function<void()> task) {
 bool ThreadPool::SubmitInternal(std::function<void()> task, bool urgent) {
   if (shutdown_.load(std::memory_order_acquire)) return false;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    check::MutexLock lock(&idle_mu_);
     ++outstanding_;
   }
   const bool pushed =
       urgent ? queue_.PushFront(std::move(task)) : queue_.Push(std::move(task));
   if (!pushed) {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    check::MutexLock lock(&idle_mu_);
     --outstanding_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
     return false;
   }
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  check::MutexLock lock(&idle_mu_);
+  while (outstanding_ != 0) idle_cv_.Wait();
 }
 
 void ThreadPool::Shutdown() {
@@ -66,9 +66,9 @@ void ThreadPool::WorkerLoop() {
     if (!task.has_value()) return;  // Closed and drained.
     (*task)();
     {
-      std::lock_guard<std::mutex> lock(idle_mu_);
+      check::MutexLock lock(&idle_mu_);
       --outstanding_;
-      if (outstanding_ == 0) idle_cv_.notify_all();
+      if (outstanding_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -2,14 +2,13 @@
 #define TXREP_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/mutex.h"
 #include "common/blocking_queue.h"
 
 namespace txrep {
@@ -61,9 +60,10 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::string name_;
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  size_t outstanding_ = 0;  // queued + running tasks, guarded by idle_mu_.
+  check::Mutex idle_mu_{"thread_pool.idle"};
+  check::CondVar idle_cv_{&idle_mu_};
+  /// Queued + running tasks.
+  size_t outstanding_ TXREP_GUARDED_BY(idle_mu_) = 0;
   std::atomic<bool> shutdown_{false};
 };
 

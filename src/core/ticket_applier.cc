@@ -6,7 +6,7 @@ namespace txrep::core {
 
 void TicketApplier::LockManager::Register(
     uint64_t ticket, const std::vector<std::string>& tables) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   for (const std::string& table : tables) {
     queues_[table].insert(ticket);
   }
@@ -24,22 +24,22 @@ bool TicketApplier::LockManager::GrantedLocked(
 
 bool TicketApplier::LockManager::AcquireAll(
     uint64_t ticket, const std::vector<std::string>& tables) {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   if (GrantedLocked(ticket, tables)) return false;
-  cv_.wait(lock, [&] { return GrantedLocked(ticket, tables); });
+  while (!GrantedLocked(ticket, tables)) cv_.Wait();
   return true;
 }
 
 void TicketApplier::LockManager::Release(
     uint64_t ticket, const std::vector<std::string>& tables) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   for (const std::string& table : tables) {
     auto it = queues_.find(table);
     if (it == queues_.end()) continue;
     it->second.erase(ticket);
     if (it->second.empty()) queues_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 TicketApplier::TicketApplier(kv::KvStore* store,
@@ -64,7 +64,7 @@ void TicketApplier::Submit(rel::LogTransaction txn) {
   }
   uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     ticket = next_ticket_++;
     ++in_flight_;
     ++stats_.submitted;
@@ -84,30 +84,30 @@ void TicketApplier::ApplyTask(uint64_t ticket,
   const bool waited = locks_.AcquireAll(ticket, *tables);
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     status = health_;
   }
   if (status.ok()) {
     status = translator_->ApplyTransaction(store_, *txn);
   }
   locks_.Release(ticket, *tables);
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   if (waited) ++stats_.lock_waits;
   if (!status.ok() && health_.ok()) {
     health_ = status;
   }
   if (status.ok()) ++stats_.completed;
-  if (--in_flight_ == 0) idle_cv_.notify_all();
+  if (--in_flight_ == 0) idle_cv_.NotifyAll();
 }
 
 Status TicketApplier::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  check::MutexLock lock(&mu_);
+  while (in_flight_ != 0) idle_cv_.Wait();
   return health_;
 }
 
 TicketApplierStats TicketApplier::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -1,14 +1,14 @@
 #ifndef TXREP_CORE_TICKET_APPLIER_H_
 #define TXREP_CORE_TICKET_APPLIER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "check/mutex.h"
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -87,11 +87,12 @@ class TicketApplier {
 
    private:
     bool GrantedLocked(uint64_t ticket,
-                       const std::vector<std::string>& tables) const;
+                       const std::vector<std::string>& tables) const
+        TXREP_REQUIRES(mu_);
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::map<std::string, std::set<uint64_t>> queues_;
+    check::Mutex mu_{"ticket.locks"};
+    check::CondVar cv_{&mu_};
+    std::map<std::string, std::set<uint64_t>> queues_ TXREP_GUARDED_BY(mu_);
   };
 
   void ApplyTask(uint64_t ticket,
@@ -103,12 +104,12 @@ class TicketApplier {
   std::unique_ptr<ThreadPool> pool_;
   LockManager locks_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  uint64_t next_ticket_ = 1;
-  int64_t in_flight_ = 0;
-  Status health_ = Status::OK();
-  TicketApplierStats stats_;
+  mutable check::Mutex mu_{"ticket.mu"};
+  check::CondVar idle_cv_{&mu_};
+  uint64_t next_ticket_ TXREP_GUARDED_BY(mu_) = 1;
+  int64_t in_flight_ TXREP_GUARDED_BY(mu_) = 0;
+  Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
+  TicketApplierStats stats_ TXREP_GUARDED_BY(mu_);
 };
 
 }  // namespace txrep::core

@@ -15,22 +15,22 @@ const char* TxnStateName(TxnState state) {
 }
 
 Status Transaction::Wait() {
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [&] { return done_; });
+  check::MutexLock lock(&done_mu_);
+  while (!done_) done_cv_.Wait();
   return final_status_;
 }
 
 Status Transaction::final_status() const {
-  std::lock_guard<std::mutex> lock(done_mu_);
+  check::MutexLock lock(&done_mu_);
   return final_status_;
 }
 
 void Transaction::Finish(Status status) {
-  std::lock_guard<std::mutex> lock(done_mu_);
+  check::MutexLock lock(&done_mu_);
   if (done_) return;
   done_ = true;
   final_status_ = std::move(status);
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 }  // namespace txrep::core

@@ -2,12 +2,12 @@
 #define TXREP_CORE_TRANSACTION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "check/mutex.h"
 
 #include "common/status.h"
 #include "core/class_signature.h"
@@ -93,10 +93,10 @@ class Transaction {
   const bool read_only_;
   const Body body_;
 
-  mutable std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  bool done_ = false;
-  Status final_status_;
+  mutable check::Mutex done_mu_{"transaction.done"};
+  check::CondVar done_cv_{&done_mu_};
+  bool done_ TXREP_GUARDED_BY(done_mu_) = false;
+  Status final_status_ TXREP_GUARDED_BY(done_mu_);
 };
 
 }  // namespace txrep::core

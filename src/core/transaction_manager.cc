@@ -1,5 +1,7 @@
 #include "core/transaction_manager.h"
 
+
+#include <cstdlib>
 #include <utility>
 
 #include "common/clock.h"
@@ -58,9 +60,9 @@ void TransactionManager::WireMetrics(obs::MetricsRegistry* metrics) {
 TransactionManager::~TransactionManager() {
   (void)WaitIdle();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     stopping_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   controller_.join();
   top_pool_->Shutdown();
@@ -89,7 +91,7 @@ TransactionManager::TxnPtr TransactionManager::SubmitInternal(
     bool read_only, Transaction::Body body, int64_t db_commit_micros) {
   TxnPtr txn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     txn = std::make_shared<Transaction>(next_seq_++, read_only,
                                         std::move(body));
     txn->db_commit_micros = db_commit_micros;
@@ -108,7 +110,7 @@ TransactionManager::TxnPtr TransactionManager::SubmitInternal(
 
 void TransactionManager::ExecuteTask(const TxnPtr& txn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     if (!health_.ok()) {
       txn->Finish(health_);
       return;
@@ -128,25 +130,25 @@ void TransactionManager::ExecuteTask(const TxnPtr& txn) {
   signature.AddKeys(buffer->read_set());
   signature.AddKeys(buffer->write_set());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     txn->buffer = std::move(buffer);
     txn->execution_status = std::move(status);
     txn->class_signature = signature;
     txn->enqueue_micros = NowMicros();
     commit_req_pq_.push(txn);
     g_pq_depth_->Set(static_cast<int64_t>(commit_req_pq_.size()));
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void TransactionManager::ControllerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   for (;;) {
-    cv_.wait(lock, [&] {
-      return stopping_ || !health_.ok() ||
+    while (!(stopping_ || !health_.ok() ||
              (!commit_req_pq_.empty() &&
-              commit_req_pq_.top()->seq() == expected_seq_);
-    });
+              commit_req_pq_.top()->seq() == expected_seq_))) {
+      cv_.Wait();
+    }
     if (stopping_ || !health_.ok()) return;
     TxnPtr txn = commit_req_pq_.top();
     commit_req_pq_.pop();
@@ -194,6 +196,7 @@ void TransactionManager::RestartLocked(const TxnPtr& txn) {
 }
 
 void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
+  DebugCheckInvariantsLocked();
   // Lines 9-14: conflicts with committed (not yet applied) predecessors.
   // Their writes are invisible, so this transaction may have read stale
   // data; park it until the first conflicting predecessor completes. The
@@ -235,7 +238,7 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
       active_.erase(txn->seq());
       c_completed_->Increment();
       txn->Finish(txn->execution_status);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
     // A failed *update* transaction is fatal: applying successors without it
@@ -282,7 +285,7 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
   std::vector<TxnPtr> to_restart;
   bool run_gc = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     if (!status.ok()) {
       FailLocked(Status(status.code(), "apply of transaction " +
                                            std::to_string(txn->seq()) +
@@ -309,7 +312,8 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
       gc_scheduled_ = true;
       run_gc = true;
     }
-    cv_.notify_all();
+    DebugCheckInvariantsLocked();
+    cv_.NotifyAll();
   }
   txn->Finish(Status::OK());
   if (run_gc) {
@@ -321,7 +325,7 @@ void TransactionManager::GcTask() {
   // Algorithm 2: remove every completed transaction no active transaction
   // could still conflict-test against (no active T_j started before its
   // completion).
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   c_gc_runs_->Increment();
   for (auto it = completed_.begin(); it != completed_.end();) {
     bool needed = false;
@@ -352,20 +356,20 @@ void TransactionManager::FailLocked(const Status& status) {
   // Finish everything still in flight so waiters unblock.
   for (auto& [seq, txn] : active_) txn->Finish(status);
   active_.clear();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status TransactionManager::WaitIdle() {
   // Idle means: every submitted transaction completed (active empty) and the
   // pools drained. The controller can only stall while a committed
   // transaction is applying, so waiting on active_ is sufficient.
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return active_.empty() || !health_.ok(); });
+  check::MutexLock lock(&mu_);
+  while (!active_.empty() && health_.ok()) cv_.Wait();
   return health_;
 }
 
 Status TransactionManager::health() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return health_;
 }
 
@@ -389,8 +393,107 @@ TmStats TransactionManager::stats() const {
 }
 
 size_t TransactionManager::CompletedListSize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return completed_.size();
+}
+
+Status TransactionManager::CheckInvariants() const {
+  check::MutexLock lock(&mu_);
+  return CheckInvariantsLocked();
+}
+
+Status TransactionManager::CheckInvariantsLocked() const {
+  auto violation = [](const std::string& what) {
+    return Status::Internal("TM invariant violated: " + what);
+  };
+  if (expected_seq_ > next_seq_) {
+    return violation("expected_seq " + std::to_string(expected_seq_) +
+                     " ran past next_seq " + std::to_string(next_seq_));
+  }
+  // A commit request at the head of the PQ must never be from the past:
+  // sequences below expected_seq_ were already evaluated and committed.
+  if (!commit_req_pq_.empty() &&
+      commit_req_pq_.top()->seq() < expected_seq_) {
+    return violation("commit request for already-evaluated seq " +
+                     std::to_string(commit_req_pq_.top()->seq()) +
+                     " (expected_seq " + std::to_string(expected_seq_) + ")");
+  }
+  for (const auto& [seq, txn] : committed_) {
+    if (txn->state != TxnState::kCommitted) {
+      return violation("committed-set txn " + std::to_string(seq) +
+                       " in state " + TxnStateName(txn->state));
+    }
+    if (seq >= expected_seq_) {
+      return violation("committed txn " + std::to_string(seq) +
+                       " >= expected_seq " + std::to_string(expected_seq_));
+    }
+    if (txn->commit_time == 0) {
+      return violation("committed txn " + std::to_string(seq) +
+                       " missing commit stamp");
+    }
+    if (txn->buffer == nullptr) {
+      return violation("committed txn " + std::to_string(seq) +
+                       " has no buffer to apply");
+    }
+    if (active_.find(seq) == active_.end()) {
+      return violation("committed txn " + std::to_string(seq) +
+                       " not tracked as active");
+    }
+  }
+  // Algorithm 1 commits strictly in sequence order, so commit stamps must be
+  // monotone in seq across everything that passed evaluation — this is the
+  // in-flight shadow of the execution-defined-order guarantee.
+  uint64_t prev_commit = 0;
+  uint64_t prev_seq = 0;
+  auto check_commit_order = [&](uint64_t seq, const TxnPtr& txn) {
+    if (txn->commit_time <= prev_commit) {
+      return violation("commit stamps out of order: txn " +
+                       std::to_string(seq) + " committed at " +
+                       std::to_string(txn->commit_time) + " <= txn " +
+                       std::to_string(prev_seq) + " at " +
+                       std::to_string(prev_commit));
+    }
+    prev_commit = txn->commit_time;
+    prev_seq = seq;
+    return Status::OK();
+  };
+  for (const auto& [seq, txn] : completed_) {
+    if (txn->state != TxnState::kCompleted) {
+      return violation("completed-set txn " + std::to_string(seq) +
+                       " in state " + TxnStateName(txn->state));
+    }
+    if (txn->complete_time <= txn->commit_time) {
+      return violation("completed txn " + std::to_string(seq) +
+                       " completed before committing");
+    }
+    if (active_.find(seq) != active_.end()) {
+      return violation("completed txn " + std::to_string(seq) +
+                       " still tracked as active");
+    }
+    Status order = check_commit_order(seq, txn);
+    if (!order.ok()) return order;
+  }
+  // completed_ and committed_ are disjoint seq ranges? Not necessarily
+  // contiguous (GC trims the middle), but commit order must continue to hold
+  // across the boundary: every committed (unapplied) txn committed after
+  // every completed one still on the list with a smaller seq.
+  for (const auto& [seq, txn] : committed_) {
+    if (seq > prev_seq) {
+      Status order = check_commit_order(seq, txn);
+      if (!order.ok()) return order;
+    }
+  }
+  return Status::OK();
+}
+
+void TransactionManager::DebugCheckInvariantsLocked() const {
+#ifdef TXREP_DEBUG_CHECKS
+  Status status = CheckInvariantsLocked();
+  if (!status.ok()) {
+    TXREP_LOG(kError) << status.ToString();
+    std::abort();
+  }
+#endif
 }
 
 }  // namespace txrep::core

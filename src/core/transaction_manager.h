@@ -1,15 +1,14 @@
 #ifndef TXREP_CORE_TRANSACTION_MANAGER_H_
 #define TXREP_CORE_TRANSACTION_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "check/mutex.h"
 #include "common/logical_clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -142,6 +141,14 @@ class TransactionManager {
   /// Current size of the completed list (for GC tests/benches).
   size_t CompletedListSize() const;
 
+  /// Audits the Algorithm 1 bookkeeping invariants (DESIGN.md §8): state/set
+  /// agreement (committed ⊆ active, completed ∩ active = ∅), sequence bounds
+  /// against expected_seq_, and commit-stamp monotonicity in sequence order —
+  /// the in-flight face of the execution-defined-order guarantee. Returns the
+  /// first violation found. TXREP_DEBUG_CHECKS builds run this automatically
+  /// at every commit evaluation / completion and abort on violation.
+  Status CheckInvariants() const;
+
  private:
   using TxnPtr = std::shared_ptr<Transaction>;
 
@@ -161,18 +168,27 @@ class TransactionManager {
   /// Controller thread: Algorithm 1 main loop.
   void ControllerLoop();
 
-  /// Evaluates the head transaction. Caller holds mu_.
-  void EvaluateLocked(const TxnPtr& txn);
+  /// Evaluates the head transaction.
+  void EvaluateLocked(const TxnPtr& txn) TXREP_REQUIRES(mu_);
 
   /// True iff the two transactions' key sets conflict (R/W, W/R or W/W).
   static bool Conflicts(const Transaction& a, const Transaction& b);
 
   /// Conflicts() behind the class-signature pre-filter; updates filter
-  /// statistics. Caller holds mu_.
-  bool ConflictsFiltered(const Transaction& a, const Transaction& b);
+  /// statistics.
+  bool ConflictsFiltered(const Transaction& a, const Transaction& b)
+      TXREP_REQUIRES(mu_);
 
-  /// Schedules a fresh execution of `txn`. Caller holds mu_.
-  void RestartLocked(const TxnPtr& txn);
+  /// Schedules a fresh execution of `txn`.
+  void RestartLocked(const TxnPtr& txn) TXREP_REQUIRES(mu_);
+
+  /// CheckInvariants() body.
+  Status CheckInvariantsLocked() const TXREP_REQUIRES(mu_);
+
+  /// No-op unless TXREP_DEBUG_CHECKS: runs CheckInvariantsLocked and aborts
+  /// on violation (fail fast — a broken invariant means replay equivalence
+  /// is already lost).
+  void DebugCheckInvariantsLocked() const TXREP_REQUIRES(mu_);
 
   /// Bottom-pool task: applies the buffer, completes the transaction,
   /// restarts its parked dependents.
@@ -181,8 +197,8 @@ class TransactionManager {
   /// Algorithm 2: asynchronous removal from the completed list.
   void GcTask();
 
-  /// Marks the TM failed and wakes everyone. Caller holds mu_.
-  void FailLocked(const Status& status);
+  /// Marks the TM failed and wakes everyone.
+  void FailLocked(const Status& status) TXREP_REQUIRES(mu_);
 
   /// Resolves all instruments from `metrics`. Called once from the ctor,
   /// before any thread starts.
@@ -221,17 +237,23 @@ class TransactionManager {
   std::unique_ptr<ThreadPool> bottom_pool_;
   std::unique_ptr<ThreadPool> gc_pool_;  // Single thread: async Algorithm 2.
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<TxnPtr, std::vector<TxnPtr>, SeqGreater> commit_req_pq_;
-  uint64_t next_seq_ = 1;      // Next sequence number to hand out.
-  uint64_t expected_seq_ = 1;  // Next sequence the controller will evaluate.
-  std::map<uint64_t, TxnPtr> committed_;  // COMMITTED, not yet applied.
-  std::map<uint64_t, TxnPtr> completed_;  // COMPLETED (until GC).
-  std::map<uint64_t, TxnPtr> active_;     // Submitted, not yet completed.
-  bool gc_scheduled_ = false;
-  bool stopping_ = false;
-  Status health_ = Status::OK();
+  mutable check::Mutex mu_{"tm.mu"};
+  check::CondVar cv_{&mu_};
+  std::priority_queue<TxnPtr, std::vector<TxnPtr>, SeqGreater> commit_req_pq_
+      TXREP_GUARDED_BY(mu_);
+  /// Next sequence number to hand out.
+  uint64_t next_seq_ TXREP_GUARDED_BY(mu_) = 1;
+  /// Next sequence the controller will evaluate.
+  uint64_t expected_seq_ TXREP_GUARDED_BY(mu_) = 1;
+  /// COMMITTED, not yet applied.
+  std::map<uint64_t, TxnPtr> committed_ TXREP_GUARDED_BY(mu_);
+  /// COMPLETED (until GC).
+  std::map<uint64_t, TxnPtr> completed_ TXREP_GUARDED_BY(mu_);
+  /// Submitted, not yet completed.
+  std::map<uint64_t, TxnPtr> active_ TXREP_GUARDED_BY(mu_);
+  bool gc_scheduled_ TXREP_GUARDED_BY(mu_) = false;
+  bool stopping_ TXREP_GUARDED_BY(mu_) = false;
+  Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
 
   std::thread controller_;
 };

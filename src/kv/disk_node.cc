@@ -34,7 +34,7 @@ DiskKvNode::DiskKvNode(std::string path, DiskKvNodeOptions options)
     : path_(std::move(path)), options_(options) {}
 
 DiskKvNode::~DiskKvNode() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   if (log_ != nullptr) std::fclose(log_);
 }
 
@@ -42,6 +42,9 @@ Result<std::unique_ptr<DiskKvNode>> DiskKvNode::Open(
     std::string path, DiskKvNodeOptions options) {
   std::unique_ptr<DiskKvNode> node(
       new DiskKvNode(std::move(path), options));
+  // No concurrency yet (the node is unpublished) — the lock is held purely
+  // so the thread-safety analysis can prove ReplayLog's guarded accesses.
+  check::MutexLock lock(&node->mu_);
   TXREP_RETURN_IF_ERROR(node->ReplayLog());
   // Reopen for appending.
   node->log_ = std::fopen(node->path_.c_str(), "ab");
@@ -130,14 +133,14 @@ Status DiskKvNode::AppendRecord(bool tombstone, const Key& key,
 }
 
 Status DiskKvNode::Put(const Key& key, const Value& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/false, key, value));
   map_[key] = value;
   return Status::OK();
 }
 
 Result<Value> DiskKvNode::Get(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     return Status::NotFound("key \"" + key + "\" not present");
@@ -146,7 +149,7 @@ Result<Value> DiskKvNode::Get(const Key& key) {
 }
 
 Status DiskKvNode::Delete(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   if (map_.erase(key) > 0) {
     TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/true, key, {}));
   }
@@ -154,17 +157,17 @@ Status DiskKvNode::Delete(const Key& key) {
 }
 
 bool DiskKvNode::Contains(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return map_.contains(key);
 }
 
 size_t DiskKvNode::Size() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return map_.size();
 }
 
 StoreDump DiskKvNode::Dump() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   StoreDump dump;
   dump.reserve(map_.size());
   for (const auto& [k, v] : map_) dump.emplace_back(k, v);
@@ -173,7 +176,7 @@ StoreDump DiskKvNode::Dump() {
 }
 
 Status DiskKvNode::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   if (std::fflush(log_) != 0 || ::fsync(::fileno(log_)) != 0) {
     return Status::Unavailable("fsync failed: " +
                                std::string(std::strerror(errno)));
@@ -182,7 +185,7 @@ Status DiskKvNode::Sync() {
 }
 
 Status DiskKvNode::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   const std::string tmp_path = path_ + ".compact";
   std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
   if (out == nullptr) {

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "check/mutex.h"
 #include "common/result.h"
 #include "kv/kv_store.h"
 
@@ -69,15 +69,18 @@ class DiskKvNode : public KvStore {
  private:
   DiskKvNode(std::string path, DiskKvNodeOptions options);
 
-  Status ReplayLog();
-  Status AppendRecord(bool tombstone, const Key& key, const Value& value);
+  Status ReplayLog() TXREP_REQUIRES(mu_);
+  Status AppendRecord(bool tombstone, const Key& key, const Value& value)
+      TXREP_REQUIRES(mu_);
 
   const std::string path_;
   const DiskKvNodeOptions options_;
 
-  std::mutex mu_;
-  std::FILE* log_ = nullptr;
-  std::unordered_map<Key, Value> map_;
+  check::Mutex mu_{"disk_node.mu"};
+  std::FILE* log_ TXREP_GUARDED_BY(mu_) = nullptr;
+  std::unordered_map<Key, Value> map_ TXREP_GUARDED_BY(mu_);
+  // Write-once during Open() (single-threaded), read-only afterwards — no
+  // lock needed.
   size_t replayed_records_ = 0;
   size_t recovered_truncated_bytes_ = 0;
 };

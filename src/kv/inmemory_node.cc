@@ -10,7 +10,9 @@ namespace txrep::kv {
 
 InMemoryKvNode::InMemoryKvNode(KvNodeOptions options,
                                obs::MetricsRegistry* metrics, int node_index)
-    : options_(options), failure_rng_(options.failure_seed) {
+    : options_(options),
+      failure_rate_(options.failure_rate),
+      failure_rng_(options.failure_seed) {
   if (metrics == nullptr) return;
   obs::Labels node_label;
   if (node_index >= 0) node_label = {{"node", std::to_string(node_index)}};
@@ -33,29 +35,33 @@ InMemoryKvNode::Stripe& InMemoryKvNode::StripeFor(const Key& key) {
 
 Status InMemoryKvNode::SimulateService() {
   const int64_t start = NowMicros();
-  if (options_.failure_rate > 0.0) {
+  const double failure_rate = failure_rate_.load(std::memory_order_relaxed);
+  if (failure_rate > 0.0) {
     bool fail;
     {
-      std::lock_guard<std::mutex> lock(failure_mu_);
-      fail = failure_rng_.Bernoulli(options_.failure_rate);
+      check::MutexLock lock(&failure_mu_);
+      fail = failure_rng_.Bernoulli(failure_rate);
     }
     if (fail) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      check::MutexLock lock(&stats_mu_);
       ++stats_.injected_failures;
       return Status::Unavailable("injected node failure");
     }
   }
   if (options_.service_slots > 0) {
-    std::unique_lock<std::mutex> lock(gate_mu_);
-    gate_cv_.wait(lock, [&] { return in_service_ < options_.service_slots; });
-    ++in_service_;
-    if (g_slots_ != nullptr) g_slots_->Set(in_service_);
-    lock.unlock();
+    {
+      check::MutexLock lock(&gate_mu_);
+      while (in_service_ >= options_.service_slots) gate_cv_.Wait();
+      ++in_service_;
+      if (g_slots_ != nullptr) g_slots_->Set(in_service_);
+    }
     SleepForMicros(options_.service_time_micros);
-    lock.lock();
-    --in_service_;
-    if (g_slots_ != nullptr) g_slots_->Set(in_service_);
-    gate_cv_.notify_one();
+    {
+      check::MutexLock lock(&gate_mu_);
+      --in_service_;
+      if (g_slots_ != nullptr) g_slots_->Set(in_service_);
+      gate_cv_.NotifyOne();
+    }
   } else {
     SleepForMicros(options_.service_time_micros);
   }
@@ -69,11 +75,11 @@ Status InMemoryKvNode::Put(const Key& key, const Value& value) {
   TXREP_RETURN_IF_ERROR(SimulateService());
   Stripe& stripe = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    check::WriterMutexLock lock(&stripe.mu);
     stripe.map[key] = value;
   }
   if (c_puts_ != nullptr) c_puts_->Increment();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  check::MutexLock lock(&stats_mu_);
   ++stats_.puts;
   return Status::OK();
 }
@@ -83,12 +89,12 @@ Result<Value> InMemoryKvNode::Get(const Key& key) {
   Stripe& stripe = StripeFor(key);
   std::optional<Value> found;
   {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    check::ReaderMutexLock lock(&stripe.mu);
     auto it = stripe.map.find(key);
     if (it != stripe.map.end()) found = it->second;
   }
   if (c_gets_ != nullptr) c_gets_->Increment();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  check::MutexLock lock(&stats_mu_);
   ++stats_.gets;
   if (!found.has_value()) {
     ++stats_.get_misses;
@@ -102,25 +108,25 @@ Status InMemoryKvNode::Delete(const Key& key) {
   TXREP_RETURN_IF_ERROR(SimulateService());
   Stripe& stripe = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    check::WriterMutexLock lock(&stripe.mu);
     stripe.map.erase(key);
   }
   if (c_deletes_ != nullptr) c_deletes_->Increment();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  check::MutexLock lock(&stats_mu_);
   ++stats_.deletes;
   return Status::OK();
 }
 
 bool InMemoryKvNode::Contains(const Key& key) {
   Stripe& stripe = StripeFor(key);
-  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  check::ReaderMutexLock lock(&stripe.mu);
   return stripe.map.contains(key);
 }
 
 size_t InMemoryKvNode::Size() {
   size_t total = 0;
   for (Stripe& stripe : stripes_) {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    check::ReaderMutexLock lock(&stripe.mu);
     total += stripe.map.size();
   }
   return total;
@@ -129,7 +135,7 @@ size_t InMemoryKvNode::Size() {
 StoreDump InMemoryKvNode::Dump() {
   StoreDump dump;
   for (Stripe& stripe : stripes_) {
-    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    check::ReaderMutexLock lock(&stripe.mu);
     for (const auto& [k, v] : stripe.map) dump.emplace_back(k, v);
   }
   std::sort(dump.begin(), dump.end());
@@ -137,7 +143,7 @@ StoreDump InMemoryKvNode::Dump() {
 }
 
 KvStoreStats InMemoryKvNode::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  check::MutexLock lock(&stats_mu_);
   return stats_;
 }
 

@@ -2,14 +2,13 @@
 #define TXREP_KV_INMEMORY_NODE_H_
 
 #include <array>
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "check/mutex.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "kv/kv_store.h"
@@ -73,12 +72,21 @@ class InMemoryKvNode : public KvStore {
 
   const KvNodeOptions& options() const { return options_; }
 
+  /// Adjusts the injected-failure probability at runtime so tests can fence
+  /// the failure window: populate cleanly, inject during the phase under
+  /// test, audit cleanly. Initialized from options().failure_rate.
+  void set_failure_rate(double rate) {
+    failure_rate_.store(rate, std::memory_order_relaxed);
+  }
+
  private:
   static constexpr size_t kNumStripes = 16;
 
   struct Stripe {
-    mutable std::shared_mutex mu;
-    std::unordered_map<Key, Value> map;
+    /// Unnamed (out of the lock-order graph): stripes are leaf locks, never
+    /// held while acquiring another lock, and two stripes are never nested.
+    mutable check::SharedMutex mu;
+    std::unordered_map<Key, Value> map TXREP_GUARDED_BY(mu);
   };
 
   /// Occupies a service slot for the simulated service time; returns an
@@ -91,17 +99,19 @@ class InMemoryKvNode : public KvStore {
   std::array<Stripe, kNumStripes> stripes_;
 
   // Service gate (counting semaphore with runtime capacity).
-  std::mutex gate_mu_;
-  std::condition_variable gate_cv_;
-  int in_service_ = 0;
+  check::Mutex gate_mu_{"kv.gate"};
+  check::CondVar gate_cv_{&gate_mu_};
+  int in_service_ TXREP_GUARDED_BY(gate_mu_) = 0;
 
-  // Failure injection.
-  std::mutex failure_mu_;
-  Random failure_rng_;
+  // Failure injection. The rate is an atomic (not guarded) so the zero-rate
+  // fast path skips the lock entirely.
+  std::atomic<double> failure_rate_;
+  check::Mutex failure_mu_{"kv.failure"};
+  Random failure_rng_ TXREP_GUARDED_BY(failure_mu_);
 
   // Counters.
-  mutable std::mutex stats_mu_;
-  KvStoreStats stats_;
+  mutable check::Mutex stats_mu_{"kv.stats"};
+  KvStoreStats stats_ TXREP_GUARDED_BY(stats_mu_);
   Histogram op_latency_;
 
   // Registry instruments (null when the node runs unobserved).

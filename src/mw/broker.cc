@@ -22,7 +22,7 @@ Broker::Broker(BrokerOptions options, obs::MetricsRegistry* metrics)
 Broker::~Broker() { Shutdown(); }
 
 Broker::Subscription* Broker::Subscribe(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   auto subscription =
       std::make_unique<Subscription>(options_.subscriber_queue_capacity);
   Subscription* raw = subscription.get();
@@ -36,7 +36,7 @@ Status Broker::Publish(std::string topic, std::string payload) {
   message.payload = std::move(payload);
   message.publish_micros = NowMicros();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     if (shutdown_) {
       TXREP_LOG(kWarn) << "Publish to topic \"" << message.topic
                        << "\" rejected: broker is shut down";
@@ -45,6 +45,15 @@ Status Broker::Publish(std::string topic, std::string payload) {
     ++published_;
   }
   if (!pending_.Push(std::move(message))) {
+    // Shutdown raced in between the check above and the push: the message
+    // was dropped, so take it back out of the published count — otherwise
+    // published_ > delivered_ forever and bookkeeping (tests, dashboards)
+    // reports a phantom in-flight message.
+    {
+      check::MutexLock lock(&mu_);
+      --published_;
+      flush_cv_.NotifyAll();
+    }
     TXREP_LOG(kWarn) << "Publish rejected: broker queue closed mid-publish";
     return Status::Unavailable("broker is shut down");
   }
@@ -70,7 +79,7 @@ void Broker::DeliveryLoop() {
     }
     std::vector<Subscription*> targets;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(&mu_);
       auto it = topics_.find(message->topic);
       if (it != topics_.end()) {
         for (const auto& sub : it->second) targets.push_back(sub.get());
@@ -82,39 +91,39 @@ void Broker::DeliveryLoop() {
       sub->queue_.Push(*message);
     }
     if (c_delivered_ != nullptr) c_delivered_->Increment();
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     ++delivered_;
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
 }
 
 void Broker::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  flush_cv_.wait(lock, [&] { return delivered_ == published_ || shutdown_; });
+  check::MutexLock lock(&mu_);
+  while (delivered_ != published_ && !shutdown_) flush_cv_.Wait();
 }
 
 void Broker::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     shutdown_ = true;
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
   pending_.Close();
   if (delivery_thread_.joinable()) delivery_thread_.join();
   // Close subscriber queues so blocked Pop()s return end-of-stream.
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   for (auto& [topic, subs] : topics_) {
     for (auto& sub : subs) sub->queue_.Close();
   }
 }
 
 int64_t Broker::published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return published_;
 }
 
 int64_t Broker::delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return delivered_;
 }
 

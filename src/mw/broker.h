@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/mutex.h"
 #include "common/blocking_queue.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -61,6 +61,11 @@ class Broker {
     /// Non-blocking variant.
     std::optional<Message> TryPop() { return queue_.TryPop(); }
 
+    /// Ends this subscription's stream: blocked Pop()s drain the queue and
+    /// then see end-of-stream, without waiting for broker shutdown. Messages
+    /// delivered after Close() are dropped. Idempotent.
+    void Close() { queue_.Close(); }
+
     size_t Pending() const { return queue_.size(); }
 
    private:
@@ -94,13 +99,14 @@ class Broker {
   BlockingQueue<Message> pending_;
   std::thread delivery_thread_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::unique_ptr<Subscription>>> topics_;
-  int64_t published_ = 0;
-  int64_t delivered_ = 0;
-  bool shutdown_ = false;
+  mutable check::Mutex mu_{"broker.mu"};
+  std::map<std::string, std::vector<std::unique_ptr<Subscription>>> topics_
+      TXREP_GUARDED_BY(mu_);
+  int64_t published_ TXREP_GUARDED_BY(mu_) = 0;
+  int64_t delivered_ TXREP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TXREP_GUARDED_BY(mu_) = false;
 
-  std::condition_variable flush_cv_;
+  check::CondVar flush_cv_{&mu_};
 
   obs::Counter* c_published_ = nullptr;
   obs::Counter* c_delivered_ = nullptr;

@@ -22,7 +22,7 @@ PublisherAgent::PublisherAgent(rel::TxLog* log, Broker* broker,
 PublisherAgent::~PublisherAgent() { Stop(); }
 
 Result<size_t> PublisherAgent::PumpOnce() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  check::MutexLock lock(&pump_mu_);
   const uint64_t from = shipped_lsn_.load(std::memory_order_relaxed);
   std::vector<rel::LogTransaction> batch =
       log_->ReadSince(from, options_.batch_size);

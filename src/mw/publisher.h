@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "check/mutex.h"
 
 #include "common/result.h"
 #include "common/status.h"
@@ -74,7 +75,8 @@ class PublisherAgent {
   Broker* broker_;   // Not owned.
   const PublisherOptions options_;
 
-  std::mutex pump_mu_;  // Serializes PumpOnce (read-log + publish + advance).
+  /// Serializes PumpOnce (read-log + publish + advance).
+  check::Mutex pump_mu_{"publisher.pump"};
   std::atomic<uint64_t> shipped_lsn_{0};
   std::atomic<int64_t> messages_published_{0};
   std::atomic<bool> running_{false};

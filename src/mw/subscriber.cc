@@ -34,9 +34,9 @@ void SubscriberAgent::ReceiveLoop() {
     if (!batch.ok()) {
       TXREP_LOG(kError) << "subscriber failed to decode replication message: "
                         << batch.status().ToString();
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(&mu_);
       health_ = batch.status();
-      cv_.notify_all();
+      cv_.NotifyAll();
       break;
     }
     if (h_recv_latency_ != nullptr && message->deliver_micros != 0) {
@@ -46,48 +46,46 @@ void SubscriberAgent::ReceiveLoop() {
       const uint64_t lsn = txn.lsn;
       Status s = sink_(std::move(txn));
       if (c_txns_received_ != nullptr) c_txns_received_->Increment();
-      std::lock_guard<std::mutex> lock(mu_);
+      check::MutexLock lock(&mu_);
       if (!s.ok()) {
         TXREP_LOG(kError) << "subscriber sink rejected lsn " << lsn << ": "
                           << s.ToString();
         health_ = s;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return;
       }
       applied_lsn_ = lsn;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   stopped_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool SubscriberAgent::WaitForLsn(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return applied_lsn_ >= lsn || stopped_ || !health_.ok();
-  });
+  check::MutexLock lock(&mu_);
+  while (applied_lsn_ < lsn && !stopped_ && health_.ok()) cv_.Wait();
   return applied_lsn_ >= lsn;
 }
 
 void SubscriberAgent::Stop() {
   running_.store(false, std::memory_order_relaxed);
-  // Unblock a blocking Pop by closing our queue via broker shutdown is not
-  // available here; rely on the broker being shut down or flushed by the
-  // owner. Join only if the thread already exited or the broker closed the
-  // subscription; otherwise detachless join would hang — so we close by
-  // waiting for the stream end triggered by Broker::Shutdown().
+  // Close our subscription so a receive thread blocked in Pop() wakes up:
+  // it drains whatever the broker already delivered, then sees
+  // end-of-stream and exits. Without this, Stop() on a still-running broker
+  // joined against a thread that would never wake (the pre-PR behavior).
+  subscription_->Close();
   if (receive_thread_.joinable()) receive_thread_.join();
 }
 
 uint64_t SubscriberAgent::applied_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return applied_lsn_;
 }
 
 Status SubscriberAgent::health() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return health_;
 }
 

@@ -2,12 +2,12 @@
 #define TXREP_MW_SUBSCRIBER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "check/mutex.h"
 
 #include "common/status.h"
 #include "mw/broker.h"
@@ -57,11 +57,11 @@ class SubscriberAgent {
   Broker::Subscription* subscription_;  // Owned by the broker.
   TxnSink sink_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t applied_lsn_ = 0;
-  Status health_ = Status::OK();
-  bool stopped_ = false;
+  mutable check::Mutex mu_{"subscriber.mu"};
+  check::CondVar cv_{&mu_};
+  uint64_t applied_lsn_ TXREP_GUARDED_BY(mu_) = 0;
+  Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
+  bool stopped_ TXREP_GUARDED_BY(mu_) = false;
 
   std::atomic<bool> running_{true};
   std::thread receive_thread_;

@@ -225,23 +225,25 @@ PeriodicReporter::~PeriodicReporter() { Stop(); }
 
 void PeriodicReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
 }
 
 void PeriodicReporter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait_for(lock, std::chrono::microseconds(interval_micros_),
-                 [&] { return stop_; });
-    if (stop_) return;
-    lock.unlock();
+    {
+      check::MutexLock lock(&mu_);
+      // A true return means notified (or spurious) with stop_ still unset:
+      // keep waiting. A timeout means the interval elapsed: report.
+      while (!stop_ && cv_.WaitForMicros(interval_micros_)) {
+      }
+      if (stop_) return;
+    }
     sink_(registry_->Snapshot());
-    lock.lock();
   }
 }
 

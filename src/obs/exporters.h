@@ -1,13 +1,12 @@
 #ifndef TXREP_OBS_EXPORTERS_H_
 #define TXREP_OBS_EXPORTERS_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "check/mutex.h"
 #include "obs/metrics.h"
 
 namespace txrep::obs {
@@ -50,9 +49,9 @@ class PeriodicReporter {
   const int64_t interval_micros_;
   Sink sink_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  check::Mutex mu_{"reporter.mu"};
+  check::CondVar cv_{&mu_};
+  bool stop_ TXREP_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

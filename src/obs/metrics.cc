@@ -34,7 +34,6 @@ T* MetricsRegistry::GetOrCreate(std::map<std::string, Entry<T>>& entries,
   Labels sorted = labels;
   std::sort(sorted.begin(), sorted.end());
   const std::string key = InstrumentKey(name, sorted);
-  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries.find(key);
   if (it == entries.end()) {
     it = entries
@@ -47,22 +46,25 @@ T* MetricsRegistry::GetOrCreate(std::map<std::string, Entry<T>>& entries,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
+  check::MutexLock lock(&mu_);
   return GetOrCreate(counters_, name, labels);
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
+  check::MutexLock lock(&mu_);
   return GetOrCreate(gauges_, name, labels);
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels) {
+  check::MutexLock lock(&mu_);
   return GetOrCreate(histograms_, name, labels);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [key, entry] : counters_) {
     snapshot.counters.push_back(
@@ -82,7 +84,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::InstrumentCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

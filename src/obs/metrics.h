@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "check/mutex.h"
 #include "common/histogram.h"
 
 namespace txrep::obs {
@@ -140,14 +140,17 @@ class MetricsRegistry {
   static std::string InstrumentKey(const std::string& name,
                                    const Labels& labels);
 
+  /// Callers hold mu_ (the maps are guarded and passed by reference, so the
+  /// lock must be taken before the reference is formed).
   template <typename T>
   T* GetOrCreate(std::map<std::string, Entry<T>>& entries,
-                 const std::string& name, const Labels& labels);
+                 const std::string& name, const Labels& labels)
+      TXREP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  mutable check::Mutex mu_{"metrics.mu"};
+  std::map<std::string, Entry<Counter>> counters_ TXREP_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ TXREP_GUARDED_BY(mu_);
+  std::map<std::string, Entry<Histogram>> histograms_ TXREP_GUARDED_BY(mu_);
 };
 
 }  // namespace txrep::obs

@@ -9,7 +9,7 @@
 namespace txrep::rel {
 
 void Database::EnableMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   c_commits_ = metrics->GetCounter(obs::kDbCommits);
   h_commit_latency_ = metrics->GetHistogram(obs::kDbCommitLatency);
   h_txn_ops_ = metrics->GetHistogram(obs::kDbTxnOps);
@@ -17,7 +17,7 @@ void Database::EnableMetrics(obs::MetricsRegistry* metrics) {
 }
 
 Status Database::CreateTable(TableSchema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   const std::string name = schema.table_name();
   TXREP_RETURN_IF_ERROR(catalog_.AddTable(std::move(schema)));
   TXREP_ASSIGN_OR_RETURN(const TableSchema* stored, catalog_.GetTable(name));
@@ -27,7 +27,7 @@ Status Database::CreateTable(TableSchema schema) {
 
 Status Database::CreateHashIndex(const std::string& table,
                                  const std::string& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   TXREP_ASSIGN_OR_RETURN(TableSchema * schema,
                          catalog_.GetMutableTable(table));
   TXREP_RETURN_IF_ERROR(schema->AddHashIndex(column));
@@ -37,7 +37,7 @@ Status Database::CreateHashIndex(const std::string& table,
 
 Status Database::CreateRangeIndex(const std::string& table,
                                   const std::string& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   TXREP_ASSIGN_OR_RETURN(TableSchema * schema,
                          catalog_.GetMutableTable(table));
   return schema->AddRangeIndex(column);
@@ -158,7 +158,7 @@ void Database::Rollback(std::vector<UndoRecord>& undo) {
 Result<CommitInfo> Database::ExecuteTransaction(
     const std::vector<Statement>& statements) {
   const int64_t start = NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   std::vector<LogOp> log_ops;
   std::vector<UndoRecord> undo;
   CommitInfo info;
@@ -191,14 +191,14 @@ Result<CommitInfo> Database::ExecuteTransaction(
 }
 
 Result<std::vector<Row>> Database::Query(const SelectStatement& select) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   std::vector<Row> rows;
   TXREP_RETURN_IF_ERROR(ApplySelect(select, rows));
   return rows;
 }
 
 Result<size_t> Database::TableSize(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("no table \"" + table + "\"");
@@ -207,7 +207,7 @@ Result<size_t> Database::TableSize(const std::string& table) const {
 }
 
 std::map<std::string, std::vector<Row>> Database::DumpAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   std::map<std::string, std::vector<Row>> out;
   for (const auto& [name, table] : tables_) out[name] = table->ScanAll();
   return out;

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "rel/schema.h"
@@ -86,22 +86,27 @@ class Database {
     Row before;  // Pre-image for kUpdate / kDelete.
   };
 
-  Result<Table*> GetTableLocked(const std::string& name);
+  Result<Table*> GetTableLocked(const std::string& name) TXREP_REQUIRES(mu_);
 
   /// Per-statement executors; append to `log_ops`/`undo` as they apply.
   Status ApplyInsert(const InsertStatement& stmt, std::vector<LogOp>& log_ops,
-                     std::vector<UndoRecord>& undo);
+                     std::vector<UndoRecord>& undo) TXREP_REQUIRES(mu_);
   Status ApplyUpdate(const UpdateStatement& stmt, std::vector<LogOp>& log_ops,
-                     std::vector<UndoRecord>& undo);
+                     std::vector<UndoRecord>& undo) TXREP_REQUIRES(mu_);
   Status ApplyDelete(const DeleteStatement& stmt, std::vector<LogOp>& log_ops,
-                     std::vector<UndoRecord>& undo);
-  Status ApplySelect(const SelectStatement& stmt, std::vector<Row>& out);
+                     std::vector<UndoRecord>& undo) TXREP_REQUIRES(mu_);
+  Status ApplySelect(const SelectStatement& stmt, std::vector<Row>& out)
+      TXREP_REQUIRES(mu_);
 
-  void Rollback(std::vector<UndoRecord>& undo);
+  void Rollback(std::vector<UndoRecord>& undo) TXREP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // Serializes transactions (commit order == log order).
+  // Serializes transactions (commit order == log order).
+  mutable check::Mutex mu_{"rel.db"};
+  /// Written only by Create*() during single-threaded setup; the catalog()
+  /// accessor hands out a bare reference afterwards, so it is deliberately
+  /// not guarded (guarding it would make that read unannotatable).
   Catalog catalog_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<Table>> tables_ TXREP_GUARDED_BY(mu_);
   TxLog log_;
 
   obs::Counter* c_commits_ = nullptr;

@@ -58,7 +58,9 @@ Result<Value> ComputeAggregate(const TableSchema& schema,
         ++count;
       }
       if (item.fn == AggregateFn::kAvg) {
-        return count == 0 ? Value::Null() : Value::Real(sum / count);
+        return count == 0
+                   ? Value::Null()
+                   : Value::Real(sum / static_cast<double>(count));
       }
       if (count == 0) return Value::Null();
       // SUM keeps the column's type (SQL convention for integer sums).

@@ -38,7 +38,7 @@ bool operator==(const LogOp& a, const LogOp& b) {
 }
 
 void TxLog::EnableMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   c_appended_ = metrics->GetCounter(obs::kLogAppended);
   c_truncations_ = metrics->GetCounter(obs::kLogTruncations);
   c_truncated_ = metrics->GetCounter(obs::kLogTruncated);
@@ -47,7 +47,7 @@ void TxLog::EnableMetrics(obs::MetricsRegistry* metrics) {
 
 uint64_t TxLog::Append(std::vector<LogOp> ops) {
   if (ops.empty()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   LogTransaction entry;
   entry.lsn = next_lsn_++;
   entry.commit_micros = NowMicros();
@@ -60,7 +60,7 @@ uint64_t TxLog::Append(std::vector<LogOp> ops) {
 
 std::vector<LogTransaction> TxLog::ReadSince(uint64_t after_lsn,
                                              size_t max_transactions) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), after_lsn,
       [](uint64_t lsn, const LogTransaction& t) { return lsn < t.lsn; });
@@ -73,17 +73,17 @@ std::vector<LogTransaction> TxLog::ReadSince(uint64_t after_lsn,
 }
 
 uint64_t TxLog::LastLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return entries_.empty() ? next_lsn_ - 1 : entries_.back().lsn;
 }
 
 size_t TxLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void TxLog::TruncateUpTo(uint64_t up_to_lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(&mu_);
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), up_to_lsn,
       [](uint64_t lsn, const LogTransaction& t) { return lsn < t.lsn; });

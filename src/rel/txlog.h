@@ -2,10 +2,10 @@
 #define TXREP_REL_TXLOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/mutex.h"
 #include "obs/metrics.h"
 #include "rel/value.h"
 
@@ -76,9 +76,10 @@ class TxLog {
   void EnableMetrics(obs::MetricsRegistry* metrics);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LogTransaction> entries_;  // entries_[i].lsn strictly increasing.
-  uint64_t next_lsn_ = 1;
+  mutable check::Mutex mu_{"rel.txlog"};
+  /// entries_[i].lsn strictly increasing.
+  std::vector<LogTransaction> entries_ TXREP_GUARDED_BY(mu_);
+  uint64_t next_lsn_ TXREP_GUARDED_BY(mu_) = 1;
 
   obs::Counter* c_appended_ = nullptr;
   obs::Counter* c_truncations_ = nullptr;

@@ -1,0 +1,180 @@
+// The lock-order registry must flag an inverted acquisition order the first
+// time it is *attempted*, not the first time it actually deadlocks — and must
+// keep the per-thread held chain truthful through acquire/release.
+
+#include "check/lock_order.h"
+
+#include <thread>
+
+#include "check/mutex.h"
+#include "gtest/gtest.h"
+
+namespace txrep::check {
+namespace {
+
+/// Registers the edges of acquiring (id, name) and pushes it on the chain,
+/// like Mutex::Lock does in TXREP_DEBUG_CHECKS builds.
+std::optional<std::string> Acquire(const void* id, const char* name) {
+  auto violation = LockOrderRegistry::Instance().NoteAcquire(id, name);
+  if (!violation.has_value()) {
+    LockOrderRegistry::Instance().NoteAcquired(id, name);
+  }
+  return violation;
+}
+
+void Release(const void* id) {
+  LockOrderRegistry::Instance().NoteReleased(id);
+}
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockOrderRegistry::Instance().ClearEdges(); }
+  void TearDown() override { LockOrderRegistry::Instance().ClearEdges(); }
+
+  // Distinct instance ids; the addresses are all that matters.
+  int a_ = 0, b_ = 0, c_ = 0, a2_ = 0;
+};
+
+TEST_F(LockOrderTest, ConsistentOrderIsClean) {
+  EXPECT_FALSE(Acquire(&a_, "test.A").has_value());
+  EXPECT_FALSE(Acquire(&b_, "test.B").has_value());
+  Release(&b_);
+  Release(&a_);
+  // Same order again: still clean.
+  EXPECT_FALSE(Acquire(&a_, "test.A").has_value());
+  EXPECT_FALSE(Acquire(&b_, "test.B").has_value());
+  Release(&b_);
+  Release(&a_);
+  EXPECT_EQ(LockOrderRegistry::Instance().EdgeCount(), 1u);  // A -> B once.
+}
+
+TEST_F(LockOrderTest, InversionIsReportedBeforeAnyDeadlock) {
+  // Establish A -> B on this thread...
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  Release(&b_);
+  Release(&a_);
+  // ...then merely *attempt* B -> A: no second thread, no deadlock, but the
+  // inversion must be flagged right here.
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  auto violation = LockOrderRegistry::Instance().NoteAcquire(&a_, "test.A");
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("test.A"), std::string::npos);
+  EXPECT_NE(violation->find("test.B"), std::string::npos);
+  Release(&b_);
+}
+
+TEST_F(LockOrderTest, OffendingEdgeKeepsReporting) {
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  Release(&b_);
+  Release(&a_);
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  // The bad edge is not added to the graph, so a second attempt from the
+  // same (or another) call site reports again instead of going quiet.
+  EXPECT_TRUE(
+      LockOrderRegistry::Instance().NoteAcquire(&a_, "test.A").has_value());
+  EXPECT_TRUE(
+      LockOrderRegistry::Instance().NoteAcquire(&a_, "test.A").has_value());
+  Release(&b_);
+}
+
+TEST_F(LockOrderTest, TransitiveCycleIsDetected) {
+  // A -> B and B -> C established...
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  Release(&b_);
+  Release(&a_);
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  ASSERT_FALSE(Acquire(&c_, "test.C").has_value());
+  Release(&c_);
+  Release(&b_);
+  // ...so holding C while acquiring A closes a 3-cycle via reachability.
+  ASSERT_FALSE(Acquire(&c_, "test.C").has_value());
+  EXPECT_TRUE(
+      LockOrderRegistry::Instance().NoteAcquire(&a_, "test.A").has_value());
+  Release(&c_);
+}
+
+TEST_F(LockOrderTest, SameNameNestingIsAViolation) {
+  // Two instances behind one name have no defined order between themselves.
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  auto violation = LockOrderRegistry::Instance().NoteAcquire(&a2_, "test.A");
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("same name"), std::string::npos);
+  Release(&a_);
+}
+
+TEST_F(LockOrderTest, HeldChainTracksOutermostFirst) {
+  EXPECT_TRUE(LockOrderRegistry::Instance().HeldByThisThread().empty());
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  ASSERT_FALSE(Acquire(&b_, "test.B").has_value());
+  EXPECT_EQ(LockOrderRegistry::Instance().HeldByThisThread(),
+            (std::vector<std::string>{"test.A", "test.B"}));
+  // Out-of-order release is legal and removes the right instance.
+  Release(&a_);
+  EXPECT_EQ(LockOrderRegistry::Instance().HeldByThisThread(),
+            (std::vector<std::string>{"test.B"}));
+  Release(&b_);
+  EXPECT_TRUE(LockOrderRegistry::Instance().HeldByThisThread().empty());
+}
+
+TEST_F(LockOrderTest, ChainsArePerThread) {
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  std::thread other([&] {
+    // This thread holds nothing, so acquiring B records no A -> B edge.
+    EXPECT_TRUE(LockOrderRegistry::Instance().HeldByThisThread().empty());
+    EXPECT_FALSE(Acquire(&b_, "test.B").has_value());
+    Release(&b_);
+  });
+  other.join();
+  Release(&a_);
+  EXPECT_EQ(LockOrderRegistry::Instance().EdgeCount(), 0u);
+}
+
+TEST_F(LockOrderTest, UnnamedLocksStayOutsideTheGraph) {
+  ASSERT_FALSE(Acquire(&a_, "test.A").has_value());
+  // nullptr name = opted out: no edge, no chain entry, no violation.
+  EXPECT_FALSE(
+      LockOrderRegistry::Instance().NoteAcquire(&b_, nullptr).has_value());
+  LockOrderRegistry::Instance().NoteAcquired(&b_, nullptr);
+  EXPECT_EQ(LockOrderRegistry::Instance().HeldByThisThread().size(), 1u);
+  Release(&a_);
+  EXPECT_EQ(LockOrderRegistry::Instance().EdgeCount(), 0u);
+}
+
+#ifdef TXREP_DEBUG_CHECKS
+TEST_F(LockOrderTest, MutexHooksMaintainTheChain) {
+  // In debug-checks builds the wrapper feeds the registry automatically.
+  Mutex mu("test.hooked");
+  mu.Lock();
+  EXPECT_EQ(LockOrderRegistry::Instance().HeldByThisThread(),
+            (std::vector<std::string>{"test.hooked"}));
+  mu.Unlock();
+  EXPECT_TRUE(LockOrderRegistry::Instance().HeldByThisThread().empty());
+}
+
+TEST_F(LockOrderTest, CondVarWaitKeepsChainTruthful) {
+  // While blocked in CondVar::Wait the mutex is NOT held; the chain must say
+  // so, or every lock taken by the waking thread would order against it.
+  Mutex mu("test.cv_mu");
+  CondVar cv(&mu);
+  std::vector<std::string> seen_during_wait;
+  std::thread waker([&] {
+    mu.Lock();
+    cv.NotifyAll();
+    mu.Unlock();
+  });
+  mu.Lock();
+  // Single timed wait: whether it times out or is notified, the chain must
+  // be restored to exactly [test.cv_mu] afterwards.
+  cv.WaitForMicros(50 * 1000);
+  EXPECT_EQ(LockOrderRegistry::Instance().HeldByThisThread(),
+            (std::vector<std::string>{"test.cv_mu"}));
+  mu.Unlock();
+  waker.join();
+}
+#endif  // TXREP_DEBUG_CHECKS
+
+}  // namespace
+}  // namespace txrep::check

@@ -167,7 +167,9 @@ TEST_P(CodecPropertyTest, BlinkNodeRoundTrips) {
     ASSERT_EQ(decoded->level, node.level);
     ASSERT_EQ(decoded->right_id, node.right_id);
     ASSERT_EQ(decoded->has_high_key, node.has_high_key);
-    if (node.has_high_key) ASSERT_EQ(decoded->high_key, node.high_key);
+    if (node.has_high_key) {
+      ASSERT_EQ(decoded->high_key, node.high_key);
+    }
     ASSERT_EQ(decoded->entries, node.entries);
     ASSERT_EQ(decoded->separators, node.separators);
     ASSERT_EQ(decoded->children, node.children);

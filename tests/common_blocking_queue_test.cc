@@ -80,6 +80,72 @@ TEST(BlockingQueueTest, CloseWakesBlockedPop) {
   consumer.join();
 }
 
+TEST(BlockingQueueTest, CloseWakesBlockedBoundedPush) {
+  // A producer blocked on a full bounded queue must not hang across
+  // shutdown: Close() has to wake it and make the push fail.
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result = q.Push(2);  // Blocks: queue is full.
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());  // The blocked push failed, item dropped.
+  EXPECT_EQ(*q.Pop(), 1);            // Pre-close item still drains.
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesAllBlockedConsumers) {
+  BlockingQueue<int> q;
+  std::atomic<int> ended{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.Pop().has_value());
+      ended++;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(ended.load(), 4);
+}
+
+TEST(BlockingQueueTest, CloseIsIdempotent) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Close();
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PushVariantsAllFailAfterClose) {
+  BlockingQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_FALSE(q.TryPush(2));
+  EXPECT_FALSE(q.PushFront(3));
+  EXPECT_EQ(q.size(), 0u);  // Nothing leaked into a closed queue.
+}
+
+TEST(BlockingQueueTest, PushFrontJumpsTheLine) {
+  BlockingQueue<int> q;
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  ASSERT_TRUE(q.PushFront(99));
+  EXPECT_EQ(*q.Pop(), 99);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
 TEST(BlockingQueueTest, MpmcNoLossNoDuplication) {
   BlockingQueue<int> q(64);
   constexpr int kProducers = 4, kPerProducer = 500;

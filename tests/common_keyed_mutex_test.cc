@@ -1,5 +1,6 @@
 #include "common/keyed_mutex.h"
 
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -100,6 +101,62 @@ TEST(KeyedMutexTest, ManyKeysNoLeak) {
   for (int i = 0; i < 100; ++i) {
     KeyedMutex::Guard guard(mu, "key" + std::to_string(i));
   }
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, UnlockWakesExactlyTheBlockedWaiters) {
+  // Several threads pile up on one key; each release must hand the key to
+  // exactly one waiter until all have held it.
+  KeyedMutex mu;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      KeyedMutex::Guard guard(mu, "hot");
+      const int now = ++inside;
+      int expected = max_inside.load();
+      while (now > expected && !max_inside.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      --inside;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_inside.load(), 1);  // Never two holders of "hot" at once.
+  EXPECT_EQ(mu.ActiveKeys(), 0u);   // All entries reclaimed after release.
+}
+
+TEST(KeyedMutexTest, HandOverHandChainUnderContention) {
+  // The B-link "move right" pattern: each thread walks key0 -> key1 -> ...
+  // hand-over-hand. Distinct keys may be held by distinct threads at once,
+  // but per key there is only ever one holder.
+  KeyedMutex mu;
+  constexpr int kKeys = 5;
+  std::array<int, kKeys> counters{};  // Unsynchronized: the latches protect.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        KeyedMutex::Guard guard(mu, "key0");
+        counters[0]++;
+        for (int k = 1; k < kKeys; ++k) {
+          guard.MoveTo("key" + std::to_string(k));
+          counters[k]++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int k = 0; k < kKeys; ++k) EXPECT_EQ(counters[k], 200);
+  EXPECT_EQ(mu.ActiveKeys(), 0u);
+}
+
+TEST(KeyedMutexTest, ReleaseIsIdempotent) {
+  KeyedMutex mu;
+  KeyedMutex::Guard guard(mu, "k");
+  guard.Release();
+  guard.Release();  // Second release must be a no-op, not a double unlock.
   EXPECT_EQ(mu.ActiveKeys(), 0u);
 }
 

@@ -118,5 +118,54 @@ TEST(ThreadPoolTest, DoubleShutdownIsSafe) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, ShutdownWithIdleWorkersDoesNotHang) {
+  // Workers blocked in Pop() on an empty queue must be woken by shutdown's
+  // queue close — the classic wakeup-after-close hang.
+  ThreadPool pool(4, "test");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pool.Shutdown();  // Must return; a hang here fails via test timeout.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsDeepQueueAcrossWorkers) {
+  ThreadPool pool(3, "test");
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { counter++; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2, "test");
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter++;
+      });
+    }
+  }  // ~ThreadPool: drain-then-stop.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitUrgentAfterShutdownFails) {
+  ThreadPool pool(1, "test");
+  pool.Shutdown();
+  EXPECT_FALSE(pool.SubmitUrgent([] {}));
+}
+
+TEST(ThreadPoolTest, WaitAfterShutdownReturnsImmediately) {
+  ThreadPool pool(2, "test");
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&] { counter++; });
+  pool.Shutdown();
+  pool.Wait();  // All work is done; must not block.
+  EXPECT_EQ(counter.load(), 10);
+}
+
 }  // namespace
 }  // namespace txrep
