@@ -1,0 +1,132 @@
+// Recovery ablation (DESIGN.md §9): replica MTTR as a function of the
+// checkpoint interval. A restarted replica either cold-replays the complete
+// log (interval = 0, the baseline) or installs the newest durable checkpoint
+// and serially replays only the log tail past its snapshot epoch.
+//
+// Setup (untimed) plays the normal-operation history: a serial replica
+// applies the log in `interval`-sized chunks, checkpointing after each chunk
+// boundary short of the log end — so the crash always lands one interval
+// after the last checkpoint, the steady-state worst case. The timed region
+// is the restart alone: LoadLatestCheckpoint (verify manifest + file
+// checksums) + InstallCheckpoint + tail replay.
+//
+// Expected: MTTR grows roughly linearly with the interval (tail length);
+// even the coarsest checkpoint beats cold replay by the ratio of tail to
+// full log, at the storage cost of one full-state snapshot per interval.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/serial_applier.h"
+#include "recov/checkpoint.h"
+#include "recov/io.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kItems = 2000;
+constexpr int kHotRange = 500;
+constexpr int kTxns = 4000;
+constexpr uint64_t kSeed = 313;
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "ablation_recovery: %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+// arg: checkpoint interval in transactions; 0 = cold-replay baseline.
+void BM_AblationRecovery(benchmark::State& state) {
+  const int interval = static_cast<int>(state.range(0));
+  BenchInput input = BuildSyntheticLog(kItems, kHotRange, kTxns, kSeed);
+  const std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+
+  const std::string dir = "ablation_recovery.ckpt";
+  Check(recov::RemoveDirRecursive(dir), "RemoveDirRecursive");
+
+  // Normal operation: serial replica + periodic checkpoints (untimed).
+  int checkpoints = 0;
+  uint64_t snap_bytes = 0;
+  if (interval > 0) {
+    obs::MetricsRegistry registry;
+    qt::QueryTranslator translator(&input.db->catalog(), {});
+    kv::KvCluster cluster(DefaultCluster(), &registry);
+    Check(cluster.init_status(), "init_status");
+    Check(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
+    core::SerialApplier applier(&cluster, &translator, &registry);
+    recov::CheckpointWriter writer(dir, &registry);
+    for (size_t at = 0; at < log.size(); at += static_cast<size_t>(interval)) {
+      const size_t end =
+          std::min(log.size(), at + static_cast<size_t>(interval));
+      Check(applier.ApplyBatch(std::vector<rel::LogTransaction>(
+                log.begin() + static_cast<ptrdiff_t>(at),
+                log.begin() + static_cast<ptrdiff_t>(end))),
+            "ApplyBatch");
+      if (end == log.size()) break;  // Crash point: one interval past here.
+      Result<recov::CheckpointStats> stats =
+          writer.Write(applier.last_applied_lsn(), cluster);
+      Check(stats.status(), "Checkpoint");
+      snap_bytes = stats->total_bytes;
+      ++checkpoints;
+    }
+  }
+
+  for (auto _ : state) {
+    // The restart: everything a fresh process does to serve reads again.
+    obs::MetricsRegistry registry;
+    qt::QueryTranslator translator(&input.db->catalog(), {});
+    kv::KvCluster cluster(DefaultCluster(), &registry);
+    Check(cluster.init_status(), "init_status");
+    core::SerialApplier applier(&cluster, &translator, &registry);
+    size_t replayed = 0;
+    Stopwatch sw;
+    if (interval > 0) {
+      Result<recov::LoadedCheckpoint> loaded =
+          recov::LoadLatestCheckpoint(dir, &registry);
+      Check(loaded.status(), "LoadLatestCheckpoint");
+      Check(recov::InstallCheckpoint(*loaded, cluster), "InstallCheckpoint");
+      std::vector<rel::LogTransaction> tail;
+      for (const rel::LogTransaction& txn : log) {
+        if (txn.lsn > loaded->manifest.snapshot_epoch) tail.push_back(txn);
+      }
+      replayed = tail.size();
+      Check(applier.ApplyBatch(tail), "tail ApplyBatch");
+    } else {
+      Check(translator.LoadSnapshot(&cluster, *input.snapshot),
+            "LoadSnapshot");
+      Check(applier.ApplyBatch(log), "cold ApplyBatch");
+      replayed = log.size();
+    }
+    const double seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    state.counters["mttr_ms"] = seconds * 1e3;
+    state.counters["replayed_txns"] = static_cast<double>(replayed);
+    state.counters["checkpoints"] = checkpoints;
+    state.counters["snap_mb"] = static_cast<double>(snap_bytes) / 1e6;
+  }
+  state.SetItemsProcessed(kTxns);
+  Check(recov::RemoveDirRecursive(dir), "cleanup");
+}
+
+BENCHMARK(BM_AblationRecovery)
+    ->Arg(0)  // Cold replay: no checkpoint, full log.
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->ArgNames({"ckpt_interval"})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

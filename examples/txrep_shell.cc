@@ -1,6 +1,10 @@
 // Interactive shell over a TxRep deployment: type SQL, watch it replicate.
 //
-//   ./build/examples/txrep_shell
+//   ./build/examples/txrep_shell [--disk DIR]
+//
+// With --disk DIR the replica cluster runs on disk-backed nodes under
+// DIR/nodes and checkpoints land in DIR/checkpoints; restarting the shell
+// against the same DIR resumes from the newest checkpoint.
 //
 // Commands:
 //   <sql>;            -- CREATE TABLE / CREATE [RANGE] INDEX / INSERT /
@@ -8,6 +12,8 @@
 //                        SELECT runs on the database
 //   @replica <select>;-- run a SELECT on the key-value replica (transactional)
 //   @sync             -- drain the replication pipeline
+//   @checkpoint       -- take a durable checkpoint (requires --disk)
+//   @compact          -- compact the disk-backed node logs (requires --disk)
 //   @stats            -- show TM / replica statistics
 //   @metrics [json|prom] -- dump the metrics registry (text by default)
 //   @quit             -- exit
@@ -35,16 +41,34 @@ void PrintRows(const std::vector<txrep::rel::Row>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   txrep::TxRepOptions options;
   options.cluster.num_nodes = 3;
+  bool on_disk = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--disk" && i + 1 < argc) {
+      const std::string dir = argv[++i];
+      options.cluster.backend = txrep::kv::KvBackend::kDisk;
+      options.cluster.disk_dir = dir + "/nodes";
+      options.recovery.checkpoint_dir = dir + "/checkpoints";
+      on_disk = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--disk DIR]\n", argv[0]);
+      return 1;
+    }
+  }
   txrep::TxRepSystem sys(options);
   bool started = false;
 
   std::printf(
       "TxRep shell. SQL statements end with ';'. Special commands: "
-      "@replica <select>; @sync  @stats  @metrics [json|prom]  @audit  "
-      "@quit\n");
+      "@replica <select>; @sync  @checkpoint  @compact  @stats  "
+      "@metrics [json|prom]  @audit  @quit\n");
+  if (on_disk) {
+    std::printf("-- disk-backed replica under %s\n",
+                options.cluster.disk_dir.c_str());
+  }
 
   std::string line;
   std::string pending;
@@ -63,6 +87,35 @@ int main() {
       txrep::Status s = sys.SyncToLatest();
       std::printf("%s (replica LSN %llu)\n", s.ToString().c_str(),
                   static_cast<unsigned long long>(sys.replica_lsn()));
+      continue;
+    }
+    if (pending.empty() && line == "@checkpoint") {
+      if (!started) {
+        std::printf("replication not started yet (no writes so far)\n");
+        continue;
+      }
+      auto stats = sys.Checkpoint();
+      if (!stats.ok()) {
+        std::printf("checkpoint failed: %s\n",
+                    stats.status().ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "-- checkpoint at epoch %llu: %llu records, %llu bytes, %lld us\n",
+          static_cast<unsigned long long>(stats->epoch),
+          static_cast<unsigned long long>(stats->total_records),
+          static_cast<unsigned long long>(stats->total_bytes),
+          static_cast<long long>(stats->duration_us));
+      continue;
+    }
+    if (pending.empty() && line == "@compact") {
+      if (!started) {
+        std::printf("replication not started yet (no writes so far)\n");
+        continue;
+      }
+      txrep::Status s = sys.replica().CompactAll();
+      std::printf("%s\n", s.ok() ? "-- node logs compacted"
+                                  : s.ToString().c_str());
       continue;
     }
     if (pending.empty() && line == "@audit") {

@@ -28,9 +28,12 @@ MODE="${1:-plain}"
 
 # Concurrency-heavy tests worth re-running under a sanitizer: the metrics
 # hot paths (sharded counters, gauges, histograms), the TM pools that hammer
-# them, the middleware threads that stamp stage latencies, and the
-# correctness-tooling suites themselves.
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_'
+# them, the middleware threads that stamp stage latencies, the
+# correctness-tooling suites themselves, and the crash-recovery suites
+# (checkpoint writer + restart + online bootstrap + disk-node torn tails),
+# whose raw file I/O and background threads are exactly where ASan/UBSan
+# earn their keep.
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

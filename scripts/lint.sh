@@ -10,6 +10,11 @@
 #     other file must use the named constants so dashboards and tests agree
 #     on one spelling (DESIGN.md §Observability).
 #
+#  3. Direct file I/O is confined to src/kv/ (disk-backed nodes) and
+#     src/recov/ (checkpoints, manifests, cursors). Everything else goes
+#     through those layers, so crash-safety reasoning (fsync ordering, torn
+#     writes, tmp-rename commits) lives in exactly two places (DESIGN.md §9).
+#
 # Exits non-zero listing every offending line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +37,16 @@ metric_literals=$(grep -rn '"txrep_' \
 if [[ -n "${metric_literals}" ]]; then
   echo "lint: metric name literals outside src/obs/names.h (use the constants):"
   echo "${metric_literals}"
+  fail=1
+fi
+
+file_io=$(grep -rnE \
+  '\b(fopen|fclose|fread|fwrite|fsync|fdatasync|ftruncate|pread|pwrite|::open\(|openat|creat\(|opendir|readdir|closedir|mkdir\(|rmdir\(|unlink\(|unlinkat|renameat|std::(o|i)?fstream|ofstream|ifstream)\b' \
+  src --include='*.h' --include='*.cc' \
+  | grep -vE '^src/(kv|recov)/' || true)
+if [[ -n "${file_io}" ]]; then
+  echo "lint: direct file I/O outside src/kv/ and src/recov/ (route it through those layers):"
+  echo "${file_io}"
   fail=1
 fi
 

@@ -11,6 +11,8 @@
 #include "core/transaction_manager.h"
 #include "kv/inmemory_node.h"
 #include "qt/query_translator.h"
+#include "recov/checkpoint.h"
+#include "recov/io.h"
 #include "rel/database.h"
 #include "rel/statement.h"
 
@@ -235,7 +237,107 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
           CheckReplicaEquivalence(concurrent_store, db, translator));
     }
   }
+
+  if (options_.crash_restart) {
+    TXREP_RETURN_IF_ERROR(
+        RunCrashRestart(seed, db, translator, serial_store.Dump()));
+  }
   return Status::OK();
+}
+
+Status ScheduleExplorer::RunCrashRestart(uint64_t seed, rel::Database& db,
+                                         const qt::QueryTranslator& translator,
+                                         const kv::StoreDump& serial_dump) {
+  if (options_.scratch_dir.empty()) {
+    return Status::InvalidArgument("crash_restart requires scratch_dir");
+  }
+  // A private random stream so adding crash exploration does not perturb
+  // the main schedule derivation (seeds stay reproducible across modes).
+  Random rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  const uint64_t last_lsn = db.log().LastLsn();
+  if (last_lsn == 0) return Status::OK();
+  const std::string dir =
+      options_.scratch_dir + "/seed-" + std::to_string(seed);
+  TXREP_RETURN_IF_ERROR(recov::RemoveDirRecursive(dir));
+  TXREP_RETURN_IF_ERROR(recov::EnsureDir(dir));
+
+  // Seed-derived crash point: the TM applies LSNs [1, crash_lsn], takes a
+  // checkpoint, and then the whole replica vanishes.
+  const uint64_t crash_lsn = 1 + rng.Uniform(last_lsn);
+
+  {
+    kv::InMemoryKvNode store;
+    TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(&store));
+    core::TmOptions tm_options;
+    tm_options.top_threads = 2;
+    tm_options.bottom_threads = 2;
+    core::TransactionManager tm(&store, &translator, tm_options);
+    for (rel::LogTransaction& txn : db.log().ReadSince(0, crash_lsn)) {
+      tm.SubmitUpdate(std::move(txn));
+    }
+    TXREP_RETURN_IF_ERROR(tm.WaitIdle());
+    if (tm.last_applied_lsn() != crash_lsn) {
+      return Status::Internal(
+          "TM applied prefix ends at " +
+          std::to_string(tm.last_applied_lsn()) + ", expected " +
+          std::to_string(crash_lsn));
+    }
+
+    recov::CheckpointWriter writer(dir);
+    // Seed-derived protocol fault: some schedules first suffer a checkpoint
+    // attempt that dies mid-write (torn manifest, or a crash between
+    // snapshot files). Recovery below must ignore its debris.
+    const uint64_t fault_kind = rng.Uniform(3);
+    if (fault_kind != 0 && crash_lsn > 1) {
+      recov::CheckpointFaults faults;
+      if (fault_kind == 1) {
+        faults.tear_manifest = true;
+      } else {
+        faults.fail_after_files = 0;
+      }
+      writer.set_faults(faults);
+      Result<recov::CheckpointStats> faulted =
+          writer.Write(crash_lsn - 1, std::vector<kv::KvStore*>{&store});
+      if (faulted.ok()) {
+        return Status::Internal("injected checkpoint fault did not fail");
+      }
+      writer.set_faults(recov::CheckpointFaults{});
+    }
+    TXREP_RETURN_IF_ERROR(
+        writer.Write(crash_lsn, std::vector<kv::KvStore*>{&store}).status());
+  }  // <- crash: the live store and TM are gone; only `dir` survives.
+
+  // Restart: a process-equivalent recovers from the newest usable
+  // checkpoint and replays the log tail serially.
+  TXREP_ASSIGN_OR_RETURN(recov::LoadedCheckpoint checkpoint,
+                         recov::LoadLatestCheckpoint(dir, nullptr));
+  if (checkpoint.manifest.snapshot_epoch != crash_lsn) {
+    return Status::Internal(
+        "recovery picked epoch " +
+        std::to_string(checkpoint.manifest.snapshot_epoch) + ", expected " +
+        std::to_string(crash_lsn));
+  }
+  kv::InMemoryKvNode recovered;
+  TXREP_RETURN_IF_ERROR(recov::InstallCheckpoint(
+      checkpoint, std::vector<kv::KvStore*>{&recovered}));
+  std::vector<rel::LogTransaction> tail =
+      db.log().ReadSince(checkpoint.manifest.snapshot_epoch);
+  if (!tail.empty() &&
+      tail.front().lsn != checkpoint.manifest.snapshot_epoch + 1) {
+    return Status::Corruption(
+        "log tail gap after epoch " +
+        std::to_string(checkpoint.manifest.snapshot_epoch));
+  }
+  core::SerialApplier tail_applier(&recovered, &translator);
+  TXREP_RETURN_IF_ERROR(tail_applier.ApplyBatch(tail));
+
+  const std::string diff = DiffDumps(serial_dump, recovered.Dump());
+  if (!diff.empty()) {
+    return Status::FailedPrecondition(
+        "crash-restart replica diverged from serial replay: " + diff);
+  }
+  return recov::RemoveDirRecursive(dir);
 }
 
 Status ScheduleExplorer::RunOne(uint64_t seed) {

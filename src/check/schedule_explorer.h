@@ -6,6 +6,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "kv/kv_types.h"
+
+namespace txrep::rel {
+class Database;
+}
+namespace txrep::qt {
+class QueryTranslator;
+}
 
 namespace txrep::check {
 
@@ -28,6 +36,20 @@ struct ScheduleExplorerOptions {
   /// 0 disables the audit. The audit is an order of magnitude slower than
   /// the dump comparison, hence the sampling.
   int audit_every = 8;
+
+  /// Crash-restart mode (requires `scratch_dir`): after the concurrent /
+  /// serial comparison, each schedule additionally replays through a TM that
+  /// "crashes" at a seed-derived LSN right after taking a checkpoint —
+  /// optionally preceded by a seed-derived faulted checkpoint attempt (torn
+  /// manifest or crash mid-snapshot-files) whose debris must be ignored. A
+  /// fresh process-equivalent then recovers from the newest usable
+  /// checkpoint, replays the log tail, and must be byte-identical to serial
+  /// replay.
+  bool crash_restart = false;
+
+  /// Directory for crash-restart checkpoint files; each seed uses a private
+  /// subdirectory that is wiped before and after the schedule.
+  std::string scratch_dir;
 };
 
 /// One schedule that diverged from serial replay (or tripped an invariant).
@@ -82,6 +104,13 @@ class ScheduleExplorer {
  private:
   /// RunOne body that also accumulates stats into `report` (null ok).
   Status RunOneInternal(uint64_t seed, ScheduleReport* report);
+
+  /// Crash-restart phase of one schedule: checkpoint at a seed-derived
+  /// point, discard the live replica, recover from disk + log tail, compare
+  /// against `serial_dump`.
+  Status RunCrashRestart(uint64_t seed, rel::Database& db,
+                         const qt::QueryTranslator& translator,
+                         const kv::StoreDump& serial_dump);
 
   const ScheduleExplorerOptions options_;
 };

@@ -81,4 +81,13 @@ int64_t ZigZagDecode(uint64_t value) {
   return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
 }
 
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace txrep::codec

@@ -31,6 +31,10 @@ bool GetDouble(std::string_view* src, double* value);
 uint64_t ZigZagEncode(int64_t value);
 int64_t ZigZagDecode(uint64_t value);
 
+/// FNV-1a 64-bit hash — the project's record/file checksum (disk node log
+/// records, checkpoint snapshot files and manifests all use it).
+uint64_t Fnv1a(std::string_view bytes);
+
 }  // namespace txrep::codec
 
 #endif  // TXREP_CODEC_ENCODING_H_

@@ -84,6 +84,13 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

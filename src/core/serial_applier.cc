@@ -21,6 +21,9 @@ Status SerialApplier::Apply(const rel::LogTransaction& txn) {
   const int64_t start = NowMicros();
   TXREP_RETURN_IF_ERROR(translator_->ApplyTransaction(store_, txn));
   ++applied_;
+  if (txn.lsn != 0) {
+    last_applied_lsn_.store(txn.lsn, std::memory_order_release);
+  }
   const int64_t now = NowMicros();
   if (h_stage_apply_ != nullptr) h_stage_apply_->Record(now - start);
   if (h_stage_e2e_ != nullptr && txn.commit_micros != 0) {

@@ -1,6 +1,7 @@
 #ifndef TXREP_CORE_SERIAL_APPLIER_H_
 #define TXREP_CORE_SERIAL_APPLIER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/status.h"
@@ -34,10 +35,19 @@ class SerialApplier {
 
   int64_t applied() const { return applied_; }
 
+  /// LSN of the last applied transaction (0 before the first). Serial
+  /// replay is in-order, so this is always the applied-prefix end — the
+  /// serial path's snapshot-epoch source. Atomic: checkpointing reads it
+  /// from another thread while the applier owns the apply thread.
+  uint64_t last_applied_lsn() const {
+    return last_applied_lsn_.load(std::memory_order_acquire);
+  }
+
  private:
   kv::KvStore* store_;                     // Not owned.
   const qt::QueryTranslator* translator_;  // Not owned.
   int64_t applied_ = 0;
+  std::atomic<uint64_t> last_applied_lsn_{0};
 
   Histogram* h_stage_apply_ = nullptr;
   Histogram* h_stage_e2e_ = nullptr;

@@ -88,6 +88,11 @@ class Transaction {
   int64_t db_commit_micros = 0;
   int64_t enqueue_micros = 0;
 
+  /// Commit LSN of the shipped update transaction this one replays (0 for
+  /// read-only transactions). The TM folds it into last_applied_lsn() when
+  /// the transaction completes — the basis of checkpoint snapshot epochs.
+  uint64_t lsn = 0;
+
  private:
   const uint64_t seq_;
   const bool read_only_;

@@ -73,13 +73,14 @@ TransactionManager::~TransactionManager() {
 std::shared_ptr<Transaction> TransactionManager::SubmitUpdate(
     rel::LogTransaction log_txn) {
   const int64_t db_commit_micros = log_txn.commit_micros;
+  const uint64_t lsn = log_txn.lsn;
   auto payload = std::make_shared<rel::LogTransaction>(std::move(log_txn));
   return SubmitInternal(
       /*read_only=*/false,
       [this, payload](kv::KvStore* view) {
         return translator_->ApplyTransaction(view, *payload);
       },
-      db_commit_micros);
+      db_commit_micros, lsn);
 }
 
 std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
@@ -88,13 +89,18 @@ std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
 }
 
 TransactionManager::TxnPtr TransactionManager::SubmitInternal(
-    bool read_only, Transaction::Body body, int64_t db_commit_micros) {
+    bool read_only, Transaction::Body body, int64_t db_commit_micros,
+    uint64_t lsn) {
   TxnPtr txn;
   {
     check::MutexLock lock(&mu_);
+    // A quiescent barrier owns the sequence space while it drains; new
+    // arrivals park here so the snapshot ends at an exact txn boundary.
+    while (quiescing_ && health_.ok()) cv_.Wait();
     txn = std::make_shared<Transaction>(next_seq_++, read_only,
                                         std::move(body));
     txn->db_commit_micros = db_commit_micros;
+    txn->lsn = lsn;
     if (!health_.ok()) {
       txn->Finish(health_);
       return txn;
@@ -297,6 +303,9 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
     committed_.erase(txn->seq());
     completed_[txn->seq()] = txn;
     active_.erase(txn->seq());
+    // Bottom-pool completions land out of order, so track the max; it equals
+    // the applied-prefix end whenever active_ is empty (idle / quiesced).
+    if (txn->lsn > last_applied_lsn_) last_applied_lsn_ = txn->lsn;
     c_completed_->Increment();
     h_txn_restarts_->Record(txn->restart_count);
     if (txn->db_commit_micros != 0) {
@@ -366,6 +375,37 @@ Status TransactionManager::WaitIdle() {
   check::MutexLock lock(&mu_);
   while (!active_.empty() && health_.ok()) cv_.Wait();
   return health_;
+}
+
+Status TransactionManager::QuiesceBarrier(
+    const std::function<Status()>& fn) {
+  {
+    check::MutexLock lock(&mu_);
+    // Serialize barriers: only one drain owns quiescing_ at a time.
+    while (quiescing_ && health_.ok()) cv_.Wait();
+    if (!health_.ok()) return health_;
+    quiescing_ = true;
+    while (!active_.empty() && health_.ok()) cv_.Wait();
+    if (!health_.ok()) {
+      quiescing_ = false;
+      cv_.NotifyAll();
+      return health_;
+    }
+  }
+  // Quiescent: nothing in flight, and Submit* parks on quiescing_. The
+  // callback (checkpoint I/O) runs outside the controller mutex.
+  Status status = fn();
+  {
+    check::MutexLock lock(&mu_);
+    quiescing_ = false;
+    cv_.NotifyAll();
+  }
+  return status;
+}
+
+uint64_t TransactionManager::last_applied_lsn() const {
+  check::MutexLock lock(&mu_);
+  return last_applied_lsn_;
 }
 
 Status TransactionManager::health() const {

@@ -2,6 +2,7 @@
 #define TXREP_CORE_TRANSACTION_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <queue>
@@ -132,6 +133,22 @@ class TransactionManager {
   /// failure status if the TM failed.
   Status WaitIdle();
 
+  /// Quiescent barrier (checkpoint support): blocks *new* submissions, waits
+  /// for every in-flight transaction to apply, runs `fn` at the quiescent
+  /// point — the replica store then holds exactly the transaction prefix up
+  /// to last_applied_lsn(), nothing more — and reopens submissions. `fn`
+  /// runs outside the controller mutex (it may do heavy I/O); submissions
+  /// stay parked in Submit* until the barrier releases them. Barriers
+  /// serialize against each other. Returns `fn`'s status, or the TM's
+  /// failure status if it failed before the barrier was reached.
+  Status QuiesceBarrier(const std::function<Status()>& fn);
+
+  /// Highest commit LSN among completed update transactions. Because the
+  /// bottom pool applies concurrently, this is exact (equal to the applied
+  /// *prefix* end) only when the TM is idle or quiesced — the only states
+  /// checkpointing reads it in.
+  uint64_t last_applied_lsn() const;
+
   /// Sticky failure status (OK while healthy).
   Status health() const;
 
@@ -159,7 +176,7 @@ class TransactionManager {
   };
 
   TxnPtr SubmitInternal(bool read_only, Transaction::Body body,
-                        int64_t db_commit_micros = 0);
+                        int64_t db_commit_micros = 0, uint64_t lsn = 0);
 
   /// Top-pool task: (re-)executes the body into a fresh buffer, then
   /// enqueues the commit request.
@@ -253,6 +270,10 @@ class TransactionManager {
   std::map<uint64_t, TxnPtr> active_ TXREP_GUARDED_BY(mu_);
   bool gc_scheduled_ TXREP_GUARDED_BY(mu_) = false;
   bool stopping_ TXREP_GUARDED_BY(mu_) = false;
+  /// A quiescent barrier is draining: Submit* parks until it clears.
+  bool quiescing_ TXREP_GUARDED_BY(mu_) = false;
+  /// Max commit LSN over completed update transactions (see accessor).
+  uint64_t last_applied_lsn_ TXREP_GUARDED_BY(mu_) = 0;
   Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
 
   std::thread controller_;

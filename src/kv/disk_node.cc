@@ -1,5 +1,6 @@
 #include "kv/disk_node.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,13 +20,22 @@ namespace {
 constexpr char kTypePut = 0;
 constexpr char kTypeDelete = 1;
 
-uint64_t Fnv1a(std::string_view bytes) {
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 1099511628211ULL;
+/// fsyncs the directory containing `path` so a rename inside it is durable.
+Status SyncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open dir \"" + dir +
+                               "\": " + std::strerror(errno));
   }
-  return h;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Unavailable("fsync failed for dir \"" + dir +
+                               "\": " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -75,7 +85,7 @@ Status DiskKvNode::ReplayLog() {
     uint64_t checksum = 0;
     if (!codec::GetLengthPrefixed(&cursor, &body) ||
         !codec::GetFixed64(&cursor, &checksum) ||
-        Fnv1a(body) != checksum) {
+        codec::Fnv1a(body) != checksum) {
       // Torn tail (crash mid-append): keep what replayed, truncate the rest.
       break;
     }
@@ -119,8 +129,11 @@ Status DiskKvNode::AppendRecord(bool tombstone, const Key& key,
 
   std::string record;
   codec::AppendLengthPrefixed(record, body);
-  codec::AppendFixed64(record, Fnv1a(body));
+  codec::AppendFixed64(record, codec::Fnv1a(body));
 
+  if (log_ == nullptr) {
+    return Status::Unavailable("log \"" + path_ + "\" is not open");
+  }
   if (std::fwrite(record.data(), 1, record.size(), log_) != record.size()) {
     return Status::Unavailable("log append failed: " +
                                std::string(std::strerror(errno)));
@@ -199,27 +212,71 @@ Status DiskKvNode::Compact() {
     codec::AppendLengthPrefixed(body, value);
     std::string record;
     codec::AppendLengthPrefixed(record, body);
-    codec::AppendFixed64(record, Fnv1a(body));
+    codec::AppendFixed64(record, codec::Fnv1a(body));
     if (std::fwrite(record.data(), 1, record.size(), out) != record.size()) {
       std::fclose(out);
       std::remove(tmp_path.c_str());
       return Status::Unavailable("compaction write failed");
     }
   }
-  std::fflush(out);
-  ::fsync(::fileno(out));
-  std::fclose(out);
-
-  std::fclose(log_);
-  log_ = nullptr;
-  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    return Status::Unavailable("compaction rename failed: " +
+  // The rewritten log must be durable *before* it replaces the old one;
+  // renaming an unsynced file can surface after a crash as an empty or
+  // partial log where a complete one used to be.
+  if (std::fflush(out) != 0 || ::fsync(::fileno(out)) != 0) {
+    std::fclose(out);
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("compaction fsync failed: " +
                                std::string(std::strerror(errno)));
   }
+  if (std::fclose(out) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("compaction close failed: " +
+                               std::string(std::strerror(errno)));
+  }
+
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    const Status status =
+        Status::Unavailable("compaction rename failed: " +
+                            std::string(std::strerror(errno)));
+    std::remove(tmp_path.c_str());
+    // The old log is still in place; reopen it so the node stays usable.
+    log_ = std::fopen(path_.c_str(), "ab");
+    return status;
+  }
+  TXREP_RETURN_IF_ERROR(SyncParentDir(path_));
   log_ = std::fopen(path_.c_str(), "ab");
   if (log_ == nullptr) {
     return Status::Unavailable("cannot reopen compacted log");
   }
+  return Status::OK();
+}
+
+Status DiskKvNode::Clear() {
+  check::MutexLock lock(&mu_);
+  if (log_ != nullptr) {
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+  // Truncate by reopening in write mode, then switch back to append mode.
+  std::FILE* truncated = std::fopen(path_.c_str(), "wb");
+  if (truncated == nullptr) {
+    return Status::Unavailable("cannot truncate log \"" + path_ +
+                               "\": " + std::strerror(errno));
+  }
+  if (std::fclose(truncated) != 0) {
+    return Status::Unavailable("cannot truncate log \"" + path_ +
+                               "\": " + std::strerror(errno));
+  }
+  log_ = std::fopen(path_.c_str(), "ab");
+  if (log_ == nullptr) {
+    return Status::Unavailable("cannot reopen log \"" + path_ +
+                               "\": " + std::strerror(errno));
+  }
+  map_.clear();
   return Status::OK();
 }
 

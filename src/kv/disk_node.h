@@ -49,11 +49,18 @@ class DiskKvNode : public KvStore {
   size_t Size() override;
   StoreDump Dump() override;
 
+  /// Truncates the log and drops the in-memory index — a fresh, empty node.
+  /// Used by checkpoint install before loading a snapshot.
+  Status Clear() override;
+
   /// Flushes and fsyncs the log.
   Status Sync();
 
   /// Rewrites the log so it contains exactly the live records (dropping
-  /// overwritten and deleted history). Atomic via rename.
+  /// overwritten and deleted history). The rewritten log is fsynced before
+  /// it is renamed over the old one and the rename is fsynced in the parent
+  /// directory, so a crash at any point leaves either the full old log or
+  /// the full new one. On failure the node stays usable on its old log.
   Status Compact();
 
   /// Records replayed at Open (live + dead), for recovery diagnostics.

@@ -142,6 +142,17 @@ StoreDump InMemoryKvNode::Dump() {
   return dump;
 }
 
+Status InMemoryKvNode::Clear() {
+  // Stripes are cleared one at a time — callers requiring a consistent
+  // "empty at one instant" view (checkpoint install) already hold the
+  // replica quiescent.
+  for (Stripe& stripe : stripes_) {
+    check::WriterMutexLock lock(&stripe.mu);
+    stripe.map.clear();
+  }
+  return Status::OK();
+}
+
 KvStoreStats InMemoryKvNode::stats() const {
   check::MutexLock lock(&stats_mu_);
   return stats_;

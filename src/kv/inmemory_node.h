@@ -62,6 +62,7 @@ class InMemoryKvNode : public KvStore {
   bool Contains(const Key& key) override;
   size_t Size() override;
   StoreDump Dump() override;
+  Status Clear() override;
 
   /// Cumulative operation counters (snapshot).
   KvStoreStats stats() const;

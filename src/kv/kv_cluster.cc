@@ -1,18 +1,71 @@
 #include "kv/kv_cluster.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <functional>
+#include <utility>
 
 namespace txrep::kv {
 
-KvCluster::KvCluster(KvClusterOptions options, obs::MetricsRegistry* metrics) {
-  const int n = std::max(1, options.num_nodes);
+namespace {
+
+/// mkdir -p for the disk backend's log directory.
+Status EnsureDirExists(const std::string& path) {
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // Leading '/'.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Unavailable("mkdir failed for \"" + prefix +
+                                 "\": " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+KvCluster::KvCluster(KvClusterOptions options, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)) {
+  const int n = std::max(1, options_.num_nodes);
   nodes_.reserve(n);
+  is_disk_.reserve(n);
+
+  if (options_.backend == KvBackend::kDisk) {
+    if (options_.disk_dir.empty()) {
+      init_status_ =
+          Status::InvalidArgument("KvBackend::kDisk requires disk_dir");
+    } else {
+      init_status_ = EnsureDirExists(options_.disk_dir);
+    }
+  }
+
   for (int i = 0; i < n; ++i) {
-    KvNodeOptions node_options = options.node;
+    if (options_.backend == KvBackend::kDisk && init_status_.ok()) {
+      Result<std::unique_ptr<DiskKvNode>> node = DiskKvNode::Open(
+          options_.disk_dir + "/node-" + std::to_string(i) + ".log",
+          options_.disk);
+      if (node.ok()) {
+        nodes_.push_back(std::move(*node));
+        is_disk_.push_back(true);
+        continue;
+      }
+      init_status_ = node.status();
+    }
+    // In-memory node — the default backend, and the safe fallback keeping
+    // the cluster non-null when a disk node failed to open.
+    KvNodeOptions node_options = options_.node;
     // Give each node an independent failure stream.
-    node_options.failure_seed = options.node.failure_seed + i * 0x9e3779b9ULL;
+    node_options.failure_seed = options_.node.failure_seed + i * 0x9e3779b9ULL;
     nodes_.push_back(std::make_unique<InMemoryKvNode>(node_options, metrics, i));
+    is_disk_.push_back(false);
   }
 }
 
@@ -20,7 +73,7 @@ int KvCluster::NodeIndexFor(const Key& key) const {
   return static_cast<int>(std::hash<std::string>{}(key) % nodes_.size());
 }
 
-InMemoryKvNode& KvCluster::NodeFor(const Key& key) {
+KvStore& KvCluster::NodeFor(const Key& key) {
   return *nodes_[NodeIndexFor(key)];
 }
 
@@ -51,9 +104,47 @@ StoreDump KvCluster::Dump() {
   return dump;
 }
 
+Status KvCluster::Clear() {
+  for (auto& node : nodes_) {
+    TXREP_RETURN_IF_ERROR(node->Clear());
+  }
+  return Status::OK();
+}
+
+InMemoryKvNode* KvCluster::memory_node(int index) {
+  if (is_disk_[index]) return nullptr;
+  return static_cast<InMemoryKvNode*>(nodes_[index].get());
+}
+
+DiskKvNode* KvCluster::disk_node(int index) {
+  if (!is_disk_[index]) return nullptr;
+  return static_cast<DiskKvNode*>(nodes_[index].get());
+}
+
+Status KvCluster::SyncAll() {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (DiskKvNode* node = disk_node(i)) {
+      TXREP_RETURN_IF_ERROR(node->Sync());
+    }
+  }
+  return Status::OK();
+}
+
+Status KvCluster::CompactAll() {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (DiskKvNode* node = disk_node(i)) {
+      TXREP_RETURN_IF_ERROR(node->Compact());
+    }
+  }
+  return Status::OK();
+}
+
 KvStoreStats KvCluster::TotalStats() const {
   KvStoreStats total;
-  for (const auto& node : nodes_) total += node->stats();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_disk_[i]) continue;
+    total += static_cast<const InMemoryKvNode*>(nodes_[i].get())->stats();
+  }
   return total;
 }
 

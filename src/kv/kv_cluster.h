@@ -3,12 +3,21 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "kv/disk_node.h"
 #include "kv/inmemory_node.h"
 #include "kv/kv_store.h"
 
 namespace txrep::kv {
+
+/// Which concrete store backs each cluster node.
+enum class KvBackend {
+  kInMemory,  // InMemoryKvNode — the paper's memcached/Voldemort-in-RAM mode.
+  kDisk,      // DiskKvNode — persistent log-structured nodes (paper §1's
+              // "data persistence and recovery" flavour).
+};
 
 /// Configuration of a partitioned key-value cluster (the replica side's
 /// Voldemort stand-in).
@@ -16,20 +25,37 @@ struct KvClusterOptions {
   /// Number of nodes; keys are hash-partitioned across them.
   int num_nodes = 5;
 
-  /// Per-node simulation knobs (see KvNodeOptions).
+  /// Per-node simulation knobs (see KvNodeOptions). In-memory backend only.
   KvNodeOptions node;
+
+  /// Node backend. The disk backend requires `disk_dir` and reports open
+  /// failures through KvCluster::init_status().
+  KvBackend backend = KvBackend::kInMemory;
+
+  /// Directory holding the per-node logs ("node-<i>.log"), created if
+  /// absent. Reopening the same directory recovers the persisted state.
+  std::string disk_dir;
+
+  /// Per-node knobs for the disk backend.
+  DiskKvNodeOptions disk;
 };
 
-/// Hash-partitioned cluster of InMemoryKvNodes implementing the same KvStore
+/// Hash-partitioned cluster of KV nodes implementing the same KvStore
 /// interface. Each key lives on exactly one node; the cluster adds no
 /// replication of its own (the paper's store is the replica).
 ///
-/// Per-node service slots mean aggregate capacity grows with the node count,
-/// reproducing the paper's Fig. 17 behaviour.
+/// Per-node service slots (in-memory backend) mean aggregate capacity grows
+/// with the node count, reproducing the paper's Fig. 17 behaviour.
 class KvCluster : public KvStore {
  public:
   /// `metrics` (optional, must outlive the cluster) receives per-node op
-  /// counters, latency histograms and slot gauges, labeled {node="i"}.
+  /// counters, latency histograms and slot gauges, labeled {node="i"}
+  /// (in-memory backend; disk nodes run unobserved at the op level).
+  ///
+  /// Construction cannot fail, but opening disk-backed nodes can: check
+  /// init_status() before using a kDisk cluster. Nodes that failed to open
+  /// are replaced with empty in-memory nodes so the object stays safe to
+  /// call either way.
   explicit KvCluster(KvClusterOptions options = {},
                      obs::MetricsRegistry* metrics = nullptr);
 
@@ -42,22 +68,47 @@ class KvCluster : public KvStore {
   bool Contains(const Key& key) override;
   size_t Size() override;
   StoreDump Dump() override;
+  Status Clear() override;
+
+  /// OK for the in-memory backend; for kDisk, the first node-open error if
+  /// any log failed to open/replay.
+  const Status& init_status() const { return init_status_; }
+
+  KvBackend backend() const { return options_.backend; }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
   /// Index of the node owning `key` (stable hash partitioning).
   int NodeIndexFor(const Key& key) const;
 
-  /// Direct access to a node, e.g. for per-node stats in benchmarks.
-  InMemoryKvNode& node(int index) { return *nodes_[index]; }
+  /// Direct access to a node, e.g. for per-node stats in benchmarks or
+  /// per-shard checkpointing.
+  KvStore& node(int index) { return *nodes_[index]; }
 
-  /// Sum of per-node counters.
+  /// Backend-typed access; nullptr when the node is of the other backend.
+  InMemoryKvNode* memory_node(int index);
+  DiskKvNode* disk_node(int index);
+
+  /// Flushes and fsyncs every disk node's log (no-op for in-memory nodes).
+  Status SyncAll();
+
+  /// Compacts every disk node's log to live records only (no-op for
+  /// in-memory nodes). Called after a checkpoint install drops history.
+  Status CompactAll();
+
+  /// Sum of per-node counters (in-memory nodes only; disk nodes do not
+  /// keep op counters).
   KvStoreStats TotalStats() const;
 
  private:
-  InMemoryKvNode& NodeFor(const Key& key);
+  KvStore& NodeFor(const Key& key);
 
-  std::vector<std::unique_ptr<InMemoryKvNode>> nodes_;
+  KvClusterOptions options_;
+  Status init_status_;
+  std::vector<std::unique_ptr<KvStore>> nodes_;
+  /// Parallel to nodes_: true when nodes_[i] is a DiskKvNode (a disk node
+  /// that failed to open falls back to in-memory, so this is per-node).
+  std::vector<bool> is_disk_;
 };
 
 }  // namespace txrep::kv

@@ -40,6 +40,18 @@ class KvStore {
   /// Full snapshot sorted by key, for state-equivalence checks and examples.
   /// Not meant to be cheap; do not call on hot paths.
   virtual StoreDump Dump() = 0;
+
+  /// Removes every key, returning the store to its freshly-created state.
+  /// Checkpoint install clears the target before loading a snapshot (tail
+  /// replay is not idempotent against stale state). The default deletes key
+  /// by key through the public interface; backends override with cheaper
+  /// resets (a disk node truncates its log instead of appending tombstones).
+  virtual Status Clear() {
+    for (const auto& entry : Dump()) {
+      TXREP_RETURN_IF_ERROR(Delete(entry.first));
+    }
+    return Status::OK();
+  }
 };
 
 /// Aggregate operation counters exposed by the concrete stores.

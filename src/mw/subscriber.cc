@@ -8,8 +8,13 @@
 namespace txrep::mw {
 
 SubscriberAgent::SubscriberAgent(Broker* broker, const std::string& topic,
-                                 TxnSink sink, obs::MetricsRegistry* metrics)
+                                 TxnSink sink, obs::MetricsRegistry* metrics,
+                                 SubscriberOptions options)
     : subscription_(broker->Subscribe(topic)), sink_(std::move(sink)) {
+  // Everything at or below the resume point counts as already applied.
+  applied_lsn_ = options.resume_after_lsn;
+  resume_after_lsn_ = options.resume_after_lsn;
+  paused_ = options.start_paused;
   if (metrics != nullptr) {
     c_txns_received_ = metrics->GetCounter(obs::kMwTxnsReceived);
     h_recv_latency_ = metrics->GetHistogram(
@@ -22,6 +27,13 @@ SubscriberAgent::~SubscriberAgent() { Stop(); }
 
 void SubscriberAgent::ReceiveLoop() {
   while (running_.load(std::memory_order_relaxed)) {
+    {
+      // While paused, delivered messages pile up in the subscription queue
+      // (unbounded by default) instead of reaching the sink.
+      check::MutexLock lock(&mu_);
+      while (paused_ && running_.load(std::memory_order_relaxed)) cv_.Wait();
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
     std::optional<Message> message = subscription_->TryPop();
     if (!message.has_value()) {
       // Blocking pop, but wake up periodically so Stop() is responsive even
@@ -44,6 +56,16 @@ void SubscriberAgent::ReceiveLoop() {
     }
     for (rel::LogTransaction& txn : *batch) {
       const uint64_t lsn = txn.lsn;
+      {
+        // Duplicates below the resume point were installed from a snapshot
+        // or direct log replay already: acknowledge without re-applying.
+        check::MutexLock lock(&mu_);
+        if (lsn <= resume_after_lsn_) {
+          if (lsn > applied_lsn_) applied_lsn_ = lsn;
+          cv_.NotifyAll();
+          continue;
+        }
+      }
       Status s = sink_(std::move(txn));
       if (c_txns_received_ != nullptr) c_txns_received_->Increment();
       check::MutexLock lock(&mu_);
@@ -69,8 +91,27 @@ bool SubscriberAgent::WaitForLsn(uint64_t lsn) {
   return applied_lsn_ >= lsn;
 }
 
+void SubscriberAgent::Resume() {
+  check::MutexLock lock(&mu_);
+  paused_ = false;
+  cv_.NotifyAll();
+}
+
+void SubscriberAgent::ResumeFrom(uint64_t lsn) {
+  check::MutexLock lock(&mu_);
+  if (lsn > resume_after_lsn_) resume_after_lsn_ = lsn;
+  if (lsn > applied_lsn_) applied_lsn_ = lsn;
+  paused_ = false;
+  cv_.NotifyAll();
+}
+
 void SubscriberAgent::Stop() {
   running_.store(false, std::memory_order_relaxed);
+  {
+    // Wake a receive thread parked on the pause gate.
+    check::MutexLock lock(&mu_);
+    cv_.NotifyAll();
+  }
   // Close our subscription so a receive thread blocked in Pop() wakes up:
   // it drains whatever the broker already delivered, then sees
   // end-of-stream and exits. Without this, Stop() on a still-running broker

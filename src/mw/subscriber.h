@@ -15,6 +15,22 @@
 
 namespace txrep::mw {
 
+/// Start-up behaviour of a SubscriberAgent (recovery / bootstrap support).
+struct SubscriberOptions {
+  /// Transactions with lsn <= this are acknowledged but NOT handed to the
+  /// sink — the replica already holds them (from a checkpoint snapshot or a
+  /// direct log replay). A restarted replica resumes at its snapshot epoch
+  /// instead of re-applying from LSN 0.
+  uint64_t resume_after_lsn = 0;
+
+  /// Start with the receive loop holding delivered messages in the
+  /// subscription queue instead of consuming them. Online bootstrap
+  /// subscribes paused *before* sampling the publisher position, so every
+  /// message past the sample is provably either in the held queue or later;
+  /// Resume()/ResumeFrom() opens the tap.
+  bool start_paused = false;
+};
+
 /// The subscriber agent of the replication middleware (paper Appendix A):
 /// receives replication messages, unpacks the logged transactions and hands
 /// them — in LSN order — to the replica-side applier (the TM or the serial
@@ -28,10 +44,12 @@ class SubscriberAgent {
   /// Called once per logged transaction, in order.
   using TxnSink = std::function<Status(rel::LogTransaction)>;
 
-  /// Subscribes on `topic` and starts the receive thread immediately.
-  /// `broker` (and `metrics`, when given) must outlive the agent.
+  /// Subscribes on `topic` and starts the receive thread immediately
+  /// (paused when `options.start_paused`). `broker` (and `metrics`, when
+  /// given) must outlive the agent.
   SubscriberAgent(Broker* broker, const std::string& topic, TxnSink sink,
-                  obs::MetricsRegistry* metrics = nullptr);
+                  obs::MetricsRegistry* metrics = nullptr,
+                  SubscriberOptions options = {});
 
   ~SubscriberAgent();
 
@@ -41,6 +59,14 @@ class SubscriberAgent {
   /// Blocks until every transaction with lsn <= `lsn` has been handed to the
   /// sink (or the agent stopped). True on success, false if stopped first.
   bool WaitForLsn(uint64_t lsn);
+
+  /// Opens the tap of a paused agent. No-op when already running.
+  void Resume();
+
+  /// Atomically raises resume_after_lsn to `lsn` (never lowers it) and
+  /// resumes. Bootstrap calls this after installing state that already
+  /// covers everything up to `lsn`, so queued duplicates are skipped.
+  void ResumeFrom(uint64_t lsn);
 
   /// Stops the receive thread (drains nothing further). Idempotent.
   void Stop();
@@ -60,6 +86,8 @@ class SubscriberAgent {
   mutable check::Mutex mu_{"subscriber.mu"};
   check::CondVar cv_{&mu_};
   uint64_t applied_lsn_ TXREP_GUARDED_BY(mu_) = 0;
+  uint64_t resume_after_lsn_ TXREP_GUARDED_BY(mu_) = 0;
+  bool paused_ TXREP_GUARDED_BY(mu_) = false;
   Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
   bool stopped_ TXREP_GUARDED_BY(mu_) = false;
 

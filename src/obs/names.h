@@ -79,6 +79,31 @@ inline constexpr char kKvOpLatency[] = "txrep_kv_op_latency_us";
 /// Service slots currently occupied, labeled {node="N"}.
 inline constexpr char kKvSlotsInUse[] = "txrep_kv_slots_in_use";
 
+// --- recovery / checkpointing -----------------------------------------------
+inline constexpr char kRecovCheckpoints[] = "txrep_recov_checkpoints_total";
+inline constexpr char kRecovCheckpointFailures[] =
+    "txrep_recov_checkpoint_failures_total";
+/// Wall time of one checkpoint, barrier to durable cursor (µs).
+inline constexpr char kRecovCheckpointLatency[] =
+    "txrep_recov_checkpoint_latency_us";
+/// Payload bytes of the last completed checkpoint.
+inline constexpr char kRecovCheckpointBytes[] = "txrep_recov_checkpoint_bytes";
+/// Snapshot epoch (last applied LSN) of the last completed checkpoint.
+inline constexpr char kRecovCheckpointEpoch[] = "txrep_recov_checkpoint_epoch";
+/// Checkpoints found unusable at recovery (torn manifest, bad file checksum).
+inline constexpr char kRecovRejectedCheckpoints[] =
+    "txrep_recov_rejected_checkpoints_total";
+/// Restarts that found a stale/corrupt/missing cursor and fell back to the
+/// manifest scan.
+inline constexpr char kRecovCursorFallbacks[] =
+    "txrep_recov_cursor_fallbacks_total";
+/// Transactions replayed from the log tail during restart or bootstrap.
+inline constexpr char kRecovTailTxns[] = "txrep_recov_tail_txns_total";
+/// Gauge: LSNs a catching-up replica still trails the primary by.
+inline constexpr char kRecovCatchupLag[] = "txrep_recov_catchup_lag";
+/// Counter: reads rejected because the catch-up gate was still closed.
+inline constexpr char kRecovGateRejects[] = "txrep_recov_gate_rejects_total";
+
 // --- replica read path ------------------------------------------------------
 /// SELECT latency on the replica through the reader (µs).
 inline constexpr char kQtSelectLatency[] = "txrep_qt_select_latency_us";

@@ -1,0 +1,69 @@
+#include "recov/catchup_gate.h"
+
+#include <string>
+
+#include "common/clock.h"
+#include "obs/names.h"
+
+namespace txrep::recov {
+
+CatchupGate::CatchupGate(uint64_t max_lag, obs::MetricsRegistry* metrics)
+    : max_lag_(max_lag) {
+  if (metrics != nullptr) {
+    lag_gauge_ = metrics->GetGauge(obs::kRecovCatchupLag);
+    rejects_ = metrics->GetCounter(obs::kRecovGateRejects);
+  }
+}
+
+void CatchupGate::Update(uint64_t replica_lsn, uint64_t primary_lsn) {
+  const uint64_t lag =
+      primary_lsn > replica_lsn ? primary_lsn - replica_lsn : 0;
+  bool opened = false;
+  {
+    check::MutexLock lock(&mu_);
+    lag_ = lag;
+    seen_update_ = true;
+    if (!open_ && lag <= max_lag_) {
+      open_ = true;
+      opened = true;
+    }
+  }
+  if (lag_gauge_ != nullptr) lag_gauge_->Set(static_cast<int64_t>(lag));
+  if (opened) cv_.NotifyAll();
+}
+
+bool CatchupGate::IsOpen() const {
+  check::MutexLock lock(&mu_);
+  return open_;
+}
+
+Status CatchupGate::CheckReadAdmissible() {
+  uint64_t lag = 0;
+  {
+    check::MutexLock lock(&mu_);
+    if (open_) return Status::OK();
+    lag = lag_;
+  }
+  if (rejects_ != nullptr) rejects_->Increment();
+  return Status::FailedPrecondition(
+      "replica still catching up (lag " + std::to_string(lag) + " > max " +
+      std::to_string(max_lag_) + " LSNs)");
+}
+
+uint64_t CatchupGate::lag() const {
+  check::MutexLock lock(&mu_);
+  return lag_;
+}
+
+bool CatchupGate::WaitUntilOpenFor(int64_t timeout_us) {
+  const int64_t deadline = NowMicros() + timeout_us;
+  check::MutexLock lock(&mu_);
+  while (!open_) {
+    const int64_t remaining = deadline - NowMicros();
+    if (remaining <= 0) break;
+    cv_.WaitForMicros(remaining);
+  }
+  return open_;
+}
+
+}  // namespace txrep::recov

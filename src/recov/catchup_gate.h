@@ -1,0 +1,64 @@
+#ifndef TXREP_RECOV_CATCHUP_GATE_H_
+#define TXREP_RECOV_CATCHUP_GATE_H_
+
+#include <cstdint>
+
+#include "check/mutex.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace txrep::recov {
+
+/// Read-admission gate for a replica that is still catching up.
+///
+/// A freshly bootstrapped or restarted replica holds a stale-but-consistent
+/// snapshot while it replays the log tail; serving reads from it would
+/// silently widen staleness far past what the steady-state pipeline exhibits.
+/// The gate starts closed, each progress report compares the replica's
+/// applied LSN against the primary's latest LSN, and the gate opens — once,
+/// permanently — when the lag first falls to `max_lag` or below. From then on
+/// the replica is a normal pipeline member and ordinary replication lag is
+/// not re-gated.
+class CatchupGate {
+ public:
+  /// `max_lag` = largest primary_lsn − replica_lsn at which reads open.
+  /// 0 means fully caught up. `metrics` (optional) must outlive the gate.
+  explicit CatchupGate(uint64_t max_lag,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  CatchupGate(const CatchupGate&) = delete;
+  CatchupGate& operator=(const CatchupGate&) = delete;
+
+  /// Reports catch-up progress. Thread-safe; called by the bootstrap
+  /// catch-up loop after every applied batch.
+  void Update(uint64_t replica_lsn, uint64_t primary_lsn);
+
+  bool IsOpen() const;
+
+  /// OK when open; FailedPrecondition (and a gate-reject metric tick)
+  /// while the replica is still catching up.
+  Status CheckReadAdmissible();
+
+  /// Last reported primary_lsn − replica_lsn (0 when replica is ahead,
+  /// which happens transiently while the primary's LSN sample is stale).
+  uint64_t lag() const;
+
+  /// Blocks until the gate opens or `timeout_us` elapses; returns IsOpen().
+  bool WaitUntilOpenFor(int64_t timeout_us);
+
+ private:
+  const uint64_t max_lag_;
+
+  mutable check::Mutex mu_{"recov.catchup_gate.mu"};
+  check::CondVar cv_{&mu_};
+  bool open_ TXREP_GUARDED_BY(mu_) = false;
+  uint64_t lag_ TXREP_GUARDED_BY(mu_) = 0;
+  bool seen_update_ TXREP_GUARDED_BY(mu_) = false;
+
+  obs::Gauge* lag_gauge_ = nullptr;
+  obs::Counter* rejects_ = nullptr;
+};
+
+}  // namespace txrep::recov
+
+#endif  // TXREP_RECOV_CATCHUP_GATE_H_

@@ -1,0 +1,262 @@
+#include "recov/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "codec/encoding.h"
+#include "common/clock.h"
+#include "kv/kv_cluster.h"
+#include "obs/names.h"
+#include "recov/cursor.h"
+#include "recov/io.h"
+
+namespace txrep::recov {
+
+CheckpointWriter::CheckpointWriter(std::string checkpoint_dir,
+                                   obs::MetricsRegistry* metrics)
+    : dir_(std::move(checkpoint_dir)) {
+  if (metrics != nullptr) {
+    checkpoints_ = metrics->GetCounter(obs::kRecovCheckpoints);
+    failures_ = metrics->GetCounter(obs::kRecovCheckpointFailures);
+    bytes_gauge_ = metrics->GetGauge(obs::kRecovCheckpointBytes);
+    epoch_gauge_ = metrics->GetGauge(obs::kRecovCheckpointEpoch);
+    latency_ = metrics->GetHistogram(obs::kRecovCheckpointLatency);
+  }
+}
+
+Result<CheckpointStats> CheckpointWriter::Write(
+    uint64_t snapshot_epoch, const std::vector<kv::KvStore*>& shards) {
+  const Stopwatch watch;
+  auto fail = [this](Status status) -> Status {
+    if (failures_ != nullptr) failures_->Increment();
+    return status;
+  };
+
+  TXREP_RETURN_IF_ERROR(EnsureDir(dir_));
+  const std::string manifest_name = ManifestFileName(snapshot_epoch);
+  if (ReadFileToString(dir_ + "/" + manifest_name).ok()) {
+    return fail(Status::InvalidArgument("checkpoint epoch " +
+                                        std::to_string(snapshot_epoch) +
+                                        " already exists in " + dir_));
+  }
+
+  CheckpointManifest manifest;
+  manifest.snapshot_epoch = snapshot_epoch;
+  CheckpointStats stats;
+  stats.epoch = snapshot_epoch;
+
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (faults_.fail_after_files >= 0 &&
+        static_cast<size_t>(faults_.fail_after_files) == i) {
+      return fail(Status::Unavailable(
+          "injected crash after " + std::to_string(i) + " snapshot files"));
+    }
+    const std::string contents = EncodeSnapshotPayload(shards[i]->Dump());
+    SnapshotFileInfo info;
+    info.name = SnapshotFileName(snapshot_epoch, static_cast<int>(i));
+    info.bytes = contents.size();
+    info.records = shards[i]->Size();
+    info.checksum = codec::Fnv1a(contents);
+    TXREP_RETURN_IF_ERROR(
+        fail(WriteFileDurable(dir_ + "/" + info.name, contents)));
+    stats.total_bytes += info.bytes;
+    stats.total_records += info.records;
+    manifest.files.push_back(std::move(info));
+  }
+  if (faults_.fail_after_files >= 0 &&
+      static_cast<size_t>(faults_.fail_after_files) >= shards.size()) {
+    return fail(Status::Unavailable("injected crash before manifest write"));
+  }
+
+  const std::string encoded = manifest.Encode();
+  if (faults_.tear_manifest) {
+    // Leave the debris of a crash mid-manifest-write: a prefix of the real
+    // bytes, never fsynced, with no cursor advance.
+    TXREP_RETURN_IF_ERROR(fail(WriteFileRaw(
+        dir_ + "/" + manifest_name,
+        std::string_view(encoded).substr(0, encoded.size() / 2))));
+    return fail(Status::Unavailable("injected torn manifest"));
+  }
+  TXREP_RETURN_IF_ERROR(
+      fail(WriteFileDurable(dir_ + "/" + manifest_name, encoded)));
+
+  if (faults_.skip_cursor) {
+    return fail(Status::Unavailable("injected crash before cursor advance"));
+  }
+  TXREP_RETURN_IF_ERROR(fail(StoreCursor(
+      dir_, CursorState{snapshot_epoch, manifest_name})));
+
+  stats.duration_us = watch.ElapsedMicros();
+  if (checkpoints_ != nullptr) checkpoints_->Increment();
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(stats.total_bytes));
+  }
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(stats.epoch));
+  }
+  if (latency_ != nullptr) latency_->Record(stats.duration_us);
+  return stats;
+}
+
+Result<CheckpointStats> CheckpointWriter::Write(uint64_t snapshot_epoch,
+                                                kv::KvCluster& cluster) {
+  std::vector<kv::KvStore*> shards;
+  shards.reserve(cluster.num_nodes());
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    shards.push_back(&cluster.node(i));
+  }
+  return Write(snapshot_epoch, shards);
+}
+
+Status CheckpointWriter::Prune(uint64_t keep_epoch) {
+  Result<std::vector<std::string>> names = ListDir(dir_);
+  if (names.status().IsNotFound()) return Status::OK();
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    uint64_t epoch = 0;
+    bool stale = false;
+    if (ParseManifestFileName(name, &epoch)) {
+      stale = epoch < keep_epoch;
+    } else if (name.rfind("chk-", 0) == 0 && name.size() > 20) {
+      uint64_t value = 0;
+      bool numeric = true;
+      for (char c : name.substr(4, 16)) {
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+      }
+      stale = numeric && value < keep_epoch;
+    } else if (name.size() > 4 && name.rfind(".tmp") == name.size() - 4) {
+      stale = true;  // Stranded temp file from an interrupted write.
+    }
+    if (stale) {
+      TXREP_RETURN_IF_ERROR(RemoveFileIfExists(dir_ + "/" + name));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Loads and fully verifies the checkpoint a decoded manifest describes.
+Result<std::vector<kv::StoreDump>> LoadShards(
+    const std::string& dir, const CheckpointManifest& manifest) {
+  std::vector<kv::StoreDump> shards;
+  shards.reserve(manifest.files.size());
+  for (const SnapshotFileInfo& file : manifest.files) {
+    TXREP_ASSIGN_OR_RETURN(std::string contents,
+                           ReadFileToString(dir + "/" + file.name));
+    if (contents.size() != file.bytes) {
+      return Status::Corruption(file.name + ": size mismatch");
+    }
+    if (codec::Fnv1a(contents) != file.checksum) {
+      return Status::Corruption(file.name + ": checksum mismatch");
+    }
+    TXREP_ASSIGN_OR_RETURN(kv::StoreDump dump,
+                           DecodeSnapshotPayload(contents));
+    if (dump.size() != file.records) {
+      return Status::Corruption(file.name + ": record count mismatch");
+    }
+    shards.push_back(std::move(dump));
+  }
+  return shards;
+}
+
+}  // namespace
+
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir,
+                                              obs::MetricsRegistry* metrics) {
+  obs::Counter* rejected =
+      metrics != nullptr ? metrics->GetCounter(obs::kRecovRejectedCheckpoints)
+                         : nullptr;
+  obs::Counter* fallbacks =
+      metrics != nullptr ? metrics->GetCounter(obs::kRecovCursorFallbacks)
+                         : nullptr;
+
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (names.status().IsNotFound()) {
+    return Status::NotFound("no checkpoint directory at " + dir);
+  }
+  if (!names.ok()) return names.status();
+
+  // Newest epoch first; the manifests on disk, not the cursor, decide which
+  // checkpoint is current (the cursor may lag one write behind).
+  std::vector<std::pair<uint64_t, std::string>> manifests;
+  for (const std::string& name : *names) {
+    uint64_t epoch = 0;
+    if (ParseManifestFileName(name, &epoch)) manifests.emplace_back(epoch, name);
+  }
+  std::sort(manifests.begin(), manifests.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const Result<CursorState> cursor = LoadCursor(dir);
+
+  for (const auto& [epoch, name] : manifests) {
+    Result<std::string> bytes = ReadFileToString(dir + "/" + name);
+    if (!bytes.ok()) {
+      if (rejected != nullptr) rejected->Increment();
+      continue;
+    }
+    Result<CheckpointManifest> manifest = CheckpointManifest::Decode(*bytes);
+    if (!manifest.ok() || manifest->snapshot_epoch != epoch) {
+      if (rejected != nullptr) rejected->Increment();
+      continue;
+    }
+    Result<std::vector<kv::StoreDump>> shards = LoadShards(dir, *manifest);
+    if (!shards.ok()) {
+      if (rejected != nullptr) rejected->Increment();
+      continue;
+    }
+    LoadedCheckpoint loaded;
+    loaded.manifest = std::move(*manifest);
+    loaded.shards = std::move(*shards);
+    loaded.cursor_matched = cursor.ok() && cursor->epoch == epoch;
+    if (!loaded.cursor_matched && fallbacks != nullptr) {
+      fallbacks->Increment();
+    }
+    return loaded;
+  }
+  return Status::NotFound("no usable checkpoint in " + dir);
+}
+
+Status InstallCheckpoint(const LoadedCheckpoint& checkpoint,
+                         const std::vector<kv::KvStore*>& shards) {
+  if (shards.size() != checkpoint.shards.size()) {
+    return Status::InvalidArgument(
+        "shard count mismatch: checkpoint has " +
+        std::to_string(checkpoint.shards.size()) + ", target has " +
+        std::to_string(shards.size()));
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    TXREP_RETURN_IF_ERROR(shards[i]->Clear());
+    for (const auto& [key, value] : checkpoint.shards[i]) {
+      TXREP_RETURN_IF_ERROR(shards[i]->Put(key, value));
+    }
+  }
+  return Status::OK();
+}
+
+Status InstallCheckpoint(const LoadedCheckpoint& checkpoint,
+                         kv::KvCluster& cluster) {
+  if (static_cast<size_t>(cluster.num_nodes()) == checkpoint.shards.size()) {
+    std::vector<kv::KvStore*> shards;
+    shards.reserve(cluster.num_nodes());
+    for (int i = 0; i < cluster.num_nodes(); ++i) {
+      shards.push_back(&cluster.node(i));
+    }
+    return InstallCheckpoint(checkpoint, shards);
+  }
+  // Node count changed since the snapshot: clear everything and let the
+  // cluster's hash partitioner re-route every pair.
+  TXREP_RETURN_IF_ERROR(cluster.Clear());
+  for (const kv::StoreDump& dump : checkpoint.shards) {
+    for (const auto& [key, value] : dump) {
+      TXREP_RETURN_IF_ERROR(cluster.Put(key, value));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace txrep::recov

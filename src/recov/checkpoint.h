@@ -1,0 +1,122 @@
+#ifndef TXREP_RECOV_CHECKPOINT_H_
+#define TXREP_RECOV_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/kv_store.h"
+#include "obs/metrics.h"
+#include "recov/manifest.h"
+
+namespace txrep::kv {
+class KvCluster;
+}  // namespace txrep::kv
+
+namespace txrep::recov {
+
+/// Crash simulation knobs for CheckpointWriter — each reproduces the on-disk
+/// debris of a real crash at that point of the protocol, then returns an
+/// error without touching anything further.
+struct CheckpointFaults {
+  /// >= 0: "crash" after durably writing this many snapshot files; no
+  /// manifest is written, so the whole checkpoint is invisible to recovery.
+  int fail_after_files = -1;
+
+  /// Write all snapshot files, then leave a torn (truncated, unsynced)
+  /// manifest behind instead of a valid one. Recovery must reject it and
+  /// fall back to the previous checkpoint.
+  bool tear_manifest = false;
+
+  /// Complete the manifest but "crash" before advancing the cursor. The
+  /// stale-cursor recovery path must still find the newer checkpoint.
+  bool skip_cursor = false;
+};
+
+/// What one completed checkpoint cost, for callers and benchmarks.
+struct CheckpointStats {
+  uint64_t epoch = 0;
+  uint64_t total_bytes = 0;    // Sum of snapshot file sizes.
+  uint64_t total_records = 0;  // Live keys captured.
+  int64_t duration_us = 0;
+};
+
+/// Writes consistent cluster checkpoints into one directory.
+///
+/// Protocol (order is the crash-safety argument):
+///   1. every per-shard snapshot file is written durably (tmp+fsync+rename);
+///   2. the manifest naming them (with sizes + checksums) is written durably —
+///      this is the commit point of the checkpoint;
+///   3. the CURSOR file is atomically advanced to the new epoch.
+/// A crash before 2 leaves orphan .snap files recovery ignores; a crash
+/// before 3 leaves a stale cursor, which recovery treats as a hint only.
+///
+/// The caller must guarantee the shards are quiescent for the duration of
+/// Write() (TxRepSystem uses the TM quiescent barrier / apply gate).
+class CheckpointWriter {
+ public:
+  /// `metrics` is optional and must outlive the writer.
+  explicit CheckpointWriter(std::string checkpoint_dir,
+                            obs::MetricsRegistry* metrics = nullptr);
+
+  /// Snapshot `shards` (one file per entry, in order) at `snapshot_epoch`.
+  /// Epochs must be monotonically increasing per directory; re-writing an
+  /// existing epoch is InvalidArgument.
+  Result<CheckpointStats> Write(uint64_t snapshot_epoch,
+                                const std::vector<kv::KvStore*>& shards);
+
+  /// Convenience overload snapshotting every node of a cluster.
+  Result<CheckpointStats> Write(uint64_t snapshot_epoch,
+                                kv::KvCluster& cluster);
+
+  /// Deletes checkpoints older than `keep_epoch` (their manifest and
+  /// snapshot files), plus stranded .tmp debris.
+  Status Prune(uint64_t keep_epoch);
+
+  void set_faults(const CheckpointFaults& faults) { faults_ = faults; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  const std::string dir_;
+  CheckpointFaults faults_;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* epoch_gauge_ = nullptr;
+  Histogram* latency_ = nullptr;
+};
+
+/// A checkpoint read back from disk and fully verified (manifest checksum,
+/// per-file existence, size and checksum, payload decode).
+struct LoadedCheckpoint {
+  CheckpointManifest manifest;
+  std::vector<kv::StoreDump> shards;  // Parallel to manifest.files.
+  /// True iff the durable cursor pointed exactly at this checkpoint; false
+  /// means the cursor was missing, torn, or stale and recovery fell back to
+  /// scanning manifests by epoch.
+  bool cursor_matched = false;
+};
+
+/// Finds the newest fully-valid checkpoint in `dir`. Partial, torn or
+/// corrupt checkpoints are counted and skipped; NotFound when the directory
+/// holds no usable checkpoint at all (cold start).
+Result<LoadedCheckpoint> LoadLatestCheckpoint(
+    const std::string& dir, obs::MetricsRegistry* metrics = nullptr);
+
+/// Replaces the contents of `shards` with the checkpoint's (Clear + Put).
+/// Shard count must match the manifest.
+Status InstallCheckpoint(const LoadedCheckpoint& checkpoint,
+                         const std::vector<kv::KvStore*>& shards);
+
+/// Cluster overload. When the node count matches the manifest the per-node
+/// partitioning is preserved verbatim; otherwise every pair is re-routed
+/// through the cluster's hash partitioner.
+Status InstallCheckpoint(const LoadedCheckpoint& checkpoint,
+                         kv::KvCluster& cluster);
+
+}  // namespace txrep::recov
+
+#endif  // TXREP_RECOV_CHECKPOINT_H_

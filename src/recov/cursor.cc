@@ -1,0 +1,55 @@
+#include "recov/cursor.h"
+
+#include "codec/encoding.h"
+#include "recov/io.h"
+
+namespace txrep::recov {
+
+namespace {
+
+constexpr uint64_t kCursorVersion = 1;
+
+}  // namespace
+
+std::string CursorFileName() { return "CURSOR"; }
+
+Status StoreCursor(const std::string& checkpoint_dir,
+                   const CursorState& state) {
+  std::string body;
+  codec::AppendVarint64(body, kCursorVersion);
+  codec::AppendVarint64(body, state.epoch);
+  codec::AppendLengthPrefixed(body, state.manifest_file);
+  codec::AppendFixed64(body, codec::Fnv1a(body));
+  return WriteFileDurable(checkpoint_dir + "/" + CursorFileName(), body);
+}
+
+Result<CursorState> LoadCursor(const std::string& checkpoint_dir) {
+  TXREP_ASSIGN_OR_RETURN(
+      std::string bytes,
+      ReadFileToString(checkpoint_dir + "/" + CursorFileName()));
+  if (bytes.size() < 8) {
+    return Status::Corruption("cursor shorter than its checksum");
+  }
+  const std::string_view body =
+      std::string_view(bytes).substr(0, bytes.size() - 8);
+  std::string_view tail = std::string_view(bytes).substr(bytes.size() - 8);
+  uint64_t stored = 0;
+  codec::GetFixed64(&tail, &stored);
+  if (stored != codec::Fnv1a(body)) {
+    return Status::Corruption("cursor checksum mismatch (torn write?)");
+  }
+
+  std::string_view src = body;
+  uint64_t version = 0;
+  CursorState state;
+  std::string_view manifest_file;
+  if (!codec::GetVarint64(&src, &version) || version != kCursorVersion ||
+      !codec::GetVarint64(&src, &state.epoch) ||
+      !codec::GetLengthPrefixed(&src, &manifest_file) || !src.empty()) {
+    return Status::Corruption("cursor decode failed");
+  }
+  state.manifest_file = std::string(manifest_file);
+  return state;
+}
+
+}  // namespace txrep::recov

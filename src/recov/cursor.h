@@ -1,0 +1,37 @@
+#ifndef TXREP_RECOV_CURSOR_H_
+#define TXREP_RECOV_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace txrep::recov {
+
+/// The durable replication cursor: the replica's claim "I hold a checkpoint
+/// at `epoch`, resume the subscription at `epoch + 1`". Stored as a single
+/// checksummed file named CURSOR in the checkpoint directory, replaced
+/// atomically, and — crucially — only advanced *after* the manifest it points
+/// at is durable. A crash between manifest and cursor leaves a valid older
+/// cursor plus a newer complete checkpoint; recovery then prefers the newest
+/// decodable manifest over the cursor (the cursor is a hint, the manifests
+/// are the truth).
+struct CursorState {
+  uint64_t epoch = 0;          // Snapshot epoch of the referenced checkpoint.
+  std::string manifest_file;   // Manifest file name for that epoch.
+};
+
+/// Name of the cursor file inside a checkpoint directory ("CURSOR").
+std::string CursorFileName();
+
+/// Durably replaces the cursor (tmp + fsync + rename + dir fsync).
+Status StoreCursor(const std::string& checkpoint_dir, const CursorState& state);
+
+/// NotFound when no cursor exists; Corruption when the file is torn or does
+/// not checksum — callers treat both as "fall back to manifest scan".
+Result<CursorState> LoadCursor(const std::string& checkpoint_dir);
+
+}  // namespace txrep::recov
+
+#endif  // TXREP_RECOV_CURSOR_H_

@@ -1,0 +1,181 @@
+#include "recov/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace txrep::recov {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Unavailable(op + " failed for " + path + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("fopen", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Unavailable("fread failed for " + path);
+  return out;
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Errno("open", tmp);
+    size_t written = 0;
+    while (written < contents.size()) {
+      const ssize_t n =
+          ::write(fd, contents.data() + written, contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Errno("write", tmp);
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Errno("fsync", tmp);
+    }
+    if (::close(fd) != 0) {
+      ::unlink(tmp.c_str());
+      return Errno("close", tmp);
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", path);
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return SyncDir(dir);
+}
+
+Status WriteFileRaw(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Errno("fopen", path);
+  const size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int rc = std::fclose(f);
+  if (n != contents.size() || rc != 0) {
+    return Status::Unavailable("short write for " + path);
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  // Create each prefix component; EEXIST is fine at every level.
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // Leading '/'.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such dir: " + path);
+    return Errno("opendir", path);
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((path + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("opendir", path);
+  }
+  Status status = Status::OK();
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = path + "/" + name;
+    struct stat st{};
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      status = RemoveDirRecursive(child);
+    } else if (::unlink(child.c_str()) != 0) {
+      status = Errno("unlink", child);
+    }
+    if (!status.ok()) break;
+  }
+  ::closedir(dir);
+  if (!status.ok()) return status;
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("rmdir", path);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", path);
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace txrep::recov

@@ -1,0 +1,52 @@
+#ifndef TXREP_RECOV_IO_H_
+#define TXREP_RECOV_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace txrep::recov {
+
+/// Filesystem primitives for the recovery subsystem. All durable-state file
+/// I/O outside src/kv/ funnels through these helpers (enforced by
+/// scripts/lint.sh) so the crash-safety rules — fsync before rename, rename
+/// for atomicity, directory fsync after rename — live in exactly one place.
+
+/// Reads the whole file. NotFound when the file does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-atomically replaces `path` with `contents`: writes `path + ".tmp"`,
+/// fsyncs it, renames it over `path` and fsyncs the parent directory. After
+/// an OK return the new contents survive a crash; after any error the old
+/// file (if any) is still intact.
+Status WriteFileDurable(const std::string& path, std::string_view contents);
+
+/// Plain non-atomic, non-synced write (used by fault injection to leave the
+/// same partial files behind that a real mid-write crash would).
+Status WriteFileRaw(const std::string& path, std::string_view contents);
+
+/// Creates the directory (and parents) if absent.
+Status EnsureDir(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `path`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Deletes a file; absent file is OK.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Recursively deletes a directory tree; absent tree is OK. For test/bench
+/// scratch checkpoint directories.
+Status RemoveDirRecursive(const std::string& path);
+
+/// fsyncs a directory so a completed rename inside it is durable.
+Status SyncDir(const std::string& path);
+
+/// Size of the file in bytes, or NotFound.
+Result<uint64_t> FileSize(const std::string& path);
+
+}  // namespace txrep::recov
+
+#endif  // TXREP_RECOV_IO_H_

@@ -1,0 +1,65 @@
+#ifndef TXREP_RECOV_MANIFEST_H_
+#define TXREP_RECOV_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace txrep::recov {
+
+/// One per-shard snapshot file as recorded by the manifest. `checksum` is the
+/// FNV-1a of the file's entire contents; a reader rejects the checkpoint if
+/// any file is missing, has a different size, or hashes differently.
+struct SnapshotFileInfo {
+  std::string name;       // File name inside the checkpoint directory.
+  uint64_t bytes = 0;     // Full file size in bytes.
+  uint64_t records = 0;   // Live key-value pairs in the file.
+  uint64_t checksum = 0;  // codec::Fnv1a over the file contents.
+};
+
+/// The checkpoint manifest: the single record that makes a checkpoint real.
+/// A checkpoint whose snapshot files all exist but whose manifest is absent
+/// or torn is garbage by definition — recovery skips it. The manifest is
+/// written durably (tmp + fsync + rename) only after every snapshot file it
+/// names has been fsynced.
+struct CheckpointManifest {
+  /// Last commit LSN applied to the replica before the snapshot was cut (at
+  /// the TM quiescent barrier). Replay resumes from `snapshot_epoch + 1`.
+  uint64_t snapshot_epoch = 0;
+
+  /// One entry per cluster shard, ordered by shard index. Partition count
+  /// must match at install time (hash partitioning pins keys to shards).
+  std::vector<SnapshotFileInfo> files;
+
+  /// Serializes with a trailing whole-body FNV-1a so a torn manifest is
+  /// detected on load.
+  std::string Encode() const;
+
+  /// Corruption on bad magic/checksum/underflow.
+  static Result<CheckpointManifest> Decode(std::string_view bytes);
+};
+
+/// "MANIFEST-0000000000000042" — zero-padded so lexicographic order equals
+/// epoch order in directory listings.
+std::string ManifestFileName(uint64_t epoch);
+
+/// True (and sets *epoch) iff `name` is a well-formed manifest file name.
+bool ParseManifestFileName(std::string_view name, uint64_t* epoch);
+
+/// "chk-0000000000000042-node-3.snap".
+std::string SnapshotFileName(uint64_t epoch, int node_index);
+
+/// Encodes / decodes one snapshot file: varint record count, then
+/// length-prefixed key/value pairs sorted by key, then a trailing FNV-1a, so
+/// each file is also self-validating independent of the manifest.
+std::string EncodeSnapshotPayload(
+    const std::vector<std::pair<std::string, std::string>>& dump);
+Result<std::vector<std::pair<std::string, std::string>>> DecodeSnapshotPayload(
+    std::string_view bytes);
+
+}  // namespace txrep::recov
+
+#endif  // TXREP_RECOV_MANIFEST_H_

@@ -34,15 +34,53 @@ Status TxRepSystem::Start() {
   if (started_) {
     return Status::FailedPrecondition("TxRepSystem already started");
   }
+  TXREP_RETURN_IF_ERROR(cluster_->init_status());
   translator_ = std::make_unique<qt::QueryTranslator>(&db_.catalog(),
                                                       options_.blink);
   reader_ = std::make_unique<qt::ReplicaReader>(&db_.catalog(), options_.blink,
                                                 &registry_);
 
-  // Initial copy: the replica starts from the current snapshot; only
-  // transactions after this point are shipped.
-  TXREP_RETURN_IF_ERROR(translator_->LoadSnapshot(cluster_.get(), db_));
-  snapshot_lsn_ = db_.log().LastLsn();
+  bool resumed = false;
+  if (!options_.recovery.checkpoint_dir.empty()) {
+    checkpoint_writer_ = std::make_unique<recov::CheckpointWriter>(
+        options_.recovery.checkpoint_dir, &registry_);
+    checkpoint_writer_->set_faults(options_.recovery.faults);
+    if (options_.recovery.resume_from_checkpoint) {
+      Result<recov::LoadedCheckpoint> loaded = recov::LoadLatestCheckpoint(
+          options_.recovery.checkpoint_dir, &registry_);
+      if (loaded.ok()) {
+        const uint64_t epoch = loaded->manifest.snapshot_epoch;
+        // LSNs are dense, so the log tail is usable iff its first entry past
+        // the epoch is exactly epoch + 1 (or the log holds nothing newer).
+        std::vector<rel::LogTransaction> head = db_.log().ReadSince(epoch, 1);
+        if (!head.empty() && head.front().lsn != epoch + 1) {
+          return Status::Corruption(
+              "transaction log truncated past checkpoint epoch " +
+              std::to_string(epoch) + " (next available LSN is " +
+              std::to_string(head.front().lsn) + ")");
+        }
+        TXREP_RETURN_IF_ERROR(recov::InstallCheckpoint(*loaded, *cluster_));
+        if (options_.recovery.compact_after_install) {
+          TXREP_RETURN_IF_ERROR(cluster_->CompactAll());
+        }
+        snapshot_lsn_ = epoch;
+        resumed = true;
+        resumed_from_checkpoint_ = true;
+      } else if (!loaded.status().IsNotFound()) {
+        return loaded.status();
+      }
+    }
+  }
+  if (!resumed) {
+    // Cold start. A reopened disk-backed cluster without a usable checkpoint
+    // holds state of an unknown LSN — replaying on top of it would diverge,
+    // so drop it and copy the database snapshot fresh.
+    if (cluster_->Size() != 0) {
+      TXREP_RETURN_IF_ERROR(cluster_->Clear());
+    }
+    TXREP_RETURN_IF_ERROR(translator_->LoadSnapshot(cluster_.get(), db_));
+    snapshot_lsn_ = db_.log().LastLsn();
+  }
   const uint64_t snapshot_lsn = snapshot_lsn_;
 
   if (options_.concurrent_replication) {
@@ -81,11 +119,55 @@ Status TxRepSystem::ApplySink(rel::LogTransaction txn) {
     }
     return tm_->health();
   }
-  TXREP_RETURN_IF_ERROR(serial_->Apply(txn));
+  {
+    // Shared against Checkpoint()'s exclusive hold: a snapshot never
+    // observes a transaction half-applied by the serial path.
+    check::ReaderMutexLock lock(&apply_gate_);
+    TXREP_RETURN_IF_ERROR(serial_->Apply(txn));
+  }
   if (options_.measure_lag) {
     lag_histogram_.Record(NowMicros() - commit_micros);
   }
   return Status::OK();
+}
+
+Result<recov::CheckpointStats> TxRepSystem::Checkpoint() {
+  if (!started_) {
+    return Status::FailedPrecondition("TxRepSystem not started");
+  }
+  if (checkpoint_writer_ == nullptr) {
+    return Status::InvalidArgument(
+        "no recovery.checkpoint_dir configured for this deployment");
+  }
+  Result<recov::CheckpointStats> result =
+      Status::Internal("checkpoint callback never ran");
+  auto write = [&]() -> Status {
+    // At the quiescent point the replica holds exactly the dense transaction
+    // prefix through last_applied (submissions are parked, nothing is in
+    // flight), so last_applied is the snapshot epoch.
+    const uint64_t applied = tm_ != nullptr ? tm_->last_applied_lsn()
+                                            : serial_->last_applied_lsn();
+    const uint64_t epoch = std::max(applied, snapshot_lsn_);
+    result = checkpoint_writer_->Write(epoch, *cluster_);
+    return result.ok() ? Status::OK() : result.status();
+  };
+  if (tm_ != nullptr) {
+    TXREP_RETURN_IF_ERROR(tm_->QuiesceBarrier(write));
+  } else {
+    check::WriterMutexLock lock(&apply_gate_);
+    TXREP_RETURN_IF_ERROR(write());
+  }
+  if (options_.recovery.prune_old_checkpoints) {
+    // Best-effort: stale checkpoints are garbage, not corruption.
+    (void)checkpoint_writer_->Prune(result->epoch);
+  }
+  return result;
+}
+
+void TxRepSystem::set_checkpoint_faults(
+    const recov::CheckpointFaults& faults) {
+  options_.recovery.faults = faults;
+  if (checkpoint_writer_ != nullptr) checkpoint_writer_->set_faults(faults);
 }
 
 void TxRepSystem::LagLoop() {

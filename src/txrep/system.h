@@ -21,9 +21,33 @@
 #include "qt/consistency_checker.h"
 #include "qt/query_translator.h"
 #include "qt/replica_reader.h"
+#include "recov/checkpoint.h"
 #include "rel/database.h"
 
 namespace txrep {
+
+/// Checkpoint / restart behaviour of a deployment (the recov subsystem).
+struct RecoveryOptions {
+  /// Non-empty enables checkpointing: directory receiving the per-node
+  /// snapshot files, manifests and the durable replication cursor. A
+  /// restarted system pointed at the same directory resumes from the newest
+  /// usable checkpoint instead of re-copying the full database snapshot.
+  std::string checkpoint_dir;
+
+  /// Look for a checkpoint at Start() and resume from it when one is usable
+  /// (otherwise fall back to the cold snapshot copy).
+  bool resume_from_checkpoint = true;
+
+  /// Delete superseded checkpoints after each successful Checkpoint().
+  bool prune_old_checkpoints = true;
+
+  /// Compact disk-backed nodes right after a checkpoint install (the
+  /// install rewrote every key, leaving the node logs full of dead history).
+  bool compact_after_install = true;
+
+  /// Crash-injection knobs for the checkpoint protocol (tests only).
+  recov::CheckpointFaults faults;
+};
 
 /// End-to-end configuration of a TxRep deployment.
 struct TxRepOptions {
@@ -55,6 +79,9 @@ struct TxRepOptions {
 
   /// Optional sink for the periodic reporter (null = log a text dump).
   obs::PeriodicReporter::Sink metrics_report_sink;
+
+  /// Checkpoint / restart configuration (off unless checkpoint_dir is set).
+  RecoveryOptions recovery;
 };
 
 /// The whole TxRep deployment of paper Fig. 3 in one object:
@@ -91,6 +118,29 @@ class TxRepSystem {
   /// Ships and applies everything committed so far; blocks until the replica
   /// caught up. Returns the pipeline health.
   Status SyncToLatest();
+
+  /// Takes a durable checkpoint of the replica at a consistent transaction
+  /// boundary: drains the in-flight transactions (TM quiescent barrier, or
+  /// the serial apply gate), snapshots every cluster node at the last
+  /// applied LSN (the snapshot epoch), and advances the durable cursor.
+  /// Writes keep flowing on the database side throughout; only replica
+  /// apply pauses. Requires options().recovery.checkpoint_dir.
+  Result<recov::CheckpointStats> Checkpoint();
+
+  /// True when Start() resumed from a checkpoint instead of cold-copying
+  /// the database snapshot.
+  bool resumed_from_checkpoint() const { return resumed_from_checkpoint_; }
+
+  /// Replaces the crash-injection knobs for subsequent Checkpoint() calls
+  /// (tests only).
+  void set_checkpoint_faults(const recov::CheckpointFaults& faults);
+
+  /// The replication broker (valid after Start()); bootstrap attaches new
+  /// replicas here.
+  mw::Broker* broker() { return broker_.get(); }
+
+  /// Topic update transactions are published on.
+  const std::string& topic() const { return options_.publisher.topic; }
 
   /// Read-only transaction on the replica, interleaved with replication via
   /// the TM (sequence-consistent reads). Falls back to a direct read when
@@ -172,8 +222,15 @@ class TxRepSystem {
   BlockingQueue<LagProbe> lag_queue_;
   std::thread lag_thread_;
 
+  /// Serializes serial-path applies against checkpointing: the subscriber
+  /// sink holds it shared per transaction, Checkpoint() exclusively (the TM
+  /// path has its own quiescent barrier instead).
+  check::SharedMutex apply_gate_{"txrep.apply_gate"};
+  std::unique_ptr<recov::CheckpointWriter> checkpoint_writer_;
+
   uint64_t snapshot_lsn_ = 0;  // Transactions <= this came via the snapshot.
   bool started_ = false;
+  bool resumed_from_checkpoint_ = false;
 
   Histogram* h_readonly_latency_ = nullptr;
 

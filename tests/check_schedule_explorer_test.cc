@@ -42,6 +42,36 @@ TEST(ScheduleExplorerTest, SweepFindsNoDivergence) {
   EXPECT_GT(report.conflicts + report.restarts, 0);
 }
 
+TEST(ScheduleExplorerTest, CrashRestartSweepFindsNoDivergence) {
+  ScheduleExplorerOptions options;
+  options.base_seed = 1;
+  options.schedules = SeedsFromEnv(200);
+  options.txns_per_schedule = 20;
+  options.audit_every = 0;  // The plain sweep above covers the deep audit.
+  options.crash_restart = true;
+  options.scratch_dir = ::testing::TempDir() + "txrep_crash_sweep";
+
+  ScheduleExplorer explorer(options);
+  ScheduleReport report = explorer.Run();
+  SCOPED_TRACE(report.Summary());
+
+  EXPECT_EQ(report.schedules_run, options.schedules);
+  std::string details;
+  for (const ScheduleFailure& failure : report.failures) {
+    details +=
+        "\n  seed " + std::to_string(failure.seed) + ": " + failure.detail;
+  }
+  EXPECT_TRUE(report.ok()) << "diverging crash-restart schedules:" << details;
+}
+
+TEST(ScheduleExplorerTest, CrashRestartRequiresScratchDir) {
+  ScheduleExplorerOptions options;
+  options.schedules = 1;
+  options.crash_restart = true;  // But no scratch_dir.
+  ScheduleExplorer explorer(options);
+  EXPECT_TRUE(explorer.RunOne(1).IsInvalidArgument());
+}
+
 TEST(ScheduleExplorerTest, SingleSeedIsReproducible) {
   ScheduleExplorer explorer({.base_seed = 0, .schedules = 0});
   TXREP_EXPECT_OK(explorer.RunOne(42));

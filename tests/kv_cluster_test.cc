@@ -1,5 +1,9 @@
 #include "kv/kv_cluster.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "gtest/gtest.h"
@@ -83,6 +87,112 @@ TEST(KvClusterTest, SingleNodeClusterWorks) {
 TEST(KvClusterTest, ZeroNodesClampedToOne) {
   KvCluster cluster(KvClusterOptions{.num_nodes = 0, .node = {}});
   EXPECT_EQ(cluster.num_nodes(), 1);
+}
+
+class DiskBackendClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "txrep_disk_cluster_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+  }
+  void TearDown() override {
+    for (int i = 0; i < 8; ++i) {
+      std::remove((dir_ + "/node-" + std::to_string(i) + ".log").c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  KvClusterOptions DiskOptions(int nodes) {
+    KvClusterOptions options;
+    options.num_nodes = nodes;
+    options.backend = KvBackend::kDisk;
+    options.disk_dir = dir_;
+    return options;
+  }
+
+  size_t LogBytes(int node) {
+    std::ifstream in(dir_ + "/node-" + std::to_string(node) + ".log",
+                     std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<size_t>(in.tellg()) : 0;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DiskBackendClusterTest, RoutesAndPersistsAcrossReopen) {
+  StoreDump expected;
+  {
+    KvCluster cluster(DiskOptions(3));
+    TXREP_ASSERT_OK(cluster.init_status());
+    EXPECT_EQ(cluster.backend(), KvBackend::kDisk);
+    for (int i = 0; i < 60; ++i) {
+      TXREP_ASSERT_OK(cluster.Put("key" + std::to_string(i), "v" + std::to_string(i)));
+    }
+    TXREP_ASSERT_OK(cluster.Delete("key7"));
+    TXREP_ASSERT_OK(cluster.SyncAll());
+    expected = cluster.Dump();
+  }
+  KvCluster cluster(DiskOptions(3));
+  TXREP_ASSERT_OK(cluster.init_status());
+  EXPECT_EQ(cluster.Dump(), expected);
+  EXPECT_EQ(cluster.Size(), 59u);
+  // Keys land on the same nodes again (same hash partitioning).
+  EXPECT_TRUE(cluster.Get("key12").ok());
+}
+
+TEST_F(DiskBackendClusterTest, TypedNodeAccessors) {
+  KvCluster cluster(DiskOptions(2));
+  TXREP_ASSERT_OK(cluster.init_status());
+  EXPECT_NE(cluster.disk_node(0), nullptr);
+  EXPECT_EQ(cluster.memory_node(0), nullptr);
+
+  KvCluster memory(KvClusterOptions{.num_nodes = 2, .node = {}});
+  EXPECT_NE(memory.memory_node(1), nullptr);
+  EXPECT_EQ(memory.disk_node(1), nullptr);
+}
+
+TEST_F(DiskBackendClusterTest, CompactAllShrinksDeadHistory) {
+  KvCluster cluster(DiskOptions(2));
+  TXREP_ASSERT_OK(cluster.init_status());
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      TXREP_ASSERT_OK(cluster.Put("k" + std::to_string(i),
+                                  "round" + std::to_string(round)));
+    }
+  }
+  TXREP_ASSERT_OK(cluster.SyncAll());
+  size_t before = 0;
+  for (int i = 0; i < cluster.num_nodes(); ++i) before += LogBytes(i);
+  TXREP_ASSERT_OK(cluster.CompactAll());
+  size_t after = 0;
+  for (int i = 0; i < cluster.num_nodes(); ++i) after += LogBytes(i);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(cluster.Size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*cluster.Get("k" + std::to_string(i)), "round19");
+  }
+}
+
+TEST_F(DiskBackendClusterTest, ClearTruncatesEveryNode) {
+  KvCluster cluster(DiskOptions(3));
+  TXREP_ASSERT_OK(cluster.init_status());
+  for (int i = 0; i < 30; ++i) {
+    TXREP_ASSERT_OK(cluster.Put("k" + std::to_string(i), "v"));
+  }
+  TXREP_ASSERT_OK(cluster.Clear());
+  EXPECT_EQ(cluster.Size(), 0u);
+  // Cleared state is durable too: a reopen sees an empty cluster.
+  TXREP_ASSERT_OK(cluster.SyncAll());
+  KvCluster reopened(DiskOptions(3));
+  TXREP_ASSERT_OK(reopened.init_status());
+  EXPECT_EQ(reopened.Size(), 0u);
+}
+
+TEST(DiskBackendOptionsTest, MissingDiskDirIsInitError) {
+  KvClusterOptions options;
+  options.backend = KvBackend::kDisk;  // No disk_dir.
+  KvCluster cluster(options);
+  EXPECT_TRUE(cluster.init_status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "test_util.h"
 
+#include <map>
+
 #include "core/serial_applier.h"
 #include "qt/consistency_checker.h"
 
@@ -29,8 +31,20 @@ Status ReplayConcurrent(rel::Database& db,
 void ExpectDumpsEqual(kv::KvStore& a, kv::KvStore& b) {
   kv::StoreDump da = a.Dump();
   kv::StoreDump db_dump = b.Dump();
-  ASSERT_EQ(da.size(), db_dump.size())
-      << "stores hold different numbers of keys";
+  if (da.size() != db_dump.size()) {
+    std::map<std::string, int> tally;
+    for (const auto& [key, value] : da) ++tally[key];
+    for (const auto& [key, value] : db_dump) --tally[key];
+    std::string diff;
+    for (const auto& [key, count] : tally) {
+      if (count != 0) {
+        diff += "\n  " + std::string(count > 0 ? "only in a: " : "only in b: ") +
+                key;
+      }
+    }
+    FAIL() << "stores hold different numbers of keys (" << da.size() << " vs "
+           << db_dump.size() << ")" << diff;
+  }
   for (size_t i = 0; i < da.size(); ++i) {
     ASSERT_EQ(da[i].first, db_dump[i].first) << "key mismatch at index " << i;
     ASSERT_EQ(da[i].second, db_dump[i].second)
