@@ -29,11 +29,12 @@ MODE="${1:-plain}"
 # Concurrency-heavy tests worth re-running under a sanitizer: the metrics
 # hot paths (sharded counters, gauges, histograms), the TM pools that hammer
 # them, the middleware threads that stamp stage latencies, the
-# correctness-tooling suites themselves, and the crash-recovery suites
+# correctness-tooling suites themselves, the crash-recovery suites
 # (checkpoint writer + restart + online bootstrap + disk-node torn tails),
 # whose raw file I/O and background threads are exactly where ASan/UBSan
-# earn their keep.
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_'
+# earn their keep, and the batched apply pipeline (MultiWrite fan-out
+# through the cluster dispatch pool + the adaptive batch dispatcher).
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

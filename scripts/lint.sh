@@ -15,6 +15,12 @@
 #     through those layers, so crash-safety reasoning (fsync ordering, torn
 #     writes, tmp-rename commits) lives in exactly two places (DESIGN.md §9).
 #
+#  4. The apply path ships write sets through the batch API (DESIGN.md §10):
+#     the appliers, the TM apply stage, the txn buffer publish and the
+#     bootstrap tail replay must not call per-op Put/Delete on the store —
+#     one op per round trip forfeits the batching amortization and silently
+#     regresses replay throughput.
+#
 # Exits non-zero listing every offending line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,6 +53,21 @@ file_io=$(grep -rnE \
 if [[ -n "${file_io}" ]]; then
   echo "lint: direct file I/O outside src/kv/ and src/recov/ (route it through those layers):"
   echo "${file_io}"
+  fail=1
+fi
+
+apply_path_files=(
+  src/core/txn_buffer.cc
+  src/core/serial_applier.cc
+  src/core/ticket_applier.cc
+  src/core/transaction_manager.cc
+  src/core/batch_dispatcher.cc
+  src/txrep/bootstrap.cc
+)
+per_op_apply=$(grep -nE -- '->(Put|Delete)\(' "${apply_path_files[@]}" || true)
+if [[ -n "${per_op_apply}" ]]; then
+  echo "lint: per-op Put/Delete on the apply path (batch via MultiWrite / BatchDispatcher):"
+  echo "${per_op_apply}"
   fail=1
 fi
 

@@ -7,9 +7,11 @@
 #include "check/invariants.h"
 #include "codec/kv_keys.h"
 #include "common/random.h"
+#include "core/batch_dispatcher.h"
 #include "core/serial_applier.h"
 #include "core/transaction_manager.h"
 #include "kv/inmemory_node.h"
+#include "kv/kv_cluster.h"
 #include "qt/query_translator.h"
 #include "recov/checkpoint.h"
 #include "recov/io.h"
@@ -35,6 +37,33 @@ struct ScheduleConfig {
   size_t max_node_keys;
   double read_only_rate;
 };
+
+/// Batched-apply knobs, derived from a private stream (seed ^ constant) so
+/// enabling the mode does not perturb the main schedule derivation.
+struct BatchConfig {
+  int batch_size;
+  bool adaptive;
+  int num_nodes;
+  int dispatch_threads;
+};
+
+BatchConfig DeriveBatchConfig(uint64_t seed) {
+  Random rng(seed ^ 0xb47c0a5ed15b47c0ULL);
+  BatchConfig config;
+  config.batch_size = 1 + static_cast<int>(rng.Uniform(64));
+  config.adaptive = rng.Bernoulli(0.3);
+  config.num_nodes = 1 + static_cast<int>(rng.Uniform(5));
+  // 0 = inline sequential fan-out; >0 = parallel dispatch pool.
+  config.dispatch_threads = static_cast<int>(rng.Uniform(5));
+  return config;
+}
+
+core::BatchDispatchOptions ToDispatchOptions(const BatchConfig& config) {
+  core::BatchDispatchOptions options;
+  options.batch_size = config.batch_size;
+  options.adaptive = config.adaptive;
+  return options;
+}
 
 ScheduleConfig DeriveConfig(Random& rng) {
   ScheduleConfig config;
@@ -176,21 +205,47 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   qt::QueryTranslator translator(
       &db.catalog(), {.max_node_keys = config.max_node_keys});
 
-  // Reference: serial replay on a pristine, failure-free store.
+  // Reference: serial replay on a pristine, failure-free store, dispatcher
+  // pinned to batch size 1 — op-at-a-time ground truth through the batch API.
   kv::InMemoryKvNode serial_store;
   TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(&serial_store));
-  core::SerialApplier serial_applier(&serial_store, &translator);
+  core::SerialApplier serial_applier(&serial_store, &translator,
+                                     /*metrics=*/nullptr,
+                                     core::BatchDispatchOptions{.batch_size = 1});
   TXREP_RETURN_IF_ERROR(serial_applier.ApplyBatch(db.log().ReadSince(0)));
 
   // Candidate: concurrent replay with every knob drawn from the seed.
   kv::KvNodeOptions node_options;
   node_options.service_time_micros = config.service_micros;
   node_options.failure_seed = seed ^ 0x5bd1e995u;
-  kv::InMemoryKvNode concurrent_store(node_options);
-  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(&concurrent_store));
+  const BatchConfig batch_config = DeriveBatchConfig(seed);
+  std::unique_ptr<kv::InMemoryKvNode> concurrent_node;
+  std::unique_ptr<kv::KvCluster> concurrent_cluster;
+  kv::KvStore* concurrent_store = nullptr;
+  if (options_.batched_apply) {
+    // Batched mode replays into a seed-derived cluster so the MultiWrite
+    // routing + parallel fan-out path is part of the explored state space.
+    kv::KvClusterOptions cluster_options;
+    cluster_options.num_nodes = batch_config.num_nodes;
+    cluster_options.node = node_options;
+    cluster_options.dispatch_threads = batch_config.dispatch_threads;
+    concurrent_cluster = std::make_unique<kv::KvCluster>(cluster_options);
+    concurrent_store = concurrent_cluster.get();
+  } else {
+    concurrent_node = std::make_unique<kv::InMemoryKvNode>(node_options);
+    concurrent_store = concurrent_node.get();
+  }
+  auto set_failure_rate = [&](double rate) {
+    if (concurrent_cluster != nullptr) {
+      concurrent_cluster->SetFailureRate(rate);
+    } else {
+      concurrent_node->set_failure_rate(rate);
+    }
+  };
+  TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(concurrent_store));
   // Inject transient failures only while the TM replays (the restart path
   // under test); index setup above and the audits below must stay clean.
-  concurrent_store.set_failure_rate(config.failure_rate);
+  set_failure_rate(config.failure_rate);
 
   core::TmOptions tm_options;
   tm_options.top_threads = config.threads;
@@ -198,10 +253,13 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   tm_options.completed_gc_threshold = config.gc_threshold;
   tm_options.buffer_read_cache = config.buffer_read_cache;
   tm_options.enable_class_filter = config.class_filter;
+  if (options_.batched_apply) {
+    tm_options.apply_batch = ToDispatchOptions(batch_config);
+  }
 
   core::TmStats stats;
   {
-    core::TransactionManager tm(&concurrent_store, &translator, tm_options);
+    core::TransactionManager tm(concurrent_store, &translator, tm_options);
     int64_t max_row_id = static_cast<int64_t>(config.hot_rows) +
                          options_.txns_per_schedule * 3 + 1;
     for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
@@ -217,10 +275,10 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
     TXREP_RETURN_IF_ERROR(tm.CheckInvariants());
     stats = tm.stats();
   }
-  concurrent_store.set_failure_rate(0.0);
+  set_failure_rate(0.0);
 
   const std::string diff =
-      DiffDumps(serial_store.Dump(), concurrent_store.Dump());
+      DiffDumps(serial_store.Dump(), concurrent_store->Dump());
   if (!diff.empty()) {
     return Status::FailedPrecondition(
         "concurrent replay diverged from serial replay: " + diff);
@@ -234,7 +292,7 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
     const int index = report->schedules_run;
     if (options_.audit_every > 0 && index % options_.audit_every == 0) {
       TXREP_RETURN_IF_ERROR(
-          CheckReplicaEquivalence(concurrent_store, db, translator));
+          CheckReplicaEquivalence(*concurrent_store, db, translator));
     }
   }
 
@@ -272,6 +330,9 @@ Status ScheduleExplorer::RunCrashRestart(uint64_t seed, rel::Database& db,
     core::TmOptions tm_options;
     tm_options.top_threads = 2;
     tm_options.bottom_threads = 2;
+    if (options_.batched_apply) {
+      tm_options.apply_batch = ToDispatchOptions(DeriveBatchConfig(seed));
+    }
     core::TransactionManager tm(&store, &translator, tm_options);
     for (rel::LogTransaction& txn : db.log().ReadSince(0, crash_lsn)) {
       tm.SubmitUpdate(std::move(txn));
@@ -329,7 +390,12 @@ Status ScheduleExplorer::RunCrashRestart(uint64_t seed, rel::Database& db,
         "log tail gap after epoch " +
         std::to_string(checkpoint.manifest.snapshot_epoch));
   }
-  core::SerialApplier tail_applier(&recovered, &translator);
+  core::BatchDispatchOptions tail_dispatch;
+  if (options_.batched_apply) {
+    tail_dispatch = ToDispatchOptions(DeriveBatchConfig(seed));
+  }
+  core::SerialApplier tail_applier(&recovered, &translator, /*metrics=*/nullptr,
+                                   tail_dispatch);
   TXREP_RETURN_IF_ERROR(tail_applier.ApplyBatch(tail));
 
   const std::string diff = DiffDumps(serial_dump, recovered.Dump());

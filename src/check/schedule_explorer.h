@@ -50,6 +50,16 @@ struct ScheduleExplorerOptions {
   /// Directory for crash-restart checkpoint files; each seed uses a private
   /// subdirectory that is wiped before and after the schedule.
   std::string scratch_dir;
+
+  /// Batched-apply mode: the concurrent replica becomes a seed-derived
+  /// KvCluster (node count and dispatch threads drawn from the seed) and the
+  /// TM's write-set dispatcher gets a seed-derived chunk size / adaptive
+  /// flag, so the whole MultiWrite fan-out path joins the explored state
+  /// space. The batched knobs come from a private random stream, so existing
+  /// seeds reproduce identically in either mode. The serial reference pins
+  /// its dispatcher to batch size 1 — op-at-a-time ground truth through the
+  /// batch API.
+  bool batched_apply = false;
 };
 
 /// One schedule that diverged from serial replay (or tripped an invariant).

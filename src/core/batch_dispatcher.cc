@@ -1,0 +1,56 @@
+#include "core/batch_dispatcher.h"
+
+#include <algorithm>
+
+#include "obs/names.h"
+
+namespace txrep::core {
+
+BatchDispatcher::BatchDispatcher(BatchDispatchOptions options,
+                                 obs::MetricsRegistry* metrics)
+    : options_(options),
+      batch_size_(std::clamp(options.batch_size, options.min_batch_size,
+                             options.max_batch_size)) {
+  if (metrics == nullptr) return;
+  h_batch_size_ = metrics->GetHistogram(obs::kApplyBatchSize);
+  c_coalesced_ = metrics->GetCounter(obs::kApplyCoalescedOps);
+  g_lag_ = metrics->GetGauge(obs::kReplicaLag);
+}
+
+Status BatchDispatcher::Dispatch(kv::KvStore* store,
+                                 std::span<const kv::KvWrite> writes) {
+  const size_t chunk_size =
+      static_cast<size_t>(std::max(1, current_batch_size()));
+  size_t chunks = 0;
+  for (size_t offset = 0; offset < writes.size(); offset += chunk_size) {
+    const std::span<const kv::KvWrite> chunk =
+        writes.subspan(offset, std::min(chunk_size, writes.size() - offset));
+    ++chunks;
+    if (h_batch_size_ != nullptr) {
+      h_batch_size_->Record(static_cast<int64_t>(chunk.size()));
+    }
+    TXREP_RETURN_IF_ERROR(store->MultiWrite(chunk));
+  }
+  if (c_coalesced_ != nullptr && writes.size() > chunks) {
+    // Round trips saved vs op-at-a-time: ops shipped minus calls made.
+    c_coalesced_->Increment(static_cast<int64_t>(writes.size() - chunks));
+  }
+  return Status::OK();
+}
+
+void BatchDispatcher::ObserveLag(int64_t lag_micros) {
+  if (g_lag_ != nullptr) g_lag_->Set(lag_micros);
+  if (!options_.adaptive) return;
+  const int current = batch_size_.load(std::memory_order_relaxed);
+  int next = current;
+  if (lag_micros > options_.lag_high_micros) {
+    next = std::min(current * 2, options_.max_batch_size);
+  } else if (lag_micros < options_.lag_low_micros) {
+    next = std::max(current / 2, options_.min_batch_size);
+  }
+  if (next != current) {
+    batch_size_.store(next, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace txrep::core

@@ -1,0 +1,84 @@
+#ifndef TXREP_CORE_BATCH_DISPATCHER_H_
+#define TXREP_CORE_BATCH_DISPATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "kv/kv_store.h"
+#include "obs/metrics.h"
+
+namespace txrep::core {
+
+/// Knobs for the write-set coalescing dispatcher shared by every applier
+/// (SerialApplier, TicketApplier, the TM's bottom pool, bootstrap tail
+/// replay).
+struct BatchDispatchOptions {
+  /// Writes per MultiWrite chunk. When `adaptive` is set this is only the
+  /// starting point; 1 degenerates to op-at-a-time through the batch API
+  /// (the serial reference configuration in equivalence tests).
+  int batch_size = 16;
+
+  /// Let observed replica lag drive the chunk size: lag above
+  /// `lag_high_micros` doubles it (amortize more round trips), lag below
+  /// `lag_low_micros` halves it (smaller batches, lower per-txn latency),
+  /// always clamped to [min_batch_size, max_batch_size].
+  bool adaptive = false;
+  int min_batch_size = 1;
+  int max_batch_size = 64;
+  int64_t lag_high_micros = 20'000;
+  int64_t lag_low_micros = 2'000;
+};
+
+/// Chops a transaction's coalesced write set into chunks of the current
+/// batch size and ships each chunk as one KvStore::MultiWrite call —
+/// the apply path's single point of contact with the KV write API.
+///
+/// Chunks are dispatched in write-set order, so per-key order is exactly
+/// what the write set says (each key appears at most once in a TxnBuffer
+/// write set anyway). Dispatch is idempotent (PUT/DELETE are absolute), so
+/// appliers retry a failed Dispatch wholesale.
+///
+/// Thread-safe: concurrent Dispatch/ObserveLag calls only share atomics and
+/// registry instruments.
+class BatchDispatcher {
+ public:
+  /// `metrics` (optional, must outlive the dispatcher) receives the chunk
+  /// size histogram, the coalesced-ops counter and the replica-lag gauge.
+  explicit BatchDispatcher(BatchDispatchOptions options = {},
+                           obs::MetricsRegistry* metrics = nullptr);
+
+  BatchDispatcher(const BatchDispatcher&) = delete;
+  BatchDispatcher& operator=(const BatchDispatcher&) = delete;
+
+  /// Applies `writes` to `store` in chunks of current_batch_size(). Stops at
+  /// the first failing chunk and returns its status; already-applied chunks
+  /// are harmless to re-apply (idempotence), so callers retry the whole call.
+  Status Dispatch(kv::KvStore* store, std::span<const kv::KvWrite> writes);
+
+  /// Feeds one end-to-end lag observation (DB commit -> applied, µs) to the
+  /// adaptive controller and the replica-lag gauge.
+  void ObserveLag(int64_t lag_micros);
+
+  /// Current chunk size (fixed unless options().adaptive).
+  int current_batch_size() const {
+    return batch_size_.load(std::memory_order_relaxed);
+  }
+
+  const BatchDispatchOptions& options() const { return options_; }
+
+ private:
+  const BatchDispatchOptions options_;
+  std::atomic<int> batch_size_;
+
+  // Registry instruments (null when unobserved).
+  Histogram* h_batch_size_ = nullptr;
+  obs::Counter* c_coalesced_ = nullptr;
+  obs::Gauge* g_lag_ = nullptr;
+};
+
+}  // namespace txrep::core
+
+#endif  // TXREP_CORE_BATCH_DISPATCHER_H_

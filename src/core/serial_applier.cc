@@ -1,14 +1,16 @@
 #include "core/serial_applier.h"
 
 #include "common/clock.h"
+#include "core/txn_buffer.h"
 #include "obs/names.h"
 
 namespace txrep::core {
 
 SerialApplier::SerialApplier(kv::KvStore* store,
                              const qt::QueryTranslator* translator,
-                             obs::MetricsRegistry* metrics)
-    : store_(store), translator_(translator) {
+                             obs::MetricsRegistry* metrics,
+                             BatchDispatchOptions dispatch)
+    : store_(store), translator_(translator), dispatcher_(dispatch, metrics) {
   if (metrics != nullptr) {
     h_stage_apply_ = metrics->GetHistogram(obs::kStageLatency,
                                            {{"stage", obs::kStageApply}});
@@ -19,15 +21,22 @@ SerialApplier::SerialApplier(kv::KvStore* store,
 
 Status SerialApplier::Apply(const rel::LogTransaction& txn) {
   const int64_t start = NowMicros();
-  TXREP_RETURN_IF_ERROR(translator_->ApplyTransaction(store_, txn));
+  // Execute into a private buffer (reads go through to the store), then ship
+  // the coalesced write set through the batch dispatcher. Serial replay makes
+  // this trivially equivalent to direct application: nothing else writes the
+  // store between execution and publish.
+  TxnBuffer buffer(store_);
+  TXREP_RETURN_IF_ERROR(translator_->ApplyTransaction(&buffer, txn));
+  TXREP_RETURN_IF_ERROR(dispatcher_.Dispatch(store_, buffer.WriteBatch()));
   ++applied_;
   if (txn.lsn != 0) {
     last_applied_lsn_.store(txn.lsn, std::memory_order_release);
   }
   const int64_t now = NowMicros();
   if (h_stage_apply_ != nullptr) h_stage_apply_->Record(now - start);
-  if (h_stage_e2e_ != nullptr && txn.commit_micros != 0) {
-    h_stage_e2e_->Record(now - txn.commit_micros);
+  if (txn.commit_micros != 0) {
+    if (h_stage_e2e_ != nullptr) h_stage_e2e_->Record(now - txn.commit_micros);
+    dispatcher_.ObserveLag(now - txn.commit_micros);
   }
   return Status::OK();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/txn_buffer.h"
+
 namespace txrep::core {
 
 void TicketApplier::LockManager::Register(
@@ -45,7 +47,7 @@ void TicketApplier::LockManager::Release(
 TicketApplier::TicketApplier(kv::KvStore* store,
                              const qt::QueryTranslator* translator,
                              TicketApplierOptions options)
-    : store_(store), translator_(translator) {
+    : store_(store), translator_(translator), dispatcher_(options.dispatch) {
   pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(1, options.threads)), "ticket-applier");
 }
@@ -88,7 +90,14 @@ void TicketApplier::ApplyTask(uint64_t ticket,
     status = health_;
   }
   if (status.ok()) {
-    status = translator_->ApplyTransaction(store_, *txn);
+    // Execute into a private buffer under the table locks, then publish the
+    // coalesced write set in batches. The locks are still held across the
+    // publish, so ticket-order serialization per table is unchanged.
+    TxnBuffer buffer(store_);
+    status = translator_->ApplyTransaction(&buffer, *txn);
+    if (status.ok()) {
+      status = dispatcher_.Dispatch(store_, buffer.WriteBatch());
+    }
   }
   locks_.Release(ticket, *tables);
   check::MutexLock lock(&mu_);

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/batch_dispatcher.h"
 #include "kv/kv_store.h"
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
@@ -22,6 +23,11 @@ namespace txrep::core {
 struct TicketApplierOptions {
   /// Worker threads executing transactions once their locks are granted.
   int threads = 20;
+
+  /// Write-set coalescing (see BatchDispatchOptions): each transaction
+  /// executes into a private TxnBuffer under its table locks and the
+  /// coalesced write set ships as MultiWrite chunks.
+  BatchDispatchOptions dispatch;
 };
 
 /// Counters exposed by the ticket applier.
@@ -101,6 +107,7 @@ class TicketApplier {
 
   kv::KvStore* store_;                     // Not owned.
   const qt::QueryTranslator* translator_;  // Not owned.
+  BatchDispatcher dispatcher_;
   std::unique_ptr<ThreadPool> pool_;
   LockManager locks_;
 

@@ -20,6 +20,7 @@ TransactionManager::TransactionManager(kv::KvStore* store,
     metrics = owned_metrics_.get();
   }
   WireMetrics(metrics);
+  dispatcher_ = std::make_unique<BatchDispatcher>(options_.apply_batch, metrics);
   top_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(options_.top_threads), "tm-top");
   bottom_pool_ = std::make_unique<ThreadPool>(
@@ -268,13 +269,15 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
 }
 
 void TransactionManager::ApplyTask(const TxnPtr& txn) {
-  // Publish the buffered writes, tolerating transient store failures
-  // (re-running ApplyTo is idempotent).
+  // Publish the buffered writes through the batch dispatcher, tolerating
+  // transient store failures (re-dispatching is idempotent: PUT/DELETE are
+  // absolute).
   const int64_t apply_start = NowMicros();
   Status status = Status::OK();
   if (txn->buffer->WriteCount() > 0) {
+    const kv::KvWriteBatch writes = txn->buffer->WriteBatch();
     for (int attempt = 0;; ++attempt) {
-      status = txn->buffer->ApplyTo(store_);
+      status = dispatcher_->Dispatch(store_, writes);
       if (status.ok() || !status.IsUnavailable()) break;
       if (attempt >= options_.max_apply_retries) {
         TXREP_LOG(kWarn) << "apply of transaction " << txn->seq()
@@ -309,7 +312,9 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
     c_completed_->Increment();
     h_txn_restarts_->Record(txn->restart_count);
     if (txn->db_commit_micros != 0) {
-      h_stage_e2e_->Record(NowMicros() - txn->db_commit_micros);
+      const int64_t lag = NowMicros() - txn->db_commit_micros;
+      h_stage_e2e_->Record(lag);
+      dispatcher_->ObserveLag(lag);
     }
     to_restart = std::move(txn->restart_list);
     txn->restart_list.clear();

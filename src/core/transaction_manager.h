@@ -13,6 +13,7 @@
 #include "common/logical_clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/batch_dispatcher.h"
 #include "core/transaction.h"
 #include "kv/kv_store.h"
 #include "obs/metrics.h"
@@ -52,6 +53,11 @@ struct TmOptions {
   /// proposed optimization): transactions whose table-class signatures are
   /// disjoint skip the exact key-set intersection entirely.
   bool enable_class_filter = true;
+
+  /// Write-set coalescing on the bottom pool (see BatchDispatchOptions). The
+  /// default is adaptive: the controller feeds the e2e lag of every
+  /// completed transaction back into the chunk size.
+  BatchDispatchOptions apply_batch{.adaptive = true};
 };
 
 /// Counters exposed by the TM (snapshot via TransactionManager::stats()).
@@ -155,6 +161,10 @@ class TransactionManager {
   TmStats stats() const;
   const TmOptions& options() const { return options_; }
 
+  /// The bottom pool's write-set dispatcher (e.g. to inspect the adaptive
+  /// batch size in tests).
+  const BatchDispatcher& dispatcher() const { return *dispatcher_; }
+
   /// Current size of the completed list (for GC tests/benches).
   size_t CompletedListSize() const;
 
@@ -249,6 +259,10 @@ class TransactionManager {
   obs::Gauge* g_pq_depth_ = nullptr;
   obs::Gauge* g_top_backlog_ = nullptr;
   obs::Gauge* g_bottom_backlog_ = nullptr;
+
+  /// Bottom-pool write-set dispatcher (created after WireMetrics so it can
+  /// resolve its instruments from the same registry).
+  std::unique_ptr<BatchDispatcher> dispatcher_;
 
   std::unique_ptr<ThreadPool> top_pool_;
   std::unique_ptr<ThreadPool> bottom_pool_;

@@ -91,15 +91,21 @@ kv::StoreDump TxnBuffer::Dump() {
   return merged;
 }
 
-Status TxnBuffer::ApplyTo(kv::KvStore* target) const {
+kv::KvWriteBatch TxnBuffer::WriteBatch() const {
+  kv::KvWriteBatch batch;
+  batch.reserve(writes_.size());
   for (const auto& [key, entry] : writes_) {
     if (entry.tombstone) {
-      TXREP_RETURN_IF_ERROR(target->Delete(key));
+      batch.push_back(kv::KvWrite::Delete(key));
     } else {
-      TXREP_RETURN_IF_ERROR(target->Put(key, entry.value));
+      batch.push_back(kv::KvWrite::Put(key, entry.value));
     }
   }
-  return Status::OK();
+  return batch;
+}
+
+Status TxnBuffer::ApplyTo(kv::KvStore* target) const {
+  return target->MultiWrite(WriteBatch());
 }
 
 }  // namespace txrep::core

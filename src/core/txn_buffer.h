@@ -60,8 +60,14 @@ class TxnBuffer : public kv::KvStore {
   /// Number of buffered write entries.
   size_t WriteCount() const { return writes_.size(); }
 
-  /// Publishes the buffered writes to `target` in sorted-key order
-  /// (deterministic; idempotent, so safe to re-run after a transient error).
+  /// The coalesced write set as an ordered batch (sorted-key order; one
+  /// entry per key — later writes to a key already replaced earlier ones in
+  /// the buffer). This is what the batched apply path dispatches.
+  kv::KvWriteBatch WriteBatch() const;
+
+  /// Publishes the buffered writes to `target` in sorted-key order as one
+  /// MultiWrite batch (deterministic; idempotent, so safe to re-run after a
+  /// transient error).
   Status ApplyTo(kv::KvStore* target) const;
 
  private:

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "codec/encoding.h"
+#include "common/clock.h"
+#include "obs/names.h"
 
 namespace txrep::kv {
 
@@ -40,8 +42,24 @@ Status SyncParentDir(const std::string& path) {
 
 }  // namespace
 
-DiskKvNode::DiskKvNode(std::string path, DiskKvNodeOptions options)
-    : path_(std::move(path)), options_(options) {}
+DiskKvNode::DiskKvNode(std::string path, DiskKvNodeOptions options,
+                       obs::MetricsRegistry* metrics, int node_index)
+    : path_(std::move(path)), options_(options) {
+  if (metrics == nullptr) return;
+  obs::Labels node_label;
+  if (node_index >= 0) node_label = {{"node", std::to_string(node_index)}};
+  auto op_labels = [&](const char* op) {
+    obs::Labels labels = node_label;
+    labels.emplace_back("op", op);
+    return labels;
+  };
+  c_gets_ = metrics->GetCounter(obs::kKvOps, op_labels("get"));
+  c_puts_ = metrics->GetCounter(obs::kKvOps, op_labels("put"));
+  c_deletes_ = metrics->GetCounter(obs::kKvOps, op_labels("delete"));
+  c_get_misses_ = metrics->GetCounter(obs::kKvOps, op_labels("get_miss"));
+  h_op_latency_ = metrics->GetHistogram(obs::kKvOpLatency, node_label);
+  h_batch_size_ = metrics->GetHistogram(obs::kKvBatchSize, node_label);
+}
 
 DiskKvNode::~DiskKvNode() {
   check::MutexLock lock(&mu_);
@@ -49,9 +67,10 @@ DiskKvNode::~DiskKvNode() {
 }
 
 Result<std::unique_ptr<DiskKvNode>> DiskKvNode::Open(
-    std::string path, DiskKvNodeOptions options) {
+    std::string path, DiskKvNodeOptions options,
+    obs::MetricsRegistry* metrics, int node_index) {
   std::unique_ptr<DiskKvNode> node(
-      new DiskKvNode(std::move(path), options));
+      new DiskKvNode(std::move(path), options, metrics, node_index));
   // No concurrency yet (the node is unpublished) — the lock is held purely
   // so the thread-safety analysis can prove ReplayLog's guarded accesses.
   check::MutexLock lock(&node->mu_);
@@ -138,35 +157,114 @@ Status DiskKvNode::AppendRecord(bool tombstone, const Key& key,
     return Status::Unavailable("log append failed: " +
                                std::string(std::strerror(errno)));
   }
-  if (options_.sync_every_write) {
-    std::fflush(log_);
-    ::fsync(::fileno(log_));
-  }
   return Status::OK();
 }
 
+void DiskKvNode::MaybeSyncLocked() {
+  if (!options_.sync_every_write || log_ == nullptr) return;
+  std::fflush(log_);
+  ::fsync(::fileno(log_));
+}
+
 Status DiskKvNode::Put(const Key& key, const Value& value) {
+  const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
   TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/false, key, value));
+  MaybeSyncLocked();
   map_[key] = value;
+  ++stats_.puts;
+  if (c_puts_ != nullptr) c_puts_->Increment();
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
   return Status::OK();
 }
 
 Result<Value> DiskKvNode::Get(const Key& key) {
+  const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
+  ++stats_.gets;
+  if (c_gets_ != nullptr) c_gets_->Increment();
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
   auto it = map_.find(key);
   if (it == map_.end()) {
+    ++stats_.get_misses;
+    if (c_get_misses_ != nullptr) c_get_misses_->Increment();
     return Status::NotFound("key \"" + key + "\" not present");
   }
   return it->second;
 }
 
 Status DiskKvNode::Delete(const Key& key) {
+  const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
   if (map_.erase(key) > 0) {
     TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/true, key, {}));
+    MaybeSyncLocked();
   }
+  ++stats_.deletes;
+  if (c_deletes_ != nullptr) c_deletes_->Increment();
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
   return Status::OK();
+}
+
+Status DiskKvNode::MultiWrite(std::span<const KvWrite> batch,
+                              size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  if (batch.empty()) return Status::OK();
+  const int64_t start = NowMicros();
+  check::MutexLock lock(&mu_);
+  Status status = Status::OK();
+  for (const KvWrite& w : batch) {
+    if (w.tombstone) {
+      if (map_.erase(w.key) > 0) {
+        status = AppendRecord(/*tombstone=*/true, w.key, {});
+        if (!status.ok()) break;
+      }
+      ++stats_.deletes;
+      if (c_deletes_ != nullptr) c_deletes_->Increment();
+    } else {
+      status = AppendRecord(/*tombstone=*/false, w.key, w.value);
+      if (!status.ok()) break;
+      map_[w.key] = w.value;
+      ++stats_.puts;
+      if (c_puts_ != nullptr) c_puts_->Increment();
+    }
+    if (applied != nullptr) ++*applied;
+  }
+  // One flush+fsync covers the whole batch — the durability point moves to
+  // batch end, which is still before MultiWrite returns.
+  MaybeSyncLocked();
+  ++stats_.batches;
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->Record(static_cast<int64_t>(batch.size()));
+  }
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
+  return status;
+}
+
+std::vector<Result<Value>> DiskKvNode::MultiGet(std::span<const Key> keys) {
+  const int64_t start = NowMicros();
+  std::vector<Result<Value>> results;
+  results.reserve(keys.size());
+  if (keys.empty()) return results;
+  check::MutexLock lock(&mu_);
+  for (const Key& key : keys) {
+    ++stats_.gets;
+    if (c_gets_ != nullptr) c_gets_->Increment();
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.get_misses;
+      if (c_get_misses_ != nullptr) c_get_misses_->Increment();
+      results.push_back(Status::NotFound("key \"" + key + "\" not present"));
+    } else {
+      results.push_back(it->second);
+    }
+  }
+  ++stats_.batches;
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->Record(static_cast<int64_t>(keys.size()));
+  }
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
+  return results;
 }
 
 bool DiskKvNode::Contains(const Key& key) {
@@ -186,6 +284,11 @@ StoreDump DiskKvNode::Dump() {
   for (const auto& [k, v] : map_) dump.emplace_back(k, v);
   std::sort(dump.begin(), dump.end());
   return dump;
+}
+
+KvStoreStats DiskKvNode::stats() const {
+  check::MutexLock lock(&mu_);
+  return stats_;
 }
 
 Status DiskKvNode::Sync() {

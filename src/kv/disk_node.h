@@ -8,8 +8,10 @@
 #include <unordered_map>
 
 #include "check/mutex.h"
+#include "common/histogram.h"
 #include "common/result.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 
 namespace txrep::kv {
 
@@ -34,8 +36,14 @@ class DiskKvNode : public KvStore {
  public:
   /// Opens (creating if absent) the node at `path`. Replays existing
   /// records; a trailing partial record is truncated away.
+  ///
+  /// `metrics` (optional, must outlive the node) receives the same per-op
+  /// counters and latency histograms as InMemoryKvNode, labeled
+  /// {node="`node_index`"} when `node_index` >= 0 — disk nodes are no longer
+  /// unobserved at the op level.
   static Result<std::unique_ptr<DiskKvNode>> Open(
-      std::string path, DiskKvNodeOptions options = {});
+      std::string path, DiskKvNodeOptions options = {},
+      obs::MetricsRegistry* metrics = nullptr, int node_index = -1);
 
   ~DiskKvNode() override;
 
@@ -45,6 +53,17 @@ class DiskKvNode : public KvStore {
   Status Put(const Key& key, const Value& value) override;
   Result<Value> Get(const Key& key) override;
   Status Delete(const Key& key) override;
+
+  /// Batch write under one lock acquisition and (in sync_every_write mode)
+  /// one flush+fsync for the whole batch instead of one per record — the
+  /// disk analogue of the amortized service model. Stops at the first append
+  /// error, so the applied entries are a prefix of the batch.
+  Status MultiWrite(std::span<const KvWrite> batch,
+                    size_t* applied = nullptr) override;
+
+  /// Batch read under one lock acquisition; per-key positional results.
+  std::vector<Result<Value>> MultiGet(std::span<const Key> keys) override;
+
   bool Contains(const Key& key) override;
   size_t Size() override;
   StoreDump Dump() override;
@@ -73,19 +92,36 @@ class DiskKvNode : public KvStore {
 
   const std::string& path() const { return path_; }
 
+  /// Cumulative operation counters (snapshot), like InMemoryKvNode::stats().
+  KvStoreStats stats() const;
+
  private:
-  DiskKvNode(std::string path, DiskKvNodeOptions options);
+  DiskKvNode(std::string path, DiskKvNodeOptions options,
+             obs::MetricsRegistry* metrics, int node_index);
 
   Status ReplayLog() TXREP_REQUIRES(mu_);
+  /// Appends one record without honoring sync_every_write; callers follow up
+  /// with MaybeSyncLocked() — once per op, or once per batch.
   Status AppendRecord(bool tombstone, const Key& key, const Value& value)
       TXREP_REQUIRES(mu_);
+  /// flush+fsync iff sync_every_write is set.
+  void MaybeSyncLocked() TXREP_REQUIRES(mu_);
 
   const std::string path_;
   const DiskKvNodeOptions options_;
 
-  check::Mutex mu_{"disk_node.mu"};
+  mutable check::Mutex mu_{"disk_node.mu"};
   std::FILE* log_ TXREP_GUARDED_BY(mu_) = nullptr;
   std::unordered_map<Key, Value> map_ TXREP_GUARDED_BY(mu_);
+  KvStoreStats stats_ TXREP_GUARDED_BY(mu_);
+
+  // Registry instruments (null when the node runs unobserved).
+  obs::Counter* c_gets_ = nullptr;
+  obs::Counter* c_puts_ = nullptr;
+  obs::Counter* c_deletes_ = nullptr;
+  obs::Counter* c_get_misses_ = nullptr;
+  Histogram* h_op_latency_ = nullptr;
+  Histogram* h_batch_size_ = nullptr;
   // Write-once during Open() (single-threaded), read-only afterwards — no
   // lock needed.
   size_t replayed_records_ = 0;

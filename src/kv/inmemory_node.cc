@@ -26,6 +26,7 @@ InMemoryKvNode::InMemoryKvNode(KvNodeOptions options,
   c_deletes_ = metrics->GetCounter(obs::kKvOps, op_labels("delete"));
   c_get_misses_ = metrics->GetCounter(obs::kKvOps, op_labels("get_miss"));
   h_op_latency_ = metrics->GetHistogram(obs::kKvOpLatency, node_label);
+  h_batch_size_ = metrics->GetHistogram(obs::kKvBatchSize, node_label);
   g_slots_ = metrics->GetGauge(obs::kKvSlotsInUse, node_label);
 }
 
@@ -33,21 +34,22 @@ InMemoryKvNode::Stripe& InMemoryKvNode::StripeFor(const Key& key) {
   return stripes_[std::hash<std::string>{}(key) % kNumStripes];
 }
 
-Status InMemoryKvNode::SimulateService() {
-  const int64_t start = NowMicros();
+bool InMemoryKvNode::RollFailure() {
   const double failure_rate = failure_rate_.load(std::memory_order_relaxed);
-  if (failure_rate > 0.0) {
-    bool fail;
-    {
-      check::MutexLock lock(&failure_mu_);
-      fail = failure_rng_.Bernoulli(failure_rate);
-    }
-    if (fail) {
-      check::MutexLock lock(&stats_mu_);
-      ++stats_.injected_failures;
-      return Status::Unavailable("injected node failure");
-    }
+  if (failure_rate <= 0.0) return false;
+  bool fail;
+  {
+    check::MutexLock lock(&failure_mu_);
+    fail = failure_rng_.Bernoulli(failure_rate);
   }
+  if (fail) {
+    check::MutexLock lock(&stats_mu_);
+    ++stats_.injected_failures;
+  }
+  return fail;
+}
+
+void InMemoryKvNode::OccupySlot(int64_t micros) {
   if (options_.service_slots > 0) {
     {
       check::MutexLock lock(&gate_mu_);
@@ -55,7 +57,7 @@ Status InMemoryKvNode::SimulateService() {
       ++in_service_;
       if (g_slots_ != nullptr) g_slots_->Set(in_service_);
     }
-    SleepForMicros(options_.service_time_micros);
+    SleepForMicros(micros);
     {
       check::MutexLock lock(&gate_mu_);
       --in_service_;
@@ -63,8 +65,21 @@ Status InMemoryKvNode::SimulateService() {
       gate_cv_.NotifyOne();
     }
   } else {
-    SleepForMicros(options_.service_time_micros);
+    SleepForMicros(micros);
   }
+}
+
+int64_t InMemoryKvNode::MarginalMicros() const {
+  if (options_.batch_marginal_micros >= 0) {
+    return options_.batch_marginal_micros;
+  }
+  return options_.service_time_micros / 8;
+}
+
+Status InMemoryKvNode::SimulateService() {
+  const int64_t start = NowMicros();
+  if (RollFailure()) return Status::Unavailable("injected node failure");
+  OccupySlot(options_.service_time_micros);
   const int64_t elapsed = NowMicros() - start;
   op_latency_.Record(elapsed);
   if (h_op_latency_ != nullptr) h_op_latency_->Record(elapsed);
@@ -115,6 +130,110 @@ Status InMemoryKvNode::Delete(const Key& key) {
   check::MutexLock lock(&stats_mu_);
   ++stats_.deletes;
   return Status::OK();
+}
+
+Status InMemoryKvNode::MultiWrite(std::span<const KvWrite> batch,
+                                  size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  if (batch.empty()) return Status::OK();
+  const int64_t start = NowMicros();
+  const int64_t service = options_.service_time_micros +
+                          static_cast<int64_t>(batch.size() - 1) *
+                              MarginalMicros();
+  OccupySlot(service);
+  Status first_error = Status::OK();
+  int64_t puts = 0;
+  int64_t deletes = 0;
+  for (const KvWrite& w : batch) {
+    // Per-entry roll in batch order: a batched replay consumes the same
+    // failure-RNG stream as op-at-a-time replay, so equivalence tests can
+    // compare the two under injected failures.
+    if (RollFailure()) {
+      if (first_error.ok()) {
+        first_error = Status::Unavailable("injected node failure");
+      }
+      continue;
+    }
+    Stripe& stripe = StripeFor(w.key);
+    {
+      check::WriterMutexLock lock(&stripe.mu);
+      if (w.tombstone) {
+        stripe.map.erase(w.key);
+      } else {
+        stripe.map[w.key] = w.value;
+      }
+    }
+    if (w.tombstone) {
+      ++deletes;
+      if (c_deletes_ != nullptr) c_deletes_->Increment();
+    } else {
+      ++puts;
+      if (c_puts_ != nullptr) c_puts_->Increment();
+    }
+    if (applied != nullptr) ++*applied;
+  }
+  const int64_t elapsed = NowMicros() - start;
+  op_latency_.Record(elapsed);
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(elapsed);
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->Record(static_cast<int64_t>(batch.size()));
+  }
+  {
+    check::MutexLock lock(&stats_mu_);
+    stats_.puts += puts;
+    stats_.deletes += deletes;
+    ++stats_.batches;
+  }
+  return first_error;
+}
+
+std::vector<Result<Value>> InMemoryKvNode::MultiGet(
+    std::span<const Key> keys) {
+  std::vector<Result<Value>> results;
+  results.reserve(keys.size());
+  if (keys.empty()) return results;
+  const int64_t start = NowMicros();
+  const int64_t service = options_.service_time_micros +
+                          static_cast<int64_t>(keys.size() - 1) *
+                              MarginalMicros();
+  OccupySlot(service);
+  int64_t gets = 0;
+  int64_t misses = 0;
+  for (const Key& key : keys) {
+    if (RollFailure()) {
+      results.push_back(Status::Unavailable("injected node failure"));
+      continue;
+    }
+    ++gets;
+    if (c_gets_ != nullptr) c_gets_->Increment();
+    Stripe& stripe = StripeFor(key);
+    std::optional<Value> found;
+    {
+      check::ReaderMutexLock lock(&stripe.mu);
+      auto it = stripe.map.find(key);
+      if (it != stripe.map.end()) found = it->second;
+    }
+    if (found.has_value()) {
+      results.push_back(*std::move(found));
+    } else {
+      ++misses;
+      if (c_get_misses_ != nullptr) c_get_misses_->Increment();
+      results.push_back(Status::NotFound("key \"" + key + "\" not present"));
+    }
+  }
+  const int64_t elapsed = NowMicros() - start;
+  op_latency_.Record(elapsed);
+  if (h_op_latency_ != nullptr) h_op_latency_->Record(elapsed);
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->Record(static_cast<int64_t>(keys.size()));
+  }
+  {
+    check::MutexLock lock(&stats_mu_);
+    stats_.gets += gets;
+    stats_.get_misses += misses;
+    ++stats_.batches;
+  }
+  return results;
 }
 
 bool InMemoryKvNode::Contains(const Key& key) {

@@ -29,6 +29,13 @@ struct KvNodeOptions {
   /// the paper's Fig. 17 cluster-size effect.
   int service_slots = 0;
 
+  /// Incremental service time, microseconds, for each op after the first in
+  /// a Multi* batch: a k-op batch occupies one service slot for
+  /// `service_time_micros + (k-1) * batch_marginal_micros` instead of k full
+  /// round trips. -1 derives the marginal cost as service_time_micros / 8
+  /// (the round trip dominates; the per-op server work is small).
+  int64_t batch_marginal_micros = -1;
+
   /// Probability in [0,1] that an operation fails with Unavailable before
   /// touching state. For failure-injection tests only.
   double failure_rate = 0.0;
@@ -59,6 +66,20 @@ class InMemoryKvNode : public KvStore {
   Status Put(const Key& key, const Value& value) override;
   Result<Value> Get(const Key& key) override;
   Status Delete(const Key& key) override;
+
+  /// Batch write: one slot occupancy of `service_time_micros +
+  /// (k-1) * batch_marginal_micros`. Attempts every entry — an injected
+  /// transient failure skips just that entry (its key keeps its prior value)
+  /// and the first error is returned; `applied` counts entries that took
+  /// effect. The failure dice are rolled once per entry in batch order, so a
+  /// batched replay consumes the same RNG stream as op-at-a-time replay.
+  Status MultiWrite(std::span<const KvWrite> batch,
+                    size_t* applied = nullptr) override;
+
+  /// Batch read under the same amortized service model. Per-key positional
+  /// results; an injected failure or miss fails only that entry.
+  std::vector<Result<Value>> MultiGet(std::span<const Key> keys) override;
+
   bool Contains(const Key& key) override;
   size_t Size() override;
   StoreDump Dump() override;
@@ -94,6 +115,16 @@ class InMemoryKvNode : public KvStore {
   /// injected failure if the failure dice say so.
   Status SimulateService();
 
+  /// One Bernoulli roll of the failure dice (batch entries roll per entry, in
+  /// batch order, so batched and op-at-a-time replay share the RNG stream).
+  bool RollFailure();
+
+  /// Occupies one service slot for `micros` of simulated time.
+  void OccupySlot(int64_t micros);
+
+  /// Effective per-extra-op marginal service cost (resolves the -1 default).
+  int64_t MarginalMicros() const;
+
   Stripe& StripeFor(const Key& key);
 
   const KvNodeOptions options_;
@@ -121,6 +152,7 @@ class InMemoryKvNode : public KvStore {
   obs::Counter* c_deletes_ = nullptr;
   obs::Counter* c_get_misses_ = nullptr;
   Histogram* h_op_latency_ = nullptr;
+  Histogram* h_batch_size_ = nullptr;
   obs::Gauge* g_slots_ = nullptr;
 };
 

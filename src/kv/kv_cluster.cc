@@ -9,6 +9,10 @@
 #include <functional>
 #include <utility>
 
+#include "check/mutex.h"
+#include "common/clock.h"
+#include "obs/names.h"
+
 namespace txrep::kv {
 
 namespace {
@@ -51,7 +55,7 @@ KvCluster::KvCluster(KvClusterOptions options, obs::MetricsRegistry* metrics)
     if (options_.backend == KvBackend::kDisk && init_status_.ok()) {
       Result<std::unique_ptr<DiskKvNode>> node = DiskKvNode::Open(
           options_.disk_dir + "/node-" + std::to_string(i) + ".log",
-          options_.disk);
+          options_.disk, metrics, i);
       if (node.ok()) {
         nodes_.push_back(std::move(*node));
         is_disk_.push_back(true);
@@ -66,6 +70,18 @@ KvCluster::KvCluster(KvClusterOptions options, obs::MetricsRegistry* metrics)
     node_options.failure_seed = options_.node.failure_seed + i * 0x9e3779b9ULL;
     nodes_.push_back(std::make_unique<InMemoryKvNode>(node_options, metrics, i));
     is_disk_.push_back(false);
+  }
+
+  h_dispatch_.assign(nodes_.size(), nullptr);
+  if (metrics != nullptr) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      h_dispatch_[i] = metrics->GetHistogram(
+          obs::kKvDispatchLatency, {{"node", std::to_string(i)}});
+    }
+  }
+  if (options_.dispatch_threads > 0 && nodes_.size() > 1) {
+    dispatch_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.dispatch_threads), "kv-dispatch");
   }
 }
 
@@ -84,6 +100,95 @@ Status KvCluster::Put(const Key& key, const Value& value) {
 Result<Value> KvCluster::Get(const Key& key) { return NodeFor(key).Get(key); }
 
 Status KvCluster::Delete(const Key& key) { return NodeFor(key).Delete(key); }
+
+void KvCluster::FanOut(const std::vector<int>& node_indices,
+                       const std::function<void(int)>& fn) {
+  if (dispatch_pool_ == nullptr || node_indices.size() <= 1) {
+    for (int index : node_indices) fn(index);
+    return;
+  }
+  // Per-call completion latch: the pool is shared by concurrent Multi*
+  // callers, so ThreadPool::Wait() (global) would over-wait.
+  check::Mutex mu("kv.dispatch_latch");
+  check::CondVar cv(&mu);
+  size_t pending = node_indices.size();
+  for (int index : node_indices) {
+    dispatch_pool_->Submit([&, index] {
+      fn(index);
+      check::MutexLock lock(&mu);
+      if (--pending == 0) cv.NotifyOne();
+    });
+  }
+  check::MutexLock lock(&mu);
+  while (pending > 0) cv.Wait();
+}
+
+Status KvCluster::MultiWrite(std::span<const KvWrite> batch, size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  if (batch.empty()) return Status::OK();
+
+  // Stable routing: each node's sub-batch holds its entries in batch order,
+  // so per-key order (keys never split across nodes) is preserved.
+  std::vector<KvWriteBatch> sub_batches(nodes_.size());
+  for (const KvWrite& w : batch) {
+    sub_batches[static_cast<size_t>(NodeIndexFor(w.key))].push_back(w);
+  }
+  std::vector<int> busy_nodes;
+  for (size_t i = 0; i < sub_batches.size(); ++i) {
+    if (!sub_batches[i].empty()) busy_nodes.push_back(static_cast<int>(i));
+  }
+
+  std::vector<Status> statuses(nodes_.size());
+  std::vector<size_t> applied_per_node(nodes_.size(), 0);
+  FanOut(busy_nodes, [&](int index) {
+    const size_t i = static_cast<size_t>(index);
+    const int64_t start = NowMicros();
+    statuses[i] = nodes_[i]->MultiWrite(sub_batches[i], &applied_per_node[i]);
+    if (h_dispatch_[i] != nullptr) {
+      h_dispatch_[i]->Record(NowMicros() - start);
+    }
+  });
+
+  Status first_error = Status::OK();
+  for (int index : busy_nodes) {
+    const size_t i = static_cast<size_t>(index);
+    if (applied != nullptr) *applied += applied_per_node[i];
+    if (first_error.ok() && !statuses[i].ok()) first_error = statuses[i];
+  }
+  return first_error;
+}
+
+std::vector<Result<Value>> KvCluster::MultiGet(std::span<const Key> keys) {
+  std::vector<Result<Value>> results(
+      keys.size(), Result<Value>(Status::Unavailable("not dispatched")));
+  if (keys.empty()) return results;
+
+  // Route positionally so results can be scattered back to batch order.
+  std::vector<std::vector<Key>> sub_keys(nodes_.size());
+  std::vector<std::vector<size_t>> sub_positions(nodes_.size());
+  for (size_t pos = 0; pos < keys.size(); ++pos) {
+    const size_t i = static_cast<size_t>(NodeIndexFor(keys[pos]));
+    sub_keys[i].push_back(keys[pos]);
+    sub_positions[i].push_back(pos);
+  }
+  std::vector<int> busy_nodes;
+  for (size_t i = 0; i < sub_keys.size(); ++i) {
+    if (!sub_keys[i].empty()) busy_nodes.push_back(static_cast<int>(i));
+  }
+
+  FanOut(busy_nodes, [&](int index) {
+    const size_t i = static_cast<size_t>(index);
+    const int64_t start = NowMicros();
+    std::vector<Result<Value>> sub_results = nodes_[i]->MultiGet(sub_keys[i]);
+    if (h_dispatch_[i] != nullptr) {
+      h_dispatch_[i]->Record(NowMicros() - start);
+    }
+    for (size_t j = 0; j < sub_results.size(); ++j) {
+      results[sub_positions[i][j]] = std::move(sub_results[j]);
+    }
+  });
+  return results;
+}
 
 bool KvCluster::Contains(const Key& key) { return NodeFor(key).Contains(key); }
 
@@ -142,10 +247,20 @@ Status KvCluster::CompactAll() {
 KvStoreStats KvCluster::TotalStats() const {
   KvStoreStats total;
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (is_disk_[i]) continue;
-    total += static_cast<const InMemoryKvNode*>(nodes_[i].get())->stats();
+    if (is_disk_[i]) {
+      total += static_cast<const DiskKvNode*>(nodes_[i].get())->stats();
+    } else {
+      total += static_cast<const InMemoryKvNode*>(nodes_[i].get())->stats();
+    }
   }
   return total;
+}
+
+void KvCluster::SetFailureRate(double rate) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_disk_[i]) continue;
+    static_cast<InMemoryKvNode*>(nodes_[i].get())->set_failure_rate(rate);
+  }
 }
 
 }  // namespace txrep::kv

@@ -2,10 +2,12 @@
 #define TXREP_KV_KV_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "kv/disk_node.h"
 #include "kv/inmemory_node.h"
 #include "kv/kv_store.h"
@@ -38,6 +40,12 @@ struct KvClusterOptions {
 
   /// Per-node knobs for the disk backend.
   DiskKvNodeOptions disk;
+
+  /// Threads fanning Multi* sub-batches out to their nodes in parallel; also
+  /// the bound on sub-batches in flight per call. 0 dispatches inline
+  /// (sequential per-node loop) — deterministic, for the serial reference
+  /// replay in equivalence tests.
+  int dispatch_threads = 4;
 };
 
 /// Hash-partitioned cluster of KV nodes implementing the same KvStore
@@ -49,8 +57,9 @@ struct KvClusterOptions {
 class KvCluster : public KvStore {
  public:
   /// `metrics` (optional, must outlive the cluster) receives per-node op
-  /// counters, latency histograms and slot gauges, labeled {node="i"}
-  /// (in-memory backend; disk nodes run unobserved at the op level).
+  /// counters, latency histograms and slot gauges, labeled {node="i"}, for
+  /// both backends (disk nodes report the same per-op instruments as
+  /// in-memory ones), plus per-node Multi* dispatch latency.
   ///
   /// Construction cannot fail, but opening disk-backed nodes can: check
   /// init_status() before using a kDisk cluster. Nodes that failed to open
@@ -65,6 +74,20 @@ class KvCluster : public KvStore {
   Status Put(const Key& key, const Value& value) override;
   Result<Value> Get(const Key& key) override;
   Status Delete(const Key& key) override;
+
+  /// Routes each entry to its owning node (stable hash partitioning, so
+  /// per-key order within the batch is preserved) and fans the per-node
+  /// sub-batches out in parallel on the dispatch pool. Each node applies its
+  /// sub-batch per its own partial-failure contract; `applied` is the sum of
+  /// per-node applied counts and the returned status is the first failing
+  /// node's (by node index).
+  Status MultiWrite(std::span<const KvWrite> batch,
+                    size_t* applied = nullptr) override;
+
+  /// Same routing/fan-out for reads. Results are positional (results[i] is
+  /// keys[i]) regardless of which node served each key.
+  std::vector<Result<Value>> MultiGet(std::span<const Key> keys) override;
+
   bool Contains(const Key& key) override;
   size_t Size() override;
   StoreDump Dump() override;
@@ -96,12 +119,22 @@ class KvCluster : public KvStore {
   /// in-memory nodes). Called after a checkpoint install drops history.
   Status CompactAll();
 
-  /// Sum of per-node counters (in-memory nodes only; disk nodes do not
-  /// keep op counters).
+  /// Sum of per-node counters across both backends.
   KvStoreStats TotalStats() const;
+
+  /// Adjusts the injected-failure probability on every in-memory node (disk
+  /// nodes have no failure injection). Test fencing helper, like
+  /// InMemoryKvNode::set_failure_rate.
+  void SetFailureRate(double rate);
 
  private:
   KvStore& NodeFor(const Key& key);
+
+  /// Runs `fn(node_index)` for every index in `node_indices`, in parallel on
+  /// the dispatch pool when it exists (blocking until all complete), inline
+  /// otherwise.
+  void FanOut(const std::vector<int>& node_indices,
+              const std::function<void(int)>& fn);
 
   KvClusterOptions options_;
   Status init_status_;
@@ -109,6 +142,11 @@ class KvCluster : public KvStore {
   /// Parallel to nodes_: true when nodes_[i] is a DiskKvNode (a disk node
   /// that failed to open falls back to in-memory, so this is per-node).
   std::vector<bool> is_disk_;
+  /// Parallel to nodes_: per-node Multi* sub-batch dispatch latency (null
+  /// when the cluster runs unobserved).
+  std::vector<Histogram*> h_dispatch_;
+  /// Fan-out workers; null when dispatch_threads == 0 (inline dispatch).
+  std::unique_ptr<ThreadPool> dispatch_pool_;
 };
 
 }  // namespace txrep::kv

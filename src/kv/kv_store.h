@@ -2,7 +2,10 @@
 #define TXREP_KV_KV_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -30,6 +33,73 @@ class KvStore {
   /// Removes `key`. Deleting an absent key is a no-op success (replication
   /// replay must be idempotent with respect to redundant deletes).
   virtual Status Delete(const Key& key) = 0;
+
+  // --- batch operations (the batched-apply pipeline, DESIGN.md §10) --------
+  //
+  // One Multi* call is one round trip to the store: backends that simulate
+  // service time charge a batch as a single slot occupancy of
+  // `base + (k-1)·marginal` micros instead of `k` full round trips, which is
+  // what lets replica replay keep up with the primary (STAR / C5 style
+  // batched apply). Entries are processed in batch order, so per-key op
+  // order inside a batch is exactly op-at-a-time order.
+  //
+  // Partial-failure contract: `applied` (optional) receives the number of
+  // entries that took effect. On a non-OK return the batch may have applied
+  // only some entries; WHICH entries is backend-defined and pinned by
+  // kv_batch_property_test:
+  //   - the default implementations and DiskKvNode stop at the first error
+  //     (the applied entries are a prefix of the batch);
+  //   - InMemoryKvNode attempts every entry (an injected transient failure
+  //     skips just that entry) and returns the first error;
+  //   - KvCluster fans sub-batches out per node; each node applies per its
+  //     own contract and the first failing node's status (by node index) is
+  //     returned.
+  // Re-running a failed batch is always safe: PUT/DELETE are absolute, so
+  // batch apply is idempotent — the retry contract the appliers rely on.
+
+  /// Applies an ordered batch of puts/tombstones. Default: one Put/Delete
+  /// per entry, stopping at the first error.
+  virtual Status MultiWrite(std::span<const KvWrite> batch,
+                            size_t* applied = nullptr) {
+    if (applied != nullptr) *applied = 0;
+    for (const KvWrite& w : batch) {
+      Status status = w.tombstone ? Delete(w.key) : Put(w.key, w.value);
+      if (!status.ok()) return status;
+      if (applied != nullptr) ++*applied;
+    }
+    return Status::OK();
+  }
+
+  /// Inserts/overwrites every entry as one batch.
+  virtual Status MultiPut(std::span<const std::pair<Key, Value>> entries,
+                          size_t* applied = nullptr) {
+    KvWriteBatch batch;
+    batch.reserve(entries.size());
+    for (const auto& [key, value] : entries) {
+      batch.push_back(KvWrite::Put(key, value));
+    }
+    return MultiWrite(batch, applied);
+  }
+
+  /// Removes every key as one batch (absent keys are no-op successes, like
+  /// Delete).
+  virtual Status MultiDelete(std::span<const Key> keys,
+                             size_t* applied = nullptr) {
+    KvWriteBatch batch;
+    batch.reserve(keys.size());
+    for (const Key& key : keys) batch.push_back(KvWrite::Delete(key));
+    return MultiWrite(batch, applied);
+  }
+
+  /// Reads every key as one batch. Results are positional (results[i] is
+  /// keys[i]); an individual miss/failure is that entry's Result and never
+  /// aborts the rest of the batch.
+  virtual std::vector<Result<Value>> MultiGet(std::span<const Key> keys) {
+    std::vector<Result<Value>> results;
+    results.reserve(keys.size());
+    for (const Key& key : keys) results.push_back(Get(key));
+    return results;
+  }
 
   /// True iff the key currently exists (no NotFound bookkeeping).
   virtual bool Contains(const Key& key) = 0;
@@ -61,6 +131,9 @@ struct KvStoreStats {
   int64_t deletes = 0;
   int64_t get_misses = 0;
   int64_t injected_failures = 0;
+  /// Multi* calls serviced (each is one simulated round trip, however many
+  /// ops it carried).
+  int64_t batches = 0;
 
   KvStoreStats& operator+=(const KvStoreStats& other) {
     gets += other.gets;
@@ -68,6 +141,7 @@ struct KvStoreStats {
     deletes += other.deletes;
     get_misses += other.get_misses;
     injected_failures += other.injected_failures;
+    batches += other.batches;
     return *this;
   }
 };

@@ -29,4 +29,15 @@ bool operator==(const KvOp& a, const KvOp& b) {
   return a.type == b.type && a.key == b.key && a.value == b.value;
 }
 
+std::string KvWrite::DebugString() const {
+  if (tombstone) return "DELETE(\"" + key + "\")";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "(%zu bytes)", value.size());
+  return "PUT(\"" + key + "\", " + buf + ")";
+}
+
+bool operator==(const KvWrite& a, const KvWrite& b) {
+  return a.tombstone == b.tombstone && a.key == b.key && a.value == b.value;
+}
+
 }  // namespace txrep::kv

@@ -40,6 +40,30 @@ struct KvOp {
 
 bool operator==(const KvOp& a, const KvOp& b);
 
+/// One entry of a write batch (the batched-apply pipeline's unit): a PUT, or
+/// a DELETE when `tombstone` is set. Batches are ordered; stores must apply
+/// (or skip, see MultiWrite) entries in batch order, so two writes to the
+/// same key within one batch resolve exactly as they would op-at-a-time.
+struct KvWrite {
+  Key key;
+  Value value;  // Empty for tombstones.
+  bool tombstone = false;
+
+  static KvWrite Put(Key key, Value value) {
+    return KvWrite{std::move(key), std::move(value), false};
+  }
+  static KvWrite Delete(Key key) { return KvWrite{std::move(key), {}, true}; }
+
+  /// e.g. `PUT("ITEM_1", 24 bytes)` / `DELETE("ITEM_1")`.
+  std::string DebugString() const;
+};
+
+bool operator==(const KvWrite& a, const KvWrite& b);
+
+/// An ordered write batch — what one committed transaction's coalesced write
+/// set becomes on the apply path.
+using KvWriteBatch = std::vector<KvWrite>;
+
 /// A full, sorted snapshot of a store — the unit of state comparison in the
 /// equivalence tests (concurrent replay must dump byte-identically to serial
 /// replay).

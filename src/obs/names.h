@@ -78,6 +78,21 @@ inline constexpr char kKvOps[] = "txrep_kv_ops_total";
 inline constexpr char kKvOpLatency[] = "txrep_kv_op_latency_us";
 /// Service slots currently occupied, labeled {node="N"}.
 inline constexpr char kKvSlotsInUse[] = "txrep_kv_slots_in_use";
+/// Ops per Multi* batch serviced by a node (histogram, unitless), labeled
+/// {node="N"}.
+inline constexpr char kKvBatchSize[] = "txrep_kv_batch_size";
+/// Cluster fan-out latency of one MultiWrite/MultiGet sub-batch (µs), labeled
+/// {node="N"} with the destination node.
+inline constexpr char kKvDispatchLatency[] = "txrep_kv_dispatch_latency_us";
+
+// --- batched apply path -------------------------------------------------
+/// Write-set entries per dispatched chunk (histogram, unitless).
+inline constexpr char kApplyBatchSize[] = "txrep_apply_batch_size";
+/// Round trips saved by coalescing: ops dispatched minus Multi* calls made.
+inline constexpr char kApplyCoalescedOps[] = "txrep_apply_coalesced_ops_total";
+/// Gauge: latest observed DB-commit -> replica-applied lag (µs); feeds the
+/// adaptive batch-size controller.
+inline constexpr char kReplicaLag[] = "txrep_replica_lag_us";
 
 // --- recovery / checkpointing -----------------------------------------------
 inline constexpr char kRecovCheckpoints[] = "txrep_recov_checkpoints_total";

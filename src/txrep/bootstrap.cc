@@ -43,8 +43,8 @@ Status BootstrappedReplica::Start() {
   TXREP_RETURN_IF_ERROR(cluster_->init_status());
 
   const qt::QueryTranslator& translator = system_->translator();
-  applier_ = std::make_unique<core::SerialApplier>(cluster_.get(), &translator,
-                                                   &registry_);
+  applier_ = std::make_unique<core::SerialApplier>(
+      cluster_.get(), &translator, &registry_, options_.apply_batch);
   reader_ = std::make_unique<qt::ReplicaReader>(
       &translator.catalog(), translator.blink_options(), &registry_);
   gate_ = std::make_unique<recov::CatchupGate>(options_.max_admission_lag,

@@ -1,0 +1,159 @@
+// Unit tests for the write-set batch dispatcher: chunking, adaptive sizing
+// from observed replica lag, coalescing metrics, and equivalence of the
+// chunked apply with a single-shot apply.
+
+#include <string>
+#include <vector>
+
+#include "core/batch_dispatcher.h"
+#include "kv/inmemory_node.h"
+#include "kv/kv_store.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::core {
+namespace {
+
+/// In-memory store that records the size of every MultiWrite batch it sees.
+class ChunkRecordingStore : public kv::InMemoryKvNode {
+ public:
+  Status MultiWrite(std::span<const kv::KvWrite> batch,
+                    size_t* applied = nullptr) override {
+    chunk_sizes.push_back(batch.size());
+    return kv::InMemoryKvNode::MultiWrite(batch, applied);
+  }
+
+  std::vector<size_t> chunk_sizes;
+};
+
+kv::KvWriteBatch MakeWrites(int count) {
+  kv::KvWriteBatch writes;
+  for (int i = 0; i < count; ++i) {
+    writes.push_back(kv::KvWrite::Put("k" + std::to_string(i), "v"));
+  }
+  return writes;
+}
+
+TEST(BatchDispatcherTest, ChunksAtConfiguredSize) {
+  ChunkRecordingStore store;
+  BatchDispatchOptions options;
+  options.batch_size = 16;
+  BatchDispatcher dispatcher(options);
+  TXREP_ASSERT_OK(dispatcher.Dispatch(&store, MakeWrites(40)));
+  EXPECT_EQ(store.chunk_sizes, (std::vector<size_t>{16, 16, 8}));
+  EXPECT_EQ(store.Size(), 40u);
+}
+
+TEST(BatchDispatcherTest, EmptyWriteSetIsANoOp) {
+  ChunkRecordingStore store;
+  BatchDispatcher dispatcher;
+  TXREP_ASSERT_OK(dispatcher.Dispatch(&store, {}));
+  EXPECT_TRUE(store.chunk_sizes.empty());
+}
+
+TEST(BatchDispatcherTest, BatchSizeOneIsOpAtATime) {
+  ChunkRecordingStore store;
+  BatchDispatchOptions options;
+  options.batch_size = 1;
+  BatchDispatcher dispatcher(options);
+  TXREP_ASSERT_OK(dispatcher.Dispatch(&store, MakeWrites(5)));
+  EXPECT_EQ(store.chunk_sizes, (std::vector<size_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(BatchDispatcherTest, ChunkedApplyMatchesSingleShot) {
+  kv::KvWriteBatch writes = MakeWrites(100);
+  for (int i = 0; i < 100; i += 7) {
+    writes.push_back(kv::KvWrite::Delete("k" + std::to_string(i)));
+  }
+
+  kv::InMemoryKvNode chunked;
+  BatchDispatchOptions options;
+  options.batch_size = 9;
+  BatchDispatcher dispatcher(options);
+  TXREP_ASSERT_OK(dispatcher.Dispatch(&chunked, writes));
+
+  kv::InMemoryKvNode single;
+  TXREP_ASSERT_OK(single.MultiWrite(writes));
+  txrep::testing::ExpectDumpsEqual(chunked, single);
+}
+
+TEST(BatchDispatcherTest, AdaptiveGrowsUnderLagAndShrinksWhenCaughtUp) {
+  BatchDispatchOptions options;
+  options.batch_size = 8;
+  options.adaptive = true;
+  options.min_batch_size = 2;
+  options.max_batch_size = 32;
+  options.lag_high_micros = 10'000;
+  options.lag_low_micros = 1'000;
+  BatchDispatcher dispatcher(options);
+  EXPECT_EQ(dispatcher.current_batch_size(), 8);
+
+  dispatcher.ObserveLag(50'000);  // Far behind: double.
+  EXPECT_EQ(dispatcher.current_batch_size(), 16);
+  dispatcher.ObserveLag(50'000);
+  EXPECT_EQ(dispatcher.current_batch_size(), 32);
+  dispatcher.ObserveLag(50'000);  // Clamped at max.
+  EXPECT_EQ(dispatcher.current_batch_size(), 32);
+
+  dispatcher.ObserveLag(5'000);  // In the dead band: hold.
+  EXPECT_EQ(dispatcher.current_batch_size(), 32);
+
+  dispatcher.ObserveLag(100);  // Caught up: halve.
+  EXPECT_EQ(dispatcher.current_batch_size(), 16);
+  dispatcher.ObserveLag(100);
+  dispatcher.ObserveLag(100);
+  dispatcher.ObserveLag(100);
+  EXPECT_EQ(dispatcher.current_batch_size(), 2);  // Clamped at min.
+}
+
+TEST(BatchDispatcherTest, NonAdaptiveIgnoresLag) {
+  BatchDispatchOptions options;
+  options.batch_size = 8;
+  BatchDispatcher dispatcher(options);
+  dispatcher.ObserveLag(1'000'000);
+  EXPECT_EQ(dispatcher.current_batch_size(), 8);
+}
+
+TEST(BatchDispatcherTest, InitialSizeIsClamped) {
+  BatchDispatchOptions options;
+  options.batch_size = 1000;
+  options.max_batch_size = 64;
+  BatchDispatcher capped(options);
+  EXPECT_EQ(capped.current_batch_size(), 64);
+
+  options.batch_size = 0;
+  options.min_batch_size = 1;
+  BatchDispatcher floored(options);
+  EXPECT_EQ(floored.current_batch_size(), 1);
+}
+
+TEST(BatchDispatcherTest, RecordsCoalescingMetrics) {
+  obs::MetricsRegistry registry;
+  kv::InMemoryKvNode store;
+  BatchDispatchOptions options;
+  options.batch_size = 16;
+  BatchDispatcher dispatcher(options, &registry);
+
+  TXREP_ASSERT_OK(dispatcher.Dispatch(&store, MakeWrites(40)));
+  dispatcher.ObserveLag(1234);
+
+  // 40 ops in 3 chunks: 37 round trips saved.
+  EXPECT_EQ(registry.GetCounter(obs::kApplyCoalescedOps)->Value(), 37);
+  EXPECT_EQ(registry.GetHistogram(obs::kApplyBatchSize)->count(), 3);
+  EXPECT_EQ(registry.GetGauge(obs::kReplicaLag)->Value(), 1234);
+}
+
+TEST(BatchDispatcherTest, PropagatesStoreError) {
+  kv::KvNodeOptions node_options;
+  node_options.failure_rate = 1.0;
+  kv::InMemoryKvNode store(node_options);
+  BatchDispatcher dispatcher;
+  Status status = dispatcher.Dispatch(&store, MakeWrites(4));
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace txrep::core

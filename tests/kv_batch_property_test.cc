@@ -1,0 +1,386 @@
+// Property suite for the batched KV apply pipeline: Multi* calls must be
+// byte-equivalent to the same ops applied one at a time — including under
+// injected node failures, where the batch path consumes the failure-RNG
+// stream exactly like the op-at-a-time path — and the partial-batch failure
+// contract of every backend is pinned down here.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "kv/disk_node.h"
+#include "kv/inmemory_node.h"
+#include "kv/kv_cluster.h"
+#include "kv/kv_store.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::kv {
+namespace {
+
+/// Random op stream over a small keyspace (collisions are the interesting
+/// part: overwrites, delete-then-put, put-then-delete).
+KvWriteBatch RandomOps(Random& rng, int count, int keyspace) {
+  KvWriteBatch ops;
+  ops.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Key key = "k" + std::to_string(rng.Uniform(keyspace));
+    if (rng.Bernoulli(0.3)) {
+      ops.push_back(KvWrite::Delete(std::move(key)));
+    } else {
+      ops.push_back(KvWrite::Put(std::move(key), "v" + std::to_string(i)));
+    }
+  }
+  return ops;
+}
+
+/// Applies `ops` one at a time through Put/Delete, ignoring per-op failures
+/// (the failure-injection comparison needs both sides to keep going).
+void ApplySequential(KvStore& store, const KvWriteBatch& ops) {
+  for (const KvWrite& w : ops) {
+    if (w.tombstone) {
+      (void)store.Delete(w.key);
+    } else {
+      (void)store.Put(w.key, w.value);
+    }
+  }
+}
+
+/// Applies `ops` as MultiWrite batches of random sizes drawn from `rng`.
+void ApplyBatched(KvStore& store, const KvWriteBatch& ops, Random& rng) {
+  size_t offset = 0;
+  while (offset < ops.size()) {
+    const size_t chunk = 1 + rng.Uniform(16);
+    const size_t end = std::min(offset + chunk, ops.size());
+    (void)store.MultiWrite(
+        std::span<const KvWrite>(ops.data() + offset, end - offset));
+    offset = end;
+  }
+}
+
+TEST(KvBatchPropertyTest, NodeBatchMatchesSequential) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Random rng(seed);
+    const KvWriteBatch ops = RandomOps(rng, 200, 24);
+    InMemoryKvNode sequential;
+    InMemoryKvNode batched;
+    ApplySequential(sequential, ops);
+    Random chunk_rng(seed ^ 0xabcdefULL);
+    ApplyBatched(batched, ops, chunk_rng);
+    txrep::testing::ExpectDumpsEqual(sequential, batched);
+  }
+}
+
+TEST(KvBatchPropertyTest, NodeBatchMatchesSequentialUnderFailures) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Random rng(seed);
+    const KvWriteBatch ops = RandomOps(rng, 200, 24);
+    // Same failure seed + rate on both sides: the batch path rolls the dice
+    // once per entry in batch order, so both replicas see the same injected
+    // failures on the same ops and must end up byte-identical.
+    KvNodeOptions options;
+    options.failure_rate = 0.3;
+    options.failure_seed = seed * 31;
+    InMemoryKvNode sequential(options);
+    InMemoryKvNode batched(options);
+    ApplySequential(sequential, ops);
+    Random chunk_rng(seed ^ 0xabcdefULL);
+    ApplyBatched(batched, ops, chunk_rng);
+    txrep::testing::ExpectDumpsEqual(sequential, batched);
+    EXPECT_EQ(sequential.stats().injected_failures,
+              batched.stats().injected_failures);
+  }
+}
+
+TEST(KvBatchPropertyTest, InMemoryPartialBatchAttemptsEveryEntry) {
+  // Pinned contract: InMemoryKvNode attempts every entry; an injected
+  // failure skips just that entry and the first error is returned.
+  KvNodeOptions options;
+  options.failure_rate = 1.0;
+  InMemoryKvNode node(options);
+  const KvWriteBatch batch = {KvWrite::Put("a", "1"), KvWrite::Put("b", "2")};
+  size_t applied = 99;
+  Status status = node.MultiWrite(batch, &applied);
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(node.Size(), 0u);
+
+  node.set_failure_rate(0.0);
+  TXREP_ASSERT_OK(node.MultiWrite(batch, &applied));
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(node.Size(), 2u);
+}
+
+/// Minimal store that fails Put for one poisoned key — exercises the base
+/// class's default MultiWrite, which must stop at the first error.
+class PoisonedStore : public KvStore {
+ public:
+  explicit PoisonedStore(Key poisoned) : poisoned_(std::move(poisoned)) {}
+
+  Status Put(const Key& key, const Value& value) override {
+    if (key == poisoned_) return Status::Unavailable("poisoned key");
+    map_[key] = value;
+    return Status::OK();
+  }
+  Result<Value> Get(const Key& key) override {
+    auto it = map_.find(key);
+    if (it == map_.end()) return Status::NotFound("absent");
+    return it->second;
+  }
+  Status Delete(const Key& key) override {
+    map_.erase(key);
+    return Status::OK();
+  }
+  bool Contains(const Key& key) override { return map_.contains(key); }
+  size_t Size() override { return map_.size(); }
+  StoreDump Dump() override {
+    StoreDump dump(map_.begin(), map_.end());
+    std::sort(dump.begin(), dump.end());
+    return dump;
+  }
+
+ private:
+  const Key poisoned_;
+  std::map<Key, Value> map_;
+};
+
+TEST(KvBatchPropertyTest, DefaultMultiWriteStopsAtFirstError) {
+  // Pinned contract: the KvStore default implementation applies a prefix.
+  PoisonedStore store("bad");
+  const KvWriteBatch batch = {KvWrite::Put("a", "1"), KvWrite::Put("b", "2"),
+                              KvWrite::Put("bad", "x"), KvWrite::Put("c", "3")};
+  size_t applied = 99;
+  Status status = store.MultiWrite(batch, &applied);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(applied, 2u);  // "a" and "b" — the prefix before the error.
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_TRUE(store.Contains("b"));
+  EXPECT_FALSE(store.Contains("c"));
+}
+
+TEST(KvBatchPropertyTest, MultiPutMultiDeleteMatchPerOp) {
+  Random rng(7);
+  std::vector<std::pair<Key, Value>> entries;
+  std::vector<Key> doomed;
+  for (int i = 0; i < 60; ++i) {
+    entries.emplace_back("k" + std::to_string(rng.Uniform(30)),
+                         "v" + std::to_string(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    doomed.push_back("k" + std::to_string(rng.Uniform(30)));
+  }
+
+  InMemoryKvNode batched;
+  size_t applied = 0;
+  TXREP_ASSERT_OK(batched.MultiPut(entries, &applied));
+  EXPECT_EQ(applied, entries.size());
+  TXREP_ASSERT_OK(batched.MultiDelete(doomed, &applied));
+  EXPECT_EQ(applied, doomed.size());
+
+  InMemoryKvNode sequential;
+  for (const auto& [key, value] : entries) {
+    TXREP_ASSERT_OK(sequential.Put(key, value));
+  }
+  for (const Key& key : doomed) TXREP_ASSERT_OK(sequential.Delete(key));
+
+  txrep::testing::ExpectDumpsEqual(sequential, batched);
+}
+
+TEST(KvBatchPropertyTest, MultiGetIsPositional) {
+  InMemoryKvNode node;
+  TXREP_ASSERT_OK(node.Put("a", "1"));
+  TXREP_ASSERT_OK(node.Put("c", "3"));
+  const std::vector<Key> keys = {"a", "missing", "c", "a"};
+  std::vector<Result<Value>> results = node.MultiGet(keys);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(*results[0], "1");
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_EQ(*results[2], "3");
+  EXPECT_EQ(*results[3], "1");
+
+  // Under total failure injection every entry fails individually; the batch
+  // itself still returns positionally.
+  KvNodeOptions options;
+  options.failure_rate = 1.0;
+  InMemoryKvNode failing(options);
+  results = failing.MultiGet(keys);
+  ASSERT_EQ(results.size(), 4u);
+  for (const Result<Value>& r : results) {
+    EXPECT_TRUE(r.status().IsUnavailable());
+  }
+}
+
+TEST(KvBatchPropertyTest, SameKeyOrderWithinBatch) {
+  // Entries for one key resolve in batch order, exactly like op-at-a-time.
+  InMemoryKvNode node;
+  const KvWriteBatch batch = {
+      KvWrite::Put("k", "first"), KvWrite::Delete("k"),
+      KvWrite::Put("k", "last"),  KvWrite::Put("gone", "x"),
+      KvWrite::Delete("gone"),
+  };
+  TXREP_ASSERT_OK(node.MultiWrite(batch));
+  EXPECT_EQ(*node.Get("k"), "last");
+  EXPECT_FALSE(node.Contains("gone"));
+}
+
+TEST(KvBatchPropertyTest, ClusterBatchMatchesSequential) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Random rng(seed);
+    const KvWriteBatch ops = RandomOps(rng, 300, 40);
+    KvClusterOptions options;
+    options.num_nodes = 5;
+    KvCluster sequential(options);
+    KvCluster batched(options);
+    ApplySequential(sequential, ops);
+    Random chunk_rng(seed ^ 0xabcdefULL);
+    ApplyBatched(batched, ops, chunk_rng);
+    txrep::testing::ExpectDumpsEqual(sequential, batched);
+  }
+}
+
+TEST(KvBatchPropertyTest, ClusterBatchMatchesSequentialUnderFailures) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Random rng(seed);
+    const KvWriteBatch ops = RandomOps(rng, 300, 40);
+    // Same per-node failure seeds on both clusters; sub-batch routing is
+    // stable and order-preserving, so each node consumes its failure stream
+    // identically on both sides.
+    KvClusterOptions options;
+    options.num_nodes = 5;
+    options.node.failure_rate = 0.25;
+    options.node.failure_seed = seed * 131;
+    KvCluster sequential(options);
+    KvCluster batched(options);
+    ApplySequential(sequential, ops);
+    Random chunk_rng(seed ^ 0xabcdefULL);
+    ApplyBatched(batched, ops, chunk_rng);
+    txrep::testing::ExpectDumpsEqual(sequential, batched);
+  }
+}
+
+TEST(KvBatchPropertyTest, ClusterPartialFailureIsPerNode) {
+  // Pinned contract: each node applies its sub-batch per its own contract;
+  // a fully failing node loses only the entries routed to it, and the call
+  // reports the failure while the other nodes' entries landed.
+  KvClusterOptions options;
+  options.num_nodes = 4;
+  KvCluster cluster(options);
+
+  KvWriteBatch batch;
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(KvWrite::Put("k" + std::to_string(i), "v"));
+  }
+  const int dead = cluster.NodeIndexFor(batch[0].key);
+  ASSERT_NE(cluster.memory_node(dead), nullptr);
+  cluster.memory_node(dead)->set_failure_rate(1.0);
+
+  size_t expected_alive = 0;
+  for (const KvWrite& w : batch) {
+    if (cluster.NodeIndexFor(w.key) != dead) ++expected_alive;
+  }
+  ASSERT_GT(expected_alive, 0u);
+  ASSERT_LT(expected_alive, batch.size());
+
+  size_t applied = 0;
+  Status status = cluster.MultiWrite(batch, &applied);
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_EQ(applied, expected_alive);
+  for (const KvWrite& w : batch) {
+    EXPECT_EQ(cluster.Contains(w.key), cluster.NodeIndexFor(w.key) != dead);
+  }
+
+  // Recovery: the dead node heals and the idempotent retry completes.
+  cluster.memory_node(dead)->set_failure_rate(0.0);
+  TXREP_ASSERT_OK(cluster.MultiWrite(batch, &applied));
+  EXPECT_EQ(applied, batch.size());
+  EXPECT_EQ(cluster.Size(), batch.size());
+}
+
+TEST(KvBatchPropertyTest, ClusterMultiGetReassemblesPositionally) {
+  KvClusterOptions options;
+  options.num_nodes = 3;
+  KvCluster cluster(options);
+  std::vector<Key> keys;
+  for (int i = 0; i < 30; ++i) {
+    const Key key = "k" + std::to_string(i);
+    keys.push_back(key);
+    if (i % 3 != 0) TXREP_ASSERT_OK(cluster.Put(key, "v" + std::to_string(i)));
+  }
+  std::vector<Result<Value>> results = cluster.MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (int i = 0; i < 30; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(results[i].status().IsNotFound()) << "key " << keys[i];
+    } else {
+      EXPECT_EQ(*results[i], "v" + std::to_string(i)) << "key " << keys[i];
+    }
+  }
+}
+
+TEST(KvBatchPropertyTest, DiskNodeBatchAppliesPrefixAndPersists) {
+  const std::string path =
+      ::testing::TempDir() + "/kv_batch_disk_node_" +
+      std::to_string(::getpid()) + ".log";
+  std::remove(path.c_str());
+  {
+    Result<std::unique_ptr<DiskKvNode>> node = DiskKvNode::Open(path);
+    TXREP_ASSERT_OK(node.status());
+    const KvWriteBatch batch = {
+        KvWrite::Put("a", "1"), KvWrite::Put("b", "2"), KvWrite::Delete("a"),
+        KvWrite::Put("c", "3"),
+    };
+    size_t applied = 0;
+    TXREP_ASSERT_OK((*node)->MultiWrite(batch, &applied));
+    EXPECT_EQ(applied, batch.size());
+    EXPECT_FALSE((*node)->Contains("a"));
+    EXPECT_EQ(*(*node)->Get("b"), "2");
+    std::vector<Result<Value>> results =
+        (*node)->MultiGet(std::vector<Key>{"a", "b", "c"});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].status().IsNotFound());
+    EXPECT_EQ(*results[1], "2");
+    EXPECT_EQ(*results[2], "3");
+    EXPECT_GE((*node)->stats().batches, 2);
+  }
+  // Reopen: batched writes went through the same durable log.
+  Result<std::unique_ptr<DiskKvNode>> reopened = DiskKvNode::Open(path);
+  TXREP_ASSERT_OK(reopened.status());
+  EXPECT_FALSE((*reopened)->Contains("a"));
+  EXPECT_EQ(*(*reopened)->Get("b"), "2");
+  EXPECT_EQ(*(*reopened)->Get("c"), "3");
+  std::remove(path.c_str());
+}
+
+TEST(KvBatchPropertyTest, DiskNodeBatchMatchesSequential) {
+  const std::string base =
+      ::testing::TempDir() + "/kv_batch_disk_eq_" + std::to_string(::getpid());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Random rng(seed);
+    const KvWriteBatch ops = RandomOps(rng, 120, 16);
+    const std::string seq_path = base + "_s.log";
+    const std::string batch_path = base + "_b.log";
+    std::remove(seq_path.c_str());
+    std::remove(batch_path.c_str());
+    Result<std::unique_ptr<DiskKvNode>> sequential = DiskKvNode::Open(seq_path);
+    Result<std::unique_ptr<DiskKvNode>> batched = DiskKvNode::Open(batch_path);
+    TXREP_ASSERT_OK(sequential.status());
+    TXREP_ASSERT_OK(batched.status());
+    ApplySequential(**sequential, ops);
+    Random chunk_rng(seed ^ 0xabcdefULL);
+    ApplyBatched(**batched, ops, chunk_rng);
+    txrep::testing::ExpectDumpsEqual(**sequential, **batched);
+    std::remove(seq_path.c_str());
+    std::remove(batch_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace txrep::kv

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <set>
 
+#include "obs/names.h"
+
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -186,6 +188,57 @@ TEST_F(DiskBackendClusterTest, ClearTruncatesEveryNode) {
   KvCluster reopened(DiskOptions(3));
   TXREP_ASSERT_OK(reopened.init_status());
   EXPECT_EQ(reopened.Size(), 0u);
+}
+
+TEST_F(DiskBackendClusterTest, DiskNodesReportPerOpMetrics) {
+  // Regression guard for the metrics gap: disk nodes must report the same
+  // per-op counters and latency/batch histograms as in-memory nodes.
+  obs::MetricsRegistry registry;
+  KvCluster cluster(DiskOptions(2), &registry);
+  TXREP_ASSERT_OK(cluster.init_status());
+
+  for (int i = 0; i < 20; ++i) {
+    TXREP_ASSERT_OK(cluster.Put("key" + std::to_string(i), "v"));
+  }
+  TXREP_ASSERT_OK(cluster.Delete("key0"));
+  EXPECT_EQ(*cluster.Get("key1"), "v");
+  EXPECT_TRUE(cluster.Get("absent").status().IsNotFound());
+  KvWriteBatch batch = {KvWrite::Put("batched", "b"), KvWrite::Delete("key2")};
+  TXREP_ASSERT_OK(cluster.MultiWrite(batch));
+
+  int64_t puts = 0, gets = 0, deletes = 0, misses = 0;
+  int64_t latency_samples = 0, batch_samples = 0, dispatch_samples = 0;
+  for (int node = 0; node < 2; ++node) {
+    obs::Labels node_label = {{"node", std::to_string(node)}};
+    auto op_labels = [&](const char* op) {
+      obs::Labels labels = node_label;
+      labels.emplace_back("op", op);
+      return labels;
+    };
+    puts += registry.GetCounter(obs::kKvOps, op_labels("put"))->Value();
+    gets += registry.GetCounter(obs::kKvOps, op_labels("get"))->Value();
+    deletes += registry.GetCounter(obs::kKvOps, op_labels("delete"))->Value();
+    misses += registry.GetCounter(obs::kKvOps, op_labels("get_miss"))->Value();
+    latency_samples +=
+        registry.GetHistogram(obs::kKvOpLatency, node_label)->count();
+    batch_samples +=
+        registry.GetHistogram(obs::kKvBatchSize, node_label)->count();
+    dispatch_samples +=
+        registry.GetHistogram(obs::kKvDispatchLatency, node_label)->count();
+  }
+  EXPECT_EQ(puts, 21);     // 20 singles + 1 batched put.
+  EXPECT_EQ(gets, 2);      // Hits and misses both count as get ops.
+  EXPECT_EQ(deletes, 2);   // 1 single + 1 batched tombstone.
+  EXPECT_EQ(misses, 1);
+  EXPECT_GT(latency_samples, 0);
+  EXPECT_GT(batch_samples, 0);
+  EXPECT_GT(dispatch_samples, 0);
+
+  // And the aggregate stats view covers the disk backend too.
+  const KvStoreStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.puts, 21);
+  EXPECT_EQ(stats.deletes, 2);
+  EXPECT_GE(stats.batches, 1);
 }
 
 TEST(DiskBackendOptionsTest, MissingDiskDirIsInitError) {
