@@ -1,0 +1,53 @@
+// Ablation H: cost of per-transaction distributed tracing. Workload: TPC-W
+// ordering mix replayed through the concurrent TM with tracing off, at 1%
+// sampling (the recommended production setting), and tracing every
+// transaction.
+//
+// Expected: <= 5% throughput cost at 1% sampling (the acceptance bar for
+// leaving the flight recorder always-on); the every-transaction column bounds
+// the worst case. `spans` counts what the flight recorder captured.
+//
+//   ./build/bench/ablation_trace_overhead --trace-out=overhead.trace.json
+// additionally writes the sampled spans as a Perfetto trace.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace txrep::bench {
+namespace {
+
+constexpr int kInteractions = 1500;
+constexpr uint64_t kSeed = 211;
+
+// arg: sampling period (0 = tracing off, 1 = every txn, 100 = 1%).
+void BM_AblationTraceOverhead(benchmark::State& state) {
+  const uint64_t sample_every = static_cast<uint64_t>(state.range(0));
+  BenchInput input =
+      BuildTpcwLog(workload::TpcwMix::kOrdering, kInteractions, kSeed);
+  for (auto _ : state) {
+    trace::TracerOptions trace;
+    trace.sample_every = sample_every;
+    ReplayResult result = RunConcurrentReplay(input, DefaultCluster(), 20,
+                                              core::TmOptions{}, trace);
+    state.SetIterationTime(result.seconds);
+    state.counters["tx_per_s"] = result.tx_per_sec;
+    state.counters["spans"] = static_cast<double>(result.trace_spans);
+  }
+  state.SetLabel(sample_every == 0
+                     ? "trace_off"
+                     : sample_every == 1 ? "trace_all" : "trace_1pct");
+  state.SetItemsProcessed(input.writes);
+}
+
+BENCHMARK(BM_AblationTraceOverhead)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(1)
+    ->ArgNames({"sample_every"})
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace txrep::bench

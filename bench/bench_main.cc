@@ -1,0 +1,51 @@
+// Custom benchmark entry point: peels off the bench_util trace flags before
+// google benchmark sees the argv (benchmark_main rejects unknown flags), runs
+// the registered benchmarks, then writes the accumulated Perfetto trace.
+//
+//   ./build/bench/fig10_throughput --trace-out=fig10.trace.json
+//   ./build/bench/table1_tpcw --trace-out=t1.json --trace-sample=10
+//
+// --trace-out=FILE   capture replay spans and write Chrome trace-event JSON
+//                    (load in Perfetto / chrome://tracing) to FILE at exit
+// --trace-sample=N   sampling period for the capture (default 100 = 1%)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  std::string trace_out;
+  uint64_t trace_sample = 100;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+      const long long parsed = std::atoll(arg + 15);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "invalid --trace-sample (want a period >= 1)\n");
+        return 1;
+      }
+      trace_sample = static_cast<uint64_t>(parsed);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_out.empty()) {
+    txrep::bench::SetTraceOut(trace_out, trace_sample);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  txrep::bench::MaybeWriteTrace();
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 #include "common/clock.h"
 #include "core/serial_applier.h"
 #include "obs/exporters.h"
+#include "trace/export.h"
 #include "workload/synthetic.h"
 
 namespace txrep::bench {
@@ -18,7 +21,60 @@ void CheckOk(const Status& status, const char* what) {
     std::abort();
   }
 }
+
+// Process-wide --trace-out capture (bench_main sets it before benchmarks
+// run; replays append their recorder dumps; MaybeWriteTrace drains it).
+std::mutex g_trace_mu;
+std::string g_trace_path;
+uint64_t g_trace_sample = 0;
+std::vector<trace::SpanEvent> g_trace_events;
+
+uint64_t GlobalTraceSample() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  return g_trace_sample;
+}
+
+void AccumulateTraceEvents(std::vector<trace::SpanEvent> events) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_path.empty()) return;
+  g_trace_events.insert(g_trace_events.end(), events.begin(), events.end());
+}
+
+/// Resolves a replay's tracer: an explicit per-call option wins, else the
+/// process-wide --trace-out sampling, else no tracer.
+std::unique_ptr<trace::Tracer> MakeReplayTracer(trace::TracerOptions trace) {
+  if (trace.sample_every == 0) trace.sample_every = GlobalTraceSample();
+  if (trace.sample_every == 0) return nullptr;
+  return std::make_unique<trace::Tracer>(trace);
+}
 }  // namespace
+
+void SetTraceOut(std::string path, uint64_t sample_every) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_trace_path = std::move(path);
+  g_trace_sample = sample_every;
+}
+
+void MaybeWriteTrace() {
+  std::string path;
+  std::vector<trace::SpanEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    if (g_trace_path.empty() || g_trace_events.empty()) return;
+    path = g_trace_path;
+    events.swap(g_trace_events);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  std::fputs(trace::ToChromeTraceJson(events).c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote %zu trace spans to %s\n", events.size(),
+               path.c_str());
+}
 
 kv::KvClusterOptions DefaultCluster(int num_nodes) {
   kv::KvClusterOptions options;
@@ -93,26 +149,38 @@ BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
 }
 
 ReplayResult RunSerialReplay(const BenchInput& input,
-                             const kv::KvClusterOptions& cluster_options) {
+                             const kv::KvClusterOptions& cluster_options,
+                             trace::TracerOptions trace) {
   obs::MetricsRegistry registry;
   qt::QueryTranslator translator(&input.db->catalog(), {});
   kv::KvCluster cluster(cluster_options, &registry);
   CheckOk(translator.LoadSnapshot(&cluster, *input.snapshot), "LoadSnapshot");
 
-  core::SerialApplier applier(&cluster, &translator, &registry);
+  std::unique_ptr<trace::Tracer> tracer = MakeReplayTracer(trace);
+  core::SerialApplier applier(&cluster, &translator, &registry,
+                              core::BatchDispatchOptions{}, tracer.get());
   std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+  if (tracer != nullptr) {
+    for (rel::LogTransaction& txn : log) txn.trace = tracer->Mint(txn.lsn);
+  }
   Stopwatch sw;
   CheckOk(applier.ApplyBatch(log), "ApplyBatch");
   ReplayResult result;
   result.seconds = sw.ElapsedSeconds();
   result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
+  if (tracer != nullptr) {
+    std::vector<trace::SpanEvent> events = tracer->Dump();
+    result.trace_spans = static_cast<int64_t>(events.size());
+    AccumulateTraceEvents(std::move(events));
+  }
   result.metrics_json = obs::ToJson(registry.Snapshot());
   return result;
 }
 
 ReplayResult RunConcurrentReplay(const BenchInput& input,
                                  const kv::KvClusterOptions& cluster_options,
-                                 int threads, core::TmOptions tm_options) {
+                                 int threads, core::TmOptions tm_options,
+                                 trace::TracerOptions trace) {
   obs::MetricsRegistry registry;
   qt::QueryTranslator translator(&input.db->catalog(), {});
   kv::KvCluster cluster(cluster_options, &registry);
@@ -120,11 +188,16 @@ ReplayResult RunConcurrentReplay(const BenchInput& input,
 
   tm_options.top_threads = threads;
   tm_options.bottom_threads = threads;
+  std::unique_ptr<trace::Tracer> tracer = MakeReplayTracer(trace);
   std::vector<rel::LogTransaction> log = input.db->log().ReadSince(0);
+  if (tracer != nullptr) {
+    for (rel::LogTransaction& txn : log) txn.trace = tracer->Mint(txn.lsn);
+  }
   ReplayResult result;
   Stopwatch sw;
   {
-    core::TransactionManager tm(&cluster, &translator, tm_options, &registry);
+    core::TransactionManager tm(&cluster, &translator, tm_options, &registry,
+                                tracer.get());
     for (rel::LogTransaction& txn : log) {
       tm.SubmitUpdate(std::move(txn));
     }
@@ -135,6 +208,11 @@ ReplayResult RunConcurrentReplay(const BenchInput& input,
   result.tx_per_sec = static_cast<double>(log.size()) / result.seconds;
   result.conflicts = result.stats.conflicts;
   result.restarts = result.stats.restarts;
+  if (tracer != nullptr) {
+    std::vector<trace::SpanEvent> events = tracer->Dump();
+    result.trace_spans = static_cast<int64_t>(events.size());
+    AccumulateTraceEvents(std::move(events));
+  }
   result.metrics_json = obs::ToJson(registry.Snapshot());
   return result;
 }

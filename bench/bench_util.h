@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "qt/query_translator.h"
 #include "rel/database.h"
+#include "trace/tracer.h"
 #include "workload/tpcw.h"
 
 namespace txrep::bench {
@@ -46,6 +47,8 @@ struct ReplayResult {
   double tx_per_sec = 0;
   int64_t conflicts = 0;  // 0 for serial replay.
   int64_t restarts = 0;
+  /// Spans captured by the replay's tracer (0 when tracing was off).
+  int64_t trace_spans = 0;
   core::TmStats stats;
   /// Full metrics-registry JSON snapshot of the replay (stage latencies,
   /// per-node KV counters, queue depths, ...).
@@ -58,15 +61,31 @@ void WriteMetricsJson(const std::string& bench_name,
                       const ReplayResult& result);
 
 /// Serial baseline replay of the full log into a fresh snapshot-seeded
-/// cluster.
+/// cluster. `trace` with sample_every > 0 runs the replay under a live
+/// tracer (contexts minted per LSN); with sample_every == 0 the replay
+/// inherits the process-wide --trace-out sampling, if any.
 ReplayResult RunSerialReplay(const BenchInput& input,
-                             const kv::KvClusterOptions& cluster_options);
+                             const kv::KvClusterOptions& cluster_options,
+                             trace::TracerOptions trace = {});
 
 /// Concurrent TM replay. `threads` sets both pools (paper default 20).
+/// `trace` as in RunSerialReplay.
 ReplayResult RunConcurrentReplay(const BenchInput& input,
                                  const kv::KvClusterOptions& cluster_options,
                                  int threads,
-                                 core::TmOptions tm_options = {});
+                                 core::TmOptions tm_options = {},
+                                 trace::TracerOptions trace = {});
+
+/// Process-wide trace capture, set by bench_main from --trace-out=FILE and
+/// --trace-sample=N: every replay without an explicit trace option then runs
+/// at the given sampling period and its spans accumulate for MaybeWriteTrace.
+void SetTraceOut(std::string path, uint64_t sample_every);
+
+/// Writes the accumulated spans of all replays as Chrome trace-event JSON to
+/// the --trace-out path (load in Perfetto / chrome://tracing). No-op when
+/// --trace-out was not given or nothing was captured. bench_main calls this
+/// after the benchmark run; idempotent.
+void MaybeWriteTrace();
 
 }  // namespace txrep::bench
 

@@ -16,6 +16,10 @@
 //   @compact          -- compact the disk-backed node logs (requires --disk)
 //   @stats            -- show TM / replica statistics
 //   @metrics [json|prom] -- dump the metrics registry (text by default)
+//   @trace [json|crit]-- dump the flight recorder: text timeline by default,
+//                        Chrome trace-event JSON (load in Perfetto), or the
+//                        critical-path attribution report
+//   @slo              -- show the replica-lag SLO watchdog status
 //   @quit             -- exit
 //
 // The replication pipeline starts lazily at the first write, snapshotting
@@ -28,6 +32,7 @@
 #include "obs/exporters.h"
 #include "sql/interpreter.h"
 #include "sql/parser.h"
+#include "trace/export.h"
 #include "txrep/system.h"
 
 namespace {
@@ -44,6 +49,10 @@ void PrintRows(const std::vector<txrep::rel::Row>& rows) {
 int main(int argc, char** argv) {
   txrep::TxRepOptions options;
   options.cluster.num_nodes = 3;
+  // Interactive traffic is light: trace every transaction and keep the SLO
+  // watchdog live so @trace / @slo always have something to show.
+  options.trace.sample_every = 1;
+  options.slo.enabled = true;
   bool on_disk = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,7 +73,7 @@ int main(int argc, char** argv) {
   std::printf(
       "TxRep shell. SQL statements end with ';'. Special commands: "
       "@replica <select>; @sync  @checkpoint  @compact  @stats  "
-      "@metrics [json|prom]  @audit  @quit\n");
+      "@metrics [json|prom]  @trace [json|crit]  @slo  @audit  @quit\n");
   if (on_disk) {
     std::printf("-- disk-backed replica under %s\n",
                 options.cluster.disk_dir.c_str());
@@ -148,6 +157,38 @@ int main(int argc, char** argv) {
           static_cast<long long>(kv.puts), static_cast<long long>(kv.deletes));
       std::printf("(%zu instruments registered; @metrics for the full dump)\n",
                   sys.metrics().InstrumentCount());
+      continue;
+    }
+    if (pending.empty() && line.rfind("@trace", 0) == 0) {
+      txrep::trace::Tracer* tracer = sys.tracer();
+      if (tracer == nullptr) {
+        std::printf("tracing is disabled (trace.sample_every = 0)\n");
+        continue;
+      }
+      const std::vector<txrep::trace::SpanEvent> events = tracer->Dump();
+      if (events.empty()) {
+        std::printf("flight recorder is empty (no traced transactions yet)\n");
+        continue;
+      }
+      if (line.find("json") != std::string::npos) {
+        std::printf("%s\n", txrep::trace::ToChromeTraceJson(events).c_str());
+      } else if (line.find("crit") != std::string::npos) {
+        const auto summaries = txrep::trace::BuildTraceSummaries(events);
+        std::printf("%s", txrep::trace::CriticalPathReport(summaries).c_str());
+      } else {
+        std::printf("%s", txrep::trace::ToTextTimeline(events).c_str());
+      }
+      continue;
+    }
+    if (pending.empty() && line == "@slo") {
+      txrep::trace::SloWatchdog* slo = sys.slo();
+      if (slo == nullptr) {
+        std::printf(started
+                        ? "SLO watchdog is disabled (slo.enabled = false)\n"
+                        : "replication not started yet\n");
+        continue;
+      }
+      std::printf("%s\n", slo->Report().c_str());
       continue;
     }
     if (pending.empty() && line.rfind("@metrics", 0) == 0) {

@@ -32,9 +32,11 @@ MODE="${1:-plain}"
 # correctness-tooling suites themselves, the crash-recovery suites
 # (checkpoint writer + restart + online bootstrap + disk-node torn tails),
 # whose raw file I/O and background threads are exactly where ASan/UBSan
-# earn their keep, and the batched apply pipeline (MultiWrite fan-out
-# through the cluster dispatch pool + the adaptive batch dispatcher).
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_'
+# earn their keep, the batched apply pipeline (MultiWrite fan-out
+# through the cluster dispatch pool + the adaptive batch dispatcher), and
+# the tracing subsystem (the seqlock flight recorder's lock-free writer
+# protocol plus the SLO watchdog's poller thread are prime tsan targets).
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

@@ -17,6 +17,7 @@
 #include "recov/io.h"
 #include "rel/database.h"
 #include "rel/statement.h"
+#include "trace/tracer.h"
 
 namespace txrep::check {
 
@@ -257,12 +258,25 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
     tm_options.apply_batch = ToDispatchOptions(batch_config);
   }
 
+  // Traced mode: a live tracer with a seed-derived sampling period (private
+  // stream, like the batch knobs) joins the replay. Contexts are minted per
+  // LSN below, exactly as the log would have carried them.
+  std::unique_ptr<trace::Tracer> tracer;
+  if (options_.traced) {
+    Random trace_rng(seed ^ 0x7ace5eedf117e000ULL);
+    trace::TracerOptions trace_options;
+    trace_options.sample_every = 1 + trace_rng.Uniform(4);
+    tracer = std::make_unique<trace::Tracer>(trace_options);
+  }
+
   core::TmStats stats;
   {
-    core::TransactionManager tm(concurrent_store, &translator, tm_options);
+    core::TransactionManager tm(concurrent_store, &translator, tm_options,
+                                /*metrics=*/nullptr, tracer.get());
     int64_t max_row_id = static_cast<int64_t>(config.hot_rows) +
                          options_.txns_per_schedule * 3 + 1;
     for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
+      if (tracer != nullptr) txn.trace = tracer->Mint(txn.lsn);
       tm.SubmitUpdate(std::move(txn));
       if (config.read_only_rate > 0.0 &&
           rng.Bernoulli(config.read_only_rate)) {
@@ -282,6 +296,19 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   if (!diff.empty()) {
     return Status::FailedPrecondition(
         "concurrent replay diverged from serial replay: " + diff);
+  }
+
+  if (tracer != nullptr) {
+    // The workload commits LSNs 1..LastLsn densely, so the period guarantees
+    // sampled transactions — an empty recorder means the tracing path was
+    // silently bypassed, not that nothing qualified.
+    const uint64_t last_lsn = db.log().LastLsn();
+    if (last_lsn >= tracer->sample_every() && tracer->Dump().empty()) {
+      return Status::Internal(
+          "traced schedule recorded no spans (sample_every=" +
+          std::to_string(tracer->sample_every()) + ", last_lsn=" +
+          std::to_string(last_lsn) + ")");
+    }
   }
 
   if (report != nullptr) {

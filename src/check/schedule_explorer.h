@@ -51,6 +51,15 @@ struct ScheduleExplorerOptions {
   /// subdirectory that is wiped before and after the schedule.
   std::string scratch_dir;
 
+  /// Traced mode: the concurrent TM replays with a live Tracer whose
+  /// sampling period is drawn from a private random stream (so existing
+  /// seeds reproduce identically in either mode), with contexts minted per
+  /// LSN exactly as the pipeline would. The byte-equality oracle is
+  /// unchanged — a diverging dump means tracing perturbed replay — and a
+  /// schedule whose period guarantees sampled transactions must leave spans
+  /// in the flight recorder (else the tracing path silently dropped out).
+  bool traced = false;
+
   /// Batched-apply mode: the concurrent replica becomes a seed-derived
   /// KvCluster (node count and dispatch threads drawn from the seed) and the
   /// TM's write-set dispatcher gets a seed-derived chunk size / adaptive

@@ -6,9 +6,20 @@
 
 namespace txrep::codec {
 
+namespace {
+
+/// Bit layout of the per-transaction trace flag byte; the remaining bits are
+/// reserved and must decode as zero.
+constexpr uint8_t kTraceSampledFlag = 0x01;
+
+}  // namespace
+
 void AppendLogTransaction(std::string& dst, const rel::LogTransaction& txn) {
   AppendVarint64(dst, txn.lsn);
   AppendVarint64(dst, ZigZagEncode(txn.commit_micros));
+  AppendVarint64(dst, txn.trace.trace_id);
+  dst.push_back(
+      static_cast<char>(txn.trace.sampled ? kTraceSampledFlag : 0));
   AppendVarint64(dst, txn.ops.size());
   for (const rel::LogOp& op : txn.ops) {
     dst.push_back(static_cast<char>(op.type));
@@ -23,7 +34,17 @@ Result<rel::LogTransaction> GetLogTransaction(std::string_view* src) {
   uint64_t num_ops = 0;
   uint64_t commit_raw = 0;
   if (!GetVarint64(src, &txn.lsn) || !GetVarint64(src, &commit_raw) ||
-      !GetVarint64(src, &num_ops)) {
+      !GetVarint64(src, &txn.trace.trace_id) || src->empty()) {
+    return Status::Corruption("log codec: bad transaction header");
+  }
+  const auto trace_flags = static_cast<uint8_t>((*src)[0]);
+  src->remove_prefix(1);
+  if ((trace_flags & ~kTraceSampledFlag) != 0) {
+    return Status::Corruption("log codec: bad trace flags " +
+                              std::to_string(trace_flags));
+  }
+  txn.trace.sampled = (trace_flags & kTraceSampledFlag) != 0;
+  if (!GetVarint64(src, &num_ops)) {
     return Status::Corruption("log codec: bad transaction header");
   }
   txn.commit_micros = ZigZagDecode(commit_raw);
@@ -60,11 +81,22 @@ std::string EncodeLogBatch(const std::vector<rel::LogTransaction>& batch) {
   std::string out;
   AppendVarint64(out, batch.size());
   for (const rel::LogTransaction& txn : batch) AppendLogTransaction(out, txn);
+  AppendFixed64(out, Fnv1a(out));
   return out;
 }
 
 Result<std::vector<rel::LogTransaction>> DecodeLogBatch(
     std::string_view bytes) {
+  if (bytes.size() < 8) {
+    return Status::Corruption("log codec: batch shorter than its checksum");
+  }
+  std::string_view tail = bytes.substr(bytes.size() - 8);
+  uint64_t stored = 0;
+  GetFixed64(&tail, &stored);
+  bytes.remove_suffix(8);
+  if (stored != Fnv1a(bytes)) {
+    return Status::Corruption("log codec: batch checksum mismatch");
+  }
   uint64_t count = 0;
   if (!GetVarint64(&bytes, &count)) {
     return Status::Corruption("log codec: bad batch count");

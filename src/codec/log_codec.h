@@ -12,7 +12,8 @@ namespace txrep::codec {
 
 /// Wire format of one logged transaction, used inside replication messages
 /// shipped by the middleware (paper Appendix A). Layout:
-///   varint lsn, varint #ops,
+///   varint lsn, zigzag-varint commit_micros, varint trace_id,
+///   1 trace-flag byte (bit 0 = sampled, rest reserved zero), varint #ops,
 ///   per op: 1 type byte, length-prefixed table, encoded pk, encoded row
 ///           (row arity 0 for DELETE).
 void AppendLogTransaction(std::string& dst, const rel::LogTransaction& txn);
@@ -20,7 +21,9 @@ void AppendLogTransaction(std::string& dst, const rel::LogTransaction& txn);
 /// Consumes one transaction from the front of `*src`.
 Result<rel::LogTransaction> GetLogTransaction(std::string_view* src);
 
-/// Serializes a whole batch (varint count + transactions).
+/// Serializes a whole batch (varint count + transactions + trailing FNV-1a
+/// checksum over everything before it, so every flipped or lost byte of a
+/// replication message is rejected on decode).
 std::string EncodeLogBatch(const std::vector<rel::LogTransaction>& batch);
 
 /// Inverse of EncodeLogBatch; Corruption on malformed input.

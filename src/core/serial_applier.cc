@@ -9,8 +9,13 @@ namespace txrep::core {
 SerialApplier::SerialApplier(kv::KvStore* store,
                              const qt::QueryTranslator* translator,
                              obs::MetricsRegistry* metrics,
-                             BatchDispatchOptions dispatch)
-    : store_(store), translator_(translator), dispatcher_(dispatch, metrics) {
+                             BatchDispatchOptions dispatch,
+                             trace::Tracer* tracer, trace::SloWatchdog* slo)
+    : store_(store),
+      translator_(translator),
+      tracer_(tracer),
+      slo_(slo),
+      dispatcher_(dispatch, metrics) {
   if (metrics != nullptr) {
     h_stage_apply_ = metrics->GetHistogram(obs::kStageLatency,
                                            {{"stage", obs::kStageApply}});
@@ -34,9 +39,20 @@ Status SerialApplier::Apply(const rel::LogTransaction& txn) {
   }
   const int64_t now = NowMicros();
   if (h_stage_apply_ != nullptr) h_stage_apply_->Record(now - start);
+  if (tracer_ != nullptr && txn.trace.sampled) {
+    // Serial replay has no commit evaluation: the hand-off instant is the
+    // apply span origin, all of it service.
+    tracer_->RecordSpan(txn.trace, txn.lsn, trace::SpanStage::kApply, start,
+                        now, 0);
+    if (txn.commit_micros != 0) {
+      tracer_->RecordSpan(txn.trace, txn.lsn, trace::SpanStage::kE2e,
+                          txn.commit_micros, now, 0);
+    }
+  }
   if (txn.commit_micros != 0) {
     if (h_stage_e2e_ != nullptr) h_stage_e2e_->Record(now - txn.commit_micros);
     dispatcher_.ObserveLag(now - txn.commit_micros);
+    if (slo_ != nullptr) slo_->ObserveLag(now - txn.commit_micros);
   }
   return Status::OK();
 }

@@ -10,6 +10,8 @@
 #include "obs/metrics.h"
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
+#include "trace/slo.h"
+#include "trace/tracer.h"
 
 namespace txrep::core {
 
@@ -27,9 +29,13 @@ class SerialApplier {
   /// store) and the coalesced write set ships as MultiWrite chunks —
   /// equivalent to direct application because a buffered transaction reads
   /// its own writes and each key appears once in the write set.
+  /// `tracer` / `slo` (optional, same lifetime rule) receive the apply and
+  /// e2e spans / the replica lag of every applied transaction.
   SerialApplier(kv::KvStore* store, const qt::QueryTranslator* translator,
                 obs::MetricsRegistry* metrics = nullptr,
-                BatchDispatchOptions dispatch = {});
+                BatchDispatchOptions dispatch = {},
+                trace::Tracer* tracer = nullptr,
+                trace::SloWatchdog* slo = nullptr);
 
   SerialApplier(const SerialApplier&) = delete;
   SerialApplier& operator=(const SerialApplier&) = delete;
@@ -57,6 +63,8 @@ class SerialApplier {
  private:
   kv::KvStore* store_;                     // Not owned.
   const qt::QueryTranslator* translator_;  // Not owned.
+  trace::Tracer* tracer_;                  // Not owned; may be null.
+  trace::SloWatchdog* slo_;                // Not owned; may be null.
   BatchDispatcher dispatcher_;
   int64_t applied_ = 0;
   std::atomic<uint64_t> last_applied_lsn_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "core/txn_buffer.h"
 
 namespace txrep::core {
@@ -46,8 +47,12 @@ void TicketApplier::LockManager::Release(
 
 TicketApplier::TicketApplier(kv::KvStore* store,
                              const qt::QueryTranslator* translator,
-                             TicketApplierOptions options)
-    : store_(store), translator_(translator), dispatcher_(options.dispatch) {
+                             TicketApplierOptions options,
+                             trace::Tracer* tracer)
+    : store_(store),
+      translator_(translator),
+      tracer_(tracer),
+      dispatcher_(options.dispatch) {
   pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(1, options.threads)), "ticket-applier");
 }
@@ -83,7 +88,9 @@ void TicketApplier::Submit(rel::LogTransaction txn) {
 void TicketApplier::ApplyTask(uint64_t ticket,
                               std::shared_ptr<rel::LogTransaction> txn,
                               std::shared_ptr<std::vector<std::string>> tables) {
+  const int64_t apply_start = NowMicros();
   const bool waited = locks_.AcquireAll(ticket, *tables);
+  const int64_t locks_granted = NowMicros();
   Status status;
   {
     check::MutexLock lock(&mu_);
@@ -100,6 +107,17 @@ void TicketApplier::ApplyTask(uint64_t ticket,
     }
   }
   locks_.Release(ticket, *tables);
+  if (status.ok() && tracer_ != nullptr && txn->trace.sampled) {
+    const int64_t now = NowMicros();
+    // Ticket-2PL has no commit evaluation: waiting for in-order lock grants
+    // is the apply queue share.
+    tracer_->RecordSpan(txn->trace, txn->lsn, trace::SpanStage::kApply,
+                        apply_start, now, locks_granted - apply_start);
+    if (txn->commit_micros != 0) {
+      tracer_->RecordSpan(txn->trace, txn->lsn, trace::SpanStage::kE2e,
+                          txn->commit_micros, now, 0);
+    }
+  }
   check::MutexLock lock(&mu_);
   if (waited) ++stats_.lock_waits;
   if (!status.ok() && health_.ok()) {

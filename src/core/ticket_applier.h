@@ -16,6 +16,7 @@
 #include "kv/kv_store.h"
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
+#include "trace/tracer.h"
 
 namespace txrep::core {
 
@@ -57,9 +58,12 @@ struct TicketApplierStats {
 /// the difference.
 class TicketApplier {
  public:
-  /// `store` and `translator` must outlive the applier.
+  /// `store` and `translator` must outlive the applier. `tracer` (optional,
+  /// same lifetime rule) receives apply / e2e spans of sampled transactions
+  /// (lock waiting is the apply queue share).
   TicketApplier(kv::KvStore* store, const qt::QueryTranslator* translator,
-                TicketApplierOptions options = {});
+                TicketApplierOptions options = {},
+                trace::Tracer* tracer = nullptr);
 
   ~TicketApplier();
 
@@ -107,6 +111,7 @@ class TicketApplier {
 
   kv::KvStore* store_;                     // Not owned.
   const qt::QueryTranslator* translator_;  // Not owned.
+  trace::Tracer* tracer_;                  // Not owned; may be null.
   BatchDispatcher dispatcher_;
   std::unique_ptr<ThreadPool> pool_;
   LockManager locks_;

@@ -13,6 +13,7 @@
 #include "core/class_signature.h"
 #include "core/txn_buffer.h"
 #include "kv/kv_store.h"
+#include "trace/context.h"
 
 namespace txrep::core {
 
@@ -83,10 +84,19 @@ class Transaction {
 
   /// Wall-clock stamps for pipeline stage latency (0 when unknown):
   /// db_commit_micros carries the original database's commit instant for
-  /// shipped update transactions; enqueue_micros is stamped when the
-  /// execution result enters the CommitReqPQ.
+  /// shipped update transactions; submit_micros is stamped when the
+  /// transaction entered the TM (the commit_eval span origin);
+  /// enqueue_micros when the execution result enters the CommitReqPQ;
+  /// commit_wall_micros when Algorithm 1 reaches the commit decision (the
+  /// apply span origin).
   int64_t db_commit_micros = 0;
+  int64_t submit_micros = 0;
   int64_t enqueue_micros = 0;
+  int64_t commit_wall_micros = 0;
+
+  /// Trace identity of the shipped update transaction (unsampled default
+  /// for read-only transactions); set at submission, read-only afterwards.
+  trace::TraceContext trace;
 
   /// Commit LSN of the shipped update transaction this one replays (0 for
   /// read-only transactions). The TM folds it into last_applied_lsn() when

@@ -7,14 +7,22 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "obs/names.h"
+#include "trace/slo.h"
+#include "trace/tracer.h"
 
 namespace txrep::core {
 
 TransactionManager::TransactionManager(kv::KvStore* store,
                                        const qt::QueryTranslator* translator,
                                        TmOptions options,
-                                       obs::MetricsRegistry* metrics)
-    : store_(store), translator_(translator), options_(options) {
+                                       obs::MetricsRegistry* metrics,
+                                       trace::Tracer* tracer,
+                                       trace::SloWatchdog* slo)
+    : store_(store),
+      translator_(translator),
+      options_(options),
+      tracer_(tracer),
+      slo_(slo) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -75,13 +83,14 @@ std::shared_ptr<Transaction> TransactionManager::SubmitUpdate(
     rel::LogTransaction log_txn) {
   const int64_t db_commit_micros = log_txn.commit_micros;
   const uint64_t lsn = log_txn.lsn;
+  const trace::TraceContext trace = log_txn.trace;
   auto payload = std::make_shared<rel::LogTransaction>(std::move(log_txn));
   return SubmitInternal(
       /*read_only=*/false,
       [this, payload](kv::KvStore* view) {
         return translator_->ApplyTransaction(view, *payload);
       },
-      db_commit_micros, lsn);
+      db_commit_micros, lsn, trace);
 }
 
 std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
@@ -91,7 +100,7 @@ std::shared_ptr<Transaction> TransactionManager::SubmitReadOnly(
 
 TransactionManager::TxnPtr TransactionManager::SubmitInternal(
     bool read_only, Transaction::Body body, int64_t db_commit_micros,
-    uint64_t lsn) {
+    uint64_t lsn, trace::TraceContext trace) {
   TxnPtr txn;
   {
     check::MutexLock lock(&mu_);
@@ -102,6 +111,8 @@ TransactionManager::TxnPtr TransactionManager::SubmitInternal(
                                         std::move(body));
     txn->db_commit_micros = db_commit_micros;
     txn->lsn = lsn;
+    txn->trace = trace;
+    txn->submit_micros = NowMicros();
     if (!health_.ok()) {
       txn->Finish(health_);
       return txn;
@@ -261,8 +272,19 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
   committed_[txn->seq()] = txn;
   expected_seq_ = txn->seq() + 1;
   c_committed_->Increment();
+  const int64_t commit_wall = NowMicros();
+  txn->commit_wall_micros = commit_wall;
   if (txn->enqueue_micros != 0) {
-    h_stage_commit_eval_->Record(NowMicros() - txn->enqueue_micros);
+    h_stage_commit_eval_->Record(commit_wall - txn->enqueue_micros);
+  }
+  if (tracer_ != nullptr && txn->trace.sampled) {
+    // Sink hand-off -> commit decision; the wait in the CommitReqPQ for the
+    // controller is the queue share, (re-)execution the service share.
+    tracer_->RecordSpan(txn->trace, txn->lsn, trace::SpanStage::kCommitEval,
+                        txn->submit_micros, commit_wall,
+                        txn->enqueue_micros != 0
+                            ? commit_wall - txn->enqueue_micros
+                            : 0);
   }
   bottom_pool_->Submit([this, txn] { ApplyTask(txn); });
   g_bottom_backlog_->Set(static_cast<int64_t>(bottom_pool_->QueueDepth()));
@@ -289,7 +311,22 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
       SleepForMicros(options_.apply_retry_backoff_micros);
     }
   }
-  h_stage_apply_->Record(NowMicros() - apply_start);
+  const int64_t apply_done = NowMicros();
+  h_stage_apply_->Record(apply_done - apply_start);
+  if (status.ok() && tracer_ != nullptr && txn->trace.sampled) {
+    // Commit decision -> replica-visible; waiting for a bottom-pool thread
+    // is the queue share. commit_wall_micros was stamped before this task
+    // was submitted, so reading it lock-free here is ordered.
+    const int64_t commit_wall = txn->commit_wall_micros != 0
+                                    ? txn->commit_wall_micros
+                                    : apply_start;
+    tracer_->RecordSpan(txn->trace, txn->lsn, trace::SpanStage::kApply,
+                        commit_wall, apply_done, apply_start - commit_wall);
+    if (txn->db_commit_micros != 0) {
+      tracer_->RecordSpan(txn->trace, txn->lsn, trace::SpanStage::kE2e,
+                          txn->db_commit_micros, apply_done, 0);
+    }
+  }
 
   std::vector<TxnPtr> to_restart;
   bool run_gc = false;
@@ -315,6 +352,7 @@ void TransactionManager::ApplyTask(const TxnPtr& txn) {
       const int64_t lag = NowMicros() - txn->db_commit_micros;
       h_stage_e2e_->Record(lag);
       dispatcher_->ObserveLag(lag);
+      if (slo_ != nullptr) slo_->ObserveLag(lag);
     }
     to_restart = std::move(txn->restart_list);
     txn->restart_list.clear();

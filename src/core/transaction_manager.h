@@ -20,6 +20,11 @@
 #include "qt/query_translator.h"
 #include "rel/txlog.h"
 
+namespace txrep::trace {
+class Tracer;
+class SloWatchdog;
+}  // namespace txrep::trace
+
 namespace txrep::core {
 
 /// Tuning knobs of the Transaction Manager.
@@ -116,10 +121,15 @@ class TransactionManager {
   /// Both must outlive the TM. `metrics` (optional, same lifetime rule)
   /// receives the txrep_tm_* counters, stage latency histograms and queue
   /// gauges; when absent the TM keeps a private registry so stats() still
-  /// works.
+  /// works. `tracer` (optional, same lifetime rule) receives the
+  /// commit_eval / apply / e2e spans of sampled transactions; `slo`
+  /// (optional, same lifetime rule) is fed every completed transaction's
+  /// replica lag.
   TransactionManager(kv::KvStore* store, const qt::QueryTranslator* translator,
                      TmOptions options = {},
-                     obs::MetricsRegistry* metrics = nullptr);
+                     obs::MetricsRegistry* metrics = nullptr,
+                     trace::Tracer* tracer = nullptr,
+                     trace::SloWatchdog* slo = nullptr);
 
   ~TransactionManager();
 
@@ -186,7 +196,8 @@ class TransactionManager {
   };
 
   TxnPtr SubmitInternal(bool read_only, Transaction::Body body,
-                        int64_t db_commit_micros = 0, uint64_t lsn = 0);
+                        int64_t db_commit_micros = 0, uint64_t lsn = 0,
+                        trace::TraceContext trace = {});
 
   /// Top-pool task: (re-)executes the body into a fresh buffer, then
   /// enqueues the commit request.
@@ -234,6 +245,8 @@ class TransactionManager {
   kv::KvStore* store_;                      // Not owned.
   const qt::QueryTranslator* translator_;   // Not owned.
   const TmOptions options_;
+  trace::Tracer* tracer_;      // Not owned; may be null.
+  trace::SloWatchdog* slo_;    // Not owned; may be null.
   LogicalClock clock_;
 
   /// Private fallback registry when the caller injects none (declared before

@@ -58,6 +58,7 @@ DiskKvNode::DiskKvNode(std::string path, DiskKvNodeOptions options,
   c_deletes_ = metrics->GetCounter(obs::kKvOps, op_labels("delete"));
   c_get_misses_ = metrics->GetCounter(obs::kKvOps, op_labels("get_miss"));
   h_op_latency_ = metrics->GetHistogram(obs::kKvOpLatency, node_label);
+  h_queue_wait_ = metrics->GetHistogram(obs::kKvQueueWait, node_label);
   h_batch_size_ = metrics->GetHistogram(obs::kKvBatchSize, node_label);
 }
 
@@ -169,6 +170,7 @@ void DiskKvNode::MaybeSyncLocked() {
 Status DiskKvNode::Put(const Key& key, const Value& value) {
   const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(NowMicros() - start);
   TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/false, key, value));
   MaybeSyncLocked();
   map_[key] = value;
@@ -181,6 +183,7 @@ Status DiskKvNode::Put(const Key& key, const Value& value) {
 Result<Value> DiskKvNode::Get(const Key& key) {
   const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(NowMicros() - start);
   ++stats_.gets;
   if (c_gets_ != nullptr) c_gets_->Increment();
   if (h_op_latency_ != nullptr) h_op_latency_->Record(NowMicros() - start);
@@ -196,6 +199,7 @@ Result<Value> DiskKvNode::Get(const Key& key) {
 Status DiskKvNode::Delete(const Key& key) {
   const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(NowMicros() - start);
   if (map_.erase(key) > 0) {
     TXREP_RETURN_IF_ERROR(AppendRecord(/*tombstone=*/true, key, {}));
     MaybeSyncLocked();
@@ -212,6 +216,7 @@ Status DiskKvNode::MultiWrite(std::span<const KvWrite> batch,
   if (batch.empty()) return Status::OK();
   const int64_t start = NowMicros();
   check::MutexLock lock(&mu_);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(NowMicros() - start);
   Status status = Status::OK();
   for (const KvWrite& w : batch) {
     if (w.tombstone) {
@@ -247,6 +252,7 @@ std::vector<Result<Value>> DiskKvNode::MultiGet(std::span<const Key> keys) {
   results.reserve(keys.size());
   if (keys.empty()) return results;
   check::MutexLock lock(&mu_);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(NowMicros() - start);
   for (const Key& key : keys) {
     ++stats_.gets;
     if (c_gets_ != nullptr) c_gets_->Increment();

@@ -121,6 +121,9 @@ class DiskKvNode : public KvStore {
   obs::Counter* c_deletes_ = nullptr;
   obs::Counter* c_get_misses_ = nullptr;
   Histogram* h_op_latency_ = nullptr;
+  /// Time spent waiting to acquire mu_ (the disk node's queue: ops serialize
+  /// on the single log/index lock, so lock wait is queue wait).
+  Histogram* h_queue_wait_ = nullptr;
   Histogram* h_batch_size_ = nullptr;
   // Write-once during Open() (single-threaded), read-only afterwards — no
   // lock needed.

@@ -26,6 +26,7 @@ InMemoryKvNode::InMemoryKvNode(KvNodeOptions options,
   c_deletes_ = metrics->GetCounter(obs::kKvOps, op_labels("delete"));
   c_get_misses_ = metrics->GetCounter(obs::kKvOps, op_labels("get_miss"));
   h_op_latency_ = metrics->GetHistogram(obs::kKvOpLatency, node_label);
+  h_queue_wait_ = metrics->GetHistogram(obs::kKvQueueWait, node_label);
   h_batch_size_ = metrics->GetHistogram(obs::kKvBatchSize, node_label);
   g_slots_ = metrics->GetGauge(obs::kKvSlotsInUse, node_label);
 }
@@ -49,14 +50,17 @@ bool InMemoryKvNode::RollFailure() {
   return fail;
 }
 
-void InMemoryKvNode::OccupySlot(int64_t micros) {
+int64_t InMemoryKvNode::OccupySlot(int64_t micros) {
+  int64_t waited = 0;
   if (options_.service_slots > 0) {
+    const int64_t arrive = NowMicros();
     {
       check::MutexLock lock(&gate_mu_);
       while (in_service_ >= options_.service_slots) gate_cv_.Wait();
       ++in_service_;
       if (g_slots_ != nullptr) g_slots_->Set(in_service_);
     }
+    waited = NowMicros() - arrive;
     SleepForMicros(micros);
     {
       check::MutexLock lock(&gate_mu_);
@@ -67,6 +71,9 @@ void InMemoryKvNode::OccupySlot(int64_t micros) {
   } else {
     SleepForMicros(micros);
   }
+  queue_wait_.Record(waited);
+  if (h_queue_wait_ != nullptr) h_queue_wait_->Record(waited);
+  return waited;
 }
 
 int64_t InMemoryKvNode::MarginalMicros() const {

@@ -92,6 +92,10 @@ class InMemoryKvNode : public KvStore {
   /// service gate and the simulated service time).
   const Histogram& op_latency() const { return op_latency_; }
 
+  /// Distribution of time spent queueing at the service gate alone (the
+  /// queue-wait share of op_latency; zero entries when slots never filled).
+  const Histogram& queue_wait() const { return queue_wait_; }
+
   const KvNodeOptions& options() const { return options_; }
 
   /// Adjusts the injected-failure probability at runtime so tests can fence
@@ -119,8 +123,10 @@ class InMemoryKvNode : public KvStore {
   /// batch order, so batched and op-at-a-time replay share the RNG stream).
   bool RollFailure();
 
-  /// Occupies one service slot for `micros` of simulated time.
-  void OccupySlot(int64_t micros);
+  /// Occupies one service slot for `micros` of simulated time. Returns how
+  /// long the op queued at the gate waiting for a free slot (0 when slots
+  /// are unlimited or one was free immediately).
+  int64_t OccupySlot(int64_t micros);
 
   /// Effective per-extra-op marginal service cost (resolves the -1 default).
   int64_t MarginalMicros() const;
@@ -145,6 +151,7 @@ class InMemoryKvNode : public KvStore {
   mutable check::Mutex stats_mu_{"kv.stats"};
   KvStoreStats stats_ TXREP_GUARDED_BY(stats_mu_);
   Histogram op_latency_;
+  Histogram queue_wait_;
 
   // Registry instruments (null when the node runs unobserved).
   obs::Counter* c_gets_ = nullptr;
@@ -152,6 +159,7 @@ class InMemoryKvNode : public KvStore {
   obs::Counter* c_deletes_ = nullptr;
   obs::Counter* c_get_misses_ = nullptr;
   Histogram* h_op_latency_ = nullptr;
+  Histogram* h_queue_wait_ = nullptr;
   Histogram* h_batch_size_ = nullptr;
   obs::Gauge* g_slots_ = nullptr;
 };

@@ -71,6 +71,7 @@ void Broker::DeliveryLoop() {
     if (g_queue_depth_ != nullptr) {
       g_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
     }
+    message->service_begin_micros = NowMicros();
     SleepForMicros(options_.delivery_delay_micros);
     message->deliver_micros = NowMicros();
     if (h_deliver_latency_ != nullptr) {

@@ -20,6 +20,10 @@ struct Message {
   std::string topic;
   std::string payload;
   int64_t publish_micros = 0;  // Stamped by the broker at Publish().
+  /// Stamped when the delivery thread picked the message up (before the
+  /// simulated delivery delay): splits the broker hop into queue wait
+  /// (publish -> pickup) and service (pickup -> deliver) for span recording.
+  int64_t service_begin_micros = 0;
   int64_t deliver_micros = 0;  // Stamped by the broker at delivery.
 };
 

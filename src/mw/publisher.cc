@@ -9,8 +9,12 @@ namespace txrep::mw {
 
 PublisherAgent::PublisherAgent(rel::TxLog* log, Broker* broker,
                                PublisherOptions options,
-                               obs::MetricsRegistry* metrics)
-    : log_(log), broker_(broker), options_(std::move(options)) {
+                               obs::MetricsRegistry* metrics,
+                               trace::Tracer* tracer)
+    : log_(log),
+      broker_(broker),
+      tracer_(tracer),
+      options_(std::move(options)) {
   shipped_lsn_.store(options_.start_after_lsn, std::memory_order_relaxed);
   if (metrics != nullptr) {
     h_publish_latency_ = metrics->GetHistogram(
@@ -24,19 +28,32 @@ PublisherAgent::~PublisherAgent() { Stop(); }
 Result<size_t> PublisherAgent::PumpOnce() {
   check::MutexLock lock(&pump_mu_);
   const uint64_t from = shipped_lsn_.load(std::memory_order_relaxed);
+  const int64_t pickup_micros = NowMicros();
   std::vector<rel::LogTransaction> batch =
       log_->ReadSince(from, options_.batch_size);
   if (batch.empty()) return size_t{0};
   const uint64_t last = batch.back().lsn;
-  TXREP_RETURN_IF_ERROR(
-      broker_->Publish(options_.topic, codec::EncodeLogBatch(batch)));
+  std::string payload = codec::EncodeLogBatch(batch);
+  // The publish hop ends here, NOT after Publish() returns: the broker hop
+  // starts at the stamp Publish() takes internally, so ending the publish
+  // span any later would overlap the two whenever this thread is descheduled
+  // inside the call (per-txn hop spans must tile the e2e window).
+  const int64_t now = NowMicros();
+  TXREP_RETURN_IF_ERROR(broker_->Publish(options_.topic, std::move(payload)));
   shipped_lsn_.store(last, std::memory_order_relaxed);
   messages_published_.fetch_add(1, std::memory_order_relaxed);
-  if (h_publish_latency_ != nullptr) {
-    // Per-txn time from db commit to reaching the broker.
-    const int64_t now = NowMicros();
+  if (h_publish_latency_ != nullptr || tracer_ != nullptr) {
+    // Per-txn time from db commit to reaching the broker; the share before
+    // the pump picked the batch up is log-tail queue wait.
     for (const rel::LogTransaction& txn : batch) {
-      h_publish_latency_->Record(now - txn.commit_micros);
+      if (h_publish_latency_ != nullptr) {
+        h_publish_latency_->Record(now - txn.commit_micros);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->RecordSpan(txn.trace, txn.lsn, trace::SpanStage::kPublish,
+                            txn.commit_micros, now,
+                            pickup_micros - txn.commit_micros);
+      }
     }
   }
   if (h_batch_size_ != nullptr) {

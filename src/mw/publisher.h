@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "mw/broker.h"
 #include "rel/txlog.h"
+#include "trace/tracer.h"
 
 namespace txrep::mw {
 
@@ -39,9 +40,11 @@ class PublisherAgent {
  public:
   /// `log` and `broker` must outlive the agent. `metrics` (optional, same
   /// lifetime rule) receives the publish stage latency histogram and batch
-  /// size distribution.
+  /// size distribution. `tracer` (optional, same lifetime rule) receives the
+  /// publish span of every sampled transaction.
   PublisherAgent(rel::TxLog* log, Broker* broker, PublisherOptions options = {},
-                 obs::MetricsRegistry* metrics = nullptr);
+                 obs::MetricsRegistry* metrics = nullptr,
+                 trace::Tracer* tracer = nullptr);
 
   ~PublisherAgent();
 
@@ -73,6 +76,7 @@ class PublisherAgent {
 
   rel::TxLog* log_;  // Not owned.
   Broker* broker_;   // Not owned.
+  trace::Tracer* tracer_;  // Not owned; may be null.
   const PublisherOptions options_;
 
   /// Serializes PumpOnce (read-log + publish + advance).

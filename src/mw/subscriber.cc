@@ -9,8 +9,11 @@ namespace txrep::mw {
 
 SubscriberAgent::SubscriberAgent(Broker* broker, const std::string& topic,
                                  TxnSink sink, obs::MetricsRegistry* metrics,
-                                 SubscriberOptions options)
-    : subscription_(broker->Subscribe(topic)), sink_(std::move(sink)) {
+                                 SubscriberOptions options,
+                                 trace::Tracer* tracer)
+    : subscription_(broker->Subscribe(topic)),
+      sink_(std::move(sink)),
+      tracer_(tracer) {
   // Everything at or below the resume point counts as already applied.
   applied_lsn_ = options.resume_after_lsn;
   resume_after_lsn_ = options.resume_after_lsn;
@@ -51,11 +54,28 @@ void SubscriberAgent::ReceiveLoop() {
       cv_.NotifyAll();
       break;
     }
+    const int64_t pop_micros = NowMicros();
     if (h_recv_latency_ != nullptr && message->deliver_micros != 0) {
-      h_recv_latency_->Record(NowMicros() - message->deliver_micros);
+      h_recv_latency_->Record(pop_micros - message->deliver_micros);
     }
     for (rel::LogTransaction& txn : *batch) {
       const uint64_t lsn = txn.lsn;
+      if (tracer_ != nullptr && txn.trace.sampled) {
+        // The broker hop, attributed from the message stamps (the broker
+        // never decodes payloads): queue share = publish -> delivery-thread
+        // pickup, service share = simulated delivery.
+        tracer_->RecordSpan(
+            txn.trace, lsn, trace::SpanStage::kBroker, message->publish_micros,
+            message->deliver_micros,
+            message->service_begin_micros > 0
+                ? message->service_begin_micros - message->publish_micros
+                : 0);
+        // The recv hop: broker delivery -> hand-off to the apply sink. Time
+        // spent in the subscription queue before the pop is queue wait.
+        tracer_->RecordSpan(txn.trace, lsn, trace::SpanStage::kReceive,
+                            message->deliver_micros, NowMicros(),
+                            pop_micros - message->deliver_micros);
+      }
       {
         // Duplicates below the resume point were installed from a snapshot
         // or direct log replay already: acknowledge without re-applying.

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "mw/broker.h"
 #include "rel/txlog.h"
+#include "trace/tracer.h"
 
 namespace txrep::mw {
 
@@ -45,11 +46,15 @@ class SubscriberAgent {
   using TxnSink = std::function<Status(rel::LogTransaction)>;
 
   /// Subscribes on `topic` and starts the receive thread immediately
-  /// (paused when `options.start_paused`). `broker` (and `metrics`, when
-  /// given) must outlive the agent.
+  /// (paused when `options.start_paused`). `broker` (and `metrics` /
+  /// `tracer`, when given) must outlive the agent. The tracer receives the
+  /// broker and recv spans of every sampled transaction — the broker treats
+  /// payloads as opaque bytes, so span recording for its hop happens here,
+  /// from the message stamps, right after decode.
   SubscriberAgent(Broker* broker, const std::string& topic, TxnSink sink,
                   obs::MetricsRegistry* metrics = nullptr,
-                  SubscriberOptions options = {});
+                  SubscriberOptions options = {},
+                  trace::Tracer* tracer = nullptr);
 
   ~SubscriberAgent();
 
@@ -82,6 +87,7 @@ class SubscriberAgent {
 
   Broker::Subscription* subscription_;  // Owned by the broker.
   TxnSink sink_;
+  trace::Tracer* tracer_;  // Not owned; may be null.
 
   mutable check::Mutex mu_{"subscriber.mu"};
   check::CondVar cv_{&mu_};

@@ -231,6 +231,9 @@ void PeriodicReporter::Stop() {
     cv_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
+  // Final flush: a run shorter than the interval would otherwise report
+  // nothing, and the tail interval's activity would always be lost.
+  sink_(registry_->Snapshot());
 }
 
 void PeriodicReporter::Loop() {

@@ -39,7 +39,9 @@ class PeriodicReporter {
   PeriodicReporter(const PeriodicReporter&) = delete;
   PeriodicReporter& operator=(const PeriodicReporter&) = delete;
 
-  /// Stops the reporting thread; idempotent.
+  /// Stops the reporting thread and emits one final snapshot, so runs
+  /// shorter than the interval still report the tail's metrics. Idempotent
+  /// (the flush happens only on the first call).
   void Stop();
 
  private:

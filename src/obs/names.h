@@ -29,6 +29,25 @@ inline constexpr char kStageApply[] = "apply";
 /// DB commit -> transaction fully applied on the replica (= replica lag).
 inline constexpr char kStageE2e[] = "e2e";
 
+// --- per-transaction tracing / SLO (src/trace, DESIGN.md §11) ---------------
+/// Transactions minted with sampled=true at DB commit.
+inline constexpr char kTraceSampled[] = "txrep_trace_sampled_total";
+/// Spans handed to the flight recorder (sampled transactions only).
+inline constexpr char kTraceSpans[] = "txrep_trace_spans_total";
+/// Spans the flight recorder dropped (claim contention on a lapped slot).
+inline constexpr char kTraceSpansDropped[] =
+    "txrep_trace_spans_dropped_total";
+/// Replica-lag observations fed to the SLO watchdog.
+inline constexpr char kSloObservations[] = "txrep_slo_observations_total";
+/// Observations above the lag objective.
+inline constexpr char kSloViolations[] = "txrep_slo_violations_total";
+/// Apply-progress stall episodes detected by the watchdog.
+inline constexpr char kSloStalls[] = "txrep_slo_stalls_total";
+/// Flight-recorder auto-dumps the watchdog triggered.
+inline constexpr char kSloDumps[] = "txrep_slo_dumps_total";
+/// Gauge: error-budget burn rate over the sliding window, x1000.
+inline constexpr char kSloBurnRatePermille[] = "txrep_slo_burn_rate_permille";
+
 // --- queue depths -----------------------------------------------------------
 /// Gauge, labeled {queue="..."}.
 inline constexpr char kQueueDepth[] = "txrep_queue_depth";
@@ -84,6 +103,10 @@ inline constexpr char kKvBatchSize[] = "txrep_kv_batch_size";
 /// Cluster fan-out latency of one MultiWrite/MultiGet sub-batch (µs), labeled
 /// {node="N"} with the destination node.
 inline constexpr char kKvDispatchLatency[] = "txrep_kv_dispatch_latency_us";
+/// Time an op/batch waited for a service slot (in-memory node) or the node
+/// mutex (disk node) before service began (µs), labeled {node="N"}. Keeps
+/// queueing out of the service share of apply-lag attribution.
+inline constexpr char kKvQueueWait[] = "txrep_kv_queue_wait_us";
 
 // --- batched apply path -------------------------------------------------
 /// Write-set entries per dispatched chunk (histogram, unitless).

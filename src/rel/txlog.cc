@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "obs/names.h"
+#include "trace/tracer.h"
 
 namespace txrep::rel {
 
@@ -45,12 +46,18 @@ void TxLog::EnableMetrics(obs::MetricsRegistry* metrics) {
   g_size_ = metrics->GetGauge(obs::kLogSize);
 }
 
+void TxLog::EnableTracing(trace::Tracer* tracer) {
+  check::MutexLock lock(&mu_);
+  tracer_ = tracer;
+}
+
 uint64_t TxLog::Append(std::vector<LogOp> ops) {
   if (ops.empty()) return 0;
   check::MutexLock lock(&mu_);
   LogTransaction entry;
   entry.lsn = next_lsn_++;
   entry.commit_micros = NowMicros();
+  if (tracer_ != nullptr) entry.trace = tracer_->Mint(entry.lsn);
   entry.ops = std::move(ops);
   entries_.push_back(std::move(entry));
   if (c_appended_ != nullptr) c_appended_->Increment();

@@ -8,6 +8,11 @@
 #include "check/mutex.h"
 #include "obs/metrics.h"
 #include "rel/value.h"
+#include "trace/context.h"
+
+namespace txrep::trace {
+class Tracer;
+}  // namespace txrep::trace
 
 namespace txrep::rel {
 
@@ -40,6 +45,10 @@ struct LogTransaction {
   /// Commit instant on the database side (steady-clock micros); the replica
   /// side uses it to measure replication lag / staleness.
   int64_t commit_micros = 0;
+  /// Trace identity minted at commit (zero / unsampled unless a tracer is
+  /// attached); travels with the record across the wire so every hop
+  /// attributes its spans to the same transaction.
+  trace::TraceContext trace;
   std::vector<LogOp> ops;
 };
 
@@ -75,11 +84,18 @@ class TxLog {
   /// the log).
   void EnableMetrics(obs::MetricsRegistry* metrics);
 
+  /// Mints a TraceContext for every subsequent Append() via `tracer` (must
+  /// outlive the log; null disables). This is the trace origin: the sampling
+  /// decision is taken here, at DB commit, and carried downstream.
+  void EnableTracing(trace::Tracer* tracer);
+
  private:
   mutable check::Mutex mu_{"rel.txlog"};
   /// entries_[i].lsn strictly increasing.
   std::vector<LogTransaction> entries_ TXREP_GUARDED_BY(mu_);
   uint64_t next_lsn_ TXREP_GUARDED_BY(mu_) = 1;
+
+  trace::Tracer* tracer_ TXREP_GUARDED_BY(mu_) = nullptr;
 
   obs::Counter* c_appended_ = nullptr;
   obs::Counter* c_truncations_ = nullptr;

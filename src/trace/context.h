@@ -1,0 +1,32 @@
+#ifndef TXREP_TRACE_CONTEXT_H_
+#define TXREP_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace txrep::trace {
+
+/// Per-transaction trace identity, minted at DB commit (TxLog::Append) and
+/// carried inside the log record across the wire so every downstream hop —
+/// publisher, broker, subscriber, TM commit-eval, (batched) apply — can
+/// attribute its spans to the same transaction.
+///
+/// Sampling is deterministic in the LSN (lsn % sample_every == 0), so two
+/// replays of the same log sample the same transactions and the schedule
+/// explorer can prove byte-equivalence is unperturbed by tracing. A
+/// default-constructed context (trace_id 0, unsampled) is what pre-tracing
+/// log records decode to.
+struct TraceContext {
+  /// Stable trace identity; equals the transaction's commit LSN today (ids
+  /// only need to be unique within one log's lifetime).
+  uint64_t trace_id = 0;
+  /// True when this transaction records spans into the flight recorder.
+  bool sampled = false;
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.sampled == b.sampled;
+}
+
+}  // namespace txrep::trace
+
+#endif  // TXREP_TRACE_CONTEXT_H_

@@ -1,0 +1,60 @@
+#ifndef TXREP_TRACE_NAMES_H_
+#define TXREP_TRACE_NAMES_H_
+
+#include <cstdint>
+
+/// Canonical span/stage names of the per-transaction tracing subsystem
+/// (DESIGN.md §11). Like obs/names.h for metrics, this header is the ONLY
+/// place span names may be defined (scripts/lint.sh rule 5): every name
+/// carries the greppable "span." prefix, and exporters derive display names
+/// from these constants instead of re-spelling them.
+namespace txrep::trace {
+
+/// One hop of a replicated transaction's end-to-end path. Values are stable
+/// (they appear in flight-recorder slots) — append only.
+enum class SpanStage : uint8_t {
+  /// DB commit -> replication message published (publisher pump).
+  kPublish = 0,
+  /// Message published -> broker delivered it to subscriber queues.
+  kBroker = 1,
+  /// Broker delivery -> subscriber handed the transaction to the apply sink.
+  kReceive = 2,
+  /// Sink hand-off -> Algorithm 1 reached the commit decision (TM path).
+  kCommitEval = 3,
+  /// Commit decision -> buffer fully applied to the key-value replica.
+  kApply = 4,
+  /// DB commit -> replica-visible (the whole path; equals replica lag).
+  kE2e = 5,
+};
+
+inline constexpr int kNumSpanStages = 6;
+
+inline constexpr char kSpanPublish[] = "span.publish";
+inline constexpr char kSpanBroker[] = "span.broker";
+inline constexpr char kSpanReceive[] = "span.recv";
+inline constexpr char kSpanCommitEval[] = "span.commit_eval";
+inline constexpr char kSpanApply[] = "span.apply";
+inline constexpr char kSpanE2e[] = "span.e2e";
+
+/// Full canonical name ("span.publish").
+inline const char* SpanStageName(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kPublish: return kSpanPublish;
+    case SpanStage::kBroker: return kSpanBroker;
+    case SpanStage::kReceive: return kSpanReceive;
+    case SpanStage::kCommitEval: return kSpanCommitEval;
+    case SpanStage::kApply: return kSpanApply;
+    case SpanStage::kE2e: return kSpanE2e;
+  }
+  return "span.unknown";
+}
+
+/// Display name without the "span." prefix ("publish"), derived from the
+/// canonical constant so exporters never re-spell stage names.
+inline const char* SpanStageDisplay(SpanStage stage) {
+  return SpanStageName(stage) + 5;
+}
+
+}  // namespace txrep::trace
+
+#endif  // TXREP_TRACE_NAMES_H_

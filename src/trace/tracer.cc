@@ -1,0 +1,71 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+#include "obs/names.h"
+
+namespace txrep::trace {
+
+Tracer::Tracer(TracerOptions options, obs::MetricsRegistry* metrics)
+    : options_(options), recorder_(options.recorder) {
+  if (metrics != nullptr) {
+    c_sampled_ = metrics->GetCounter(obs::kTraceSampled);
+    c_spans_ = metrics->GetCounter(obs::kTraceSpans);
+    c_spans_dropped_ = metrics->GetCounter(obs::kTraceSpansDropped);
+  }
+}
+
+TraceContext Tracer::Mint(uint64_t lsn) {
+  TraceContext ctx;
+  if (!enabled() || lsn == 0) return ctx;
+  ctx.trace_id = lsn;
+  ctx.sampled = (lsn % options_.sample_every) == 0;
+  if (ctx.sampled && c_sampled_ != nullptr) c_sampled_->Increment();
+  return ctx;
+}
+
+void Tracer::RecordSpan(const TraceContext& ctx, uint64_t lsn, SpanStage stage,
+                        int64_t start_micros, int64_t end_micros,
+                        int64_t queue_micros) {
+  if (!ctx.sampled) return;
+  SpanEvent event;
+  event.trace_id = ctx.trace_id;
+  event.lsn = lsn;
+  event.stage = stage;
+  event.start_micros = start_micros;
+  event.end_micros = std::max(end_micros, start_micros);
+  event.queue_micros =
+      std::clamp<int64_t>(queue_micros, 0, event.duration_micros());
+
+  const bool kept = recorder_.Record(event);
+  if (c_spans_ != nullptr) c_spans_->Increment();
+  if (!kept && c_spans_dropped_ != nullptr) c_spans_dropped_->Increment();
+
+  if (options_.exemplars_per_stage > 0) {
+    const size_t idx = static_cast<size_t>(stage);
+    check::MutexLock lock(&mu_);
+    std::vector<SpanEvent>& top = exemplars_[idx];
+    if (top.size() < options_.exemplars_per_stage) {
+      top.push_back(event);
+      std::sort(top.begin(), top.end(),
+                [](const SpanEvent& a, const SpanEvent& b) {
+                  return a.duration_micros() < b.duration_micros();
+                });
+    } else if (event.duration_micros() > top.front().duration_micros()) {
+      top.front() = event;
+      std::sort(top.begin(), top.end(),
+                [](const SpanEvent& a, const SpanEvent& b) {
+                  return a.duration_micros() < b.duration_micros();
+                });
+    }
+  }
+}
+
+std::vector<SpanEvent> Tracer::Exemplars(SpanStage stage) const {
+  check::MutexLock lock(&mu_);
+  std::vector<SpanEvent> out = exemplars_[static_cast<size_t>(stage)];
+  std::reverse(out.begin(), out.end());  // Slowest first.
+  return out;
+}
+
+}  // namespace txrep::trace

@@ -1,0 +1,81 @@
+#ifndef TXREP_TRACE_TRACER_H_
+#define TXREP_TRACE_TRACER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "check/mutex.h"
+#include "obs/metrics.h"
+#include "trace/context.h"
+#include "trace/recorder.h"
+
+namespace txrep::trace {
+
+struct TracerOptions {
+  /// Sampling period: 0 disables tracing entirely, 1 traces every
+  /// transaction, N traces every Nth (lsn % N == 0 — deterministic in the
+  /// log position, so replays and the schedule explorer sample identically).
+  uint64_t sample_every = 0;
+
+  /// Flight-recorder geometry (bounded memory; see recorder.h).
+  FlightRecorderOptions recorder;
+
+  /// Slowest exemplar traces retained per stage (0 disables retention).
+  size_t exemplars_per_stage = 4;
+};
+
+/// Front door of the tracing subsystem: mints TraceContexts at DB commit,
+/// funnels every hop's spans into the flight recorder, mirrors volume
+/// counters into the metrics registry and retains the slowest-N exemplar
+/// spans per stage. One Tracer serves a whole deployment; every method is
+/// thread-safe and RecordSpan() is wait-free for unsampled transactions.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {},
+                  obs::MetricsRegistry* metrics = nullptr);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True when sampling is configured (sample_every > 0).
+  bool enabled() const { return options_.sample_every > 0; }
+  uint64_t sample_every() const { return options_.sample_every; }
+
+  /// Mints the context for the transaction committing at `lsn`.
+  /// Deterministic: the same lsn always yields the same decision.
+  TraceContext Mint(uint64_t lsn);
+
+  /// Records one hop's span for a sampled transaction (no-op otherwise).
+  /// `queue_micros` is the waiting share of [start, end]; clamped into
+  /// [0, end - start].
+  void RecordSpan(const TraceContext& ctx, uint64_t lsn, SpanStage stage,
+                  int64_t start_micros, int64_t end_micros,
+                  int64_t queue_micros = 0);
+
+  /// Snapshot of the flight recorder (see FlightRecorder::Dump).
+  std::vector<SpanEvent> Dump() const { return recorder_.Dump(); }
+
+  /// The slowest exemplar spans retained for `stage`, slowest first.
+  std::vector<SpanEvent> Exemplars(SpanStage stage) const;
+
+  const FlightRecorder& recorder() const { return recorder_; }
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  TracerOptions options_;
+  FlightRecorder recorder_;
+
+  mutable check::Mutex mu_{"trace.exemplars"};
+  /// Per stage, ascending by duration, at most exemplars_per_stage entries.
+  std::array<std::vector<SpanEvent>, kNumSpanStages> exemplars_
+      TXREP_GUARDED_BY(mu_);
+
+  obs::Counter* c_sampled_ = nullptr;
+  obs::Counter* c_spans_ = nullptr;
+  obs::Counter* c_spans_dropped_ = nullptr;
+};
+
+}  // namespace txrep::trace
+
+#endif  // TXREP_TRACE_TRACER_H_

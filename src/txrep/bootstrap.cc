@@ -43,8 +43,11 @@ Status BootstrappedReplica::Start() {
   TXREP_RETURN_IF_ERROR(cluster_->init_status());
 
   const qt::QueryTranslator& translator = system_->translator();
+  // The primary's tracer (if any) also covers this replica's applies: a
+  // sampled transaction gets an apply/e2e span per replica that applies it.
   applier_ = std::make_unique<core::SerialApplier>(
-      cluster_.get(), &translator, &registry_, options_.apply_batch);
+      cluster_.get(), &translator, &registry_, options_.apply_batch,
+      system_->tracer());
   reader_ = std::make_unique<qt::ReplicaReader>(
       &translator.catalog(), translator.blink_options(), &registry_);
   gate_ = std::make_unique<recov::CatchupGate>(options_.max_admission_lag,

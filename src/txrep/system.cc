@@ -10,6 +10,10 @@ namespace txrep {
 
 TxRepSystem::TxRepSystem(TxRepOptions options)
     : options_(std::move(options)) {
+  if (options_.trace.sample_every > 0) {
+    tracer_ = std::make_unique<trace::Tracer>(options_.trace, &registry_);
+    db_.log().EnableTracing(tracer_.get());
+  }
   cluster_ = std::make_unique<kv::KvCluster>(options_.cluster, &registry_);
   db_.EnableMetrics(&registry_);
   h_readonly_latency_ = registry_.GetHistogram(obs::kReadOnlyLatency);
@@ -22,6 +26,7 @@ TxRepSystem::TxRepSystem(TxRepOptions options)
 
 TxRepSystem::~TxRepSystem() {
   reporter_.reset();  // Stop sampling before the pipeline tears down.
+  if (slo_ != nullptr) slo_->Stop();  // Poller probes the appliers below.
   if (publisher_ != nullptr) publisher_->Stop();
   if (broker_ != nullptr) broker_->Shutdown();   // Unblocks the subscriber.
   if (subscriber_ != nullptr) subscriber_->Stop();
@@ -83,12 +88,34 @@ Status TxRepSystem::Start() {
   }
   const uint64_t snapshot_lsn = snapshot_lsn_;
 
+  if (options_.slo.enabled) {
+    slo_ = std::make_unique<trace::SloWatchdog>(options_.slo, &registry_,
+                                                tracer_.get());
+  }
   if (options_.concurrent_replication) {
     tm_ = std::make_unique<core::TransactionManager>(
-        cluster_.get(), translator_.get(), options_.tm, &registry_);
+        cluster_.get(), translator_.get(), options_.tm, &registry_,
+        tracer_.get(), slo_.get());
   } else {
     serial_ = std::make_unique<core::SerialApplier>(
-        cluster_.get(), translator_.get(), &registry_);
+        cluster_.get(), translator_.get(), &registry_,
+        core::BatchDispatchOptions{}, tracer_.get(), slo_.get());
+  }
+  if (slo_ != nullptr) {
+    slo_->SetProgressProbe([this] {
+      trace::SloProbe probe;
+      // Genuinely applied progress (the TM path may still have subscriber-
+      // delivered transactions in flight; hand-off is not progress).
+      const uint64_t applied = tm_ != nullptr ? tm_->last_applied_lsn()
+                                              : serial_->last_applied_lsn();
+      probe.applied_lsn = std::max(applied, snapshot_lsn_);
+      const uint64_t last = db_.log().LastLsn();
+      probe.backlog = last > probe.applied_lsn
+                          ? static_cast<int64_t>(last - probe.applied_lsn)
+                          : 0;
+      return probe;
+    });
+    slo_->Start();
   }
 
   if (options_.measure_lag) {
@@ -99,11 +126,11 @@ Status TxRepSystem::Start() {
   mw::PublisherOptions pub_options = options_.publisher;
   pub_options.start_after_lsn = snapshot_lsn;
   publisher_ = std::make_unique<mw::PublisherAgent>(
-      &db_.log(), broker_.get(), pub_options, &registry_);
+      &db_.log(), broker_.get(), pub_options, &registry_, tracer_.get());
   subscriber_ = std::make_unique<mw::SubscriberAgent>(
       broker_.get(), pub_options.topic,
       [this](rel::LogTransaction txn) { return ApplySink(std::move(txn)); },
-      &registry_);
+      &registry_, mw::SubscriberOptions{}, tracer_.get());
   publisher_->Start();
   started_ = true;
   return Status::OK();

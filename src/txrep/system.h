@@ -23,6 +23,8 @@
 #include "qt/replica_reader.h"
 #include "recov/checkpoint.h"
 #include "rel/database.h"
+#include "trace/slo.h"
+#include "trace/tracer.h"
 
 namespace txrep {
 
@@ -82,6 +84,16 @@ struct TxRepOptions {
 
   /// Checkpoint / restart configuration (off unless checkpoint_dir is set).
   RecoveryOptions recovery;
+
+  /// Per-transaction distributed tracing (off unless sample_every > 0):
+  /// sampled transactions carry a trace context from DB commit through the
+  /// pipeline and every hop records spans into the flight recorder.
+  trace::TracerOptions trace;
+
+  /// Replica-lag SLO watchdog (off unless slo.enabled): burn-rate tracking
+  /// over sliding windows plus an apply-progress stall detector that dumps
+  /// the flight recorder.
+  trace::SloOptions slo;
 };
 
 /// The whole TxRep deployment of paper Fig. 3 in one object:
@@ -177,6 +189,14 @@ class TxRepSystem {
   /// options.measure_lag).
   const Histogram& lag_histogram() const { return lag_histogram_; }
 
+  /// The deployment tracer (null unless options.trace.sample_every > 0).
+  /// Dump() / Exemplars() read the flight recorder; feed the result to
+  /// trace/export.h for Chrome-trace JSON or a text timeline.
+  trace::Tracer* tracer() { return tracer_.get(); }
+
+  /// The SLO watchdog (null unless options.slo.enabled).
+  trace::SloWatchdog* slo() { return slo_.get(); }
+
   /// Highest LSN applied on the replica.
   uint64_t replica_lsn() const;
 
@@ -208,6 +228,14 @@ class TxRepSystem {
   obs::MetricsRegistry registry_;
 
   TxRepOptions options_;
+
+  /// Declared before the pipeline components (destroyed after them): the
+  /// log, publisher, subscriber and appliers all record spans into it. The
+  /// watchdog thread is stopped explicitly in the destructor before the
+  /// appliers it probes go away.
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<trace::SloWatchdog> slo_;
+
   rel::Database db_;
   std::unique_ptr<kv::KvCluster> cluster_;
   std::unique_ptr<qt::QueryTranslator> translator_;

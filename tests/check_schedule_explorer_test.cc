@@ -117,6 +117,33 @@ TEST(ScheduleExplorerTest, BatchedCrashRestartSweepFindsNoDivergence) {
       << "diverging batched crash-restart schedules:" << details;
 }
 
+TEST(ScheduleExplorerTest, TracedSweepStaysByteIdentical) {
+  // Acceptance bar for the tracing tentpole: turning the tracer on (with a
+  // seed-derived sampling period) must not perturb replication — concurrent
+  // replay still byte-equals serial replay on every seed. The explorer also
+  // fails any sampled schedule whose flight recorder stayed empty, so this
+  // cannot pass by tracing silently never engaging.
+  ScheduleExplorerOptions options;
+  options.base_seed = 1;
+  options.schedules = SeedsFromEnv(200);
+  options.txns_per_schedule = 30;
+  options.audit_every = 8;
+  options.traced = true;
+
+  ScheduleExplorer explorer(options);
+  ScheduleReport report = explorer.Run();
+  SCOPED_TRACE(report.Summary());
+
+  EXPECT_EQ(report.schedules_run, options.schedules);
+  std::string details;
+  for (const ScheduleFailure& failure : report.failures) {
+    details +=
+        "\n  seed " + std::to_string(failure.seed) + ": " + failure.detail;
+  }
+  EXPECT_TRUE(report.ok()) << "diverging traced schedules:" << details;
+  EXPECT_GT(report.conflicts + report.restarts, 0);
+}
+
 TEST(ScheduleExplorerTest, BatchedSeedIsReproducible) {
   ScheduleExplorer explorer({.schedules = 0, .batched_apply = true});
   TXREP_EXPECT_OK(explorer.RunOne(42));

@@ -1,0 +1,108 @@
+// Wire-format tests for the trace context in the log codec: the trace
+// identity must round-trip exactly, reserved flag bits must be rejected, and
+// the batch checksum must catch every single-byte flip, every truncation and
+// trailing junk (the recov manifest's corruption bar, applied to replication
+// messages).
+
+#include <string>
+#include <vector>
+
+#include "codec/log_codec.h"
+#include "gtest/gtest.h"
+#include "rel/txlog.h"
+#include "trace/context.h"
+
+namespace txrep::codec {
+namespace {
+
+using rel::Value;
+
+rel::LogTransaction MakeTxn(uint64_t lsn, int64_t commit_micros,
+                            uint64_t trace_id, bool sampled) {
+  rel::LogTransaction txn;
+  txn.lsn = lsn;
+  txn.commit_micros = commit_micros;
+  txn.trace.trace_id = trace_id;
+  txn.trace.sampled = sampled;
+  txn.ops.push_back(rel::LogOp{rel::LogOpType::kInsert, "ITEM", Value::Int(1),
+                               {Value::Int(1), Value::Str("a")}});
+  txn.ops.push_back(rel::LogOp{rel::LogOpType::kDelete, "ITEM", Value::Int(2),
+                               {}});
+  return txn;
+}
+
+TEST(TraceCodecTest, TraceContextRoundTrip) {
+  const std::vector<rel::LogTransaction> batch = {
+      MakeTxn(1, 111, 1, true),
+      MakeTxn(2, -5, 0, false),            // Unsampled, zero id.
+      MakeTxn(3, 222, 1ULL << 62, true),   // Large trace id (varint width).
+      MakeTxn(4, 333, 77, false),          // Id without the sampled bit.
+  };
+  Result<std::vector<rel::LogTransaction>> decoded =
+      DecodeLogBatch(EncodeLogBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].lsn, batch[i].lsn);
+    EXPECT_EQ((*decoded)[i].commit_micros, batch[i].commit_micros);
+    EXPECT_EQ((*decoded)[i].trace.trace_id, batch[i].trace.trace_id)
+        << "txn " << i;
+    EXPECT_EQ((*decoded)[i].trace.sampled, batch[i].trace.sampled)
+        << "txn " << i;
+  }
+}
+
+TEST(TraceCodecTest, ReservedFlagBitsRejected) {
+  // Encode a single unsampled transaction, find its flag byte (right after
+  // the trace_id varint) and set a reserved bit: decode must fail rather
+  // than silently carry unknown semantics forward.
+  rel::LogTransaction txn = MakeTxn(9, 42, 5, false);
+  std::string one;
+  AppendLogTransaction(one, txn);
+  // Layout: varint lsn (1 byte for 9), zigzag commit (1 byte for 42),
+  // varint trace_id (1 byte for 5), then the flag byte.
+  ASSERT_GT(one.size(), 3u);
+  one[3] = static_cast<char>(0x80);
+  std::string_view view = one;
+  Result<rel::LogTransaction> decoded = GetLogTransaction(&view);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption())
+      << decoded.status().ToString();
+}
+
+TEST(TraceCodecTest, BatchChecksumCatchesEverything) {
+  const std::string encoded =
+      EncodeLogBatch({MakeTxn(1, 100, 1, true), MakeTxn(2, 200, 2, false)});
+
+  ASSERT_TRUE(DecodeLogBatch(encoded).ok());
+
+  // Any single-byte flip must be detected.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string bad = encoded;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(DecodeLogBatch(bad).ok())
+        << "flip at offset " << i << " went undetected";
+  }
+  // Truncation at every offset must be detected.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_FALSE(DecodeLogBatch(std::string_view(encoded).substr(0, i)).ok())
+        << "truncation to " << i << " bytes went undetected";
+  }
+  // Trailing junk must be detected too.
+  EXPECT_FALSE(DecodeLogBatch(encoded + "x").ok());
+}
+
+TEST(TraceCodecTest, EmptyBatchRoundTripsAndIsChecksummed) {
+  const std::string encoded = EncodeLogBatch({});
+  Result<std::vector<rel::LogTransaction>> decoded = DecodeLogBatch(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string bad = encoded;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(DecodeLogBatch(bad).ok()) << "flip at offset " << i;
+  }
+}
+
+}  // namespace
+}  // namespace txrep::codec
