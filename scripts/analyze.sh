@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the txrep-analyze suite (tools/analyze/) over src/: determinism audit,
+# Status-discard, lock-annotation completeness, blocking-under-lock.
+#
+# The analyzer is pure Python. Its reference backend is a structural parser
+# that needs no compiler; when python3-clang + libclang are installed the
+# libclang backend refines declared types from the real AST (--backend auto
+# picks it up automatically). A compile_commands.json is used for TU
+# discovery when present (pass the build dir as $1 or in TXREP_COMPDB_DIR)
+# but is not required.
+#
+# Exits non-zero listing every diagnostic not covered by
+# tools/analyze/baseline.json. See DESIGN.md §12 for the rule catalog,
+# waiver syntax, and the baseline ratchet policy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "analyze: SKIP (python3 not found)"
+  exit 0
+fi
+
+compdb_dir="${1:-${TXREP_COMPDB_DIR:-build}}"
+args=()
+if [[ -f "${compdb_dir}/compile_commands.json" ]]; then
+  args+=(--compdb "${compdb_dir}")
+fi
+
+exec python3 tools/analyze/txrep-analyze "${args[@]}"

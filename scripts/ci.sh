@@ -17,6 +17,10 @@
 #                (SKIP when clang++ is not installed)
 #   tidy         clang-tidy with the checked-in .clang-tidy
 #                (SKIP when clang-tidy is not installed)
+#   analyze      tools/analyze/txrep-analyze: determinism audit,
+#                Status-discard, lock-annotation completeness,
+#                blocking-under-lock + its fixture/lint-regression tests
+#                (SKIP when python3 is not installed)
 #   lint         scripts/lint.sh (raw-mutex & metric-name rules)
 #
 # Each flavor builds into its own build-<flavor>/ tree so nothing disturbs
@@ -109,6 +113,19 @@ run_tidy() {
   note tidy PASS
 }
 
+run_analyze() {
+  echo "=== analyze: txrep-analyze rule families over src/ ==="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "analyze: SKIP (python3 not installed)"
+    note analyze "SKIP (no python3)"
+    return 0
+  fi
+  python3 tools/analyze/tests/run_fixture_tests.py
+  python3 tools/analyze/tests/run_lint_regression.py
+  scripts/analyze.sh build
+  note analyze PASS
+}
+
 run_lint() {
   echo "=== lint: project grep rules ==="
   scripts/lint.sh
@@ -122,6 +139,7 @@ run_matrix() {
   run_debug_checks
   run_annotations
   run_tidy
+  run_analyze
   run_lint
   print_summary
 }

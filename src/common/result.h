@@ -17,7 +17,7 @@ namespace txrep {
 ///   if (!row.ok()) return row.status();
 ///   Use(row.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return my_row;`
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

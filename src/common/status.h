@@ -31,7 +31,7 @@ std::string_view StatusCodeName(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message. `Status` is cheap to copy for the OK case and small enough to
 /// return by value everywhere.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

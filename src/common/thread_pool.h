@@ -56,8 +56,11 @@ class ThreadPool {
   bool SubmitInternal(std::function<void()> task, bool urgent);
   void WorkerLoop();
 
+  // analyze: lock-free(BlockingQueue is internally synchronized)
   BlockingQueue<std::function<void()>> queue_;
+  // analyze: lock-free(populated in ctor, joined in Shutdown; workers never touch it)
   std::vector<std::thread> threads_;
+  // analyze: lock-free(set in ctor, immutable afterwards)
   std::string name_;
 
   check::Mutex idle_mu_{"thread_pool.idle"};

@@ -58,6 +58,7 @@ TicketApplier::TicketApplier(kv::KvStore* store,
 }
 
 TicketApplier::~TicketApplier() {
+  // analyze: discard(destructor drain; nothing to return a timeout to)
   (void)WaitIdle();
   pool_->Shutdown();
 }

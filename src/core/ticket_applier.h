@@ -109,11 +109,17 @@ class TicketApplier {
                  std::shared_ptr<rel::LogTransaction> txn,
                  std::shared_ptr<std::vector<std::string>> tables);
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   kv::KvStore* store_;                     // Not owned.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   const qt::QueryTranslator* translator_;  // Not owned.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   trace::Tracer* tracer_;                  // Not owned; may be null.
+  // analyze: lock-free(BatchDispatcher is internally synchronized)
   BatchDispatcher dispatcher_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<ThreadPool> pool_;
+  // analyze: lock-free(LockManager owns its own (keyed) mutexes)
   LockManager locks_;
 
   mutable check::Mutex mu_{"ticket.mu"};

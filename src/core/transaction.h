@@ -65,21 +65,29 @@ class Transaction {
   /// Signals completion to Wait()ers. Called exactly once.
   void Finish(Status status);
 
+  // analyze: lock-free(owned by one pipeline stage at a time; queue handoff orders access)
   TxnState state = TxnState::kActive;
   /// Logical stamp at (re-)execution start. Atomic because the executing
   /// thread stamps it lock-free while the GC pass reads it under the
   /// controller mutex.
   std::atomic<uint64_t> start_time{0};
+  // analyze: lock-free(written at commit eval, read downstream; staged handoff orders access)
   uint64_t commit_time = 0;    // Logical stamp at commit.
+  // analyze: lock-free(written by the completing stage only)
   uint64_t complete_time = 0;  // Logical stamp after apply.
+  // analyze: lock-free(written during execute, read after handoff)
   Status execution_status;     // Outcome of the last body run.
+  // analyze: lock-free(built during execute; read-only once the txn is queued)
   std::unique_ptr<TxnBuffer> buffer;  // Rebuilt on every (re-)execution.
   /// Table-class Bloom signature of the last execution's key sets (paper §7
   /// transaction-classes optimization; see ClassSignature).
+  // analyze: lock-free(built during execute; read-only once the txn is queued)
   ClassSignature class_signature;
   /// Transactions parked on this one: restarted when it completes
   /// (Algorithm 1 line 11 / 25).
+  // analyze: lock-free(guarded by the manager's commit-eval serialization, not a member mutex)
   std::vector<std::shared_ptr<Transaction>> restart_list;
+  // analyze: lock-free(guarded by the manager's commit-eval serialization, not a member mutex)
   int restart_count = 0;
 
   /// Wall-clock stamps for pipeline stage latency (0 when unknown):
@@ -89,18 +97,24 @@ class Transaction {
   /// enqueue_micros when the execution result enters the CommitReqPQ;
   /// commit_wall_micros when Algorithm 1 reaches the commit decision (the
   /// apply span origin).
+  // analyze: lock-free(timestamp stamped by exactly one stage)
   int64_t db_commit_micros = 0;
+  // analyze: lock-free(timestamp stamped by exactly one stage)
   int64_t submit_micros = 0;
+  // analyze: lock-free(timestamp stamped by exactly one stage)
   int64_t enqueue_micros = 0;
+  // analyze: lock-free(timestamp stamped by exactly one stage)
   int64_t commit_wall_micros = 0;
 
   /// Trace identity of the shipped update transaction (unsampled default
   /// for read-only transactions); set at submission, read-only afterwards.
+  // analyze: lock-free(span context; written by the owning stage only)
   trace::TraceContext trace;
 
   /// Commit LSN of the shipped update transaction this one replays (0 for
   /// read-only transactions). The TM folds it into last_applied_lsn() when
   /// the transaction completes — the basis of checkpoint snapshot epochs.
+  // analyze: lock-free(assigned once at log append, immutable afterwards)
   uint64_t lsn = 0;
 
  private:

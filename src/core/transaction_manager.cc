@@ -67,6 +67,7 @@ void TransactionManager::WireMetrics(obs::MetricsRegistry* metrics) {
 }
 
 TransactionManager::~TransactionManager() {
+  // analyze: discard(destructor drain; nothing to return a timeout to)
   (void)WaitIdle();
   {
     check::MutexLock lock(&mu_);

@@ -242,43 +242,72 @@ class TransactionManager {
   /// before any thread starts.
   void WireMetrics(obs::MetricsRegistry* metrics);
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   kv::KvStore* store_;                      // Not owned.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   const qt::QueryTranslator* translator_;   // Not owned.
   const TmOptions options_;
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   trace::Tracer* tracer_;      // Not owned; may be null.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   trace::SloWatchdog* slo_;    // Not owned; may be null.
+  // analyze: lock-free(LogicalClock is internally synchronized (atomic))
   LogicalClock clock_;
 
   /// Private fallback registry when the caller injects none (declared before
   /// the pools/threads so instruments outlive every user).
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_submitted_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_read_only_submitted_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_committed_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_completed_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_conflicts_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_restarts_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_apply_retries_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_gc_runs_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_gc_removed_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_conflict_checks_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_class_filter_skips_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_stage_execute_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_stage_commit_eval_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_stage_apply_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_stage_e2e_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_txn_restarts_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Gauge* g_pq_depth_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Gauge* g_top_backlog_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Gauge* g_bottom_backlog_ = nullptr;
 
   /// Bottom-pool write-set dispatcher (created after WireMetrics so it can
   /// resolve its instruments from the same registry).
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<BatchDispatcher> dispatcher_;
 
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<ThreadPool> top_pool_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<ThreadPool> bottom_pool_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<ThreadPool> gc_pool_;  // Single thread: async Algorithm 2.
 
   mutable check::Mutex mu_{"tm.mu"};
@@ -303,6 +332,7 @@ class TransactionManager {
   uint64_t last_applied_lsn_ TXREP_GUARDED_BY(mu_) = 0;
   Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
 
+  // analyze: lock-free(thread handle; started in ctor, joined in dtor only)
   std::thread controller_;
 };
 

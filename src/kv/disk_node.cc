@@ -314,11 +314,19 @@ Status DiskKvNode::Compact() {
     return Status::Unavailable("cannot create \"" + tmp_path +
                                "\": " + std::strerror(errno));
   }
-  for (const auto& [key, value] : map_) {
+  // The rewritten log is replica-visible state: a byte-for-byte comparison
+  // of two replicas' logs after compaction must succeed, so the records are
+  // emitted in sorted key order rather than hash order.
+  std::vector<const std::pair<const std::string, std::string>*> entries;
+  entries.reserve(map_.size());
+  for (const auto& entry : map_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
     std::string body;
     body.push_back(kTypePut);
-    codec::AppendLengthPrefixed(body, key);
-    codec::AppendLengthPrefixed(body, value);
+    codec::AppendLengthPrefixed(body, entry->first);
+    codec::AppendLengthPrefixed(body, entry->second);
     std::string record;
     codec::AppendLengthPrefixed(record, body);
     codec::AppendFixed64(record, codec::Fnv1a(body));

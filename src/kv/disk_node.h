@@ -116,18 +116,27 @@ class DiskKvNode : public KvStore {
   KvStoreStats stats_ TXREP_GUARDED_BY(mu_);
 
   // Registry instruments (null when the node runs unobserved).
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_gets_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_puts_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_deletes_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_get_misses_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_op_latency_ = nullptr;
   /// Time spent waiting to acquire mu_ (the disk node's queue: ops serialize
   /// on the single log/index lock, so lock wait is queue wait).
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_queue_wait_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_batch_size_ = nullptr;
   // Write-once during Open() (single-threaded), read-only afterwards — no
   // lock needed.
+  // analyze: lock-free(written only during single-threaded Open/recovery)
   size_t replayed_records_ = 0;
+  // analyze: lock-free(written only during single-threaded Open/recovery)
   size_t recovered_truncated_bytes_ = 0;
 };
 

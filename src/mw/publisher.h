@@ -74,8 +74,11 @@ class PublisherAgent {
  private:
   void PumpLoop();
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   rel::TxLog* log_;  // Not owned.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   Broker* broker_;   // Not owned.
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   trace::Tracer* tracer_;  // Not owned; may be null.
   const PublisherOptions options_;
 
@@ -84,9 +87,12 @@ class PublisherAgent {
   std::atomic<uint64_t> shipped_lsn_{0};
   std::atomic<int64_t> messages_published_{0};
   std::atomic<bool> running_{false};
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread pump_thread_;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_publish_latency_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_batch_size_ = nullptr;
 };
 

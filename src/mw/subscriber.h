@@ -85,8 +85,11 @@ class SubscriberAgent {
  private:
   void ReceiveLoop();
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   Broker::Subscription* subscription_;  // Owned by the broker.
+  // analyze: lock-free(set in ctor, immutable afterwards)
   TxnSink sink_;
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   trace::Tracer* tracer_;  // Not owned; may be null.
 
   mutable check::Mutex mu_{"subscriber.mu"};
@@ -98,9 +101,12 @@ class SubscriberAgent {
   bool stopped_ TXREP_GUARDED_BY(mu_) = false;
 
   std::atomic<bool> running_{true};
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread receive_thread_;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_txns_received_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_recv_latency_ = nullptr;
 };
 

@@ -47,13 +47,16 @@ class PeriodicReporter {
  private:
   void Loop();
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   const MetricsRegistry* registry_;  // Not owned.
   const int64_t interval_micros_;
+  // analyze: lock-free(set in ctor, immutable afterwards)
   Sink sink_;
 
   check::Mutex mu_{"reporter.mu"};
   check::CondVar cv_{&mu_};
   bool stop_ TXREP_GUARDED_BY(mu_) = false;
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread thread_;
 };
 

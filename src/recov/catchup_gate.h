@@ -55,7 +55,9 @@ class CatchupGate {
   uint64_t lag_ TXREP_GUARDED_BY(mu_) = 0;
   bool seen_update_ TXREP_GUARDED_BY(mu_) = false;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Gauge* lag_gauge_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* rejects_ = nullptr;
 };
 

@@ -142,12 +142,15 @@ void Database::Rollback(std::vector<UndoRecord>& undo) {
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     switch (it->type) {
       case LogOpType::kInsert:
+        // analyze: discard(rollback must unwind every record; a failed undo means state already diverged)
         (void)it->table->Delete(it->pk);
         break;
       case LogOpType::kUpdate:
+        // analyze: discard(restoring pre-image; rollback keeps going past a failed restore)
         (void)it->table->Update(it->pk, std::move(it->before));
         break;
       case LogOpType::kDelete:
+        // analyze: discard(re-inserting the deleted row; see kInsert above)
         (void)it->table->Insert(std::move(it->before));
         break;
     }

@@ -134,9 +134,12 @@ class SloWatchdog {
   double BurnRate(int64_t total, int64_t violations) const;
   void TriggerDump(const std::string& reason);
 
+  // analyze: lock-free(set in ctor, immutable afterwards)
   SloOptions options_;
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   Tracer* tracer_ = nullptr;
 
+  // analyze: lock-free(sized in ctor; per-bucket fields are atomics)
   std::vector<Bucket> buckets_;
   check::Mutex rotate_mu_{"trace.slo_rotate"};
 
@@ -153,13 +156,19 @@ class SloWatchdog {
   bool stall_active_ TXREP_GUARDED_BY(mu_) = false;
   bool burn_warned_ TXREP_GUARDED_BY(mu_) = false;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_violations_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_observations_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_stalls_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_dumps_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Gauge* g_burn_permille_ = nullptr;
 
   std::atomic<bool> stop_{false};
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread thread_;
 };
 

@@ -63,7 +63,9 @@ class Tracer {
   const TracerOptions& options() const { return options_; }
 
  private:
+  // analyze: lock-free(set in ctor, immutable afterwards)
   TracerOptions options_;
+  // analyze: lock-free(FlightRecorder owns its own mutex)
   FlightRecorder recorder_;
 
   mutable check::Mutex mu_{"trace.exemplars"};
@@ -71,8 +73,11 @@ class Tracer {
   std::array<std::vector<SpanEvent>, kNumSpanStages> exemplars_
       TXREP_GUARDED_BY(mu_);
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_sampled_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_spans_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_spans_dropped_ = nullptr;
 };
 

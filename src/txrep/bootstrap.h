@@ -125,18 +125,28 @@ class BootstrappedReplica {
   void CatchupLoop();
 
   /// Declared first so it is destroyed last (components hold instruments).
+  // analyze: lock-free(MetricsRegistry is internally synchronized)
   obs::MetricsRegistry registry_;
 
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
   TxRepSystem* system_;  // Not owned; must outlive this replica.
+  // analyze: lock-free(set in ctor, immutable afterwards)
   BootstrapOptions options_;
 
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<kv::KvCluster> cluster_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<core::SerialApplier> applier_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<qt::ReplicaReader> reader_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<recov::CatchupGate> gate_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<mw::SubscriberAgent> subscriber_;
 
+  // analyze: lock-free(set during single-threaded bootstrap phase)
   uint64_t bootstrap_lsn_ = 0;
+  // analyze: lock-free(set during single-threaded bootstrap phase)
   bool installed_checkpoint_ = false;
 
   /// Serializes ApplySink (subscriber thread) against nothing today — the
@@ -145,9 +155,12 @@ class BootstrappedReplica {
   check::Mutex apply_mu_{"txrep.bootstrap.apply"};
 
   std::atomic<bool> monitor_running_{false};
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread monitor_thread_;
+  // analyze: lock-free(set before monitor thread starts; read at teardown after join)
   bool detached_ = false;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   obs::Counter* c_tail_txns_ = nullptr;
 };
 

@@ -185,7 +185,7 @@ Result<recov::CheckpointStats> TxRepSystem::Checkpoint() {
     TXREP_RETURN_IF_ERROR(write());
   }
   if (options_.recovery.prune_old_checkpoints) {
-    // Best-effort: stale checkpoints are garbage, not corruption.
+    // analyze: discard(best-effort: stale checkpoints are garbage, not corruption)
     (void)checkpoint_writer_->Prune(result->epoch);
   }
   return result;
@@ -202,6 +202,7 @@ void TxRepSystem::LagLoop() {
     std::optional<LagProbe> probe = lag_queue_.Pop();
     if (!probe.has_value()) return;
     if (probe->handle != nullptr) {
+      // analyze: discard(lag probe only measures elapsed time; apply errors surface on the apply path itself)
       (void)probe->handle->Wait();
     }
     lag_histogram_.Record(NowMicros() - probe->commit_micros);
@@ -290,6 +291,7 @@ uint64_t TxRepSystem::TruncateReplicatedLog() {
   // an LSN handed to the subscriber may still be in flight, so wait for the
   // manager to drain before reading the watermark.
   if (tm_ != nullptr) {
+    // analyze: discard(drain before reading the watermark; on timeout the stale watermark just truncates less)
     (void)tm_->WaitIdle();
   }
   const uint64_t watermark = replica_lsn();

@@ -225,44 +225,66 @@ class TxRepSystem {
 
   /// Declared first so it is destroyed last: every component below holds
   /// instrument pointers into it.
+  // analyze: lock-free(MetricsRegistry is internally synchronized)
   obs::MetricsRegistry registry_;
 
+  // analyze: lock-free(set in ctor, immutable afterwards)
   TxRepOptions options_;
 
   /// Declared before the pipeline components (destroyed after them): the
   /// log, publisher, subscriber and appliers all record spans into it. The
   /// watchdog thread is stopped explicitly in the destructor before the
   /// appliers it probes go away.
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<trace::Tracer> tracer_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<trace::SloWatchdog> slo_;
 
+  // analyze: lock-free(Database owns its own mutex)
   rel::Database db_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<kv::KvCluster> cluster_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<qt::QueryTranslator> translator_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<qt::ReplicaReader> reader_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<core::TransactionManager> tm_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<core::SerialApplier> serial_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<mw::Broker> broker_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<mw::PublisherAgent> publisher_;
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<mw::SubscriberAgent> subscriber_;
 
+  // analyze: lock-free(Histogram is internally synchronized)
   Histogram lag_histogram_;
+  // analyze: lock-free(BlockingQueue is internally synchronized)
   BlockingQueue<LagProbe> lag_queue_;
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
   std::thread lag_thread_;
 
   /// Serializes serial-path applies against checkpointing: the subscriber
   /// sink holds it shared per transaction, Checkpoint() exclusively (the TM
   /// path has its own quiescent barrier instead).
   check::SharedMutex apply_gate_{"txrep.apply_gate"};
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<recov::CheckpointWriter> checkpoint_writer_;
 
+  // analyze: lock-free(mutated only in Start/Checkpoint on the control thread)
   uint64_t snapshot_lsn_ = 0;  // Transactions <= this came via the snapshot.
+  // analyze: lock-free(mutated only in Start/Stop on the control thread)
   bool started_ = false;
+  // analyze: lock-free(set once in Start before workers exist)
   bool resumed_from_checkpoint_ = false;
 
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
   Histogram* h_readonly_latency_ = nullptr;
 
   /// Declared last so it stops before anything it samples is destroyed.
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<obs::PeriodicReporter> reporter_;
 };
 

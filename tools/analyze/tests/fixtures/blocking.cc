@@ -1,0 +1,70 @@
+// fixture-path: src/core/blocking.cc
+// fixture-rules: blocking
+//
+// Blocking operations while a lock guard is live: file I/O, condition
+// waits that do not release the mutex, pool drains, and replication fan-out.
+// CondVar::Wait is exempt (it releases the mutex while parked); work after
+// the guard's scope closes is exempt.
+
+#include <cstdio>
+
+#include "check/mutex.h"
+
+namespace txrep::core {
+
+class Pool {
+ public:
+  common::Status WaitIdle();
+};
+
+class Cluster {
+ public:
+  common::Status MultiWrite(int batch);
+};
+
+class Archiver {
+ public:
+  void Persist() {
+    check::MutexLock lock(&mu_);
+    std::FILE* f = std::fopen("/tmp/archive", "wb");  // expect: lock-blocking-io
+    if (f != nullptr) std::fclose(f);  // expect: lock-blocking-io
+  }
+
+  void PersistOutside() {
+    {
+      check::MutexLock lock(&mu_);
+      dirty_ = false;
+    }
+    std::FILE* f = std::fopen("/tmp/archive", "wb");
+    if (f != nullptr) std::fclose(f);
+  }
+
+  void DrainUnderLock() {
+    check::MutexLock lock(&mu_);
+    cv_.Await(&mu_, [this] { return !dirty_; });  // expect: lock-blocking-wait
+  }
+
+  void DrainPoolUnderLock() {
+    check::MutexLock lock(&mu_);
+    (void)pool_.WaitIdle();  // expect: lock-blocking-wait
+  }
+
+  void CondVarWaitIsFine() {
+    check::MutexLock lock(&mu_);
+    while (dirty_) cv_.Wait(&mu_);
+  }
+
+  void FanOutUnderLock() {
+    check::MutexLock lock(&mu_);
+    (void)cluster_.MultiWrite(7);  // expect: lock-blocking-fanout
+  }
+
+ private:
+  check::Mutex mu_;
+  check::CondVar cv_;
+  bool dirty_ = false;
+  Pool pool_;
+  Cluster cluster_;
+};
+
+}  // namespace txrep::core

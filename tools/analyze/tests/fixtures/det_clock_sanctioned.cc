@@ -1,0 +1,15 @@
+// fixture-path: src/obs/clock_ok.cc
+// fixture-rules: determinism
+//
+// The observability layer is sanctioned for raw clocks: exporter timestamps
+// are not replica-visible state. No diagnostics expected.
+
+#include <chrono>
+
+namespace txrep::obs {
+
+long ExportStamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace txrep::obs

@@ -1,0 +1,24 @@
+// fixture-path: src/core/det_pointer_key.cc
+// fixture-rules: determinism
+//
+// Ordered containers keyed by pointers iterate in address order, which
+// differs across processes. Pointer *values* are fine; pointer *keys* are
+// not.
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace txrep::core {
+
+class Txn;
+
+class Scheduler {
+ private:
+  std::map<Txn*, int> priorities_;   // expect: det-pointer-key
+  std::set<const Txn*> blocked_;     // expect: det-pointer-key
+  std::map<int, Txn*> by_ticket_;    // pointer value, stable int key: fine
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace txrep::core

@@ -1,0 +1,66 @@
+// fixture-path: src/core/det_unordered.cc
+// fixture-rules: determinism
+//
+// Unordered-container iteration feeding replica-visible sinks on the apply
+// path. Ordered containers and order-insensitive loop bodies stay silent.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace txrep::core {
+
+class Store {
+ public:
+  void Put(const std::string& k, const std::string& v);
+};
+
+class Rebuilder {
+ public:
+  // Range-for over an unordered_map with a store mutation in the body.
+  void PublishAll(Store& store) {
+    for (const auto& [key, value] : live_) {  // expect: det-unordered-iter
+      store.Put(key, value);
+    }
+  }
+
+  // Same shape over an ordered std::map: deterministic, no diagnostic.
+  void PublishOrdered(Store& store) {
+    for (const auto& [key, value] : ordered_) {
+      store.Put(key, value);
+    }
+  }
+
+  // Unordered iteration whose body only accumulates a count: the result is
+  // order-insensitive, no sink call, no diagnostic.
+  void CountBytes() {
+    for (const auto& [key, value] : live_) {
+      total_ += value.size();
+    }
+  }
+
+  // Classic iterator loop over an unordered_set feeding push_back.
+  void DumpKeys(std::vector<std::string>& out) {
+    for (auto it = keys_.begin(); it != keys_.end(); ++it) {  // expect: det-unordered-iter
+      out.push_back(*it);
+    }
+  }
+
+  void TailOne(std::vector<std::string>& out);
+
+ private:
+  std::unordered_map<std::string, std::string> live_;
+  std::map<std::string, std::string> ordered_;
+  std::unordered_set<std::string> keys_;
+  unsigned long total_ = 0;
+};
+
+// Braceless loop body, out-of-line definition: member type resolution must
+// cross from the definition back to the class.
+void Rebuilder::TailOne(std::vector<std::string>& out) {
+  for (const auto& key : keys_) out.push_back(key);  // expect: det-unordered-iter
+}
+
+}  // namespace txrep::core

@@ -1,0 +1,42 @@
+// fixture-path: src/core/lock_guardedby.h
+// fixture-rules: lock-annotations
+//
+// A class owning a check::Mutex must say, for every mutable data member,
+// whether the mutex guards it (TXREP_GUARDED_BY), or why not (waiver).
+// Const, static, atomic, and lock-primitive members are exempt.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "check/annotations.h"
+#include "check/mutex.h"
+
+namespace txrep::core {
+
+class Ledger {
+ public:
+  void Append(int v);
+
+ private:
+  check::Mutex mu_;
+  check::CondVar cv_;
+  std::vector<int> entries_ TXREP_GUARDED_BY(mu_);
+  int* hot_slot_ TXREP_PT_GUARDED_BY(mu_);
+  const std::string name_ = "ledger";
+  static constexpr int kMaxEntries = 1024;
+  std::atomic<int> pending_{0};
+  // analyze: lock-free(set in ctor, immutable afterwards)
+  int capacity_ = 0;
+  int high_water_ = 0;  // expect: lock-guardedby-missing
+  std::vector<int> overflow_;  // expect: lock-guardedby-missing
+};
+
+// No mutex member: nothing is required of the members.
+class PlainBag {
+ private:
+  std::vector<int> items_;
+  int count_ = 0;
+};
+
+}  // namespace txrep::core

@@ -1,0 +1,41 @@
+// fixture-path: src/core/status_discard.cc
+// fixture-rules: status
+//
+// Void-casting a Status without a waiver, and binding a Status to a variable
+// that is never read. `[[nodiscard]]` catches plain expression-statement
+// drops at compile time; these are the two shapes it cannot see.
+
+#include "common/status.h"
+
+namespace txrep::core {
+
+class Flusher {
+ public:
+  common::Status Flush();
+  common::Status TryFlush();
+
+  void Teardown() {
+    (void)Flush();  // expect: status-discard
+  }
+
+  void TeardownWaived() {
+    // analyze: discard(teardown path; nothing to return the error to)
+    (void)Flush();
+  }
+
+  void TeardownCast() {
+    static_cast<void>(TryFlush());  // expect: status-discard
+  }
+
+  int CheckedUse() {
+    common::Status s = Flush();
+    if (!s.ok()) return 1;
+    return 0;
+  }
+
+  void BoundNeverRead() {
+    common::Status s = Flush();  // expect: status-unused
+  }
+};
+
+}  // namespace txrep::core

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Fixture tests for txrep-analyze.
+
+Each fixture under fixtures/ is a C++ file with three comment directives:
+
+  // fixture-path: src/core/foo.cc     where the file sits in the scratch tree
+                                       (rules key on path prefixes)
+  // fixture-rules: determinism        rule families to run (comma-separated)
+  ... code ...                         `// expect: rule-id` on each line that
+                                       must produce exactly that diagnostic
+
+For every fixture the runner builds a scratch repo, copies the fixture to its
+virtual path, runs the analyzer CLI (internal backend, no baseline), and
+asserts the *exact* set of (line, rule-id) diagnostics — extra diagnostics
+fail the test just like missing ones, and the process exit code must agree
+(non-zero iff diagnostics were expected).
+
+Baseline mechanics get their own cases at the bottom: a suppression hides a
+diagnostic, an empty note is an error, and a stale entry is an error (the
+ratchet is one-way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+CLI = os.path.join(TESTS_DIR, "..", "txrep-analyze")
+FIXTURES = os.path.join(TESTS_DIR, "fixtures")
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): (?P<rule>[a-z-]+): ")
+
+failures = []
+
+
+def check(name: str, cond: bool, detail: str = "") -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {name}" + (f": {detail}" if not cond and detail else ""))
+    if not cond:
+        failures.append(name)
+
+
+def parse_fixture(path: str):
+    virtual_path = None
+    families = "all"
+    expects = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = re.search(r"//\s*fixture-path:\s*(\S+)", line)
+            if m:
+                virtual_path = m.group(1)
+            m = re.search(r"//\s*fixture-rules:\s*(\S+)", line)
+            if m:
+                families = m.group(1)
+            for rule in re.findall(r"//\s*expect:\s*([a-z-]+)", line):
+                expects.add((lineno, rule))
+    if virtual_path is None:
+        raise RuntimeError(f"{path}: missing // fixture-path: directive")
+    return virtual_path, families, expects
+
+
+def run_cli(repo_root: str, extra_args):
+    proc = subprocess.run(
+        [sys.executable, CLI, "--repo-root", repo_root,
+         "--backend", "internal"] + extra_args,
+        capture_output=True, text=True)
+    diags = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return proc, diags
+
+
+def scratch_tree(fixture: str, virtual_path: str) -> str:
+    root = tempfile.mkdtemp(prefix="txrep-analyze-fixture-")
+    dst = os.path.join(root, virtual_path)
+    os.makedirs(os.path.dirname(dst), exist_ok=True)
+    shutil.copyfile(fixture, dst)
+    return root
+
+
+def run_fixture(fixture: str) -> None:
+    name = os.path.basename(fixture)
+    virtual_path, families, expects = parse_fixture(fixture)
+    root = scratch_tree(fixture, virtual_path)
+    try:
+        proc, diags = run_cli(root, ["--baseline", "none",
+                                     "--rules", families,
+                                     "--files", virtual_path])
+        actual = {(line, rule) for path, line, rule in diags
+                  if path == virtual_path}
+        missing = expects - actual
+        extra = actual - expects
+        check(f"{name}: diagnostics", not missing and not extra,
+              f"missing={sorted(missing)} extra={sorted(extra)}\n"
+              f"--- stdout ---\n{proc.stdout}")
+        want_rc = 1 if expects else 0
+        check(f"{name}: exit code {want_rc}", proc.returncode == want_rc,
+              f"got {proc.returncode}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def baseline_cases() -> None:
+    fixture = os.path.join(FIXTURES, "det_unordered.cc")
+    virtual_path, families, expects = parse_fixture(fixture)
+    root = scratch_tree(fixture, virtual_path)
+    try:
+        # A justified suppression hides every diagnostic it covers; with all
+        # three contexts suppressed the run is green.
+        contexts = ["Rebuilder::PublishAll", "Rebuilder::DumpKeys",
+                    "Rebuilder::TailOne"]
+        baseline = {"suppressions": [
+            {"rule": "det-unordered-iter", "file": virtual_path,
+             "context": c, "note": "fixture: proven order-insensitive"}
+            for c in contexts]}
+        bl = os.path.join(root, "baseline.json")
+        with open(bl, "w", encoding="utf-8") as f:
+            json.dump(baseline, f)
+        proc, diags = run_cli(root, ["--baseline", bl, "--rules", families,
+                                     "--files", virtual_path])
+        check("baseline: suppressions silence diagnostics",
+              proc.returncode == 0 and not diags,
+              f"rc={proc.returncode}\n{proc.stdout}")
+
+        # An empty note is a baseline error even though the diagnostic is
+        # matched: suppressions must say *why*.
+        baseline["suppressions"][0]["note"] = ""
+        with open(bl, "w", encoding="utf-8") as f:
+            json.dump(baseline, f)
+        proc, _ = run_cli(root, ["--baseline", bl, "--rules", families,
+                                 "--files", virtual_path])
+        check("baseline: empty note is an error", proc.returncode != 0,
+              proc.stdout)
+
+        # A stale entry (matches nothing) is an error: the ratchet only
+        # tightens, so fixed findings must leave the baseline.
+        baseline["suppressions"][0] = {
+            "rule": "det-unordered-iter", "file": virtual_path,
+            "context": "Rebuilder::NoSuchFunction", "note": "stale"}
+        with open(bl, "w", encoding="utf-8") as f:
+            json.dump(baseline, f)
+        proc, _ = run_cli(root, ["--baseline", bl, "--rules", families,
+                                 "--files", virtual_path])
+        check("baseline: stale entry is an error", proc.returncode != 0,
+              proc.stdout)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main() -> int:
+    fixtures = sorted(
+        os.path.join(FIXTURES, f) for f in os.listdir(FIXTURES)
+        if f.endswith((".cc", ".h")))
+    if not fixtures:
+        print("no fixtures found", file=sys.stderr)
+        return 2
+    print(f"running {len(fixtures)} fixtures")
+    for fixture in fixtures:
+        run_fixture(fixture)
+    print("baseline mechanics")
+    baseline_cases()
+    if failures:
+        print(f"FAILED: {len(failures)} case(s): {failures}")
+        return 1
+    print("all fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

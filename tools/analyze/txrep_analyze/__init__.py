@@ -1,0 +1,13 @@
+"""txrep-analyze: AST-level analyzer suite for the txrep codebase.
+
+Four project-specific rule families (DESIGN.md §12):
+  1. determinism audit      — nondeterminism must not reach replica state
+  2. Status-discard         — what [[nodiscard]] cannot see
+  3. lock-annotation completeness — GUARDED_BY coverage, not just correctness
+  4. blocking-under-lock    — no I/O, unbounded waits, or fan-out in
+                              critical sections
+
+Entry point: tools/analyze/txrep-analyze (or `python3 -m txrep_analyze`).
+"""
+
+__version__ = "1.0"

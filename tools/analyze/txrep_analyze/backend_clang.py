@@ -1,0 +1,187 @@
+"""libclang backend: the same micro-AST, typed by the real compiler.
+
+When `clang.cindex` is importable (python3-clang + libclang installed), this
+backend replaces the internal structural parser's declared-type guesses with
+clang's resolved type spellings: class members, method return types, and
+function signatures come from the AST; function *bodies* still flow through
+the shared token-level scope analysis (body.py), so the rule engine is
+identical across backends and the fixture tests pin both to the same
+diagnostic sets.
+
+No clang plugin is built and no compiler is invoked; parsing happens
+in-process through the stable libclang C API.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .lexer import lex_file
+from .model import (ClassDecl, FunctionDef, MemberDecl, MethodDecl,
+                    TranslationUnit, VarDecl, normalize_type)
+
+_AVAILABLE: Optional[bool] = None
+
+
+def available() -> bool:
+    """True when clang.cindex imports and libclang actually loads."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from clang import cindex
+            cindex.Index.create()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_DEFAULT_ARGS = ["-x", "c++", "-std=c++20"]
+
+
+def parse_file(path: str, rel_path: str,
+               extra_args: Optional[List[str]] = None) -> TranslationUnit:
+    from clang import cindex
+
+    lexed = lex_file(path)
+    tu_model = TranslationUnit(path=rel_path, lexed=lexed)
+
+    src_root = _src_root(path)
+    args = list(_DEFAULT_ARGS)
+    if src_root:
+        args.append(f"-I{src_root}")
+    if extra_args:
+        args.extend(extra_args)
+
+    index = cindex.Index.create()
+    ctu = index.parse(path, args=args,
+                      options=cindex.TranslationUnit.PARSE_INCOMPLETE)
+
+    def in_main_file(cursor) -> bool:
+        loc = cursor.location
+        return loc.file is not None and \
+            os.path.realpath(loc.file.name) == os.path.realpath(path)
+
+    def qual_class_name(cursor) -> str:
+        parts = []
+        p = cursor
+        while p is not None and p.kind in (
+                cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL):
+            parts.insert(0, p.spelling)
+            p = p.semantic_parent
+        return "::".join(parts)
+
+    def field_annotations(cursor) -> List[str]:
+        # The TXREP_* macros expand to clang attributes; the spelling of the
+        # attribute cursors is implementation-shy, so read the raw tokens of
+        # the declaration extent and look for the macro names.
+        names = []
+        try:
+            for tok in cursor.get_tokens():
+                if tok.spelling in ("TXREP_GUARDED_BY", "TXREP_PT_GUARDED_BY",
+                                    "guarded_by", "pt_guarded_by"):
+                    names.append("TXREP_GUARDED_BY"
+                                 if "pt_" not in tok.spelling.lower()
+                                 or tok.spelling == "TXREP_GUARDED_BY"
+                                 else "TXREP_PT_GUARDED_BY")
+        except Exception:
+            pass
+        return names
+
+    def visit(cursor, class_stack: List[ClassDecl]):
+        for child in cursor.get_children():
+            kind = child.kind
+            if kind in (cindex.CursorKind.NAMESPACE,
+                        cindex.CursorKind.UNEXPOSED_DECL,
+                        cindex.CursorKind.LINKAGE_SPEC):
+                visit(child, class_stack)
+                continue
+            if not in_main_file(child):
+                continue
+            if kind in (cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL) and \
+                    child.is_definition():
+                cls = ClassDecl(name=qual_class_name(child),
+                                line=child.location.line)
+                tu_model.classes.append(cls)
+                class_stack.append(cls)
+                visit(child, class_stack)
+                class_stack.pop()
+                continue
+            if kind == cindex.CursorKind.FIELD_DECL and class_stack:
+                t = child.type
+                class_stack[-1].members.append(MemberDecl(
+                    name=child.spelling,
+                    type_text=normalize_type(t.spelling),
+                    line=child.location.line,
+                    annotations=field_annotations(child),
+                    is_static=False,
+                    is_const=t.is_const_qualified()))
+                continue
+            if kind == cindex.CursorKind.VAR_DECL and class_stack:
+                class_stack[-1].members.append(MemberDecl(
+                    name=child.spelling,
+                    type_text=normalize_type(child.type.spelling),
+                    line=child.location.line, is_static=True))
+                continue
+            if kind in (cindex.CursorKind.CXX_METHOD,
+                        cindex.CursorKind.FUNCTION_DECL,
+                        cindex.CursorKind.CONSTRUCTOR,
+                        cindex.CursorKind.DESTRUCTOR,
+                        cindex.CursorKind.FUNCTION_TEMPLATE):
+                ret = ""
+                if kind not in (cindex.CursorKind.CONSTRUCTOR,
+                                cindex.CursorKind.DESTRUCTOR):
+                    ret = normalize_type(child.result_type.spelling)
+                owner = ""
+                sp = child.semantic_parent
+                if sp is not None and sp.kind in (
+                        cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL):
+                    owner = qual_class_name(sp)
+                if class_stack and ret:
+                    class_stack[-1].methods.append(MethodDecl(
+                        child.spelling, ret, child.location.line))
+                if child.is_definition():
+                    fn = _make_function(child, owner, ret, lexed)
+                    if fn is not None:
+                        tu_model.functions.append(fn)
+                continue
+
+    def _make_function(cursor, owner: str, ret: str, lexed_file):
+        from clang import cindex
+        body_cursor = None
+        params: List[VarDecl] = []
+        for ch in cursor.get_children():
+            if ch.kind == cindex.CursorKind.PARM_DECL:
+                params.append(VarDecl(
+                    name=ch.spelling or "",
+                    type_text=normalize_type(ch.type.spelling),
+                    line=ch.location.line))
+            elif ch.kind == cindex.CursorKind.COMPOUND_STMT:
+                body_cursor = ch
+        if body_cursor is None:
+            return None
+        start = body_cursor.extent.start.line
+        end = body_cursor.extent.end.line
+        body = [t for t in lexed_file.tokens
+                if start <= t.line <= end and t.kind != "pp"]
+        name = cursor.spelling
+        qual = f"{owner}::{name}" if owner else name
+        return FunctionDef(name=name, qual_name=qual, owner=owner,
+                           return_type=ret, line=cursor.location.line,
+                           params=[p for p in params if p.name], body=body)
+
+    visit(ctu.cursor, [])
+    return tu_model
+
+
+def _src_root(path: str) -> Optional[str]:
+    """Nearest ancestor directory named `src` (include root for the repo)."""
+    d = os.path.dirname(os.path.realpath(path))
+    while d and d != os.path.dirname(d):
+        if os.path.basename(d) == "src":
+            return d
+        d = os.path.dirname(d)
+    return None

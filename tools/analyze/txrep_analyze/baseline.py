@@ -1,0 +1,100 @@
+"""Baseline / suppression file support.
+
+`tools/analyze/baseline.json` holds the reviewed, justified exceptions that
+let the analyzer land green and then *ratchet*: new diagnostics fail the
+build, removing code removes its entry (a stale entry is an error, so the
+baseline can only shrink or be consciously re-justified).
+
+Entry shape:
+  { "rule": "lock-blocking-io",
+    "file": "src/kv/disk_node.cc",
+    "context": "DiskKvNode::Put",          # enclosing function/class; "" = any
+    "note": "single-writer log holds mu_ across the append by design" }
+
+One entry suppresses every diagnostic of `rule` in `file` whose context
+matches — suppression is per critical-section/per-loop, not per token, so a
+justified blocking section does not need one entry per fwrite call.
+`note` is mandatory: an unexplained suppression is itself an error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .model import Diagnostic
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    file: str
+    context: str
+    note: str
+    hits: int = 0
+
+    def matches(self, d: Diagnostic) -> bool:
+        if self.rule != d.rule or self.file != d.path:
+            return False
+        return self.context == "" or self.context == d.context
+
+
+class Baseline:
+    def __init__(self, entries: List[BaselineEntry]):
+        self.entries = entries
+
+    @staticmethod
+    def load(path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                raw = json.load(f)
+        except FileNotFoundError:
+            return Baseline([])
+        entries = [BaselineEntry(rule=e["rule"], file=e["file"],
+                                 context=e.get("context", ""),
+                                 note=e.get("note", ""))
+                   for e in raw.get("suppressions", [])]
+        return Baseline(entries)
+
+    def apply(self, diags: List[Diagnostic]) -> Tuple[List[Diagnostic],
+                                                      List[str]]:
+        """Returns (unsuppressed diagnostics, baseline errors)."""
+        errors: List[str] = []
+        kept: List[Diagnostic] = []
+        for d in diags:
+            matched = False
+            for e in self.entries:
+                if e.matches(d):
+                    e.hits += 1
+                    matched = True
+                    break
+            if not matched:
+                kept.append(d)
+        for e in self.entries:
+            if not e.note.strip():
+                errors.append(
+                    f"baseline: entry {e.rule} @ {e.file} ({e.context or '*'})"
+                    " has no justification note")
+            if e.hits == 0:
+                errors.append(
+                    f"baseline: stale entry {e.rule} @ {e.file} "
+                    f"({e.context or '*'}) no longer matches anything — "
+                    "delete it (the ratchet only goes one way)")
+        return kept, errors
+
+    @staticmethod
+    def write(path: str, diags: List[Diagnostic]) -> None:
+        """Seeds a baseline from current diagnostics (notes left to fill)."""
+        seen = {}
+        for d in diags:
+            key = (d.rule, d.path, d.context)
+            seen.setdefault(key, 0)
+            seen[key] += 1
+        out = {"suppressions": [
+            {"rule": r, "file": f, "context": c,
+             "note": "TODO: justify or fix"}
+            for (r, f, c) in sorted(seen)]}
+        with open(path, "w", encoding="utf-8") as fobj:
+            json.dump(out, fobj, indent=2)
+            fobj.write("\n")

@@ -1,0 +1,425 @@
+"""Statement/scope analysis over function-body token slices.
+
+Shared by the rule families: builds a scope tree from a FunctionDef's body
+tokens, splits statements, extracts local declarations, recognizes range-for
+loops and call expressions, and resolves the declared type of simple
+expressions against locals, parameters, class members, and the project index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .lexer import ID, PUNCT, STR, Token
+from .model import FunctionDef, VarDecl, normalize_type
+from .parser import skip_balanced, skip_template_args
+
+
+@dataclass
+class Statement:
+    tokens: List[Token]
+
+    @property
+    def line(self) -> int:
+        return self.tokens[0].line if self.tokens else 0
+
+
+@dataclass
+class Scope:
+    """One brace scope. `header` holds the for/if/while control clause that
+    introduced it (empty for plain blocks and the function's own body)."""
+    header: List[Token] = field(default_factory=list)
+    statements: List["StmtOrScope"] = field(default_factory=list)
+    line: int = 0
+
+
+StmtOrScope = object  # Statement | Scope
+
+
+def build_scope(body: List[Token]) -> Scope:
+    """`body` includes the outer braces."""
+    inner = body[1:-1] if body and body[0].text == "{" else body
+    root = Scope(line=body[0].line if body else 0)
+    _fill_scope(root, inner, 0, len(inner))
+    return root
+
+
+def _fill_scope(scope: Scope, toks: List[Token], i: int, end: int) -> None:
+    stmt: List[Token] = []
+
+    def flush():
+        nonlocal stmt
+        if stmt:
+            scope.statements.append(Statement(tokens=stmt))
+            stmt = []
+
+    while i < end:
+        t = toks[i]
+        if t.kind == PUNCT and t.text == ";":
+            stmt.append(t)
+            flush()
+            i += 1
+            continue
+        if t.kind == PUNCT and t.text == "(":
+            close = skip_balanced(toks, i, "(", ")")
+            stmt.extend(toks[i:close])
+            i = close
+            continue
+        if t.kind == PUNCT and t.text == "{":
+            close = skip_balanced(toks, i, "{", "}")
+            # A `{` right after `=`, `,`, `(`, `return`, or an identifier that
+            # is part of an expression is an initializer — keep it in the
+            # statement. Otherwise it opens a nested scope whose header is
+            # the statement collected so far (if it is a control clause).
+            prev = stmt[-1] if stmt else None
+            is_init = prev is not None and (
+                (prev.kind == PUNCT and prev.text in ("=", ",", "(", "<")) or
+                (prev.kind == ID and prev.text == "return"))
+            if is_init:
+                stmt.extend(toks[i:close])
+                i = close
+                continue
+            child = Scope(header=list(stmt), line=toks[i].line)
+            _fill_scope(child, toks, i + 1, close - 1)
+            scope.statements.append(child)
+            stmt = []
+            i = close
+            continue
+        stmt.append(t)
+        i += 1
+    flush()
+
+
+def iter_scopes(scope: Scope):
+    """Yields every scope in the tree, root first."""
+    yield scope
+    for s in scope.statements:
+        if isinstance(s, Scope):
+            yield from iter_scopes(s)
+
+
+_TYPE_ONLY = {"const", "constexpr", "auto", "unsigned", "signed", "long",
+              "short", "int", "char", "bool", "float", "double", "void",
+              "size_t", "int64_t", "uint64_t", "int32_t", "uint32_t"}
+_NOT_DECL_STARTS = {"return", "if", "for", "while", "switch", "do", "else",
+                    "delete", "new", "throw", "break", "continue", "goto",
+                    "case", "default", "co_return", "co_await", "this",
+                    "sizeof", "static_cast", "dynamic_cast", "const_cast",
+                    "reinterpret_cast", "assert"}
+
+
+def parse_local_decl(stmt: Statement) -> Optional[VarDecl]:
+    """Recognizes `Type name;`, `Type name = init;`, `Type name(args);`,
+    `Type name{init};` and returns a VarDecl, else None."""
+    toks = [t for t in stmt.tokens if not (t.kind == PUNCT and t.text == ";")]
+    if len(toks) < 2:
+        return None
+    first = toks[0]
+    if first.kind != ID or first.text in _NOT_DECL_STARTS:
+        return None
+    if first.text.startswith("TXREP_"):
+        return None
+
+    # Find the end of the "type + name" prefix: the first top-level `=`, `(`,
+    # or `{` (initializer), or the whole statement.
+    depth = 0
+    cut = len(toks)
+    init_start = None
+    for k, t in enumerate(toks):
+        if t.kind == PUNCT and t.text == "<":
+            # Could be a template-arg list or a comparison; try to skip.
+            j = skip_template_args(toks, k)
+            if j > k + 1:
+                depth += 0  # consumed below by index jump trick
+        if t.kind == PUNCT and t.text in ("=", "(", "{") and depth == 0:
+            # `==` never appears as `=` token; `(` after an identifier at
+            # position>0 is a ctor call or function call.
+            cut = k
+            init_start = k
+            break
+    prefix = toks[:cut]
+    # Re-scan prefix treating <...> as part of the type.
+    k = 0
+    flat: List[Token] = []
+    while k < len(prefix):
+        t = prefix[k]
+        if t.kind == PUNCT and t.text == "<":
+            j = skip_template_args(prefix, k)
+            if j > k + 1:
+                flat.extend(prefix[k:j])
+                k = j
+                continue
+            return None  # comparison expression, not a decl
+        flat.append(t)
+        k += 1
+    prefix = flat
+    if len(prefix) < 2:
+        return None
+    name_tok = prefix[-1]
+    if name_tok.kind != ID or name_tok.text in _TYPE_ONLY:
+        return None
+    type_toks = prefix[:-1]
+    # The type must end in an identifier, `>`, `*`, `&`, or `::` chain —
+    # expression statements like `a.b(c)` have `.` before the "(", which
+    # normalize_type keeps and we reject here.
+    texts = [t.text for t in type_toks]
+    if any(t in (".", "->", "+", "-", "/", "==", "!=", "||", "&&", "!", "[",
+                 "]", "return") for t in texts):
+        return None
+    if not any(t.kind == ID for t in type_toks):
+        return None
+    init_text = ""
+    if init_start is not None:
+        init_text = " ".join(t.text for t in toks[init_start:])
+    return VarDecl(name=name_tok.text,
+                   type_text=normalize_type(" ".join(texts)),
+                   line=name_tok.line, init_text=init_text)
+
+
+@dataclass
+class CallSite:
+    callee: str              # method/function name
+    receiver: List[Token]    # tokens of the receiver chain ("" for free calls)
+    line: int
+    args_span: Tuple[int, int]  # token indices into the scanned slice
+
+
+def find_calls(toks: List[Token]) -> List[CallSite]:
+    """All `name(...)` call expressions in a token slice, including the
+    receiver chain tokens before a `.` / `->` / `::`."""
+    calls: List[CallSite] = []
+    for k, t in enumerate(toks):
+        if t.kind != PUNCT or t.text != "(" or k == 0:
+            continue
+        name_tok = toks[k - 1]
+        if name_tok.kind != ID:
+            continue
+        if name_tok.text in _NOT_DECL_STARTS or name_tok.text in (
+                "if", "for", "while", "switch", "catch"):
+            continue
+        # Receiver chain: walk back over `.`/`->`/`::` + id/)/] groups.
+        r_end = k - 1
+        j = r_end
+        while j - 1 >= 0:
+            sep = toks[j - 1]
+            if sep.kind == PUNCT and sep.text in (".", "->", "::"):
+                j -= 2 if j - 2 >= 0 else 1
+                continue
+            break
+        receiver = toks[j:r_end] if j < r_end else []
+        close = skip_balanced(toks, k, "(", ")")
+        calls.append(CallSite(callee=name_tok.text, receiver=receiver,
+                              line=name_tok.line, args_span=(k + 1, close - 1)))
+    return calls
+
+
+class TypeResolver:
+    """Resolves the declared type of simple expressions inside a function."""
+
+    def __init__(self, index, fn: FunctionDef, scope: Scope):
+        self.index = index
+        self.fn = fn
+        # All local decls in the whole body (scope-blind: name collisions
+        # across sibling scopes are rare in this codebase and harmless here).
+        self.locals = {}
+        # Range-for loop variables: name -> ranged-expression tokens, typed
+        # lazily as the container's element type.
+        self._range_vars = {}
+        self._resolving = set()
+        for s in iter_scopes(scope):
+            for st in s.statements:
+                if isinstance(st, Statement):
+                    d = parse_local_decl(st)
+                    if d:
+                        self.locals.setdefault(d.name, d)
+            d = range_for_decl(s)
+            if d is not None:
+                parts = range_for_parts(s)
+                if parts is not None:
+                    self._range_vars.setdefault(d.name, parts[1])
+        for p in fn.params:
+            self.locals.setdefault(p.name, p)
+
+    def type_of_name(self, name: str) -> str:
+        if name in self.locals:
+            return strip_decoration(self.locals[name].type_text)
+        if name in self._range_vars and name not in self._resolving:
+            self._resolving.add(name)
+            try:
+                container = self.type_of_expr(self._range_vars[name])
+            finally:
+                self._resolving.discard(name)
+            elem = element_type(container)
+            if elem:
+                return strip_decoration(elem)
+        member = self.index.member_type(self.fn.owner, name)
+        if member:
+            return strip_decoration(member)
+        return ""
+
+    def type_of_expr(self, toks: List[Token]) -> str:
+        """Declared type of `x`, `x.f()`, `x->f()`, `f()`, `x.m`, `*x`."""
+        toks = [t for t in toks if not (t.kind == PUNCT and t.text == "*")]
+        if not toks:
+            return ""
+        if len(toks) == 1 and toks[0].kind == ID:
+            return self.type_of_name(toks[0].text)
+        # tail call or member: resolve the base then follow one hop at a time.
+        parts = _split_chain(toks)
+        if not parts:
+            return ""
+        base = parts[0]
+        if len(base) == 1 and base[0].kind == ID:
+            cur = self.type_of_name(base[0].text)
+            if not cur and len(parts) > 1:
+                # Unqualified start — maybe a member fn call on *this.
+                cur = self.fn.owner
+        elif _is_call(base):
+            cur = self.index.method_return(self.fn.owner, base[0].text) or \
+                self.index.function_return(base[0].text)
+        else:
+            return ""
+        for part in parts[1:]:
+            if not cur:
+                return ""
+            cls = class_of(cur)
+            if _is_call(part):
+                cur = self.index.method_return(cls, part[0].text)
+            elif len(part) >= 1 and part[0].kind == ID:
+                cur = self.index.member_type(cls, part[0].text)
+            else:
+                return ""
+            cur = strip_decoration(cur or "")
+        return cur or ""
+
+
+def _split_chain(toks: List[Token]) -> List[List[Token]]:
+    """Splits `a.b().c` into [[a], [b, (, )], [c]]."""
+    parts: List[List[Token]] = []
+    cur: List[Token] = []
+    k = 0
+    while k < len(toks):
+        t = toks[k]
+        if t.kind == PUNCT and t.text in (".", "->"):
+            if cur:
+                parts.append(cur)
+            cur = []
+            k += 1
+            continue
+        if t.kind == PUNCT and t.text == "(":
+            close = skip_balanced(toks, k, "(", ")")
+            cur.append(t)
+            cur.append(toks[close - 1] if close - 1 < len(toks) else t)
+            k = close
+            continue
+        cur.append(t)
+        k += 1
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def _is_call(part: List[Token]) -> bool:
+    return len(part) >= 2 and part[0].kind == ID and part[1].text == "("
+
+
+def strip_decoration(type_text: str) -> str:
+    """Drops pointer stars from a normalized type for class lookups."""
+    return type_text.replace("*", " ").strip()
+
+
+def element_type(container_type: str) -> str:
+    """Element type of a sequence container: `std::vector<Stripe>` -> Stripe.
+    Associative containers return "" (their element is a pair; rules that
+    care match on the container type itself)."""
+    t = strip_decoration(container_type)
+    for wrapper in ("std::vector<", "std::deque<", "std::list<",
+                    "std::span<", "std::array<"):
+        if t.startswith(wrapper) and t.endswith(">"):
+            inner = t[len(wrapper):-1]
+            # std::array<T, N>: drop the count.
+            if wrapper == "std::array<" and "," in inner:
+                inner = inner.split(",")[0]
+            return inner.strip()
+    return ""
+
+
+def class_of(type_text: str) -> str:
+    """`std::unique_ptr<kv::KvCluster>` -> `kv::KvCluster`; `kv::KvStore *`
+    -> `kv::KvStore`; otherwise the outer type name."""
+    t = strip_decoration(type_text)
+    for wrapper in ("std::unique_ptr<", "std::shared_ptr<", "std::optional<"):
+        if t.startswith(wrapper) and t.endswith(">"):
+            t = t[len(wrapper):-1]
+    return t.strip()
+
+
+def range_for_decl(scope: Scope) -> Optional[VarDecl]:
+    """If `scope.header` is a range-for, returns the loop variable's decl
+    with type "" (unknown — comes from the ranged expression)."""
+    h = scope.header
+    if not (h and h[0].kind == ID and h[0].text == "for"):
+        return None
+    rng = range_for_parts(scope)
+    if rng is None:
+        return None
+    decl_toks, _ = rng
+    for k in range(len(decl_toks) - 1, -1, -1):
+        if decl_toks[k].kind == ID and decl_toks[k].text not in ("const",
+                                                                 "auto"):
+            return VarDecl(name=decl_toks[k].text, type_text="",
+                           line=decl_toks[k].line)
+    return None
+
+
+def range_for_parts(scope: Scope) -> Optional[Tuple[List[Token], List[Token]]]:
+    """For a range-for header `for (decl : expr)`, returns (decl, expr)."""
+    h = scope.header
+    if not (h and h[0].kind == ID and h[0].text == "for"):
+        return None
+    return header_range_for_parts(h)
+
+
+def statement_range_for(stmt: "Statement"):
+    """For a braceless loop statement `for (decl : expr) body;`, returns
+    (decl_tokens, expr_tokens, body_tokens), else None."""
+    toks = stmt.tokens
+    if not (toks and toks[0].kind == ID and toks[0].text == "for"):
+        return None
+    try:
+        open_k = next(k for k, t in enumerate(toks) if t.text == "(")
+    except StopIteration:
+        return None
+    close_k = skip_balanced(toks, open_k, "(", ")")
+    parts = header_range_for_parts(toks[:close_k])
+    if parts is None:
+        return None
+    return parts[0], parts[1], toks[close_k:]
+
+
+def header_range_for_parts(h: List[Token]):
+    """Splits `for ( decl : expr )` tokens into (decl, expr)."""
+    # Header tokens include `for ( ... )`.
+    try:
+        open_k = next(k for k, t in enumerate(h) if t.text == "(")
+    except StopIteration:
+        return None
+    close_k = skip_balanced(h, open_k, "(", ")") - 1
+    inner = h[open_k + 1:close_k]
+    depth = 0
+    for k, t in enumerate(inner):
+        if t.kind == PUNCT and t.text in ("(", "[", "{", "<"):
+            depth += 1
+        elif t.kind == PUNCT and t.text in (")", "]", "}", ">"):
+            depth -= 1
+        elif t.kind == PUNCT and t.text == ":" and depth == 0:
+            # Exclude `::` (lexed as its own token, so plain ':' is safe).
+            return inner[:k], inner[k + 1:]
+        elif t.kind == PUNCT and t.text == ";":
+            return None  # classic for
+    return None
+
+
+def tokens_text(toks: List[Token]) -> str:
+    return " ".join(t.text for t in toks if t.kind != STR or len(t.text) < 40)

@@ -1,0 +1,175 @@
+"""txrep-analyze driver: TU discovery, backend selection, rule dispatch.
+
+Translation units come from `compile_commands.json` when available (the
+canonical definition of "what we build"), filtered to the project's `src/`;
+headers under `src/` are always added, since three of the four rule families
+live mostly in headers. Without a compilation database the driver falls back
+to globbing — the internal backend is a structural parser and does not need
+compile flags, only file paths.
+
+Backends:
+  internal  pure-Python lexer + structural parser (always available, the
+            reference for fixture tests)
+  clang     libclang via `clang.cindex` refining declared types from the real
+            AST; used when importable, otherwise silently unavailable
+  auto      clang when importable, else internal
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from . import parser as internal_backend
+from .baseline import Baseline
+from .index import ProjectIndex
+from .model import Diagnostic, TranslationUnit
+from .rules import ALL_FAMILIES
+
+
+def discover_files(repo_root: str, compdb_dir: Optional[str],
+                   src_rel: str = "src") -> List[str]:
+    """Returns repo-relative paths of all TUs to analyze."""
+    files: List[str] = []
+    src_root = os.path.join(repo_root, src_rel)
+    if compdb_dir:
+        compdb = os.path.join(compdb_dir, "compile_commands.json")
+        if os.path.isfile(compdb):
+            with open(compdb, "r", encoding="utf-8") as f:
+                for entry in json.load(f):
+                    path = entry.get("file", "")
+                    if not os.path.isabs(path):
+                        path = os.path.join(entry.get("directory", ""), path)
+                    path = os.path.realpath(path)
+                    rel = os.path.relpath(path, repo_root)
+                    if rel.startswith(src_rel + os.sep) and \
+                            rel not in files and os.path.isfile(path):
+                        files.append(rel)
+    for dirpath, _, names in os.walk(src_root):
+        for name in sorted(names):
+            if name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                rel = os.path.relpath(os.path.join(dirpath, name), repo_root)
+                if rel not in files:
+                    files.append(rel)
+    return sorted(files)
+
+
+def select_backend(requested: str):
+    """Returns (parse_fn, backend_name)."""
+    if requested in ("clang", "auto"):
+        try:
+            from . import backend_clang
+            if backend_clang.available():
+                return backend_clang.parse_file, "clang"
+        except Exception:  # pragma: no cover - libclang quirks
+            if requested == "clang":
+                raise
+    if requested == "clang":
+        raise RuntimeError("libclang backend requested but clang.cindex is "
+                           "not importable")
+    return internal_backend.parse_file, "internal"
+
+
+def analyze(repo_root: str, files: List[str], backend,
+            families: List[str]) -> List[Diagnostic]:
+    tus: List[TranslationUnit] = []
+    index = ProjectIndex()
+    for rel in files:
+        tu = backend(os.path.join(repo_root, rel), rel.replace(os.sep, "/"))
+        tus.append(tu)
+        index.add_tu(tu)
+    diags: List[Diagnostic] = []
+    config = {}
+    for tu in tus:
+        for fam in families:
+            diags.extend(ALL_FAMILIES[fam].run(tu, index, config))
+    # De-duplicate (a header parsed once is enough; defensive all the same).
+    seen = set()
+    out = []
+    for d in sorted(diags, key=lambda d: (d.path, d.line, d.rule)):
+        key = (d.path, d.line, d.rule, d.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="txrep-analyze",
+        description="AST-level analyzer suite for the txrep codebase: "
+                    "determinism audit, Status-discard, lock-annotation "
+                    "completeness, blocking-under-lock.")
+    ap.add_argument("--repo-root", default=None,
+                    help="repository root (default: two levels above this "
+                         "script)")
+    ap.add_argument("--compdb", default=None,
+                    help="directory containing compile_commands.json")
+    ap.add_argument("--src", default="src", help="source subtree to analyze")
+    ap.add_argument("--backend", default="auto",
+                    choices=["auto", "clang", "internal"])
+    ap.add_argument("--rules", default="all",
+                    help="comma-separated rule families: determinism,status,"
+                         "lock-annotations,blocking (default: all)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: tools/analyze/baseline.json"
+                         " under the repo root; 'none' disables)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write the current diagnostic set as the baseline "
+                         "and exit 0")
+    ap.add_argument("--files", nargs="*", default=None,
+                    help="explicit repo-relative files (overrides discovery)")
+    args = ap.parse_args(argv)
+
+    repo_root = args.repo_root or os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..",
+                     ".."))
+
+    if args.files:
+        files = args.files
+    else:
+        files = discover_files(repo_root, args.compdb, args.src)
+    if not files:
+        print("txrep-analyze: no translation units found", file=sys.stderr)
+        return 2
+
+    backend, backend_name = select_backend(args.backend)
+    if args.rules == "all":
+        families = list(ALL_FAMILIES)
+    else:
+        families = [f.strip() for f in args.rules.split(",") if f.strip()]
+        unknown = [f for f in families if f not in ALL_FAMILIES]
+        if unknown:
+            print(f"txrep-analyze: unknown rule families {unknown}",
+                  file=sys.stderr)
+            return 2
+
+    diags = analyze(repo_root, files, backend, families)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(repo_root, "tools", "analyze",
+                                     "baseline.json")
+    if args.write_baseline:
+        Baseline.write(baseline_path, diags)
+        print(f"txrep-analyze: wrote {len(diags)} suppressions to "
+              f"{baseline_path}")
+        return 0
+
+    errors: List[str] = []
+    if baseline_path != "none":
+        baseline = Baseline.load(baseline_path)
+        diags, errors = baseline.apply(diags)
+
+    for d in diags:
+        print(d.render())
+    for e in errors:
+        print(e)
+    status = 1 if (diags or errors) else 0
+    print(f"txrep-analyze: {len(files)} files, backend={backend_name}, "
+          f"{len(diags)} diagnostic(s), {len(errors)} baseline error(s): "
+          f"{'FAILED' if status else 'OK'}")
+    return status

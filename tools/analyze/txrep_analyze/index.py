@@ -1,0 +1,97 @@
+"""Project-wide type index: classes, members, and return types.
+
+Built from every parsed translation unit (headers included) before rules run,
+so that a rule analyzing kv/disk_node.cc can resolve `writes_` declared in
+disk_node.h or the return type of `TxnBuffer::read_set()` declared in
+core/txn_buffer.h.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .model import ClassDecl, TranslationUnit
+
+
+class ProjectIndex:
+    def __init__(self):
+        self.classes: Dict[str, ClassDecl] = {}
+        # method name -> set of return types across all classes (for
+        # receiver-less resolution; only trusted when unambiguous).
+        self._method_returns: Dict[str, Set[str]] = {}
+        self._function_returns: Dict[str, str] = {}
+
+    def add_tu(self, tu: TranslationUnit) -> None:
+        for cls in tu.classes:
+            # Short name and qualified name both resolve; redefinitions
+            # (e.g. the same header parsed for .h and .cc) merge by richer.
+            existing = self.classes.get(cls.name)
+            if existing is None or len(cls.members) + len(cls.methods) > \
+                    len(existing.members) + len(existing.methods):
+                self.classes[cls.name] = cls
+            for m in cls.methods:
+                if m.return_type:
+                    self._method_returns.setdefault(m.name, set()).add(
+                        m.return_type)
+        for fn in tu.functions:
+            if fn.owner == "" and fn.return_type:
+                self._function_returns.setdefault(fn.name, fn.return_type)
+            if fn.return_type:
+                self._method_returns.setdefault(fn.name, set()).add(
+                    fn.return_type)
+
+    def find_class(self, name: str) -> Optional[ClassDecl]:
+        if not name:
+            return None
+        name = name.split("<")[0].strip()
+        if name in self.classes:
+            return self.classes[name]
+        # Try the unqualified tail: `kv::DiskKvNode` -> `DiskKvNode`.
+        tail = name.split("::")[-1]
+        if tail in self.classes:
+            return self.classes[tail]
+        for k, v in self.classes.items():
+            if k.endswith("::" + tail) or k == tail:
+                return v
+        return None
+
+    def member_type(self, cls_name: str, member: str) -> Optional[str]:
+        cls = self.find_class(cls_name)
+        if not cls:
+            return None
+        for m in cls.members:
+            if m.name == member:
+                return m.type_text
+        return None
+
+    def member_decl(self, cls_name: str, member: str):
+        cls = self.find_class(cls_name)
+        if not cls:
+            return None
+        for m in cls.members:
+            if m.name == member:
+                return m
+        return None
+
+    def method_return(self, cls_name: str, method: str) -> Optional[str]:
+        cls = self.find_class(cls_name)
+        if cls:
+            for m in cls.methods:
+                if m.name == method:
+                    return m.return_type or None
+        return None
+
+    def function_return(self, name: str) -> Optional[str]:
+        return self._function_returns.get(name)
+
+    def unambiguous_return(self, name: str) -> Optional[str]:
+        """Return type of `name` if *every* known declaration of that name
+        (any class, free functions) agrees. Used for receiver-less
+        resolution in the status-discard rule."""
+        types = set(self._method_returns.get(name, set()))
+        free = self._function_returns.get(name)
+        if free:
+            types.add(free)
+        if len(types) == 1:
+            return next(iter(types))
+        return None

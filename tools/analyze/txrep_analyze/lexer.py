@@ -1,0 +1,213 @@
+"""C++ lexer for txrep-analyze.
+
+Produces a token stream with comments lifted out as trivia (the rule engine
+consults them for `// analyze: ...` waivers). This is not a full preprocessor:
+macros are kept as identifier tokens (the project's annotation macros such as
+TXREP_GUARDED_BY are recognized *by name* downstream), and preprocessor
+directives are collapsed into single `pp` tokens so conditional-compilation
+regions are visible but not expanded.
+
+Handled correctly because rules depend on it:
+  - line ("//") and block ("/* */") comments, kept with line numbers;
+  - string literals including raw strings (R"delim( ... )delim"), char
+    literals, and escapes — a "for (" inside a string must not look like code;
+  - digraph-free modern C++ punctuation, longest-match (e.g. "->", "::",
+    "<<=", "...");
+  - line continuation inside preprocessor directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Dict
+
+# Token kinds.
+ID = "id"
+NUM = "num"
+STR = "str"
+CHAR = "char"
+PUNCT = "punct"
+PP = "pp"
+
+_PUNCTUATORS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "##", "{", "}", "[", "]", "(", ")", ";", ":", ",", ".", "?", "+",
+    "-", "*", "/", "%", "&", "|", "^", "~", "!", "=", "<", ">", "#",
+]
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+@dataclass
+class Comment:
+    line: int        # line the comment starts on
+    end_line: int    # line the comment ends on (== line for // comments)
+    text: str        # comment body without the // or /* */ markers
+
+
+class LexedFile:
+    """Token stream plus comment trivia for one source file."""
+
+    def __init__(self, tokens: List[Token], comments: List[Comment]):
+        self.tokens = tokens
+        self.comments = comments
+        # line -> comment text, for waiver lookups. A block comment maps every
+        # line it covers; later comments on a line win (rare, harmless).
+        self.comment_by_line: Dict[int, str] = {}
+        for c in comments:
+            for ln in range(c.line, c.end_line + 1):
+                prev = self.comment_by_line.get(ln, "")
+                self.comment_by_line[ln] = (prev + " " + c.text).strip()
+
+    def comment_near(self, line: int) -> str:
+        """Comment text attached to `line`: same line or the line above."""
+        return (self.comment_by_line.get(line, "") + " " +
+                self.comment_by_line.get(line - 1, "")).strip()
+
+
+def _is_id_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_id_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def lex(source: str) -> LexedFile:
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i, n, line = 0, len(source), 1
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Line comment.
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            if j == -1:
+                j = n
+            comments.append(Comment(line, line, source[i + 2:j].strip()))
+            i = j
+            continue
+
+        # Block comment.
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            if j == -1:
+                j = n - 2
+            body = source[i + 2:j]
+            start = line
+            line += body.count("\n")
+            comments.append(Comment(start, line, " ".join(body.split())))
+            i = j + 2
+            continue
+
+        # Preprocessor directive (only when '#' starts the logical line).
+        if ch == "#" and _at_line_start(tokens, line):
+            j = i
+            while j < n:
+                k = source.find("\n", j)
+                if k == -1:
+                    k = n
+                    j = n
+                    break
+                # Line continuation keeps the directive going.
+                if source[k - 1] == "\\" or (k >= 2 and source[k - 2:k] == "\\\r"):
+                    line += 1
+                    j = k + 1
+                    continue
+                j = k
+                break
+            tokens.append(Token(PP, " ".join(source[i:j].split()), line))
+            i = j
+            continue
+
+        # Raw string literal: (u8|u|U|L)? R"delim( ... )delim"
+        if ch == "R" and i + 1 < n and source[i + 1] == '"':
+            j = source.find("(", i + 2)
+            if j != -1:
+                delim = source[i + 2:j]
+                closer = ")" + delim + '"'
+                k = source.find(closer, j + 1)
+                if k != -1:
+                    text = source[i:k + len(closer)]
+                    tokens.append(Token(STR, text, line))
+                    line += text.count("\n")
+                    i = k + len(closer)
+                    continue
+
+        # String / char literal with escapes.
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == quote:
+                    break
+                if source[j] == "\n":  # unterminated; bail at line end
+                    break
+                j += 1
+            text = source[i:min(j + 1, n)]
+            tokens.append(Token(STR if quote == '"' else CHAR, text, line))
+            i = min(j + 1, n)
+            continue
+
+        # Identifier / keyword (string prefixes like u8"x" hit the quote path
+        # next round; treating the prefix as an id token is fine for rules).
+        if _is_id_start(ch):
+            j = i + 1
+            while j < n and _is_id_char(source[j]):
+                j += 1
+            tokens.append(Token(ID, source[i:j], line))
+            i = j
+            continue
+
+        # Number (incl. hex, digit separators, floats, suffixes).
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] in "._'" or
+                             (source[j] in "+-" and source[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUM, source[i:j], line))
+            i = j
+            continue
+
+        # Punctuation, longest match first.
+        for p in _PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # Unknown byte: skip (keeps the lexer total).
+
+    return LexedFile(tokens, comments)
+
+
+def _at_line_start(tokens: List[Token], line: int) -> bool:
+    """True when no token has been emitted yet on `line`."""
+    return not tokens or tokens[-1].line < line
+
+
+def lex_file(path: str) -> LexedFile:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return lex(f.read())

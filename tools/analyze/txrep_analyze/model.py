@@ -1,0 +1,121 @@
+"""Micro-AST shared by the internal and libclang backends.
+
+The rule engine runs on this model only, so both backends stay swappable.
+The model is deliberately coarse — declarations carry their type as
+*normalized text* rather than a resolved type graph — because the four rule
+families need (a) class membership, (b) declared-type text, (c) statement /
+scope structure of function bodies, and (d) comments for waivers, and nothing
+deeper. The libclang backend fills the same fields from real AST nodes; the
+internal backend reconstructs them from the token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .lexer import LexedFile, Token
+
+
+def normalize_type(text: str) -> str:
+    """Canonical spelling for declared-type comparisons.
+
+    Drops cv/ref/storage noise and whitespace so that
+    `const std::unordered_map<Key, Value>&` == `std::unordered_map<Key,Value>`.
+    """
+    out = []
+    for tok in text.replace("&", " ").replace("*", " * ").split():
+        if tok in ("const", "constexpr", "volatile", "mutable", "static",
+                   "inline", "typename", "struct", "class"):
+            continue
+        out.append(tok)
+    joined = " ".join(out)
+    for a, b in ((" <", "<"), ("< ", "<"), (" >", ">"), (" ,", ","),
+                 (", ", ","), (" ::", "::"), (":: ", "::"), (" (", "("),
+                 ("( ", "("), (" )", ")")):
+        while a in joined:
+            joined = joined.replace(a, b)
+    return joined
+
+
+@dataclass
+class MemberDecl:
+    """A data member of a class/struct."""
+    name: str
+    type_text: str          # normalized
+    line: int
+    annotations: List[str] = field(default_factory=list)  # macro names seen
+    is_static: bool = False
+    is_const: bool = False  # const or constexpr member
+
+
+@dataclass
+class MethodDecl:
+    """A member function declaration (body, if any, becomes a FunctionDef)."""
+    name: str
+    return_type: str        # normalized; "" for ctors/dtors/operators
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    name: str               # qualified with outer classes: "Outer::Inner"
+    line: int
+    members: List[MemberDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl:
+    """A local variable / parameter inside a function body."""
+    name: str
+    type_text: str          # normalized; "auto" stays "auto"
+    line: int
+    init_text: str = ""     # normalized text of the initializer, if simple
+
+
+@dataclass
+class FunctionDef:
+    """A function definition with its body as a raw token slice.
+
+    `body` includes the outer braces. `params` are VarDecls for parameters.
+    `owner` is the enclosing class name ("" for free functions).
+    """
+    name: str
+    qual_name: str          # "Class::Name" or "Name"
+    owner: str
+    return_type: str        # normalized
+    line: int
+    params: List[VarDecl] = field(default_factory=list)
+    body: List[Token] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit:
+    path: str               # repo-relative path
+    lexed: LexedFile
+    classes: List[ClassDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def find_class(self, name: str) -> Optional[ClassDecl]:
+        for c in self.classes:
+            if c.name == name or c.name.endswith("::" + name):
+                return c
+        return None
+
+
+@dataclass
+class Diagnostic:
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+    # Context for baseline keying: enclosing function/class, best effort.
+    context: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text

@@ -1,0 +1,497 @@
+"""Internal backend: build the micro-AST from the token stream alone.
+
+This is a *structural* C++ parser, not a conforming one. It understands
+exactly as much C++ as the rule families need — namespaces, class/struct
+bodies with data members, member annotations (TXREP_GUARDED_BY et al.),
+method declarations with return types, and function definitions with
+balanced-brace bodies — and it is deliberately forgiving: anything it cannot
+classify it skips without derailing the rest of the file. The libclang
+backend (backend_clang.py) produces the same model with compiler-grade
+fidelity when libclang is installed; fixture tests pin both to identical
+diagnostics on the constructs the rules exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .lexer import ID, PP, PUNCT, LexedFile, Token, lex_file
+from .model import (ClassDecl, FunctionDef, MemberDecl, MethodDecl,
+                    TranslationUnit, VarDecl, normalize_type)
+
+# Annotation macros that attach to member declarations.
+MEMBER_ANNOTATIONS = {"TXREP_GUARDED_BY", "TXREP_PT_GUARDED_BY"}
+# Macros that attach to function declarations; skipped when scanning heads.
+_FUNC_ANNOTATIONS = {
+    "TXREP_REQUIRES", "TXREP_REQUIRES_SHARED", "TXREP_ACQUIRE",
+    "TXREP_ACQUIRE_SHARED", "TXREP_RELEASE", "TXREP_RELEASE_SHARED",
+    "TXREP_TRY_ACQUIRE", "TXREP_EXCLUDES", "TXREP_ASSERT_CAPABILITY",
+    "TXREP_RETURN_CAPABILITY", "TXREP_ACQUIRED_AFTER",
+    "TXREP_ACQUIRED_BEFORE", "TXREP_NO_THREAD_SAFETY_ANALYSIS",
+    "TXREP_CAPABILITY", "TXREP_SCOPED_CAPABILITY",
+}
+_SKIP_HEAD_KEYWORDS = {"using", "friend", "typedef", "static_assert"}
+_BODY_INTRO = {")", "const", "override", "final", "noexcept", "&", "&&", ">",
+               "mutable", "try", "else", "do"}
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.i = 0
+
+    def eof(self) -> bool:
+        return self.i >= len(self.toks)
+
+    def peek(self, k: int = 0) -> Optional[Token]:
+        j = self.i + k
+        return self.toks[j] if j < len(self.toks) else None
+
+
+def skip_balanced(toks: List[Token], i: int, open_p: str, close_p: str) -> int:
+    """`toks[i]` is `open_p`; returns index one past its matching `close_p`."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == open_p:
+                depth += 1
+            elif t.text == close_p:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def skip_template_args(toks: List[Token], i: int) -> int:
+    """`toks[i]` is `<`; returns index one past the matching `>`.
+
+    Heuristic angle matching: treats `<`/`>` as brackets but aborts (returning
+    i+1) when it sees a token that cannot appear in a template-argument list,
+    so comparison expressions do not swallow the rest of the file.
+    """
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n:
+        t = toks[j]
+        if t.kind == PUNCT:
+            if t.text == "<":
+                depth += 1
+            elif t.text in (">", ">>"):
+                depth -= 2 if t.text == ">>" else 1
+                if depth <= 0:
+                    return j + 1
+            elif t.text in (";", "{", "}", "&&", "||"):
+                return i + 1  # not a template-arg list
+        j += 1
+    return i + 1
+
+
+def parse_file(path: str, rel_path: str) -> TranslationUnit:
+    lexed = lex_file(path)
+    tu = TranslationUnit(path=rel_path, lexed=lexed)
+    toks = [t for t in lexed.tokens if t.kind != PP]
+    _parse_decl_region(tu, toks, 0, len(toks), owner="")
+    return tu
+
+
+def _parse_decl_region(tu: TranslationUnit, toks: List[Token], i: int,
+                       end: int, owner: str) -> None:
+    """Parses a namespace/file-scope region in toks[i:end]."""
+    while i < end:
+        i = _parse_one_decl(tu, toks, i, end, owner)
+
+
+def _parse_one_decl(tu: TranslationUnit, toks: List[Token], i: int, end: int,
+                    owner: str) -> int:
+    t = toks[i]
+
+    if t.kind == PUNCT and t.text == ";":
+        return i + 1
+    if t.kind == PUNCT and t.text == "}":
+        return i + 1
+
+    if t.kind == ID and t.text == "template":
+        nxt = toks[i + 1] if i + 1 < end else None
+        if nxt and nxt.text == "<":
+            i = skip_template_args(toks, i + 1)
+            return _parse_one_decl(tu, toks, i, end, owner)
+        return i + 1
+
+    if t.kind == ID and t.text == "namespace":
+        j = i + 1
+        while j < end and not (toks[j].kind == PUNCT and toks[j].text in ("{", ";", "=")):
+            j += 1
+        if j < end and toks[j].text == "{":
+            close = skip_balanced(toks, j, "{", "}")
+            _parse_decl_region(tu, toks, j + 1, close - 1, owner)
+            return close
+        return j + 1
+
+    if t.kind == ID and t.text in ("class", "struct") and not _is_enum_class(toks, i):
+        return _parse_class(tu, toks, i, end, owner)
+
+    if t.kind == ID and t.text == "enum":
+        return _skip_to_block_or_semi(toks, i, end)
+
+    if t.kind == ID and t.text == "extern":
+        return i + 1
+
+    # Everything else at this scope: either a function definition (head ends
+    # with a body '{') or a simple declaration (ends with ';').
+    head, j, terminator = _collect_head(toks, i, end)
+    if terminator == "{":
+        close = skip_balanced(toks, j, "{", "}")
+        fn = _head_to_function(head, toks[j:close], owner)
+        if fn is not None:
+            tu.functions.append(fn)
+        return close
+    return j + 1 if terminator == ";" else j
+
+
+def _is_enum_class(toks: List[Token], i: int) -> bool:
+    return i > 0 and toks[i - 1].kind == ID and toks[i - 1].text == "enum"
+
+
+def _skip_to_block_or_semi(toks: List[Token], i: int, end: int) -> int:
+    while i < end:
+        t = toks[i]
+        if t.kind == PUNCT and t.text == "{":
+            i = skip_balanced(toks, i, "{", "}")
+            # trailing `;` (and possibly a variable name) handled by caller
+            return i
+        if t.kind == PUNCT and t.text == ";":
+            return i + 1
+        i += 1
+    return end
+
+
+def _collect_head(toks: List[Token], i: int, end: int) -> Tuple[List[Token], int, str]:
+    """Collects a declaration head up to a top-level `;` or a body `{`.
+
+    Brace initializers (`x_{0}`, `= {...}`, `Type{...}` temporaries) are
+    consumed into the head; only a `{` that plausibly opens a function body
+    terminates with "{".
+    """
+    head: List[Token] = []
+    while i < end:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == ";":
+                return head, i, ";"
+            if t.text == "(":
+                close = skip_balanced(toks, i, "(", ")")
+                head.extend(toks[i:close])
+                i = close
+                continue
+            if t.text == "[":
+                close = skip_balanced(toks, i, "[", "]")
+                head.extend(toks[i:close])
+                i = close
+                continue
+            if t.text == "{":
+                prev = head[-1] if head else None
+                if prev is not None and (prev.kind != PUNCT or prev.text not in
+                                         ("=", ",", "(", "<")) and \
+                        (prev.kind != ID or prev.text in _BODY_INTRO or
+                         _looks_like_macro(prev.text) or
+                         _head_is_definitely_function(head)):
+                    return head, i, "{"
+                # Brace initializer / aggregate init: swallow it.
+                close = skip_balanced(toks, i, "{", "}")
+                head.extend(toks[i:close])
+                i = close
+                continue
+            if t.text == "}":
+                return head, i, "}"
+        head.append(t)
+        i += 1
+    return head, i, ""
+
+
+def _looks_like_macro(text: str) -> bool:
+    return text.startswith("TXREP_") or (text.isupper() and "_" in text)
+
+
+def _head_is_definitely_function(head: List[Token]) -> bool:
+    """True when the head contains a parameter list `(...)` directly after an
+    identifier and no `=` at top level (so `Type name{init};` stays a var)."""
+    saw_call = False
+    for k, t in enumerate(head):
+        if t.kind == PUNCT and t.text == "=":
+            return False
+        if t.kind == PUNCT and t.text == "(" and k > 0 and head[k - 1].kind == ID:
+            saw_call = True
+    return saw_call
+
+
+def _parse_class(tu: TranslationUnit, toks: List[Token], i: int, end: int,
+                 owner: str) -> int:
+    """toks[i] is `class` or `struct`."""
+    j = i + 1
+    name = ""
+    # Scan to the class body '{', a ';' (fwd decl), or giving up.
+    while j < end:
+        t = toks[j]
+        if t.kind == PUNCT and t.text == ";":
+            return j + 1
+        if t.kind == PUNCT and t.text == "{":
+            break
+        if t.kind == PUNCT and t.text == ":":  # base clause: name is fixed
+            break
+        if t.kind == ID and not _looks_like_macro(t.text) and t.text not in (
+                "final", "alignas"):
+            name = t.text
+        if t.kind == PUNCT and t.text == "(":  # macro args e.g. TXREP_CAPABILITY("x")
+            j = skip_balanced(toks, j, "(", ")")
+            continue
+        j += 1
+    # Move to the '{'.
+    while j < end and not (toks[j].kind == PUNCT and toks[j].text == "{"):
+        if toks[j].kind == PUNCT and toks[j].text == ";":
+            return j + 1
+        j += 1
+    if j >= end:
+        return end
+    close = skip_balanced(toks, j, "{", "}")
+    qual = f"{owner}::{name}" if owner and name else name
+    cls = ClassDecl(name=qual or "<anon>", line=toks[i].line)
+    tu.classes.append(cls)
+    _parse_class_body(tu, cls, toks, j + 1, close - 1)
+    return close
+
+
+def _parse_class_body(tu: TranslationUnit, cls: ClassDecl, toks: List[Token],
+                      i: int, end: int) -> None:
+    while i < end:
+        t = toks[i]
+        if t.kind == ID and t.text in ("public", "private", "protected") and \
+                i + 1 < end and toks[i + 1].text == ":":
+            i += 2
+            continue
+        if t.kind == PUNCT and t.text == ";":
+            i += 1
+            continue
+        if t.kind == ID and t.text == "template":
+            nxt = toks[i + 1] if i + 1 < end else None
+            if nxt and nxt.text == "<":
+                i = skip_template_args(toks, i + 1)
+                continue
+            i += 1
+            continue
+        if t.kind == ID and t.text in ("class", "struct") and not _is_enum_class(toks, i):
+            i = _parse_class(tu, toks, i, end, owner=cls.name)
+            continue
+        if t.kind == ID and (t.text in _SKIP_HEAD_KEYWORDS or t.text == "enum"):
+            i = _skip_to_block_or_semi(toks, i, end)
+            continue
+
+        head, j, terminator = _collect_head(toks, i, end)
+        if terminator == "{":
+            close = skip_balanced(toks, j, "{", "}")
+            fn = _head_to_function(head, toks[j:close], owner=cls.name)
+            if fn is not None:
+                tu.functions.append(fn)
+                cls.methods.append(MethodDecl(fn.name, fn.return_type, fn.line))
+            i = close
+            continue
+        if terminator in (";", ""):
+            _classify_member_head(cls, head)
+            i = j + 1 if terminator == ";" else j
+            continue
+        i = j + 1  # stray '}' — let the caller's bounds end things
+
+
+def _strip_annotations(head: List[Token]) -> Tuple[List[Token], List[str]]:
+    """Removes TXREP_* annotation macros (with their arg lists) from a head."""
+    out: List[Token] = []
+    found: List[str] = []
+    k = 0
+    while k < len(head):
+        t = head[k]
+        if t.kind == ID and (t.text in MEMBER_ANNOTATIONS or
+                             t.text in _FUNC_ANNOTATIONS):
+            if t.text in MEMBER_ANNOTATIONS:
+                found.append(t.text)
+            k += 1
+            if k < len(head) and head[k].kind == PUNCT and head[k].text == "(":
+                k = skip_balanced(head, k, "(", ")")
+            continue
+        out.append(t)
+        k += 1
+    return out, found
+
+
+def _classify_member_head(cls: ClassDecl, head: List[Token]) -> None:
+    """A class-scope head ending in ';': method decl or data member."""
+    if not head:
+        return
+    head, annotations = _strip_annotations(head)
+    if not head:
+        return
+    first = head[0]
+    if first.kind == ID and first.text in _SKIP_HEAD_KEYWORDS:
+        return
+    if any(t.kind == ID and t.text == "operator" for t in head):
+        return  # operator declarations are never data members
+
+    # Method declaration: identifier directly followed by a top-level '('
+    # whose preceding tokens form the return type.
+    depth = 0
+    for k, t in enumerate(head):
+        if t.kind == PUNCT and t.text == "<":
+            depth += 1
+        elif t.kind == PUNCT and t.text in (">", ">>"):
+            depth -= 2 if t.text == ">>" else 1
+        elif depth <= 0 and t.kind == PUNCT and t.text == "(" and k > 0 and \
+                head[k - 1].kind == ID:
+            name_tok = head[k - 1]
+            ret = normalize_type(_tokens_text(head[:k - 1]))
+            if name_tok.text == "operator" or _looks_like_macro(name_tok.text):
+                return
+            # `= 0`, `= default` etc. after ')' are irrelevant here. But a
+            # head like `int x (5);`-style member is vanishingly rare — treat
+            # every id( at class scope as a method.
+            cls.methods.append(MethodDecl(name_tok.text, ret, name_tok.line))
+            return
+        elif depth <= 0 and t.kind == PUNCT and t.text == "=":
+            break  # initialized data member
+
+    # Data member: name is the last identifier before '=' / brace-init / end.
+    is_static = any(t.kind == ID and t.text == "static" for t in head)
+    cut = len(head)
+    for k, t in enumerate(head):
+        if t.kind == PUNCT and t.text == "=":
+            cut = k
+            break
+    # Trailing brace initializer was swallowed into the head; drop it.
+    while cut > 0 and head[cut - 1].kind == PUNCT and head[cut - 1].text == "}":
+        open_k = _matching_open(head, cut - 1)
+        if open_k is None:
+            break
+        cut = open_k
+    name_k = None
+    for k in range(cut - 1, -1, -1):
+        if head[k].kind == ID and head[k].text not in ("const", "constexpr",
+                                                       "mutable", "static"):
+            name_k = k
+            break
+    if name_k is None or name_k == 0:
+        return
+    type_toks = head[:name_k]
+    type_text = normalize_type(_tokens_text(type_toks))
+    if not type_text:
+        return
+    raw_type = _tokens_text(type_toks)
+    is_const = ("constexpr" in raw_type or
+                (" const" in f" {raw_type}" and "*" not in raw_type) or
+                raw_type.rstrip().endswith("const"))
+    cls.members.append(MemberDecl(
+        name=head[name_k].text, type_text=type_text, line=head[name_k].line,
+        annotations=annotations, is_static=is_static, is_const=is_const))
+
+
+def _matching_open(head: List[Token], close_k: int) -> Optional[int]:
+    depth = 0
+    for k in range(close_k, -1, -1):
+        t = head[k]
+        if t.kind == PUNCT and t.text == "}":
+            depth += 1
+        elif t.kind == PUNCT and t.text == "{":
+            depth -= 1
+            if depth == 0:
+                return k
+    return None
+
+
+def _head_to_function(head: List[Token], body: List[Token],
+                      owner: str) -> Optional[FunctionDef]:
+    """Builds a FunctionDef from a head that ended with a body '{'."""
+    head, _ = _strip_annotations(head)
+    if not head:
+        return None
+    # Find the parameter list: the first top-level '(' preceded by an
+    # identifier (or operator). Tokens before it = return type + name.
+    depth = 0
+    param_open = None
+    for k, t in enumerate(head):
+        if t.kind == PUNCT and t.text == "<":
+            depth += 1
+        elif t.kind == PUNCT and t.text in (">", ">>"):
+            depth -= 2 if t.text == ">>" else 1
+            depth = max(depth, 0)
+        elif depth == 0 and t.kind == PUNCT and t.text == "(" and k > 0:
+            prev = head[k - 1]
+            if prev.kind == ID and not _looks_like_macro(prev.text):
+                param_open = k
+                break
+    if param_open is None:
+        return None
+    name_tok = head[param_open - 1]
+    param_close = skip_balanced(head, param_open, "(", ")")
+    params = _parse_params(head[param_open + 1:param_close - 1])
+
+    # Qualified names: A::B(...) definitions out of line.
+    name = name_tok.text
+    qual_prefix = []
+    k = param_open - 2
+    while k >= 1 and head[k].kind == PUNCT and head[k].text == "::" and \
+            head[k - 1].kind == ID:
+        qual_prefix.insert(0, head[k - 1].text)
+        k -= 2
+    ret = normalize_type(_tokens_text(head[:k + 1]))
+    fn_owner = "::".join(qual_prefix) if qual_prefix else owner
+    if name == "operator":
+        return None
+    qual = f"{fn_owner}::{name}" if fn_owner else name
+    return FunctionDef(name=name, qual_name=qual, owner=fn_owner,
+                       return_type=ret, line=name_tok.line, params=params,
+                       body=body)
+
+
+def _parse_params(toks: List[Token]) -> List[VarDecl]:
+    params: List[VarDecl] = []
+    if not toks:
+        return params
+    # Split on top-level commas.
+    depth = 0
+    start = 0
+    groups: List[List[Token]] = []
+    for k, t in enumerate(toks):
+        if t.kind == PUNCT and t.text in ("<", "(", "[", "{"):
+            depth += 1
+        elif t.kind == PUNCT and t.text in (">", ")", "]", "}"):
+            depth -= 1
+        elif t.kind == PUNCT and t.text == ">>":
+            depth -= 2
+        elif t.kind == PUNCT and t.text == "," and depth <= 0:
+            groups.append(toks[start:k])
+            start = k + 1
+    groups.append(toks[start:])
+    for g in groups:
+        # Drop default arguments.
+        for k, t in enumerate(g):
+            if t.kind == PUNCT and t.text == "=":
+                g = g[:k]
+                break
+        if not g:
+            continue
+        name_k = None
+        for k in range(len(g) - 1, -1, -1):
+            if g[k].kind == ID and g[k].text not in ("const", "constexpr"):
+                name_k = k
+                break
+        if name_k is None or name_k == 0:
+            continue  # unnamed or type-only param
+        type_text = normalize_type(_tokens_text(g[:name_k]))
+        if type_text:
+            params.append(VarDecl(name=g[name_k].text, type_text=type_text,
+                                  line=g[name_k].line))
+    return params
+
+
+def _tokens_text(toks: List[Token]) -> str:
+    return " ".join(t.text for t in toks)

@@ -1,0 +1,29 @@
+"""Rule registry for txrep-analyze.
+
+Each rule module exports `run(tu, index, config) -> List[Diagnostic]`.
+Rule IDs are stable strings printed in diagnostics and used as baseline and
+`// expect:` keys:
+
+  determinism audit      det-unordered-iter, det-nondet-clock,
+                         det-nondet-rand, det-pointer-key
+  status discipline      status-discard, status-unused
+  lock discipline        lock-guardedby-missing
+  blocking under lock    lock-blocking-io, lock-blocking-wait,
+                         lock-blocking-fanout
+"""
+
+from . import blocking, determinism, lock_annotations, status_discard
+
+ALL_FAMILIES = {
+    "determinism": determinism,
+    "status": status_discard,
+    "lock-annotations": lock_annotations,
+    "blocking": blocking,
+}
+
+ALL_RULE_IDS = [
+    "det-unordered-iter", "det-nondet-clock", "det-nondet-rand",
+    "det-pointer-key", "status-discard", "status-unused",
+    "lock-guardedby-missing", "lock-blocking-io", "lock-blocking-wait",
+    "lock-blocking-fanout",
+]

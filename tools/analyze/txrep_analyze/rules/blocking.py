@@ -1,0 +1,129 @@
+"""Blocking-under-lock (rule family 4).
+
+A `check::MutexLock` (or writer/reader lock) pins every thread that contends
+on the same mutex for as long as the critical section runs. Blocking work
+inside that window is a latency bug at best and a lock-convoy/deadlock risk
+at worst — and on the apply path it serializes exactly the fan-out that the
+batched pipeline exists to parallelize. Three shapes are flagged while a lock
+guard is live in the enclosing scope chain:
+
+  lock-blocking-io       file I/O (fopen/fwrite/fsync/rename/... or an
+                         fstream constructed under the lock)
+  lock-blocking-wait     unbounded waits: CondVar::Await, pool WaitIdle,
+                         TaskHandle::Wait, SleepForMicros
+  lock-blocking-fanout   KV batch fan-out (MultiWrite/MultiPut/MultiDelete/
+                         MultiGet) — dispatches to a thread pool and waits
+
+Sites that hold the lock *by design* (DiskKvNode's single-writer log, the
+ticket applier's per-table order guarantee) are not waived inline — they are
+recorded in tools/analyze/baseline.json with a one-line justification so the
+list of "blocking sections we accept" stays reviewable in one place.
+`CondVar::Wait`/`WaitForMicros` are deliberately not flagged: they release
+the mutex while blocked, which is the whole point of a condition variable;
+`Await` is flagged because it hides an unbounded predicate loop at call sites
+that often did not mean to block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..body import (Scope, Statement, TypeResolver, build_scope, class_of,
+                    find_calls, iter_scopes, parse_local_decl)
+from ..lexer import ID, Token
+from ..model import Diagnostic, TranslationUnit
+
+_LOCK_GUARD_TYPES = {
+    "check::MutexLock", "MutexLock", "check::WriterMutexLock",
+    "WriterMutexLock", "check::ReaderMutexLock", "ReaderMutexLock",
+}
+
+_IO_CALLEES = {
+    "fopen", "fclose", "fread", "fwrite", "fflush", "fsync", "fdatasync",
+    "ftruncate", "rename", "unlink", "remove", "open", "close", "pread",
+    "pwrite", "mkdir", "opendir", "readdir",
+}
+_IO_TYPES = ("std::ofstream", "std::ifstream", "std::fstream", "ofstream",
+             "ifstream", "fstream")
+_WAIT_CALLEES = {"Await", "WaitIdle", "SleepForMicros"}
+_FANOUT_CALLEES = {"MultiWrite", "MultiPut", "MultiDelete", "MultiGet"}
+
+
+def run(tu: TranslationUnit, index, config) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for fn in tu.functions:
+        if not fn.body:
+            continue
+        root = build_scope(fn.body)
+        resolver = TypeResolver(index, fn, root)
+        _walk(tu, fn, resolver, index, root, lock_live=False, diags=diags)
+    return diags
+
+
+def _walk(tu, fn, resolver, index, scope: Scope, lock_live: bool,
+          diags: List[Diagnostic]) -> None:
+    live = lock_live
+    for item in scope.statements:
+        if isinstance(item, Statement):
+            if live:
+                _check_tokens(tu, fn, resolver, index, item.tokens, diags)
+            decl = parse_local_decl(item)
+            if decl and decl.type_text in _LOCK_GUARD_TYPES:
+                live = True
+            if live and decl and decl.type_text in _IO_TYPES:
+                diags.append(Diagnostic(
+                    tu.path, decl.line, "lock-blocking-io",
+                    f"file stream `{decl.name}` opened while a lock guard "
+                    "is live", hint="move the I/O outside the critical "
+                    "section or stage into a buffer",
+                    context=fn.qual_name))
+        else:  # nested scope
+            if live:
+                _check_tokens(tu, fn, resolver, index, item.header, diags)
+            _walk(tu, fn, resolver, index, item, live, diags)
+
+
+def _check_tokens(tu, fn, resolver, index, toks: List[Token],
+                  diags: List[Diagnostic]) -> None:
+    for call in find_calls(toks):
+        rule = _classify(call, resolver, index)
+        if rule is None:
+            continue
+        what = {
+            "lock-blocking-io": "file I/O",
+            "lock-blocking-wait": "an unbounded wait",
+            "lock-blocking-fanout": "KV batch fan-out",
+        }[rule]
+        diags.append(Diagnostic(
+            tu.path, call.line, rule,
+            f"`{call.callee}` performs {what} while a lock guard is live",
+            hint="shrink the critical section, or baseline with a "
+                 "justification if the lock must span it",
+            context=fn.qual_name))
+
+
+def _classify(call, resolver, index) -> Optional[str]:
+    if call.callee in _IO_CALLEES:
+        # std:: / plain C I/O only; a method named `open` on a project class
+        # is resolved away by checking the receiver type.
+        if call.receiver:
+            recv = resolver.type_of_expr(call.receiver)
+            if recv and "FILE" not in recv and not recv.startswith("std::"):
+                return None
+        return "lock-blocking-io"
+    if call.callee in _WAIT_CALLEES:
+        return "lock-blocking-wait"
+    if call.callee == "Wait":
+        # TaskHandle::Wait / future-style waits block; CondVar::Wait releases
+        # the mutex and is the sanctioned primitive — distinguish by type.
+        if call.receiver:
+            recv = resolver.type_of_expr(call.receiver)
+            if recv and class_of(recv).split("::")[-1] == "CondVar":
+                return None
+            if not recv:
+                return None  # unknown receiver: stay quiet
+            return "lock-blocking-wait"
+        return None
+    if call.callee in _FANOUT_CALLEES:
+        return "lock-blocking-fanout"
+    return None

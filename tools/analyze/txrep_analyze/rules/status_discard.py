@@ -1,0 +1,135 @@
+"""Status-discard discipline (rule family 2).
+
+`txrep::Status` and `txrep::Result<T>` are `[[nodiscard]]`, so the compiler
+already rejects a bare `store->Put(k, v);`. This rule catches what the
+attribute cannot see:
+
+  status-discard   a `(void)` / `static_cast<void>` cast of a
+                   Status/Result-returning call without an
+                   `// analyze: discard(<why>)` waiver. The cast silences the
+                   compiler; the waiver makes the justification reviewable.
+  status-unused    a Status bound to a local variable that is never read
+                   afterwards — morally the same bug wearing a name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..body import (Scope, Statement, TypeResolver, build_scope, find_calls,
+                    iter_scopes, parse_local_decl)
+from ..lexer import ID, PUNCT, Token
+from ..model import Diagnostic, TranslationUnit
+
+DISCARD_WAIVER = "analyze: discard("
+
+
+def run(tu: TranslationUnit, index, config) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for fn in tu.functions:
+        if not fn.body:
+            continue
+        root = build_scope(fn.body)
+        resolver = TypeResolver(index, fn, root)
+        for scope in iter_scopes(root):
+            for st in scope.statements:
+                if not isinstance(st, Statement):
+                    continue
+                d = _check_void_cast(tu, fn, resolver, index, st)
+                if d:
+                    diags.append(d)
+                d = _check_unused_status(tu, fn, resolver, index, st, scope)
+                if d:
+                    diags.append(d)
+    return diags
+
+
+def _returns_statusish(index, resolver: TypeResolver, fn_owner: str,
+                       toks: List[Token]) -> Optional[str]:
+    """If `toks` is a call chain returning Status/Result, returns the callee
+    name, else None."""
+    calls = find_calls(toks)
+    if not calls:
+        return None
+    call = calls[-1]  # outermost/last call in the chain decides the value
+    ret = None
+    if call.receiver:
+        recv_type = resolver.type_of_expr(call.receiver)
+        if recv_type:
+            from ..body import class_of
+            ret = index.method_return(class_of(recv_type), call.callee)
+    if ret is None:
+        ret = index.method_return(fn_owner, call.callee)
+    if ret is None:
+        ret = index.unambiguous_return(call.callee)
+    if ret and (ret == "Status" or ret.endswith("::Status") or
+                ret.startswith("Result<") or "::Result<" in ret):
+        return call.callee
+    return None
+
+
+def _check_void_cast(tu: TranslationUnit, fn, resolver, index,
+                     st: Statement) -> Optional[Diagnostic]:
+    toks = st.tokens
+    inner: List[Token] = []
+    if len(toks) >= 4 and toks[0].text == "(" and toks[1].text == "void" and \
+            toks[2].text == ")":
+        inner = toks[3:]
+    elif len(toks) >= 6 and toks[0].text == "static_cast" and \
+            toks[1].text == "<" and toks[2].text == "void":
+        inner = toks[5:]
+    if not inner:
+        return None
+    callee = _returns_statusish(index, resolver, fn.owner, inner)
+    if callee is None:
+        return None
+    if DISCARD_WAIVER in tu.lexed.comment_near(toks[0].line):
+        return None
+    return Diagnostic(
+        tu.path, toks[0].line, "status-discard",
+        f"Status from `{callee}` discarded via void cast without a waiver",
+        hint="handle the status, or annotate the line with "
+             "`// analyze: discard(<why>)`",
+        context=fn.qual_name)
+
+
+def _check_unused_status(tu: TranslationUnit, fn, resolver, index,
+                         st: Statement, scope: Scope) -> Optional[Diagnostic]:
+    decl = parse_local_decl(st)
+    if decl is None:
+        return None
+    is_status = decl.type_text == "Status" or decl.type_text.endswith("::Status")
+    if decl.type_text == "auto" and decl.init_text:
+        init_toks = [t for t in st.tokens if t.line >= decl.line]
+        is_status = _returns_statusish(index, resolver, fn.owner,
+                                       init_toks) is not None
+    if not is_status:
+        return None
+    # Used anywhere later in this scope (or nested scopes)?
+    seen_decl = False
+    for s in iter_scopes(scope):
+        for item in s.statements:
+            toks = item.tokens if isinstance(item, Statement) else item.header
+            if item is st:
+                seen_decl = True
+                continue
+            if not seen_decl and s is scope:
+                continue
+            for t in toks:
+                if t.kind == ID and t.text == decl.name:
+                    return None
+        # Nested scopes of statements after the decl: iter_scopes order is
+        # parent-first, so nested bodies are separate Scope objects whose
+        # tokens we scan above via their statements; headers too.
+        if s is not scope:
+            for t in s.header:
+                if t.kind == ID and t.text == decl.name:
+                    return None
+    if DISCARD_WAIVER in tu.lexed.comment_near(decl.line):
+        return None
+    return Diagnostic(
+        tu.path, decl.line, "status-unused",
+        f"Status bound to `{decl.name}` but never read",
+        hint="check .ok() / propagate it, or discard explicitly with a "
+             "`// analyze: discard(<why>)` waiver",
+        context=fn.qual_name)
