@@ -20,6 +20,10 @@
 //                        Chrome trace-event JSON (load in Perfetto), or the
 //                        critical-path attribution report
 //   @slo              -- show the replica-lag SLO watchdog status
+//   @serve [port]     -- serve replication over TCP (port 0 = ephemeral);
+//                        remote shells @connect here
+//   @connect host:port-- become a remote replica of another shell's @serve;
+//                        @replica queries then run on the wire-fed replica
 //   @quit             -- exit
 //
 // The replication pipeline starts lazily at the first write, snapshotting
@@ -30,9 +34,11 @@
 #include <string>
 
 #include "obs/exporters.h"
+#include "qt/replica_reader.h"
 #include "sql/interpreter.h"
 #include "sql/parser.h"
 #include "trace/export.h"
+#include "txrep/remote_replica.h"
 #include "txrep/system.h"
 
 namespace {
@@ -69,11 +75,15 @@ int main(int argc, char** argv) {
   }
   txrep::TxRepSystem sys(options);
   bool started = false;
+  // @connect mode: a wire-fed replica of another shell's @serve endpoint.
+  std::unique_ptr<txrep::RemoteReplica> remote;
+  std::unique_ptr<txrep::qt::ReplicaReader> remote_reader;
 
   std::printf(
       "TxRep shell. SQL statements end with ';'. Special commands: "
       "@replica <select>; @sync  @checkpoint  @compact  @stats  "
-      "@metrics [json|prom]  @trace [json|crit]  @slo  @audit  @quit\n");
+      "@metrics [json|prom]  @trace [json|crit]  @slo  @audit  "
+      "@serve [port]  @connect host:port  @quit\n");
   if (on_disk) {
     std::printf("-- disk-backed replica under %s\n",
                 options.cluster.disk_dir.c_str());
@@ -191,6 +201,55 @@ int main(int argc, char** argv) {
       std::printf("%s\n", slo->Report().c_str());
       continue;
     }
+    if (pending.empty() && line.rfind("@serve", 0) == 0) {
+      if (!started) {
+        txrep::Status s = sys.Start();
+        if (!s.ok()) {
+          std::printf("error starting replication: %s\n",
+                      s.ToString().c_str());
+          continue;
+        }
+        started = true;
+        std::printf("-- replication pipeline started\n");
+      }
+      int port = 0;
+      (void)std::sscanf(line.c_str(), "@serve %d", &port);
+      txrep::Status s = sys.ServeReplication(static_cast<uint16_t>(port));
+      if (!s.ok()) {
+        std::printf("serve failed: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("-- serving replication on 127.0.0.1:%u\n",
+                  sys.net_endpoint()->port());
+      continue;
+    }
+    if (pending.empty() && line.rfind("@connect", 0) == 0) {
+      char host[256] = {0};
+      int port = 0;
+      if (std::sscanf(line.c_str(), "@connect %255[^:]:%d", host, &port) != 2) {
+        std::printf("usage: @connect <host>:<port>\n");
+        continue;
+      }
+      txrep::RemoteReplicaOptions ropts;
+      ropts.host = host;
+      ropts.port = static_cast<uint16_t>(port);
+      ropts.subscription.max_connect_attempts = 5;
+      remote = std::make_unique<txrep::RemoteReplica>(std::move(ropts));
+      txrep::Status s = remote->Start();
+      if (!s.ok()) {
+        std::printf("connect failed: %s\n", s.ToString().c_str());
+        remote.reset();
+        continue;
+      }
+      remote_reader =
+          std::make_unique<txrep::qt::ReplicaReader>(&remote->catalog());
+      std::printf(
+          "-- connected to %s:%d; @replica queries now run on the wire-fed "
+          "replica (applied LSN %llu)\n",
+          host, port,
+          static_cast<unsigned long long>(remote->applied_lsn()));
+      continue;
+    }
     if (pending.empty() && line.rfind("@metrics", 0) == 0) {
       const txrep::obs::MetricsSnapshot snapshot = sys.metrics().Snapshot();
       if (line.find("json") != std::string::npos) {
@@ -215,6 +274,27 @@ int main(int argc, char** argv) {
     if (start_pos != std::string::npos &&
         statement.compare(start_pos, kReplicaPrefix.size(), kReplicaPrefix) ==
             0) {
+      if (remote != nullptr) {
+        const std::string sql = statement.substr(start_pos +
+                                                 kReplicaPrefix.size());
+        auto parsed = txrep::sql::ParseCommand(sql);
+        if (!parsed.ok()) {
+          std::printf("error: %s\n", parsed.status().ToString().c_str());
+          continue;
+        }
+        auto* select = std::get_if<txrep::rel::SelectStatement>(&*parsed);
+        if (select == nullptr) {
+          std::printf("error: @replica accepts SELECT only\n");
+          continue;
+        }
+        auto rows = remote_reader->Select(&remote->cluster(), *select);
+        if (!rows.ok()) {
+          std::printf("error: %s\n", rows.status().ToString().c_str());
+          continue;
+        }
+        PrintRows(*rows);
+        continue;
+      }
       if (!started) {
         std::printf("replication not started yet; run a write first\n");
         continue;

@@ -39,8 +39,10 @@ MODE="${1:-plain}"
 # earn their keep, the batched apply pipeline (MultiWrite fan-out
 # through the cluster dispatch pool + the adaptive batch dispatcher), and
 # the tracing subsystem (the seqlock flight recorder's lock-free writer
-# protocol plus the SLO watchdog's poller thread are prime tsan targets).
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_'
+# protocol plus the SLO watchdog's poller thread are prime tsan targets),
+# and the wire replication boundary (frame codec, socket transport threads,
+# endpoint session fan-out, reconnect/dedup races — DESIGN.md §13).
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_|net_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

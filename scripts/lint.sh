@@ -26,6 +26,12 @@
 #     names from the constants so traces, dashboards and docs agree on one
 #     spelling (DESIGN.md §11).
 #
+#  6. Socket / fd syscalls (socket, connect, accept, send, recv, poll, ...)
+#     are confined to src/net/. Everything else talks through net::Socket /
+#     FrameTransport / NetEndpoint / NetSubscription, so wire-error handling,
+#     partial-write loops and EINTR retries live in exactly one layer
+#     (DESIGN.md §13).
+#
 # Exits non-zero listing every offending line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +88,16 @@ span_literals=$(grep -rn '"span\.' \
 if [[ -n "${span_literals}" ]]; then
   echo "lint: span name literals outside src/trace/names.h (use the constants):"
   echo "${span_literals}"
+  fail=1
+fi
+
+socket_calls=$(grep -rnE \
+  '\b(socket|socketpair|connect|accept|accept4|bind|listen|setsockopt|getsockopt|getsockname|getpeername|recv|recvfrom|recvmsg|send|sendto|sendmsg|epoll_create1?|epoll_ctl|epoll_wait|poll|ppoll|getaddrinfo|freeaddrinfo|inet_pton|inet_ntop|htons|ntohs|htonl|ntohl)\s*\(' \
+  src --include='*.h' --include='*.cc' \
+  | grep -v '^src/net/' || true)
+if [[ -n "${socket_calls}" ]]; then
+  echo "lint: socket syscalls outside src/net/ (use net::Socket / FrameTransport):"
+  echo "${socket_calls}"
   fail=1
 fi
 

@@ -6,18 +6,25 @@
 
 #include "check/invariants.h"
 #include "codec/kv_keys.h"
+#include "codec/schema_codec.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "core/batch_dispatcher.h"
 #include "core/serial_applier.h"
 #include "core/transaction_manager.h"
 #include "kv/inmemory_node.h"
 #include "kv/kv_cluster.h"
+#include "mw/broker.h"
+#include "mw/publisher.h"
+#include "net/endpoint.h"
+#include "net/socket.h"
 #include "qt/query_translator.h"
 #include "recov/checkpoint.h"
 #include "recov/io.h"
 #include "rel/database.h"
 #include "rel/statement.h"
 #include "trace/tracer.h"
+#include "txrep/remote_replica.h"
 
 namespace txrep::check {
 
@@ -327,6 +334,103 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
     TXREP_RETURN_IF_ERROR(
         RunCrashRestart(seed, db, translator, serial_store.Dump()));
   }
+  if (options_.wire) {
+    TXREP_RETURN_IF_ERROR(
+        RunWire(seed, db, config.max_node_keys, serial_store.Dump()));
+  }
+  return Status::OK();
+}
+
+Status ScheduleExplorer::RunWire(uint64_t seed, rel::Database& db,
+                                 size_t max_node_keys,
+                                 const kv::StoreDump& serial_dump) {
+  const uint64_t last_lsn = db.log().LastLsn();
+  if (last_lsn == 0) return Status::OK();
+  // A private random stream so enabling wire exploration does not perturb
+  // the main schedule derivation (seeds stay reproducible across modes).
+  Random rng(seed ^ 0x3157a11c0ffee5ccULL);
+
+  mw::Broker broker;
+  net::EndpointOptions endpoint_options;
+  // Retention must span the whole log: the remote replica bootstraps from
+  // LSN 0 and the post-kill resume replays retained batches.
+  endpoint_options.retention_capacity = 4096;
+  // Small bounds so the credit/queue backpressure machinery actually
+  // engages inside the schedule.
+  endpoint_options.session_queue_capacity = 1 + rng.Uniform(8);
+  endpoint_options.transport.send_queue_capacity = 1 + rng.Uniform(8);
+  net::NetEndpoint endpoint(&broker, endpoint_options);
+  endpoint.SetCatalog(codec::EncodeCatalog(db.catalog()));
+  // Unwind order: the broker's delivery thread calls into the endpoint
+  // (fanout) and can block on a session queue — end the sessions, then the
+  // broker, before either object dies.
+  struct Teardown {
+    net::NetEndpoint* endpoint;
+    mw::Broker* broker;
+    ~Teardown() {
+      endpoint->Stop();
+      broker->Shutdown();
+    }
+  } teardown{&endpoint, &broker};
+
+  RemoteReplicaOptions replica_options;
+  replica_options.socket_factory = [&endpoint]() -> Result<net::Socket> {
+    TXREP_ASSIGN_OR_RETURN(auto pair, net::Socket::CreatePair());
+    TXREP_RETURN_IF_ERROR(endpoint.ServeSocket(std::move(pair.first)));
+    return std::move(pair.second);
+  };
+  replica_options.subscription.initial_credits = 1 + rng.Uniform(8);
+  replica_options.subscription.queue_capacity = rng.Uniform(4);
+  replica_options.subscription.reconnect_backoff_micros = 1000;
+  replica_options.blink.max_node_keys = max_node_keys;
+  replica_options.cluster.num_nodes =
+      1 + static_cast<int>(rng.Uniform(4));
+  RemoteReplica replica(std::move(replica_options));
+  TXREP_RETURN_IF_ERROR(replica.Start());
+
+  mw::PublisherOptions publisher_options;
+  publisher_options.batch_size = 1 + rng.Uniform(8);
+  mw::PublisherAgent publisher(&db.log(), &broker, publisher_options);
+
+  // First act: ship until the seed's kill point crossed the wire and the
+  // replica applied it, then hard-kill the connection — from whichever side
+  // the seed picks.
+  const uint64_t drop_lsn = 1 + rng.Uniform(last_lsn);
+  const bool server_side_kill = rng.Bernoulli(0.5);
+  while (publisher.shipped_lsn() < drop_lsn) {
+    TXREP_RETURN_IF_ERROR(publisher.PumpOnce().status());
+  }
+  if (!replica.WaitForLsn(drop_lsn)) {
+    return Status::Internal("wire replica stopped before the kill point: " +
+                            replica.health().ToString());
+  }
+  if (server_side_kill) {
+    endpoint.DropSessions();
+  } else {
+    replica.subscription()->InjectDisconnect();
+  }
+
+  // Second act: ship the rest; the subscriber must reconnect, resume from
+  // its high-water LSN, dedup the replayed retention and catch up.
+  TXREP_RETURN_IF_ERROR(publisher.PumpAll());
+  if (!replica.WaitForLsn(last_lsn)) {
+    return Status::Internal("wire replica stopped before catching up: " +
+                            replica.health().ToString());
+  }
+  for (int i = 0; replica.subscription()->connects() < 2 && i < 5000; ++i) {
+    SleepForMicros(1000);
+  }
+  if (replica.subscription()->connects() < 2) {
+    return Status::Internal("subscriber never reconnected after the kill");
+  }
+  TXREP_RETURN_IF_ERROR(replica.health());
+
+  const std::string diff = DiffDumps(serial_dump, replica.cluster().Dump());
+  if (!diff.empty()) {
+    return Status::FailedPrecondition(
+        "wire replay diverged from serial replay: " + diff);
+  }
+  replica.Stop();
   return Status::OK();
 }
 

@@ -69,6 +69,18 @@ struct ScheduleExplorerOptions {
   /// its dispatcher to batch size 1 — op-at-a-time ground truth through the
   /// batch API.
   bool batched_apply = false;
+
+  /// Wire mode: each schedule additionally replays through the full
+  /// cross-process wire boundary — publisher → broker → NetEndpoint →
+  /// socketpair frames → NetSubscription → remote replica — with frame
+  /// batch size, queue bounds, credit window and a kill point all drawn
+  /// from a private random stream (existing seeds reproduce identically in
+  /// either mode). Mid-stream the connection is hard-killed (server
+  /// DropSessions or client InjectDisconnect, seed's choice) and the
+  /// subscriber must reconnect, resume from its high-water LSN, dedup the
+  /// replayed retention, and still end byte-identical to serial replay —
+  /// the paper's replica-equivalence oracle applied across the wire.
+  bool wire = false;
 };
 
 /// One schedule that diverged from serial replay (or tripped an invariant).
@@ -130,6 +142,13 @@ class ScheduleExplorer {
   Status RunCrashRestart(uint64_t seed, rel::Database& db,
                          const qt::QueryTranslator& translator,
                          const kv::StoreDump& serial_dump);
+
+  /// Wire phase of one schedule: replay the log over a socketpair into a
+  /// RemoteReplica (catalog over the wire), kill the connection mid-stream,
+  /// and compare the reconnected replica against `serial_dump`.
+  /// `max_node_keys` pins the remote B-link layout to the serial one.
+  Status RunWire(uint64_t seed, rel::Database& db, size_t max_node_keys,
+                 const kv::StoreDump& serial_dump);
 
   const ScheduleExplorerOptions options_;
 };

@@ -21,6 +21,23 @@ bool GetFixed64(std::string_view* src, uint64_t* value) {
   return true;
 }
 
+void AppendFixed32(std::string& dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst.append(buf, 4);
+}
+
+bool GetFixed32(std::string_view* src, uint32_t* value) {
+  if (src->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*src)[i])) << (8 * i);
+  }
+  *value = v;
+  src->remove_prefix(4);
+  return true;
+}
+
 void AppendVarint64(std::string& dst, uint64_t value) {
   while (value >= 0x80) {
     dst.push_back(static_cast<char>(value | 0x80));

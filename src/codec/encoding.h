@@ -16,6 +16,10 @@ namespace txrep::codec {
 void AppendFixed64(std::string& dst, uint64_t value);
 bool GetFixed64(std::string_view* src, uint64_t* value);
 
+/// Little-endian fixed-width 32-bit value (wire-frame body lengths).
+void AppendFixed32(std::string& dst, uint32_t value);
+bool GetFixed32(std::string_view* src, uint32_t* value);
+
 void AppendVarint64(std::string& dst, uint64_t value);
 bool GetVarint64(std::string_view* src, uint64_t* value);
 

@@ -113,4 +113,53 @@ Result<std::vector<rel::LogTransaction>> DecodeLogBatch(
   return batch;
 }
 
+Result<LogBatchStats> ScanLogBatch(std::string_view bytes) {
+  if (bytes.size() < 8) {
+    return Status::Corruption("log codec: batch shorter than its checksum");
+  }
+  std::string_view tail = bytes.substr(bytes.size() - 8);
+  uint64_t stored = 0;
+  GetFixed64(&tail, &stored);
+  bytes.remove_suffix(8);
+  if (stored != Fnv1a(bytes)) {
+    return Status::Corruption("log codec: batch checksum mismatch");
+  }
+  uint64_t count = 0;
+  if (!GetVarint64(&bytes, &count)) {
+    return Status::Corruption("log codec: bad batch count");
+  }
+  LogBatchStats stats;
+  stats.txn_count = count;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t lsn = 0;
+    uint64_t skipped = 0;
+    uint64_t num_ops = 0;
+    if (!GetVarint64(&bytes, &lsn) || !GetVarint64(&bytes, &skipped) ||
+        !GetVarint64(&bytes, &skipped) || bytes.empty()) {
+      return Status::Corruption("log codec: bad transaction header");
+    }
+    bytes.remove_prefix(1);  // Trace flag byte.
+    if (!GetVarint64(&bytes, &num_ops)) {
+      return Status::Corruption("log codec: bad transaction header");
+    }
+    if (i == 0 || lsn < stats.min_lsn) stats.min_lsn = lsn;
+    if (lsn > stats.max_lsn) stats.max_lsn = lsn;
+    for (uint64_t op = 0; op < num_ops; ++op) {
+      if (bytes.empty()) return Status::Corruption("log codec: truncated op");
+      bytes.remove_prefix(1);  // Op type byte.
+      std::string_view skipped_bytes;
+      rel::Value pk;
+      if (!GetLengthPrefixed(&bytes, &skipped_bytes) ||  // Table name.
+          !GetValue(&bytes, &pk) ||
+          !GetLengthPrefixed(&bytes, &skipped_bytes)) {  // Row bytes.
+        return Status::Corruption("log codec: bad op body");
+      }
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::Corruption("log codec: trailing bytes");
+  }
+  return stats;
+}
+
 }  // namespace txrep::codec

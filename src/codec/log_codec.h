@@ -29,6 +29,18 @@ std::string EncodeLogBatch(const std::vector<rel::LogTransaction>& batch);
 /// Inverse of EncodeLogBatch; Corruption on malformed input.
 Result<std::vector<rel::LogTransaction>> DecodeLogBatch(std::string_view bytes);
 
+/// Shape of an encoded batch without the cost of materializing it.
+struct LogBatchStats {
+  uint64_t min_lsn = 0;
+  uint64_t max_lsn = 0;
+  size_t txn_count = 0;
+};
+
+/// Validates the checksum and walks the batch headers, skipping op bodies
+/// (no row decode, no op vectors). The wire endpoint uses this to stamp
+/// dense-LSN ranges onto frames without paying for a second full decode.
+Result<LogBatchStats> ScanLogBatch(std::string_view bytes);
+
 }  // namespace txrep::codec
 
 #endif  // TXREP_CODEC_LOG_CODEC_H_

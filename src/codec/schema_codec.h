@@ -1,0 +1,30 @@
+#ifndef TXREP_CODEC_SCHEMA_CODEC_H_
+#define TXREP_CODEC_SCHEMA_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rel/schema.h"
+
+namespace txrep::codec {
+
+/// Wire format for a relational catalog (table schemas + declared indexes).
+/// The replication handshake ships the publisher's catalog to a remote
+/// replica process so it can build its own QueryTranslator without sharing an
+/// address space (DESIGN.md §13). Layout:
+///   varint #tables, per table:
+///     length-prefixed name, varint #columns,
+///     per column: length-prefixed name + 1 type byte,
+///     varint pk column index,
+///     varint #hash-index columns + column indexes,
+///     varint #range-index columns + column indexes,
+///   trailing FNV-1a checksum over everything before it.
+std::string EncodeCatalog(const rel::Catalog& catalog);
+
+/// Inverse of EncodeCatalog; Corruption on malformed input.
+Result<rel::Catalog> DecodeCatalog(std::string_view bytes);
+
+}  // namespace txrep::codec
+
+#endif  // TXREP_CODEC_SCHEMA_CODEC_H_

@@ -30,6 +30,11 @@ Broker::Subscription* Broker::Subscribe(const std::string& topic) {
   return raw;
 }
 
+void Broker::AttachFanout(const std::string& topic, Fanout fanout) {
+  check::MutexLock lock(&mu_);
+  fanouts_[topic].push_back(std::move(fanout));
+}
+
 Status Broker::Publish(std::string topic, std::string payload) {
   Message message;
   message.topic = std::move(topic);
@@ -79,17 +84,28 @@ void Broker::DeliveryLoop() {
                                  message->publish_micros);
     }
     std::vector<Subscription*> targets;
+    std::vector<Fanout*> fanouts;
     {
       check::MutexLock lock(&mu_);
       auto it = topics_.find(message->topic);
       if (it != topics_.end()) {
         for (const auto& sub : it->second) targets.push_back(sub.get());
       }
+      auto fit = fanouts_.find(message->topic);
+      if (fit != fanouts_.end()) {
+        for (Fanout& fanout : fit->second) fanouts.push_back(&fanout);
+      }
     }
     // Enqueue outside mu_ so bounded-subscriber backpressure cannot block
     // Subscribe()/Publish().
     for (Subscription* sub : targets) {
       sub->queue_.Push(*message);
+    }
+    // Fanouts (wire endpoints) run after local delivery, also outside mu_:
+    // when a remote session stalls, this thread blocks here and publishers
+    // feel it through the bounded pending_ queue.
+    for (Fanout* fanout : fanouts) {
+      (*fanout)(*message);
     }
     if (c_delivered_ != nullptr) c_delivered_->Increment();
     check::MutexLock lock(&mu_);

@@ -2,6 +2,7 @@
 #define TXREP_MW_BROKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include "check/mutex.h"
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "mw/message_source.h"
 #include "obs/metrics.h"
 
 namespace txrep::mw {
@@ -54,28 +56,39 @@ class Broker {
   Broker& operator=(const Broker&) = delete;
 
   /// Handle owned by a subscriber; Pop() blocks until a message or shutdown.
-  class Subscription {
+  /// The in-process MessageSource (net::NetSubscription is the remote one).
+  class Subscription : public MessageSource {
    public:
     explicit Subscription(size_t queue_capacity) : queue_(queue_capacity) {}
 
     /// Next message, or nullopt once the broker shut down and the queue
     /// drained.
-    std::optional<Message> Pop() { return queue_.Pop(); }
+    std::optional<Message> Pop() override { return queue_.Pop(); }
 
     /// Non-blocking variant.
-    std::optional<Message> TryPop() { return queue_.TryPop(); }
+    std::optional<Message> TryPop() override { return queue_.TryPop(); }
 
     /// Ends this subscription's stream: blocked Pop()s drain the queue and
     /// then see end-of-stream, without waiting for broker shutdown. Messages
     /// delivered after Close() are dropped. Idempotent.
-    void Close() { queue_.Close(); }
+    void Close() override { queue_.Close(); }
 
-    size_t Pending() const { return queue_.size(); }
+    size_t Pending() const override { return queue_.size(); }
 
    private:
     friend class Broker;
     BlockingQueue<Message> queue_;
   };
+
+  /// Called by the delivery thread for every message on `topic`, after the
+  /// in-process subscriptions got their copy — the hook a NetEndpoint uses
+  /// to fan batches out to remote replicas. A fanout that blocks (bounded
+  /// session queues, credit exhaustion downstream) blocks delivery, which
+  /// fills pending_, which blocks Publish(): exactly the backpressure chain
+  /// the wire path needs (DESIGN.md §13). Attach before publishing traffic;
+  /// fanouts cannot be detached (the broker outlives none of them).
+  using Fanout = std::function<void(const Message&)>;
+  void AttachFanout(const std::string& topic, Fanout fanout);
 
   /// Registers a new subscriber on `topic`. The returned object lives until
   /// the broker is destroyed.
@@ -108,6 +121,7 @@ class Broker {
   mutable check::Mutex mu_{"broker.mu"};
   std::map<std::string, std::vector<std::unique_ptr<Subscription>>> topics_
       TXREP_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<Fanout>> fanouts_ TXREP_GUARDED_BY(mu_);
   int64_t published_ TXREP_GUARDED_BY(mu_) = 0;
   int64_t delivered_ TXREP_GUARDED_BY(mu_) = 0;
   bool shutdown_ TXREP_GUARDED_BY(mu_) = false;

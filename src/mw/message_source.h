@@ -1,0 +1,39 @@
+#ifndef TXREP_MW_MESSAGE_SOURCE_H_
+#define TXREP_MW_MESSAGE_SOURCE_H_
+
+#include <cstddef>
+#include <optional>
+
+namespace txrep::mw {
+
+struct Message;
+
+/// Where a SubscriberAgent's replication messages come from. Two
+/// implementations exist: Broker::Subscription (in-process delivery, the
+/// paper's single-machine middleware) and net::NetSubscription (frames over
+/// a socket from a remote broker — DESIGN.md §13). The agent only ever sees
+/// this interface, so the replica-side pipeline is byte-identical whichever
+/// transport feeds it.
+class MessageSource {
+ public:
+  virtual ~MessageSource() = default;
+
+  /// Next message in publish order; blocks. nullopt once the stream ended
+  /// (broker shutdown, source closed, or transport failure — implementations
+  /// with a failure mode expose it separately).
+  virtual std::optional<Message> Pop() = 0;
+
+  /// Non-blocking variant of Pop().
+  virtual std::optional<Message> TryPop() = 0;
+
+  /// Ends the stream: blocked Pop()s drain queued messages and then see
+  /// end-of-stream. Idempotent.
+  virtual void Close() = 0;
+
+  /// Messages delivered but not yet popped.
+  virtual size_t Pending() const = 0;
+};
+
+}  // namespace txrep::mw
+
+#endif  // TXREP_MW_MESSAGE_SOURCE_H_

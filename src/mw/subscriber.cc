@@ -11,7 +11,14 @@ SubscriberAgent::SubscriberAgent(Broker* broker, const std::string& topic,
                                  TxnSink sink, obs::MetricsRegistry* metrics,
                                  SubscriberOptions options,
                                  trace::Tracer* tracer)
-    : subscription_(broker->Subscribe(topic)),
+    : SubscriberAgent(broker->Subscribe(topic), std::move(sink), metrics,
+                      options, tracer) {}
+
+SubscriberAgent::SubscriberAgent(MessageSource* source, TxnSink sink,
+                                 obs::MetricsRegistry* metrics,
+                                 SubscriberOptions options,
+                                 trace::Tracer* tracer)
+    : subscription_(source),
       sink_(std::move(sink)),
       tracer_(tracer) {
   // Everything at or below the resume point counts as already applied.
@@ -78,9 +85,13 @@ void SubscriberAgent::ReceiveLoop() {
       }
       {
         // Duplicates below the resume point were installed from a snapshot
-        // or direct log replay already: acknowledge without re-applying.
+        // or direct log replay already. Duplicates at or below applied_lsn_
+        // were applied by THIS agent — a reconnecting transport (wire
+        // sessions resend whole retained batches that straddle the resume
+        // point) redelivers them, and re-running their writes would fork the
+        // replica from the primary. Either way: acknowledge, don't re-apply.
         check::MutexLock lock(&mu_);
-        if (lsn <= resume_after_lsn_) {
+        if (lsn <= resume_after_lsn_ || lsn <= applied_lsn_) {
           if (lsn > applied_lsn_) applied_lsn_ = lsn;
           cv_.NotifyAll();
           continue;

@@ -56,6 +56,14 @@ class SubscriberAgent {
                   SubscriberOptions options = {},
                   trace::Tracer* tracer = nullptr);
 
+  /// Same agent fed from an explicit MessageSource (e.g. a
+  /// net::NetSubscription streaming frames from a remote broker). `source`
+  /// must outlive the agent; Stop() closes it but does not destroy it.
+  SubscriberAgent(MessageSource* source, TxnSink sink,
+                  obs::MetricsRegistry* metrics = nullptr,
+                  SubscriberOptions options = {},
+                  trace::Tracer* tracer = nullptr);
+
   ~SubscriberAgent();
 
   SubscriberAgent(const SubscriberAgent&) = delete;
@@ -86,7 +94,7 @@ class SubscriberAgent {
   void ReceiveLoop();
 
   // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
-  Broker::Subscription* subscription_;  // Owned by the broker.
+  MessageSource* subscription_;  // Owned by the broker / the caller.
   // analyze: lock-free(set in ctor, immutable afterwards)
   TxnSink sink_;
   // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)

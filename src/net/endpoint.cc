@@ -1,0 +1,358 @@
+#include "net/endpoint.h"
+
+#include <utility>
+
+#include "codec/log_codec.h"
+#include "common/logging.h"
+#include "obs/names.h"
+
+namespace txrep::net {
+
+NetEndpoint::NetEndpoint(mw::Broker* broker, EndpointOptions options,
+                         obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    g_sessions_ = metrics_->GetGauge(obs::kNetSessions);
+    g_retained_ = metrics_->GetGauge(obs::kNetRetainedBatches);
+    c_credit_stalls_ = metrics_->GetCounter(obs::kNetBackpressureStalls,
+                                            {{"role", "server"}});
+  }
+  broker->AttachFanout(options_.topic,
+                       [this](const mw::Message& m) { PublishMessage(m); });
+}
+
+NetEndpoint::~NetEndpoint() { Stop(); }
+
+void NetEndpoint::SetCatalog(std::string encoded_catalog) {
+  check::MutexLock lock(&mu_);
+  catalog_ = std::move(encoded_catalog);
+}
+
+void NetEndpoint::SetRetentionFloor(uint64_t lsn) {
+  check::MutexLock lock(&mu_);
+  if (lsn > floor_lsn_) floor_lsn_ = lsn;
+  if (lsn > last_published_lsn_) last_published_lsn_ = lsn;
+}
+
+Status NetEndpoint::ListenAndServe(uint16_t port) {
+  TXREP_ASSIGN_OR_RETURN(listener_, Socket::Listen(port));
+  accepting_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+uint16_t NetEndpoint::port() const { return listener_.local_port(); }
+
+Status NetEndpoint::ServeSocket(Socket socket) {
+  auto transport = std::make_unique<FrameTransport>(
+      std::move(socket), options_.transport, metrics_, "server");
+  check::MutexLock lock(&mu_);
+  if (stopping_) return Status::Unavailable("endpoint is stopping");
+  session_threads_.emplace_back(
+      [this, t = std::move(transport)]() mutable { RunSession(std::move(t)); });
+  return Status::OK();
+}
+
+void NetEndpoint::AcceptLoop() {
+  while (accepting_.load(std::memory_order_relaxed)) {
+    Result<Socket> client = listener_.Accept(options_.accept_timeout_micros);
+    if (!client.ok()) {
+      if (client.status().IsTimedOut()) continue;
+      if (accepting_.load(std::memory_order_relaxed)) {
+        TXREP_LOG(kWarn) << "net endpoint accept failed: "
+                         << client.status().ToString();
+      }
+      return;
+    }
+    Status served = ServeSocket(std::move(*client));
+    if (!served.ok()) return;  // Stopping.
+  }
+}
+
+void NetEndpoint::PublishMessage(const mw::Message& message) {
+  Result<codec::LogBatchStats> stats = codec::ScanLogBatch(message.payload);
+  if (!stats.ok()) {
+    // The broker ships opaque bytes; anything non-batch on this topic cannot
+    // cross the wire boundary (frames carry dense-LSN ranges).
+    TXREP_LOG(kWarn) << "net endpoint dropped unscannable message: "
+                     << stats.status().ToString();
+    return;
+  }
+  auto batch = std::make_shared<const RetainedBatch>(RetainedBatch{
+      stats->min_lsn, stats->max_lsn, static_cast<uint64_t>(stats->txn_count),
+      message.publish_micros, message.payload});
+  std::vector<std::shared_ptr<Session>> live;
+  size_t retained_count = 0;
+  {
+    check::MutexLock lock(&mu_);
+    retained_.push_back(batch);
+    while (retained_.size() > options_.retention_capacity) {
+      floor_lsn_ = retained_.front()->max_lsn;
+      retained_.pop_front();
+    }
+    if (batch->max_lsn > last_published_lsn_) {
+      last_published_lsn_ = batch->max_lsn;
+    }
+    live = sessions_;
+    retained_count = retained_.size();
+  }
+  // Feed sessions outside mu_: a full (bounded) session queue blocks the
+  // broker delivery thread right here, which backs pressure up through the
+  // broker's pending queue into Publish(). A closed queue means the session
+  // died — skip it, the reaper path removes it.
+  for (const std::shared_ptr<Session>& session : live) {
+    (void)session->queue.Push(batch);
+  }
+  if (g_retained_ != nullptr) {
+    g_retained_->Set(static_cast<int64_t>(retained_count));
+  }
+}
+
+void NetEndpoint::RunSession(std::unique_ptr<FrameTransport> transport) {
+  // The transport lives in the session from here on (immutable pointer), so
+  // DropSessions() can Abort() it from another thread without racing a move.
+  auto session = std::make_shared<Session>(options_.session_queue_capacity);
+  session->transport = std::move(transport);
+  {
+    check::MutexLock lock(&mu_);
+    if (stopping_) return;
+    handshaking_.push_back(session);
+  }
+
+  // --- handshake -----------------------------------------------------------
+  std::optional<Frame> first = session->transport->Receive();
+  if (!first.has_value()) {
+    FinishHandshake(session.get());
+    return;
+  }
+  Result<SubscribeRequest> request = ParseSubscribe(*first);
+  if (!request.ok()) {
+    session->transport->Send(MakeErrorFrame(request.status().ToString()));
+    FinishHandshake(session.get());
+    return;
+  }
+  if (request->protocol_version != kProtocolVersion) {
+    session->transport->Send(MakeErrorFrame("protocol version mismatch"));
+    FinishHandshake(session.get());
+    return;
+  }
+  if (request->topic != options_.topic) {
+    session->transport->Send(
+        MakeErrorFrame("unknown topic \"" + request->topic + "\""));
+    FinishHandshake(session.get());
+    return;
+  }
+
+  SubscribeAck ack;
+  std::vector<BatchRef> backlog;
+  std::string reject;
+  {
+    check::MutexLock lock(&mu_);
+    for (auto it = handshaking_.begin(); it != handshaking_.end(); ++it) {
+      if (it->get() == session.get()) {
+        handshaking_.erase(it);
+        break;
+      }
+    }
+    if (stopping_) {
+      reject = "endpoint is stopping";
+    } else if (request->resume_after_lsn < floor_lsn_) {
+      // Retention rolled past the subscriber's position: replaying from here
+      // would leave a silent LSN gap. Reject; the subscriber must bootstrap
+      // from a checkpoint and come back with a higher resume point.
+      reject = "resume LSN " + std::to_string(request->resume_after_lsn) +
+               " below retention floor " + std::to_string(floor_lsn_) +
+               "; bootstrap required";
+    } else {
+      ack.retained_floor_lsn = floor_lsn_;
+      ack.last_published_lsn = last_published_lsn_;
+      ack.catalog = catalog_;
+      // Atomically with the retention snapshot: batches already retained go
+      // to the backlog, batches published from now on reach session->queue.
+      // The shared lock makes this exactly-once (see PublishMessage).
+      for (const BatchRef& batch : retained_) {
+        if (batch->max_lsn > request->resume_after_lsn) {
+          backlog.push_back(batch);
+        }
+      }
+      sessions_.push_back(session);
+      if (g_sessions_ != nullptr) {
+        g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
+      }
+    }
+  }
+  if (!reject.empty()) {
+    session->transport->Send(MakeErrorFrame(reject));
+    return;
+  }
+  {
+    check::MutexLock lock(&session->mu);
+    session->credits = request->initial_credits;
+  }
+  if (!session->transport->Send(MakeSubscribeAckFrame(ack))) {
+    RemoveSession(session.get());
+    return;
+  }
+
+  std::thread control([this, session] { ControlLoop(session); });
+
+  // --- batch stream: retained backlog first, then the live feed ------------
+  auto send_batch = [this, &session](const BatchRef& batch) -> bool {
+    {
+      check::MutexLock lock(&session->mu);
+      if (session->credits == 0 && !session->done &&
+          c_credit_stalls_ != nullptr) {
+        c_credit_stalls_->Increment();
+      }
+      while (session->credits == 0 && !session->done) session->cv.Wait();
+      if (session->done) return false;
+      --session->credits;
+    }
+    BatchPayload payload;
+    payload.min_lsn = batch->min_lsn;
+    payload.max_lsn = batch->max_lsn;
+    payload.txn_count = batch->txn_count;
+    payload.publish_micros = batch->publish_micros;
+    payload.batch_bytes = batch->payload;
+    return session->transport->Send(MakeBatchFrame(payload));
+  };
+
+  bool healthy = true;
+  for (const BatchRef& batch : backlog) {
+    if (!send_batch(batch)) {
+      healthy = false;
+      break;
+    }
+  }
+  while (healthy) {
+    std::optional<BatchRef> batch = session->queue.Pop();
+    if (!batch.has_value()) break;  // Stopped or dropped.
+    if (!send_batch(*batch)) healthy = false;
+  }
+
+  if (healthy && session->transport->health().ok()) {
+    session->transport->Send(MakeByeFrame("server shutdown"));
+  }
+  session->transport->Close();  // Flushes the Bye, wakes the control loop.
+  control.join();
+  RemoveSession(session.get());
+}
+
+void NetEndpoint::ControlLoop(const std::shared_ptr<Session>& session) {
+  for (;;) {
+    std::optional<Frame> frame = session->transport->Receive();
+    if (!frame.has_value()) break;  // Peer gone / transport down.
+    if (frame->type == FrameType::kCredit) {
+      Result<CreditGrant> grant = ParseCredit(*frame);
+      if (!grant.ok()) break;
+      check::MutexLock lock(&session->mu);
+      session->credits += grant->credits;
+      session->cv.NotifyAll();
+      continue;
+    }
+    if (frame->type == FrameType::kBye) break;  // Orderly unsubscribe.
+    // Anything else is a protocol violation; drop the session.
+    break;
+  }
+  {
+    check::MutexLock lock(&session->mu);
+    session->done = true;
+    session->cv.NotifyAll();
+  }
+  session->queue.Close();
+}
+
+void NetEndpoint::RemoveSession(const Session* session) {
+  check::MutexLock lock(&mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+  if (g_sessions_ != nullptr) {
+    g_sessions_->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void NetEndpoint::FinishHandshake(const Session* session) {
+  check::MutexLock lock(&mu_);
+  for (auto it = handshaking_.begin(); it != handshaking_.end(); ++it) {
+    if (it->get() == session) {
+      handshaking_.erase(it);
+      break;
+    }
+  }
+}
+
+void NetEndpoint::Stop() {
+  std::vector<std::shared_ptr<Session>> live;
+  std::vector<std::shared_ptr<Session>> handshaking;
+  std::vector<std::thread> threads;
+  {
+    check::MutexLock lock(&mu_);
+    stopping_ = true;
+    live = sessions_;
+    handshaking = handshaking_;
+    threads.swap(session_threads_);
+  }
+  // A session parked in its handshake Receive() holds no queue to close —
+  // abort its transport so the join below cannot hang.
+  for (const std::shared_ptr<Session>& session : handshaking) {
+    session->transport->Abort();
+  }
+  accepting_.store(false, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  for (const std::shared_ptr<Session>& session : live) {
+    // done wakes credit waits (a stalled subscriber cannot hang Stop);
+    // closing the queue ends the live feed, after which the session thread
+    // sends its kBye and unwinds.
+    {
+      check::MutexLock lock(&session->mu);
+      session->done = true;
+      session->cv.NotifyAll();
+    }
+    session->queue.Close();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void NetEndpoint::DropSessions() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    check::MutexLock lock(&mu_);
+    live = sessions_;
+    live.insert(live.end(), handshaking_.begin(), handshaking_.end());
+  }
+  for (const std::shared_ptr<Session>& session : live) {
+    // Abort the wire first (subscribers see a mid-stream reset), then wake
+    // the session thread so it unwinds and deregisters.
+    session->transport->Abort();
+    {
+      check::MutexLock lock(&session->mu);
+      session->done = true;
+      session->cv.NotifyAll();
+    }
+    session->queue.Close();
+  }
+}
+
+size_t NetEndpoint::live_sessions() const {
+  check::MutexLock lock(&mu_);
+  return sessions_.size();
+}
+
+uint64_t NetEndpoint::last_published_lsn() const {
+  check::MutexLock lock(&mu_);
+  return last_published_lsn_;
+}
+
+uint64_t NetEndpoint::retained_floor_lsn() const {
+  check::MutexLock lock(&mu_);
+  return floor_lsn_;
+}
+
+}  // namespace txrep::net

@@ -1,0 +1,254 @@
+#include "net/frame.h"
+
+#include "codec/encoding.h"
+
+namespace txrep::net {
+
+namespace {
+
+constexpr char kMagic0 = 'T';
+constexpr char kMagic1 = 'R';
+
+Status Corrupt(const std::string& what) {
+  return Status::Corruption("frame: " + what);
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kSubscribe) &&
+         type <= static_cast<uint8_t>(FrameType::kError);
+}
+
+Status ExpectType(const Frame& frame, FrameType want) {
+  if (frame.type == want) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("expected ") + FrameTypeName(want) + " frame, got " +
+      FrameTypeName(frame.type));
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kSubscribe: return "SUBSCRIBE";
+    case FrameType::kSubscribeAck: return "SUBSCRIBE_ACK";
+    case FrameType::kBatch: return "BATCH";
+    case FrameType::kCredit: return "CREDIT";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool operator==(const Frame& a, const Frame& b) {
+  return a.type == b.type && a.body == b.body;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.body.size() + kFrameChecksumBytes);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(frame.type));
+  codec::AppendFixed32(out, static_cast<uint32_t>(frame.body.size()));
+  out.append(frame.body);
+  codec::AppendFixed64(out, codec::Fnv1a(out));
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Drop the consumed prefix before growing: steady-state memory stays
+  // proportional to one frame, not to the whole stream.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return std::optional<Frame>{};
+
+  if (pending[0] != kMagic0 || pending[1] != kMagic1) {
+    error_ = Corrupt("bad magic");
+    return error_;
+  }
+  if (static_cast<uint8_t>(pending[2]) != kProtocolVersion) {
+    error_ = Corrupt("protocol version mismatch");
+    return error_;
+  }
+  const uint8_t type = static_cast<uint8_t>(pending[3]);
+  if (!ValidFrameType(type)) {
+    error_ = Corrupt("unknown frame type");
+    return error_;
+  }
+  std::string_view length_view = pending.substr(4, 4);
+  uint32_t body_len = 0;
+  codec::GetFixed32(&length_view, &body_len);
+  if (body_len > kMaxFrameBody) {
+    error_ = Corrupt("frame body exceeds kMaxFrameBody");
+    return error_;
+  }
+  const size_t total = kFrameHeaderBytes + body_len + kFrameChecksumBytes;
+  if (pending.size() < total) return std::optional<Frame>{};
+
+  const std::string_view checked = pending.substr(0, total - kFrameChecksumBytes);
+  std::string_view checksum_view = pending.substr(total - kFrameChecksumBytes);
+  uint64_t checksum = 0;
+  codec::GetFixed64(&checksum_view, &checksum);
+  if (checksum != codec::Fnv1a(checked)) {
+    error_ = Corrupt("checksum mismatch");
+    return error_;
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body.assign(pending.data() + kFrameHeaderBytes, body_len);
+  consumed_ += total;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+Frame MakeSubscribeFrame(const SubscribeRequest& request) {
+  Frame frame;
+  frame.type = FrameType::kSubscribe;
+  codec::AppendVarint64(frame.body, request.protocol_version);
+  codec::AppendLengthPrefixed(frame.body, request.topic);
+  codec::AppendVarint64(frame.body, request.resume_after_lsn);
+  codec::AppendVarint64(frame.body, request.initial_credits);
+  return frame;
+}
+
+Frame MakeSubscribeAckFrame(const SubscribeAck& ack) {
+  Frame frame;
+  frame.type = FrameType::kSubscribeAck;
+  codec::AppendVarint64(frame.body, ack.protocol_version);
+  codec::AppendVarint64(frame.body, ack.retained_floor_lsn);
+  codec::AppendVarint64(frame.body, ack.last_published_lsn);
+  codec::AppendLengthPrefixed(frame.body, ack.catalog);
+  return frame;
+}
+
+Frame MakeBatchFrame(const BatchPayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kBatch;
+  codec::AppendVarint64(frame.body, payload.min_lsn);
+  codec::AppendVarint64(frame.body, payload.max_lsn);
+  codec::AppendVarint64(frame.body, payload.txn_count);
+  codec::AppendVarint64(frame.body,
+                        codec::ZigZagEncode(payload.publish_micros));
+  codec::AppendLengthPrefixed(frame.body, payload.batch_bytes);
+  return frame;
+}
+
+Frame MakeCreditFrame(const CreditGrant& grant) {
+  Frame frame;
+  frame.type = FrameType::kCredit;
+  codec::AppendVarint64(frame.body, grant.credits);
+  return frame;
+}
+
+Frame MakeByeFrame(std::string_view reason) {
+  Frame frame;
+  frame.type = FrameType::kBye;
+  codec::AppendLengthPrefixed(frame.body, reason);
+  return frame;
+}
+
+Frame MakeErrorFrame(std::string_view reason) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  codec::AppendLengthPrefixed(frame.body, reason);
+  return frame;
+}
+
+Result<SubscribeRequest> ParseSubscribe(const Frame& frame) {
+  TXREP_RETURN_IF_ERROR(ExpectType(frame, FrameType::kSubscribe));
+  std::string_view src = frame.body;
+  SubscribeRequest request;
+  std::string_view topic;
+  if (!codec::GetVarint64(&src, &request.protocol_version) ||
+      !codec::GetLengthPrefixed(&src, &topic) ||
+      !codec::GetVarint64(&src, &request.resume_after_lsn) ||
+      !codec::GetVarint64(&src, &request.initial_credits) || !src.empty()) {
+    return Corrupt("malformed SUBSCRIBE body");
+  }
+  request.topic.assign(topic);
+  return request;
+}
+
+Result<SubscribeAck> ParseSubscribeAck(const Frame& frame) {
+  TXREP_RETURN_IF_ERROR(ExpectType(frame, FrameType::kSubscribeAck));
+  std::string_view src = frame.body;
+  SubscribeAck ack;
+  std::string_view catalog;
+  if (!codec::GetVarint64(&src, &ack.protocol_version) ||
+      !codec::GetVarint64(&src, &ack.retained_floor_lsn) ||
+      !codec::GetVarint64(&src, &ack.last_published_lsn) ||
+      !codec::GetLengthPrefixed(&src, &catalog) || !src.empty()) {
+    return Corrupt("malformed SUBSCRIBE_ACK body");
+  }
+  ack.catalog.assign(catalog);
+  return ack;
+}
+
+Result<BatchPayload> ParseBatch(const Frame& frame) {
+  TXREP_RETURN_IF_ERROR(ExpectType(frame, FrameType::kBatch));
+  std::string_view src = frame.body;
+  BatchPayload payload;
+  uint64_t publish_zigzag = 0;
+  std::string_view batch;
+  if (!codec::GetVarint64(&src, &payload.min_lsn) ||
+      !codec::GetVarint64(&src, &payload.max_lsn) ||
+      !codec::GetVarint64(&src, &payload.txn_count) ||
+      !codec::GetVarint64(&src, &publish_zigzag) ||
+      !codec::GetLengthPrefixed(&src, &batch) || !src.empty()) {
+    return Corrupt("malformed BATCH body");
+  }
+  if (payload.min_lsn > payload.max_lsn || payload.txn_count == 0) {
+    return Corrupt("BATCH lsn range invalid");
+  }
+  payload.publish_micros = codec::ZigZagDecode(publish_zigzag);
+  payload.batch_bytes.assign(batch);
+  return payload;
+}
+
+Result<CreditGrant> ParseCredit(const Frame& frame) {
+  TXREP_RETURN_IF_ERROR(ExpectType(frame, FrameType::kCredit));
+  std::string_view src = frame.body;
+  CreditGrant grant;
+  if (!codec::GetVarint64(&src, &grant.credits) || !src.empty()) {
+    return Corrupt("malformed CREDIT body");
+  }
+  return grant;
+}
+
+namespace {
+
+Result<std::string> ParseReason(const Frame& frame, FrameType type,
+                                const char* what) {
+  TXREP_RETURN_IF_ERROR(ExpectType(frame, type));
+  std::string_view src = frame.body;
+  std::string_view reason;
+  if (!codec::GetLengthPrefixed(&src, &reason) || !src.empty()) {
+    return Corrupt(std::string("malformed ") + what + " body");
+  }
+  return std::string(reason);
+}
+
+}  // namespace
+
+Result<std::string> ParseBye(const Frame& frame) {
+  return ParseReason(frame, FrameType::kBye, "BYE");
+}
+
+Result<std::string> ParseError(const Frame& frame) {
+  return ParseReason(frame, FrameType::kError, "ERROR");
+}
+
+}  // namespace txrep::net

@@ -1,0 +1,155 @@
+#ifndef TXREP_NET_FRAME_H_
+#define TXREP_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace txrep::net {
+
+/// Replication wire protocol version. Bumped on any incompatible frame or
+/// payload layout change; the handshake rejects mismatches.
+inline constexpr uint64_t kProtocolVersion = 1;
+
+/// Frame types of the broker→replica replication protocol (DESIGN.md §13).
+enum class FrameType : uint8_t {
+  /// Client → server: open a log subscription (topic, resume LSN, credits).
+  kSubscribe = 1,
+  /// Server → client: subscription accepted; carries the catalog snapshot.
+  kSubscribeAck = 2,
+  /// Server → client: one replication batch (EncodeLogBatch payload).
+  kBatch = 3,
+  /// Client → server: replenish flow-control credits.
+  kCredit = 4,
+  /// Either direction: orderly stream end.
+  kBye = 5,
+  /// Server → client: subscription rejected / stream failed; body = reason.
+  kError = 6,
+};
+
+/// Returns a stable display name ("SUBSCRIBE", "BATCH", ...).
+const char* FrameTypeName(FrameType type);
+
+/// One decoded wire frame: a type plus an opaque body. The body of control
+/// frames is described by the typed payload structs below; the body of kBatch
+/// is BatchPayload.
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::string body;
+};
+
+bool operator==(const Frame& a, const Frame& b);
+
+/// Frame layout (DESIGN.md §13):
+///
+///   offset 0  magic 'T' 'R'            (2 bytes)
+///   offset 2  protocol version          (1 byte)
+///   offset 3  frame type                (1 byte)
+///   offset 4  body length N, fixed32 LE (4 bytes)
+///   offset 8  body                      (N bytes)
+///   8 + N     FNV-1a over [0, 8+N), fixed64 LE (8 bytes)
+///
+/// The checksum covers the header too, so a flipped type/length byte is
+/// detected even when the (attacker-chosen) body still parses. Body size is
+/// capped at kMaxFrameBody: a corrupt length can stall a stream (the decoder
+/// waits for bytes that never come) but can never allocate unbounded memory.
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr size_t kFrameChecksumBytes = 8;
+inline constexpr size_t kMaxFrameBody = 64u << 20;  // 64 MiB
+
+/// Encodes one frame (header + body + checksum).
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental frame decoder for a byte stream: Feed() received bytes, then
+/// drain complete frames with Next(). Corruption (bad magic/version/type,
+/// oversized body, checksum mismatch) is sticky — a byte stream that lost
+/// sync cannot be trusted again; the session must be torn down and
+/// re-established.
+class FrameDecoder {
+ public:
+  /// Appends received bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Next complete frame; nullopt when more bytes are needed.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already decoded.
+  Status error_ = Status::OK();
+};
+
+// --- typed control payloads -------------------------------------------------
+
+/// kSubscribe body.
+struct SubscribeRequest {
+  uint64_t protocol_version = kProtocolVersion;
+  std::string topic;
+  /// Transactions with lsn <= this are already applied on the subscriber;
+  /// the server starts the stream after them (batch granularity — a batch
+  /// straddling the resume point is sent whole and deduped client-side).
+  uint64_t resume_after_lsn = 0;
+  /// Initial flow-control window, in batches the server may send before the
+  /// first kCredit top-up.
+  uint64_t initial_credits = 0;
+};
+
+/// kSubscribeAck body.
+struct SubscribeAck {
+  uint64_t protocol_version = kProtocolVersion;
+  /// Lowest LSN the server's retention can still replay (0 = from the very
+  /// beginning). A resume point below this is a hard gap: the subscriber
+  /// must bootstrap from a checkpoint instead.
+  uint64_t retained_floor_lsn = 0;
+  /// Highest LSN published when the subscription was accepted.
+  uint64_t last_published_lsn = 0;
+  /// EncodeCatalog snapshot of the publisher's relational catalog, so a
+  /// remote replica process can build its QueryTranslator without sharing an
+  /// address space. Empty when the server has no catalog attached.
+  std::string catalog;
+};
+
+/// kBatch body: the dense-LSN range plus the EncodeLogBatch bytes (which
+/// carry per-transaction trace contexts and their own trailing checksum).
+struct BatchPayload {
+  uint64_t min_lsn = 0;
+  uint64_t max_lsn = 0;
+  uint64_t txn_count = 0;
+  /// Broker publish instant (steady-clock micros of the *publisher*
+  /// process; comparable across socketpair peers, only indicative over TCP).
+  int64_t publish_micros = 0;
+  std::string batch_bytes;
+};
+
+/// kCredit body.
+struct CreditGrant {
+  uint64_t credits = 0;
+};
+
+Frame MakeSubscribeFrame(const SubscribeRequest& request);
+Frame MakeSubscribeAckFrame(const SubscribeAck& ack);
+Frame MakeBatchFrame(const BatchPayload& payload);
+Frame MakeCreditFrame(const CreditGrant& grant);
+Frame MakeByeFrame(std::string_view reason);
+Frame MakeErrorFrame(std::string_view reason);
+
+/// Parsers return Corruption on a malformed body and InvalidArgument when
+/// the frame type does not match.
+Result<SubscribeRequest> ParseSubscribe(const Frame& frame);
+Result<SubscribeAck> ParseSubscribeAck(const Frame& frame);
+Result<BatchPayload> ParseBatch(const Frame& frame);
+Result<CreditGrant> ParseCredit(const Frame& frame);
+/// BYE / ERROR bodies carry a single length-prefixed reason string.
+Result<std::string> ParseBye(const Frame& frame);
+Result<std::string> ParseError(const Frame& frame);
+
+}  // namespace txrep::net
+
+#endif  // TXREP_NET_FRAME_H_

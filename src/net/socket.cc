@@ -1,0 +1,223 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace txrep::net {
+
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::Unavailable(std::string(op) + " failed: " +
+                             std::strerror(errno));
+}
+
+/// poll() with EINTR retry. Returns the revents of the fd (0 on timeout).
+Result<short> PollOne(int fd, short events, int64_t timeout_micros) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  // Round sub-millisecond timeouts up so a positive timeout never busy-spins.
+  int timeout_millis = static_cast<int>((timeout_micros + 999) / 1000);
+  if (timeout_micros < 0) timeout_millis = -1;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_millis);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    return static_cast<short>(n == 0 ? 0 : pfd.revents);
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), local_port_(other.local_port_) {
+  other.fd_ = -1;
+  other.local_port_ = 0;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    local_port_ = other.local_port_;
+    other.fd_ = -1;
+    other.local_port_ = 0;
+  }
+  return *this;
+}
+
+Status Socket::MakeNonBlocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<std::pair<Socket, Socket>> Socket::CreatePair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    return ErrnoStatus("socketpair");
+  }
+  Socket a(fds[0]);
+  Socket b(fds[1]);
+  TXREP_RETURN_IF_ERROR(a.MakeNonBlocking());
+  TXREP_RETURN_IF_ERROR(b.MakeNonBlocking());
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+Result<Socket> Socket::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket sock(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, 16) < 0) return ErrnoStatus("listen");
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  sock.local_port_ = ntohs(bound.sin_port);
+  TXREP_RETURN_IF_ERROR(sock.MakeNonBlocking());
+  return sock;
+}
+
+Result<Socket> Socket::Accept(int64_t timeout_micros) {
+  if (!valid()) return Status::Unavailable("accept on closed socket");
+  TXREP_ASSIGN_OR_RETURN(short revents,
+                         PollOne(fd_, POLLIN, timeout_micros));
+  if (revents == 0) return Status::TimedOut("accept timed out");
+  if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return Status::Unavailable("listening socket closed");
+  }
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::TimedOut("accept raced the connection away");
+      }
+      return ErrnoStatus("accept");
+    }
+    Socket sock(client);
+    const int one = 1;
+    // Replication batches are latency-sensitive; never Nagle-delay a frame.
+    (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    TXREP_RETURN_IF_ERROR(sock.MakeNonBlocking());
+    return sock;
+  }
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("connect: bad IPv4 address \"" + host +
+                                   "\"");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket sock(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TXREP_RETURN_IF_ERROR(sock.MakeNonBlocking());
+  return sock;
+}
+
+Result<size_t> Socket::Send(std::string_view bytes) {
+  if (!valid()) return Status::Unavailable("send on closed socket");
+  for (;;) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status, not SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return static_cast<size_t>(0);
+    return ErrnoStatus("send");
+  }
+}
+
+Result<size_t> Socket::Recv(char* buf, size_t len, bool* eof) {
+  *eof = false;
+  if (!valid()) return Status::Unavailable("recv on closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) {
+      *eof = true;
+      return static_cast<size_t>(0);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return static_cast<size_t>(0);
+    return ErrnoStatus("recv");
+  }
+}
+
+Status Socket::WaitReadable(int64_t timeout_micros) {
+  if (!valid()) return Status::Unavailable("wait on closed socket");
+  TXREP_ASSIGN_OR_RETURN(short revents, PollOne(fd_, POLLIN, timeout_micros));
+  if (revents == 0) return Status::TimedOut("socket not readable");
+  // POLLHUP/POLLERR still deliver the pending EOF/reset through Recv — let
+  // the caller read it out rather than losing buffered bytes.
+  return Status::OK();
+}
+
+Status Socket::WaitWritable(int64_t timeout_micros) {
+  if (!valid()) return Status::Unavailable("wait on closed socket");
+  TXREP_ASSIGN_OR_RETURN(short revents, PollOne(fd_, POLLOUT, timeout_micros));
+  if (revents == 0) return Status::TimedOut("socket not writable");
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    return Status::Unavailable("socket in error state");
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace txrep::net

@@ -1,0 +1,87 @@
+#ifndef TXREP_NET_SOCKET_H_
+#define TXREP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace txrep::net {
+
+/// RAII wrapper over a non-blocking stream socket (AF_UNIX socketpair or
+/// loopback TCP). This file and socket.cc are the ONLY places in src/ that
+/// issue socket/fd syscalls (scripts/lint.sh rule 6): every poll/send/recv
+/// quirk — partial writes, EINTR, SIGPIPE, EOF-vs-would-block — is handled
+/// here once, and the transport above reasons purely in frames and Status.
+///
+/// Concurrency contract: one reader thread and one writer thread may use the
+/// same Socket concurrently (full-duplex, like the underlying fd);
+/// ShutdownBoth()/Close() may be called from a third thread to force both
+/// out of their poll waits.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connected AF_UNIX stream pair — the in-machine transport (benches, the
+  /// schedule explorer's wire mode, single-host multi-replica tests).
+  static Result<std::pair<Socket, Socket>> CreatePair();
+
+  /// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral; local_port()
+  /// tells which one the kernel picked).
+  static Result<Socket> Listen(uint16_t port);
+
+  /// Accepts one connection; TimedOut when none arrives in time,
+  /// Unavailable once the socket is shut down.
+  Result<Socket> Accept(int64_t timeout_micros);
+
+  /// Connects to `host`:`port` (TCP).
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// Sends at most bytes.size(); returns the number written — 0 means the
+  /// kernel buffer is full (would-block), call WaitWritable and retry.
+  /// Unavailable when the peer is gone.
+  Result<size_t> Send(std::string_view bytes);
+
+  /// Reads up to `len` bytes into `buf`; returns the number read — 0 means
+  /// would-block unless `*eof` was set (orderly peer close). Unavailable on
+  /// connection reset.
+  Result<size_t> Recv(char* buf, size_t len, bool* eof);
+
+  /// Blocks until readable / writable: OK, TimedOut, or Unavailable when the
+  /// fd is closed or in error state.
+  Status WaitReadable(int64_t timeout_micros);
+  Status WaitWritable(int64_t timeout_micros);
+
+  /// Forcefully tears the connection down (both directions): the peer sees
+  /// EOF/reset, local blocked waits return. The test hook behind every
+  /// kill-and-reconnect scenario. Idempotent; fd stays owned until Close().
+  void ShutdownBoth();
+
+  void Close();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Port a Listen() socket is bound to (0 for other sockets).
+  uint16_t local_port() const { return local_port_; }
+
+ private:
+  Status MakeNonBlocking();
+
+  int fd_ = -1;
+  uint16_t local_port_ = 0;
+};
+
+}  // namespace txrep::net
+
+#endif  // TXREP_NET_SOCKET_H_

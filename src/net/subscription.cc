@@ -1,0 +1,235 @@
+#include "net/subscription.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "obs/names.h"
+
+namespace txrep::net {
+
+NetSubscription::NetSubscription(SocketFactory factory,
+                                 NetSubscriptionOptions options,
+                                 obs::MetricsRegistry* metrics)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      metrics_(metrics),
+      queue_(options_.queue_capacity) {
+  {
+    check::MutexLock lock(&mu_);
+    delivered_lsn_ = options_.resume_after_lsn;
+  }
+  if (metrics_ != nullptr) {
+    c_connects_ = metrics_->GetCounter(obs::kNetConnects);
+  }
+  connect_thread_ = std::thread([this] { ConnectLoop(); });
+}
+
+NetSubscription::~NetSubscription() { Close(); }
+
+void NetSubscription::ConnectLoop() {
+  int failed_attempts = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    Result<Socket> socket = factory_();
+    if (!socket.ok()) {
+      ++failed_attempts;
+      if (options_.max_connect_attempts > 0 &&
+          failed_attempts >= options_.max_connect_attempts) {
+        Fail(socket.status());
+        break;
+      }
+      SleepForMicros(options_.reconnect_backoff_micros);
+      continue;
+    }
+    failed_attempts = 0;
+    if (!RunOnce(std::move(*socket))) break;
+    // Transport dropped mid-stream: re-dial and resume from the high-water
+    // LSN. Back off a little so a flapping server isn't hammered.
+    if (running_.load(std::memory_order_relaxed)) {
+      SleepForMicros(options_.reconnect_backoff_micros);
+    }
+  }
+  // End of stream, orderly or not: consumers drain, then see nullopt.
+  queue_.Close();
+  check::MutexLock lock(&mu_);
+  ended_ = true;
+  cv_.NotifyAll();
+}
+
+bool NetSubscription::RunOnce(Socket socket) {
+  auto transport = std::make_unique<FrameTransport>(
+      std::move(socket), options_.transport, metrics_, "client");
+  {
+    check::MutexLock lock(&mu_);
+    transport_ = transport.get();
+  }
+  // Make sure the pointer is cleared before the transport dies, whatever
+  // path exits this function.
+  struct Deregister {
+    NetSubscription* self;
+    ~Deregister() {
+      check::MutexLock lock(&self->mu_);
+      self->transport_ = nullptr;
+    }
+  } deregister{this};
+
+  // --- handshake -----------------------------------------------------------
+  SubscribeRequest request;
+  request.topic = options_.topic;
+  request.initial_credits = options_.initial_credits;
+  request.resume_after_lsn = delivered_lsn();
+  if (!transport->Send(MakeSubscribeFrame(request))) return true;
+  std::optional<Frame> reply = transport->Receive();
+  if (!reply.has_value()) {
+    // Never even got an ack — transient (server restarting); retry.
+    return true;
+  }
+  if (reply->type == FrameType::kError) {
+    // The server rejected us outright (resume below retention floor,
+    // version/topic mismatch). Retrying cannot help.
+    Result<std::string> reason = ParseError(*reply);
+    Fail(Status::Unavailable("subscription rejected: " +
+                             (reason.ok() ? *reason : reply->body)));
+    return false;
+  }
+  Result<SubscribeAck> ack = ParseSubscribeAck(*reply);
+  if (!ack.ok()) {
+    Fail(ack.status());
+    return false;
+  }
+  if (ack->protocol_version != kProtocolVersion) {
+    Fail(Status::Unavailable("server speaks protocol version " +
+                             std::to_string(ack->protocol_version)));
+    return false;
+  }
+  {
+    check::MutexLock lock(&mu_);
+    if (!connected_once_) catalog_ = ack->catalog;
+    connected_once_ = true;
+    ++connects_;
+    cv_.NotifyAll();
+  }
+  if (c_connects_ != nullptr) c_connects_->Increment();
+
+  // --- batch stream --------------------------------------------------------
+  while (std::optional<Frame> frame = transport->Receive()) {
+    switch (frame->type) {
+      case FrameType::kBatch: {
+        Result<BatchPayload> batch = ParseBatch(*frame);
+        if (!batch.ok()) {
+          Fail(batch.status());
+          return false;
+        }
+        const uint64_t high_water = delivered_lsn();
+        if (batch->max_lsn <= high_water) {
+          // Fully-duplicate batch (reconnect replayed retention we already
+          // consumed). Drop it — but it did cost a server credit.
+          transport->Send(MakeCreditFrame({1}));
+          continue;
+        }
+        if (batch->min_lsn > high_water + 1) {
+          // LSNs are dense; a hole means retention or the transport lost
+          // data underneath us. Same invariant recovery enforces on the log
+          // tail: refuse to continue rather than apply with a gap.
+          Fail(Status::Corruption(
+              "LSN gap on the wire: have " + std::to_string(high_water) +
+              ", next batch starts at " + std::to_string(batch->min_lsn)));
+          return false;
+        }
+        mw::Message message;
+        message.topic = options_.topic;
+        message.payload = std::move(batch->batch_bytes);
+        message.publish_micros = batch->publish_micros;
+        message.deliver_micros = NowMicros();
+        if (!queue_.Push(std::move(message))) return false;  // Closed.
+        {
+          check::MutexLock lock(&mu_);
+          if (batch->max_lsn > delivered_lsn_) {
+            delivered_lsn_ = batch->max_lsn;
+          }
+        }
+        // Credit only after the (possibly bounded) queue accepted the
+        // batch: a stalled local consumer stops the credit flow and the
+        // server's sender parks — backpressure across the wire.
+        transport->Send(MakeCreditFrame({1}));
+        break;
+      }
+      case FrameType::kBye:
+        // Orderly server shutdown: end of stream, no reconnect.
+        return false;
+      case FrameType::kError:
+        Fail(Status::Unavailable("server error: " + frame->body));
+        return false;
+      default:
+        Fail(Status::Corruption(std::string("unexpected frame ") +
+                                FrameTypeName(frame->type)));
+        return false;
+    }
+  }
+  // Stream ended without a Bye. A decode failure is sticky Corruption (the
+  // stream lost sync — do not trust a resume either... but the server frames
+  // are checksummed per-batch, so resuming is safe: the bad bytes never
+  // reached the log). Treat everything as a drop: reconnect unless closing.
+  if (transport->health().IsCorruption()) {
+    TXREP_LOG(kWarn) << "net subscription dropped corrupt stream: "
+                     << transport->health().ToString();
+  }
+  return running_.load(std::memory_order_relaxed);
+}
+
+void NetSubscription::Fail(const Status& status) {
+  TXREP_LOG(kWarn) << "net subscription failed: " << status.ToString();
+  check::MutexLock lock(&mu_);
+  if (health_.ok()) health_ = status;
+  cv_.NotifyAll();
+}
+
+void NetSubscription::Close() {
+  running_.store(false, std::memory_order_relaxed);
+  queue_.Close();
+  {
+    check::MutexLock lock(&mu_);
+    if (transport_ != nullptr) transport_->Abort();
+    cv_.NotifyAll();
+  }
+  if (connect_thread_.joinable() &&
+      connect_thread_.get_id() != std::this_thread::get_id()) {
+    connect_thread_.join();
+  }
+}
+
+Status NetSubscription::WaitConnected() {
+  check::MutexLock lock(&mu_);
+  while (!connected_once_ && health_.ok() && !ended_) cv_.Wait();
+  if (connected_once_) return Status::OK();
+  if (!health_.ok()) return health_;
+  return Status::Unavailable("subscription closed before connecting");
+}
+
+std::string NetSubscription::catalog() const {
+  check::MutexLock lock(&mu_);
+  return catalog_;
+}
+
+Status NetSubscription::health() const {
+  check::MutexLock lock(&mu_);
+  return health_;
+}
+
+uint64_t NetSubscription::delivered_lsn() const {
+  check::MutexLock lock(&mu_);
+  return delivered_lsn_;
+}
+
+int64_t NetSubscription::connects() const {
+  check::MutexLock lock(&mu_);
+  return connects_;
+}
+
+void NetSubscription::InjectDisconnect() {
+  check::MutexLock lock(&mu_);
+  if (transport_ != nullptr) transport_->Abort();
+}
+
+}  // namespace txrep::net

@@ -1,0 +1,153 @@
+#ifndef TXREP_NET_SUBSCRIPTION_H_
+#define TXREP_NET_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "check/mutex.h"
+#include "common/blocking_queue.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "mw/broker.h"
+#include "mw/message_source.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace txrep::net {
+
+/// NetSubscription knobs.
+struct NetSubscriptionOptions {
+  /// Topic to subscribe (must match the endpoint's).
+  std::string topic = "txrep.log";
+
+  /// Transactions with lsn <= this are already applied locally; the stream
+  /// starts after them.
+  uint64_t resume_after_lsn = 0;
+
+  /// Flow-control window, in batches: granted at subscribe, topped up one
+  /// credit per batch consumed, so the server never has more than this many
+  /// batches in flight.
+  uint64_t initial_credits = 64;
+
+  /// Bound on the delivered-message queue (0 = unbounded, like the broker's
+  /// default). A bounded queue propagates local apply backpressure onto the
+  /// wire: the receive loop stops crediting, the server stalls.
+  size_t queue_capacity = 0;
+
+  /// Wait between reconnect attempts.
+  int64_t reconnect_backoff_micros = 20'000;
+
+  /// Give up after this many consecutive failed connect attempts
+  /// (0 = retry until Close()). A successful handshake resets the count.
+  int max_connect_attempts = 0;
+
+  /// Transport queues of each connection.
+  TransportOptions transport;
+};
+
+/// Replica-side wire subscriber: connects to a NetEndpoint, performs the
+/// kSubscribe handshake, and turns the credit-gated kBatch stream back into
+/// mw::Messages — a drop-in MessageSource for SubscriberAgent, so the whole
+/// replica pipeline runs unchanged across a process boundary.
+///
+/// Reconnect: when the transport drops mid-stream (reset, kill, endpoint
+/// DropSessions), the subscription re-dials and resumes from its high-water
+/// LSN. Fully-duplicate batches are discarded here; a batch straddling the
+/// resume point is passed through whole and deduped per-transaction by the
+/// agent. A gap (next batch's min LSN above high-water + 1) is unrecoverable
+/// Corruption — dense LSNs are the ordering invariant, mirroring recovery's
+/// gap detection.
+class NetSubscription : public mw::MessageSource {
+ public:
+  /// Dials the server; called for the initial connection and every
+  /// reconnect. Tests hand out socketpair ends; production wraps
+  /// Socket::Connect(host, port).
+  using SocketFactory = std::function<Result<Socket>()>;
+
+  /// Starts the connection thread immediately. `metrics` (optional, must
+  /// outlive the subscription) receives the connects counter and client-role
+  /// transport counters.
+  explicit NetSubscription(SocketFactory factory,
+                           NetSubscriptionOptions options = {},
+                           obs::MetricsRegistry* metrics = nullptr);
+
+  ~NetSubscription() override;
+
+  NetSubscription(const NetSubscription&) = delete;
+  NetSubscription& operator=(const NetSubscription&) = delete;
+
+  // MessageSource:
+  std::optional<mw::Message> Pop() override { return queue_.Pop(); }
+  std::optional<mw::Message> TryPop() override { return queue_.TryPop(); }
+  /// Ends the stream and the connection thread. Idempotent.
+  void Close() override;
+  size_t Pending() const override { return queue_.size(); }
+
+  /// Blocks until the first handshake completed, then returns OK — or the
+  /// sticky error when the subscription failed first (resume gap, protocol
+  /// mismatch, connect attempts exhausted).
+  Status WaitConnected();
+
+  /// Encoded catalog (codec::EncodeCatalog bytes) from the kSubscribeAck;
+  /// empty before the first handshake.
+  std::string catalog() const;
+
+  /// Sticky fatal error; OK while healthy (transient drops reconnect and
+  /// stay OK).
+  Status health() const;
+
+  /// High-water mark: max LSN handed into the queue (or resumed past).
+  uint64_t delivered_lsn() const;
+
+  /// Successful handshakes, so reconnects = connects() - 1.
+  int64_t connects() const;
+
+  /// Test hook: hard-aborts the live connection, as if the network died.
+  /// The connection thread notices and re-dials.
+  void InjectDisconnect();
+
+ private:
+  void ConnectLoop();
+
+  /// One dial + handshake + receive session. Returns true to reconnect,
+  /// false to end the stream for good.
+  bool RunOnce(Socket socket);
+
+  void Fail(const Status& status);
+
+  // analyze: lock-free(set in ctor, immutable afterwards)
+  const SocketFactory factory_;
+  const NetSubscriptionOptions options_;
+  // analyze: lock-free(set in ctor, never reseated; pointee has its own synchronization)
+  obs::MetricsRegistry* metrics_;  // Not owned; may be null.
+
+  // analyze: lock-free(BlockingQueue is internally synchronized)
+  BlockingQueue<mw::Message> queue_;
+
+  mutable check::Mutex mu_{"net.subscription.mu"};
+  check::CondVar cv_{&mu_};
+  Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
+  std::string catalog_ TXREP_GUARDED_BY(mu_);
+  uint64_t delivered_lsn_ TXREP_GUARDED_BY(mu_) = 0;
+  int64_t connects_ TXREP_GUARDED_BY(mu_) = 0;
+  bool connected_once_ TXREP_GUARDED_BY(mu_) = false;
+  bool ended_ TXREP_GUARDED_BY(mu_) = false;
+  /// Live transport of the current session, for InjectDisconnect; owned by
+  /// the connection thread, which nulls it (under mu_) before destruction.
+  FrameTransport* transport_ TXREP_GUARDED_BY(mu_) = nullptr;
+
+  std::atomic<bool> running_{true};
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
+  std::thread connect_thread_;
+
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_connects_ = nullptr;
+};
+
+}  // namespace txrep::net
+
+#endif  // TXREP_NET_SUBSCRIPTION_H_

@@ -1,0 +1,215 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "obs/names.h"
+
+namespace txrep::net {
+
+FrameTransport::FrameTransport(Socket socket, TransportOptions options,
+                               obs::MetricsRegistry* metrics, const char* role)
+    : options_(options),
+      socket_(std::move(socket)),
+      send_queue_(options.send_queue_capacity),
+      recv_queue_(options.recv_queue_capacity) {
+  if (metrics != nullptr) {
+    const obs::Labels labels = {{"role", role}};
+    c_frames_sent_ = metrics->GetCounter(obs::kNetFramesSent, labels);
+    c_frames_received_ = metrics->GetCounter(obs::kNetFramesReceived, labels);
+    c_bytes_sent_ = metrics->GetCounter(obs::kNetBytesSent, labels);
+    c_bytes_received_ = metrics->GetCounter(obs::kNetBytesReceived, labels);
+    c_backpressure_stalls_ =
+        metrics->GetCounter(obs::kNetBackpressureStalls, labels);
+    g_send_depth_ =
+        metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueNetSend}});
+    g_recv_depth_ =
+        metrics->GetGauge(obs::kQueueDepth, {{"queue", obs::kQueueNetRecv}});
+  }
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+  reader_thread_ = std::thread([this] { ReaderLoop(); });
+}
+
+FrameTransport::~FrameTransport() { Close(); }
+
+bool FrameTransport::Send(Frame frame) {
+  std::string encoded = EncodeFrame(frame);
+  if (send_queue_.size() >= options_.send_queue_capacity &&
+      c_backpressure_stalls_ != nullptr) {
+    c_backpressure_stalls_->Increment();
+  }
+  if (!send_queue_.Push(std::move(encoded))) return false;
+  if (g_send_depth_ != nullptr) {
+    g_send_depth_->Set(static_cast<int64_t>(send_queue_.size()));
+  }
+  return true;
+}
+
+std::optional<Frame> FrameTransport::Receive() {
+  std::optional<Frame> frame = recv_queue_.Pop();
+  if (g_recv_depth_ != nullptr) {
+    g_recv_depth_->Set(static_cast<int64_t>(recv_queue_.size()));
+  }
+  return frame;
+}
+
+std::optional<Frame> FrameTransport::TryReceive() {
+  std::optional<Frame> frame = recv_queue_.TryPop();
+  if (frame.has_value() && g_recv_depth_ != nullptr) {
+    g_recv_depth_->Set(static_cast<int64_t>(recv_queue_.size()));
+  }
+  return frame;
+}
+
+void FrameTransport::WriterLoop() {
+  for (;;) {
+    std::optional<std::string> encoded = send_queue_.Pop();
+    if (!encoded.has_value()) return;  // Closed and drained.
+    if (g_send_depth_ != nullptr) {
+      g_send_depth_->Set(static_cast<int64_t>(send_queue_.size()));
+    }
+    std::string_view remaining = *encoded;
+    // Bound the total stall per frame so Close() can never hang behind a
+    // peer that stopped reading: after the cap the frame (and the stream)
+    // is abandoned with an Unavailable health.
+    int64_t stalled_micros = 0;
+    const int64_t max_stall = options_.poll_timeout_micros * 250;
+    while (!remaining.empty()) {
+      Result<size_t> sent = socket_.Send(remaining);
+      if (!sent.ok()) {
+        FailWriter(sent.status());
+        return;
+      }
+      if (*sent == 0) {
+        if (!running_.load(std::memory_order_relaxed)) return;
+        if (c_backpressure_stalls_ != nullptr) {
+          c_backpressure_stalls_->Increment();
+        }
+        Status writable = socket_.WaitWritable(options_.poll_timeout_micros);
+        if (writable.IsTimedOut()) {
+          stalled_micros += options_.poll_timeout_micros;
+          if (stalled_micros >= max_stall) {
+            FailWriter(Status::Unavailable("send stalled past flush bound"));
+            return;
+          }
+          continue;
+        }
+        if (!writable.ok()) {
+          FailWriter(writable);
+          return;
+        }
+        continue;
+      }
+      if (c_bytes_sent_ != nullptr) {
+        c_bytes_sent_->Increment(static_cast<int64_t>(*sent));
+      }
+      remaining.remove_prefix(*sent);
+    }
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (c_frames_sent_ != nullptr) c_frames_sent_->Increment();
+  }
+}
+
+void FrameTransport::ReaderLoop() {
+  FrameDecoder decoder;
+  char buf[64 << 10];
+  while (running_.load(std::memory_order_relaxed)) {
+    Status readable = socket_.WaitReadable(options_.poll_timeout_micros);
+    if (readable.IsTimedOut()) continue;
+    if (!readable.ok()) break;
+    bool eof = false;
+    Result<size_t> received = socket_.Recv(buf, sizeof(buf), &eof);
+    if (!received.ok()) {
+      SetHealth(received.status());
+      break;
+    }
+    if (eof) break;  // Orderly peer close; health stays OK.
+    if (*received == 0) continue;
+    if (c_bytes_received_ != nullptr) {
+      c_bytes_received_->Increment(static_cast<int64_t>(*received));
+    }
+    decoder.Feed(std::string_view(buf, *received));
+    bool failed = false;
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        SetHealth(next.status());
+        failed = true;
+        break;
+      }
+      if (!next->has_value()) break;
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      if (c_frames_received_ != nullptr) c_frames_received_->Increment();
+      if (recv_queue_.size() >= options_.recv_queue_capacity &&
+          c_backpressure_stalls_ != nullptr) {
+        // The inbound queue is full: parking here stops draining the kernel
+        // buffer, which is how backpressure crosses the wire to the sender.
+        c_backpressure_stalls_->Increment();
+      }
+      if (!recv_queue_.Push(std::move(**next))) {
+        failed = true;  // Local shutdown raced us.
+        break;
+      }
+      if (g_recv_depth_ != nullptr) {
+        g_recv_depth_->Set(static_cast<int64_t>(recv_queue_.size()));
+      }
+    }
+    if (failed) break;
+  }
+  // End of inbound stream: consumers drain what arrived, then see nullopt.
+  recv_queue_.Close();
+}
+
+void FrameTransport::SetHealth(const Status& status) {
+  check::MutexLock lock(&mu_);
+  if (health_.ok() && !stopped_) health_ = status;
+}
+
+void FrameTransport::FailWriter(const Status& status) {
+  SetHealth(status);
+  // The stream is dead: unblock producers parked on a full send queue (their
+  // Send() returns false) and wake the reader so it observes the teardown —
+  // otherwise a Send() against a vanished peer could block forever.
+  send_queue_.Close();
+  socket_.ShutdownBoth();
+}
+
+Status FrameTransport::health() const {
+  check::MutexLock lock(&mu_);
+  return health_;
+}
+
+void FrameTransport::TearDown(bool flush_queued) {
+  {
+    check::MutexLock lock(&mu_);
+    stopped_ = true;
+  }
+  if (!flush_queued) {
+    running_.store(false, std::memory_order_relaxed);
+    socket_.ShutdownBoth();
+  }
+  send_queue_.Close();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  // Writer is drained (or abandoned); now tear the socket down so the
+  // reader's poll wakes with EOF, and join it.
+  running_.store(false, std::memory_order_relaxed);
+  socket_.ShutdownBoth();
+  if (reader_thread_.joinable()) reader_thread_.join();
+  recv_queue_.Close();
+}
+
+void FrameTransport::Close() { TearDown(/*flush_queued=*/true); }
+
+void FrameTransport::Abort() {
+  {
+    check::MutexLock lock(&mu_);
+    if (health_.ok() && !stopped_) {
+      health_ = Status::Unavailable("transport aborted");
+    }
+  }
+  running_.store(false, std::memory_order_relaxed);
+  socket_.ShutdownBoth();
+  send_queue_.Close();
+  recv_queue_.Close();
+}
+
+}  // namespace txrep::net

@@ -1,0 +1,139 @@
+#ifndef TXREP_NET_TRANSPORT_H_
+#define TXREP_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "check/mutex.h"
+#include "common/blocking_queue.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace txrep::net {
+
+/// FrameTransport knobs.
+struct TransportOptions {
+  /// Bound on the outbound frame queue; a full queue blocks Send() — the
+  /// local edge of the backpressure chain (DESIGN.md §13).
+  size_t send_queue_capacity = 128;
+
+  /// Bound on the inbound frame queue; a full queue parks the reader thread,
+  /// which stops draining the kernel buffer, which stalls the remote writer.
+  size_t recv_queue_capacity = 128;
+
+  /// Poll timeout of the I/O threads; bounds Stop() latency, nothing else.
+  int64_t poll_timeout_micros = 20'000;
+};
+
+/// Full-duplex framed connection over one Socket: a writer thread drains a
+/// bounded send queue through non-blocking writes (poll on would-block), a
+/// reader thread feeds a FrameDecoder and publishes complete frames to a
+/// bounded receive queue. Everything above this class reasons in frames;
+/// everything below (socket.h) reasons in bytes.
+///
+/// Shutdown semantics:
+///  - Close(): stops accepting new Send()s, flushes frames already queued,
+///    then tears the socket down. The orderly path.
+///  - Abort(): immediate shutdown(SHUT_RDWR) — in-flight data is dropped and
+///    the peer sees EOF/reset. The kill-and-reconnect test path.
+/// After either, Receive() drains whatever arrived and then returns nullopt.
+class FrameTransport {
+ public:
+  /// `metrics` (optional, must outlive the transport) receives frame/byte
+  /// counters and queue-depth gauges, labeled {role="`role`"} — pass
+  /// "server" / "client" so both ends of a socketpair stay distinguishable.
+  FrameTransport(Socket socket, TransportOptions options = {},
+                 obs::MetricsRegistry* metrics = nullptr,
+                 const char* role = "client");
+
+  ~FrameTransport();
+
+  FrameTransport(const FrameTransport&) = delete;
+  FrameTransport& operator=(const FrameTransport&) = delete;
+
+  /// Enqueues one frame for sending; blocks while the send queue is full.
+  /// False once the transport is closed/aborted (frame dropped).
+  bool Send(Frame frame);
+
+  /// Next received frame; blocks. nullopt once the stream ended (peer EOF,
+  /// local Close/Abort, or transport error — see health()).
+  std::optional<Frame> Receive();
+
+  /// Non-blocking variant of Receive().
+  std::optional<Frame> TryReceive();
+
+  /// Orderly shutdown: no new sends, queued frames flushed, socket torn
+  /// down. Idempotent, joins the I/O threads.
+  void Close();
+
+  /// Hard drop without flushing — simulates a network kill. Idempotent.
+  void Abort();
+
+  /// Sticky transport error: OK while healthy or after an orderly EOF;
+  /// Corruption when the inbound stream failed to decode, Unavailable when
+  /// the connection reset underneath us.
+  Status health() const;
+
+  int64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  int64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+  size_t send_queue_depth() const { return send_queue_.size(); }
+
+ private:
+  void WriterLoop();
+  void ReaderLoop();
+  void SetHealth(const Status& status);
+  /// Writer-side fatal error: records health, closes the send queue and
+  /// shuts the socket down so every other party unblocks.
+  void FailWriter(const Status& status);
+  void TearDown(bool flush_queued);
+
+  const TransportOptions options_;
+  // analyze: lock-free(fd owned here; I/O threads use it full-duplex, mutated only after joins)
+  Socket socket_;
+
+  // analyze: lock-free(BlockingQueue is internally synchronized)
+  BlockingQueue<std::string> send_queue_;  // Encoded frames.
+  // analyze: lock-free(BlockingQueue is internally synchronized)
+  BlockingQueue<Frame> recv_queue_;
+
+  mutable check::Mutex mu_{"net.transport.mu"};
+  Status health_ TXREP_GUARDED_BY(mu_) = Status::OK();
+  bool stopped_ TXREP_GUARDED_BY(mu_) = false;
+
+  std::atomic<bool> running_{true};
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> frames_received_{0};
+
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
+  std::thread writer_thread_;
+  // analyze: lock-free(thread handle; started once, joined in Stop/dtor only)
+  std::thread reader_thread_;
+
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_frames_sent_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_frames_received_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_bytes_sent_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_bytes_received_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_backpressure_stalls_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Gauge* g_send_depth_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Gauge* g_recv_depth_ = nullptr;
+};
+
+}  // namespace txrep::net
+
+#endif  // TXREP_NET_TRANSPORT_H_

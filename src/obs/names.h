@@ -90,6 +90,29 @@ inline constexpr char kMwMessagesDelivered[] =
 inline constexpr char kMwBatchSize[] = "txrep_mw_batch_size";
 inline constexpr char kMwTxnsReceived[] = "txrep_mw_txns_received_total";
 
+// --- wire replication (src/net/, DESIGN.md §13) -----------------------------
+/// Frames sent / received, labeled {role="server"|"client"}.
+inline constexpr char kNetFramesSent[] = "txrep_net_frames_sent_total";
+inline constexpr char kNetFramesReceived[] =
+    "txrep_net_frames_received_total";
+/// Wire bytes (encoded frames incl. header + checksum), same labels.
+inline constexpr char kNetBytesSent[] = "txrep_net_bytes_sent_total";
+inline constexpr char kNetBytesReceived[] = "txrep_net_bytes_received_total";
+/// Times a sender stalled for flow control: credit exhaustion (server
+/// session) or a full bounded send queue (transport writer).
+inline constexpr char kNetBackpressureStalls[] =
+    "txrep_net_backpressure_stalls_total";
+/// Successful session (re-)establishments on the subscriber side; the first
+/// connect counts, so reconnects = this - 1.
+inline constexpr char kNetConnects[] = "txrep_net_connects_total";
+/// Live sessions on a NetEndpoint.
+inline constexpr char kNetSessions[] = "txrep_net_sessions";
+/// Encoded batches currently retained for resume-from-LSN replay.
+inline constexpr char kNetRetainedBatches[] = "txrep_net_retained_batches";
+/// kQueueDepth label values for the transport queues.
+inline constexpr char kQueueNetSend[] = "net_send";
+inline constexpr char kQueueNetRecv[] = "net_recv";
+
 // --- key-value substrate ----------------------------------------------------
 /// Counter, labeled {node="N", op="get"|"put"|"delete"|"get_miss"}.
 inline constexpr char kKvOps[] = "txrep_kv_ops_total";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "codec/schema_codec.h"
 #include "common/clock.h"
 #include "obs/names.h"
 
@@ -28,6 +29,10 @@ TxRepSystem::~TxRepSystem() {
   reporter_.reset();  // Stop sampling before the pipeline tears down.
   if (slo_ != nullptr) slo_->Stop();  // Poller probes the appliers below.
   if (publisher_ != nullptr) publisher_->Stop();
+  // Close wire sessions before broker Shutdown: a session queue stalled on
+  // a slow remote subscriber would otherwise park the delivery thread in the
+  // fanout and hang the Shutdown join.
+  if (net_endpoint_ != nullptr) net_endpoint_->Stop();
   if (broker_ != nullptr) broker_->Shutdown();   // Unblocks the subscriber.
   if (subscriber_ != nullptr) subscriber_->Stop();
   tm_.reset();  // Waits for in-flight transactions.
@@ -207,6 +212,28 @@ void TxRepSystem::LagLoop() {
     }
     lag_histogram_.Record(NowMicros() - probe->commit_micros);
   }
+}
+
+Status TxRepSystem::AttachWireEndpoint(net::EndpointOptions options) {
+  if (!started_) {
+    return Status::FailedPrecondition("call Start() before serving");
+  }
+  if (net_endpoint_ != nullptr) return Status::OK();
+  options.topic = options_.publisher.topic;
+  net_endpoint_ =
+      std::make_unique<net::NetEndpoint>(broker_.get(), std::move(options),
+                                         &registry_);
+  net_endpoint_->SetCatalog(codec::EncodeCatalog(db_.catalog()));
+  // Everything the publisher shipped before this point never reached the
+  // endpoint's retention; a remote replica resuming below it must bootstrap
+  // from a checkpoint instead of replaying a stream with a silent gap.
+  net_endpoint_->SetRetentionFloor(publisher_->shipped_lsn());
+  return Status::OK();
+}
+
+Status TxRepSystem::ServeReplication(uint16_t port) {
+  TXREP_RETURN_IF_ERROR(AttachWireEndpoint());
+  return net_endpoint_->ListenAndServe(port);
 }
 
 Status TxRepSystem::SyncToLatest() {

@@ -16,6 +16,7 @@
 #include "mw/broker.h"
 #include "mw/publisher.h"
 #include "mw/subscriber.h"
+#include "net/endpoint.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "qt/consistency_checker.h"
@@ -151,6 +152,23 @@ class TxRepSystem {
   /// replicas here.
   mw::Broker* broker() { return broker_.get(); }
 
+  /// Attaches the wire endpoint to the broker (once; later calls no-op):
+  /// catalog snapshot for remote handshakes, retention floor at the
+  /// publisher's current position (LSNs shipped before the endpoint existed
+  /// never reached its retention — resumes below the floor must bootstrap).
+  /// Call after Start(). `options.topic` is forced to the publisher's.
+  /// Socketpair deployments (tests, benches, the explorer's wire mode) then
+  /// feed connections through net_endpoint()->ServeSocket().
+  Status AttachWireEndpoint(net::EndpointOptions options = {});
+
+  /// AttachWireEndpoint() + TCP listener on 127.0.0.1:`port` (0 =
+  /// ephemeral; see net_endpoint()->port()). Remote replica processes
+  /// connect here.
+  Status ServeReplication(uint16_t port);
+
+  /// The wire endpoint (null until AttachWireEndpoint/ServeReplication).
+  net::NetEndpoint* net_endpoint() { return net_endpoint_.get(); }
+
   /// Topic update transactions are published on.
   const std::string& topic() const { return options_.publisher.topic; }
 
@@ -252,6 +270,11 @@ class TxRepSystem {
   std::unique_ptr<core::TransactionManager> tm_;
   // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<core::SerialApplier> serial_;
+  /// Declared before broker_ (so destroyed after it): the endpoint's fanout
+  /// stays attached for the broker's lifetime, and the broker's delivery
+  /// thread must be gone before the endpoint it calls into is.
+  // analyze: lock-free(wired before worker threads start; teardown joins first)
+  std::unique_ptr<net::NetEndpoint> net_endpoint_;
   // analyze: lock-free(wired before worker threads start; teardown joins first)
   std::unique_ptr<mw::Broker> broker_;
   // analyze: lock-free(wired before worker threads start; teardown joins first)

@@ -1,0 +1,151 @@
+// Regression: after a transport drop, the reconnect path re-delivers
+// already-consumed batches (the endpoint replays retention from the resume
+// point at batch granularity). SubscriberAgent must dedup against BOTH its
+// snapshot resume point and its own high-water mark — the original code only
+// checked the former, so duplicates arriving after a reconnect were applied
+// twice.
+
+#include <mutex>
+#include <vector>
+
+#include "codec/log_codec.h"
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "gtest/gtest.h"
+#include "mw/message_source.h"
+#include "mw/subscriber.h"
+#include "rel/txlog.h"
+#include "test_util.h"
+
+namespace txrep::mw {
+namespace {
+
+rel::LogOp MakeOp(int64_t pk) {
+  return rel::LogOp{rel::LogOpType::kInsert, "T", rel::Value::Int(pk),
+                    {rel::Value::Int(pk)}};
+}
+
+/// A scripted MessageSource: hands out exactly the batches a flaky transport
+/// would — including re-delivered ones after a "reconnect".
+class ScriptedSource : public MessageSource {
+ public:
+  void Deliver(const std::vector<rel::LogTransaction>& batch) {
+    Message message;
+    message.topic = "t";
+    message.payload = codec::EncodeLogBatch(batch);
+    message.publish_micros = NowMicros();
+    message.deliver_micros = NowMicros();
+    queue_.Push(std::move(message));
+  }
+
+  std::optional<Message> Pop() override { return queue_.Pop(); }
+  std::optional<Message> TryPop() override { return queue_.TryPop(); }
+  void Close() override { queue_.Close(); }
+  size_t Pending() const override { return queue_.size(); }
+
+ private:
+  BlockingQueue<Message> queue_;
+};
+
+std::vector<rel::LogTransaction> Slice(rel::TxLog& log, uint64_t after,
+                                       uint64_t up_to) {
+  return log.ReadSince(after, up_to);
+}
+
+TEST(SubscriberDedupTest, RedeliveredBatchAfterDropIsNotReapplied) {
+  rel::TxLog log;
+  for (int i = 1; i <= 15; ++i) log.Append({MakeOp(i)});
+
+  std::vector<uint64_t> applied;
+  std::mutex mu;
+  ScriptedSource source;
+  SubscriberAgent agent(&source, [&](rel::LogTransaction txn) {
+    std::lock_guard<std::mutex> lock(mu);
+    applied.push_back(txn.lsn);
+    return Status::OK();
+  });
+
+  // Normal stream: LSNs 1-10 in two batches.
+  source.Deliver(Slice(log, 0, 5));
+  source.Deliver(Slice(log, 5, 10));
+  ASSERT_TRUE(agent.WaitForLsn(10));
+
+  // "Transport drop": the reconnect replays retention from the resume
+  // point — batch [6,10] again, then the live tail.
+  source.Deliver(Slice(log, 5, 10));
+  source.Deliver(Slice(log, 10, 15));
+  ASSERT_TRUE(agent.WaitForLsn(15));
+  source.Close();
+  agent.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(applied.size(), 15u) << "duplicate batch was re-applied";
+  for (size_t i = 0; i < applied.size(); ++i) {
+    EXPECT_EQ(applied[i], i + 1);
+  }
+}
+
+TEST(SubscriberDedupTest, BatchStraddlingHighWaterAppliesOnlyTheTail) {
+  rel::TxLog log;
+  for (int i = 1; i <= 12; ++i) log.Append({MakeOp(i)});
+
+  std::vector<uint64_t> applied;
+  std::mutex mu;
+  ScriptedSource source;
+  SubscriberAgent agent(&source, [&](rel::LogTransaction txn) {
+    std::lock_guard<std::mutex> lock(mu);
+    applied.push_back(txn.lsn);
+    return Status::OK();
+  });
+
+  source.Deliver(Slice(log, 0, 8));
+  ASSERT_TRUE(agent.WaitForLsn(8));
+  // Reconnect with a batch straddling the high-water mark: [5,12] — the
+  // wire sends retained batches whole; 5-8 are duplicates, 9-12 are new.
+  source.Deliver(Slice(log, 4, 12));
+  ASSERT_TRUE(agent.WaitForLsn(12));
+  source.Close();
+  agent.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(applied.size(), 12u);
+  for (size_t i = 0; i < applied.size(); ++i) {
+    EXPECT_EQ(applied[i], i + 1);
+  }
+}
+
+TEST(SubscriberDedupTest, SnapshotResumeAndDropDedupCompose) {
+  rel::TxLog log;
+  for (int i = 1; i <= 20; ++i) log.Append({MakeOp(i)});
+
+  std::vector<uint64_t> applied;
+  std::mutex mu;
+  SubscriberOptions options;
+  options.resume_after_lsn = 5;  // Snapshot already covers 1-5.
+  ScriptedSource source;
+  SubscriberAgent agent(
+      &source,
+      [&](rel::LogTransaction txn) {
+        std::lock_guard<std::mutex> lock(mu);
+        applied.push_back(txn.lsn);
+        return Status::OK();
+      },
+      /*metrics=*/nullptr, options);
+
+  source.Deliver(Slice(log, 0, 10));   // 1-5 skipped (snapshot), 6-10 applied.
+  ASSERT_TRUE(agent.WaitForLsn(10));
+  source.Deliver(Slice(log, 5, 15));   // 6-10 skipped (high-water), 11-15 new.
+  source.Deliver(Slice(log, 15, 20));
+  ASSERT_TRUE(agent.WaitForLsn(20));
+  source.Close();
+  agent.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(applied.size(), 15u);
+  for (size_t i = 0; i < applied.size(); ++i) {
+    EXPECT_EQ(applied[i], i + 6);
+  }
+}
+
+}  // namespace
+}  // namespace txrep::mw

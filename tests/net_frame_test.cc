@@ -1,0 +1,249 @@
+// Wire-frame codec: round-trips for every frame type, incremental decoding,
+// and the corruption properties the transport relies on — every single-bit
+// flip is rejected (never silently accepted) and every truncation offset
+// reads as "incomplete", completing cleanly once the rest arrives.
+
+#include "net/frame.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::net {
+namespace {
+
+TEST(NetFrameTest, ControlPayloadRoundTrips) {
+  SubscribeRequest request;
+  request.topic = "txrep.log";
+  request.resume_after_lsn = 41;
+  request.initial_credits = 7;
+  Result<SubscribeRequest> req2 = ParseSubscribe(MakeSubscribeFrame(request));
+  TXREP_ASSERT_OK(req2.status());
+  EXPECT_EQ(req2->topic, request.topic);
+  EXPECT_EQ(req2->resume_after_lsn, request.resume_after_lsn);
+  EXPECT_EQ(req2->initial_credits, request.initial_credits);
+  EXPECT_EQ(req2->protocol_version, kProtocolVersion);
+
+  SubscribeAck ack;
+  ack.retained_floor_lsn = 12;
+  ack.last_published_lsn = 99;
+  ack.catalog = std::string("catalog\x00ureau", 13);  // Embedded NUL.
+  Result<SubscribeAck> ack2 = ParseSubscribeAck(MakeSubscribeAckFrame(ack));
+  TXREP_ASSERT_OK(ack2.status());
+  EXPECT_EQ(ack2->retained_floor_lsn, ack.retained_floor_lsn);
+  EXPECT_EQ(ack2->last_published_lsn, ack.last_published_lsn);
+  EXPECT_EQ(ack2->catalog, ack.catalog);
+
+  BatchPayload batch;
+  batch.min_lsn = 5;
+  batch.max_lsn = 9;
+  batch.txn_count = 5;
+  batch.publish_micros = -123456789;  // Signed micros survive.
+  batch.batch_bytes = std::string(300, '\xab');
+  Result<BatchPayload> batch2 = ParseBatch(MakeBatchFrame(batch));
+  TXREP_ASSERT_OK(batch2.status());
+  EXPECT_EQ(batch2->min_lsn, batch.min_lsn);
+  EXPECT_EQ(batch2->max_lsn, batch.max_lsn);
+  EXPECT_EQ(batch2->txn_count, batch.txn_count);
+  EXPECT_EQ(batch2->publish_micros, batch.publish_micros);
+  EXPECT_EQ(batch2->batch_bytes, batch.batch_bytes);
+
+  Result<CreditGrant> credit = ParseCredit(MakeCreditFrame({17}));
+  TXREP_ASSERT_OK(credit.status());
+  EXPECT_EQ(credit->credits, 17u);
+}
+
+TEST(NetFrameTest, ParserRejectsWrongFrameType) {
+  EXPECT_TRUE(ParseSubscribe(MakeCreditFrame({1})).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseBatch(MakeByeFrame("x")).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCredit(MakeBatchFrame({})).status().IsInvalidArgument());
+}
+
+TEST(NetFrameTest, DecoderHandlesOneByteAtATime) {
+  std::vector<Frame> frames = {
+      MakeSubscribeFrame({kProtocolVersion, "t", 3, 4}),
+      MakeCreditFrame({9}),
+      MakeByeFrame("done"),
+  };
+  std::string stream;
+  for (const Frame& frame : frames) stream += EncodeFrame(frame);
+
+  FrameDecoder decoder;
+  std::vector<Frame> decoded;
+  for (char byte : stream) {
+    decoder.Feed(std::string_view(&byte, 1));
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      TXREP_ASSERT_OK(next.status());
+      if (!next->has_value()) break;
+      decoded.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(decoded[i] == frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(NetFrameTest, DecoderDrainsMultipleFramesFromOneFeed) {
+  std::string stream;
+  const int kFrames = 50;
+  for (int i = 0; i < kFrames; ++i) {
+    stream += EncodeFrame(MakeCreditFrame({static_cast<uint64_t>(i)}));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(stream);
+  for (int i = 0; i < kFrames; ++i) {
+    Result<std::optional<Frame>> next = decoder.Next();
+    TXREP_ASSERT_OK(next.status());
+    ASSERT_TRUE(next->has_value());
+    Result<CreditGrant> grant = ParseCredit(**next);
+    TXREP_ASSERT_OK(grant.status());
+    EXPECT_EQ(grant->credits, static_cast<uint64_t>(i));
+  }
+  Result<std::optional<Frame>> done = decoder.Next();
+  TXREP_ASSERT_OK(done.status());
+  EXPECT_FALSE(done->has_value());
+}
+
+// Satellite property: flipping ANY single bit of an encoded frame must never
+// let the decoder hand back the original frame as valid. Flips outside the
+// length field must be hard Corruption (with a follow-up frame present so the
+// decoder never just sits waiting for bytes); flips inside the length field
+// may instead leave the decoder waiting (it cannot know bytes are missing),
+// but must never produce a frame.
+TEST(NetFrameTest, EveryByteFlipIsRejected) {
+  BatchPayload payload;
+  payload.min_lsn = 1;
+  payload.max_lsn = 4;
+  payload.txn_count = 4;
+  payload.publish_micros = 777;
+  payload.batch_bytes = "0123456789abcdef0123456789abcdef";
+  const Frame original = MakeBatchFrame(payload);
+  const std::string wire = EncodeFrame(original);
+  const std::string sentinel = EncodeFrame(MakeCreditFrame({1}));
+
+  for (size_t offset = 0; offset < wire.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = wire;
+      corrupted[offset] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[offset]) ^ (1u << bit));
+      FrameDecoder decoder;
+      decoder.Feed(corrupted);
+      decoder.Feed(sentinel);
+      Result<std::optional<Frame>> next = decoder.Next();
+      const bool in_length_field = offset >= 4 && offset < 8;
+      if (!next.ok()) {
+        EXPECT_TRUE(next.status().IsCorruption())
+            << "offset " << offset << " bit " << bit << ": "
+            << next.status().ToString();
+        // Sticky: the stream is dead for good.
+        EXPECT_FALSE(decoder.Next().ok());
+        continue;
+      }
+      if (in_length_field) {
+        // A longer claimed body can only read as "incomplete" — but never as
+        // a successfully decoded frame.
+        EXPECT_FALSE(next->has_value())
+            << "offset " << offset << " bit " << bit
+            << ": corrupted length field yielded a frame";
+        continue;
+      }
+      FAIL() << "offset " << offset << " bit " << bit
+             << ": single-bit flip was not detected";
+    }
+  }
+}
+
+// Satellite property: every truncation offset reads as "incomplete" (no
+// frame, no error), and feeding the remainder later completes the frame
+// intact — the transport's partial-read path in miniature.
+TEST(NetFrameTest, EveryTruncationOffsetIsIncompleteThenResumes) {
+  SubscribeAck ack;
+  ack.retained_floor_lsn = 3;
+  ack.last_published_lsn = 8;
+  ack.catalog = std::string(100, 'c');
+  const Frame original = MakeSubscribeAckFrame(ack);
+  const std::string wire = EncodeFrame(original);
+
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(wire).substr(0, cut));
+    Result<std::optional<Frame>> next = decoder.Next();
+    TXREP_ASSERT_OK(next.status());
+    ASSERT_FALSE(next->has_value()) << "cut " << cut << " yielded a frame";
+
+    decoder.Feed(std::string_view(wire).substr(cut));
+    next = decoder.Next();
+    TXREP_ASSERT_OK(next.status());
+    ASSERT_TRUE(next->has_value()) << "cut " << cut;
+    EXPECT_TRUE(**next == original) << "cut " << cut;
+  }
+}
+
+TEST(NetFrameTest, MaxSizeBodyRoundTrips) {
+  // Exactly the cap: must encode and decode byte-identically.
+  Frame frame;
+  frame.type = FrameType::kBatch;
+  frame.body.resize(kMaxFrameBody);
+  Random rng(20260809);
+  for (size_t i = 0; i < frame.body.size(); i += 4096) {
+    frame.body[i] = static_cast<char>(rng.Uniform(256));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(frame));
+  Result<std::optional<Frame>> next = decoder.Next();
+  TXREP_ASSERT_OK(next.status());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_TRUE(**next == frame);
+}
+
+TEST(NetFrameTest, OversizedBodyIsRejectedBeforeBuffering) {
+  // Hand-build a header claiming kMaxFrameBody + 1 bytes; the decoder must
+  // refuse from the header alone instead of waiting to allocate 64 MiB.
+  Frame frame;
+  frame.type = FrameType::kBye;
+  frame.body = "tiny";
+  std::string wire = EncodeFrame(frame);
+  const uint32_t huge = static_cast<uint32_t>(kMaxFrameBody + 1);
+  wire[4] = static_cast<char>(huge & 0xff);
+  wire[5] = static_cast<char>((huge >> 8) & 0xff);
+  wire[6] = static_cast<char>((huge >> 16) & 0xff);
+  wire[7] = static_cast<char>((huge >> 24) & 0xff);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  Result<std::optional<Frame>> next = decoder.Next();
+  EXPECT_TRUE(next.status().IsCorruption());
+}
+
+TEST(NetFrameTest, BadMagicAndVersionAreRejected) {
+  const std::string wire = EncodeFrame(MakeByeFrame("x"));
+  {
+    std::string bad = wire;
+    bad[0] = 'X';
+    FrameDecoder decoder;
+    decoder.Feed(bad);
+    EXPECT_TRUE(decoder.Next().status().IsCorruption());
+  }
+  {
+    std::string bad = wire;
+    bad[2] = static_cast<char>(kProtocolVersion + 1);
+    FrameDecoder decoder;
+    decoder.Feed(bad);
+    EXPECT_TRUE(decoder.Next().status().IsCorruption());
+  }
+  {
+    std::string bad = wire;
+    bad[3] = 0;  // No frame type 0.
+    FrameDecoder decoder;
+    decoder.Feed(bad);
+    EXPECT_TRUE(decoder.Next().status().IsCorruption());
+  }
+}
+
+}  // namespace
+}  // namespace txrep::net

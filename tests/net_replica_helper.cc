@@ -1,0 +1,79 @@
+// Replica-process half of the two-process replication test: dials a
+// TxRepSystem's ServeReplication endpoint over TCP, replays the stream into
+// its own RemoteReplica (catalog over the wire), waits for the target LSN —
+// riding out any connection kills the parent injects — and writes its store
+// dump (hex) plus its connect count to a file for the parent to compare.
+//
+//   net_replica_helper <host> <port> <target_lsn> <dump_path>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kv/kv_store.h"
+#include "txrep/remote_replica.h"
+
+namespace {
+
+std::string ToHex(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> <target_lsn> <dump_path>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  const uint64_t target_lsn = std::strtoull(argv[3], nullptr, 10);
+  const std::string dump_path = argv[4];
+
+  txrep::RemoteReplicaOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.subscription.reconnect_backoff_micros = 10'000;
+  options.subscription.max_connect_attempts = 500;  // ~5 s of dialing.
+  txrep::RemoteReplica replica(std::move(options));
+
+  txrep::Status started = replica.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "replica start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  if (!replica.WaitForLsn(target_lsn)) {
+    std::fprintf(stderr, "replica stopped at LSN %llu of %llu: %s\n",
+                 static_cast<unsigned long long>(replica.applied_lsn()),
+                 static_cast<unsigned long long>(target_lsn),
+                 replica.health().ToString().c_str());
+    return 1;
+  }
+  const int64_t connects = replica.subscription()->connects();
+  const txrep::kv::StoreDump dump = replica.cluster().Dump();
+  replica.Stop();
+
+  std::FILE* out = std::fopen(dump_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", dump_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "connects %lld\n", static_cast<long long>(connects));
+  for (const auto& [key, value] : dump) {
+    std::fprintf(out, "%s %s\n", ToHex(key).c_str(), ToHex(value).c_str());
+  }
+  std::fclose(out);
+  return 0;
+}

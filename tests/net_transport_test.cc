@@ -1,0 +1,166 @@
+// FrameTransport over a socketpair: full-duplex framed delivery in order,
+// partial-write handling for large frames, corrupt-stream detection, and
+// clean teardown semantics.
+
+#include "net/transport.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "gtest/gtest.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "test_util.h"
+
+namespace txrep::net {
+namespace {
+
+std::pair<Socket, Socket> MustCreatePair() {
+  Result<std::pair<Socket, Socket>> pair = Socket::CreatePair();
+  EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+  return std::move(*pair);
+}
+
+TEST(NetTransportTest, DeliversFramesInOrderBothDirections) {
+  auto [left, right] = MustCreatePair();
+  FrameTransport a(std::move(left));
+  FrameTransport b(std::move(right));
+
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(a.Send(MakeCreditFrame({static_cast<uint64_t>(i)})));
+    ASSERT_TRUE(b.Send(MakeByeFrame("r" + std::to_string(i))));
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    std::optional<Frame> from_a = b.Receive();
+    ASSERT_TRUE(from_a.has_value()) << "frame " << i;
+    Result<CreditGrant> grant = ParseCredit(*from_a);
+    TXREP_ASSERT_OK(grant.status());
+    EXPECT_EQ(grant->credits, static_cast<uint64_t>(i));
+
+    std::optional<Frame> from_b = a.Receive();
+    ASSERT_TRUE(from_b.has_value()) << "frame " << i;
+    Result<std::string> reason = ParseBye(*from_b);
+    TXREP_ASSERT_OK(reason.status());
+    EXPECT_EQ(*reason, "r" + std::to_string(i));
+  }
+  EXPECT_GE(a.frames_sent(), static_cast<int64_t>(kFrames));
+  EXPECT_GE(b.frames_received(), static_cast<int64_t>(kFrames));
+  TXREP_EXPECT_OK(a.health());
+  TXREP_EXPECT_OK(b.health());
+  a.Close();
+  b.Close();
+}
+
+TEST(NetTransportTest, LargeFramesSurvivePartialWrites) {
+  // Multi-megabyte bodies cannot fit a socket buffer: the writer must loop
+  // over partial sends and the reader must reassemble across many reads.
+  auto [left, right] = MustCreatePair();
+  FrameTransport sender(std::move(left));
+  FrameTransport receiver(std::move(right));
+
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 4; ++i) {
+    bodies.push_back(std::string(2'000'000 + i * 1000,
+                                 static_cast<char>('a' + i)));
+  }
+  std::thread producer([&] {
+    for (const std::string& body : bodies) {
+      BatchPayload payload;
+      payload.min_lsn = 1;
+      payload.max_lsn = 1;
+      payload.txn_count = 1;
+      payload.batch_bytes = body;
+      ASSERT_TRUE(sender.Send(MakeBatchFrame(payload)));
+    }
+  });
+  for (const std::string& body : bodies) {
+    std::optional<Frame> frame = receiver.Receive();
+    ASSERT_TRUE(frame.has_value());
+    Result<BatchPayload> payload = ParseBatch(*frame);
+    TXREP_ASSERT_OK(payload.status());
+    EXPECT_EQ(payload->batch_bytes, body);
+  }
+  producer.join();
+  sender.Close();
+  receiver.Close();
+}
+
+TEST(NetTransportTest, GarbageOnTheWireIsStickyCorruption) {
+  auto [left, right] = MustCreatePair();
+  FrameTransport receiver(std::move(right));
+  // Write raw garbage (valid-looking start, then trash) from the bare socket.
+  const std::string garbage = "TRash-not-a-frame-stream";
+  std::string_view remaining = garbage;
+  while (!remaining.empty()) {
+    Result<size_t> sent = left.Send(remaining);
+    ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+    remaining.remove_prefix(*sent);
+  }
+  std::optional<Frame> frame = receiver.Receive();
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_TRUE(receiver.health().IsCorruption())
+      << receiver.health().ToString();
+  // Sticky: later receives keep failing rather than resyncing silently.
+  EXPECT_FALSE(receiver.Receive().has_value());
+  left.Close();
+  receiver.Close();
+}
+
+TEST(NetTransportTest, PeerCloseEndsReceiveWithOkHealthIntact) {
+  auto [left, right] = MustCreatePair();
+  auto sender = std::make_unique<FrameTransport>(std::move(left));
+  FrameTransport receiver(std::move(right));
+  ASSERT_TRUE(sender->Send(MakeByeFrame("last")));
+  std::optional<Frame> frame = receiver.Receive();
+  ASSERT_TRUE(frame.has_value());
+  sender->Close();
+  sender.reset();
+  // EOF: stream ends, but nothing was corrupt.
+  EXPECT_FALSE(receiver.Receive().has_value());
+  EXPECT_FALSE(receiver.health().IsCorruption());
+  receiver.Close();
+}
+
+TEST(NetTransportTest, AbortUnblocksPendingReceive) {
+  auto [left, right] = MustCreatePair();
+  FrameTransport idle_peer(std::move(left));
+  FrameTransport receiver(std::move(right));
+  std::thread waiter([&] {
+    // Blocks until Abort — no frame ever arrives.
+    EXPECT_FALSE(receiver.Receive().has_value());
+  });
+  SleepForMicros(20'000);
+  receiver.Abort();
+  waiter.join();
+  EXPECT_FALSE(receiver.health().ok());
+  idle_peer.Close();
+}
+
+TEST(NetTransportTest, MetricsCountFramesAndBytes) {
+  obs::MetricsRegistry registry;
+  auto [left, right] = MustCreatePair();
+  FrameTransport client(std::move(left), {}, &registry, "client");
+  FrameTransport server(std::move(right), {}, &registry, "server");
+  ASSERT_TRUE(client.Send(MakeCreditFrame({5})));
+  ASSERT_TRUE(server.Receive().has_value());
+
+  obs::Counter* sent =
+      registry.GetCounter(obs::kNetFramesSent, {{"role", "client"}});
+  obs::Counter* received =
+      registry.GetCounter(obs::kNetFramesReceived, {{"role", "server"}});
+  obs::Counter* bytes =
+      registry.GetCounter(obs::kNetBytesSent, {{"role", "client"}});
+  EXPECT_EQ(sent->Value(), 1);
+  EXPECT_EQ(received->Value(), 1);
+  EXPECT_GT(bytes->Value(), 0);
+  client.Close();
+  server.Close();
+}
+
+}  // namespace
+}  // namespace txrep::net

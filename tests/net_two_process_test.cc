@@ -1,0 +1,149 @@
+// The acceptance deployment: a primary process (TxRepSystem +
+// ServeReplication over real TCP) and a replica process (net_replica_helper,
+// fork/exec'd) replaying a >= 1000-transaction workload — with one forced
+// disconnect injected mid-stream — and ending with the remote dump
+// byte-identical to the in-process replica.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "rel/statement.h"
+#include "test_util.h"
+#include "txrep/system.h"
+
+#ifndef TXREP_REPLICA_HELPER_PATH
+#error "TXREP_REPLICA_HELPER_PATH must point at the net_replica_helper binary"
+#endif
+
+namespace txrep {
+namespace {
+
+using rel::Value;
+
+std::string ToHex(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+void RunTxn(TxRepSystem& sys, int i) {
+  std::vector<rel::Statement> statements;
+  statements.push_back(rel::InsertStatement{
+      "S", {}, {Value::Int(i), Value::Int(i % 13)}});
+  if (i % 4 == 1) {
+    statements.push_back(rel::UpdateStatement{
+        "S",
+        {{"VAL", Value::Int(i % 17)}},
+        {rel::Predicate{"ID", rel::PredicateOp::kEq, Value::Int(i / 2), {}}}});
+  }
+  if (i % 9 == 8) {
+    statements.push_back(rel::DeleteStatement{
+        "S",
+        {rel::Predicate{"ID", rel::PredicateOp::kEq, Value::Int(i / 3), {}}}});
+  }
+  TXREP_ASSERT_OK(sys.database().ExecuteTransaction(statements).status());
+}
+
+TEST(NetTwoProcessTest, RemoteReplicaMatchesInProcessReplicaAcrossAKill) {
+  constexpr int kTxns = 1200;
+  constexpr int kBeforeSpawn = 500;   // Backlog the child replays on attach.
+  constexpr int kBeforeKill = 300;    // Live stream before the forced kill.
+
+  TxRepOptions options;
+  // The serial baseline keeps the in-process replica the ground truth the
+  // explorer already proved the TM equivalent to.
+  options.concurrent_replication = false;
+  TxRepSystem sys(options);
+  // Schema before Start(): the catalog snapshot ships in the handshake.
+  auto schema = rel::TableSchema::Create("S",
+                                         {{"ID", rel::ValueType::kInt64},
+                                          {"VAL", rel::ValueType::kInt64}},
+                                         "ID");
+  TXREP_ASSERT_OK(schema.status());
+  TXREP_ASSERT_OK(sys.database().CreateTable(std::move(*schema)));
+  TXREP_ASSERT_OK(sys.database().CreateHashIndex("S", "VAL"));
+  TXREP_ASSERT_OK(sys.database().CreateRangeIndex("S", "VAL"));
+  TXREP_ASSERT_OK(sys.Start());
+  TXREP_ASSERT_OK(sys.ServeReplication(0));  // Ephemeral port.
+  const uint16_t port = sys.net_endpoint()->port();
+  ASSERT_GT(port, 0);
+
+  int txn = 0;
+  for (; txn < kBeforeSpawn; ++txn) RunTxn(sys, txn);
+
+  const std::string dump_path =
+      ::testing::TempDir() + "net_two_process_dump.txt";
+  std::remove(dump_path.c_str());
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    execl(TXREP_REPLICA_HELPER_PATH, TXREP_REPLICA_HELPER_PATH, "127.0.0.1",
+          std::to_string(port).c_str(), std::to_string(kTxns).c_str(),
+          dump_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed.
+  }
+
+  // Wait until the child has not just connected but finished its handshake
+  // and applied at least one batch: the server counts the SUBSCRIBE frame
+  // plus the credit top-ups the client sends only after its queue accepts a
+  // batch. Killing any earlier races the ack — the client would retry the
+  // handshake as transient and never count the first connection.
+  obs::Counter* server_received = sys.metrics().GetCounter(
+      obs::kNetFramesReceived, {{"role", "server"}});
+  for (int i = 0; server_received->Value() < 2 && i < 10000; ++i) {
+    SleepForMicros(1000);
+  }
+  ASSERT_GE(server_received->Value(), 2)
+      << "replica process never streamed a batch";
+  ASSERT_GE(sys.net_endpoint()->live_sessions(), 1u);
+  for (; txn < kBeforeSpawn + kBeforeKill; ++txn) RunTxn(sys, txn);
+  sys.net_endpoint()->DropSessions();
+
+  for (; txn < kTxns; ++txn) RunTxn(sys, txn);
+  TXREP_ASSERT_OK(sys.SyncToLatest());
+  EXPECT_EQ(sys.replica_lsn(), static_cast<uint64_t>(kTxns));
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "replica process failed";
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "no dump at " << dump_path;
+  std::string word;
+  long long connects = 0;
+  in >> word >> connects;
+  ASSERT_EQ(word, "connects");
+  EXPECT_GE(connects, 2) << "the forced disconnect never happened";
+
+  std::vector<std::pair<std::string, std::string>> remote;
+  std::string key_hex;
+  std::string value_hex;
+  while (in >> key_hex >> value_hex) remote.emplace_back(key_hex, value_hex);
+
+  const kv::StoreDump local = sys.replica().Dump();
+  ASSERT_EQ(remote.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    ASSERT_EQ(remote[i].first, ToHex(local[i].first)) << "key " << i;
+    ASSERT_EQ(remote[i].second, ToHex(local[i].second)) << "value " << i;
+  }
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace txrep

@@ -1,0 +1,57 @@
+// Schedule-explorer wire mode: for every seed, replay over the wire boundary
+// (publisher -> broker -> NetEndpoint -> socketpair frames -> NetSubscription
+// -> remote replica) with a seed-derived mid-stream connection kill, and
+// require the reconnected replica to be byte-identical to serial replay.
+
+#include "check/schedule_explorer.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace txrep::check {
+namespace {
+
+int SeedsFromEnv(int fallback) {
+  const char* env = std::getenv("TXREP_SCHEDULE_SEEDS");
+  if (env == nullptr) return fallback;
+  const int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+TEST(NetWireModeTest, SweepFindsNoDivergenceAcrossTheWire) {
+  ScheduleExplorerOptions options;
+  options.base_seed = 1;
+  options.schedules = SeedsFromEnv(200);
+  options.txns_per_schedule = 20;
+  options.audit_every = 0;  // The plain sweep covers the deep audit.
+  options.wire = true;
+
+  ScheduleExplorer explorer(options);
+  ScheduleReport report = explorer.Run();
+  SCOPED_TRACE(report.Summary());
+
+  EXPECT_EQ(report.schedules_run, options.schedules);
+  std::string details;
+  for (const ScheduleFailure& failure : report.failures) {
+    details +=
+        "\n  seed " + std::to_string(failure.seed) + ": " + failure.detail;
+  }
+  EXPECT_TRUE(report.ok()) << "diverging schedules:" << details;
+}
+
+TEST(NetWireModeTest, SingleSeedReproduces) {
+  // RunOne(seed) must reproduce the sweep's result for that seed — the
+  // debugging entry point when the sweep reports a failure.
+  ScheduleExplorerOptions options;
+  options.txns_per_schedule = 20;
+  options.audit_every = 0;
+  options.wire = true;
+  ScheduleExplorer explorer(options);
+  TXREP_EXPECT_OK(explorer.RunOne(7));
+  TXREP_EXPECT_OK(explorer.RunOne(42));
+}
+
+}  // namespace
+}  // namespace txrep::check

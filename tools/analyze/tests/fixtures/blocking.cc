@@ -59,10 +59,26 @@ class Archiver {
     (void)cluster_.MultiWrite(7);  // expect: lock-blocking-fanout
   }
 
+  void SyscallUnderLock() {
+    check::MutexLock lock(&mu_);
+    (void)send(fd_, "x", 1, 0);  // expect: lock-blocking-socket
+    (void)connect(fd_, nullptr, 0);  // expect: lock-blocking-socket
+  }
+
+  void SyscallOutsideLock() {
+    int fd;
+    {
+      check::MutexLock lock(&mu_);
+      fd = fd_;
+    }
+    (void)send(fd, "x", 1, 0);
+  }
+
  private:
   check::Mutex mu_;
   check::CondVar cv_;
   bool dirty_ = false;
+  int fd_ = -1;
   Pool pool_;
   Cluster cluster_;
 };

@@ -13,6 +13,9 @@ guard is live in the enclosing scope chain:
                          TaskHandle::Wait, SleepForMicros
   lock-blocking-fanout   KV batch fan-out (MultiWrite/MultiPut/MultiDelete/
                          MultiGet) — dispatches to a thread pool and waits
+  lock-blocking-socket   raw socket syscalls (connect/accept/send/recv/
+                         poll/...) — a slow or dead peer parks the critical
+                         section for the kernel timeout
 
 Sites that hold the lock *by design* (DiskKvNode's single-writer log, the
 ticket applier's per-table order guarantee) are not waived inline — they are
@@ -47,6 +50,11 @@ _IO_TYPES = ("std::ofstream", "std::ifstream", "std::fstream", "ofstream",
              "ifstream", "fstream")
 _WAIT_CALLEES = {"Await", "WaitIdle", "SleepForMicros"}
 _FANOUT_CALLEES = {"MultiWrite", "MultiPut", "MultiDelete", "MultiGet"}
+_SOCKET_CALLEES = {
+    "socket", "socketpair", "connect", "accept", "accept4", "bind", "listen",
+    "recv", "recvfrom", "recvmsg", "send", "sendto", "sendmsg", "poll",
+    "ppoll", "getaddrinfo",
+}
 
 
 def run(tu: TranslationUnit, index, config) -> List[Diagnostic]:
@@ -93,6 +101,7 @@ def _check_tokens(tu, fn, resolver, index, toks: List[Token],
             "lock-blocking-io": "file I/O",
             "lock-blocking-wait": "an unbounded wait",
             "lock-blocking-fanout": "KV batch fan-out",
+            "lock-blocking-socket": "a socket syscall",
         }[rule]
         diags.append(Diagnostic(
             tu.path, call.line, rule,
@@ -126,4 +135,13 @@ def _classify(call, resolver, index) -> Optional[str]:
         return None
     if call.callee in _FANOUT_CALLEES:
         return "lock-blocking-fanout"
+    if call.callee in _SOCKET_CALLEES:
+        # Raw syscalls only: a PascalCase-free lowercase name with a project
+        # receiver (e.g. a method that happens to shadow one) is resolved
+        # away by checking the receiver type.
+        if call.receiver:
+            recv = resolver.type_of_expr(call.receiver)
+            if recv and not recv.startswith("std::"):
+                return None
+        return "lock-blocking-socket"
     return None
