@@ -41,8 +41,10 @@ MODE="${1:-plain}"
 # the tracing subsystem (the seqlock flight recorder's lock-free writer
 # protocol plus the SLO watchdog's poller thread are prime tsan targets),
 # and the wire replication boundary (frame codec, socket transport threads,
-# endpoint session fan-out, reconnect/dedup races — DESIGN.md §13).
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_|net_'
+# endpoint session fan-out, reconnect/dedup races — DESIGN.md §13), and the
+# optimistic version-latched B-link index (lock-free readers racing writer
+# latch hand-over-hand and version publication — DESIGN.md §14).
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_|net_|blink_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

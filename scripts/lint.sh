@@ -32,6 +32,12 @@
 #     partial-write loops and EINTR retries live in exactly one layer
 #     (DESIGN.md §13).
 #
+#  7. Raw B-link version-word loads (OptLatch::RawVersionWord) are confined
+#     to src/blink/. Outside the index, a raw word peek bypasses the
+#     ReadBegin/ReadValidate protocol — it sees lock/obsolete bits without
+#     the acquire pairing that makes the node image trustworthy — so every
+#     other layer goes through the optimistic read API (DESIGN.md §14).
+#
 # Exits non-zero listing every offending line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,6 +104,15 @@ socket_calls=$(grep -rnE \
 if [[ -n "${socket_calls}" ]]; then
   echo "lint: socket syscalls outside src/net/ (use net::Socket / FrameTransport):"
   echo "${socket_calls}"
+  fail=1
+fi
+
+version_peeks=$(grep -rn 'RawVersionWord' \
+  src --include='*.h' --include='*.cc' \
+  | grep -v '^src/blink/' || true)
+if [[ -n "${version_peeks}" ]]; then
+  echo "lint: raw version-word loads outside src/blink/ (use ReadBegin/ReadValidate):"
+  echo "${version_peeks}"
   fail=1
 fi
 

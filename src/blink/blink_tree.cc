@@ -5,6 +5,7 @@
 
 #include "codec/kv_keys.h"
 #include "common/clock.h"
+#include "obs/names.h"
 
 namespace txrep::blink {
 
@@ -13,6 +14,10 @@ namespace {
 bool BeyondNode(const BlinkNode& node, const EntryKey& key) {
   return node.has_high_key && node.high_key < key;
 }
+
+/// Backoff between parent-level retry rounds (DescendToLevel waiting out an
+/// in-flight root publication).
+constexpr int64_t kParentWaitMicros = 50;
 }  // namespace
 
 BlinkTree::BlinkTree(kv::KvStore* store, std::string table, std::string column,
@@ -21,7 +26,15 @@ BlinkTree::BlinkTree(kv::KvStore* store, std::string table, std::string column,
       table_(std::move(table)),
       column_(std::move(column)),
       options_(options),
-      meta_key_(codec::BlinkMetaKey(table_, column_)) {}
+      meta_key_(codec::BlinkMetaKey(table_, column_)) {
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels = {{"index", table_ + "." + column_}};
+    c_read_retries_ =
+        options_.metrics->GetCounter(obs::kBlinkReadRetries, labels);
+    c_obsolete_hits_ =
+        options_.metrics->GetCounter(obs::kBlinkObsoleteHits, labels);
+  }
+}
 
 std::string BlinkTree::NodeKey(uint64_t id) const {
   return codec::BlinkNodeKey(table_, column_, id);
@@ -30,6 +43,56 @@ std::string BlinkTree::NodeKey(uint64_t id) const {
 Result<BlinkNode> BlinkTree::ReadNode(uint64_t id) {
   TXREP_ASSIGN_OR_RETURN(kv::Value bytes, store_->Get(NodeKey(id)));
   return DecodeBlinkNode(bytes);
+}
+
+Result<BlinkNode> BlinkTree::ReadNodeOpt(uint64_t id) {
+  // Ids beyond the latch table would force a giant segment allocation; a
+  // well-formed tree never produces them (AllocateNodeId bounds the counter),
+  // so treat them as corrupt pointers before touching the table.
+  if (id == 0 || id >= OptLatchTable::kCapacity) {
+    return Status::Corruption("blink: node id " + std::to_string(id) +
+                              " outside latch-table range");
+  }
+  OptLatch& latch = latches_.Get(id);
+  SpinBackoff backoff;
+  for (int attempt = 0; attempt < options_.max_read_attempts; ++attempt) {
+    int spins = 0;
+    const uint64_t snapshot = latch.ReadBegin(&spins);
+    if (spins > 0) read_spins_.fetch_add(spins, std::memory_order_relaxed);
+    if (OptLatch::IsObsolete(snapshot)) {
+      obsolete_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (c_obsolete_hits_ != nullptr) c_obsolete_hits_->Increment();
+      return Status::Aborted("blink: node " + std::to_string(id) +
+                             " is obsolete; restart from root");
+    }
+    Result<kv::Value> bytes = store_->Get(NodeKey(id));
+    if (bytes.ok()) {
+      Result<BlinkNode> node = DecodeBlinkNode(*bytes);
+      if (latch.ReadValidate(snapshot)) {
+        // No writer overlapped the GET+decode: a decode failure here is real
+        // corruption, not a torn read.
+        return node;
+      }
+    } else if (!bytes.status().IsNotFound()) {
+      return bytes.status();
+    } else if (latch.ReadValidate(snapshot)) {
+      // The snapshot genuinely lacks this object — a pointer dangled into a
+      // stale buffered view. Poison the latch so every later reader restarts
+      // from the root immediately instead of re-fetching.
+      latch.MarkObsolete();
+      obsolete_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (c_obsolete_hits_ != nullptr) c_obsolete_hits_->Increment();
+      return Status::Aborted("blink: node " + std::to_string(id) +
+                             " missing from snapshot");
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (c_read_retries_ != nullptr) c_read_retries_->Increment();
+    backoff.Pause();
+  }
+  return Status::Aborted("blink: node " + std::to_string(id) +
+                         " read did not stabilize after " +
+                         std::to_string(options_.max_read_attempts) +
+                         " attempts");
 }
 
 Status BlinkTree::WriteNode(uint64_t id, const BlinkNode& node) {
@@ -46,15 +109,21 @@ Status BlinkTree::WriteMeta(const BlinkMeta& meta) {
 }
 
 Result<uint64_t> BlinkTree::AllocateNodeId() {
-  KeyedMutex::Guard guard(latches_, meta_key_);
+  OptGuard guard(&meta_latch_);
   TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
   const uint64_t id = meta.next_id++;
-  TXREP_RETURN_IF_ERROR(WriteMeta(meta));
+  if (id >= OptLatchTable::kCapacity) {
+    return Status::Corruption("blink: node id space exhausted at " +
+                              std::to_string(id));
+  }
+  Status put = WriteMeta(meta);
+  guard.PublishAndRelease();  // The store may hold the new counter on error.
+  TXREP_RETURN_IF_ERROR(put);
   return id;
 }
 
 Status BlinkTree::Init() {
-  KeyedMutex::Guard guard(latches_, meta_key_);
+  OptGuard guard(&meta_latch_);
   Result<kv::Value> existing = store_->Get(meta_key_);
   if (existing.ok()) return Status::OK();
   if (!existing.status().IsNotFound()) return existing.status();
@@ -64,7 +133,9 @@ Status BlinkTree::Init() {
   meta.next_id = 2;
   BlinkNode root;  // Empty leaf, no high key, no right sibling.
   TXREP_RETURN_IF_ERROR(WriteNode(meta.root_id, root));
-  return WriteMeta(meta);
+  Status put = WriteMeta(meta);
+  guard.PublishAndRelease();
+  return put;
 }
 
 size_t BlinkTree::ChildIndexFor(const BlinkNode& node, const EntryKey& key) {
@@ -74,56 +145,156 @@ size_t BlinkTree::ChildIndexFor(const BlinkNode& node, const EntryKey& key) {
   return static_cast<size_t>(it - node.separators.begin());
 }
 
+Result<BlinkTree::LeafView> BlinkTree::DescendToLeafView(
+    const EntryKey& key, std::vector<uint64_t>* path) {
+  for (int restart = 0;; ++restart) {
+    if (restart > 0) {
+      read_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restart >= options_.max_read_restarts) {
+        return Status::Aborted("blink: descent to leaf did not stabilize "
+                               "after " +
+                               std::to_string(options_.max_read_restarts) +
+                               " restarts");
+      }
+      if (path != nullptr) path->clear();
+    }
+    // The meta read needs no validation: a stale root is still a correct
+    // entry point — right-links and extra descent steps repair the rest.
+    TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+    uint64_t id = meta.root_id;
+    int hops = 0;
+    bool from_root = false;
+    while (!from_root) {
+      Result<BlinkNode> node = ReadNodeOpt(id);
+      if (!node.ok()) {
+        if (node.status().IsAborted()) {
+          from_root = true;  // Obsolete/unstable node: restart the descent.
+          break;
+        }
+        return node.status();
+      }
+      if (BeyondNode(*node, key)) {
+        if (node->right_id == 0) {
+          return Status::Corruption("blink: high key set on rightmost node " +
+                                    std::to_string(id));
+        }
+        move_rights_.fetch_add(1, std::memory_order_relaxed);
+        if (++hops >= options_.max_move_right) {
+          from_root = true;  // Runaway right chain: restart the descent.
+          break;
+        }
+        id = node->right_id;  // Move right; same level, not recorded on path.
+        continue;
+      }
+      if (node->is_leaf()) return LeafView{id, *std::move(node)};
+      if (path != nullptr) path->push_back(id);
+      id = node->children[ChildIndexFor(*node, key)];
+    }
+  }
+}
+
 Result<uint64_t> BlinkTree::DescendToLeaf(const EntryKey& key,
                                           std::vector<uint64_t>* path) {
-  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
-  uint64_t id = meta.root_id;
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    if (BeyondNode(node, key)) {
-      if (node.right_id == 0) {
-        return Status::Corruption("blink: high key set on rightmost node " +
-                                  std::to_string(id));
+  TXREP_ASSIGN_OR_RETURN(LeafView view, DescendToLeafView(key, path));
+  return view.id;
+}
+
+Result<uint64_t> BlinkTree::LeftmostLeaf() {
+  for (int restart = 0;; ++restart) {
+    if (restart > 0) {
+      read_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restart >= options_.max_read_restarts) {
+        return Status::Aborted("blink: leftmost-leaf descent did not "
+                               "stabilize after " +
+                               std::to_string(options_.max_read_restarts) +
+                               " restarts");
       }
-      id = node.right_id;  // Move right; same level, not recorded on path.
-      continue;
     }
-    if (node.is_leaf()) return id;
-    if (path != nullptr) path->push_back(id);
-    id = node.children[ChildIndexFor(node, key)];
+    TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+    uint64_t id = meta.root_id;
+    bool again = false;
+    while (!again) {
+      Result<BlinkNode> node = ReadNodeOpt(id);
+      if (!node.ok()) {
+        if (node.status().IsAborted()) {
+          again = true;
+          break;
+        }
+        return node.status();
+      }
+      if (node->is_leaf()) return id;
+      id = node->children.front();
+    }
   }
 }
 
 Result<uint64_t> BlinkTree::DescendToLevel(const EntryKey& key,
                                            uint32_t target_level) {
-  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
-  uint64_t id = meta.root_id;
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    if (BeyondNode(node, key)) {
-      if (node.right_id == 0) {
-        return Status::Corruption("blink: high key set on rightmost node");
+  for (int attempt = 0; attempt < options_.max_parent_retries; ++attempt) {
+    if (attempt > 0) {
+      // A shallow root or an aborted read means a concurrent split's
+      // publication is in flight; we hold no latches here, so the other
+      // writer always makes progress. Wait it out (bounded).
+      parent_waits_.fetch_add(1, std::memory_order_relaxed);
+      SleepForMicros(kParentWaitMicros);
+    }
+    // Re-read the meta each round: the retry exists precisely to observe a
+    // root the previous round could not see yet.
+    TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+    uint64_t id = meta.root_id;
+    int hops = 0;
+    bool retry = false;
+    while (!retry) {
+      Result<BlinkNode> node = ReadNodeOpt(id);
+      if (!node.ok()) {
+        if (node.status().IsAborted()) {
+          retry = true;
+          break;
+        }
+        return node.status();
       }
-      id = node.right_id;
-      continue;
+      if (BeyondNode(*node, key)) {
+        if (node->right_id == 0) {
+          return Status::Corruption("blink: high key set on rightmost node");
+        }
+        move_rights_.fetch_add(1, std::memory_order_relaxed);
+        if (++hops >= options_.max_move_right) {
+          retry = true;
+          break;
+        }
+        id = node->right_id;
+        continue;
+      }
+      if (node->level == target_level) return id;
+      if (node->level < target_level) {
+        // The root is shallower than the level we need: the writer splitting
+        // the old root has not published the new one. Retry from the (next)
+        // root instead of erroring — against a live store the new root lands
+        // within microseconds.
+        retry = true;
+        break;
+      }
+      id = node->children[ChildIndexFor(*node, key)];
     }
-    if (node.level == target_level) return id;
-    if (node.level < target_level) {
-      // The tree is shallower than expected (stale path after root change):
-      // caller must retry from the (new) root.
-      return Status::Internal("blink: level " + std::to_string(target_level) +
-                              " not reachable from root");
-    }
-    id = node.children[ChildIndexFor(node, key)];
   }
+  return Status::Aborted(
+      "blink: level " + std::to_string(target_level) +
+      " not reachable after " + std::to_string(options_.max_parent_retries) +
+      " attempts (in-flight split or stale buffered snapshot)");
 }
 
-Result<BlinkTree::LatchedNode> BlinkTree::LatchForKey(
-    uint64_t node_id, const EntryKey& key, KeyedMutex::Guard& guard) {
-  // The guard already latches node_id. Re-read under the latch and move right
-  // while the key lies beyond the node (it may have been split since our
-  // lock-free descent).
-  for (;;) {
+Result<BlinkTree::LatchedNode> BlinkTree::LatchForKey(uint64_t node_id,
+                                                      const EntryKey& key,
+                                                      OptGuard& guard) {
+  // The guard already latches node_id. Re-read under the latch — raw, not
+  // optimistic: ReadNodeOpt would spin forever on our own lock bit — and
+  // move right while the key lies beyond the node (it may have been split
+  // since our lock-free descent).
+  for (int hops = 0;; ++hops) {
+    if (hops >= options_.max_move_right) {
+      return Status::Aborted("blink: move-right from node " +
+                             std::to_string(node_id) + " did not terminate");
+    }
     TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(node_id));
     if (!BeyondNode(node, key)) {
       return LatchedNode{node_id, std::move(node)};
@@ -131,8 +302,14 @@ Result<BlinkTree::LatchedNode> BlinkTree::LatchForKey(
     if (node.right_id == 0) {
       return Status::Corruption("blink: high key set on rightmost node");
     }
+    if (node.right_id >= OptLatchTable::kCapacity) {
+      return Status::Corruption("blink: node id " +
+                                std::to_string(node.right_id) +
+                                " outside latch-table range");
+    }
+    move_rights_.fetch_add(1, std::memory_order_relaxed);
     node_id = node.right_id;
-    guard.MoveTo(NodeKey(node_id));
+    guard.MoveTo(&latches_.Get(node_id));
   }
 }
 
@@ -141,28 +318,30 @@ Status BlinkTree::Insert(const rel::Value& value, const std::string& row_key) {
   std::vector<uint64_t> path;
   TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, &path));
 
-  KeyedMutex::Guard guard(latches_, NodeKey(leaf_id));
+  OptGuard guard(&latches_.Get(leaf_id));
   TXREP_ASSIGN_OR_RETURN(LatchedNode latched, LatchForKey(leaf_id, key, guard));
   leaf_id = latched.id;
   BlinkNode leaf = std::move(latched.node);
 
   auto it = std::lower_bound(leaf.entries.begin(), leaf.entries.end(), key);
   if (it != leaf.entries.end() && *it == key) {
+    // Untouched node: the guard's destructor releases without a version bump.
     return Status::AlreadyExists("blink entry " + key.DebugString() +
                                  " already present");
   }
   leaf.entries.insert(it, key);
 
   if (leaf.entries.size() <= options_.max_node_keys) {
-    TXREP_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
-    return Status::OK();
+    Status put = WriteNode(leaf_id, leaf);
+    guard.PublishAndRelease();
+    return put;
   }
   return SplitAndPropagate(leaf_id, std::move(leaf), std::move(guard),
                            std::move(path));
 }
 
 Status BlinkTree::SplitAndPropagate(uint64_t node_id, BlinkNode node,
-                                    KeyedMutex::Guard guard,
+                                    OptGuard guard,
                                     std::vector<uint64_t> path) {
   // Allocate the right sibling's id (meta latch; taken while holding the node
   // latch — meta is always the innermost latch, so this cannot deadlock).
@@ -197,11 +376,15 @@ Status BlinkTree::SplitAndPropagate(uint64_t node_id, BlinkNode node,
   node.right_id = right_id;
 
   // Order matters for lock-free readers: the new right node must exist before
-  // the (atomic) overwrite of the left node publishes the link to it.
+  // the (atomic) overwrite of the left node publishes the link to it. The
+  // right write needs no bump — its latch word was never handed to a reader
+  // (the id is unpublished until the left write lands).
   TXREP_RETURN_IF_ERROR(WriteNode(right_id, right));
-  TXREP_RETURN_IF_ERROR(WriteNode(node_id, node));
+  Status left_put = WriteNode(node_id, node);
+  // Bump even if the left write errored: the store may hold a torn image.
   const uint32_t level = node.level;
-  guard.Release();
+  guard.PublishAndRelease();
+  TXREP_RETURN_IF_ERROR(left_put);
 
   return InsertIntoParent(node_id, level, separator, right_id,
                           std::move(path));
@@ -211,32 +394,16 @@ Status BlinkTree::InsertIntoParent(uint64_t left_id, uint32_t left_level,
                                    const EntryKey& separator,
                                    uint64_t right_id,
                                    std::vector<uint64_t> path) {
-  // Concurrent split propagations can leave the parent level or the pointer
-  // to `left_id` *not yet installed* (a sibling's own InsertIntoParent is
-  // still in flight, holding no latches we could wait on). The standard
-  // Lehman–Yao answer is to retry the parent location until the in-flight
-  // propagation lands; every retry path below is latch-free while sleeping,
-  // so the other writer always makes progress.
-  // The retry is bounded: when the store is a transaction buffer (TM mode),
-  // reads are cached, so a torn cross-key snapshot would never resolve by
-  // waiting — returning Unavailable instead lets the TM's conflict/restart
-  // machinery re-execute the transaction against fresher state. For direct
-  // concurrent use, an in-flight sibling propagation resolves in
-  // microseconds, far inside the bound.
-  constexpr int kMaxParentRetries = 1000;
-  bool first_attempt = true;
-  for (int attempt = 0; attempt < kMaxParentRetries; ++attempt) {
-    uint64_t parent_id = 0;
-    if (first_attempt && !path.empty()) {
-      parent_id = path.back();
-      path.pop_back();
-      first_attempt = false;
-    } else {
-      first_attempt = false;
-      // Left was the root when we descended (or the remembered path went
-      // stale). Either it still is the root (grow a new level) or the tree
-      // already grew: locate the parent level from the current root.
-      KeyedMutex::Guard meta_guard(latches_, meta_key_);
+  uint64_t parent_id = 0;
+  if (!path.empty()) {
+    parent_id = path.back();
+    path.pop_back();
+  } else {
+    // Left was the root when we descended (or the remembered path went
+    // stale). Either it still is the root (grow a new level) or the tree
+    // already grew: locate the parent level from the current root.
+    {
+      OptGuard meta_guard(&meta_latch_);
       TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
       if (meta.root_id == left_id) {
         BlinkNode new_root;
@@ -244,65 +411,70 @@ Status BlinkTree::InsertIntoParent(uint64_t left_id, uint32_t left_level,
         new_root.separators = {separator};
         new_root.children = {left_id, right_id};
         const uint64_t new_root_id = meta.next_id++;
+        if (new_root_id >= OptLatchTable::kCapacity) {
+          return Status::Corruption("blink: node id space exhausted at " +
+                                    std::to_string(new_root_id));
+        }
         TXREP_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
         meta.root_id = new_root_id;
-        return WriteMeta(meta);
+        Status put = WriteMeta(meta);
+        meta_guard.PublishAndRelease();
+        return put;
       }
-      meta_guard.Release();
-      Result<uint64_t> located = DescendToLevel(separator, left_level + 1);
-      if (!located.ok()) {
-        if (located.status().code() == StatusCode::kInternal) {
-          // The parent level does not exist yet: the writer that split the
-          // old root has not published the new root. Back off and retry.
-          SleepForMicros(50);
-          continue;
-        }
-        return located.status();
+    }
+    // The tree grew past us: locate the parent level from the current root.
+    // DescendToLevel retries internally while the new root's publication is
+    // in flight; exhaustion means this snapshot will never show the level.
+    Result<uint64_t> located = DescendToLevel(separator, left_level + 1);
+    if (!located.ok()) {
+      if (located.status().IsAborted()) {
+        return Status::Aborted(
+            "blink: parent of node " + std::to_string(left_id) +
+            " not reachable (in-flight split or stale buffered snapshot)");
       }
-      parent_id = *located;
+      return located.status();
     }
-
-    KeyedMutex::Guard guard(latches_, NodeKey(parent_id));
-    TXREP_ASSIGN_OR_RETURN(LatchedNode latched,
-                           LatchForKey(parent_id, separator, guard));
-    parent_id = latched.id;
-    BlinkNode parent = std::move(latched.node);
-
-    // Insert purely by *separator order* (the Lehman–Yao discipline) — never
-    // by left_id's position, and without requiring left_id's own pointer to
-    // be installed yet:
-    //  - if left_id was split again and the newer separator already landed,
-    //    position-based insertion would break separator sortedness;
-    //  - if left_id's pointer is still in flight (its creator's propagation
-    //    has not reached this level), waiting for it can form circular wait
-    //    chains between in-flight propagations. Key-ordered insertion is
-    //    already correct in that state: keys routed to the stale left
-    //    neighbour recover over its right-link, and the in-flight pointer
-    //    later lands at its own key position.
-    const size_t pos = static_cast<size_t>(
-        std::lower_bound(parent.separators.begin(), parent.separators.end(),
-                         separator) -
-        parent.separators.begin());
-    parent.separators.insert(parent.separators.begin() + pos, separator);
-    parent.children.insert(parent.children.begin() + pos + 1, right_id);
-
-    if (parent.separators.size() <= options_.max_node_keys) {
-      TXREP_RETURN_IF_ERROR(WriteNode(parent_id, parent));
-      return Status::OK();
-    }
-    return SplitAndPropagate(parent_id, std::move(parent), std::move(guard),
-                             std::move(path));
+    parent_id = *located;
   }
-  return Status::Unavailable(
-      "blink: parent of node " + std::to_string(left_id) +
-      " not reachable (in-flight split or stale buffered snapshot)");
+
+  OptGuard guard(&latches_.Get(parent_id));
+  TXREP_ASSIGN_OR_RETURN(LatchedNode latched,
+                         LatchForKey(parent_id, separator, guard));
+  parent_id = latched.id;
+  BlinkNode parent = std::move(latched.node);
+
+  // Insert purely by *separator order* (the Lehman–Yao discipline) — never
+  // by left_id's position, and without requiring left_id's own pointer to
+  // be installed yet:
+  //  - if left_id was split again and the newer separator already landed,
+  //    position-based insertion would break separator sortedness;
+  //  - if left_id's pointer is still in flight (its creator's propagation
+  //    has not reached this level), waiting for it can form circular wait
+  //    chains between in-flight propagations. Key-ordered insertion is
+  //    already correct in that state: keys routed to the stale left
+  //    neighbour recover over its right-link, and the in-flight pointer
+  //    later lands at its own key position.
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(parent.separators.begin(), parent.separators.end(),
+                       separator) -
+      parent.separators.begin());
+  parent.separators.insert(parent.separators.begin() + pos, separator);
+  parent.children.insert(parent.children.begin() + pos + 1, right_id);
+
+  if (parent.separators.size() <= options_.max_node_keys) {
+    Status put = WriteNode(parent_id, parent);
+    guard.PublishAndRelease();
+    return put;
+  }
+  return SplitAndPropagate(parent_id, std::move(parent), std::move(guard),
+                           std::move(path));
 }
 
 Status BlinkTree::Remove(const rel::Value& value, const std::string& row_key) {
   const EntryKey key{value, row_key};
   TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, nullptr));
 
-  KeyedMutex::Guard guard(latches_, NodeKey(leaf_id));
+  OptGuard guard(&latches_.Get(leaf_id));
   TXREP_ASSIGN_OR_RETURN(LatchedNode latched, LatchForKey(leaf_id, key, guard));
   BlinkNode leaf = std::move(latched.node);
 
@@ -314,23 +486,19 @@ Status BlinkTree::Remove(const rel::Value& value, const std::string& row_key) {
   leaf.entries.erase(it);
   // B-link simplification: no merge/rebalance; empty leaves are legal and
   // skipped by scans.
-  return WriteNode(latched.id, leaf);
+  Status put = WriteNode(latched.id, leaf);
+  guard.PublishAndRelease();
+  return put;
 }
 
 Result<bool> BlinkTree::Contains(const rel::Value& value,
                                  const std::string& row_key) {
   const EntryKey key{value, row_key};
-  TXREP_ASSIGN_OR_RETURN(uint64_t leaf_id, DescendToLeaf(key, nullptr));
-  // Lock-free: re-check move-right on the freshly read node.
-  uint64_t id = leaf_id;
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    if (BeyondNode(node, key)) {
-      id = node.right_id;
-      continue;
-    }
-    return std::binary_search(node.entries.begin(), node.entries.end(), key);
-  }
+  // The descent already validated the leaf image and moved right past any
+  // concurrent splits, so the image is authoritative for `key`.
+  TXREP_ASSIGN_OR_RETURN(LeafView view, DescendToLeafView(key, nullptr));
+  return std::binary_search(view.node.entries.begin(), view.node.entries.end(),
+                            key);
 }
 
 Result<std::vector<EntryKey>> BlinkTree::RangeScan(const rel::Value& lo,
@@ -343,41 +511,80 @@ Result<std::vector<EntryKey>> BlinkTree::RangeScanBounds(
   std::vector<EntryKey> out;
   if (lo.has_value() && hi.has_value() && *hi < *lo) return out;
 
-  uint64_t id;
   std::optional<EntryKey> lo_key;
-  if (lo.has_value()) {
-    lo_key = EntryKey{*lo, ""};
-    TXREP_ASSIGN_OR_RETURN(id, DescendToLeaf(*lo_key, nullptr));
-  } else {
-    // Leftmost leaf.
-    TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
-    id = meta.root_id;
-    for (;;) {
-      TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-      if (node.is_leaf()) break;
-      id = node.children.front();
+  if (lo.has_value()) lo_key = EntryKey{*lo, ""};
+
+  for (int restart = 0;; ++restart) {
+    if (restart > 0) {
+      read_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restart >= options_.max_read_restarts) {
+        return Status::Aborted("blink: range scan did not stabilize after " +
+                               std::to_string(options_.max_read_restarts) +
+                               " restarts");
+      }
+      out.clear();  // Partial output from the torn walk is discarded.
     }
-  }
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    if (lo_key.has_value() && BeyondNode(node, *lo_key)) {
+
+    uint64_t id = 0;
+    {
+      Result<uint64_t> start = lo_key.has_value()
+                                   ? DescendToLeaf(*lo_key, nullptr)
+                                   : LeftmostLeaf();
+      if (!start.ok()) {
+        if (start.status().IsAborted()) continue;
+        return start.status();
+      }
+      id = *start;
+    }
+
+    int hops = 0;
+    bool again = false;
+    while (!again) {
+      Result<BlinkNode> node_or = ReadNodeOpt(id);
+      if (!node_or.ok()) {
+        if (node_or.status().IsAborted()) {
+          again = true;
+          break;
+        }
+        return node_or.status();
+      }
+      BlinkNode node = *std::move(node_or);
+      if (lo_key.has_value() && BeyondNode(node, *lo_key)) {
+        if (node.right_id == 0) {
+          return Status::Corruption("blink: high key set on rightmost node " +
+                                    std::to_string(id));
+        }
+        move_rights_.fetch_add(1, std::memory_order_relaxed);
+        if (++hops >= options_.max_move_right) {
+          again = true;
+          break;
+        }
+        id = node.right_id;
+        continue;
+      }
+      auto it = lo_key.has_value()
+                    ? std::lower_bound(node.entries.begin(),
+                                       node.entries.end(), *lo_key)
+                    : node.entries.begin();
+      for (; it != node.entries.end(); ++it) {
+        // Entries above the high key have migrated to the right sibling;
+        // emit them there, never twice (split-torn images only — a validated
+        // image already satisfies the bound, this guards raw snapshots).
+        if (node.has_high_key && node.high_key < *it) break;
+        if (hi.has_value() && *hi < it->value) return out;
+        out.push_back(*it);
+      }
+      if (node.right_id == 0) return out;
+      // Stop early if everything to the right is beyond hi.
+      if (hi.has_value() && node.has_high_key && *hi < node.high_key.value) {
+        return out;
+      }
+      if (++hops >= options_.max_move_right) {
+        again = true;
+        break;
+      }
       id = node.right_id;
-      continue;
     }
-    auto it = lo_key.has_value()
-                  ? std::lower_bound(node.entries.begin(), node.entries.end(),
-                                     *lo_key)
-                  : node.entries.begin();
-    for (; it != node.entries.end(); ++it) {
-      if (hi.has_value() && *hi < it->value) return out;
-      out.push_back(*it);
-    }
-    if (node.right_id == 0) return out;
-    // Stop early if everything to the right is beyond hi.
-    if (hi.has_value() && node.has_high_key && *hi < node.high_key.value) {
-      return out;
-    }
-    id = node.right_id;
   }
 }
 
@@ -391,20 +598,44 @@ Result<std::vector<std::string>> BlinkTree::RangeScanRowKeys(
 }
 
 Result<size_t> BlinkTree::EntryCount() {
-  // Walk the leaf level from the leftmost leaf.
-  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
-  uint64_t id = meta.root_id;
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    if (node.is_leaf()) break;
-    id = node.children.front();
-  }
-  size_t count = 0;
-  for (;;) {
-    TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
-    count += node.entries.size();
-    if (node.right_id == 0) return count;
-    id = node.right_id;
+  for (int restart = 0;; ++restart) {
+    if (restart > 0) {
+      read_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (restart >= options_.max_read_restarts) {
+        return Status::Aborted("blink: entry count did not stabilize after " +
+                               std::to_string(options_.max_read_restarts) +
+                               " restarts");
+      }
+    }
+    Result<uint64_t> start = LeftmostLeaf();
+    if (!start.ok()) {
+      if (start.status().IsAborted()) continue;
+      return start.status();
+    }
+    uint64_t id = *start;
+    size_t count = 0;  // A restart resets the accumulator.
+    int hops = 0;
+    bool again = false;
+    while (!again) {
+      Result<BlinkNode> node = ReadNodeOpt(id);
+      if (!node.ok()) {
+        if (node.status().IsAborted()) {
+          again = true;
+          break;
+        }
+        return node.status();
+      }
+      // Count only entries within the node's own key range: during a split
+      // the tail above the high key already lives in the right sibling, and
+      // a raw size() would count it twice.
+      count += node->CountWithinHighKey();
+      if (node->right_id == 0) return count;
+      if (++hops >= options_.max_move_right) {
+        again = true;
+        break;
+      }
+      id = node->right_id;
+    }
   }
 }
 
@@ -476,6 +707,56 @@ Status BlinkTree::Validate() {
     level_head = head.children.front();
     expected_level = static_cast<int64_t>(head.level) - 1;
   }
+}
+
+Status BlinkTree::AuditLatches() {
+  if (OptLatch::IsLocked(meta_latch_.RawVersionWord())) {
+    return Status::FailedPrecondition(
+        "blink: meta latch held on quiesced tree");
+  }
+  TXREP_ASSIGN_OR_RETURN(BlinkMeta meta, ReadMeta());
+  uint64_t level_head = meta.root_id;
+  std::set<uint64_t> seen;
+  for (;;) {
+    TXREP_ASSIGN_OR_RETURN(BlinkNode head, ReadNode(level_head));
+    uint64_t id = level_head;
+    for (;;) {
+      if (!seen.insert(id).second) {
+        return Status::Corruption("blink: node " + std::to_string(id) +
+                                  " reachable twice (right-link cycle?)");
+      }
+      TXREP_ASSIGN_OR_RETURN(BlinkNode node, ReadNode(id));
+      if (id >= OptLatchTable::kCapacity) {
+        return Status::Corruption("blink: node id " + std::to_string(id) +
+                                  " outside latch-table range");
+      }
+      const uint64_t word = latches_.Get(id).RawVersionWord();
+      if (OptLatch::IsLocked(word)) {
+        return Status::FailedPrecondition("blink: node " + std::to_string(id) +
+                                          " latch held on quiesced tree");
+      }
+      if (OptLatch::IsObsolete(word)) {
+        return Status::FailedPrecondition("blink: reachable node " +
+                                          std::to_string(id) +
+                                          " marked obsolete");
+      }
+      if (node.right_id == 0) break;
+      id = node.right_id;
+    }
+    if (head.is_leaf()) return Status::OK();
+    level_head = head.children.front();
+  }
+}
+
+BlinkTreeStats BlinkTree::stats() const {
+  BlinkTreeStats s;
+  s.read_retries = read_retries_.load(std::memory_order_relaxed);
+  s.read_spins = read_spins_.load(std::memory_order_relaxed);
+  s.obsolete_hits = obsolete_hits_.load(std::memory_order_relaxed);
+  s.read_restarts = read_restarts_.load(std::memory_order_relaxed);
+  s.move_rights = move_rights_.load(std::memory_order_relaxed);
+  s.parent_waits = parent_waits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace txrep::blink

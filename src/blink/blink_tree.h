@@ -1,6 +1,7 @@
 #ifndef TXREP_BLINK_BLINK_TREE_H_
 #define TXREP_BLINK_BLINK_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -8,10 +9,11 @@
 #include <vector>
 
 #include "blink/node.h"
-#include "common/keyed_mutex.h"
+#include "blink/opt_latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 #include "rel/value.h"
 
 namespace txrep::blink {
@@ -20,6 +22,46 @@ namespace txrep::blink {
 struct BlinkTreeOptions {
   /// Maximum keys per node before a split; split yields two ~half-full nodes.
   size_t max_node_keys = 32;
+
+  /// Bounded wait for a parent level a concurrent split has not published
+  /// yet (attempts x 50µs backoff). Exhaustion surfaces as Aborted — against
+  /// a live store the level lands within microseconds; against a stale
+  /// buffered snapshot it never will, and the TM's restart machinery picks
+  /// the Aborted up.
+  int max_parent_retries = 256;
+
+  /// Full traversal restarts from the root after an optimistic read hit an
+  /// obsolete node or a runaway right chain.
+  int max_read_restarts = 64;
+
+  /// Right-sibling hops one traversal may take before the chain is declared
+  /// runaway (a cycle or a wedged snapshot).
+  int max_move_right = 1 << 16;
+
+  /// Optimistic re-reads of a single node (version mismatch) before the
+  /// read gives up with Aborted.
+  int max_read_attempts = 4096;
+
+  /// Optional registry (must outlive the tree) receiving the read-retry /
+  /// obsolete-hit counters, labeled {index="TABLE.COLUMN"}. The stats()
+  /// snapshot works with or without it.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Contention counters of one BlinkTree instance (snapshot via stats()).
+struct BlinkTreeStats {
+  /// Version validation failed after decoding a node; the read re-ran.
+  int64_t read_retries = 0;
+  /// Backoff rounds readers spent waiting out a writer's lock bit.
+  int64_t read_spins = 0;
+  /// Reads that hit an obsolete version word (node left the snapshot).
+  int64_t obsolete_hits = 0;
+  /// Traversals restarted from the root.
+  int64_t read_restarts = 0;
+  /// Right-sibling hops taken to repair concurrent splits.
+  int64_t move_rights = 0;
+  /// Backoff rounds writers spent waiting for a parent level to publish.
+  int64_t parent_waits = 0;
 };
 
 /// Lehman–Yao B-link tree mapped onto key-value objects (paper §4.2).
@@ -28,17 +70,23 @@ struct BlinkTreeOptions {
 /// pointer + node-id allocator) is one KV object (`!bmeta_TABLE_COLUMN`).
 /// Because all state lives in the store:
 ///  - lookups and range scans take **no locks** — each node visit is one
-///    atomic GET, and the right-sibling links repair any concurrent split
-///    (the paper's property (2): "read-only transactions can access the
-///    B-link tree ... without being blocked by updates");
+///    atomic GET validated against the node's optimistic version latch, and
+///    the right-sibling links repair any concurrent split (the paper's
+///    property (2): "read-only transactions can access the B-link tree ...
+///    without being blocked by updates");
 ///  - when the "store" is a transaction buffer, the node reads/writes become
 ///    ordinary key conflicts handled by the TM (the paper's property (1)).
 ///
-/// Writers take short per-node latches from an in-process KeyedMutex, at most
-/// one node latch at a time (plus, briefly, the meta latch, which is always
-/// acquired last — so the latch order is deadlock-free). Deletion follows the
-/// usual B-link simplification: underfull/empty nodes are allowed and skipped
-/// by scans, no merging.
+/// Synchronization (DESIGN.md §14) is an in-process optimistic version latch
+/// per node: a 64-bit word holding lock bit + obsolete bit + version counter
+/// (blink::OptLatch). Readers snapshot the word before the GET and
+/// re-validate after decoding — on mismatch they retry the node, on an
+/// obsolete word they restart from the root. Writers spin-acquire the lock
+/// bit, hold at most one node latch at a time (hand-over-hand during
+/// move-right, plus briefly the meta latch, which is always innermost — so
+/// the latch order is deadlock-free), and bump the version when they unlatch
+/// after a modification. Deletion follows the usual B-link simplification:
+/// underfull/empty nodes are allowed and skipped by scans, no merging.
 ///
 /// Thread-compatible: concurrent Insert/Remove/scans on one BlinkTree over a
 /// shared concrete store are safe; two BlinkTree instances over the same
@@ -79,21 +127,87 @@ class BlinkTree {
   Result<std::vector<std::string>> RangeScanRowKeys(const rel::Value& lo,
                                                     const rel::Value& hi);
 
-  /// Total live entries (walks the leaf level).
+  /// Total live entries (walks the leaf level). Split-safe: each leaf
+  /// contributes only entries within its high key, so entries mid-migration
+  /// to a fresh right sibling are never counted twice, and a walk that hits
+  /// an obsolete node restarts with a clean accumulator.
   Result<size_t> EntryCount();
 
   /// Checks structural invariants of every reachable node (sortedness,
   /// fanout arity, level monotonicity, high-key bounds, right-chain
-  /// termination). For tests; OK when the tree is well-formed.
+  /// termination). For tests; OK when the tree is well-formed. Run on a
+  /// quiesced tree.
   Status Validate();
+
+  /// Audits the version words of every reachable node on a quiesced tree:
+  /// no latch may be held and no reachable node may be obsolete. Catches
+  /// leaked lock bits (a writer path that returned without unlatching) and
+  /// wrongly-obsoleted live nodes.
+  Status AuditLatches();
+
+  /// Contention counters accumulated by this instance.
+  BlinkTreeStats stats() const;
 
   const std::string& table() const { return table_; }
   const std::string& column() const { return column_; }
 
  private:
+  friend struct BlinkTreeTestPeer;
+
+  /// RAII writer latch. Default release (destructor, error paths) does not
+  /// bump the version — correct when the node was not modified, and when a
+  /// store write failed before touching state. After a WriteNode attempt,
+  /// release via PublishAndRelease() so overlapping optimistic readers
+  /// retry.
+  class OptGuard {
+   public:
+    explicit OptGuard(OptLatch* latch) : latch_(latch) { latch_->Lock(); }
+    ~OptGuard() {
+      if (latch_ != nullptr) latch_->UnlockNoBump();
+    }
+
+    OptGuard(OptGuard&& other) noexcept : latch_(other.latch_) {
+      other.latch_ = nullptr;
+    }
+    OptGuard& operator=(OptGuard&&) = delete;
+    OptGuard(const OptGuard&) = delete;
+    OptGuard& operator=(const OptGuard&) = delete;
+
+    /// Unlock + version bump: the node was (possibly) modified.
+    void PublishAndRelease() {
+      latch_->Unlock();
+      latch_ = nullptr;
+    }
+
+    /// Unlock without a bump: the node is untouched.
+    void Release() {
+      latch_->UnlockNoBump();
+      latch_ = nullptr;
+    }
+
+    /// Hand-over-hand move-right: acquire `next`, then release the current
+    /// latch (left-to-right acquisition along one level never cycles).
+    void MoveTo(OptLatch* next) {
+      next->Lock();
+      latch_->UnlockNoBump();
+      latch_ = next;
+    }
+
+   private:
+    OptLatch* latch_;
+  };
+
   // -- node/meta IO ---------------------------------------------------------
   std::string NodeKey(uint64_t id) const;
+  /// Raw node read, no version validation: for writers holding the node's
+  /// latch (ReadNodeOpt would spin forever on our own lock bit) and for
+  /// quiesced audits.
   Result<BlinkNode> ReadNode(uint64_t id);
+  /// Optimistic node read: ReadBegin -> GET -> decode -> ReadValidate, with
+  /// bounded retry on version mismatch. Obsolete nodes return Aborted (the
+  /// caller restarts from the root); a validated NotFound marks the node
+  /// obsolete (the snapshot never had it) and propagates.
+  Result<BlinkNode> ReadNodeOpt(uint64_t id);
   Status WriteNode(uint64_t id, const BlinkNode& node);
   Result<BlinkMeta> ReadMeta();
   Status WriteMeta(const BlinkMeta& meta);
@@ -106,31 +220,46 @@ class BlinkTree {
   /// Child pointer covering `key` within an internal node.
   static size_t ChildIndexFor(const BlinkNode& node, const EntryKey& key);
 
+  /// A leaf id together with the validated image the descent saw.
+  struct LeafView {
+    uint64_t id = 0;
+    BlinkNode node;
+  };
+
   /// Descends lock-free from the root to the leaf that should hold `key`,
   /// recording the node id entered at each internal level (for split
-  /// back-propagation). Performs move-right at every level.
+  /// back-propagation). Performs move-right at every level; restarts from
+  /// the root (bounded) when a read aborts on an obsolete node.
+  Result<LeafView> DescendToLeafView(const EntryKey& key,
+                                     std::vector<uint64_t>* path);
   Result<uint64_t> DescendToLeaf(const EntryKey& key,
                                  std::vector<uint64_t>* path);
 
+  /// Leftmost leaf of the tree (scan/count entry point), restart-aware.
+  Result<uint64_t> LeftmostLeaf();
+
   /// Lock-free descent from the current root to the node at `target_level`
-  /// responsible for `key` (used when the recorded path is stale).
+  /// responsible for `key` (used when the recorded path is stale). A root
+  /// shallower than `target_level` is transient — the writer splitting the
+  /// old root has not published the new one yet — so the descent retries
+  /// internally (bounded, 50µs backoff) instead of erroring to the caller;
+  /// exhaustion surfaces as Aborted.
   Result<uint64_t> DescendToLevel(const EntryKey& key, uint32_t target_level);
 
   // -- write path -----------------------------------------------------------
-  /// Latches `node_id` (moving right as needed for `key`), then runs the
-  /// leaf-level mutation. Used by Insert and Remove.
+  /// Latches `node_id` (moving right as needed for `key`, bounded), then
+  /// returns the node read under the latch. Used by Insert and Remove.
   struct LatchedNode {
     uint64_t id = 0;
     BlinkNode node;
   };
   Result<LatchedNode> LatchForKey(uint64_t node_id, const EntryKey& key,
-                                  KeyedMutex::Guard& guard);
+                                  OptGuard& guard);
 
   /// Splits the latched, overflowing `node` (id `node_id`), writes both
-  /// halves, releases the latch, and propagates the separator upward.
-  /// `path` holds the remembered ancestors (deepest last).
-  Status SplitAndPropagate(uint64_t node_id, BlinkNode node,
-                           KeyedMutex::Guard guard,
+  /// halves, releases the latch (version bump), and propagates the separator
+  /// upward. `path` holds the remembered ancestors (deepest last).
+  Status SplitAndPropagate(uint64_t node_id, BlinkNode node, OptGuard guard,
                            std::vector<uint64_t> path);
 
   /// Inserts (separator -> right_id) next to `left_id` at level
@@ -144,7 +273,31 @@ class BlinkTree {
   const std::string column_;
   const BlinkTreeOptions options_;
   const std::string meta_key_;
-  KeyedMutex latches_;
+
+  /// Per-node optimistic version latches, indexed by node id; the meta
+  /// object gets its own dedicated latch (node ids start at 1).
+  OptLatchTable latches_;
+  OptLatch meta_latch_;
+
+  // Contention counters (relaxed; exact once writers quiesce).
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> read_retries_{0};
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> read_spins_{0};
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> obsolete_hits_{0};
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> read_restarts_{0};
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> move_rights_{0};
+  // analyze: lock-free(monotonic relaxed counters; stats() is a snapshot)
+  std::atomic<int64_t> parent_waits_{0};
+
+  // Registry instruments (null when the tree runs unobserved).
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_read_retries_ = nullptr;
+  // analyze: lock-free(registry-owned metric; set once in ctor, internally synchronized)
+  obs::Counter* c_obsolete_hits_ = nullptr;
 };
 
 }  // namespace txrep::blink

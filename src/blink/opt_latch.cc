@@ -1,0 +1,59 @@
+#include "blink/opt_latch.h"
+
+#include <bit>
+
+namespace txrep::blink {
+
+namespace {
+
+/// Segment index for `id`: segment s covers ids
+/// [(2^s - 1) << kBlockBits, (2^(s+1) - 1) << kBlockBits) and holds
+/// 2^s << kBlockBits latches.
+size_t SegmentFor(uint64_t id, uint64_t* offset, uint64_t* capacity) {
+  const uint64_t block = (id >> OptLatchTable::kBlockBits) + 1;
+  const size_t s = static_cast<size_t>(std::bit_width(block)) - 1;
+  const uint64_t base = ((uint64_t{1} << s) - 1) << OptLatchTable::kBlockBits;
+  *capacity = uint64_t{1} << (s + OptLatchTable::kBlockBits);
+  *offset = id - base;
+  return s;
+}
+
+}  // namespace
+
+OptLatchTable::~OptLatchTable() {
+  for (std::atomic<OptLatch*>& slot : segments_) {
+    delete[] slot.load(std::memory_order_acquire);
+  }
+}
+
+OptLatch& OptLatchTable::Get(uint64_t id) {
+  uint64_t offset = 0;
+  uint64_t capacity = 0;
+  const size_t s = SegmentFor(id, &offset, &capacity);
+  // Callers bound ids by kCapacity, which the last segment's end equals, so
+  // s < kSegments always holds here.
+  OptLatch* segment = segments_[s].load(std::memory_order_acquire);
+  if (segment == nullptr) {
+    OptLatch* fresh = new OptLatch[capacity];
+    OptLatch* expected = nullptr;
+    if (segments_[s].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      segment = fresh;
+    } else {
+      delete[] fresh;  // Another thread won the install race.
+      segment = expected;
+    }
+  }
+  return segment[offset];
+}
+
+size_t OptLatchTable::AllocatedSegments() const {
+  size_t count = 0;
+  for (const std::atomic<OptLatch*>& slot : segments_) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+  }
+  return count;
+}
+
+}  // namespace txrep::blink

@@ -1,0 +1,196 @@
+#ifndef TXREP_BLINK_OPT_LATCH_H_
+#define TXREP_BLINK_OPT_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/clock.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace txrep::blink {
+
+/// One CPU spin-wait hint (`_mm_pause` on x86, `yield` on arm). Keeps a
+/// spinning reader from starving the store-port pipeline of the writer it is
+/// waiting on.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Escalating spin backoff: a burst of pause hints, then scheduler yields,
+/// then real sleeps. The sleep tier matters on machines with fewer cores than
+/// spinning threads — a pure pause loop would livelock against a preempted
+/// lock holder (and trips TSan's deadlock heuristics).
+class SpinBackoff {
+ public:
+  void Pause() {
+    ++spins_;
+    if (spins_ <= kPauseSpins) {
+      CpuRelax();
+    } else if (spins_ <= kPauseSpins + kYieldSpins) {
+      std::this_thread::yield();
+    } else {
+      SleepForMicros(kSleepMicros);
+    }
+  }
+
+  int spins() const { return spins_; }
+
+ private:
+  static constexpr int kPauseSpins = 64;
+  static constexpr int kYieldSpins = 32;
+  static constexpr int64_t kSleepMicros = 50;
+  int spins_ = 0;
+};
+
+/// Optimistic version latch (the huayichai/blink-tree / Blink-hash
+/// `node_optimized` scheme): one 64-bit word per node holding
+///
+///   bit 0   obsolete — the node left the tree (or its object vanished from
+///           the snapshot); readers must restart from the root, never retry.
+///   bit 1   lock     — a writer owns the node.
+///   bits 2+ version  — bumped on every unlock that published a modification.
+///
+/// Readers take no locks: snapshot the word before decoding the node
+/// (ReadBegin spins past the lock bit), re-validate it after (ReadValidate),
+/// and retry the node read on mismatch. Writers spin-acquire the lock bit;
+/// Unlock() clears it and bumps the version in one atomic add, so a reader
+/// that overlapped the write can never validate successfully.
+class OptLatch {
+ public:
+  static constexpr uint64_t kObsoleteBit = 1;
+  static constexpr uint64_t kLockBit = 2;
+  static constexpr uint64_t kVersionStep = 4;
+
+  OptLatch() = default;
+
+  OptLatch(const OptLatch&) = delete;
+  OptLatch& operator=(const OptLatch&) = delete;
+
+  static bool IsObsolete(uint64_t word) { return (word & kObsoleteBit) != 0; }
+  static bool IsLocked(uint64_t word) { return (word & kLockBit) != 0; }
+
+  /// Reader entry: returns a word with the lock bit clear, spinning while a
+  /// writer holds the node. An obsolete word is returned immediately (the
+  /// caller restarts from the root; waiting cannot help). `spins`, when
+  /// non-null, is incremented by the number of backoff rounds taken.
+  uint64_t ReadBegin(int* spins = nullptr) const {
+    SpinBackoff backoff;
+    for (;;) {
+      const uint64_t word = word_.load(std::memory_order_acquire);
+      if (!IsLocked(word) || IsObsolete(word)) {
+        if (spins != nullptr) *spins += backoff.spins();
+        return word;
+      }
+      backoff.Pause();
+    }
+  }
+
+  /// Reader exit: true iff the word is still exactly `snapshot` — no writer
+  /// acquired, published, or obsoleted the node since ReadBegin.
+  bool ReadValidate(uint64_t snapshot) const {
+    return word_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  /// Writer entry: spin-acquires the lock bit (obsolete nodes can still be
+  /// latched; the caller's under-latch read is authoritative).
+  void Lock() {
+    SpinBackoff backoff;
+    for (;;) {
+      if (TryLock()) return;
+      backoff.Pause();
+    }
+  }
+
+  bool TryLock() {
+    uint64_t expected = word_.load(std::memory_order_relaxed);
+    if (IsLocked(expected)) return false;
+    return word_.compare_exchange_weak(expected, expected | kLockBit,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed);
+  }
+
+  /// Writer exit after publishing a modification: clears the lock bit and
+  /// bumps the version in one atomic add (locked word + (step - lock) =
+  /// next version, unlocked), invalidating every overlapping reader.
+  void Unlock() {
+    word_.fetch_add(kVersionStep - kLockBit, std::memory_order_release);
+  }
+
+  /// Writer exit without a modification (move-right hand-off, no-op paths):
+  /// clears the lock bit only, so overlapping readers still validate.
+  void UnlockNoBump() {
+    word_.fetch_sub(kLockBit, std::memory_order_release);
+  }
+
+  /// Marks the node dead: every subsequent ReadBegin/ReadValidate fails
+  /// permanently and traversals restart from the root. Sticky.
+  void MarkObsolete() {
+    word_.fetch_or(kObsoleteBit, std::memory_order_release);
+  }
+
+  /// Writer exit for a node that left the tree: obsolete + unlock + bump.
+  void UnlockObsolete() {
+    MarkObsolete();
+    Unlock();
+  }
+
+  /// Raw word for structural audits (invariant checks on a quiesced tree).
+  /// Lint rule 7 confines this accessor to src/blink/ — every other layer
+  /// must go through the reader/writer protocol above.
+  uint64_t RawVersionWord() const {
+    return word_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> word_{0};
+};
+
+/// Lock-free, lazily-grown array of OptLatches indexed by node id.
+///
+/// Node ids are allocated densely from the tree's meta object, so segment s
+/// covers ids [(2^s - 1) * 512, (2^(s+1) - 1) * 512) — geometric blocks that
+/// reach kCapacity ids with a handful of pointers. Construction allocates
+/// nothing (the query path creates a BlinkTree per statement, so an empty
+/// table must cost a few hundred bytes); a segment materializes on first
+/// touch via CAS, losers free their copy. Latches are never invalidated or
+/// moved for the table's lifetime.
+class OptLatchTable {
+ public:
+  static constexpr size_t kBlockBits = 9;  // Segment 0: 512 latches.
+  static constexpr size_t kSegments = 14;
+
+  /// Ids must be < kCapacity (~8.4M nodes); the tree rejects out-of-range
+  /// ids as corruption before they reach the table.
+  static constexpr uint64_t kCapacity = ((uint64_t{1} << kSegments) - 1)
+                                        << kBlockBits;
+
+  OptLatchTable() = default;
+  ~OptLatchTable();
+
+  OptLatchTable(const OptLatchTable&) = delete;
+  OptLatchTable& operator=(const OptLatchTable&) = delete;
+
+  /// The latch for `id`. Requires id < kCapacity. Thread-safe.
+  OptLatch& Get(uint64_t id);
+
+  /// Segments materialized so far (tests/diagnostics).
+  size_t AllocatedSegments() const;
+
+ private:
+  // analyze: lock-free(CAS-installed segment pointers; entries immutable once set)
+  std::atomic<OptLatch*> segments_[kSegments] = {};
+};
+
+}  // namespace txrep::blink
+
+#endif  // TXREP_BLINK_OPT_LATCH_H_

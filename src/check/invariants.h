@@ -11,8 +11,10 @@ namespace txrep::check {
 
 /// Structural audit of one B-link range index: sortedness, fanout arity,
 /// level monotonicity, high-key bounds and right-chain termination of every
-/// reachable node (delegates to BlinkTree::Validate). Run it on a quiesced
-/// tree — concurrent writers make a structural snapshot meaningless.
+/// reachable node (delegates to BlinkTree::Validate), followed by a version-
+/// latch audit (BlinkTree::AuditLatches — no latch held, no reachable node
+/// obsolete). Run it on a quiesced tree — concurrent writers make a
+/// structural snapshot meaningless.
 Status CheckBlinkTreeInvariants(blink::BlinkTree& tree);
 
 /// Full replica-equivalence audit (DESIGN.md §8): every row object present

@@ -1,9 +1,14 @@
 #include "check/schedule_explorer.h"
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <set>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "blink/blink_tree.h"
 #include "check/invariants.h"
 #include "codec/kv_keys.h"
 #include "codec/schema_codec.h"
@@ -177,6 +182,35 @@ core::Transaction::Body MakeReadOnlyProbe(int64_t row_id) {
   };
 }
 
+/// Read-only transaction body for opt_latch mode: builds an ephemeral
+/// BlinkTree over the buffered view and runs a full range scan of the "S"
+/// range index, so the optimistic read path faces the torn cross-key
+/// snapshots a transaction buffer can serve. The scan must come back
+/// strictly sorted (a duplicate means a split was double-emitted); Aborted
+/// is legal — a wedged snapshot is exactly what the bounded retries are for,
+/// and the TM's restart machinery re-executes against fresher state.
+core::Transaction::Body MakeBlinkProbe(size_t max_node_keys) {
+  return [max_node_keys](kv::KvStore* view) -> Status {
+    blink::BlinkTreeOptions tree_options;
+    tree_options.max_node_keys = max_node_keys;
+    // Keep the bounded waits short: against a stale buffered snapshot the
+    // retries can never succeed, and the TM is waiting on this body.
+    tree_options.max_parent_retries = 4;
+    tree_options.max_read_restarts = 8;
+    blink::BlinkTree tree(view, "S", "COST", tree_options);
+    TXREP_ASSIGN_OR_RETURN(std::vector<blink::EntryKey> entries,
+                           tree.RangeScanBounds(std::nullopt, std::nullopt));
+    for (size_t i = 0; i + 1 < entries.size(); ++i) {
+      if (!(entries[i] < entries[i + 1])) {
+        return Status::FailedPrecondition(
+            "blink probe: unsorted or duplicated scan at index " +
+            std::to_string(i));
+      }
+    }
+    return Status::OK();
+  };
+}
+
 std::string DiffDumps(const kv::StoreDump& serial,
                       const kv::StoreDump& concurrent) {
   if (serial.size() != concurrent.size()) {
@@ -276,6 +310,11 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
     tracer = std::make_unique<trace::Tracer>(trace_options);
   }
 
+  // Opt-latch probe stream (private, like the batch/trace knobs): which of
+  // the interleaved read-only slots become B-link index probes.
+  Random opt_rng(seed ^ 0x0b71a7c4b5eed111ULL);
+  std::vector<std::shared_ptr<core::Transaction>> blink_probes;
+
   core::TmStats stats;
   {
     core::TransactionManager tm(concurrent_store, &translator, tm_options,
@@ -291,12 +330,28 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
             1 + static_cast<int64_t>(
                     rng.Uniform(static_cast<uint64_t>(max_row_id)))));
       }
+      if (options_.opt_latch && opt_rng.Bernoulli(0.25)) {
+        blink_probes.push_back(
+            tm.SubmitReadOnly(MakeBlinkProbe(config.max_node_keys)));
+      }
     }
     TXREP_RETURN_IF_ERROR(tm.WaitIdle());
     TXREP_RETURN_IF_ERROR(tm.CheckInvariants());
     stats = tm.stats();
   }
   set_failure_rate(0.0);
+
+  for (const std::shared_ptr<core::Transaction>& probe : blink_probes) {
+    const Status probe_status = probe->Wait();
+    // Unavailable (failure injection) and Aborted (wedged optimistic
+    // traversal on a stale buffer) are expected terminal states; anything
+    // else means the optimistic read path returned wrong data.
+    if (!probe_status.ok() && !probe_status.IsUnavailable() &&
+        !probe_status.IsAborted()) {
+      return Status::FailedPrecondition("blink probe failed: " +
+                                        probe_status.ToString());
+    }
+  }
 
   const std::string diff =
       DiffDumps(serial_store.Dump(), concurrent_store->Dump());
@@ -337,6 +392,160 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   if (options_.wire) {
     TXREP_RETURN_IF_ERROR(
         RunWire(seed, db, config.max_node_keys, serial_store.Dump()));
+  }
+  if (options_.opt_latch) {
+    TXREP_RETURN_IF_ERROR(
+        RunOptLatchHammer(seed, config.max_node_keys, report));
+  }
+  return Status::OK();
+}
+
+Status ScheduleExplorer::RunOptLatchHammer(uint64_t seed, size_t max_node_keys,
+                                           ScheduleReport* report) {
+  // A private random stream so the hammer's knobs never perturb the main
+  // schedule derivation.
+  Random rng(seed ^ 0x0b114ae4a71a7c8dULL);
+
+  // Service-time jitter is what creates reader/writer overlap on small
+  // machines: a GET that sleeps mid-traversal gives writers time to split
+  // the node under the reader's version snapshot.
+  kv::KvNodeOptions node_options;
+  node_options.service_time_micros = static_cast<int64_t>(rng.Uniform(16));
+  kv::InMemoryKvNode store(node_options);
+
+  blink::BlinkTreeOptions tree_options;
+  tree_options.max_node_keys = max_node_keys;
+  blink::BlinkTree tree(&store, "S", "COST", tree_options);
+  TXREP_RETURN_IF_ERROR(tree.Init());
+
+  // Seed population at even values; writers insert odd values, so readers
+  // can assert every seed entry stays visible throughout.
+  const int initial = 32 + static_cast<int>(rng.Uniform(33));
+  for (int i = 0; i < initial; ++i) {
+    TXREP_RETURN_IF_ERROR(
+        tree.Insert(Value::Int(2 * i), "seed-" + std::to_string(i)));
+  }
+
+  const int writers = 1 + static_cast<int>(rng.Uniform(2));
+  const int readers = 2 + static_cast<int>(rng.Uniform(3));
+  constexpr int kInsertsPerWriter = 24;
+  std::atomic<int> writers_live{writers};
+  // Per-thread result slots: no shared mutable state between hammer threads
+  // beyond the tree and the store themselves.
+  std::vector<Status> writer_status(writers);
+  std::vector<Status> reader_status(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(writers + readers);
+
+  core::BatchDispatcher dispatcher;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      Status status;
+      for (int k = 0; k < kInsertsPerWriter && status.ok(); ++k) {
+        const int64_t value =
+            2 * static_cast<int64_t>(initial + k * writers + w) + 1;
+        status = tree.Insert(Value::Int(value), "w" + std::to_string(w));
+        if (status.ok() && k % 4 == 0) {
+          // Row noise beside the tree: the batched apply path writing the
+          // same store the readers traverse, like the TM's bottom pool
+          // would during sustained apply.
+          std::vector<kv::KvWrite> noise;
+          for (int n = 0; n < 8; ++n) {
+            noise.push_back(kv::KvWrite::Put(
+                "noise/w" + std::to_string(w) + "/" +
+                    std::to_string(k * 8 + n),
+                "x"));
+          }
+          status = dispatcher.Dispatch(&store, noise);
+        }
+      }
+      writer_status[w] = status;
+      writers_live.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Status status;  // First failure ends the loop.
+      do {
+        Result<std::vector<blink::EntryKey>> scan =
+            tree.RangeScanBounds(std::nullopt, std::nullopt);
+        if (!scan.ok()) {
+          status = scan.status();
+          break;
+        }
+        if (scan->size() < static_cast<size_t>(initial)) {
+          status = Status::FailedPrecondition(
+              "hammer scan lost seed entries: " +
+              std::to_string(scan->size()) + " < " + std::to_string(initial));
+          break;
+        }
+        for (size_t i = 0; i + 1 < scan->size() && status.ok(); ++i) {
+          if (!((*scan)[i] < (*scan)[i + 1])) {
+            status = Status::FailedPrecondition(
+                "hammer scan unsorted or duplicated at index " +
+                std::to_string(i));
+          }
+        }
+        if (!status.ok()) break;
+        Result<bool> present =
+            tree.Contains(Value::Int(2 * r), "seed-" + std::to_string(r));
+        if (!present.ok()) {
+          status = present.status();
+          break;
+        }
+        if (!*present) {
+          status = Status::FailedPrecondition(
+              "hammer lookup lost seed entry " + std::to_string(2 * r));
+          break;
+        }
+        Result<size_t> count = tree.EntryCount();
+        if (!count.ok()) {
+          status = count.status();
+          break;
+        }
+        if (*count < static_cast<size_t>(initial)) {
+          status = Status::FailedPrecondition(
+              "hammer count below seed population: " +
+              std::to_string(*count) + " < " + std::to_string(initial));
+          break;
+        }
+      } while (writers_live.load(std::memory_order_acquire) > 0);
+      reader_status[r] = status;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& status : writer_status) TXREP_RETURN_IF_ERROR(status);
+  for (const Status& status : reader_status) TXREP_RETURN_IF_ERROR(status);
+
+  // Quiesced audits: structure, latch words, and exact accounting (every
+  // insert landed exactly once — the split-safe count must agree).
+  TXREP_RETURN_IF_ERROR(tree.Validate());
+  TXREP_RETURN_IF_ERROR(tree.AuditLatches());
+  TXREP_ASSIGN_OR_RETURN(size_t count, tree.EntryCount());
+  const size_t expected =
+      static_cast<size_t>(initial) +
+      static_cast<size_t>(writers) * static_cast<size_t>(kInsertsPerWriter);
+  if (count != expected) {
+    return Status::FailedPrecondition(
+        "hammer entry count " + std::to_string(count) + " != expected " +
+        std::to_string(expected));
+  }
+  for (int i = 0; i < initial; ++i) {
+    TXREP_ASSIGN_OR_RETURN(
+        bool present,
+        tree.Contains(Value::Int(2 * i), "seed-" + std::to_string(i)));
+    if (!present) {
+      return Status::FailedPrecondition("hammer lost seed entry " +
+                                        std::to_string(2 * i));
+    }
+  }
+
+  if (report != nullptr) {
+    const blink::BlinkTreeStats tree_stats = tree.stats();
+    report->blink_read_events += tree_stats.read_retries +
+                                 tree_stats.read_spins +
+                                 tree_stats.move_rights +
+                                 tree_stats.read_restarts;
   }
   return Status::OK();
 }
@@ -555,11 +764,15 @@ ScheduleReport ScheduleExplorer::Run() {
 }
 
 std::string ScheduleReport::Summary() const {
-  return "schedules=" + std::to_string(schedules_run) +
-         " txns=" + std::to_string(transactions_replayed) +
-         " conflicts=" + std::to_string(conflicts) +
-         " restarts=" + std::to_string(restarts) +
-         " failures=" + std::to_string(failures.size());
+  std::string summary = "schedules=" + std::to_string(schedules_run) +
+                        " txns=" + std::to_string(transactions_replayed) +
+                        " conflicts=" + std::to_string(conflicts) +
+                        " restarts=" + std::to_string(restarts);
+  if (blink_read_events > 0) {
+    summary += " blink_reads=" + std::to_string(blink_read_events);
+  }
+  summary += " failures=" + std::to_string(failures.size());
+  return summary;
 }
 
 }  // namespace txrep::check

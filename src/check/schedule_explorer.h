@@ -81,6 +81,23 @@ struct ScheduleExplorerOptions {
   /// replayed retention, and still end byte-identical to serial replay —
   /// the paper's replica-equivalence oracle applied across the wire.
   bool wire = false;
+
+  /// Optimistic-latch mode: exercises the B-link version-latch protocol
+  /// (DESIGN.md §14) from two directions. (a) During the concurrent replay a
+  /// seed-derived fraction of the interleaved read-only transactions become
+  /// *index probes*: each builds an ephemeral BlinkTree over its buffered
+  /// view and runs a full range scan, so the optimistic read path sees the
+  /// torn cross-key snapshots a transaction buffer can serve (scans must
+  /// still come back sorted; Aborted is legal and flows into the TM's
+  /// restart machinery). (b) After the replay, a scratch-store hammer runs
+  /// seed-derived reader threads (scans, point lookups, entry counts)
+  /// against writer threads inserting through the tree while a
+  /// BatchDispatcher applies row noise to the same store; readers must never
+  /// observe a missing seed entry or unsorted output, and the quiesced tree
+  /// must pass the structural + latch audits with an exact entry count. The
+  /// knobs come from a private random stream, so existing seeds reproduce
+  /// identically in either mode.
+  bool opt_latch = false;
 };
 
 /// One schedule that diverged from serial replay (or tripped an invariant).
@@ -98,6 +115,11 @@ struct ScheduleReport {
   /// enough to mean anything.
   int64_t conflicts = 0;
   int64_t restarts = 0;
+  /// Optimistic B-link read events (validation retries + lock-bit spins +
+  /// move-rights + root restarts) accumulated by opt_latch-mode hammers —
+  /// the health signal that the version-latch protocol actually engaged
+  /// (~0 means readers never raced a writer).
+  int64_t blink_read_events = 0;
   std::vector<ScheduleFailure> failures;
 
   bool ok() const { return failures.empty(); }
@@ -149,6 +171,15 @@ class ScheduleExplorer {
   /// `max_node_keys` pins the remote B-link layout to the serial one.
   Status RunWire(uint64_t seed, rel::Database& db, size_t max_node_keys,
                  const kv::StoreDump& serial_dump);
+
+  /// Optimistic-latch hammer of one schedule: seed-derived reader threads
+  /// run scans / lookups / counts through one shared BlinkTree on a scratch
+  /// store while writer threads insert through the tree and a
+  /// BatchDispatcher applies row noise beside it; ends with the structural +
+  /// latch audits and an exact entry count. Accumulates the tree's read
+  /// events into `report` (null ok).
+  Status RunOptLatchHammer(uint64_t seed, size_t max_node_keys,
+                           ScheduleReport* report);
 
   const ScheduleExplorerOptions options_;
 };

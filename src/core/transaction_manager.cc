@@ -239,9 +239,13 @@ void TransactionManager::EvaluateLocked(const TxnPtr& txn) {
     }
   }
   // No conflict explains an execution failure, so it is either a transient
-  // store error (retry by restarting) or a real one.
+  // condition (retry by restarting) or a real one. Unavailable = transient
+  // store error; Aborted = an optimistic index traversal hit a torn or
+  // still-in-flight structure (B-link version-latch protocol) — both resolve
+  // against the fresher snapshot a restart re-executes on.
   if (!txn->execution_status.ok()) {
-    if (txn->execution_status.IsUnavailable() &&
+    if ((txn->execution_status.IsUnavailable() ||
+         txn->execution_status.IsAborted()) &&
         txn->restarts() < options_.max_execution_retries) {
       RestartLocked(txn);
       return;

@@ -165,6 +165,15 @@ inline constexpr char kRecovCatchupLag[] = "txrep_recov_catchup_lag";
 /// Counter: reads rejected because the catch-up gate was still closed.
 inline constexpr char kRecovGateRejects[] = "txrep_recov_gate_rejects_total";
 
+// --- B-link index (src/blink, DESIGN.md §14) --------------------------------
+/// Optimistic node reads that failed version validation and re-ran, labeled
+/// {index="TABLE.COLUMN"}.
+inline constexpr char kBlinkReadRetries[] = "txrep_blink_read_retries_total";
+/// Reads that hit an obsolete version word and restarted from the root,
+/// same labels.
+inline constexpr char kBlinkObsoleteHits[] =
+    "txrep_blink_obsolete_hits_total";
+
 // --- replica read path ------------------------------------------------------
 /// SELECT latency on the replica through the reader (µs).
 inline constexpr char kQtSelectLatency[] = "txrep_qt_select_latency_us";

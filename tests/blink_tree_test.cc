@@ -1,14 +1,26 @@
 #include "blink/blink_tree.h"
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
+#include "codec/kv_keys.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "kv/inmemory_node.h"
 #include "test_util.h"
 
 namespace txrep::blink {
+
+/// Test-only window into BlinkTree's private traversal (declared friend).
+struct BlinkTreeTestPeer {
+  static Result<uint64_t> DescendToLevel(BlinkTree& tree, const EntryKey& key,
+                                         uint32_t target_level) {
+    return tree.DescendToLevel(key, target_level);
+  }
+};
+
 namespace {
 
 using rel::Value;
@@ -183,6 +195,114 @@ TEST_F(BlinkTreeTest, LargeFanoutSingleNodePath) {
   }
   TXREP_ASSERT_OK(big.Validate());
   EXPECT_EQ(*big.EntryCount(), 500u);
+}
+
+// --- bugfix regressions ------------------------------------------------------
+
+/// Plants a hand-crafted tree image directly into `store` (bypassing the
+/// tree's write path) so tests can replay exact torn/wedged snapshots.
+void PlantNode(kv::InMemoryKvNode& store, const std::string& table,
+               const std::string& column, uint64_t id, const BlinkNode& node) {
+  TXREP_ASSERT_OK(
+      store.Put(codec::BlinkNodeKey(table, column, id), EncodeBlinkNode(node)));
+}
+
+void PlantMeta(kv::InMemoryKvNode& store, const std::string& table,
+               const std::string& column, const BlinkMeta& meta) {
+  TXREP_ASSERT_OK(
+      store.Put(codec::BlinkMetaKey(table, column), EncodeBlinkMeta(meta)));
+}
+
+TEST(BlinkTreeWedgedSnapshotTest, SplitAgainstMissingParentLevelAborts) {
+  // A stale buffered snapshot caught mid-root-grow: the leaf level already
+  // has two nodes but no parent level exists, and — reads being cached —
+  // none can ever appear from this snapshot's point of view. A split that
+  // needs the parent must give up with Aborted naming the node (so the TM's
+  // restart machinery re-executes against fresher state), not hang in the
+  // parent-location retry loop.
+  kv::InMemoryKvNode store;
+  PlantMeta(store, "T", "C", BlinkMeta{.root_id = 1, .next_id = 4});
+  BlinkNode left;
+  left.has_high_key = true;
+  left.high_key = EntryKey{Value::Int(20), ""};
+  left.right_id = 2;
+  left.entries = {EntryKey{Value::Int(10), "r10"}};
+  PlantNode(store, "T", "C", 1, left);
+  BlinkNode right;  // Rightmost leaf, already at max_node_keys.
+  right.entries = {EntryKey{Value::Int(30), "r30"},
+                   EntryKey{Value::Int(50), "r50"},
+                   EntryKey{Value::Int(70), "r70"}};
+  PlantNode(store, "T", "C", 2, right);
+
+  BlinkTreeOptions options;
+  options.max_node_keys = 3;
+  options.max_parent_retries = 4;  // Keep the bounded wait short.
+  BlinkTree tree(&store, "T", "C", options);
+
+  const Status status = tree.Insert(Value::Int(40), "r40");
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  EXPECT_NE(status.ToString().find("parent of node 2"), std::string::npos)
+      << status.ToString();
+  // The split itself landed before the propagation wedged; a retry on a
+  // fresh snapshot would repair the parent level. The entry must be there.
+  EXPECT_TRUE(*tree.Contains(Value::Int(40), "r40"));
+}
+
+TEST(BlinkTreeTornImageTest, EntryCountIgnoresEntriesAboveHighKey) {
+  // A split-torn leaf image: the left node still holds its pre-split entry
+  // list, but its high key and right link already point at the sibling that
+  // owns the tail. Entries 6..10 appear in both nodes; the count must
+  // attribute each entry to exactly one owner (15 = the double-count bug).
+  kv::InMemoryKvNode store;
+  PlantMeta(store, "T", "C", BlinkMeta{.root_id = 1, .next_id = 3});
+  BlinkNode left;
+  left.has_high_key = true;
+  left.high_key = EntryKey{Value::Int(5), "r5"};
+  left.right_id = 2;
+  for (int i = 1; i <= 10; ++i) {
+    left.entries.push_back(EntryKey{Value::Int(i), "r" + std::to_string(i)});
+  }
+  PlantNode(store, "T", "C", 1, left);
+  BlinkNode right;
+  for (int i = 6; i <= 10; ++i) {
+    right.entries.push_back(EntryKey{Value::Int(i), "r" + std::to_string(i)});
+  }
+  PlantNode(store, "T", "C", 2, right);
+
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 32});
+  EXPECT_EQ(*tree.EntryCount(), 10u);
+  // The scan applies the same ownership rule: 10 strictly ascending entries,
+  // none emitted twice.
+  Result<std::vector<EntryKey>> all =
+      tree.RangeScanBounds(std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 10u);
+  for (size_t i = 0; i + 1 < all->size(); ++i) {
+    EXPECT_TRUE((*all)[i] < (*all)[i + 1]) << "duplicate at index " << i;
+  }
+}
+
+TEST(BlinkTreeRootGrowthTest, DescendToLevelWaitsForRootGrowth) {
+  // A writer needs the parent level of a node whose split outran the root's
+  // growth: DescendToLevel starts while the root is still a lone leaf and
+  // must absorb the wait internally (bounded) instead of erroring out —
+  // the pre-fix code returned Internal the moment it saw a too-shallow root.
+  kv::InMemoryKvNode store;
+  BlinkTree tree(&store, "T", "C", {.max_node_keys = 2});
+  TXREP_ASSERT_OK(tree.Init());
+
+  std::thread grower([&] {
+    SleepForMicros(2000);  // Guarantee the descent starts against a leaf root.
+    for (int i = 0; i <= 20; ++i) {
+      TXREP_ASSERT_OK(tree.Insert(Value::Int(i), "r"));
+    }
+  });
+  Result<uint64_t> parent = BlinkTreeTestPeer::DescendToLevel(
+      tree, EntryKey{Value::Int(10), "r"}, 1);
+  grower.join();
+  TXREP_ASSERT_OK(parent.status());
+  TXREP_ASSERT_OK(tree.Validate());
+  EXPECT_EQ(*tree.EntryCount(), 21u);
 }
 
 }  // namespace
