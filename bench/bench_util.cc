@@ -148,6 +148,27 @@ BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
   return input;
 }
 
+BenchInput BuildTpccLog(const workload::TpccOptions& options, int txns) {
+  BenchInput input;
+  input.snapshot = std::make_unique<rel::Database>();
+  {
+    workload::TpccWorkload tpcc(options);
+    CheckOk(tpcc.CreateSchema(*input.snapshot), "CreateSchema");
+    CheckOk(tpcc.Populate(*input.snapshot), "Populate");
+  }
+  input.db = std::make_unique<rel::Database>();
+  {
+    workload::TpccWorkload tpcc(options);
+    CheckOk(tpcc.CreateSchema(*input.db), "CreateSchema");
+    CheckOk(tpcc.Populate(*input.db), "Populate");
+    const uint64_t population_lsn = input.db->log().LastLsn();
+    CheckOk(tpcc.RunWrites(*input.db, txns), "RunWrites");
+    input.db->log().TruncateUpTo(population_lsn);
+    input.writes = txns;
+  }
+  return input;
+}
+
 ReplayResult RunSerialReplay(const BenchInput& input,
                              const kv::KvClusterOptions& cluster_options,
                              trace::TracerOptions trace) {

@@ -11,6 +11,7 @@
 #include "qt/query_translator.h"
 #include "rel/database.h"
 #include "trace/tracer.h"
+#include "workload/tpcc.h"
 #include "workload/tpcw.h"
 
 namespace txrep::bench {
@@ -40,6 +41,11 @@ BenchInput BuildSyntheticLog(int num_items, int hot_range, int txns,
 /// log, read interactions are returned as replica queries.
 BenchInput BuildTpcwLog(workload::TpcwMix mix, int interactions,
                         uint64_t seed);
+
+/// TPC-C-lite write stream (NewOrder/Payment only): `txns` multi-statement
+/// write transactions in the log, no read queries. Warehouse count, skew and
+/// mix come from `options`.
+BenchInput BuildTpccLog(const workload::TpccOptions& options, int txns);
 
 /// Result of replaying one log.
 struct ReplayResult {

@@ -43,8 +43,11 @@ MODE="${1:-plain}"
 # and the wire replication boundary (frame codec, socket transport threads,
 # endpoint session fan-out, reconnect/dedup races — DESIGN.md §13), and the
 # optimistic version-latched B-link index (lock-free readers racing writer
-# latch hand-over-hand and version publication — DESIGN.md §14).
-SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_|net_|blink_'
+# latch hand-over-hand and version publication — DESIGN.md §14), and the
+# TPC-C-lite workload suites (multi-table concurrent-vs-serial equivalence
+# replay, the seed-sweep explorer's tpcc mode, and the open-loop load
+# generator driving a live TM — DESIGN.md §15).
+SANITIZER_TESTS='obs_|core_tm_|mw_|common_histogram|common_thread_pool|common_blocking_queue|common_keyed_mutex|txrep_system|check_|recov_|kv_disk_|kv_batch_|core_batch_|trace_|net_|blink_|workload_'
 
 # Flavor results for the final summary: "name<TAB>PASS|SKIP (reason)".
 RESULTS=()

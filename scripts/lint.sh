@@ -38,6 +38,14 @@
 #     the acquire pairing that makes the node image trustworthy — so every
 #     other layer goes through the optimistic read API (DESIGN.md §14).
 #
+#  8. Stdlib randomness (std::mt19937, std::random_device, rand(), the
+#     <random> distributions) is forbidden everywhere in src/. Replay
+#     correctness rests on same-seed => byte-identical workload streams
+#     (DESIGN.md §15); ambient-seeded or platform-varying RNGs silently
+#     break that, and the src/workload/ generators are the most tempting
+#     place to reach for one. All randomness goes through txrep::Random /
+#     ZipfGenerator (src/common/random.h).
+#
 # Exits non-zero listing every offending line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -113,6 +121,15 @@ version_peeks=$(grep -rn 'RawVersionWord' \
 if [[ -n "${version_peeks}" ]]; then
   echo "lint: raw version-word loads outside src/blink/ (use ReadBegin/ReadValidate):"
   echo "${version_peeks}"
+  fail=1
+fi
+
+stdlib_random=$(grep -rnE \
+  'std::(mt19937(_64)?|minstd_rand0?|ranlux[0-9_]+|knuth_b|random_device|default_random_engine|(uniform_int|uniform_real|normal|bernoulli|poisson|exponential|discrete)_distribution)|\bs?rand(om)?\s*\(' \
+  src --include='*.h' --include='*.cc' || true)
+if [[ -n "${stdlib_random}" ]]; then
+  echo "lint: stdlib randomness in src/ (use txrep::Random / ZipfGenerator from common/random.h):"
+  echo "${stdlib_random}"
   fail=1
 fi
 

@@ -30,6 +30,7 @@
 #include "rel/statement.h"
 #include "trace/tracer.h"
 #include "txrep/remote_replica.h"
+#include "workload/tpcc.h"
 
 namespace txrep::check {
 
@@ -75,6 +76,32 @@ core::BatchDispatchOptions ToDispatchOptions(const BatchConfig& config) {
   core::BatchDispatchOptions options;
   options.batch_size = config.batch_size;
   options.adaptive = config.adaptive;
+  return options;
+}
+
+/// TPC-C-lite knobs, derived from a private stream (seed ^ constant) like
+/// the batch/trace/wire knobs: enabling tpcc mode never perturbs how other
+/// modes interpret a seed.
+workload::TpccOptions DeriveTpccOptions(uint64_t seed) {
+  Random rng(seed ^ 0x7bccc0de5eed2015ULL);
+  workload::TpccOptions options;
+  options.seed = rng.NextUint64();
+  options.scale.warehouses = 1 + static_cast<int>(rng.Uniform(3));
+  options.scale.districts_per_warehouse = 2 + static_cast<int>(rng.Uniform(3));
+  options.scale.customers_per_district = 4 + static_cast<int>(rng.Uniform(8));
+  options.scale.items = 8 + static_cast<int>(rng.Uniform(16));
+  options.scale.initial_orders_per_district =
+      1 + static_cast<int>(rng.Uniform(3));
+  options.scale.max_order_lines = 2 + static_cast<int>(rng.Uniform(4));
+  options.warehouse_zipf_theta =
+      rng.Bernoulli(0.5) ? 0.0 : 0.5 + 0.4 * rng.NextDouble();
+  options.remote_line_fraction = 0.3 * rng.NextDouble();
+  // Randomized NewOrder/Payment split; the explorer replays the update log,
+  // so the read transactions stay out of the stream.
+  options.mix.new_order = 30 + static_cast<int>(rng.Uniform(40));
+  options.mix.payment = 30 + static_cast<int>(rng.Uniform(40));
+  options.mix.order_status = 0;
+  options.mix.stock_level = 0;
   return options;
 }
 
@@ -173,9 +200,8 @@ Status GenerateWorkload(rel::Database& db, Random& rng,
 /// view. NotFound is a legal answer (the row may not exist at this sequence
 /// point); the probe exists to push read/write conflict edges into the
 /// schedule, not to assert content.
-core::Transaction::Body MakeReadOnlyProbe(int64_t row_id) {
-  const std::string key = codec::RowKey("S", Value::Int(row_id));
-  return [key](kv::KvStore* view) -> Status {
+core::Transaction::Body MakeReadOnlyProbe(std::string key) {
+  return [key = std::move(key)](kv::KvStore* view) -> Status {
     Result<kv::Value> value = view->Get(key);
     if (!value.ok() && value.status().IsNotFound()) return Status::OK();
     return value.status();
@@ -189,15 +215,17 @@ core::Transaction::Body MakeReadOnlyProbe(int64_t row_id) {
 /// strictly sorted (a duplicate means a split was double-emitted); Aborted
 /// is legal — a wedged snapshot is exactly what the bounded retries are for,
 /// and the TM's restart machinery re-executes against fresher state.
-core::Transaction::Body MakeBlinkProbe(size_t max_node_keys) {
-  return [max_node_keys](kv::KvStore* view) -> Status {
+core::Transaction::Body MakeBlinkProbe(size_t max_node_keys,
+                                       std::string table, std::string column) {
+  return [max_node_keys, table = std::move(table),
+          column = std::move(column)](kv::KvStore* view) -> Status {
     blink::BlinkTreeOptions tree_options;
     tree_options.max_node_keys = max_node_keys;
     // Keep the bounded waits short: against a stale buffered snapshot the
     // retries can never succeed, and the TM is waiting on this body.
     tree_options.max_parent_retries = 4;
     tree_options.max_read_restarts = 8;
-    blink::BlinkTree tree(view, "S", "COST", tree_options);
+    blink::BlinkTree tree(view, table, column, tree_options);
     TXREP_ASSIGN_OR_RETURN(std::vector<blink::EntryKey> entries,
                            tree.RangeScanBounds(std::nullopt, std::nullopt));
     for (size_t i = 0; i + 1 < entries.size(); ++i) {
@@ -241,8 +269,20 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   const ScheduleConfig config = DeriveConfig(rng);
 
   rel::Database db;
-  TXREP_RETURN_IF_ERROR(
-      GenerateWorkload(db, rng, config, options_.txns_per_schedule));
+  std::optional<workload::TpccWorkload> tpcc;
+  uint64_t population_lsn = 0;
+  if (options_.tpcc) {
+    // The seed's workload is a whole TPC-C-lite deployment: population plus
+    // a NewOrder/Payment stream over seed-derived scale/skew/mix.
+    tpcc.emplace(DeriveTpccOptions(seed));
+    TXREP_RETURN_IF_ERROR(tpcc->CreateSchema(db));
+    TXREP_RETURN_IF_ERROR(tpcc->Populate(db));
+    population_lsn = db.log().LastLsn();
+    TXREP_RETURN_IF_ERROR(tpcc->RunWrites(db, options_.txns_per_schedule));
+  } else {
+    TXREP_RETURN_IF_ERROR(
+        GenerateWorkload(db, rng, config, options_.txns_per_schedule));
+  }
 
   qt::QueryTranslator translator(
       &db.catalog(), {.max_node_keys = config.max_node_keys});
@@ -287,7 +327,11 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   TXREP_RETURN_IF_ERROR(translator.InitializeIndexes(concurrent_store));
   // Inject transient failures only while the TM replays (the restart path
   // under test); index setup above and the audits below must stay clean.
-  set_failure_rate(config.failure_rate);
+  // The TPC-C bulk-population prefix must also replay clean: its 200-row
+  // batches carry hundreds of KV ops per transaction, so any per-op failure
+  // rate exhausts every retry budget. The failure window is armed in the
+  // submission loop once the population prefix has applied.
+  if (population_lsn == 0) set_failure_rate(config.failure_rate);
 
   core::TmOptions tm_options;
   tm_options.top_threads = config.threads;
@@ -295,6 +339,13 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
   tm_options.completed_gc_threshold = config.gc_threshold;
   tm_options.buffer_read_cache = config.buffer_read_cache;
   tm_options.enable_class_filter = config.class_filter;
+  if (options_.tpcc) {
+    // TPC-C write sets span ~15+ keys across tables and nodes, so the same
+    // 2% per-op injected failure rate needs far more retry budget than the
+    // single-table workload before a transaction gives up for good.
+    tm_options.max_apply_retries = 64;
+    tm_options.max_execution_retries = 256;
+  }
   if (options_.batched_apply) {
     tm_options.apply_batch = ToDispatchOptions(batch_config);
   }
@@ -321,18 +372,46 @@ Status ScheduleExplorer::RunOneInternal(uint64_t seed,
                                 /*metrics=*/nullptr, tracer.get());
     int64_t max_row_id = static_cast<int64_t>(config.hot_rows) +
                          options_.txns_per_schedule * 3 + 1;
+    // Probe targets follow the workload: CUSTOMER rows (and the churning
+    // STOCK.S_QUANTITY index) under TPC-C, the synthetic "S" table otherwise.
+    auto probe_key = [&]() -> std::string {
+      if (tpcc.has_value()) {
+        const workload::TpccScale& scale = tpcc->scale();
+        const int64_t w =
+            1 + static_cast<int64_t>(
+                    rng.Uniform(static_cast<uint64_t>(scale.warehouses)));
+        const int64_t d = 1 + static_cast<int64_t>(rng.Uniform(
+                                  static_cast<uint64_t>(
+                                      scale.districts_per_warehouse)));
+        const int64_t c =
+            1 + static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+                    scale.customers_per_district)));
+        return codec::RowKey(
+            "CUSTOMER",
+            Value::Int(workload::TpccWorkload::CustomerKey(w, d, c)));
+      }
+      return codec::RowKey(
+          "S", Value::Int(1 + static_cast<int64_t>(rng.Uniform(
+                                  static_cast<uint64_t>(max_row_id)))));
+    };
+    const char* blink_table = tpcc.has_value() ? "STOCK" : "S";
+    const char* blink_column = tpcc.has_value() ? "S_QUANTITY" : "COST";
+    bool failures_armed = population_lsn == 0;
     for (rel::LogTransaction& txn : db.log().ReadSince(0)) {
+      if (!failures_armed && txn.lsn > population_lsn) {
+        TXREP_RETURN_IF_ERROR(tm.WaitIdle());
+        set_failure_rate(config.failure_rate);
+        failures_armed = true;
+      }
       if (tracer != nullptr) txn.trace = tracer->Mint(txn.lsn);
       tm.SubmitUpdate(std::move(txn));
       if (config.read_only_rate > 0.0 &&
           rng.Bernoulli(config.read_only_rate)) {
-        tm.SubmitReadOnly(MakeReadOnlyProbe(
-            1 + static_cast<int64_t>(
-                    rng.Uniform(static_cast<uint64_t>(max_row_id)))));
+        tm.SubmitReadOnly(MakeReadOnlyProbe(probe_key()));
       }
       if (options_.opt_latch && opt_rng.Bernoulli(0.25)) {
-        blink_probes.push_back(
-            tm.SubmitReadOnly(MakeBlinkProbe(config.max_node_keys)));
+        blink_probes.push_back(tm.SubmitReadOnly(MakeBlinkProbe(
+            config.max_node_keys, blink_table, blink_column)));
       }
     }
     TXREP_RETURN_IF_ERROR(tm.WaitIdle());

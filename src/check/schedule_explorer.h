@@ -98,6 +98,18 @@ struct ScheduleExplorerOptions {
   /// knobs come from a private random stream, so existing seeds reproduce
   /// identically in either mode.
   bool opt_latch = false;
+
+  /// TPC-C mode: the seed's workload becomes a TPC-C-lite deployment
+  /// (src/workload/tpcc.h) instead of the single-table synthetic — schema +
+  /// population + a NewOrder/Payment write stream whose warehouse count,
+  /// district/customer/item scale, warehouse Zipf skew, mix weights and
+  /// remote-line fraction are all drawn from a private random stream. The
+  /// contended district counters and cross-table multi-statement commits put
+  /// multi-table write sets (and their class signatures) into the explored
+  /// state space; interleaved read-only probes target CUSTOMER rows and
+  /// opt_latch index probes move to the churning STOCK.S_QUANTITY index.
+  /// Composes with crash_restart, batched_apply, traced and wire.
+  bool tpcc = false;
 };
 
 /// One schedule that diverged from serial replay (or tripped an invariant).

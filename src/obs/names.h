@@ -174,6 +174,22 @@ inline constexpr char kBlinkReadRetries[] = "txrep_blink_read_retries_total";
 inline constexpr char kBlinkObsoleteHits[] =
     "txrep_blink_obsolete_hits_total";
 
+// --- open-loop load generator (src/workload/loadgen, DESIGN.md §15) ---------
+/// Scheduled arrivals the runner reached (shed or submitted).
+inline constexpr char kLoadgenArrivals[] = "txrep_loadgen_arrivals_total";
+/// Arrivals dropped at the backlog cap during sustained overload.
+inline constexpr char kLoadgenShed[] = "txrep_loadgen_shed_total";
+/// Write transactions that failed to commit on the database.
+inline constexpr char kLoadgenSubmitFailures[] =
+    "txrep_loadgen_submit_failures_total";
+/// DB commit -> replica applied, as confirmed by the runner's poller (µs).
+inline constexpr char kLoadgenLag[] = "txrep_loadgen_lag_us";
+/// Actual submit time minus scheduled arrival offset (µs): open-loop clock
+/// slip of the single-threaded submitter.
+inline constexpr char kLoadgenSchedSlip[] = "txrep_loadgen_sched_slip_us";
+/// Gauge: submitted-but-not-yet-applied transactions.
+inline constexpr char kLoadgenBacklog[] = "txrep_loadgen_backlog";
+
 // --- replica read path ------------------------------------------------------
 /// SELECT latency on the replica through the reader (µs).
 inline constexpr char kQtSelectLatency[] = "txrep_qt_select_latency_us";

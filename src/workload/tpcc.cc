@@ -1,0 +1,541 @@
+#include "workload/tpcc.h"
+
+#include <utility>
+
+namespace txrep::workload {
+
+namespace {
+
+using rel::Column;
+using rel::InsertStatement;
+using rel::Predicate;
+using rel::PredicateOp;
+using rel::SelectStatement;
+using rel::Statement;
+using rel::TableSchema;
+using rel::UpdateStatement;
+using rel::Value;
+using rel::ValueType;
+
+Result<TableSchema> Schema(const char* name, std::vector<Column> columns,
+                           const char* pk) {
+  return TableSchema::Create(name, std::move(columns), pk);
+}
+
+Predicate Eq(std::string column, Value v) {
+  return Predicate{std::move(column), PredicateOp::kEq, std::move(v), {}};
+}
+
+/// Price / amount values round to cents so double after-images compare
+/// exactly across replays.
+double Cents(uint64_t cents) { return static_cast<double>(cents) / 100.0; }
+
+}  // namespace
+
+const char* TpccTxnTypeName(TpccTxnType type) {
+  switch (type) {
+    case TpccTxnType::kNewOrder:
+      return "NewOrder";
+    case TpccTxnType::kPayment:
+      return "Payment";
+    case TpccTxnType::kOrderStatus:
+      return "OrderStatus";
+    case TpccTxnType::kStockLevel:
+      return "StockLevel";
+  }
+  return "?";
+}
+
+TpccWorkload::TpccWorkload(TpccOptions options)
+    : options_(options),
+      rng_(options.seed),
+      warehouse_zipf_(
+          static_cast<uint64_t>(options.scale.warehouses),
+          options.warehouse_zipf_theta > 0.0 ? options.warehouse_zipf_theta
+                                             : 0.5,
+          options.seed ^ 0x21bfc0de5a1f0c11ULL) {
+  const TpccScale& s = options_.scale;
+  districts_.resize(static_cast<size_t>(s.warehouses) *
+                    s.districts_per_warehouse);
+  for (DistrictState& d : districts_) {
+    d.next_o_id = s.initial_orders_per_district + 1;
+  }
+  customers_.resize(districts_.size() *
+                    static_cast<size_t>(s.customers_per_district));
+  stock_.resize(static_cast<size_t>(s.warehouses) * s.items);
+  warehouse_ytd_.assign(static_cast<size_t>(s.warehouses), 0.0);
+  // Item prices and initial stock levels come from a dedicated stream so the
+  // population is fixed by the seed regardless of how the instance is used.
+  Random init_rng(options_.seed ^ 0x7bcc141700a3b5e7ULL);
+  item_price_.resize(static_cast<size_t>(s.items) + 1);
+  for (int i = 1; i <= s.items; ++i) {
+    item_price_[static_cast<size_t>(i)] = Cents(100 + init_rng.Uniform(9900));
+  }
+  for (StockState& st : stock_) {
+    st.quantity = 10 + static_cast<int64_t>(init_rng.Uniform(91));
+  }
+  next_history_id_ = static_cast<int64_t>(customers_.size()) + 1;
+}
+
+size_t TpccWorkload::DistrictIndex(int64_t w, int64_t d) const {
+  return static_cast<size_t>((w - 1) * options_.scale.districts_per_warehouse +
+                             (d - 1));
+}
+
+size_t TpccWorkload::CustomerIndex(int64_t w, int64_t d, int64_t c) const {
+  return DistrictIndex(w, d) *
+             static_cast<size_t>(options_.scale.customers_per_district) +
+         static_cast<size_t>(c - 1);
+}
+
+size_t TpccWorkload::StockIndex(int64_t w, int64_t i) const {
+  return static_cast<size_t>((w - 1) * options_.scale.items + (i - 1));
+}
+
+int64_t TpccWorkload::next_o_id(int64_t w, int64_t d) const {
+  return districts_[DistrictIndex(w, d)].next_o_id;
+}
+
+Status TpccWorkload::CreateSchema(rel::Database& db) {
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema warehouse,
+      Schema("WAREHOUSE",
+             {{"W_ID", ValueType::kInt64},
+              {"W_NAME", ValueType::kString},
+              {"W_YTD", ValueType::kDouble}},
+             "W_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(warehouse)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema district,
+      Schema("DISTRICT",
+             {{"D_KEY", ValueType::kInt64},
+              {"D_W_ID", ValueType::kInt64},
+              {"D_ID", ValueType::kInt64},
+              {"D_NEXT_O_ID", ValueType::kInt64},
+              {"D_YTD", ValueType::kDouble}},
+             "D_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(district)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema customer,
+      Schema("CUSTOMER",
+             {{"C_KEY", ValueType::kInt64},
+              {"C_D_KEY", ValueType::kInt64},
+              {"C_ID", ValueType::kInt64},
+              {"C_NAME", ValueType::kString},
+              {"C_BALANCE", ValueType::kDouble},
+              {"C_YTD_PAYMENT", ValueType::kDouble},
+              {"C_PAYMENT_CNT", ValueType::kInt64}},
+             "C_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(customer)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema item,
+      Schema("ITEM",
+             {{"I_ID", ValueType::kInt64},
+              {"I_NAME", ValueType::kString},
+              {"I_PRICE", ValueType::kDouble}},
+             "I_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(item)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema stock,
+      Schema("STOCK",
+             {{"S_KEY", ValueType::kInt64},
+              {"S_W_ID", ValueType::kInt64},
+              {"S_I_ID", ValueType::kInt64},
+              {"S_QUANTITY", ValueType::kInt64},
+              {"S_YTD", ValueType::kInt64},
+              {"S_ORDER_CNT", ValueType::kInt64}},
+             "S_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(stock)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema orders,
+      Schema("ORDERS",
+             {{"O_KEY", ValueType::kInt64},
+              {"O_D_KEY", ValueType::kInt64},
+              {"O_C_KEY", ValueType::kInt64},
+              {"O_OL_CNT", ValueType::kInt64},
+              {"O_TOTAL", ValueType::kDouble}},
+             "O_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(orders)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema order_line,
+      Schema("ORDER_LINE",
+             {{"OL_KEY", ValueType::kInt64},
+              {"OL_O_KEY", ValueType::kInt64},
+              {"OL_I_ID", ValueType::kInt64},
+              {"OL_SUPPLY_W_ID", ValueType::kInt64},
+              {"OL_QTY", ValueType::kInt64},
+              {"OL_AMOUNT", ValueType::kDouble}},
+             "OL_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(order_line)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema new_order,
+      Schema("NEW_ORDER",
+             {{"NO_O_KEY", ValueType::kInt64}, {"NO_D_KEY", ValueType::kInt64}},
+             "NO_O_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(new_order)));
+
+  TXREP_ASSIGN_OR_RETURN(
+      TableSchema history,
+      Schema("HISTORY",
+             {{"H_ID", ValueType::kInt64},
+              {"H_C_KEY", ValueType::kInt64},
+              {"H_D_KEY", ValueType::kInt64},
+              {"H_AMOUNT", ValueType::kDouble}},
+             "H_ID"));
+  TXREP_RETURN_IF_ERROR(db.CreateTable(std::move(history)));
+
+  // Equality paths of the read mix...
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("ORDERS", "O_C_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("ORDER_LINE", "OL_O_KEY"));
+  TXREP_RETURN_IF_ERROR(db.CreateHashIndex("NEW_ORDER", "NO_D_KEY"));
+  // ...and the range paths: S_QUANTITY is rewritten by every NewOrder line,
+  // so the replica's B-link tree churns under exactly the contention the
+  // stock-level query scans through; I_PRICE is a static catalog range.
+  TXREP_RETURN_IF_ERROR(db.CreateRangeIndex("STOCK", "S_QUANTITY"));
+  TXREP_RETURN_IF_ERROR(db.CreateRangeIndex("ITEM", "I_PRICE"));
+  return Status::OK();
+}
+
+Status TpccWorkload::Populate(rel::Database& db) {
+  const TpccScale& s = options_.scale;
+  std::vector<Statement> batch;
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    TXREP_RETURN_IF_ERROR(db.ExecuteTransaction(batch).status());
+    batch.clear();
+    return Status::OK();
+  };
+  auto add = [&](InsertStatement stmt) -> Status {
+    batch.push_back(std::move(stmt));
+    if (batch.size() >= 200) return flush();
+    return Status::OK();
+  };
+
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "WAREHOUSE",
+        {},
+        {Value::Int(w), Value::Str("Warehouse" + std::to_string(w)),
+         Value::Real(0.0)}}));
+  }
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    for (int64_t d = 1; d <= s.districts_per_warehouse; ++d) {
+      TXREP_RETURN_IF_ERROR(add(InsertStatement{
+          "DISTRICT",
+          {},
+          {Value::Int(DistrictKey(w, d)), Value::Int(w), Value::Int(d),
+           Value::Int(s.initial_orders_per_district + 1), Value::Real(0.0)}}));
+    }
+  }
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    for (int64_t d = 1; d <= s.districts_per_warehouse; ++d) {
+      for (int64_t c = 1; c <= s.customers_per_district; ++c) {
+        TXREP_RETURN_IF_ERROR(add(InsertStatement{
+            "CUSTOMER",
+            {},
+            {Value::Int(CustomerKey(w, d, c)), Value::Int(DistrictKey(w, d)),
+             Value::Int(c), Value::Str(rng_.NextString(10)), Value::Real(0.0),
+             Value::Real(0.0), Value::Int(0)}}));
+      }
+    }
+  }
+  for (int64_t i = 1; i <= s.items; ++i) {
+    TXREP_RETURN_IF_ERROR(add(InsertStatement{
+        "ITEM",
+        {},
+        {Value::Int(i), Value::Str("Item" + std::to_string(i)),
+         Value::Real(item_price_[static_cast<size_t>(i)])}}));
+  }
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    for (int64_t i = 1; i <= s.items; ++i) {
+      const StockState& st = stock_[StockIndex(w, i)];
+      TXREP_RETURN_IF_ERROR(add(InsertStatement{
+          "STOCK",
+          {},
+          {Value::Int(StockKey(w, i)), Value::Int(w), Value::Int(i),
+           Value::Int(st.quantity), Value::Int(0), Value::Int(0)}}));
+    }
+  }
+  // Initial order history: orders 1..initial per district, the newest third
+  // still queued in NEW_ORDER (the TPC-C "undelivered" tail). Historical
+  // orders do not touch STOCK — only live NewOrders move the tracked state.
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    for (int64_t d = 1; d <= s.districts_per_warehouse; ++d) {
+      for (int64_t o = 1; o <= s.initial_orders_per_district; ++o) {
+        const int64_t c =
+            1 + static_cast<int64_t>(rng_.Uniform(
+                    static_cast<uint64_t>(s.customers_per_district)));
+        const int64_t lines =
+            1 + static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(s.max_order_lines)));
+        double total = 0.0;
+        std::vector<InsertStatement> line_stmts;
+        for (int64_t l = 1; l <= lines; ++l) {
+          const int64_t i =
+              1 + static_cast<int64_t>(
+                      rng_.Uniform(static_cast<uint64_t>(s.items)));
+          const int64_t qty = 1 + static_cast<int64_t>(rng_.Uniform(10));
+          const double amount =
+              static_cast<double>(qty) * item_price_[static_cast<size_t>(i)];
+          total += amount;
+          line_stmts.push_back(InsertStatement{
+              "ORDER_LINE",
+              {},
+              {Value::Int(OrderLineKey(w, d, o, l)),
+               Value::Int(OrderKey(w, d, o)), Value::Int(i), Value::Int(w),
+               Value::Int(qty), Value::Real(amount)}});
+        }
+        TXREP_RETURN_IF_ERROR(add(InsertStatement{
+            "ORDERS",
+            {},
+            {Value::Int(OrderKey(w, d, o)), Value::Int(DistrictKey(w, d)),
+             Value::Int(CustomerKey(w, d, c)), Value::Int(lines),
+             Value::Real(total)}}));
+        for (InsertStatement& stmt : line_stmts) {
+          TXREP_RETURN_IF_ERROR(add(std::move(stmt)));
+        }
+        if (o > (2 * s.initial_orders_per_district) / 3) {
+          TXREP_RETURN_IF_ERROR(add(InsertStatement{
+              "NEW_ORDER",
+              {},
+              {Value::Int(OrderKey(w, d, o)),
+               Value::Int(DistrictKey(w, d))}}));
+        }
+      }
+    }
+  }
+  // One seed HISTORY row per customer (ids 1..customers; the generator's
+  // allocator continues past them).
+  int64_t h_id = 1;
+  for (int64_t w = 1; w <= s.warehouses; ++w) {
+    for (int64_t d = 1; d <= s.districts_per_warehouse; ++d) {
+      for (int64_t c = 1; c <= s.customers_per_district; ++c) {
+        TXREP_RETURN_IF_ERROR(add(InsertStatement{
+            "HISTORY",
+            {},
+            {Value::Int(h_id++), Value::Int(CustomerKey(w, d, c)),
+             Value::Int(DistrictKey(w, d)), Value::Real(10.0)}}));
+      }
+    }
+  }
+  return flush();
+}
+
+int64_t TpccWorkload::PickWarehouse() {
+  if (options_.warehouse_zipf_theta > 0.0) {
+    // Rank 0 of the Zipf stream is the hottest -> warehouse 1.
+    return 1 + static_cast<int64_t>(warehouse_zipf_.Next());
+  }
+  return 1 + static_cast<int64_t>(
+                 rng_.Uniform(static_cast<uint64_t>(options_.scale.warehouses)));
+}
+
+TpccWorkload::TxnSpec TpccWorkload::NewOrderTxn() {
+  const TpccScale& s = options_.scale;
+  TxnSpec spec;
+  spec.type = TpccTxnType::kNewOrder;
+  spec.is_write = true;
+
+  const int64_t w = PickWarehouse();
+  const int64_t d =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.districts_per_warehouse)));
+  const int64_t c =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.customers_per_district)));
+  DistrictState& district = districts_[DistrictIndex(w, d)];
+  const int64_t o = district.next_o_id++;
+  const int64_t ol_cnt =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.max_order_lines)));
+
+  // Build the order lines first (the ORDERS row needs the total).
+  double total = 0.0;
+  std::vector<Statement> line_stmts;
+  for (int64_t l = 1; l <= ol_cnt; ++l) {
+    const int64_t i = 1 + static_cast<int64_t>(
+                              rng_.Uniform(static_cast<uint64_t>(s.items)));
+    // TPC-C's remote order line: ~1% of lines are supplied by another
+    // warehouse (cross-warehouse conflict edge). Scaled up by default here.
+    int64_t supply_w = w;
+    if (s.warehouses > 1 && rng_.Bernoulli(options_.remote_line_fraction)) {
+      supply_w = 1 + static_cast<int64_t>(rng_.Uniform(
+                         static_cast<uint64_t>(s.warehouses - 1)));
+      if (supply_w >= w) ++supply_w;
+    }
+    const int64_t qty = 1 + static_cast<int64_t>(rng_.Uniform(10));
+    const double amount =
+        static_cast<double>(qty) * item_price_[static_cast<size_t>(i)];
+    total += amount;
+    // TPC-C stock rule: restock by 91 when the decrement would drop the
+    // level below 10. Tracked here so the UPDATE ships the after-image.
+    StockState& stock = stock_[StockIndex(supply_w, i)];
+    if (stock.quantity - qty >= 10) {
+      stock.quantity -= qty;
+    } else {
+      stock.quantity += 91 - qty;
+    }
+    stock.ytd += qty;
+    stock.order_cnt += 1;
+    line_stmts.push_back(InsertStatement{
+        "ORDER_LINE",
+        {},
+        {Value::Int(OrderLineKey(w, d, o, l)), Value::Int(OrderKey(w, d, o)),
+         Value::Int(i), Value::Int(supply_w), Value::Int(qty),
+         Value::Real(amount)}});
+    line_stmts.push_back(UpdateStatement{
+        "STOCK",
+        {{"S_QUANTITY", Value::Int(stock.quantity)},
+         {"S_YTD", Value::Int(stock.ytd)},
+         {"S_ORDER_CNT", Value::Int(stock.order_cnt)}},
+        {Eq("S_KEY", Value::Int(StockKey(supply_w, i)))}});
+  }
+
+  // The contended counter first: every NewOrder in this district rewrites
+  // the same DISTRICT row, which is what serializes the order-id sequence.
+  spec.statements.push_back(UpdateStatement{
+      "DISTRICT",
+      {{"D_NEXT_O_ID", Value::Int(district.next_o_id)}},
+      {Eq("D_KEY", Value::Int(DistrictKey(w, d)))}});
+  spec.statements.push_back(InsertStatement{
+      "ORDERS",
+      {},
+      {Value::Int(OrderKey(w, d, o)), Value::Int(DistrictKey(w, d)),
+       Value::Int(CustomerKey(w, d, c)), Value::Int(ol_cnt),
+       Value::Real(total)}});
+  spec.statements.push_back(InsertStatement{
+      "NEW_ORDER",
+      {},
+      {Value::Int(OrderKey(w, d, o)), Value::Int(DistrictKey(w, d))}});
+  for (Statement& stmt : line_stmts) {
+    spec.statements.push_back(std::move(stmt));
+  }
+  return spec;
+}
+
+TpccWorkload::TxnSpec TpccWorkload::PaymentTxn() {
+  const TpccScale& s = options_.scale;
+  TxnSpec spec;
+  spec.type = TpccTxnType::kPayment;
+  spec.is_write = true;
+
+  const int64_t w = PickWarehouse();
+  const int64_t d =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.districts_per_warehouse)));
+  const int64_t c =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.customers_per_district)));
+  const double amount = Cents(100 + rng_.Uniform(499900));
+
+  warehouse_ytd_[static_cast<size_t>(w - 1)] += amount;
+  DistrictState& district = districts_[DistrictIndex(w, d)];
+  district.ytd += amount;
+  CustomerState& customer = customers_[CustomerIndex(w, d, c)];
+  customer.balance -= amount;
+  customer.ytd_payment += amount;
+  customer.payment_cnt += 1;
+
+  spec.statements.push_back(UpdateStatement{
+      "WAREHOUSE",
+      {{"W_YTD", Value::Real(warehouse_ytd_[static_cast<size_t>(w - 1)])}},
+      {Eq("W_ID", Value::Int(w))}});
+  spec.statements.push_back(UpdateStatement{
+      "DISTRICT",
+      {{"D_YTD", Value::Real(district.ytd)}},
+      {Eq("D_KEY", Value::Int(DistrictKey(w, d)))}});
+  spec.statements.push_back(UpdateStatement{
+      "CUSTOMER",
+      {{"C_BALANCE", Value::Real(customer.balance)},
+       {"C_YTD_PAYMENT", Value::Real(customer.ytd_payment)},
+       {"C_PAYMENT_CNT", Value::Int(customer.payment_cnt)}},
+      {Eq("C_KEY", Value::Int(CustomerKey(w, d, c)))}});
+  spec.statements.push_back(InsertStatement{
+      "HISTORY",
+      {},
+      {Value::Int(next_history_id_++), Value::Int(CustomerKey(w, d, c)),
+       Value::Int(DistrictKey(w, d)), Value::Real(amount)}});
+  return spec;
+}
+
+TpccWorkload::TxnSpec TpccWorkload::OrderStatusTxn() {
+  const TpccScale& s = options_.scale;
+  TxnSpec spec;
+  spec.type = TpccTxnType::kOrderStatus;
+  const int64_t w = PickWarehouse();
+  const int64_t d =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.districts_per_warehouse)));
+  const int64_t c =
+      1 + static_cast<int64_t>(
+              rng_.Uniform(static_cast<uint64_t>(s.customers_per_district)));
+  spec.read_query = SelectStatement{
+      "ORDERS", {}, {Eq("O_C_KEY", Value::Int(CustomerKey(w, d, c)))}};
+  return spec;
+}
+
+TpccWorkload::TxnSpec TpccWorkload::StockLevelTxn() {
+  TxnSpec spec;
+  spec.type = TpccTxnType::kStockLevel;
+  // Lite stock-level: range-scan the stock below a random threshold (the
+  // real query counts distinct below-threshold items of a district's recent
+  // orders; the replica-side work — a B-link range scan over a churning
+  // index — is the same).
+  const int64_t threshold = 10 + static_cast<int64_t>(rng_.Uniform(11));
+  spec.read_query = SelectStatement{
+      "STOCK",
+      {},
+      {Predicate{"S_QUANTITY", PredicateOp::kBetween, Value::Int(0),
+                 Value::Int(threshold)}}};
+  return spec;
+}
+
+double TpccWorkload::WriteFraction() const {
+  const TpccMixWeights& m = options_.mix;
+  const int total = m.new_order + m.payment + m.order_status + m.stock_level;
+  if (total <= 0) return 0.0;
+  return static_cast<double>(m.new_order + m.payment) /
+         static_cast<double>(total);
+}
+
+TpccWorkload::TxnSpec TpccWorkload::NextWriteTransaction() {
+  const TpccMixWeights& m = options_.mix;
+  const int writes = m.new_order + m.payment;
+  if (writes <= 0) return NewOrderTxn();
+  const uint64_t pick = rng_.Uniform(static_cast<uint64_t>(writes));
+  if (pick < static_cast<uint64_t>(m.new_order)) return NewOrderTxn();
+  return PaymentTxn();
+}
+
+TpccWorkload::TxnSpec TpccWorkload::NextTransaction() {
+  const TpccMixWeights& m = options_.mix;
+  const int total = m.new_order + m.payment + m.order_status + m.stock_level;
+  if (total <= 0) return NewOrderTxn();
+  const uint64_t pick = rng_.Uniform(static_cast<uint64_t>(total));
+  if (pick < static_cast<uint64_t>(m.new_order)) return NewOrderTxn();
+  if (pick < static_cast<uint64_t>(m.new_order + m.payment)) {
+    return PaymentTxn();
+  }
+  if (pick <
+      static_cast<uint64_t>(m.new_order + m.payment + m.order_status)) {
+    return OrderStatusTxn();
+  }
+  return StockLevelTxn();
+}
+
+Status TpccWorkload::RunWrites(rel::Database& db, int count) {
+  for (int t = 0; t < count; ++t) {
+    TxnSpec spec = NextWriteTransaction();
+    TXREP_RETURN_IF_ERROR(db.ExecuteTransaction(spec.statements).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace txrep::workload

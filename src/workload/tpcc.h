@@ -1,0 +1,182 @@
+#ifndef TXREP_WORKLOAD_TPCC_H_
+#define TXREP_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "rel/database.h"
+#include "rel/statement.h"
+
+namespace txrep::workload {
+
+/// Scaled-down TPC-C population (shared workload conventions: DESIGN.md §15).
+/// The real benchmark uses 10 districts/warehouse, 3,000 customers/district
+/// and 100,000 items; conflict behavior depends on the *ratio* of transaction
+/// rate to contended counters (one next_o_id per district), not on bulk, so
+/// the defaults keep benches fast while preserving the contention shape.
+/// All counts configurable.
+struct TpccScale {
+  int warehouses = 2;
+  int districts_per_warehouse = 4;    // TPC-C: 10.
+  int customers_per_district = 30;    // TPC-C: 3000.
+  int items = 100;                    // TPC-C: 100,000.
+  int initial_orders_per_district = 5;
+  int max_order_lines = 5;            // TPC-C: 5-15 per order.
+};
+
+/// Relative transaction weights (TPC-C §5.2.3 deck: 45/43/4/4/4; Delivery is
+/// folded out, its share split across the two read-only transactions).
+struct TpccMixWeights {
+  int new_order = 45;
+  int payment = 43;
+  int order_status = 6;   // Read-only.
+  int stock_level = 6;    // Read-only.
+};
+
+struct TpccOptions {
+  TpccScale scale;
+  TpccMixWeights mix;
+  uint64_t seed = 7;
+
+  /// 0 = warehouses picked uniformly. In (0, 1): Zipf skew over warehouses —
+  /// warehouse 1 is the hottest — modeling a flash crowd on one storefront.
+  double warehouse_zipf_theta = 0.0;
+
+  /// Probability that an order line is supplied by a *remote* warehouse
+  /// (TPC-C: 1%). Higher by default so cross-warehouse stock conflicts show
+  /// up at lite scale; ignored with a single warehouse.
+  double remote_line_fraction = 0.1;
+};
+
+/// The four transaction types of the lite mix.
+enum class TpccTxnType {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,  // Read-only.
+  kStockLevel,   // Read-only.
+};
+
+/// "NewOrder", "Payment", "OrderStatus" or "StockLevel".
+const char* TpccTxnTypeName(TpccTxnType type);
+
+/// Generates the TPC-C-lite schema, initial population and transaction
+/// stream. Deterministic given the seed: the generator mirrors the database
+/// state it mutates (district counters, warehouse/customer balances, stock
+/// levels), so every UPDATE ships a constant after-image and the statement
+/// stream is byte-identical across runs of the same seed.
+///
+/// What this adds over TPC-W-lite: cross-table multi-statement writes
+/// (NewOrder touches DISTRICT + ORDERS + NEW_ORDER + ORDER_LINE + STOCK in
+/// one commit) and *contended counters* — every NewOrder in a district
+/// read-modify-writes that district's next_o_id row, and every Payment in a
+/// warehouse its W_YTD row — the access pattern that stresses Algorithm 1's
+/// conflict classes hardest.
+class TpccWorkload {
+ public:
+  /// One generated transaction. Write transactions carry DB-side statements
+  /// (whose log the replica replays); read-only transactions carry the
+  /// SELECT to run as an interleaved read-only transaction on the replica.
+  struct TxnSpec {
+    TpccTxnType type = TpccTxnType::kNewOrder;
+    bool is_write = false;
+    std::vector<rel::Statement> statements;  // For write transactions.
+    rel::SelectStatement read_query;         // For read-only transactions.
+  };
+
+  explicit TpccWorkload(TpccOptions options = {});
+
+  /// Composite-key packing: the relational layer has single-column integer
+  /// primary keys, so TPC-C's (w, d, ...) keys pack into one int64 with
+  /// fixed radixes. Bounds: d < 100, c < 100,000, i < 1,000,000 and
+  /// o < 10,000,000 per district.
+  static int64_t DistrictKey(int64_t w, int64_t d) { return w * 100 + d; }
+  static int64_t CustomerKey(int64_t w, int64_t d, int64_t c) {
+    return DistrictKey(w, d) * 100000 + c;
+  }
+  static int64_t StockKey(int64_t w, int64_t i) { return w * 1000000 + i; }
+  static int64_t OrderKey(int64_t w, int64_t d, int64_t o) {
+    return DistrictKey(w, d) * 10000000 + o;
+  }
+  static int64_t OrderLineKey(int64_t w, int64_t d, int64_t o, int64_t l) {
+    return OrderKey(w, d, o) * 100 + l;
+  }
+
+  /// Creates the nine tables plus secondary indexes: hash indexes on the
+  /// equality paths of the read mix (orders by customer, lines by order,
+  /// new-order queue by district) and range indexes on STOCK.S_QUANTITY
+  /// (churned by every NewOrder — B-link maintenance under contention) and
+  /// the static ITEM.I_PRICE catalog.
+  Status CreateSchema(rel::Database& db);
+
+  /// Loads the initial rows. Call once, after CreateSchema.
+  Status Populate(rel::Database& db);
+
+  /// Next transaction of the configured mix.
+  TxnSpec NextTransaction();
+
+  /// Next write transaction (NewOrder/Payment by their relative weights,
+  /// ignoring the read share) — for pure update streams.
+  TxnSpec NextWriteTransaction();
+
+  /// Executes `count` write transactions against `db`, one commit each.
+  Status RunWrites(rel::Database& db, int count);
+
+  /// Fraction of write transactions in the configured mix.
+  double WriteFraction() const;
+
+  const TpccScale& scale() const { return options_.scale; }
+  const TpccOptions& options() const { return options_; }
+
+  /// Next order id the given district will assign (tests assert the
+  /// contended counter advances exactly once per NewOrder).
+  int64_t next_o_id(int64_t w, int64_t d) const;
+
+ private:
+  // Tracked per-row mirrors of the database state, so updates emit constant
+  // after-images (the log ships after-images, not deltas).
+  struct DistrictState {
+    int64_t next_o_id = 1;
+    double ytd = 0.0;
+  };
+  struct CustomerState {
+    double balance = 0.0;
+    double ytd_payment = 0.0;
+    int64_t payment_cnt = 0;
+  };
+  struct StockState {
+    int64_t quantity = 0;
+    int64_t ytd = 0;
+    int64_t order_cnt = 0;
+  };
+
+  TxnSpec NewOrderTxn();
+  TxnSpec PaymentTxn();
+  TxnSpec OrderStatusTxn();
+  TxnSpec StockLevelTxn();
+
+  /// Warehouse pick: uniform, or Zipf-skewed when warehouse_zipf_theta > 0.
+  int64_t PickWarehouse();
+
+  size_t DistrictIndex(int64_t w, int64_t d) const;
+  size_t CustomerIndex(int64_t w, int64_t d, int64_t c) const;
+  size_t StockIndex(int64_t w, int64_t i) const;
+
+  TpccOptions options_;
+  Random rng_;
+  /// Skewed warehouse stream (own internal RNG; constructed from the seed).
+  ZipfGenerator warehouse_zipf_;
+
+  std::vector<DistrictState> districts_;
+  std::vector<CustomerState> customers_;
+  std::vector<StockState> stock_;
+  std::vector<double> warehouse_ytd_;
+  std::vector<double> item_price_;
+  int64_t next_history_id_;
+};
+
+}  // namespace txrep::workload
+
+#endif  // TXREP_WORKLOAD_TPCC_H_

@@ -14,8 +14,10 @@ namespace txrep::workload {
 
 /// Scaled-down population of the paper's modified TPC-W schema (§4, Fig. 4 +
 /// the two auxiliary shopping-cart tables of §6.1). The paper used 2,000,000
-/// items and ~4M customers; shapes depend on mix ratios and access skew, not
-/// bulk, so the defaults here keep benches fast. All counts configurable.
+/// items and ~4M customers; we scale bulk down per the shared workload
+/// conventions in DESIGN.md §15 (conflict behaviour and replay equivalence
+/// depend on mix ratios, contended-row counts and access skew — all
+/// preserved — not on table bulk). All counts configurable.
 struct TpcwScale {
   int items = 1000;
   int customers = 1000;

@@ -1,0 +1,191 @@
+// Full-stack equivalence on TPC-C-lite: cross-table multi-statement commits
+// (NewOrder spans DISTRICT/ORDERS/NEW_ORDER/ORDER_LINE/STOCK), contended
+// district counters, Zipf-skewed warehouses — concurrent TM replay must stay
+// byte-identical to serial replay, including under injected KV failures and
+// across a crash-restart through the checkpoint machinery.
+
+#include <memory>
+#include <vector>
+
+#include "core/serial_applier.h"
+#include "core/transaction_manager.h"
+#include "gtest/gtest.h"
+#include "kv/inmemory_node.h"
+#include "kv/kv_cluster.h"
+#include "qt/query_translator.h"
+#include "recov/checkpoint.h"
+#include "recov/io.h"
+#include "rel/database.h"
+#include "test_util.h"
+#include "workload/tpcc.h"
+
+namespace txrep::core {
+namespace {
+
+struct TpccCase {
+  int warehouses;
+  double zipf_theta;
+  int txns;
+  int threads;
+  uint64_t seed;
+  const char* name;
+};
+
+std::ostream& operator<<(std::ostream& os, const TpccCase& c) {
+  return os << c.name;
+}
+
+/// Builds the deployment and runs `txns` write transactions on the DB.
+workload::TpccWorkload BuildWorkload(rel::Database& db, const TpccCase& c) {
+  workload::TpccOptions options;
+  options.seed = c.seed;
+  options.scale.warehouses = c.warehouses;
+  options.warehouse_zipf_theta = c.zipf_theta;
+  workload::TpccWorkload tpcc(options);
+  TXREP_EXPECT_OK(tpcc.CreateSchema(db));
+  TXREP_EXPECT_OK(tpcc.Populate(db));
+  TXREP_EXPECT_OK(tpcc.RunWrites(db, c.txns));
+  return tpcc;
+}
+
+class TpccEquivalenceTest : public ::testing::TestWithParam<TpccCase> {};
+
+TEST_P(TpccEquivalenceTest, ConcurrentReplayEqualsSerialAndDatabase) {
+  const TpccCase& c = GetParam();
+  rel::Database db;
+  BuildWorkload(db, c);
+
+  qt::QueryTranslator translator(&db.catalog(), {.max_node_keys = 16});
+  kv::InMemoryKvNode serial_store;
+  TXREP_ASSERT_OK(testing::ReplaySerial(db, translator, &serial_store));
+
+  kv::KvCluster cluster({.num_nodes = 3, .node = {}});
+  TmOptions options;
+  options.top_threads = c.threads;
+  options.bottom_threads = c.threads;
+  TmStats stats;
+  TXREP_ASSERT_OK(
+      testing::ReplayConcurrent(db, translator, &cluster, options, &stats));
+  EXPECT_GT(stats.completed, 0);
+
+  testing::ExpectDumpsEqual(serial_store, cluster);
+  testing::VerifyReplicaMatchesDatabase(cluster, db, translator);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, TpccEquivalenceTest,
+    ::testing::Values(
+        TpccCase{1, 0.0, 250, 8, 71, "one_warehouse_t8"},
+        TpccCase{2, 0.0, 250, 8, 72, "two_warehouses_t8"},
+        TpccCase{4, 0.9, 250, 8, 73, "zipf_hot_warehouse_t8"},
+        TpccCase{2, 0.0, 200, 20, 74, "two_warehouses_t20"},
+        TpccCase{2, 0.0, 200, 2, 75, "two_warehouses_t2"}),
+    [](const ::testing::TestParamInfo<TpccCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TpccEquivalenceFailureTest, InjectedKvFailuresStillConverge) {
+  rel::Database db;
+  workload::TpccOptions w_options;
+  w_options.seed = 81;
+  w_options.scale.warehouses = 2;
+  w_options.warehouse_zipf_theta = 0.5;
+  workload::TpccWorkload tpcc(w_options);
+  TXREP_ASSERT_OK(tpcc.CreateSchema(db));
+  TXREP_ASSERT_OK(tpcc.Populate(db));
+  const uint64_t population_lsn = db.log().LastLsn();
+  TXREP_ASSERT_OK(tpcc.RunWrites(db, 250));
+
+  qt::QueryTranslator translator(&db.catalog(), {.max_node_keys = 16});
+  kv::InMemoryKvNode serial_store;
+  TXREP_ASSERT_OK(testing::ReplaySerial(db, translator, &serial_store));
+
+  kv::KvCluster cluster({.num_nodes = 3, .node = {}});
+  TXREP_ASSERT_OK(translator.InitializeIndexes(&cluster));
+  // Generous budgets: a TPC-C transaction touches ~15+ keys, so a 2% per-op
+  // failure rate fails nearly half the apply attempts outright
+  // (cf. failure_injection_test).
+  TmOptions options;
+  options.top_threads = 8;
+  options.bottom_threads = 8;
+  options.max_apply_retries = 64;
+  options.max_execution_retries = 256;
+  TmStats stats;
+  {
+    TransactionManager tm(&cluster, &translator, options);
+    // The bulk-population prefix replays clean — its 200-row batches carry
+    // hundreds of KV ops each, enough to exhaust any retry budget under
+    // per-op failures. The failure window covers the NewOrder/Payment
+    // stream: the retry/restart path must re-execute against fresh state
+    // and still converge byte-identically.
+    for (rel::LogTransaction& txn : db.log().ReadSince(0, population_lsn)) {
+      tm.SubmitUpdate(std::move(txn));
+    }
+    TXREP_ASSERT_OK(tm.WaitIdle());
+    cluster.SetFailureRate(0.02);
+    for (rel::LogTransaction& txn : db.log().ReadSince(population_lsn)) {
+      tm.SubmitUpdate(std::move(txn));
+    }
+    TXREP_ASSERT_OK(tm.WaitIdle());
+    cluster.SetFailureRate(0.0);
+    TXREP_ASSERT_OK(tm.CheckInvariants());
+    stats = tm.stats();
+  }
+  EXPECT_GT(stats.apply_retries + stats.restarts, 0)
+      << "failure injection never fired";
+
+  testing::ExpectDumpsEqual(serial_store, cluster);
+  testing::VerifyReplicaMatchesDatabase(cluster, db, translator);
+}
+
+TEST(TpccEquivalenceCrashTest, CrashRestartRecoveryMatchesSerial) {
+  const std::string dir = ::testing::TempDir() + "txrep_tpcc_crash";
+  TXREP_ASSERT_OK(recov::RemoveDirRecursive(dir));
+  TXREP_ASSERT_OK(recov::EnsureDir(dir));
+
+  rel::Database db;
+  BuildWorkload(db, TpccCase{2, 0.0, 200, 4, 91, "crash"});
+  const uint64_t last_lsn = db.log().LastLsn();
+  ASSERT_GT(last_lsn, 10u);
+
+  qt::QueryTranslator translator(&db.catalog(), {.max_node_keys = 16});
+  kv::InMemoryKvNode serial_store;
+  TXREP_ASSERT_OK(testing::ReplaySerial(db, translator, &serial_store));
+
+  // The TM applies a prefix, checkpoints, and then the replica "crashes".
+  const uint64_t crash_lsn = last_lsn / 2;
+  {
+    kv::InMemoryKvNode store;
+    TXREP_ASSERT_OK(translator.InitializeIndexes(&store));
+    TmOptions options;
+    options.top_threads = 4;
+    options.bottom_threads = 4;
+    TransactionManager tm(&store, &translator, options);
+    for (rel::LogTransaction& txn : db.log().ReadSince(0, crash_lsn)) {
+      tm.SubmitUpdate(std::move(txn));
+    }
+    TXREP_ASSERT_OK(tm.WaitIdle());
+    ASSERT_EQ(tm.last_applied_lsn(), crash_lsn);
+    recov::CheckpointWriter writer(dir);
+    TXREP_ASSERT_OK(
+        writer.Write(crash_lsn, std::vector<kv::KvStore*>{&store}).status());
+  }  // <- crash: only `dir` survives.
+
+  // A process-equivalent recovers from the checkpoint + log tail.
+  Result<recov::LoadedCheckpoint> checkpoint =
+      recov::LoadLatestCheckpoint(dir, nullptr);
+  TXREP_ASSERT_OK(checkpoint.status());
+  ASSERT_EQ(checkpoint->manifest.snapshot_epoch, crash_lsn);
+  kv::InMemoryKvNode recovered;
+  TXREP_ASSERT_OK(recov::InstallCheckpoint(
+      *checkpoint, std::vector<kv::KvStore*>{&recovered}));
+  core::SerialApplier tail_applier(&recovered, &translator);
+  TXREP_ASSERT_OK(tail_applier.ApplyBatch(db.log().ReadSince(crash_lsn)));
+
+  testing::ExpectDumpsEqual(serial_store, recovered);
+  testing::VerifyReplicaMatchesDatabase(recovered, db, translator);
+  TXREP_ASSERT_OK(recov::RemoveDirRecursive(dir));
+}
+
+}  // namespace
+}  // namespace txrep::core

@@ -1,0 +1,236 @@
+#include "workload/tpcc.h"
+
+#include <map>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "rel/database.h"
+#include "rel/statement.h"
+#include "test_util.h"
+
+namespace txrep::workload {
+namespace {
+
+using rel::PredicateOp;
+using rel::Value;
+
+rel::Predicate Eq(std::string column, Value v) {
+  return rel::Predicate{std::move(column), PredicateOp::kEq, std::move(v), {}};
+}
+
+TEST(TpccTest, SchemaCreatesAllNineTables) {
+  rel::Database db;
+  TpccWorkload workload;
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  EXPECT_EQ(db.catalog().size(), 9u);
+  for (const char* table : {"WAREHOUSE", "DISTRICT", "CUSTOMER", "ITEM",
+                            "STOCK", "ORDERS", "ORDER_LINE", "NEW_ORDER",
+                            "HISTORY"}) {
+    EXPECT_TRUE(db.catalog().HasTable(table)) << table;
+  }
+  // The churning S_QUANTITY range index is what feeds B-link maintenance.
+  const rel::TableSchema& stock = **db.catalog().GetTable("STOCK");
+  EXPECT_FALSE(stock.range_index_columns().empty());
+}
+
+TEST(TpccTest, PopulateMatchesScale) {
+  rel::Database db;
+  TpccOptions options;
+  options.scale.warehouses = 3;
+  options.scale.districts_per_warehouse = 4;
+  options.scale.customers_per_district = 10;
+  options.scale.items = 50;
+  options.scale.initial_orders_per_district = 6;
+  TpccWorkload workload(options);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+
+  const size_t districts = 3u * 4u;
+  EXPECT_EQ(*db.TableSize("WAREHOUSE"), 3u);
+  EXPECT_EQ(*db.TableSize("DISTRICT"), districts);
+  EXPECT_EQ(*db.TableSize("CUSTOMER"), districts * 10u);
+  EXPECT_EQ(*db.TableSize("ITEM"), 50u);
+  EXPECT_EQ(*db.TableSize("STOCK"), 3u * 50u);
+  EXPECT_EQ(*db.TableSize("ORDERS"), districts * 6u);
+  EXPECT_GE(*db.TableSize("ORDER_LINE"), districts * 6u);
+  EXPECT_EQ(*db.TableSize("HISTORY"), districts * 10u);
+  // The undelivered tail: orders above 2/3 of the initial count per district.
+  const size_t queued_per_district = 6u - (2u * 6u) / 3u;
+  EXPECT_EQ(*db.TableSize("NEW_ORDER"), districts * queued_per_district);
+
+  // Every district's next_o_id starts one past the initial orders, on both
+  // sides of the generator's mirror.
+  Result<std::vector<rel::Row>> rows = db.Query(rel::SelectStatement{
+      "DISTRICT",
+      {},
+      {Eq("D_KEY", Value::Int(TpccWorkload::DistrictKey(2, 3)))}});
+  TXREP_ASSERT_OK(rows.status());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][3].AsInt(), 7);
+  EXPECT_EQ(workload.next_o_id(2, 3), 7);
+}
+
+std::string RenderStream(TpccWorkload& workload, int txns) {
+  std::string out;
+  for (int i = 0; i < txns; ++i) {
+    TpccWorkload::TxnSpec spec = workload.NextTransaction();
+    out += TpccTxnTypeName(spec.type);
+    out += '|';
+    for (const rel::Statement& stmt : spec.statements) {
+      out += rel::StatementToString(stmt);
+      out += ';';
+    }
+    if (!spec.is_write) {
+      out += rel::StatementToString(rel::Statement{spec.read_query});
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(TpccTest, SameSeedProducesByteIdenticalStatementStream) {
+  TpccOptions options;
+  options.seed = 99;
+  options.scale.warehouses = 3;
+  options.warehouse_zipf_theta = 0.8;
+  TpccWorkload a(options);
+  TpccWorkload b(options);
+  EXPECT_EQ(RenderStream(a, 300), RenderStream(b, 300));
+}
+
+TEST(TpccTest, DifferentSeedsDiverge) {
+  TpccOptions options;
+  options.seed = 99;
+  TpccWorkload a(options);
+  options.seed = 100;
+  TpccWorkload b(options);
+  EXPECT_NE(RenderStream(a, 50), RenderStream(b, 50));
+}
+
+TEST(TpccTest, PopulationIsDeterministicPerSeed) {
+  TpccOptions options;
+  options.seed = 123;
+  rel::Database db_a;
+  rel::Database db_b;
+  TpccWorkload a(options);
+  TpccWorkload b(options);
+  TXREP_ASSERT_OK(a.CreateSchema(db_a));
+  TXREP_ASSERT_OK(a.Populate(db_a));
+  TXREP_ASSERT_OK(b.CreateSchema(db_b));
+  TXREP_ASSERT_OK(b.Populate(db_b));
+  const std::vector<rel::LogTransaction> log_a = db_a.log().ReadSince(0);
+  const std::vector<rel::LogTransaction> log_b = db_b.log().ReadSince(0);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (size_t i = 0; i < log_a.size(); ++i) {
+    ASSERT_EQ(log_a[i].ops.size(), log_b[i].ops.size()) << "lsn " << i;
+    for (size_t op = 0; op < log_a[i].ops.size(); ++op) {
+      EXPECT_TRUE(log_a[i].ops[op] == log_b[i].ops[op])
+          << "lsn " << i << " op " << op << ": "
+          << log_a[i].ops[op].DebugString() << " vs "
+          << log_b[i].ops[op].DebugString();
+    }
+  }
+}
+
+TEST(TpccTest, MixRatiosWithinTolerance) {
+  TpccOptions options;
+  options.seed = 7;
+  TpccWorkload workload(options);
+  std::map<TpccTxnType, int> counts;
+  const int kTxns = 4000;
+  for (int i = 0; i < kTxns; ++i) {
+    ++counts[workload.NextTransaction().type];
+  }
+  // Configured deck: 45/43/6/6. Allow +-3 percentage points at n=4000.
+  auto fraction = [&](TpccTxnType t) {
+    return static_cast<double>(counts[t]) / kTxns;
+  };
+  EXPECT_NEAR(fraction(TpccTxnType::kNewOrder), 0.45, 0.03);
+  EXPECT_NEAR(fraction(TpccTxnType::kPayment), 0.43, 0.03);
+  EXPECT_NEAR(fraction(TpccTxnType::kOrderStatus), 0.06, 0.02);
+  EXPECT_NEAR(fraction(TpccTxnType::kStockLevel), 0.06, 0.02);
+  EXPECT_NEAR(workload.WriteFraction(), 0.88, 1e-9);
+}
+
+TEST(TpccTest, ContendedCounterAdvancesOncePerNewOrder) {
+  TpccOptions options;
+  options.seed = 21;
+  options.scale.warehouses = 1;
+  options.scale.districts_per_warehouse = 1;
+  options.scale.initial_orders_per_district = 4;
+  TpccWorkload workload(options);
+  EXPECT_EQ(workload.next_o_id(1, 1), 5);
+  int new_orders = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (workload.NextWriteTransaction().type == TpccTxnType::kNewOrder) {
+      ++new_orders;
+    }
+  }
+  ASSERT_GT(new_orders, 0);
+  EXPECT_EQ(workload.next_o_id(1, 1), 5 + new_orders);
+}
+
+TEST(TpccTest, GeneratorMirrorsDatabaseState) {
+  // After executing the generated stream, the DB's district counters and
+  // warehouse/customer balances must equal the generator's tracked mirrors —
+  // the property that makes after-image replication deterministic.
+  rel::Database db;
+  TpccOptions options;
+  options.seed = 31;
+  options.scale.warehouses = 2;
+  TpccWorkload workload(options);
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  TXREP_ASSERT_OK(workload.RunWrites(db, 200));
+
+  for (int64_t w = 1; w <= options.scale.warehouses; ++w) {
+    for (int64_t d = 1; d <= options.scale.districts_per_warehouse; ++d) {
+      Result<std::vector<rel::Row>> rows = db.Query(rel::SelectStatement{
+          "DISTRICT",
+          {},
+          {Eq("D_KEY", Value::Int(TpccWorkload::DistrictKey(w, d)))}});
+      TXREP_ASSERT_OK(rows.status());
+      ASSERT_EQ(rows->size(), 1u);
+      EXPECT_EQ((*rows)[0][3].AsInt(), workload.next_o_id(w, d))
+          << "district " << w << "/" << d;
+    }
+  }
+}
+
+TEST(TpccTest, ZipfSkewConcentratesOnWarehouseOne) {
+  TpccOptions options;
+  options.seed = 41;
+  options.scale.warehouses = 8;
+  options.warehouse_zipf_theta = 0.9;
+  TpccWorkload workload(options);
+  rel::Database db;
+  TXREP_ASSERT_OK(workload.CreateSchema(db));
+  TXREP_ASSERT_OK(workload.Populate(db));
+  // Count NewOrder ORDERS inserts per warehouse via the district counters.
+  TXREP_ASSERT_OK(workload.RunWrites(db, 400));
+  int64_t hot = 0;
+  int64_t total = 0;
+  for (int64_t w = 1; w <= options.scale.warehouses; ++w) {
+    for (int64_t d = 1; d <= options.scale.districts_per_warehouse; ++d) {
+      const int64_t orders = workload.next_o_id(w, d) -
+                             (options.scale.initial_orders_per_district + 1);
+      total += orders;
+      if (w == 1) hot += orders;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Uniform would give 1/8 = 12.5%; Zipf(0.9) concentrates far more.
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.3);
+}
+
+TEST(TpccTest, KeyPackingIsInjective) {
+  EXPECT_NE(TpccWorkload::CustomerKey(1, 2, 3), TpccWorkload::CustomerKey(1, 3, 2));
+  EXPECT_NE(TpccWorkload::OrderKey(1, 1, 100), TpccWorkload::OrderKey(1, 2, 100));
+  EXPECT_NE(TpccWorkload::OrderLineKey(1, 1, 1, 2),
+            TpccWorkload::OrderLineKey(1, 1, 2, 1));
+  EXPECT_NE(TpccWorkload::StockKey(2, 1), TpccWorkload::StockKey(1, 2));
+  EXPECT_STREQ(TpccTxnTypeName(TpccTxnType::kNewOrder), "NewOrder");
+}
+
+}  // namespace
+}  // namespace txrep::workload
